@@ -1,0 +1,265 @@
+//! Micro-benchmarks backing the paper's §III-E cost analysis.
+//!
+//! The paper argues the grouping overhead (k-means + Operation 1) is
+//! negligible next to a single training epoch ("equivalent to training a
+//! hidden layer with 25 neurons for one epoch"). These benches measure the
+//! pieces directly: k-means, balanced re-clustering (the `r_group` ablation),
+//! GenGroups, GenFolds vs the vanilla fold builders, one MLP epoch, the β(γ)
+//! evaluation, nDCG, and a small SHA end-to-end run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use hpo_cluster::balanced::{balanced_kmeans, BalancedKMeansConfig};
+use hpo_cluster::kmeans::{kmeans, KMeansConfig};
+use hpo_core::evaluator::CvEvaluator;
+use hpo_core::pipeline::Pipeline;
+use hpo_core::sha::{successive_halving, ShaConfig};
+use hpo_core::space::SearchSpace;
+use hpo_data::rng::rng_from_seed;
+use hpo_data::synth::{make_classification, ClassificationSpec};
+use hpo_metrics::ranking::ndcg;
+use hpo_metrics::score::beta_weight;
+use hpo_models::activation::Activation;
+use hpo_models::loss::{one_hot, OutputLoss};
+use hpo_models::mlp::network::Network;
+use hpo_models::mlp::MlpParams;
+use hpo_sampling::folds::{gen_folds, GenFoldsConfig};
+use hpo_sampling::groups::{build_grouping, gen_groups, GroupingConfig};
+use hpo_sampling::kfold::{random_kfold, stratified_kfold};
+
+fn bench_dataset(n: usize) -> hpo_data::Dataset {
+    make_classification(
+        &ClassificationSpec {
+            n_instances: n,
+            n_features: 20,
+            n_informative: 12,
+            n_classes: 2,
+            n_blobs: 3,
+            ..Default::default()
+        },
+        7,
+    )
+}
+
+fn clustering(c: &mut Criterion) {
+    let data = bench_dataset(2000);
+    let mut g = c.benchmark_group("clustering");
+    g.bench_function("kmeans_n2000_f20_k3", |b| {
+        b.iter(|| {
+            kmeans(
+                black_box(data.x()),
+                &KMeansConfig {
+                    k: 3,
+                    max_iters: 10,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    // Ablation: the paper's r_group re-clustering loop on vs off.
+    g.bench_function("balanced_kmeans_rgroup_0.8", |b| {
+        b.iter(|| {
+            balanced_kmeans(
+                black_box(data.x()),
+                &BalancedKMeansConfig {
+                    k: 3,
+                    r_group: 0.8,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.bench_function("balanced_kmeans_rgroup_off", |b| {
+        b.iter(|| {
+            balanced_kmeans(
+                black_box(data.x()),
+                &BalancedKMeansConfig {
+                    k: 3,
+                    r_group: 0.0,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn grouping_and_folds(c: &mut Criterion) {
+    let data = bench_dataset(2000);
+    let mut g = c.benchmark_group("sampling");
+    g.bench_function("gen_groups_n2000", |b| {
+        let clusters: Vec<usize> = (0..2000).map(|i| i % 3).collect();
+        let classes: Vec<usize> = (0..2000).map(|i| i % 2).collect();
+        b.iter(|| gen_groups(black_box(&clusters), black_box(&classes), 3, 2))
+    });
+    g.bench_function("build_grouping_full_pipeline", |b| {
+        b.iter(|| build_grouping(black_box(&data), &GroupingConfig::default()))
+    });
+
+    let grouping = build_grouping(&data, &GroupingConfig::default());
+    let labels: Vec<usize> = data.y().iter().map(|&y| y as usize).collect();
+    g.bench_function("gen_folds_budget400", |b| {
+        b.iter_batched(
+            || rng_from_seed(1),
+            |mut rng| {
+                gen_folds(
+                    black_box(&grouping),
+                    400,
+                    &GenFoldsConfig::default(),
+                    &mut rng,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("random_kfold_budget400", |b| {
+        b.iter_batched(
+            || rng_from_seed(1),
+            |mut rng| random_kfold(2000, 400, 5, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("stratified_kfold_budget400", |b| {
+        b.iter_batched(
+            || rng_from_seed(1),
+            |mut rng| stratified_kfold(black_box(&labels), 2, 400, 5, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn mlp_epoch(c: &mut Criterion) {
+    // The paper's yardstick: grouping cost vs one training epoch.
+    let data = bench_dataset(2000);
+    let targets = one_hot(data.y(), 2);
+    let mut g = c.benchmark_group("mlp");
+    g.bench_function("epoch_fullbatch_n2000_h25", |b| {
+        let net = Network::new(
+            vec![20, 25, 2],
+            Activation::Relu,
+            OutputLoss::SoftmaxCrossEntropy,
+            1,
+        );
+        b.iter(|| {
+            let n = black_box(&net);
+            n.loss_grad(data.x(), &targets, 1e-4)
+        })
+    });
+    g.bench_function("forward_n2000_h25", |b| {
+        let net = Network::new(
+            vec![20, 25, 2],
+            Activation::Relu,
+            OutputLoss::SoftmaxCrossEntropy,
+            1,
+        );
+        b.iter(|| black_box(&net).predict_raw(data.x()))
+    });
+    g.finish();
+}
+
+fn metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics");
+    g.bench_function("beta_weight", |b| {
+        b.iter(|| beta_weight(black_box(12.5), black_box(10.0)))
+    });
+    let mut rng = rng_from_seed(3);
+    use rand::Rng;
+    let pred: Vec<f64> = (0..200).map(|_| rng.gen()).collect();
+    let actual: Vec<f64> = (0..200).map(|_| rng.gen()).collect();
+    g.bench_function("ndcg_200", |b| {
+        b.iter(|| ndcg(black_box(&pred), black_box(&actual)))
+    });
+    g.finish();
+}
+
+fn sha_end_to_end(c: &mut Criterion) {
+    let data = bench_dataset(400);
+    let base = MlpParams {
+        hidden_layer_sizes: vec![8],
+        max_iter: 3,
+        ..Default::default()
+    };
+    let space = SearchSpace::mlp_cv18();
+    let candidates: Vec<_> = (0..8).map(|i| space.configuration(i)).collect();
+    let mut g = c.benchmark_group("sha");
+    g.sample_size(10);
+    for (label, pipeline) in [
+        ("vanilla", Pipeline::vanilla()),
+        ("enhanced", Pipeline::enhanced()),
+    ] {
+        let evaluator = CvEvaluator::new(&data, pipeline, base.clone(), 1);
+        g.bench_function(format!("sha8_{label}"), |b| {
+            b.iter(|| {
+                successive_halving(
+                    black_box(&evaluator),
+                    &space,
+                    &candidates,
+                    &base,
+                    &ShaConfig::default(),
+                    0,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn alternative_clusterers(c: &mut Criterion) {
+    // The paper's §III-A alternatives; O(n²), so benched at smaller n.
+    use hpo_cluster::affinity::{affinity_propagation, AffinityConfig};
+    use hpo_cluster::meanshift::{estimate_bandwidth, mean_shift, MeanShiftConfig};
+    let data = bench_dataset(300);
+    let mut g = c.benchmark_group("alt_clustering");
+    g.sample_size(10);
+    g.bench_function("meanshift_n300", |b| {
+        let bw = estimate_bandwidth(data.x(), 0.2);
+        b.iter(|| {
+            mean_shift(
+                black_box(data.x()),
+                &MeanShiftConfig {
+                    bandwidth: bw,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.bench_function("affinity_propagation_n300", |b| {
+        b.iter(|| affinity_propagation(black_box(data.x()), &AffinityConfig::default()))
+    });
+    g.finish();
+}
+
+fn baseline_models(c: &mut Criterion) {
+    use hpo_models::estimator::Estimator;
+    use hpo_models::knn::KnnClassifier;
+    use hpo_models::tree::{DecisionTreeClassifier, TreeParams};
+    let data = bench_dataset(1000);
+    let mut g = c.benchmark_group("baseline_models");
+    g.bench_function("tree_fit_n1000_d8", |b| {
+        b.iter(|| {
+            let mut t = DecisionTreeClassifier::new(TreeParams::default());
+            t.fit(black_box(&data)).expect("fits");
+            t
+        })
+    });
+    let mut knn = KnnClassifier::new(5);
+    knn.fit(&data).expect("fits");
+    g.bench_function("knn_predict_n1000", |b| {
+        b.iter(|| black_box(&knn).predict(data.x()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    clustering,
+    grouping_and_folds,
+    mlp_epoch,
+    metrics,
+    sha_end_to_end,
+    alternative_clusterers,
+    baseline_models
+);
+criterion_main!(benches);

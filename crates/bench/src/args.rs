@@ -1,0 +1,147 @@
+//! Minimal `--flag value` argument parsing for the experiment binaries.
+
+use hpo_data::synth::catalog::PaperDataset;
+use std::collections::HashMap;
+
+/// Parsed experiment arguments.
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    /// Base seed; repetition `r` uses `seed + r`.
+    pub seed: u64,
+    /// Number of repetitions to average over (paper: 5).
+    pub repeats: usize,
+    /// Dataset size multiplier applied to the catalog baselines.
+    pub scale: f64,
+    /// Datasets to run on; `None` means the binary's default subset.
+    pub datasets: Option<Vec<PaperDataset>>,
+    /// Emit one JSON object per result row on stdout in addition to tables.
+    pub json: bool,
+    /// All raw flags, for binary-specific extras.
+    raw: HashMap<String, String>,
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`. Recognized flags: `--seed N`,
+    /// `--repeats N`, `--scale F`, `--datasets a,b,c|all`, `--json`.
+    /// Unknown `--key value` pairs are kept for [`ExpArgs::get`].
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed values.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut raw = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                panic!("unexpected positional argument `{arg}`");
+            };
+            let value = match iter.peek() {
+                Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
+                _ => "true".to_string(), // boolean flag
+            };
+            raw.insert(key.to_string(), value);
+        }
+        let seed = raw
+            .get("seed")
+            .map(|v| v.parse().expect("--seed expects an integer"))
+            .unwrap_or(42);
+        let repeats = raw
+            .get("repeats")
+            .map(|v| v.parse().expect("--repeats expects an integer"))
+            .unwrap_or(3);
+        let scale = raw
+            .get("scale")
+            .map(|v| v.parse().expect("--scale expects a float"))
+            .unwrap_or(0.1);
+        let datasets = raw.get("datasets").map(|spec| {
+            if spec == "all" {
+                PaperDataset::ALL.to_vec()
+            } else {
+                spec.split(',')
+                    .map(|name| {
+                        PaperDataset::from_name(name.trim())
+                            .unwrap_or_else(|| panic!("unknown dataset `{name}`"))
+                    })
+                    .collect()
+            }
+        });
+        let json = raw.get("json").map(|v| v == "true").unwrap_or(false);
+        ExpArgs {
+            seed,
+            repeats,
+            scale,
+            datasets,
+            json,
+            raw,
+        }
+    }
+
+    /// Binary-specific extra flag, parsed on demand.
+    pub fn get<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.raw.get(key).map(|v| {
+            v.parse()
+                .ok()
+                .unwrap_or_else(|| panic!("bad value for --{key}"))
+        })
+    }
+
+    /// The datasets to run: explicit `--datasets`, else the given default.
+    pub fn datasets_or(&self, default: &[PaperDataset]) -> Vec<PaperDataset> {
+        self.datasets.clone().unwrap_or_else(|| default.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ExpArgs {
+        ExpArgs::from_args(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("");
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.repeats, 3);
+        assert!((a.scale - 0.1).abs() < 1e-12);
+        assert!(a.datasets.is_none());
+        assert!(!a.json);
+    }
+
+    #[test]
+    fn flags_override() {
+        let a = parse("--seed 7 --repeats 5 --scale 0.5 --json");
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.repeats, 5);
+        assert!((a.scale - 0.5).abs() < 1e-12);
+        assert!(a.json);
+    }
+
+    #[test]
+    fn dataset_lists_parse() {
+        let a = parse("--datasets australian,usps");
+        let ds = a.datasets.unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].name(), "australian");
+        let all = parse("--datasets all").datasets.unwrap();
+        assert_eq!(all.len(), 12);
+    }
+
+    #[test]
+    fn extra_flags_available() {
+        let a = parse("--configs 64");
+        assert_eq!(a.get::<usize>("configs"), Some(64));
+        assert_eq!(a.get::<usize>("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn bad_dataset_panics() {
+        parse("--datasets nope");
+    }
+}

@@ -1,0 +1,109 @@
+//! Extension experiment (beyond the paper's tables): the asynchronous and
+//! evolutionary bandit methods the paper cites — ASHA, PASHA and DEHB —
+//! with and without the enhanced pipeline.
+//!
+//! The paper integrates its method into SHA/HB/BOHB; §II-B names ASHA, PASHA
+//! and DEHB as the other prominent bandit variants. This binary shows the
+//! same pipeline swap working there too, reporting the usual test-score /
+//! search-time / cost row per arm.
+//!
+//! ```text
+//! cargo run --release -p hpo-bench --bin exp_extension_methods
+//! ```
+
+use hpo_bench::args::ExpArgs;
+use hpo_bench::report::{json_line, MeanStd, Table};
+use hpo_core::asha::AshaConfig;
+use hpo_core::dehb::DehbConfig;
+use hpo_core::harness::{run_method, Method};
+use hpo_core::pasha::PashaConfig;
+use hpo_core::pipeline::Pipeline;
+use hpo_core::space::SearchSpace;
+use hpo_data::synth::catalog::PaperDataset;
+use hpo_models::mlp::MlpParams;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let datasets = args.datasets_or(&[PaperDataset::Australian, PaperDataset::Satimage]);
+    let n_hps: usize = args.get("hps").unwrap_or(4);
+    let space = SearchSpace::mlp_table3(n_hps);
+    let max_iter: usize = args.get("max-iter").unwrap_or(15);
+    let workers: usize = args.get("workers").unwrap_or(4);
+    let base = MlpParams {
+        max_iter,
+        ..Default::default()
+    };
+
+    println!(
+        "Extension methods (ASHA/PASHA/DEHB) × pipelines, {} configurations, {} workers\n",
+        space.n_configurations(),
+        workers
+    );
+
+    for ds in datasets {
+        let mut acc: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        let mut time: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        let mut cost: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for rep in 0..args.repeats {
+            let seed = args.seed + rep as u64;
+            let tt = ds.load(args.scale, seed);
+            let methods: Vec<Method> = vec![
+                Method::Asha(AshaConfig {
+                    workers,
+                    n_configs: 32,
+                    ..Default::default()
+                }),
+                Method::Pasha(PashaConfig {
+                    workers,
+                    n_configs: 32,
+                    ..Default::default()
+                }),
+                Method::Dehb(DehbConfig::default()),
+            ];
+            for method in &methods {
+                for pipeline in [Pipeline::vanilla(), Pipeline::enhanced()] {
+                    let row =
+                        run_method(&tt.train, &tt.test, &space, pipeline, &base, method, seed);
+                    let label = if row.pipeline == "enhanced" {
+                        format!("{}+", row.method)
+                    } else {
+                        row.method.clone()
+                    };
+                    acc.entry(label.clone()).or_default().push(row.test_score);
+                    time.entry(label.clone())
+                        .or_default()
+                        .push(row.search_seconds);
+                    cost.entry(label.clone())
+                        .or_default()
+                        .push(row.search_cost_units as f64);
+                    json_line(
+                        args.json,
+                        &serde_json::json!({
+                            "experiment": "extension_methods",
+                            "dataset": ds.name(),
+                            "seed": seed,
+                            "arm": label,
+                            "row": row,
+                        }),
+                    );
+                }
+            }
+        }
+        println!("== {} ==", ds.name());
+        let mut table = Table::new(&["arm", "test (%)", "time (s)", "cost (GMAC)"]);
+        for arm in ["ASHA", "ASHA+", "PASHA", "PASHA+", "DEHB", "DEHB+"] {
+            let a = MeanStd::of(acc.get(arm).map(Vec::as_slice).unwrap_or(&[]));
+            let t = MeanStd::of(time.get(arm).map(Vec::as_slice).unwrap_or(&[]));
+            let c = MeanStd::of(cost.get(arm).map(Vec::as_slice).unwrap_or(&[]));
+            table.row(vec![
+                arm.to_string(),
+                a.fmt_pct(2),
+                t.fmt(2),
+                format!("{:.2}±{:.2}", c.mean / 1e9, c.std / 1e9),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+}

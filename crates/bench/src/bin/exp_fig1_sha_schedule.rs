@@ -1,0 +1,69 @@
+//! Figure 1: the Successive Halving budget schedule.
+//!
+//! The paper's Fig. 1 illustrates SHA on 8 configurations: per-configuration
+//! budget 1/8 → 1/4 → 1/2 → full as the candidate set halves. This binary
+//! runs real SHA on a synthetic dataset and prints the realized schedule —
+//! rung, surviving candidates, per-configuration budget and its share of B.
+//!
+//! ```text
+//! cargo run --release -p hpo-bench --bin exp_fig1_sha_schedule
+//! ```
+
+use hpo_bench::args::ExpArgs;
+use hpo_bench::report::Table;
+use hpo_core::evaluator::CvEvaluator;
+use hpo_core::pipeline::Pipeline;
+use hpo_core::sha::{successive_halving, ShaConfig};
+use hpo_core::space::SearchSpace;
+use hpo_models::mlp::MlpParams;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let tt =
+        hpo_data::synth::catalog::PaperDataset::Australian.load(args.scale.max(1.0), args.seed);
+    let n = tt.train.n_instances();
+
+    let base = MlpParams {
+        max_iter: 10,
+        ..Default::default()
+    };
+    let evaluator = CvEvaluator::new(&tt.train, Pipeline::vanilla(), base.clone(), args.seed);
+    let space = SearchSpace::mlp_cv18();
+    let candidates: Vec<_> = (0..8).map(|i| space.configuration(i)).collect();
+    let result = successive_halving(
+        &evaluator,
+        &space,
+        &candidates,
+        &base,
+        &ShaConfig {
+            eta: 2,
+            min_budget: 5,
+        },
+        args.seed,
+    );
+
+    println!(
+        "SHA schedule on {} training instances (B = {n}), 8 configurations, η = 2\n",
+        n
+    );
+    let mut table = Table::new(&["rung", "candidates", "budget b_t", "b_t / B"]);
+    let max_rung = result
+        .history
+        .trials()
+        .iter()
+        .map(|t| t.rung)
+        .max()
+        .unwrap_or(0);
+    for rung in 0..=max_rung {
+        let trials: Vec<_> = result.history.rung(rung).collect();
+        let budget = trials.first().map(|t| t.budget).unwrap_or(0);
+        table.row(vec![
+            rung.to_string(),
+            trials.len().to_string(),
+            budget.to_string(),
+            format!("1/{}", (n as f64 / budget as f64).round() as usize),
+        ]);
+    }
+    table.print();
+    println!("\nselected configuration: {}", space.describe(&result.best));
+}

@@ -1,0 +1,40 @@
+//! Figure 3: the β–γ curve of the sampling-size weight (Eq. 2).
+//!
+//! Prints the (γ, β) series for β_max = 10 (the paper's setting), plus the
+//! derived thresholds γ_min/γ_max, so the curve can be plotted and compared
+//! with the paper's line figure.
+//!
+//! ```text
+//! cargo run --release -p hpo-bench --bin exp_fig3_beta_curve [--beta-max F]
+//! ```
+
+use hpo_bench::args::ExpArgs;
+use hpo_bench::report::Table;
+use hpo_metrics::score::beta_weight;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let beta_max: f64 = args.get("beta-max").unwrap_or(10.0);
+
+    let gamma_min = 50.0 * (1.0 - (beta_max / 4.0).tanh());
+    let gamma_max = 50.0 * (1.0 - (-(beta_max / 4.0)).tanh());
+    println!("β(γ) with β_max = {beta_max}  (γ_min = {gamma_min:.3}%, γ_max = {gamma_max:.3}%)\n");
+
+    let mut table = Table::new(&["gamma_pct", "beta"]);
+    let mut gammas: Vec<f64> = vec![0.1, 0.2, 0.5];
+    gammas.extend((1..=99).map(|g| g as f64));
+    gammas.extend([99.5, 99.8, 99.9, 100.0]);
+    for &g in &gammas {
+        table.row(vec![
+            format!("{g:.1}"),
+            format!("{:.4}", beta_weight(g, beta_max)),
+        ]);
+    }
+    table.print();
+
+    // The properties the paper designs for, verified on the fly.
+    assert!((beta_weight(50.0, beta_max) - beta_max / 2.0).abs() < 1e-9);
+    assert!((beta_weight(0.1, beta_max) - beta_max).abs() < 1e-6);
+    assert!(beta_weight(100.0, beta_max).abs() < 1e-6);
+    println!("\nchecks: β(γ_min)=β_max, β(50%)=β_max/2, β(γ_max)=0 — all hold");
+}

@@ -1,0 +1,146 @@
+//! Figure 4: SHA vs SHA+ as the configuration count grows.
+//!
+//! Two sweeps on the `australian` stand-in, as in the paper:
+//!
+//! 1. **hyperparameter count** — Table III rows are added one at a time
+//!    (1 → 8), growing the grid from 6 to 8 748 configurations;
+//! 2. **model complexity** — hidden-layer widths [10..50] crossed with
+//!    increasing depth.
+//!
+//! For each point: test accuracy and search time of SHA and SHA+, averaged
+//! over `--repeats` seeds.
+//!
+//! ```text
+//! cargo run --release -p hpo-bench --bin exp_fig4_config_scaling -- --repeats 3
+//! ```
+
+use hpo_bench::args::ExpArgs;
+use hpo_bench::report::{json_line, MeanStd, Table};
+use hpo_core::harness::{run_method, Method};
+use hpo_core::pipeline::Pipeline;
+use hpo_core::sha::ShaConfig;
+use hpo_core::space::SearchSpace;
+use hpo_data::synth::catalog::PaperDataset;
+use hpo_models::mlp::MlpParams;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let max_hps: usize = args.get("max-hps").unwrap_or(6);
+    let max_iter: usize = args.get("max-iter").unwrap_or(12);
+    let base = MlpParams {
+        max_iter,
+        ..Default::default()
+    };
+
+    println!(
+        "Fig. 4 reproduction on `australian` (scale {}):\n",
+        args.scale.max(1.0)
+    );
+
+    // --- Sweep 1: number of hyperparameters -------------------------------
+    println!("(a) accuracy & time vs number of hyperparameters");
+    let mut table = Table::new(&[
+        "#HPs",
+        "configs",
+        "SHA acc (%)",
+        "SHA+ acc (%)",
+        "SHA time (s)",
+        "SHA+ time (s)",
+    ]);
+    for n_hps in 1..=max_hps {
+        let space = SearchSpace::mlp_table3(n_hps);
+        let point = sweep_point(&space, &base, &args, &format!("hps={n_hps}"));
+        table.row(vec![
+            n_hps.to_string(),
+            space.n_configurations().to_string(),
+            point.sha_acc.fmt_pct(2),
+            point.sha_plus_acc.fmt_pct(2),
+            point.sha_time.fmt(1),
+            point.sha_plus_time.fmt(1),
+        ]);
+    }
+    table.print();
+
+    // --- Sweep 2: model complexity ----------------------------------------
+    println!("\n(b) accuracy & time vs model complexity (widths 10..50 × depth)");
+    let mut table = Table::new(&[
+        "layers",
+        "configs",
+        "SHA acc (%)",
+        "SHA+ acc (%)",
+        "SHA time (s)",
+        "SHA+ time (s)",
+    ]);
+    let max_layers: usize = args.get("max-layers").unwrap_or(3);
+    for depth in 1..=max_layers {
+        let space = SearchSpace::mlp_complexity(&[10, 20, 30, 40, 50], depth);
+        let point = sweep_point(&space, &base, &args, &format!("depth={depth}"));
+        table.row(vec![
+            depth.to_string(),
+            space.n_configurations().to_string(),
+            point.sha_acc.fmt_pct(2),
+            point.sha_plus_acc.fmt_pct(2),
+            point.sha_time.fmt(1),
+            point.sha_plus_time.fmt(1),
+        ]);
+    }
+    table.print();
+}
+
+struct SweepPoint {
+    sha_acc: MeanStd,
+    sha_plus_acc: MeanStd,
+    sha_time: MeanStd,
+    sha_plus_time: MeanStd,
+}
+
+fn sweep_point(
+    space: &SearchSpace,
+    base: &MlpParams,
+    args: &hpo_bench::args::ExpArgs,
+    tag: &str,
+) -> SweepPoint {
+    let mut acc = (Vec::new(), Vec::new());
+    let mut time = (Vec::new(), Vec::new());
+    for rep in 0..args.repeats {
+        let seed = args.seed + rep as u64;
+        // australian has no test split in the paper; the catalog 80/20s it.
+        let tt = PaperDataset::Australian.load(args.scale.max(1.0), seed);
+        for (enhanced, accs, times) in [
+            (false, &mut acc.0, &mut time.0),
+            (true, &mut acc.1, &mut time.1),
+        ] {
+            let pipeline = if enhanced {
+                Pipeline::enhanced()
+            } else {
+                Pipeline::vanilla()
+            };
+            let row = run_method(
+                &tt.train,
+                &tt.test,
+                space,
+                pipeline,
+                base,
+                &Method::Sha(ShaConfig::default()),
+                seed,
+            );
+            accs.push(row.test_score);
+            times.push(row.search_seconds);
+            json_line(
+                args.json,
+                &serde_json::json!({
+                    "experiment": "fig4",
+                    "point": tag,
+                    "seed": seed,
+                    "row": row,
+                }),
+            );
+        }
+    }
+    SweepPoint {
+        sha_acc: MeanStd::of(&acc.0),
+        sha_plus_acc: MeanStd::of(&acc.1),
+        sha_time: MeanStd::of(&time.0),
+        sha_plus_time: MeanStd::of(&time.1),
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 5: cross-validation methods across subset sizes.
+//!
+//! The paper's §IV-C experiment: 18 configurations (hidden sizes ×
+//! activation), 5-fold cross-validation on subsets of growing size, three
+//! methods — random K-fold, label-stratified K-fold, and ours (group-based
+//! general + special folds with the Eq. 3 metric). Reports the recommended
+//! configuration's test accuracy and the nDCG of the CV ranking against the
+//! full-training ground truth.
+//!
+//! ```text
+//! cargo run --release -p hpo-bench --bin exp_fig5_cv_methods -- \
+//!     --datasets australian,splice,a9a,gisette,satimage,usps --scale 0.3
+//! ```
+
+use hpo_bench::args::ExpArgs;
+use hpo_bench::cv_eval::{evaluate_cv_method, ground_truth};
+use hpo_bench::report::{json_line, MeanStd, Table};
+use hpo_core::pipeline::Pipeline;
+use hpo_core::space::SearchSpace;
+use hpo_data::synth::catalog::PaperDataset;
+use hpo_models::mlp::MlpParams;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let datasets = args.datasets_or(&[
+        PaperDataset::Australian,
+        PaperDataset::Splice,
+        PaperDataset::Satimage,
+    ]);
+    let space = SearchSpace::mlp_cv18();
+    let max_iter: usize = args.get("max-iter").unwrap_or(12);
+    let base = MlpParams {
+        max_iter,
+        ..Default::default()
+    };
+    let ratios = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+    type PipelineCtor = fn() -> Pipeline;
+    let methods: [(&str, PipelineCtor); 3] = [
+        ("random", Pipeline::random_folds as fn() -> Pipeline),
+        ("stratified", Pipeline::vanilla),
+        ("ours", Pipeline::enhanced),
+    ];
+
+    println!(
+        "Fig. 5 reproduction: 18 configurations, ratios {ratios:?}, {} repeats\n",
+        args.repeats
+    );
+
+    for ds in datasets {
+        println!("== {} ==", ds.name());
+        // per (method, ratio): repetition values
+        let mut acc = vec![vec![Vec::new(); ratios.len()]; methods.len()];
+        let mut ndcg = vec![vec![Vec::new(); ratios.len()]; methods.len()];
+        for rep in 0..args.repeats {
+            let seed = args.seed + rep as u64;
+            let tt = ds.load(args.scale, seed);
+            let truth = ground_truth(&tt.train, &tt.test, &space, &base, seed);
+            for (mi, (name, make)) in methods.iter().enumerate() {
+                for (ri, &ratio) in ratios.iter().enumerate() {
+                    let result =
+                        evaluate_cv_method(&tt.train, &space, &base, make(), ratio, &truth, seed);
+                    acc[mi][ri].push(result.recommended_test_score);
+                    ndcg[mi][ri].push(result.ndcg);
+                    json_line(
+                        args.json,
+                        &serde_json::json!({
+                            "experiment": "fig5",
+                            "dataset": ds.name(),
+                            "method": name,
+                            "ratio": ratio,
+                            "seed": seed,
+                            "result": result,
+                        }),
+                    );
+                }
+            }
+        }
+
+        let mut t_acc = Table::new(&["method", "10%", "20%", "40%", "60%", "80%", "100%"]);
+        let mut t_ndcg = Table::new(&["method", "10%", "20%", "40%", "60%", "80%", "100%"]);
+        for (mi, (name, _)) in methods.iter().enumerate() {
+            let mut row_a = vec![name.to_string()];
+            let mut row_n = vec![name.to_string()];
+            for ri in 0..ratios.len() {
+                row_a.push(MeanStd::of(&acc[mi][ri]).fmt_pct(1));
+                row_n.push(format!("{:.3}", MeanStd::of(&ndcg[mi][ri]).mean));
+            }
+            t_acc.row(row_a);
+            t_ndcg.row(row_n);
+        }
+        println!("test score of recommended configuration (%):");
+        t_acc.print();
+        println!("nDCG of the configuration ranking:");
+        t_ndcg.print();
+        println!();
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 6: the general/special fold allocation sweep.
+//!
+//! Holds grouping and the mean metric fixed and varies the fold mix
+//! `(k_gen, k_spe)` from all-general `(5,0)` to all-special `(0,5)` with the
+//! total fixed at 5 — the paper's independent experiment on Operation 2.
+//!
+//! ```text
+//! cargo run --release -p hpo-bench --bin exp_fig6_fold_allocation
+//! ```
+
+use hpo_bench::args::ExpArgs;
+use hpo_bench::cv_eval::{evaluate_cv_method, ground_truth};
+use hpo_bench::report::{json_line, MeanStd, Table};
+use hpo_core::pipeline::Pipeline;
+use hpo_core::space::SearchSpace;
+use hpo_data::synth::catalog::PaperDataset;
+use hpo_metrics::EvalMetric;
+use hpo_models::mlp::MlpParams;
+use hpo_sampling::groups::GroupingConfig;
+use hpo_sampling::{FoldStrategy, GenFoldsConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let datasets = args.datasets_or(&[
+        PaperDataset::Australian,
+        PaperDataset::Splice,
+        PaperDataset::Satimage,
+    ]);
+    let space = SearchSpace::mlp_cv18();
+    let max_iter: usize = args.get("max-iter").unwrap_or(12);
+    let ratio: f64 = args.get("ratio").unwrap_or(0.2);
+    let base = MlpParams {
+        max_iter,
+        ..Default::default()
+    };
+    let mixes: [(usize, usize); 6] = [(5, 0), (4, 1), (3, 2), (2, 3), (1, 4), (0, 5)];
+
+    println!(
+        "Fig. 6 reproduction: fold allocation sweep at subset ratio {:.0}%\n",
+        ratio * 100.0
+    );
+    for ds in datasets {
+        println!("== {} ==", ds.name());
+        let mut table = Table::new(&["k_gen:k_spe", "test (%)", "nDCG"]);
+        for (k_gen, k_spe) in mixes {
+            let pipeline = Pipeline {
+                fold_strategy: FoldStrategy::GeneralSpecial(GenFoldsConfig {
+                    k_gen,
+                    k_spe,
+                    special_own_frac: 0.8,
+                }),
+                metric: EvalMetric::MeanOnly, // isolate the fold mix
+                grouping: Some(GroupingConfig::default()),
+                per_config_folds: true,
+                label: format!("{k_gen}:{k_spe}"),
+            };
+            let mut scores = Vec::new();
+            let mut ndcgs = Vec::new();
+            for rep in 0..args.repeats {
+                let seed = args.seed + rep as u64;
+                let tt = ds.load(args.scale, seed);
+                let truth = ground_truth(&tt.train, &tt.test, &space, &base, seed);
+                let r = evaluate_cv_method(
+                    &tt.train,
+                    &space,
+                    &base,
+                    pipeline.clone(),
+                    ratio,
+                    &truth,
+                    seed,
+                );
+                scores.push(r.recommended_test_score);
+                ndcgs.push(r.ndcg);
+                json_line(
+                    args.json,
+                    &serde_json::json!({
+                        "experiment": "fig6",
+                        "dataset": ds.name(),
+                        "k_gen": k_gen,
+                        "k_spe": k_spe,
+                        "seed": seed,
+                        "result": r,
+                    }),
+                );
+            }
+            table.row(vec![
+                format!("{k_gen}:{k_spe}"),
+                MeanStd::of(&scores).fmt_pct(2),
+                format!("{:.3}", MeanStd::of(&ndcgs).mean),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+}

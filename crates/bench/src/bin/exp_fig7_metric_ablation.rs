@@ -1,0 +1,103 @@
+//! Figure 7: the evaluation-metric ablation.
+//!
+//! Holds grouping and the paper's fold construction fixed and varies only
+//! the metric: the vanilla fold mean vs Eq. 3 (`µ + α·β(γ)·σ`), across
+//! subset sizes. An extra arm — UCB with a *fixed* variance weight
+//! (`β ≡ β_max`, i.e. no size adaptation) — goes beyond the paper and
+//! isolates the contribution of the β(γ) schedule itself.
+//!
+//! ```text
+//! cargo run --release -p hpo-bench --bin exp_fig7_metric_ablation
+//! ```
+
+use hpo_bench::args::ExpArgs;
+use hpo_bench::cv_eval::{evaluate_cv_method, ground_truth};
+use hpo_bench::report::{json_line, MeanStd, Table};
+use hpo_core::pipeline::Pipeline;
+use hpo_core::space::SearchSpace;
+use hpo_data::synth::catalog::PaperDataset;
+use hpo_metrics::EvalMetric;
+use hpo_models::mlp::MlpParams;
+use hpo_sampling::groups::GroupingConfig;
+use hpo_sampling::FoldStrategy;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let datasets = args.datasets_or(&[
+        PaperDataset::Australian,
+        PaperDataset::Splice,
+        PaperDataset::Satimage,
+    ]);
+    let space = SearchSpace::mlp_cv18();
+    let max_iter: usize = args.get("max-iter").unwrap_or(12);
+    let base = MlpParams {
+        max_iter,
+        ..Default::default()
+    };
+    let ratios = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let metrics: [(&str, EvalMetric); 3] = [
+        ("vanilla(mean)", EvalMetric::MeanOnly),
+        ("ours(eq.3)", EvalMetric::paper_default()),
+        // β frozen at β_max: variance always fully weighted — the paper's
+        // design says this should hurt at large subsets.
+        ("fixed-β(ucb)", EvalMetric::Ucb { alpha: 1.0 }),
+    ];
+
+    println!("Fig. 7 reproduction: metric ablation (grouping + folds fixed)\n");
+    for ds in datasets {
+        println!("== {} ==", ds.name());
+        let mut t_acc = Table::new(&["metric", "10%", "20%", "40%", "60%", "80%", "100%"]);
+        let mut t_ndcg = Table::new(&["metric", "10%", "20%", "40%", "60%", "80%", "100%"]);
+        for (name, metric) in &metrics {
+            let mut row_a = vec![name.to_string()];
+            let mut row_n = vec![name.to_string()];
+            for &ratio in &ratios {
+                let pipeline = Pipeline {
+                    fold_strategy: FoldStrategy::paper_default(),
+                    metric: *metric,
+                    grouping: Some(GroupingConfig::default()),
+                    per_config_folds: true,
+                    label: name.to_string(),
+                };
+                let mut scores = Vec::new();
+                let mut ndcgs = Vec::new();
+                for rep in 0..args.repeats {
+                    let seed = args.seed + rep as u64;
+                    let tt = ds.load(args.scale, seed);
+                    let truth = ground_truth(&tt.train, &tt.test, &space, &base, seed);
+                    let r = evaluate_cv_method(
+                        &tt.train,
+                        &space,
+                        &base,
+                        pipeline.clone(),
+                        ratio,
+                        &truth,
+                        seed,
+                    );
+                    scores.push(r.recommended_test_score);
+                    ndcgs.push(r.ndcg);
+                    json_line(
+                        args.json,
+                        &serde_json::json!({
+                            "experiment": "fig7",
+                            "dataset": ds.name(),
+                            "metric": name,
+                            "ratio": ratio,
+                            "seed": seed,
+                            "result": r,
+                        }),
+                    );
+                }
+                row_a.push(MeanStd::of(&scores).fmt_pct(1));
+                row_n.push(format!("{:.3}", MeanStd::of(&ndcgs).mean));
+            }
+            t_acc.row(row_a);
+            t_ndcg.row(row_n);
+        }
+        println!("test score of recommended configuration (%):");
+        t_acc.print();
+        println!("nDCG of the configuration ranking:");
+        t_ndcg.print();
+        println!();
+    }
+}

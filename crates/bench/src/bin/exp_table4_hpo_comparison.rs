@@ -1,0 +1,137 @@
+//! Table IV: the full HPO comparison.
+//!
+//! For each dataset, runs the paper's seven arms — random, SHA, SHA+, HB,
+//! HB+, BOHB, BOHB+ — over `--repeats` seeds and reports train score, test
+//! score, wall-clock search seconds and the deterministic search cost, each
+//! as mean ± std. A `+` marks the enhanced-pipeline variants.
+//!
+//! Defaults keep the run laptop-sized (4 datasets, 4 of the 8
+//! hyperparameters = 162 configurations as in the paper, scale 0.1).
+//! Full reproduction:
+//!
+//! ```text
+//! cargo run --release -p hpo-bench --bin exp_table4_hpo_comparison -- \
+//!     --datasets all --scale 1.0 --repeats 5
+//! ```
+
+use hpo_bench::args::ExpArgs;
+use hpo_bench::report::{json_line, MeanStd, Table};
+use hpo_core::harness::table4_arms;
+use hpo_core::space::SearchSpace;
+use hpo_data::synth::catalog::PaperDataset;
+use hpo_models::mlp::MlpParams;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let datasets = args.datasets_or(&[
+        PaperDataset::Australian,
+        PaperDataset::Machine,
+        PaperDataset::Satimage,
+        PaperDataset::KcHouse,
+    ]);
+    let n_hps: usize = args.get("hps").unwrap_or(4);
+    let space = SearchSpace::mlp_table3(n_hps);
+    let max_iter: usize = args.get("max-iter").unwrap_or(15);
+    let base = MlpParams {
+        max_iter,
+        ..Default::default()
+    };
+
+    println!(
+        "Table IV reproduction: {} configurations, {} repeats, scale {}\n",
+        space.n_configurations(),
+        args.repeats,
+        args.scale
+    );
+
+    for ds in datasets {
+        // metric -> arm label -> repetition values
+        let mut acc: BTreeMap<&'static str, BTreeMap<String, Vec<f64>>> = BTreeMap::new();
+        let mut score_kind = String::new();
+        for rep in 0..args.repeats {
+            let seed = args.seed + rep as u64;
+            let tt = ds.load(args.scale, seed);
+            let rows = table4_arms(&tt.train, &tt.test, &space, &base, seed);
+            for row in rows {
+                let label = if row.pipeline == "enhanced" {
+                    format!("{}+", row.method)
+                } else {
+                    row.method.clone()
+                };
+                score_kind = row.score_kind.clone();
+                acc.entry("train")
+                    .or_default()
+                    .entry(label.clone())
+                    .or_default()
+                    .push(row.train_score);
+                acc.entry("test")
+                    .or_default()
+                    .entry(label.clone())
+                    .or_default()
+                    .push(row.test_score);
+                acc.entry("time")
+                    .or_default()
+                    .entry(label.clone())
+                    .or_default()
+                    .push(row.search_seconds);
+                acc.entry("cost")
+                    .or_default()
+                    .entry(label.clone())
+                    .or_default()
+                    .push(row.search_cost_units as f64);
+                json_line(
+                    args.json,
+                    &serde_json::json!({
+                        "experiment": "table4",
+                        "dataset": ds.name(),
+                        "seed": seed,
+                        "arm": label,
+                        "row": row,
+                    }),
+                );
+            }
+        }
+
+        println!("== {} (metric: {}) ==", ds.name(), score_kind);
+        let arm_order = ["random", "SHA", "SHA+", "HB", "HB+", "BOHB", "BOHB+"];
+        let mut table = Table::new(&["arm", "train (%)", "test (%)", "time (s)", "cost (GMAC)"]);
+        for arm in arm_order {
+            let get = |metric: &str| -> MeanStd {
+                MeanStd::of(
+                    acc.get(metric)
+                        .and_then(|m| m.get(arm))
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]),
+                )
+            };
+            let cost = get("cost");
+            table.row(vec![
+                arm.to_string(),
+                get("train").fmt_pct(2),
+                get("test").fmt_pct(2),
+                get("time").fmt(1),
+                format!("{:.2}±{:.2}", cost.mean / 1e9, cost.std / 1e9),
+            ]);
+        }
+        table.print();
+
+        // The paper's headline checks: does "+" beat vanilla on test score?
+        for method in ["SHA", "HB", "BOHB"] {
+            let vanilla = MeanStd::of(acc["test"].get(method).map(Vec::as_slice).unwrap_or(&[]));
+            let plus = MeanStd::of(
+                acc["test"]
+                    .get(&format!("{method}+"))
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]),
+            );
+            let delta = (plus.mean - vanilla.mean) * 100.0;
+            println!(
+                "   {method}+ vs {method}: {delta:+.2}pp test, std {:.2} -> {:.2}",
+                vanilla.std * 100.0,
+                plus.std * 100.0
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,190 @@
+//! The §IV-C cross-validation experiment core.
+//!
+//! Given a train/test pair and a configuration space, the experiment:
+//!
+//! 1. computes the **ground truth**: every configuration's test score after
+//!    training on the full training set (expensive — computed once and
+//!    shared across methods and subset ratios);
+//! 2. for each CV method and subset ratio, scores every configuration by
+//!    cross-validation on a `ratio`-sized subset;
+//! 3. reports the **test score of the recommended configuration** (argmax of
+//!    CV scores) and the **nDCG** of the CV ranking against the ground
+//!    truth — exactly the two panels of the paper's Fig. 5.
+
+use hpo_core::evaluator::{fit_and_score, CvEvaluator, ScoreKind};
+use hpo_core::pipeline::Pipeline;
+use hpo_core::space::SearchSpace;
+use hpo_data::dataset::Dataset;
+use hpo_data::rng::derive_seed;
+use hpo_metrics::ranking::ndcg_rank_graded;
+use hpo_models::mlp::MlpParams;
+
+/// Ground truth: per-configuration test scores after full-data training.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// `actual[i]` = test score of `space.configuration(i)`.
+    pub actual: Vec<f64>,
+    /// The score kind used.
+    pub score_kind: ScoreKind,
+}
+
+/// Computes the ground-truth ranking of all configurations.
+pub fn ground_truth(
+    train: &Dataset,
+    test: &Dataset,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    seed: u64,
+) -> GroundTruth {
+    let score_kind = ScoreKind::for_dataset(train);
+    let actual = space
+        .all_configurations()
+        .iter()
+        .map(|cfg| {
+            let mut params = space.to_params(cfg, base_params);
+            params.seed = derive_seed(seed, 0x9_0000);
+            fit_and_score(train, test, &params, score_kind).test_score
+        })
+        .collect();
+    GroundTruth { actual, score_kind }
+}
+
+/// Result of one CV method at one subset ratio.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct CvMethodResult {
+    /// Test score of the configuration the CV scores recommend.
+    pub recommended_test_score: f64,
+    /// nDCG of the CV ranking vs the ground-truth ranking.
+    pub ndcg: f64,
+}
+
+/// Runs one CV method (a [`Pipeline`]) at one subset ratio against a
+/// precomputed ground truth.
+pub fn evaluate_cv_method(
+    train: &Dataset,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    pipeline: Pipeline,
+    ratio: f64,
+    truth: &GroundTruth,
+    seed: u64,
+) -> CvMethodResult {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in (0,1]");
+    let evaluator = CvEvaluator::new(train, pipeline, base_params.clone(), seed);
+    let budget = ((train.n_instances() as f64) * ratio).round() as usize;
+    let ratio_stream = (ratio * 1e6) as u64;
+    let predicted: Vec<f64> = space
+        .all_configurations()
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| {
+            let params = space.to_params(cfg, base_params);
+            // The pipeline decides whether configurations share folds or
+            // draw their own (Pipeline::per_config_folds; the paper's
+            // Algorithm 1 redraws per configuration).
+            evaluator
+                .evaluate(
+                    &params,
+                    budget,
+                    evaluator.fold_stream(derive_seed(seed, 0xCF), ratio_stream, i as u64),
+                )
+                .score
+        })
+        .collect();
+    let best = hpo_data::stats::argmax(&predicted).expect("non-empty space");
+    CvMethodResult {
+        recommended_test_score: truth.actual[best],
+        ndcg: ndcg_rank_graded(&predicted, &truth.actual),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::split::stratified_train_test_split;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    fn pair() -> (Dataset, Dataset) {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 260,
+                n_features: 5,
+                n_informative: 5,
+                label_purity: 0.95,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut rng = hpo_data::rng::rng_from_seed(1);
+        let tt = stratified_train_test_split(&data, 0.25, &mut rng).unwrap();
+        (tt.train, tt.test)
+    }
+
+    fn tiny_space() -> SearchSpace {
+        use hpo_core::space::Dimension;
+        use hpo_models::activation::Activation;
+        SearchSpace::new(vec![
+            Dimension::HiddenLayers(vec![vec![4], vec![8]]),
+            Dimension::Activation(vec![Activation::Tanh, Activation::Relu]),
+        ])
+    }
+
+    fn quick_base() -> MlpParams {
+        MlpParams {
+            max_iter: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ground_truth_scores_every_config() {
+        let (train, test) = pair();
+        let space = tiny_space();
+        let truth = ground_truth(&train, &test, &space, &quick_base(), 1);
+        assert_eq!(truth.actual.len(), 4);
+        assert!(truth.actual.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn cv_method_result_is_within_truth_range() {
+        let (train, test) = pair();
+        let space = tiny_space();
+        let truth = ground_truth(&train, &test, &space, &quick_base(), 2);
+        let result = evaluate_cv_method(
+            &train,
+            &space,
+            &quick_base(),
+            Pipeline::vanilla(),
+            0.5,
+            &truth,
+            2,
+        );
+        let min = truth.actual.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = truth
+            .actual
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(result.recommended_test_score >= min - 1e-12);
+        assert!(result.recommended_test_score <= max + 1e-12);
+        assert!((0.0..=1.0).contains(&result.ndcg));
+    }
+
+    #[test]
+    fn enhanced_pipeline_also_runs() {
+        let (train, test) = pair();
+        let space = tiny_space();
+        let truth = ground_truth(&train, &test, &space, &quick_base(), 3);
+        let result = evaluate_cv_method(
+            &train,
+            &space,
+            &quick_base(),
+            Pipeline::enhanced(),
+            0.2,
+            &truth,
+            3,
+        );
+        assert!((0.0..=1.0).contains(&result.ndcg));
+    }
+}

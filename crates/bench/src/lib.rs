@@ -1,0 +1,17 @@
+//! Experiment harness shared by the per-table/per-figure binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for recorded
+//! outputs). This library holds the shared plumbing:
+//!
+//! * [`args`] — a tiny `--flag value` CLI parser (seed / repeats / scale /
+//!   datasets) so the binaries stay dependency-free.
+//! * [`report`] — mean ± std aggregation and aligned table printing.
+//! * [`cv_eval`] — the §IV-C cross-validation experiment core: ground-truth
+//!   config ranking, per-method recommendation score and nDCG.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod cv_eval;
+pub mod report;

@@ -1,0 +1,153 @@
+//! Aggregation and table rendering for experiment output.
+
+/// Mean and population standard deviation of repeated measurements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeanStd {
+    /// Mean over repetitions.
+    pub mean: f64,
+    /// Population standard deviation over repetitions.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Aggregates a slice of repetition values.
+    pub fn of(values: &[f64]) -> MeanStd {
+        if values.is_empty() {
+            return MeanStd {
+                mean: 0.0,
+                std: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        MeanStd {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+
+    /// Renders as `mm.mm±ss.ss` with the given decimal places.
+    pub fn fmt(&self, decimals: usize) -> String {
+        format!("{:.*}±{:.*}", decimals, self.mean, decimals, self.std)
+    }
+
+    /// Renders as a percentage (`×100`) with the given decimal places.
+    pub fn fmt_pct(&self, decimals: usize) -> String {
+        format!(
+            "{:.*}±{:.*}",
+            decimals,
+            self.mean * 100.0,
+            decimals,
+            self.std * 100.0
+        )
+    }
+}
+
+/// A simple aligned-text table builder for experiment output.
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, &w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints a JSON line when `--json` is active.
+pub fn json_line<T: serde::Serialize>(enabled: bool, value: &T) {
+    if enabled {
+        println!(
+            "{}",
+            serde_json::to_string(value).expect("experiment rows serialize")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_aggregates() {
+        let ms = MeanStd::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((ms.mean - 5.0).abs() < 1e-12);
+        assert!((ms.std - 2.0).abs() < 1e-12);
+        assert_eq!(ms.fmt(1), "5.0±2.0");
+        assert_eq!(MeanStd::of(&[0.975]).fmt_pct(2), "97.50±0.00");
+    }
+
+    #[test]
+    fn empty_aggregation_is_zero() {
+        let ms = MeanStd::of(&[]);
+        assert_eq!(ms.mean, 0.0);
+        assert_eq!(ms.std, 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a    "));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

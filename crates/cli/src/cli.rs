@@ -1,0 +1,147 @@
+//! Argument parsing and command dispatch for `bhpo`.
+
+use crate::commands;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A CLI-level error with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<hpo_data::DataError> for CliError {
+    fn from(e: hpo_data::DataError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Parsed `--key value` flags after the subcommand.
+#[derive(Clone, Debug, Default)]
+pub struct Flags {
+    raw: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses flag pairs; bare `--flag` becomes `"true"`.
+    pub fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut raw = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let Some(key) = args[i].strip_prefix("--") else {
+                return Err(CliError(format!("unexpected argument `{}`", args[i])));
+            };
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                raw.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                raw.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        }
+        Ok(Flags { raw })
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.raw
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.raw.get(key).map(String::as_str)
+    }
+
+    /// Optional typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.raw.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("invalid value `{v}` for --{key}"))),
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  bhpo optimize --data <file|synth:name> [--test <file>] [--method random|sha|hb|bohb|asha|pasha|dehb]
+                [--pipeline vanilla|enhanced] [--hps 1..8] [--max-iter N] [--seed N] [--json <out.json>]
+  bhpo cv       --data <file|synth:name> [--ratio 0..1] [--pipeline vanilla|enhanced|random] [--seed N]
+  bhpo groups   --data <file|synth:name> [--v N] [--algo kmeans|meanshift|affinity] [--seed N]
+  bhpo datasets
+
+data formats: .libsvm/.svm, .csv (label last column), synth:<catalog-name>";
+
+/// Entry point: dispatches the subcommand.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(CliError(USAGE.to_string()));
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match cmd.as_str() {
+        "optimize" => commands::optimize(&flags),
+        "cv" => commands::cross_validate(&flags),
+        "groups" => commands::groups(&flags),
+        "datasets" => commands::datasets(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(s: &str) -> Flags {
+        Flags::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_key_value_and_bare_flags() {
+        let f = flags("--data x.csv --seed 7 --json");
+        assert_eq!(f.require("data").unwrap(), "x.csv");
+        assert_eq!(f.get_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(f.get("json"), Some("true"));
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let f = flags("--seed 7");
+        assert!(f.require("data").is_err());
+    }
+
+    #[test]
+    fn invalid_typed_value_errors() {
+        let f = flags("--seed abc");
+        assert!(f.get_or("seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let e = run(&["frobnicate".to_string()]).unwrap_err();
+        assert!(e.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn positional_arguments_rejected() {
+        assert!(Flags::parse(&["x.csv".to_string()]).is_err());
+    }
+}

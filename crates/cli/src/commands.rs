@@ -1,0 +1,333 @@
+//! The `bhpo` subcommands.
+
+use crate::cli::{CliError, Flags};
+use hpo_core::asha::AshaConfig;
+use hpo_core::bohb::BohbConfig;
+use hpo_core::dehb::DehbConfig;
+use hpo_core::evaluator::CvEvaluator;
+use hpo_core::harness::{run_method, Method};
+use hpo_core::hyperband::HyperbandConfig;
+use hpo_core::pasha::PashaConfig;
+use hpo_core::pipeline::Pipeline;
+use hpo_core::random_search::RandomSearchConfig;
+use hpo_core::sha::ShaConfig;
+use hpo_core::space::SearchSpace;
+use hpo_data::dataset::Dataset;
+use hpo_data::io::{read_csv, read_libsvm_file};
+use hpo_data::rng::rng_from_seed;
+use hpo_data::split::{stratified_train_test_split, train_test_split};
+use hpo_data::synth::catalog::PaperDataset;
+use hpo_models::mlp::MlpParams;
+use hpo_sampling::groups::{build_grouping, ClusterAlgo, GroupingConfig};
+
+/// Loads a dataset from a file path or a `synth:<name>` spec.
+fn load_data(spec: &str, seed: u64) -> Result<Dataset, CliError> {
+    if let Some(name) = spec.strip_prefix("synth:") {
+        let ds = PaperDataset::from_name(name)
+            .ok_or_else(|| CliError(format!("unknown catalog dataset `{name}`")))?;
+        // The catalog splits internally; rejoin by loading at scale 1 and
+        // re-splitting later like any other dataset.
+        let tt = ds.load(1.0, seed);
+        let mut x = tt.train.x().clone();
+        let mut y = tt.train.y().to_vec();
+        x = x.vstack(tt.test.x());
+        y.extend_from_slice(tt.test.y());
+        return Ok(Dataset::new(x, y, tt.train.task())?.with_name(ds.name()));
+    }
+    let lower = spec.to_ascii_lowercase();
+    if lower.ends_with(".csv") {
+        let file = std::fs::File::open(spec)?;
+        // Heuristic: integer labels with few distinct values => classification.
+        Ok(read_csv_auto(file)?)
+    } else if lower.ends_with(".libsvm") || lower.ends_with(".svm") || lower.ends_with(".txt") {
+        Ok(read_libsvm_auto(spec)?)
+    } else {
+        Err(CliError(format!(
+            "cannot infer format of `{spec}` (use .csv, .libsvm/.svm, or synth:<name>)"
+        )))
+    }
+}
+
+/// Classification iff every raw label is an integer and there are few
+/// distinct values (the usual file-format ambiguity heuristic).
+fn looks_like_classification(raw_labels: &[f64]) -> bool {
+    if raw_labels.is_empty() || raw_labels.iter().any(|l| l.fract() != 0.0) {
+        return false;
+    }
+    let distinct: std::collections::BTreeSet<i64> = raw_labels.iter().map(|&l| l as i64).collect();
+    distinct.len() <= 20.max((raw_labels.len() as f64).sqrt() as usize)
+}
+
+fn read_libsvm_auto(path: &str) -> Result<Dataset, CliError> {
+    // Read raw labels first, then decide the task.
+    let raw = read_libsvm_file(path, false)?;
+    if looks_like_classification(raw.y()) {
+        Ok(read_libsvm_file(path, true)?)
+    } else {
+        Ok(raw)
+    }
+}
+
+fn read_csv_auto(file: std::fs::File) -> Result<Dataset, CliError> {
+    use std::io::Read;
+    let mut content = String::new();
+    let mut f = file;
+    f.read_to_string(&mut content)?;
+    let raw = read_csv(content.as_bytes(), false)?;
+    if looks_like_classification(raw.y()) {
+        Ok(read_csv(content.as_bytes(), true)?)
+    } else {
+        Ok(raw)
+    }
+}
+
+fn parse_pipeline(flags: &Flags) -> Result<Pipeline, CliError> {
+    match flags.get("pipeline").unwrap_or("enhanced") {
+        "vanilla" => Ok(Pipeline::vanilla()),
+        "enhanced" => Ok(Pipeline::enhanced()),
+        "random" => Ok(Pipeline::random_folds()),
+        other => Err(CliError(format!("unknown pipeline `{other}`"))),
+    }
+}
+
+fn parse_method(flags: &Flags) -> Result<Method, CliError> {
+    Ok(match flags.get("method").unwrap_or("sha") {
+        "random" => Method::Random(RandomSearchConfig::default()),
+        "sha" => Method::Sha(ShaConfig::default()),
+        "hb" => Method::Hyperband(HyperbandConfig::default()),
+        "bohb" => Method::Bohb(BohbConfig::default()),
+        "asha" => Method::Asha(AshaConfig::default()),
+        "pasha" => Method::Pasha(PashaConfig::default()),
+        "dehb" => Method::Dehb(DehbConfig::default()),
+        other => return Err(CliError(format!("unknown method `{other}`"))),
+    })
+}
+
+/// `bhpo optimize`: full search → refit → report.
+pub fn optimize(flags: &Flags) -> Result<(), CliError> {
+    let seed: u64 = flags.get_or("seed", 42)?;
+    let data = load_data(flags.require("data")?, seed)?;
+    let (train, test) = match flags.get("test") {
+        Some(test_spec) => (data, load_data(test_spec, seed)?),
+        None => {
+            let mut rng = rng_from_seed(seed);
+            let tt = if data.task().is_classification() {
+                stratified_train_test_split(&data, 0.2, &mut rng)?
+            } else {
+                train_test_split(&data, 0.2, &mut rng)?
+            };
+            (tt.train, tt.test)
+        }
+    };
+
+    let hps: usize = flags.get_or("hps", 4)?;
+    let space = SearchSpace::mlp_table3(hps);
+    let base = MlpParams {
+        max_iter: flags.get_or("max-iter", 20)?,
+        ..Default::default()
+    };
+    let method = parse_method(flags)?;
+    let pipeline = parse_pipeline(flags)?;
+
+    eprintln!(
+        "optimizing {} configurations on {} train / {} test instances ({} features, {})...",
+        space.n_configurations(),
+        train.n_instances(),
+        test.n_instances(),
+        train.n_features(),
+        if train.task().is_classification() {
+            "classification"
+        } else {
+            "regression"
+        },
+    );
+    let row = run_method(&train, &test, &space, pipeline, &base, &method, seed);
+    println!(
+        "method={} pipeline={} {}: train {:.4} test {:.4}",
+        row.method, row.pipeline, row.score_kind, row.train_score, row.test_score
+    );
+    println!("best configuration: {}", row.best_config_desc);
+    println!(
+        "search: {:.2}s, {} evaluations, {:.2} GMAC",
+        row.search_seconds,
+        row.n_evaluations,
+        row.search_cost_units as f64 / 1e9
+    );
+    if let Some(path) = flags.get("json") {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&row).expect("row serializes"),
+        )?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `bhpo cv`: score every configuration of the 18-grid by cross-validation.
+pub fn cross_validate(flags: &Flags) -> Result<(), CliError> {
+    let seed: u64 = flags.get_or("seed", 42)?;
+    let data = load_data(flags.require("data")?, seed)?;
+    let ratio: f64 = flags.get_or("ratio", 1.0)?;
+    if !(0.0 < ratio && ratio <= 1.0) {
+        return Err(CliError("--ratio must be in (0, 1]".into()));
+    }
+    let pipeline = parse_pipeline(flags)?;
+    let base = MlpParams {
+        max_iter: flags.get_or("max-iter", 20)?,
+        ..Default::default()
+    };
+    let space = SearchSpace::mlp_cv18();
+    let evaluator = CvEvaluator::new(&data, pipeline, base.clone(), seed);
+    let budget = ((data.n_instances() as f64) * ratio).round() as usize;
+    println!(
+        "5-fold CV on {} of {} instances ({} scoring):",
+        budget,
+        data.n_instances(),
+        evaluator.score_kind().name()
+    );
+    let mut rows: Vec<(String, f64, f64, f64)> = space
+        .all_configurations()
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| {
+            let params = space.to_params(cfg, &base);
+            let out = evaluator.evaluate(&params, budget, evaluator.fold_stream(seed, 0, i as u64));
+            (
+                space.describe(cfg),
+                out.fold_scores.mean(),
+                out.fold_scores.std_dev(),
+                out.score,
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+    for (desc, mean, std, score) in rows {
+        println!("  score={score:.4}  µ={mean:.4} σ={std:.4}  {desc}");
+    }
+    Ok(())
+}
+
+/// `bhpo groups`: show what Operation 1 does to the dataset.
+pub fn groups(flags: &Flags) -> Result<(), CliError> {
+    let seed: u64 = flags.get_or("seed", 42)?;
+    let data = load_data(flags.require("data")?, seed)?;
+    let v: usize = flags.get_or("v", 2)?;
+    let algo = match flags.get("algo").unwrap_or("kmeans") {
+        "kmeans" => ClusterAlgo::BalancedKMeans,
+        "meanshift" => ClusterAlgo::MeanShift { quantile: 0.3 },
+        "affinity" => ClusterAlgo::AffinityPropagation,
+        other => return Err(CliError(format!("unknown clustering algo `{other}`"))),
+    };
+    let grouping = build_grouping(
+        &data,
+        &GroupingConfig {
+            v,
+            algo,
+            seed,
+            ..Default::default()
+        },
+    );
+    println!(
+        "{} instances -> {} groups (sizes {:?}), {} label categories",
+        data.n_instances(),
+        grouping.n_groups,
+        grouping.sizes(),
+        grouping.n_label_categories
+    );
+    // Per-group label composition.
+    for (g, members) in grouping.members().iter().enumerate() {
+        let mut counts = vec![0usize; grouping.n_label_categories];
+        for &i in members {
+            counts[grouping.label_category[i]] += 1;
+        }
+        println!(
+            "  group {g}: {} instances, label mix {counts:?}",
+            members.len()
+        );
+    }
+    Ok(())
+}
+
+/// `bhpo datasets`: list the synthetic catalog.
+pub fn datasets() -> Result<(), CliError> {
+    println!("catalog stand-ins (use as synth:<name>):");
+    for ds in PaperDataset::ALL {
+        let tt = ds.load(0.05, 1);
+        let task = if ds.is_regression() {
+            "regression"
+        } else if tt.train.task().n_classes() == Some(2) {
+            "binary"
+        } else {
+            "multi-class"
+        };
+        println!(
+            "  {:<12} {:<12} {:>3} features",
+            ds.name(),
+            task,
+            tt.train.n_features()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::Flags;
+
+    fn flags(s: &str) -> Flags {
+        Flags::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn load_synth_dataset() {
+        let d = load_data("synth:australian", 1).unwrap();
+        assert!(d.n_instances() > 500);
+        assert_eq!(d.name(), "australian");
+        assert!(load_data("synth:nope", 1).is_err());
+    }
+
+    #[test]
+    fn load_rejects_unknown_extension() {
+        assert!(load_data("data.parquet", 1).is_err());
+    }
+
+    #[test]
+    fn load_csv_roundtrip() {
+        let path = std::env::temp_dir().join("bhpo_cli_test.csv");
+        std::fs::write(&path, "1.0,2.0,0\n3.0,4.0,1\n5.0,6.0,0\n7.0,8.0,1\n").unwrap();
+        let d = load_data(path.to_str().unwrap(), 1).unwrap();
+        assert_eq!(d.n_instances(), 4);
+        assert!(d.task().is_classification());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_with_real_labels_is_regression() {
+        let path = std::env::temp_dir().join("bhpo_cli_reg.csv");
+        std::fs::write(&path, "1.0,2.0,0.25\n3.0,4.0,1.75\n").unwrap();
+        let d = load_data(path.to_str().unwrap(), 1).unwrap();
+        assert!(!d.task().is_classification());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn method_and_pipeline_parsing() {
+        assert!(parse_method(&flags("--method sha")).is_ok());
+        assert!(parse_method(&flags("--method dehb")).is_ok());
+        assert!(parse_method(&flags("--method gradient")).is_err());
+        assert!(parse_pipeline(&flags("--pipeline vanilla")).is_ok());
+        assert!(parse_pipeline(&flags("--pipeline turbo")).is_err());
+    }
+
+    #[test]
+    fn groups_command_runs_on_synth_data() {
+        let f = flags("--data synth:australian --v 3");
+        groups(&f).unwrap();
+    }
+
+    #[test]
+    fn datasets_command_lists_catalog() {
+        datasets().unwrap();
+    }
+}

@@ -1,0 +1,28 @@
+//! `bhpo` — hyperparameter optimization from the command line.
+//!
+//! ```text
+//! bhpo optimize --data train.libsvm [--test test.libsvm] [--method sha]
+//!               [--pipeline enhanced] [--hps 4] [--seed 42] [--json out.json]
+//! bhpo cv       --data train.libsvm [--ratio 0.2] [--pipeline enhanced]
+//! bhpo groups   --data train.libsvm [--v 2]
+//! bhpo datasets
+//! ```
+//!
+//! `--data` accepts `.libsvm`/`.svm` or `.csv` (label in the last column),
+//! or `synth:<name>` to use a catalog stand-in (see `bhpo datasets`).
+
+use std::process::ExitCode;
+
+mod cli;
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bhpo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! ASHA — Asynchronous Successive Halving (Li et al., 2018).
+//!
+//! SHA's rungs are synchronization barriers: no configuration advances until
+//! its whole rung finishes. ASHA removes the barrier — a worker promotes a
+//! configuration to rung `r+1` as soon as it sits in the top `1/η` of the
+//! results *so far* at rung `r`. This crate runs ASHA over a thread pool
+//! (crossbeam-channel work queue, parking_lot-guarded shared rung state),
+//! matching the paper's description of ASHA as the parallel improvement over
+//! Hyperband.
+
+use crate::evaluator::CvEvaluator;
+use crate::space::{Configuration, SearchSpace};
+use crate::trial::{History, Trial};
+use hpo_data::rng::derive_seed;
+use hpo_models::mlp::MlpParams;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+
+/// ASHA settings.
+#[derive(Clone, Debug)]
+pub struct AshaConfig {
+    /// Reduction factor η.
+    pub eta: usize,
+    /// Budget of rung 0 (instances); rung `r` gets `min_budget · η^r`.
+    pub min_budget: usize,
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Number of configurations to launch at rung 0.
+    pub n_configs: usize,
+}
+
+impl Default for AshaConfig {
+    fn default() -> Self {
+        AshaConfig {
+            eta: 2,
+            min_budget: 20,
+            workers: 4,
+            n_configs: 32,
+        }
+    }
+}
+
+/// Outcome of an ASHA run.
+#[derive(Clone, Debug)]
+pub struct AshaResult {
+    /// Best configuration at the highest rung reached (score breaks ties).
+    pub best: Configuration,
+    /// Every evaluation, in completion order.
+    pub history: History,
+}
+
+/// A unit of work: evaluate `config` at `rung`.
+#[derive(Clone, Debug)]
+struct Job {
+    config_id: usize,
+    rung: usize,
+}
+
+/// Shared scheduler state.
+struct Shared {
+    /// results[rung] = completed (config_id, score) pairs, completion order.
+    results: Vec<Vec<(usize, f64)>>,
+    /// promoted[rung] = config ids already promoted out of that rung.
+    promoted: Vec<HashSet<usize>>,
+    /// Next rung-0 configuration index not yet launched.
+    next_fresh: usize,
+    /// Jobs currently being evaluated.
+    in_flight: usize,
+}
+
+impl Shared {
+    /// The ASHA promotion rule: find, from the highest rung down, a completed
+    /// configuration in the top `1/η` of its rung that hasn't been promoted;
+    /// otherwise launch a fresh rung-0 configuration.
+    fn next_job(&mut self, eta: usize, max_rung: usize, n_configs: usize) -> Option<Job> {
+        for rung in (0..max_rung).rev() {
+            let done = &self.results[rung];
+            let k = done.len() / eta;
+            if k == 0 {
+                continue;
+            }
+            // top-k of this rung so far
+            let mut sorted: Vec<&(usize, f64)> = done.iter().collect();
+            sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            for &&(config_id, _) in sorted.iter().take(k) {
+                if !self.promoted[rung].contains(&config_id) {
+                    self.promoted[rung].insert(config_id);
+                    self.in_flight += 1;
+                    return Some(Job {
+                        config_id,
+                        rung: rung + 1,
+                    });
+                }
+            }
+        }
+        if self.next_fresh < n_configs {
+            let id = self.next_fresh;
+            self.next_fresh += 1;
+            self.in_flight += 1;
+            return Some(Job {
+                config_id: id,
+                rung: 0,
+            });
+        }
+        None
+    }
+}
+
+/// Runs ASHA over `config.workers` threads.
+///
+/// The evaluator is shared immutably across workers (it is `Sync`: all
+/// randomness is derived per call from the stream argument).
+///
+/// # Panics
+/// Panics when `eta < 2`, `workers == 0`, or `n_configs == 0`.
+pub fn asha(
+    evaluator: &CvEvaluator<'_>,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    config: &AshaConfig,
+    stream: u64,
+) -> AshaResult {
+    assert!(config.eta >= 2, "eta must be at least 2");
+    assert!(config.workers >= 1, "need at least one worker");
+    assert!(config.n_configs >= 1, "need at least one configuration");
+
+    let r_max = evaluator.total_budget();
+    let r_min = config.min_budget.clamp(1, r_max);
+    // rung r budget: r_min · η^r, capped at R; max_rung is the first rung
+    // whose budget reaches R.
+    let mut budgets = vec![r_min];
+    while *budgets.last().expect("non-empty") < r_max {
+        let next = budgets.last().unwrap().saturating_mul(config.eta);
+        budgets.push(next.min(r_max));
+    }
+    let max_rung = budgets.len() - 1;
+
+    let candidates = space.sample_distinct(config.n_configs, derive_seed(stream, 0xA5A));
+    let n_configs = candidates.len();
+
+    let shared = Mutex::new(Shared {
+        results: vec![Vec::new(); budgets.len()],
+        promoted: vec![HashSet::new(); budgets.len()],
+        next_fresh: 0,
+        in_flight: 0,
+    });
+    let history = Mutex::new(History::new());
+
+    std::thread::scope(|scope| {
+        for _w in 0..config.workers {
+            let shared = &shared;
+            let history = &history;
+            let candidates = &candidates;
+            let budgets = &budgets;
+            scope.spawn(move || loop {
+                let job = {
+                    let mut s = shared.lock();
+                    s.next_job(config.eta, max_rung, n_configs)
+                };
+                let Some(job) = job else {
+                    // No job now; if work is still in flight, results may
+                    // unlock promotions — spin briefly. Otherwise done.
+                    let idle = { shared.lock().in_flight == 0 };
+                    if idle {
+                        break;
+                    }
+                    std::thread::yield_now();
+                    continue;
+                };
+                let cand = &candidates[job.config_id];
+                let params = space.to_params(cand, base_params);
+                // Fold streams per the pipeline (see sha.rs).
+                let eval_stream =
+                    evaluator.fold_stream(stream, job.rung as u64, job.config_id as u64);
+                let outcome = evaluator.evaluate(&params, budgets[job.rung], eval_stream);
+                {
+                    let mut s = shared.lock();
+                    s.results[job.rung].push((job.config_id, outcome.score));
+                    s.in_flight -= 1;
+                }
+                history.lock().push(Trial {
+                    config: cand.clone(),
+                    budget: budgets[job.rung],
+                    rung: job.rung,
+                    outcome,
+                });
+            });
+        }
+    });
+
+    let history = history.into_inner();
+    let shared = shared.into_inner();
+    // Best = highest rung reached, best score there.
+    let best_id = shared
+        .results
+        .iter()
+        .rev()
+        .find(|r| !r.is_empty())
+        .and_then(|r| {
+            r.iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        })
+        .map(|&(id, _)| id)
+        .expect("at least one evaluation completed");
+
+    AshaResult {
+        best: candidates[best_id].clone(),
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    fn dataset() -> hpo_data::dataset::Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_instances: 240,
+                n_features: 5,
+                n_informative: 5,
+                label_purity: 0.95,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            1,
+        )
+    }
+
+    fn quick_base() -> MlpParams {
+        MlpParams {
+            hidden_layer_sizes: vec![6],
+            max_iter: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn asha_completes_and_promotes() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let space = SearchSpace::mlp_cv18();
+        let result = asha(
+            &ev,
+            &space,
+            &quick_base(),
+            &AshaConfig {
+                workers: 3,
+                n_configs: 12,
+                ..Default::default()
+            },
+            0,
+        );
+        // all rung-0 configs evaluated
+        assert_eq!(result.history.rung(0).count(), 12);
+        // promotions happened (some rung >= 1 trials)
+        assert!(result.history.trials().iter().any(|t| t.rung >= 1));
+        // budgets grow geometrically with the rung
+        for t in result.history.trials() {
+            assert_eq!(t.budget, (20 * 2usize.pow(t.rung as u32)).min(240));
+        }
+    }
+
+    #[test]
+    fn single_worker_matches_job_accounting() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 2);
+        let space = SearchSpace::mlp_cv18();
+        let result = asha(
+            &ev,
+            &space,
+            &quick_base(),
+            &AshaConfig {
+                workers: 1,
+                n_configs: 8,
+                ..Default::default()
+            },
+            1,
+        );
+        assert_eq!(result.history.rung(0).count(), 8);
+        // with eta=2, rung 1 gets at most 4 promotions
+        assert!(result.history.rung(1).count() <= 4);
+    }
+
+    #[test]
+    fn best_is_from_the_highest_reached_rung() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::enhanced(), quick_base(), 3);
+        let space = SearchSpace::mlp_cv18();
+        let result = asha(
+            &ev,
+            &space,
+            &quick_base(),
+            &AshaConfig {
+                workers: 4,
+                n_configs: 8,
+                ..Default::default()
+            },
+            2,
+        );
+        let top_rung = result
+            .history
+            .trials()
+            .iter()
+            .map(|t| t.rung)
+            .max()
+            .unwrap();
+        assert!(result
+            .history
+            .trials()
+            .iter()
+            .any(|t| t.rung == top_rung && t.config == result.best));
+    }
+
+    #[test]
+    fn more_workers_evaluate_the_same_rung0_set() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 4);
+        let space = SearchSpace::mlp_cv18();
+        for workers in [1, 2, 6] {
+            let result = asha(
+                &ev,
+                &space,
+                &quick_base(),
+                &AshaConfig {
+                    workers,
+                    n_configs: 10,
+                    ..Default::default()
+                },
+                3,
+            );
+            assert_eq!(
+                result.history.rung(0).count(),
+                10,
+                "workers={workers} must evaluate all rung-0 configs"
+            );
+        }
+    }
+}

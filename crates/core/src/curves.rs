@@ -1,0 +1,185 @@
+//! Budget curves: how a configuration's evaluation evolves with the budget.
+//!
+//! The paper's whole premise is that small-budget evaluations are noisy and
+//! can misrank configurations. A [`budget_curve`] makes that visible for a
+//! given configuration: CV mean, std and the Eq. 3 score at a ladder of
+//! budgets — useful for diagnosing a search, for choosing `min_budget`, and
+//! for plotting the paper-style "evaluation vs subset size" figures on your
+//! own data.
+
+use crate::evaluator::CvEvaluator;
+use crate::space::{Configuration, SearchSpace};
+use hpo_data::rng::derive_seed;
+use hpo_metrics::FoldScores;
+use serde::{Deserialize, Serialize};
+
+/// One point of a budget curve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Instance budget of this evaluation.
+    pub budget: usize,
+    /// Subset percentage γ.
+    pub gamma_pct: f64,
+    /// Per-fold scores at this budget.
+    pub fold_scores: FoldScores,
+    /// The pipeline-metric score.
+    pub score: f64,
+}
+
+/// Evaluates `config` at each budget of `budgets` (clamped to the dataset)
+/// and returns the points in ascending budget order.
+///
+/// `repeats` independent fold draws are averaged per budget to smooth the
+/// curve (the per-draw scatter *is* the instability the paper talks about;
+/// pass `repeats = 1` to see it raw).
+pub fn budget_curve(
+    evaluator: &CvEvaluator<'_>,
+    space: &SearchSpace,
+    config: &Configuration,
+    budgets: &[usize],
+    repeats: usize,
+    seed: u64,
+) -> Vec<CurvePoint> {
+    assert!(repeats >= 1, "need at least one repeat");
+    let params = space.to_params(config, evaluator.base_params());
+    let mut sorted: Vec<usize> = budgets.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted
+        .into_iter()
+        .map(|budget| {
+            // Average fold scores across repeats, fold-position-wise.
+            let mut all_folds: Vec<Vec<f64>> = Vec::new();
+            let mut gamma = 0.0;
+            let mut score_sum = 0.0;
+            for r in 0..repeats {
+                let out = evaluator.evaluate(
+                    &params,
+                    budget,
+                    derive_seed(seed, ((budget as u64) << 8) | r as u64),
+                );
+                gamma = out.fold_scores.gamma_pct;
+                score_sum += out.score;
+                all_folds.push(out.fold_scores.folds);
+            }
+            let k = all_folds[0].len();
+            let mean_folds: Vec<f64> = (0..k)
+                .map(|f| all_folds.iter().map(|v| v[f]).sum::<f64>() / repeats as f64)
+                .collect();
+            CurvePoint {
+                budget,
+                gamma_pct: gamma,
+                fold_scores: FoldScores::new(mean_folds, gamma),
+                score: score_sum / repeats as f64,
+            }
+        })
+        .collect()
+}
+
+/// A geometric budget ladder from `min_budget` to the full dataset
+/// (`min·η, min·η², ...`, capped), the shape SHA/Hyperband rungs follow.
+pub fn geometric_budgets(min_budget: usize, max_budget: usize, eta: usize) -> Vec<usize> {
+    assert!(min_budget >= 1 && eta >= 2, "degenerate ladder");
+    let mut out = vec![min_budget.min(max_budget)];
+    while *out.last().expect("non-empty") < max_budget {
+        let next = out.last().unwrap().saturating_mul(eta).min(max_budget);
+        out.push(next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+    use hpo_models::mlp::MlpParams;
+
+    fn setup() -> (hpo_data::Dataset, MlpParams) {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 300,
+                n_features: 5,
+                n_informative: 5,
+                label_purity: 0.95,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            1,
+        );
+        let base = MlpParams {
+            hidden_layer_sizes: vec![8],
+            max_iter: 8,
+            ..Default::default()
+        };
+        (data, base)
+    }
+
+    #[test]
+    fn curve_points_follow_budgets() {
+        let (data, base) = setup();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), base.clone(), 1);
+        let space = SearchSpace::mlp_cv18();
+        let curve = budget_curve(
+            &ev,
+            &space,
+            &space.configuration(0),
+            &[30, 120, 300, 120], // duplicate + unsorted on purpose
+            1,
+            1,
+        );
+        assert_eq!(curve.len(), 3);
+        assert_eq!(
+            curve.iter().map(|p| p.budget).collect::<Vec<_>>(),
+            vec![30, 120, 300]
+        );
+        assert!((curve[2].gamma_pct - 100.0).abs() < 1e-9);
+        for p in &curve {
+            assert!(p.score.is_finite());
+            assert_eq!(p.fold_scores.folds.len(), 5);
+        }
+    }
+
+    #[test]
+    fn larger_budgets_stabilize_the_evaluation() {
+        // Scatter across independent draws should shrink as budgets grow —
+        // the paper's core observation, measured on our own machinery.
+        let (data, base) = setup();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), base.clone(), 2);
+        let space = SearchSpace::mlp_cv18();
+        let cfg = space.configuration(2);
+        let scatter = |budget: usize| {
+            let scores: Vec<f64> = (0..6)
+                .map(|r| {
+                    let params = space.to_params(&cfg, &base);
+                    ev.evaluate(&params, budget, 1000 + r).fold_scores.mean()
+                })
+                .collect();
+            let m = scores.iter().sum::<f64>() / scores.len() as f64;
+            (scores.iter().map(|s| (s - m).powi(2)).sum::<f64>() / scores.len() as f64).sqrt()
+        };
+        let small = scatter(30);
+        let large = scatter(300);
+        assert!(
+            large <= small + 0.02,
+            "large-budget scatter {large} should not exceed small-budget {small}"
+        );
+    }
+
+    #[test]
+    fn geometric_ladder_shape() {
+        assert_eq!(geometric_budgets(20, 240, 2), vec![20, 40, 80, 160, 240]);
+        assert_eq!(geometric_budgets(100, 90, 3), vec![90]);
+        assert_eq!(geometric_budgets(1, 8, 2), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn repeats_smooth_the_curve() {
+        let (data, base) = setup();
+        let ev = CvEvaluator::new(&data, Pipeline::enhanced(), base.clone(), 3);
+        let space = SearchSpace::mlp_cv18();
+        let curve = budget_curve(&ev, &space, &space.configuration(1), &[60], 3, 3);
+        assert_eq!(curve.len(), 1);
+        assert!(curve[0].score.is_finite());
+    }
+}

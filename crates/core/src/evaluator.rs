@@ -1,0 +1,502 @@
+//! Cross-validation evaluation of configurations at a budget.
+//!
+//! [`CvEvaluator`] is the single code path both vanilla and enhanced
+//! pipelines run through: build folds for the budget (per the pipeline's
+//! [`hpo_sampling::FoldStrategy`]), train one MLP per fold, score the
+//! held-out fold, and
+//! reduce the fold scores with the pipeline's [`hpo_metrics::EvalMetric`].
+
+use crate::pipeline::Pipeline;
+use hpo_data::dataset::{Dataset, Task};
+use hpo_data::rng::{derive_seed, rng_from_seed};
+use hpo_metrics::classification::{accuracy, weighted_f1};
+use hpo_metrics::regression::r2;
+use hpo_metrics::FoldScores;
+use hpo_models::estimator::Estimator;
+use hpo_models::mlp::{MlpClassifier, MlpParams, MlpRegressor};
+use hpo_sampling::groups::{build_grouping, Grouping};
+use hpo_sampling::kfold::train_indices_for;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Which validation score the folds produce (and the experiments report).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScoreKind {
+    /// Plain accuracy (the paper's balanced classification datasets).
+    Accuracy,
+    /// Support-weighted F1 (the paper's imbalanced datasets).
+    WeightedF1,
+    /// R² (the paper's regression datasets).
+    R2,
+}
+
+impl ScoreKind {
+    /// The paper's convention: F1 for imbalanced classification (minority
+    /// class below 25% of a balanced share), accuracy otherwise, R² for
+    /// regression.
+    pub fn for_dataset(data: &Dataset) -> ScoreKind {
+        match data.task() {
+            Task::Regression => ScoreKind::R2,
+            task => {
+                let counts = data.class_counts();
+                let k = task.n_classes().unwrap_or(2);
+                let balanced_share = data.n_instances() as f64 / k as f64;
+                let min_count = counts.iter().copied().min().unwrap_or(0) as f64;
+                if min_count < 0.25 * balanced_share {
+                    ScoreKind::WeightedF1
+                } else {
+                    ScoreKind::Accuracy
+                }
+            }
+        }
+    }
+
+    /// Computes the score of predictions against the truth.
+    pub fn compute(&self, y_true: &[f64], y_pred: &[f64], n_classes: usize) -> f64 {
+        match self {
+            ScoreKind::Accuracy => accuracy(y_true, y_pred),
+            ScoreKind::WeightedF1 => weighted_f1(y_true, y_pred, n_classes),
+            ScoreKind::R2 => r2(y_true, y_pred),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScoreKind::Accuracy => "acc",
+            ScoreKind::WeightedF1 => "f1",
+            ScoreKind::R2 => "r2",
+        }
+    }
+}
+
+/// Result of evaluating one configuration at one budget.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Per-fold validation scores and the subset percentage γ.
+    pub fold_scores: FoldScores,
+    /// The pipeline-metric score used for halving decisions.
+    pub score: f64,
+    /// Deterministic training cost across all folds.
+    pub cost_units: u64,
+    /// Wall-clock seconds the evaluation took.
+    pub wall_seconds: f64,
+}
+
+/// The cross-validation evaluator (see module docs).
+pub struct CvEvaluator<'a> {
+    train: &'a Dataset,
+    pipeline: Pipeline,
+    grouping: Option<Grouping>,
+    /// Stratification labels: class indices for classification, a single
+    /// category for regression (stratified folding degrades to random).
+    strat_labels: Vec<usize>,
+    n_strat_categories: usize,
+    score_kind: ScoreKind,
+    base_params: MlpParams,
+    /// Total budget `B` (= training instances, as in the paper).
+    total_budget: usize,
+    seed: u64,
+}
+
+impl<'a> CvEvaluator<'a> {
+    /// Builds the evaluator, running Operation 1 up front when the pipeline
+    /// asks for grouping (the paper's method clusters once before the HPO
+    /// loop starts).
+    pub fn new(train: &'a Dataset, pipeline: Pipeline, base_params: MlpParams, seed: u64) -> Self {
+        let grouping = pipeline.grouping.as_ref().map(|cfg| {
+            let mut cfg = cfg.clone();
+            cfg.seed = derive_seed(seed, 0x6600);
+            build_grouping(train, &cfg)
+        });
+        let (strat_labels, n_strat_categories) = match train.task() {
+            Task::Regression => (vec![0usize; train.n_instances()], 1),
+            _ => {
+                let labels: Vec<usize> = train.y().iter().map(|&y| y as usize).collect();
+                let k = train.task().n_classes().unwrap_or(1);
+                (labels, k)
+            }
+        };
+        let score_kind = ScoreKind::for_dataset(train);
+        CvEvaluator {
+            train,
+            pipeline,
+            grouping,
+            strat_labels,
+            n_strat_categories,
+            score_kind,
+            base_params,
+            total_budget: train.n_instances(),
+            seed,
+        }
+    }
+
+    /// The training dataset under evaluation.
+    pub fn train_data(&self) -> &Dataset {
+        self.train
+    }
+
+    /// Total budget `B` (training instances).
+    pub fn total_budget(&self) -> usize {
+        self.total_budget
+    }
+
+    /// The score kind the folds produce.
+    pub fn score_kind(&self) -> ScoreKind {
+        self.score_kind
+    }
+
+    /// The pipeline this evaluator runs.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// The base hyperparameters that uncovered dimensions fall back to.
+    pub fn base_params(&self) -> &MlpParams {
+        &self.base_params
+    }
+
+    /// The Operation 1 grouping, when the pipeline built one.
+    pub fn grouping(&self) -> Option<&Grouping> {
+        self.grouping.as_ref()
+    }
+
+    /// Derives the fold-sampling stream for a (rung, candidate) pair,
+    /// honoring the pipeline's `per_config_folds` setting: with
+    /// per-configuration draws every candidate gets its own stream (the
+    /// paper's Algorithm 1); with shared draws the candidate index is
+    /// ignored, so a whole rung is judged on one fold set (scikit-learn
+    /// semantics).
+    pub fn fold_stream(&self, base: u64, rung: u64, candidate: u64) -> u64 {
+        let cand = if self.pipeline.per_config_folds {
+            candidate & 0xFFFF_FFFF
+        } else {
+            0
+        };
+        derive_seed(base, (rung << 32) | cand)
+    }
+
+    /// Evaluates `params` with `budget` instances. `stream` decorrelates the
+    /// fold sampling across configurations and rungs.
+    pub fn evaluate(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        self.evaluate_fn(budget, stream, |fold, train_sub, val_sub| {
+            let mut fold_params = params.clone();
+            fold_params.seed = derive_seed(self.seed, stream ^ (fold as u64) << 32);
+            match self.train.task() {
+                Task::Regression => {
+                    let mut model = MlpRegressor::new(fold_params);
+                    match model.fit(train_sub) {
+                        Ok(report) => (model.predict(val_sub.x()), report.cost_units),
+                        Err(_) => (Vec::new(), 0),
+                    }
+                }
+                _ => {
+                    let mut model = MlpClassifier::new(fold_params);
+                    match model.fit(train_sub) {
+                        Ok(report) => (model.predict(val_sub.x()), report.cost_units),
+                        Err(_) => (Vec::new(), 0),
+                    }
+                }
+            }
+        })
+    }
+
+    /// Model-agnostic evaluation: the pipeline builds the folds, the caller
+    /// supplies training + prediction.
+    ///
+    /// `fit_predict(fold_index, train_subset, val_subset)` must return the
+    /// predictions for `val_subset` (empty to signal a failed fit, which
+    /// scores 0) and a deterministic cost figure. This is how non-MLP models
+    /// (trees, forests, anything implementing
+    /// [`hpo_models::estimator::Estimator`]) run through the paper's
+    /// enhanced cross-validation — see `examples/tree_tuning.rs`.
+    pub fn evaluate_fn(
+        &self,
+        budget: usize,
+        stream: u64,
+        mut fit_predict: impl FnMut(usize, &Dataset, &Dataset) -> (Vec<f64>, u64),
+    ) -> EvalOutcome {
+        let start = Instant::now();
+        let k = self.pipeline.fold_strategy.n_folds();
+        let budget = budget.clamp(k.max(2), self.total_budget.max(k));
+        let mut rng = rng_from_seed(derive_seed(self.seed, stream));
+        let folds = self.pipeline.fold_strategy.build(
+            self.train.n_instances(),
+            &self.strat_labels,
+            self.n_strat_categories,
+            self.grouping.as_ref(),
+            budget,
+            &mut rng,
+        );
+
+        let mut scores = Vec::with_capacity(folds.len());
+        let mut cost_units = 0u64;
+        for v in 0..folds.len() {
+            let train_idx = train_indices_for(&folds, v);
+            let val_idx = &folds[v];
+            if train_idx.len() < 2 || val_idx.is_empty() {
+                scores.push(0.0);
+                continue;
+            }
+            let train_sub = self.train.select(&train_idx);
+            let val_sub = self.train.select(val_idx);
+            let (preds, cost) = fit_predict(v, &train_sub, &val_sub);
+            cost_units += cost;
+            let k_classes = self.train.task().n_classes().unwrap_or(0);
+            let score = if preds.is_empty() {
+                0.0
+            } else {
+                self.score_kind.compute(val_sub.y(), &preds, k_classes)
+            };
+            // Classification scores are bounded in [0,1]; R² is unbounded
+            // below, and an unbounded fold score would hand diverging
+            // configurations an arbitrarily large variance bonus under
+            // Eq. 3. Clamp regression fold scores to [-1, 1] for metric
+            // purposes — a config at R² = −5 is no more interesting than one
+            // at −1 (DESIGN.md §4.5).
+            let score = if self.score_kind == ScoreKind::R2 {
+                score.clamp(-1.0, 1.0)
+            } else {
+                score
+            };
+            scores.push(score);
+        }
+
+        let gamma_pct = 100.0 * budget as f64 / self.total_budget.max(1) as f64;
+        let fold_scores = FoldScores::new(scores, gamma_pct);
+        let score = fold_scores.score(&self.pipeline.metric);
+        EvalOutcome {
+            fold_scores,
+            score,
+            cost_units,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Fits `params` on the full training set and scores train and test — the
+/// "train the remaining configuration on the full dataset" step that ends
+/// every bandit run (paper Fig. 1).
+pub fn fit_and_score(
+    train: &Dataset,
+    test: &Dataset,
+    params: &MlpParams,
+    score_kind: ScoreKind,
+) -> FinalFit {
+    let k_classes = train.task().n_classes().unwrap_or(0);
+    let start = Instant::now();
+    let (train_pred, test_pred, cost) = match train.task() {
+        Task::Regression => {
+            let mut model = MlpRegressor::new(params.clone());
+            let report = model.fit(train).expect("final fit on validated data");
+            (
+                model.predict(train.x()),
+                model.predict(test.x()),
+                report.cost_units,
+            )
+        }
+        _ => {
+            let mut model = MlpClassifier::new(params.clone());
+            let report = model.fit(train).expect("final fit on validated data");
+            (
+                model.predict(train.x()),
+                model.predict(test.x()),
+                report.cost_units,
+            )
+        }
+    };
+    FinalFit {
+        train_score: score_kind.compute(train.y(), &train_pred, k_classes),
+        test_score: score_kind.compute(test.y(), &test_pred, k_classes),
+        cost_units: cost,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Scores of the final full-data fit.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FinalFit {
+    /// Score on the training set.
+    pub train_score: f64,
+    /// Score on the held-out test set.
+    pub test_score: f64,
+    /// Deterministic training cost.
+    pub cost_units: u64,
+    /// Wall-clock seconds of the final fit.
+    pub wall_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    fn dataset(seed: u64) -> Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_instances: 300,
+                n_features: 6,
+                n_informative: 6,
+                n_classes: 2,
+                n_blobs: 2,
+                label_purity: 0.95,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            seed,
+        )
+    }
+
+    fn quick_params() -> MlpParams {
+        MlpParams {
+            hidden_layer_sizes: vec![8],
+            max_iter: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn vanilla_evaluation_produces_k_fold_scores() {
+        let data = dataset(1);
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_params(), 1);
+        let out = ev.evaluate(&quick_params(), 150, 0);
+        assert_eq!(out.fold_scores.folds.len(), 5);
+        assert!(out
+            .fold_scores
+            .folds
+            .iter()
+            .all(|&s| (0.0..=1.0).contains(&s)));
+        assert!((out.fold_scores.gamma_pct - 50.0).abs() < 1e-9);
+        assert!(out.cost_units > 0);
+    }
+
+    #[test]
+    fn enhanced_evaluation_builds_grouping_once() {
+        let data = dataset(2);
+        let ev = CvEvaluator::new(&data, Pipeline::enhanced(), quick_params(), 2);
+        assert!(ev.grouping().is_some());
+        let out = ev.evaluate(&quick_params(), 100, 0);
+        assert_eq!(out.fold_scores.folds.len(), 5);
+        // Eq.3 score is >= the fold mean (positive variance bonus).
+        assert!(out.score >= out.fold_scores.mean() - 1e-12);
+    }
+
+    #[test]
+    fn budget_is_clamped_to_dataset_size() {
+        let data = dataset(3);
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_params(), 3);
+        let out = ev.evaluate(&quick_params(), 10_000, 0);
+        assert!((out.fold_scores.gamma_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_per_stream() {
+        let data = dataset(4);
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_params(), 4);
+        let a = ev.evaluate(&quick_params(), 120, 7);
+        let b = ev.evaluate(&quick_params(), 120, 7);
+        assert_eq!(a.fold_scores.folds, b.fold_scores.folds);
+        let c = ev.evaluate(&quick_params(), 120, 8);
+        assert_ne!(a.fold_scores.folds, c.fold_scores.folds);
+    }
+
+    #[test]
+    fn fold_stream_honors_pipeline_semantics() {
+        let data = dataset(12);
+        // Per-config (paper): different candidates, different streams.
+        let per = CvEvaluator::new(&data, Pipeline::vanilla(), quick_params(), 1);
+        assert_ne!(per.fold_stream(0, 0, 1), per.fold_stream(0, 0, 2));
+        assert_ne!(per.fold_stream(0, 1, 1), per.fold_stream(0, 0, 1));
+        // Shared (scikit-learn): candidate index is ignored, rung still counts.
+        let shared = CvEvaluator::new(
+            &data,
+            Pipeline::vanilla().with_shared_folds(),
+            quick_params(),
+            1,
+        );
+        assert_eq!(shared.fold_stream(0, 0, 1), shared.fold_stream(0, 0, 2));
+        assert_ne!(shared.fold_stream(0, 1, 1), shared.fold_stream(0, 0, 1));
+    }
+
+    #[test]
+    fn score_kind_selection_follows_imbalance() {
+        let balanced = dataset(5);
+        assert_eq!(ScoreKind::for_dataset(&balanced), ScoreKind::Accuracy);
+
+        let imbalanced = make_classification(
+            &ClassificationSpec {
+                n_instances: 500,
+                class_weights: vec![0.97, 0.03],
+                label_noise: 0.0,
+                ..Default::default()
+            },
+            6,
+        );
+        assert_eq!(ScoreKind::for_dataset(&imbalanced), ScoreKind::WeightedF1);
+
+        use hpo_data::synth::{make_regression, RegressionSpec};
+        let reg = make_regression(&RegressionSpec::default(), 7);
+        assert_eq!(ScoreKind::for_dataset(&reg), ScoreKind::R2);
+    }
+
+    #[test]
+    fn fit_and_score_beats_chance_on_easy_data() {
+        // Split one draw so train and test share the blob geometry.
+        let full = make_classification(
+            &ClassificationSpec {
+                n_instances: 400,
+                n_features: 6,
+                n_informative: 6,
+                n_classes: 2,
+                n_blobs: 2,
+                label_purity: 0.95,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            8,
+        );
+        let mut rng = hpo_data::rng::rng_from_seed(8);
+        let tt = hpo_data::split::stratified_train_test_split(&full, 0.25, &mut rng).unwrap();
+        let fit = fit_and_score(
+            &tt.train,
+            &tt.test,
+            &MlpParams {
+                hidden_layer_sizes: vec![16],
+                learning_rate_init: 0.01,
+                max_iter: 40,
+                ..Default::default()
+            },
+            ScoreKind::Accuracy,
+        );
+        assert!(fit.test_score > 0.8, "test accuracy {}", fit.test_score);
+        assert!(fit.train_score >= fit.test_score - 0.1);
+    }
+
+    #[test]
+    fn regression_pipeline_works_end_to_end() {
+        use hpo_data::synth::{make_regression, RegressionSpec};
+        let data = make_regression(
+            &RegressionSpec {
+                n_instances: 300,
+                n_features: 5,
+                n_informative: 5,
+                noise: 0.1,
+                ..Default::default()
+            },
+            10,
+        );
+        let ev = CvEvaluator::new(&data, Pipeline::enhanced(), quick_params(), 10);
+        let out = ev.evaluate(
+            &MlpParams {
+                hidden_layer_sizes: vec![16],
+                learning_rate_init: 0.01,
+                max_iter: 20,
+                ..Default::default()
+            },
+            200,
+            0,
+        );
+        assert_eq!(out.fold_scores.folds.len(), 5);
+        assert_eq!(ev.score_kind(), ScoreKind::R2);
+    }
+}

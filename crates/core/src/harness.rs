@@ -1,0 +1,296 @@
+//! End-to-end runner: search → refit on the full training set → test score.
+//!
+//! This is the code path every experiment binary and example drives. A
+//! [`Method`] picks the optimizer, a [`crate::pipeline::Pipeline`] picks
+//! vanilla vs enhanced evaluation, and [`run_method`] produces the
+//! train/test/time row the paper's Table IV reports.
+
+use crate::asha::{asha, AshaConfig};
+use crate::bohb::{bohb, BohbConfig};
+use crate::dehb::{dehb, DehbConfig};
+use crate::evaluator::{fit_and_score, CvEvaluator, ScoreKind};
+use crate::hyperband::{hyperband, HyperbandConfig};
+use crate::pasha::{pasha, PashaConfig};
+use crate::pipeline::Pipeline;
+use crate::random_search::{random_search, RandomSearchConfig};
+use crate::sha::{sha_on_grid, ShaConfig};
+use crate::space::{Configuration, SearchSpace};
+use crate::trial::History;
+use hpo_data::dataset::Dataset;
+use hpo_models::mlp::MlpParams;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The optimizer to run.
+#[derive(Clone, Debug)]
+pub enum Method {
+    /// Random search over `n` full-budget configurations (paper baseline).
+    Random(RandomSearchConfig),
+    /// Successive Halving over the full grid.
+    Sha(ShaConfig),
+    /// Hyperband.
+    Hyperband(HyperbandConfig),
+    /// BOHB (TPE-guided Hyperband).
+    Bohb(BohbConfig),
+    /// Asynchronous SHA over a worker pool.
+    Asha(AshaConfig),
+    /// Progressive ASHA (extension; cited as PASHA in the paper's §II-B).
+    Pasha(PashaConfig),
+    /// Differential-evolution Hyperband (extension; cited as DEHB).
+    Dehb(DehbConfig),
+}
+
+impl Method {
+    /// Short label for tables ("random", "SHA", "HB", "BOHB", "ASHA", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Random(_) => "random",
+            Method::Sha(_) => "SHA",
+            Method::Hyperband(_) => "HB",
+            Method::Bohb(_) => "BOHB",
+            Method::Asha(_) => "ASHA",
+            Method::Pasha(_) => "PASHA",
+            Method::Dehb(_) => "DEHB",
+        }
+    }
+}
+
+/// One row of a Table IV-style comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Optimizer label ("SHA", "HB", ...).
+    pub method: String,
+    /// Pipeline label ("vanilla" / "enhanced").
+    pub pipeline: String,
+    /// The selected configuration τ*.
+    pub best_config: Configuration,
+    /// Human-readable rendering of τ*.
+    pub best_config_desc: String,
+    /// Score kind reported ("acc" / "f1" / "r2").
+    pub score_kind: String,
+    /// Final-model score on the training set.
+    pub train_score: f64,
+    /// Final-model score on the held-out test set.
+    pub test_score: f64,
+    /// Wall-clock seconds of the search (excluding the final refit).
+    pub search_seconds: f64,
+    /// Deterministic training cost of the search (MAC units).
+    pub search_cost_units: u64,
+    /// Number of configuration evaluations performed.
+    pub n_evaluations: usize,
+}
+
+/// Runs one method × pipeline on a train/test pair.
+///
+/// `seed` drives everything: grouping, fold sampling, weight init, and the
+/// method's own randomness. Equal seeds ⇒ identical runs (ASHA excepted:
+/// thread interleaving can reorder promotions).
+pub fn run_method(
+    train: &Dataset,
+    test: &Dataset,
+    space: &SearchSpace,
+    pipeline: Pipeline,
+    base_params: &MlpParams,
+    method: &Method,
+    seed: u64,
+) -> RunResult {
+    let method_label = method.label().to_string();
+    let pipeline_label = pipeline.label.clone();
+    let evaluator = CvEvaluator::new(train, pipeline, base_params.clone(), seed);
+    let score_kind = evaluator.score_kind();
+
+    let start = Instant::now();
+    let (best, history): (Configuration, History) = match method {
+        Method::Random(cfg) => {
+            let r = random_search(&evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Sha(cfg) => {
+            let r = sha_on_grid(&evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Hyperband(cfg) => {
+            let r = hyperband(&evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Bohb(cfg) => {
+            let r = bohb(&evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Asha(cfg) => {
+            let r = asha(&evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Pasha(cfg) => {
+            let r = pasha(&evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Dehb(cfg) => {
+            let r = dehb(&evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+    };
+    let search_seconds = start.elapsed().as_secs_f64();
+
+    // Final refit on the complete training set (paper Fig. 1's last step).
+    let mut final_params = space.to_params(&best, base_params);
+    final_params.seed = seed;
+    let fit = fit_and_score(train, test, &final_params, score_kind);
+
+    RunResult {
+        method: method_label,
+        pipeline: pipeline_label,
+        best_config_desc: space.describe(&best),
+        best_config: best,
+        score_kind: score_kind.name().to_string(),
+        train_score: fit.train_score,
+        test_score: fit.test_score,
+        search_seconds,
+        search_cost_units: history.total_cost(),
+        n_evaluations: history.len(),
+    }
+}
+
+/// Convenience: the paper's seven Table IV arms on one dataset.
+///
+/// Returns rows in the paper's column order: random, SHA, SHA+, HB, HB+,
+/// BOHB, BOHB+.
+pub fn table4_arms(
+    train: &Dataset,
+    test: &Dataset,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    seed: u64,
+) -> Vec<RunResult> {
+    let arms: Vec<(Method, Pipeline)> = vec![
+        (
+            Method::Random(RandomSearchConfig::default()),
+            Pipeline::vanilla(),
+        ),
+        (Method::Sha(ShaConfig::default()), Pipeline::vanilla()),
+        (Method::Sha(ShaConfig::default()), Pipeline::enhanced()),
+        (
+            Method::Hyperband(HyperbandConfig::default()),
+            Pipeline::vanilla(),
+        ),
+        (
+            Method::Hyperband(HyperbandConfig::default()),
+            Pipeline::enhanced(),
+        ),
+        (Method::Bohb(BohbConfig::default()), Pipeline::vanilla()),
+        (Method::Bohb(BohbConfig::default()), Pipeline::enhanced()),
+    ];
+    arms.into_iter()
+        .map(|(m, p)| run_method(train, test, space, p, base_params, &m, seed))
+        .collect()
+}
+
+/// Relative score kind string for a dataset (re-export convenience).
+pub fn score_kind_for(data: &Dataset) -> ScoreKind {
+    ScoreKind::for_dataset(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    fn pair() -> (Dataset, Dataset) {
+        let spec = ClassificationSpec {
+            n_instances: 260,
+            n_features: 5,
+            n_informative: 5,
+            label_purity: 0.95,
+            blob_spread: 0.3,
+            ..Default::default()
+        };
+        let data = make_classification(&spec, 1);
+        let mut rng = hpo_data::rng::rng_from_seed(99);
+        let tt = hpo_data::split::stratified_train_test_split(&data, 0.25, &mut rng).unwrap();
+        (tt.train, tt.test)
+    }
+
+    fn quick_base() -> MlpParams {
+        MlpParams {
+            hidden_layer_sizes: vec![6],
+            max_iter: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sha_run_produces_sane_row() {
+        let (train, test) = pair();
+        let space = SearchSpace::mlp_cv18();
+        let row = run_method(
+            &train,
+            &test,
+            &space,
+            Pipeline::vanilla(),
+            &quick_base(),
+            &Method::Sha(ShaConfig::default()),
+            1,
+        );
+        assert_eq!(row.method, "SHA");
+        assert_eq!(row.pipeline, "vanilla");
+        assert!((0.0..=1.0).contains(&row.test_score), "{}", row.test_score);
+        assert!(row.n_evaluations > 18, "SHA must evaluate multiple rungs");
+        assert!(row.search_cost_units > 0);
+        assert!(row.best_config_desc.contains("hidden_layer_sizes"));
+    }
+
+    #[test]
+    fn enhanced_sha_runs_and_labels_correctly() {
+        let (train, test) = pair();
+        let space = SearchSpace::mlp_cv18();
+        let row = run_method(
+            &train,
+            &test,
+            &space,
+            Pipeline::enhanced(),
+            &quick_base(),
+            &Method::Sha(ShaConfig::default()),
+            2,
+        );
+        assert_eq!(row.pipeline, "enhanced");
+        assert!(row.test_score > 0.5, "degenerate model: {}", row.test_score);
+    }
+
+    #[test]
+    fn random_baseline_runs() {
+        let (train, test) = pair();
+        let space = SearchSpace::mlp_cv18();
+        let row = run_method(
+            &train,
+            &test,
+            &space,
+            Pipeline::vanilla(),
+            &quick_base(),
+            &Method::Random(RandomSearchConfig { n_samples: 3 }),
+            3,
+        );
+        assert_eq!(row.method, "random");
+        assert_eq!(row.n_evaluations, 3);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_sha_runs() {
+        let (train, test) = pair();
+        let space = SearchSpace::mlp_cv18();
+        let run = |seed| {
+            run_method(
+                &train,
+                &test,
+                &space,
+                Pipeline::enhanced(),
+                &quick_base(),
+                &Method::Sha(ShaConfig::default()),
+                seed,
+            )
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.best_config, b.best_config);
+        assert_eq!(a.test_score, b.test_score);
+    }
+}

@@ -1,0 +1,241 @@
+//! Hyperband (Li et al., JMLR 2017): multiple SHA brackets trading off
+//! "many configs, small budget" against "few configs, large budget".
+//!
+//! Budgets are instances, as everywhere in this reproduction. `HB` is this
+//! optimizer with [`crate::pipeline::Pipeline::vanilla`], `HB+` with
+//! [`crate::pipeline::Pipeline::enhanced`].
+
+use crate::evaluator::CvEvaluator;
+use crate::space::{Configuration, SearchSpace};
+use crate::trial::{History, Trial};
+use hpo_data::rng::derive_seed;
+use hpo_models::mlp::MlpParams;
+
+/// Hyperband settings.
+#[derive(Clone, Debug)]
+pub struct HyperbandConfig {
+    /// Reduction factor η (HpBandSter default: 3).
+    pub eta: usize,
+    /// Smallest per-configuration budget (instances).
+    pub min_budget: usize,
+}
+
+impl Default for HyperbandConfig {
+    fn default() -> Self {
+        HyperbandConfig {
+            eta: 3,
+            min_budget: 20,
+        }
+    }
+}
+
+/// Outcome of a Hyperband run.
+#[derive(Clone, Debug)]
+pub struct HyperbandResult {
+    /// Best configuration across all brackets (largest budget, then score).
+    pub best: Configuration,
+    /// Every evaluation across all brackets.
+    pub history: History,
+}
+
+/// A source of candidate configurations for a bracket — random for
+/// Hyperband, model-guided for BOHB.
+pub trait ConfigSampler {
+    /// Draws `count` configurations for a new bracket.
+    fn sample(&mut self, space: &SearchSpace, count: usize, stream: u64) -> Vec<Configuration>;
+
+    /// Feeds an observation back (BOHB's TPE learns from these; Hyperband
+    /// ignores them).
+    fn observe(&mut self, config: &Configuration, budget: usize, score: f64);
+}
+
+/// The plain Hyperband sampler: uniform random without replacement.
+#[derive(Debug, Default)]
+pub struct RandomSampler;
+
+impl ConfigSampler for RandomSampler {
+    fn sample(&mut self, space: &SearchSpace, count: usize, stream: u64) -> Vec<Configuration> {
+        space.sample_distinct(count, stream)
+    }
+
+    fn observe(&mut self, _config: &Configuration, _budget: usize, _score: f64) {}
+}
+
+/// Runs Hyperband with the given candidate sampler.
+///
+/// # Panics
+/// Panics when `eta < 2` or the budget range is degenerate.
+pub fn hyperband_with_sampler(
+    evaluator: &CvEvaluator<'_>,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    config: &HyperbandConfig,
+    sampler: &mut dyn ConfigSampler,
+    stream: u64,
+) -> HyperbandResult {
+    assert!(config.eta >= 2, "eta must be at least 2");
+    let r_max = evaluator.total_budget();
+    let r_min = config.min_budget.clamp(1, r_max);
+    let eta = config.eta as f64;
+
+    // s_max brackets: the most aggressive bracket starts at r_min.
+    let s_max = ((r_max as f64 / r_min as f64).ln() / eta.ln()).floor() as usize;
+    let mut history = History::new();
+    let mut best: Option<(Configuration, usize, f64)> = None;
+
+    for s in (0..=s_max).rev() {
+        // Bracket s: n configurations at initial budget R·η^{-s}.
+        let n = (((s_max + 1) as f64 / (s + 1) as f64) * eta.powi(s as i32)).ceil() as usize;
+        let r0 = (r_max as f64 * eta.powi(-(s as i32))).round() as usize;
+        let bracket_stream = derive_seed(stream, 0xB0 + s as u64);
+        let mut survivors = sampler.sample(space, n.max(1), bracket_stream);
+
+        for i in 0..=s {
+            if survivors.is_empty() {
+                break;
+            }
+            let budget = ((r0 as f64) * eta.powi(i as i32)).round() as usize;
+            let budget = budget.clamp(r_min, r_max);
+            // Fold streams per the pipeline (see sha.rs).
+            let mut scored: Vec<(usize, f64)> = Vec::with_capacity(survivors.len());
+            for (c, cand) in survivors.iter().enumerate() {
+                let params = space.to_params(cand, base_params);
+                let t_stream = evaluator.fold_stream(bracket_stream, i as u64, c as u64);
+                let outcome = evaluator.evaluate(&params, budget, t_stream);
+                sampler.observe(cand, budget, outcome.fold_scores.mean());
+                scored.push((c, outcome.score));
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, b, sc)| (budget, outcome.score) > (*b, *sc))
+                {
+                    best = Some((cand.clone(), budget, outcome.score));
+                }
+                history.push(Trial {
+                    config: cand.clone(),
+                    budget,
+                    rung: s * 100 + i, // bracket-qualified rung id
+                    outcome,
+                });
+            }
+            if i == s {
+                break;
+            }
+            let keep = (survivors.len() / config.eta).max(1);
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            survivors = scored
+                .into_iter()
+                .take(keep)
+                .map(|(c, _)| survivors[c].clone())
+                .collect();
+        }
+    }
+
+    HyperbandResult {
+        best: best.expect("every bracket evaluates at least one config").0,
+        history,
+    }
+}
+
+/// Plain Hyperband with uniform random sampling.
+pub fn hyperband(
+    evaluator: &CvEvaluator<'_>,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    config: &HyperbandConfig,
+    stream: u64,
+) -> HyperbandResult {
+    let mut sampler = RandomSampler;
+    hyperband_with_sampler(evaluator, space, base_params, config, &mut sampler, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    fn dataset(n: usize) -> hpo_data::dataset::Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_instances: n,
+                n_features: 5,
+                n_informative: 5,
+                label_purity: 0.95,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            1,
+        )
+    }
+
+    fn quick_base() -> MlpParams {
+        MlpParams {
+            hidden_layer_sizes: vec![6],
+            max_iter: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hyperband_runs_multiple_brackets() {
+        let data = dataset(270);
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let space = SearchSpace::mlp_cv18();
+        let result = hyperband(&ev, &space, &quick_base(), &HyperbandConfig::default(), 0);
+        // R=270, r_min=20, eta=3 -> s_max = floor(log3(13.5)) = 2: 3 brackets.
+        let brackets: std::collections::HashSet<usize> = result
+            .history
+            .trials()
+            .iter()
+            .map(|t| t.rung / 100)
+            .collect();
+        assert_eq!(brackets.len(), 3, "expected 3 brackets, got {brackets:?}");
+        assert!(!result.history.is_empty());
+    }
+
+    #[test]
+    fn best_comes_from_the_largest_budget() {
+        let data = dataset(200);
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 2);
+        let space = SearchSpace::mlp_cv18();
+        let result = hyperband(&ev, &space, &quick_base(), &HyperbandConfig::default(), 1);
+        let max_budget = result
+            .history
+            .trials()
+            .iter()
+            .map(|t| t.budget)
+            .max()
+            .unwrap();
+        let best_trials: Vec<_> = result
+            .history
+            .trials()
+            .iter()
+            .filter(|t| t.config == result.best)
+            .collect();
+        assert!(
+            best_trials.iter().any(|t| t.budget == max_budget),
+            "best config never reached the top budget"
+        );
+    }
+
+    #[test]
+    fn budgets_never_exceed_the_dataset() {
+        let data = dataset(150);
+        let ev = CvEvaluator::new(&data, Pipeline::enhanced(), quick_base(), 3);
+        let space = SearchSpace::mlp_cv18();
+        let result = hyperband(&ev, &space, &quick_base(), &HyperbandConfig::default(), 2);
+        assert!(result.history.trials().iter().all(|t| t.budget <= 150));
+        assert!(result.history.trials().iter().all(|t| t.budget >= 20));
+    }
+
+    #[test]
+    fn deterministic_per_stream() {
+        let data = dataset(150);
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 4);
+        let space = SearchSpace::mlp_cv18();
+        let a = hyperband(&ev, &space, &quick_base(), &HyperbandConfig::default(), 7);
+        let b = hyperband(&ev, &space, &quick_base(), &HyperbandConfig::default(), 7);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history.len(), b.history.len());
+    }
+}

@@ -1,0 +1,45 @@
+//! Bandit-based hyperparameter optimization: the paper's enhanced method and
+//! every baseline it is compared against.
+//!
+//! The crate is organized around three ideas:
+//!
+//! 1. A [`space::SearchSpace`] of MLP hyperparameters (paper Table III) whose
+//!    points are [`space::Configuration`]s.
+//! 2. A [`pipeline::Pipeline`] bundling *how configurations are evaluated*:
+//!    subset sampling + fold construction ([`hpo_sampling::FoldStrategy`])
+//!    and the evaluation metric ([`hpo_metrics::EvalMetric`]). The paper's
+//!    contribution is exactly a better pipeline:
+//!    [`pipeline::Pipeline::vanilla`] vs [`pipeline::Pipeline::enhanced`].
+//! 3. The bandit optimizers, each generic over the pipeline:
+//!    [`sha`] (Successive Halving), [`hyperband`], [`bohb`] (TPE-guided
+//!    Hyperband), [`asha`] (asynchronous SHA over a thread pool),
+//!    [`pasha`] (progressive ASHA) and [`dehb`]
+//!    (differential-evolution Hyperband), plus [`random_search`]. `SHA+`,
+//!    `HB+`, `BOHB+` in the paper are these optimizers run with the enhanced
+//!    pipeline.
+//!
+//! [`harness`] runs a method end to end (search → refit on the full training
+//! set → test-set score) and is what the experiment binaries and examples
+//! drive.
+
+#![warn(missing_docs)]
+
+pub mod asha;
+pub mod bohb;
+pub mod curves;
+pub mod dehb;
+pub mod evaluator;
+pub mod harness;
+pub mod hyperband;
+pub mod pasha;
+pub mod persist;
+pub mod pipeline;
+pub mod random_search;
+pub mod sha;
+pub mod space;
+pub mod trial;
+
+pub use evaluator::{CvEvaluator, EvalOutcome, ScoreKind};
+pub use harness::{run_method, Method, RunResult};
+pub use pipeline::Pipeline;
+pub use space::{Configuration, SearchSpace};

@@ -1,0 +1,352 @@
+//! PASHA — Progressive ASHA (Bohdal et al., 2023), cited by the paper as a
+//! dynamic-resource improvement over ASHA.
+//!
+//! ASHA fixes the rung ladder up front; most of the compute goes into the
+//! top rungs. PASHA instead starts with a *two-rung* ladder and only grows
+//! it while the configuration ranking at the top is still unstable: if the
+//! ordering of configurations (by score) at the current top rung disagrees
+//! with their ordering one rung below, the ladder gains a rung; once the
+//! ranking is stable, no further budget escalation happens and the search
+//! finishes cheaply.
+//!
+//! This implementation reuses the ASHA promotion rule over a worker pool and
+//! adds the progressive `max_rung` with a Kendall-τ stability test.
+
+use crate::evaluator::CvEvaluator;
+use crate::space::{Configuration, SearchSpace};
+use crate::trial::{History, Trial};
+use hpo_data::rng::derive_seed;
+use hpo_metrics::ranking::kendall_tau;
+use hpo_models::mlp::MlpParams;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+
+/// PASHA settings.
+#[derive(Clone, Debug)]
+pub struct PashaConfig {
+    /// Reduction factor η.
+    pub eta: usize,
+    /// Budget of rung 0 (instances).
+    pub min_budget: usize,
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Number of configurations to launch at rung 0.
+    pub n_configs: usize,
+    /// Kendall-τ threshold below which the top-rung ranking counts as
+    /// unstable and the ladder grows (PASHA's soft-ranking idea; 1.0 = grow
+    /// on any inversion).
+    pub stability_tau: f64,
+}
+
+impl Default for PashaConfig {
+    fn default() -> Self {
+        PashaConfig {
+            eta: 2,
+            min_budget: 20,
+            workers: 4,
+            n_configs: 32,
+            stability_tau: 0.999,
+        }
+    }
+}
+
+/// Outcome of a PASHA run.
+#[derive(Clone, Debug)]
+pub struct PashaResult {
+    /// Best configuration at the highest rung reached.
+    pub best: Configuration,
+    /// Every evaluation, in completion order.
+    pub history: History,
+    /// The final ladder height (number of rungs actually opened).
+    pub final_rungs: usize,
+}
+
+struct Shared {
+    /// results[rung][config_id] = best score observed there.
+    results: Vec<HashMap<usize, f64>>,
+    /// completion order per rung (for the promotion rule).
+    completed: Vec<Vec<usize>>,
+    promoted: Vec<HashSet<usize>>,
+    next_fresh: usize,
+    in_flight: usize,
+    /// Current top rung (grows progressively). Index into `budgets`.
+    current_max: usize,
+}
+
+impl Shared {
+    fn next_job(&mut self, eta: usize, n_configs: usize) -> Option<(usize, usize)> {
+        // Promote within the currently-open ladder only.
+        for rung in (0..self.current_max).rev() {
+            let done = &self.completed[rung];
+            let k = done.len() / eta;
+            if k == 0 {
+                continue;
+            }
+            let mut sorted: Vec<usize> = done.clone();
+            sorted.sort_by(|&a, &b| {
+                self.results[rung][&b]
+                    .partial_cmp(&self.results[rung][&a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &config_id in sorted.iter().take(k) {
+                if !self.promoted[rung].contains(&config_id) {
+                    self.promoted[rung].insert(config_id);
+                    self.in_flight += 1;
+                    return Some((config_id, rung + 1));
+                }
+            }
+        }
+        if self.next_fresh < n_configs {
+            let id = self.next_fresh;
+            self.next_fresh += 1;
+            self.in_flight += 1;
+            return Some((id, 0));
+        }
+        None
+    }
+
+    /// PASHA's growth test: compare the ranking of configurations evaluated
+    /// at both the top rung and the rung below. An unstable ranking
+    /// (τ below threshold) opens a new rung.
+    fn maybe_grow(&mut self, tau_threshold: f64, absolute_max: usize) {
+        if self.current_max >= absolute_max {
+            return;
+        }
+        let top = self.current_max;
+        let below = top - 1;
+        let shared_ids: Vec<usize> = self.results[top]
+            .keys()
+            .filter(|id| self.results[below].contains_key(id))
+            .copied()
+            .collect();
+        if shared_ids.len() < 2 {
+            return;
+        }
+        let top_scores: Vec<f64> = shared_ids.iter().map(|id| self.results[top][id]).collect();
+        let below_scores: Vec<f64> = shared_ids
+            .iter()
+            .map(|id| self.results[below][id])
+            .collect();
+        if kendall_tau(&top_scores, &below_scores) < tau_threshold {
+            self.current_max += 1;
+        }
+    }
+}
+
+/// Runs PASHA over `config.workers` threads.
+///
+/// # Panics
+/// Panics on `eta < 2`, zero workers, or zero configurations.
+pub fn pasha(
+    evaluator: &CvEvaluator<'_>,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    config: &PashaConfig,
+    stream: u64,
+) -> PashaResult {
+    assert!(config.eta >= 2, "eta must be at least 2");
+    assert!(config.workers >= 1, "need at least one worker");
+    assert!(config.n_configs >= 1, "need at least one configuration");
+
+    let r_max = evaluator.total_budget();
+    let r_min = config.min_budget.clamp(1, r_max);
+    let mut budgets = vec![r_min];
+    while *budgets.last().expect("non-empty") < r_max {
+        let next = budgets.last().unwrap().saturating_mul(config.eta);
+        budgets.push(next.min(r_max));
+    }
+    let absolute_max = budgets.len() - 1;
+
+    let candidates = space.sample_distinct(config.n_configs, derive_seed(stream, 0x9A5A));
+    let n_configs = candidates.len();
+
+    let shared = Mutex::new(Shared {
+        results: vec![HashMap::new(); budgets.len()],
+        completed: vec![Vec::new(); budgets.len()],
+        promoted: vec![HashSet::new(); budgets.len()],
+        next_fresh: 0,
+        in_flight: 0,
+        // PASHA opens two rungs initially (or fewer if the ladder is short).
+        current_max: 1.min(absolute_max),
+    });
+    let history = Mutex::new(History::new());
+
+    std::thread::scope(|scope| {
+        for _w in 0..config.workers {
+            let shared = &shared;
+            let history = &history;
+            let candidates = &candidates;
+            let budgets = &budgets;
+            scope.spawn(move || loop {
+                let job = { shared.lock().next_job(config.eta, n_configs) };
+                let Some((config_id, rung)) = job else {
+                    let idle = { shared.lock().in_flight == 0 };
+                    if idle {
+                        break;
+                    }
+                    std::thread::yield_now();
+                    continue;
+                };
+                let cand = &candidates[config_id];
+                let params = space.to_params(cand, base_params);
+                // Fold streams per the pipeline (see sha.rs).
+                let eval_stream = evaluator.fold_stream(stream, rung as u64, config_id as u64);
+                let outcome = evaluator.evaluate(&params, budgets[rung], eval_stream);
+                {
+                    let mut s = shared.lock();
+                    s.results[rung].insert(config_id, outcome.score);
+                    s.completed[rung].push(config_id);
+                    s.in_flight -= 1;
+                    if rung == s.current_max {
+                        s.maybe_grow(config.stability_tau, absolute_max);
+                    }
+                }
+                history.lock().push(Trial {
+                    config: cand.clone(),
+                    budget: budgets[rung],
+                    rung,
+                    outcome,
+                });
+            });
+        }
+    });
+
+    let history = history.into_inner();
+    let shared = shared.into_inner();
+    let top_rung = (0..budgets.len())
+        .rev()
+        .find(|&r| !shared.results[r].is_empty())
+        .expect("at least one evaluation completed");
+    let best_id = shared.results[top_rung]
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(&id, _)| id)
+        .expect("top rung non-empty");
+
+    PashaResult {
+        best: candidates[best_id].clone(),
+        history,
+        final_rungs: shared.current_max + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    fn dataset() -> hpo_data::dataset::Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_instances: 320,
+                n_features: 5,
+                n_informative: 5,
+                label_purity: 0.95,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            1,
+        )
+    }
+
+    fn quick_base() -> MlpParams {
+        MlpParams {
+            hidden_layer_sizes: vec![6],
+            max_iter: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pasha_completes_with_a_bounded_ladder() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let space = SearchSpace::mlp_cv18();
+        let result = pasha(
+            &ev,
+            &space,
+            &quick_base(),
+            &PashaConfig {
+                workers: 2,
+                n_configs: 10,
+                ..Default::default()
+            },
+            0,
+        );
+        assert_eq!(result.history.rung(0).count(), 10);
+        // ladder: budgets 20,40,80,160,320 -> at most 5 rungs
+        assert!(result.final_rungs <= 5);
+        assert!(result.final_rungs >= 2);
+        // never evaluated beyond the opened ladder
+        let max_rung_used = result
+            .history
+            .trials()
+            .iter()
+            .map(|t| t.rung)
+            .max()
+            .unwrap();
+        assert!(max_rung_used < result.final_rungs);
+    }
+
+    #[test]
+    fn strict_stability_threshold_grows_more_than_a_lax_one() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 2);
+        let space = SearchSpace::mlp_cv18();
+        let run = |tau: f64| {
+            pasha(
+                &ev,
+                &space,
+                &quick_base(),
+                &PashaConfig {
+                    workers: 1,
+                    n_configs: 12,
+                    stability_tau: tau,
+                    ..Default::default()
+                },
+                1,
+            )
+        };
+        let strict = run(2.0); // τ can never reach 2 -> always grow
+        let lax = run(-2.0); // τ always ≥ -1 -> never grow
+        assert!(strict.final_rungs >= lax.final_rungs);
+        assert_eq!(lax.final_rungs, 2, "lax run must stay at two rungs");
+    }
+
+    #[test]
+    fn pasha_spends_less_budget_than_full_asha_when_ranking_is_stable() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 3);
+        let space = SearchSpace::mlp_cv18();
+        let p = pasha(
+            &ev,
+            &space,
+            &quick_base(),
+            &PashaConfig {
+                workers: 1,
+                n_configs: 10,
+                stability_tau: -2.0, // never grow: the most frugal PASHA
+                ..Default::default()
+            },
+            2,
+        );
+        let a = crate::asha::asha(
+            &ev,
+            &space,
+            &quick_base(),
+            &crate::asha::AshaConfig {
+                workers: 1,
+                n_configs: 10,
+                ..Default::default()
+            },
+            2,
+        );
+        let p_budget: usize = p.history.trials().iter().map(|t| t.budget).sum();
+        let a_budget: usize = a.history.trials().iter().map(|t| t.budget).sum();
+        assert!(
+            p_budget <= a_budget,
+            "PASHA spent {p_budget} vs ASHA {a_budget}"
+        );
+    }
+}

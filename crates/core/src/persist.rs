@@ -1,0 +1,174 @@
+//! Persistence of optimization results.
+//!
+//! Histories and run results serialize to JSON so searches can be archived,
+//! diffed across seeds, and post-processed outside Rust (the experiment
+//! binaries' `--json` mode and the `bhpo optimize --json` flag build on
+//! this).
+
+use crate::harness::RunResult;
+use crate::trial::History;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Errors from result persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Serialization or deserialization failure.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+/// Writes a history as pretty JSON.
+///
+/// # Errors
+/// IO or serialization failures.
+pub fn save_history(history: &History, writer: impl Write) -> Result<(), PersistError> {
+    serde_json::to_writer_pretty(writer, history)?;
+    Ok(())
+}
+
+/// Reads a history back from JSON.
+///
+/// # Errors
+/// IO or deserialization failures.
+pub fn load_history(reader: impl Read) -> Result<History, PersistError> {
+    Ok(serde_json::from_reader(reader)?)
+}
+
+/// Writes a history to a file path.
+///
+/// # Errors
+/// IO or serialization failures.
+pub fn save_history_file(history: &History, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    save_history(history, std::fs::File::create(path)?)
+}
+
+/// Reads a history from a file path.
+///
+/// # Errors
+/// IO or deserialization failures.
+pub fn load_history_file(path: impl AsRef<Path>) -> Result<History, PersistError> {
+    load_history(std::fs::File::open(path)?)
+}
+
+/// Writes a run result as pretty JSON.
+///
+/// # Errors
+/// IO or serialization failures.
+pub fn save_run_result(result: &RunResult, writer: impl Write) -> Result<(), PersistError> {
+    serde_json::to_writer_pretty(writer, result)?;
+    Ok(())
+}
+
+/// Reads a run result back from JSON.
+///
+/// # Errors
+/// IO or deserialization failures.
+pub fn load_run_result(reader: impl Read) -> Result<RunResult, PersistError> {
+    Ok(serde_json::from_reader(reader)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::EvalOutcome;
+    use crate::space::Configuration;
+    use crate::trial::Trial;
+    use hpo_metrics::FoldScores;
+
+    fn sample_history() -> History {
+        let mut h = History::new();
+        for i in 0..3 {
+            h.push(Trial {
+                config: Configuration(vec![i, i + 1]),
+                budget: 10 * (i + 1),
+                rung: i,
+                outcome: EvalOutcome {
+                    fold_scores: FoldScores::new(vec![0.5, 0.6, 0.7], 10.0 * (i as f64 + 1.0)),
+                    score: 0.6 + i as f64 / 100.0,
+                    cost_units: 1000 * i as u64,
+                    wall_seconds: 0.25,
+                },
+            });
+        }
+        h
+    }
+
+    #[test]
+    fn history_roundtrips_through_json() {
+        let h = sample_history();
+        let mut buf = Vec::new();
+        save_history(&h, &mut buf).unwrap();
+        let back = load_history(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), h.len());
+        assert_eq!(back.total_cost(), h.total_cost());
+        for (a, b) in back.trials().iter().zip(h.trials()) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.budget, b.budget);
+            assert_eq!(a.outcome.score, b.outcome.score);
+            assert_eq!(a.outcome.fold_scores.folds, b.outcome.fold_scores.folds);
+        }
+    }
+
+    #[test]
+    fn history_file_roundtrip() {
+        let h = sample_history();
+        let path = std::env::temp_dir().join("hpo_core_history_test.json");
+        save_history_file(&h, &path).unwrap();
+        let back = load_history_file(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_result_roundtrips() {
+        let r = RunResult {
+            method: "SHA".into(),
+            pipeline: "enhanced".into(),
+            best_config: Configuration(vec![1, 2]),
+            best_config_desc: "hidden=[30] act=tanh".into(),
+            score_kind: "acc".into(),
+            train_score: 0.9,
+            test_score: 0.85,
+            search_seconds: 1.5,
+            search_cost_units: 12345,
+            n_evaluations: 37,
+        };
+        let mut buf = Vec::new();
+        save_run_result(&r, &mut buf).unwrap();
+        let back = load_run_result(buf.as_slice()).unwrap();
+        assert_eq!(back.method, "SHA");
+        assert_eq!(back.best_config, r.best_config);
+        assert_eq!(back.n_evaluations, 37);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(load_history("{not json".as_bytes()).is_err());
+        assert!(load_run_result("[]".as_bytes()).is_err());
+    }
+}

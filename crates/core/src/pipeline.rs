@@ -1,0 +1,160 @@
+//! The evaluation pipeline: what distinguishes `SHA` from `SHA+`.
+//!
+//! A [`Pipeline`] bundles the three places the paper intervenes:
+//!
+//! 1. **subset sampling + fold construction** — a
+//!    [`FoldStrategy`] (vanilla stratified K-fold vs Operation 2's general +
+//!    special folds);
+//! 2. **grouping** — whether Operation 1 runs before optimization
+//!    ([`GroupingConfig`]);
+//! 3. **the evaluation metric** — fold mean vs Eq. 3's variance + size score
+//!    ([`EvalMetric`]).
+//!
+//! Every bandit optimizer in this crate takes a `Pipeline`, so the `+`
+//! variants are literally the same optimizer code with a different pipeline.
+
+use hpo_metrics::EvalMetric;
+use hpo_sampling::groups::GroupingConfig;
+use hpo_sampling::FoldStrategy;
+
+/// An evaluation pipeline (see module docs).
+///
+/// ```
+/// use hpo_core::pipeline::Pipeline;
+///
+/// let vanilla = Pipeline::vanilla();       // what SHA/HB/BOHB do today
+/// let enhanced = Pipeline::enhanced();     // the paper's method
+/// assert_eq!(vanilla.fold_strategy.n_folds(), enhanced.fold_strategy.n_folds());
+/// assert!(enhanced.grouping.is_some() && vanilla.grouping.is_none());
+///
+/// // scikit-learn-style shared-subsample evaluation, as an ablation:
+/// let shared = Pipeline::enhanced().with_shared_folds();
+/// assert!(!shared.per_config_folds);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    /// How folds are constructed per evaluation.
+    pub fold_strategy: FoldStrategy,
+    /// How fold results reduce to a configuration score.
+    pub metric: EvalMetric,
+    /// Operation 1 configuration; `None` skips grouping entirely.
+    pub grouping: Option<GroupingConfig>,
+    /// Whether each configuration draws its *own* subset/folds (`true`, the
+    /// paper's Algorithm 1 — `GenFolds` runs inside the per-configuration
+    /// loop — and what HpBandSter's per-evaluation CV does) or all
+    /// configurations of a rung share one draw (`false`, scikit-learn
+    /// `HalvingGridSearchCV` semantics). Per-configuration draws are where
+    /// Proposition 1's draw-variance reduction pays off; shared draws
+    /// neutralize that term and are kept as an ablation.
+    pub per_config_folds: bool,
+    /// Short label for logs and experiment tables ("vanilla" / "enhanced").
+    pub label: String,
+}
+
+impl Pipeline {
+    /// The vanilla baseline: label-stratified 5-fold CV scored by the fold
+    /// mean — what scikit-learn's halving search and HpBandSter do.
+    pub fn vanilla() -> Self {
+        Pipeline {
+            fold_strategy: FoldStrategy::StratifiedLabel { k: 5 },
+            metric: EvalMetric::MeanOnly,
+            grouping: None,
+            per_config_folds: true,
+            label: "vanilla".to_string(),
+        }
+    }
+
+    /// A fully random baseline (random subset, random folds) — the weakest
+    /// allocator the paper mentions.
+    pub fn random_folds() -> Self {
+        Pipeline {
+            fold_strategy: FoldStrategy::Random { k: 5 },
+            metric: EvalMetric::MeanOnly,
+            grouping: None,
+            per_config_folds: true,
+            label: "random-folds".to_string(),
+        }
+    }
+
+    /// The paper's enhanced pipeline: Operation 1 grouping (v = 2,
+    /// `r_group` = 0.8), Operation 2 folds (3 general + 2 special, 80/20) and
+    /// the Eq. 3 metric (α = 0.1, β_max = 10).
+    pub fn enhanced() -> Self {
+        Pipeline {
+            fold_strategy: FoldStrategy::paper_default(),
+            metric: EvalMetric::paper_default(),
+            grouping: Some(GroupingConfig::default()),
+            per_config_folds: true,
+            label: "enhanced".to_string(),
+        }
+    }
+
+    /// Enhanced pipeline with explicit knobs (used by the ablation benches).
+    pub fn enhanced_with(v: usize, k_gen: usize, k_spe: usize, alpha: f64, beta_max: f64) -> Self {
+        Pipeline {
+            fold_strategy: FoldStrategy::GeneralSpecial(hpo_sampling::GenFoldsConfig {
+                k_gen,
+                k_spe,
+                special_own_frac: 0.8,
+            }),
+            metric: EvalMetric::VarianceSize { alpha, beta_max },
+            grouping: Some(GroupingConfig {
+                v,
+                ..Default::default()
+            }),
+            per_config_folds: true,
+            label: format!("enhanced(v={v},gen={k_gen},spe={k_spe})"),
+        }
+    }
+
+    /// Renames the pipeline (builder style).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Switches to shared-per-rung fold draws (scikit-learn semantics;
+    /// ablation of the Proposition 1 term).
+    pub fn with_shared_folds(mut self) -> Self {
+        self.per_config_folds = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_has_no_grouping_and_mean_metric() {
+        let p = Pipeline::vanilla();
+        assert!(p.grouping.is_none());
+        assert_eq!(p.metric, EvalMetric::MeanOnly);
+        assert!(!p.fold_strategy.needs_grouping());
+        assert_eq!(p.fold_strategy.n_folds(), 5);
+    }
+
+    #[test]
+    fn enhanced_matches_paper_settings() {
+        let p = Pipeline::enhanced();
+        let g = p.grouping.expect("enhanced groups");
+        assert_eq!(g.v, 2);
+        assert!((g.r_group - 0.8).abs() < 1e-12);
+        assert_eq!(p.fold_strategy.n_folds(), 5);
+        match p.metric {
+            EvalMetric::VarianceSize { alpha, beta_max } => {
+                assert!((alpha - 0.1).abs() < 1e-12);
+                assert!((beta_max - 10.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected metric {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enhanced_with_overrides_fold_mix() {
+        let p = Pipeline::enhanced_with(3, 1, 4, 0.2, 5.0);
+        assert_eq!(p.fold_strategy.n_folds(), 5);
+        assert_eq!(p.grouping.unwrap().v, 3);
+        assert!(p.label.contains("gen=1"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Successive Halving (SHA) with instances as the budget (paper §II-B,
+//! Fig. 1; Jamieson & Talwalkar 2016).
+//!
+//! Each rung evaluates every surviving configuration with budget
+//! `b_t = B / |T_t|` and keeps the top `1/η`. With η = 2 and the paper's
+//! pipelines this is exactly Algorithm 1: `SHA` with [`Pipeline::vanilla`],
+//! `SHA+` with [`Pipeline::enhanced`].
+
+use crate::evaluator::CvEvaluator;
+use crate::space::{Configuration, SearchSpace};
+use crate::trial::{History, Trial};
+use hpo_models::mlp::MlpParams;
+
+#[allow(unused_imports)] // rustdoc link
+use crate::pipeline::Pipeline;
+
+/// SHA settings.
+#[derive(Clone, Debug)]
+pub struct ShaConfig {
+    /// Reduction factor η (paper Fig. 1 halves: η = 2).
+    pub eta: usize,
+    /// Lower clamp on the per-configuration budget so the first rung can
+    /// still fill its folds (instances).
+    pub min_budget: usize,
+}
+
+impl Default for ShaConfig {
+    fn default() -> Self {
+        ShaConfig {
+            eta: 2,
+            min_budget: 20,
+        }
+    }
+}
+
+/// Outcome of a SHA run.
+#[derive(Clone, Debug)]
+pub struct ShaResult {
+    /// The surviving configuration τ*.
+    pub best: Configuration,
+    /// Every evaluation performed.
+    pub history: History,
+}
+
+/// Runs SHA over an explicit candidate list.
+///
+/// `stream` seeds the fold sampling (distinct per repetition/bracket).
+///
+/// # Panics
+/// Panics when `candidates` is empty or `eta < 2`.
+pub fn successive_halving(
+    evaluator: &CvEvaluator<'_>,
+    space: &SearchSpace,
+    candidates: &[Configuration],
+    base_params: &MlpParams,
+    config: &ShaConfig,
+    stream: u64,
+) -> ShaResult {
+    assert!(!candidates.is_empty(), "SHA needs at least one candidate");
+    assert!(config.eta >= 2, "eta must be at least 2");
+
+    let total_budget = evaluator.total_budget();
+    let mut survivors: Vec<Configuration> = candidates.to_vec();
+    let mut history = History::new();
+    let mut rung = 0usize;
+
+    while survivors.len() > 1 {
+        let budget = (total_budget / survivors.len())
+            .max(config.min_budget)
+            .min(total_budget);
+        // Fold streams per the pipeline: per-configuration draws (paper
+        // Algorithm 1) or one shared draw per rung (scikit-learn semantics,
+        // the Proposition 1 ablation) — see Pipeline::per_config_folds.
+        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(survivors.len());
+        for (i, cand) in survivors.iter().enumerate() {
+            let params = space.to_params(cand, base_params);
+            let stream_i = evaluator.fold_stream(stream, rung as u64, i as u64);
+            let outcome = evaluator.evaluate(&params, budget, stream_i);
+            scored.push((i, outcome.score));
+            history.push(Trial {
+                config: cand.clone(),
+                budget,
+                rung,
+                outcome,
+            });
+        }
+        // Keep the top ceil(|T|/eta); always make progress.
+        let keep = survivors
+            .len()
+            .div_ceil(config.eta)
+            .min(survivors.len() - 1)
+            .max(1);
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let keep_idx: Vec<usize> = scored.iter().take(keep).map(|&(i, _)| i).collect();
+        survivors = keep_idx.into_iter().map(|i| survivors[i].clone()).collect();
+        rung += 1;
+    }
+
+    ShaResult {
+        best: survivors.pop().expect("loop leaves exactly one survivor"),
+        history,
+    }
+}
+
+/// Runs SHA over the full grid of `space` (the paper's Table IV setting).
+pub fn sha_on_grid(
+    evaluator: &CvEvaluator<'_>,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    config: &ShaConfig,
+    stream: u64,
+) -> ShaResult {
+    let candidates = space.all_configurations();
+    successive_halving(evaluator, space, &candidates, base_params, config, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    fn dataset() -> hpo_data::dataset::Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_instances: 240,
+                n_features: 5,
+                n_informative: 5,
+                n_classes: 2,
+                n_blobs: 2,
+                label_purity: 0.95,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            1,
+        )
+    }
+
+    fn quick_base() -> MlpParams {
+        MlpParams {
+            hidden_layer_sizes: vec![8],
+            max_iter: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sha_returns_a_candidate_and_halves_per_rung() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let space = SearchSpace::mlp_cv18();
+        let candidates: Vec<Configuration> = (0..8).map(|i| space.configuration(i)).collect();
+        let result = successive_halving(
+            &ev,
+            &space,
+            &candidates,
+            &quick_base(),
+            &ShaConfig::default(),
+            0,
+        );
+        assert!(candidates.contains(&result.best));
+        // 8 -> 4 -> 2 -> 1: three rungs, 8+4+2 = 14 evaluations.
+        assert_eq!(result.history.len(), 14);
+        assert_eq!(result.history.rung(0).count(), 8);
+        assert_eq!(result.history.rung(1).count(), 4);
+        assert_eq!(result.history.rung(2).count(), 2);
+    }
+
+    #[test]
+    fn budgets_grow_as_candidates_shrink() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 2);
+        let space = SearchSpace::mlp_cv18();
+        let candidates: Vec<Configuration> = (0..4).map(|i| space.configuration(i)).collect();
+        let result = successive_halving(
+            &ev,
+            &space,
+            &candidates,
+            &quick_base(),
+            &ShaConfig::default(),
+            0,
+        );
+        let b0 = result.history.rung(0).next().unwrap().budget;
+        let b1 = result.history.rung(1).next().unwrap().budget;
+        assert!(b1 > b0, "budget must grow: {b0} -> {b1}");
+        assert_eq!(b0, 240 / 4);
+        assert_eq!(b1, 240 / 2);
+    }
+
+    #[test]
+    fn min_budget_clamps_tiny_allocations() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 3);
+        let space = SearchSpace::mlp_table3(4); // 162 configs: 240/162 = 1
+        let candidates = space.sample_distinct(32, 0);
+        let cfg = ShaConfig {
+            eta: 2,
+            min_budget: 25,
+        };
+        let result = successive_halving(&ev, &space, &candidates, &quick_base(), &cfg, 0);
+        assert!(result.history.trials().iter().all(|t| t.budget >= 25));
+    }
+
+    #[test]
+    fn eta_four_keeps_quarter() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 4);
+        let space = SearchSpace::mlp_cv18();
+        let candidates: Vec<Configuration> = (0..16).map(|i| space.configuration(i % 18)).collect();
+        let cfg = ShaConfig {
+            eta: 4,
+            min_budget: 20,
+        };
+        let result = successive_halving(&ev, &space, &candidates, &quick_base(), &cfg, 0);
+        // 16 -> 4 -> 1
+        assert_eq!(result.history.rung(0).count(), 16);
+        assert_eq!(result.history.rung(1).count(), 4);
+        assert_eq!(result.history.rung(2).count(), 0);
+    }
+
+    #[test]
+    fn single_candidate_needs_no_evaluation() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 5);
+        let space = SearchSpace::mlp_cv18();
+        let candidates = vec![space.configuration(3)];
+        let result = successive_halving(
+            &ev,
+            &space,
+            &candidates,
+            &quick_base(),
+            &ShaConfig::default(),
+            0,
+        );
+        assert_eq!(result.best, space.configuration(3));
+        assert!(result.history.is_empty());
+    }
+
+    #[test]
+    fn enhanced_pipeline_runs_the_same_loop() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::enhanced(), quick_base(), 6);
+        let space = SearchSpace::mlp_cv18();
+        let candidates: Vec<Configuration> = (0..4).map(|i| space.configuration(i)).collect();
+        let result = successive_halving(
+            &ev,
+            &space,
+            &candidates,
+            &quick_base(),
+            &ShaConfig::default(),
+            0,
+        );
+        assert!(candidates.contains(&result.best));
+        assert_eq!(result.history.len(), 4 + 2);
+    }
+}

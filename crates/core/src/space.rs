@@ -1,0 +1,404 @@
+//! The hyperparameter search space (paper Table III).
+//!
+//! Eight MLP hyperparameters, each a finite list of candidate values. The
+//! paper's experiments vary how many of the eight are active: the Table IV
+//! comparison uses the first four (6·3·3·3 = 162 configurations), the Fig. 4
+//! sweep adds one at a time in table order.
+
+use hpo_data::rng::rng_from_seed;
+use hpo_models::activation::Activation;
+use hpo_models::mlp::{MlpParams, Solver};
+use hpo_models::schedule::LearningRate;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One hyperparameter dimension: a name and its candidate values, plus how a
+/// chosen value is applied to [`MlpParams`].
+#[derive(Clone, Debug)]
+pub enum Dimension {
+    /// `hidden_layer_sizes`.
+    HiddenLayers(Vec<Vec<usize>>),
+    /// `activation`.
+    Activation(Vec<Activation>),
+    /// `solver`.
+    Solver(Vec<Solver>),
+    /// `learning_rate_init`.
+    LearningRateInit(Vec<f64>),
+    /// `batch_size`.
+    BatchSize(Vec<usize>),
+    /// `learning_rate` schedule.
+    Schedule(Vec<LearningRate>),
+    /// `momentum`.
+    Momentum(Vec<f64>),
+    /// `early_stopping`.
+    EarlyStopping(Vec<bool>),
+}
+
+impl Dimension {
+    /// Number of candidate values.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Dimension::HiddenLayers(v) => v.len(),
+            Dimension::Activation(v) => v.len(),
+            Dimension::Solver(v) => v.len(),
+            Dimension::LearningRateInit(v) => v.len(),
+            Dimension::BatchSize(v) => v.len(),
+            Dimension::Schedule(v) => v.len(),
+            Dimension::Momentum(v) => v.len(),
+            Dimension::EarlyStopping(v) => v.len(),
+        }
+    }
+
+    /// The scikit-learn parameter name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dimension::HiddenLayers(_) => "hidden_layer_sizes",
+            Dimension::Activation(_) => "activation",
+            Dimension::Solver(_) => "solver",
+            Dimension::LearningRateInit(_) => "learning_rate_init",
+            Dimension::BatchSize(_) => "batch_size",
+            Dimension::Schedule(_) => "learning_rate",
+            Dimension::Momentum(_) => "momentum",
+            Dimension::EarlyStopping(_) => "early_stopping",
+        }
+    }
+
+    /// Applies candidate `idx` of this dimension to `params`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range.
+    pub fn apply(&self, idx: usize, params: &mut MlpParams) {
+        match self {
+            Dimension::HiddenLayers(v) => params.hidden_layer_sizes = v[idx].clone(),
+            Dimension::Activation(v) => params.activation = v[idx],
+            Dimension::Solver(v) => params.solver = v[idx],
+            Dimension::LearningRateInit(v) => params.learning_rate_init = v[idx],
+            Dimension::BatchSize(v) => params.batch_size = v[idx],
+            Dimension::Schedule(v) => params.learning_rate = v[idx],
+            Dimension::Momentum(v) => params.momentum = v[idx],
+            Dimension::EarlyStopping(v) => params.early_stopping = v[idx],
+        }
+    }
+
+    /// Human-readable rendering of candidate `idx`.
+    pub fn value_string(&self, idx: usize) -> String {
+        match self {
+            Dimension::HiddenLayers(v) => format!("{:?}", v[idx]),
+            Dimension::Activation(v) => v[idx].name().to_string(),
+            Dimension::Solver(v) => v[idx].name().to_string(),
+            Dimension::LearningRateInit(v) => v[idx].to_string(),
+            Dimension::BatchSize(v) => v[idx].to_string(),
+            Dimension::Schedule(v) => v[idx].name().to_string(),
+            Dimension::Momentum(v) => v[idx].to_string(),
+            Dimension::EarlyStopping(v) => v[idx].to_string(),
+        }
+    }
+}
+
+/// A point in the search space: one candidate index per dimension.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Configuration(pub Vec<usize>);
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cfg{:?}", self.0)
+    }
+}
+
+/// A finite, fully-enumerable search space over MLP hyperparameters.
+///
+/// ```
+/// use hpo_core::space::SearchSpace;
+/// use hpo_models::mlp::MlpParams;
+///
+/// // The paper's Table IV space: first four hyperparameters, 162 points.
+/// let space = SearchSpace::mlp_table3(4);
+/// assert_eq!(space.n_configurations(), 162);
+///
+/// let config = space.configuration(0);
+/// let params = space.to_params(&config, &MlpParams::default());
+/// assert_eq!(params.hidden_layer_sizes, vec![30]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    dims: Vec<Dimension>,
+}
+
+impl SearchSpace {
+    /// Builds a space from explicit dimensions.
+    ///
+    /// # Panics
+    /// Panics when any dimension has no candidates.
+    pub fn new(dims: Vec<Dimension>) -> Self {
+        assert!(
+            dims.iter().all(|d| d.cardinality() > 0),
+            "every dimension needs at least one candidate"
+        );
+        SearchSpace { dims }
+    }
+
+    /// Paper Table III, truncated to the first `n_hyperparameters` rows
+    /// (Fig. 4 adds them in table order). `n_hyperparameters` is clamped to
+    /// `1..=8`.
+    pub fn mlp_table3(n_hyperparameters: usize) -> Self {
+        let n = n_hyperparameters.clamp(1, 8);
+        let all: Vec<Dimension> = vec![
+            Dimension::HiddenLayers(vec![
+                vec![30],
+                vec![30, 30],
+                vec![40],
+                vec![40, 40],
+                vec![50],
+                vec![50, 50],
+            ]),
+            Dimension::Activation(vec![
+                Activation::Logistic,
+                Activation::Tanh,
+                Activation::Relu,
+            ]),
+            Dimension::Solver(vec![Solver::Lbfgs, Solver::Sgd, Solver::Adam]),
+            Dimension::LearningRateInit(vec![0.1, 0.05, 0.01]),
+            Dimension::BatchSize(vec![32, 64, 128]),
+            Dimension::Schedule(vec![
+                LearningRate::Constant,
+                LearningRate::InvScaling,
+                LearningRate::Adaptive,
+            ]),
+            Dimension::Momentum(vec![0.7, 0.8, 0.9]),
+            Dimension::EarlyStopping(vec![true, false]),
+        ];
+        SearchSpace::new(all.into_iter().take(n).collect())
+    }
+
+    /// The §IV-C cross-validation space: hidden layer sizes × activation
+    /// (6·3 = 18 configurations).
+    pub fn mlp_cv18() -> Self {
+        SearchSpace::new(vec![
+            Dimension::HiddenLayers(vec![
+                vec![30],
+                vec![30, 30],
+                vec![40],
+                vec![40, 40],
+                vec![50],
+                vec![50, 50],
+            ]),
+            Dimension::Activation(vec![
+                Activation::Logistic,
+                Activation::Tanh,
+                Activation::Relu,
+            ]),
+        ])
+    }
+
+    /// A model-complexity space for the Fig. 4 sweep: layer widths from
+    /// `widths`, layer counts `1..=max_layers`, crossed with activations.
+    pub fn mlp_complexity(widths: &[usize], max_layers: usize) -> Self {
+        assert!(max_layers >= 1 && !widths.is_empty());
+        let mut layers = Vec::new();
+        for depth in 1..=max_layers {
+            for &w in widths {
+                layers.push(vec![w; depth]);
+            }
+        }
+        SearchSpace::new(vec![
+            Dimension::HiddenLayers(layers),
+            Dimension::Activation(vec![
+                Activation::Logistic,
+                Activation::Tanh,
+                Activation::Relu,
+            ]),
+        ])
+    }
+
+    /// The dimensions of the space.
+    pub fn dims(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// Total number of configurations (the product of cardinalities).
+    pub fn n_configurations(&self) -> usize {
+        self.dims.iter().map(Dimension::cardinality).product()
+    }
+
+    /// The configuration at flat grid index `i` (row-major over dimensions).
+    ///
+    /// # Panics
+    /// Panics when `i >= n_configurations()`.
+    pub fn configuration(&self, i: usize) -> Configuration {
+        assert!(i < self.n_configurations(), "flat index out of range");
+        let mut rem = i;
+        let mut idx = Vec::with_capacity(self.dims.len());
+        for d in self.dims.iter().rev() {
+            idx.push(rem % d.cardinality());
+            rem /= d.cardinality();
+        }
+        idx.reverse();
+        Configuration(idx)
+    }
+
+    /// Every configuration, in grid order.
+    pub fn all_configurations(&self) -> Vec<Configuration> {
+        (0..self.n_configurations())
+            .map(|i| self.configuration(i))
+            .collect()
+    }
+
+    /// A uniformly random configuration.
+    pub fn sample(&self, rng: &mut impl Rng) -> Configuration {
+        Configuration(
+            self.dims
+                .iter()
+                .map(|d| rng.gen_range(0..d.cardinality()))
+                .collect(),
+        )
+    }
+
+    /// `count` configurations sampled without replacement (falls back to
+    /// the full grid when `count >= n_configurations`).
+    pub fn sample_distinct(&self, count: usize, seed: u64) -> Vec<Configuration> {
+        let total = self.n_configurations();
+        if count >= total {
+            return self.all_configurations();
+        }
+        let mut rng = rng_from_seed(seed);
+        let picks = hpo_data::rng::sample_without_replacement(total, count, &mut rng);
+        picks.into_iter().map(|i| self.configuration(i)).collect()
+    }
+
+    /// Materializes a configuration into MLP hyperparameters, starting from
+    /// `base` for the dimensions the space does not cover.
+    ///
+    /// # Panics
+    /// Panics when the configuration's arity or indices don't match.
+    pub fn to_params(&self, config: &Configuration, base: &MlpParams) -> MlpParams {
+        assert_eq!(
+            config.0.len(),
+            self.dims.len(),
+            "configuration arity mismatch"
+        );
+        let mut params = base.clone();
+        for (d, &idx) in self.dims.iter().zip(&config.0) {
+            d.apply(idx, &mut params);
+        }
+        params
+    }
+
+    /// Human-readable rendering of a configuration.
+    pub fn describe(&self, config: &Configuration) -> String {
+        self.dims
+            .iter()
+            .zip(&config.0)
+            .map(|(d, &i)| format!("{}={}", d.name(), d.value_string(i)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table3_cardinalities_match_the_paper() {
+        assert_eq!(SearchSpace::mlp_table3(4).n_configurations(), 162);
+        assert_eq!(
+            SearchSpace::mlp_table3(8).n_configurations(),
+            162 * 3 * 3 * 3 * 2
+        );
+        assert_eq!(SearchSpace::mlp_table3(1).n_configurations(), 6);
+        assert_eq!(SearchSpace::mlp_cv18().n_configurations(), 18);
+    }
+
+    #[test]
+    fn grid_enumeration_is_exhaustive_and_unique() {
+        let space = SearchSpace::mlp_table3(3);
+        let all = space.all_configurations();
+        assert_eq!(all.len(), 54);
+        let set: HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 54);
+    }
+
+    #[test]
+    fn configuration_roundtrips_through_flat_index() {
+        let space = SearchSpace::mlp_table3(4);
+        let c = space.configuration(100);
+        // re-find its flat index by scanning
+        let all = space.all_configurations();
+        assert_eq!(all[100], c);
+    }
+
+    #[test]
+    fn to_params_applies_every_dimension() {
+        let space = SearchSpace::mlp_table3(8);
+        let config = Configuration(vec![3, 1, 1, 2, 0, 2, 0, 0]);
+        let params = space.to_params(&config, &MlpParams::default());
+        assert_eq!(params.hidden_layer_sizes, vec![40, 40]);
+        assert_eq!(params.activation, Activation::Tanh);
+        assert_eq!(params.solver, Solver::Sgd);
+        assert_eq!(params.learning_rate_init, 0.01);
+        assert_eq!(params.batch_size, 32);
+        assert_eq!(params.learning_rate, LearningRate::Adaptive);
+        assert_eq!(params.momentum, 0.7);
+        assert!(params.early_stopping);
+    }
+
+    #[test]
+    fn base_params_survive_uncovered_dimensions() {
+        let space = SearchSpace::mlp_table3(2);
+        let base = MlpParams {
+            max_iter: 77,
+            solver: Solver::Sgd,
+            ..Default::default()
+        };
+        let params = space.to_params(&Configuration(vec![0, 0]), &base);
+        assert_eq!(params.max_iter, 77);
+        assert_eq!(params.solver, Solver::Sgd);
+    }
+
+    #[test]
+    fn sample_distinct_returns_unique_configs() {
+        let space = SearchSpace::mlp_table3(4);
+        let sampled = space.sample_distinct(50, 1);
+        assert_eq!(sampled.len(), 50);
+        let set: HashSet<_> = sampled.iter().collect();
+        assert_eq!(set.len(), 50);
+        // asking for more than exists returns the grid
+        assert_eq!(space.sample_distinct(1000, 1).len(), 162);
+    }
+
+    #[test]
+    fn sample_is_in_range() {
+        let space = SearchSpace::mlp_table3(8);
+        let mut rng = rng_from_seed(2);
+        for _ in 0..100 {
+            let c = space.sample(&mut rng);
+            for (d, &i) in space.dims().iter().zip(&c.0) {
+                assert!(i < d.cardinality());
+            }
+        }
+    }
+
+    #[test]
+    fn complexity_space_enumerates_depth_times_width() {
+        let space = SearchSpace::mlp_complexity(&[10, 20], 3);
+        // 2 widths × 3 depths = 6 layer options × 3 activations
+        assert_eq!(space.n_configurations(), 18);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let space = SearchSpace::mlp_table3(2);
+        let s = space.describe(&Configuration(vec![1, 2]));
+        assert!(s.contains("hidden_layer_sizes=[30, 30]"));
+        assert!(s.contains("activation=relu"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        let space = SearchSpace::mlp_table3(3);
+        space.to_params(&Configuration(vec![0]), &MlpParams::default());
+    }
+}

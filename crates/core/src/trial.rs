@@ -1,0 +1,139 @@
+//! Trial records and the optimization history.
+
+use crate::evaluator::EvalOutcome;
+use crate::space::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// One evaluation of one configuration at one budget.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Trial {
+    /// The configuration evaluated.
+    pub config: Configuration,
+    /// Instance budget `b_t` the evaluation used.
+    pub budget: usize,
+    /// SHA rung / Hyperband bracket-rung the trial belongs to.
+    pub rung: usize,
+    /// The evaluation outcome.
+    pub outcome: EvalOutcome,
+}
+
+/// Append-only record of all trials in one optimization run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct History {
+    trials: Vec<Trial>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History { trials: Vec::new() }
+    }
+
+    /// Records a trial.
+    pub fn push(&mut self, trial: Trial) {
+        self.trials.push(trial);
+    }
+
+    /// All trials, in evaluation order.
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// Number of evaluations performed.
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// Whether any trial was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// Total deterministic cost across all trials.
+    pub fn total_cost(&self) -> u64 {
+        self.trials.iter().map(|t| t.outcome.cost_units).sum()
+    }
+
+    /// Total wall-clock seconds across all trials.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.trials.iter().map(|t| t.outcome.wall_seconds).sum()
+    }
+
+    /// The trial with the best pipeline score at the largest budget
+    /// (ties broken by score).
+    pub fn best(&self) -> Option<&Trial> {
+        self.trials.iter().max_by(|a, b| {
+            (a.budget, a.outcome.score)
+                .partial_cmp(&(b.budget, b.outcome.score))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// Trials of a given rung.
+    pub fn rung(&self, rung: usize) -> impl Iterator<Item = &Trial> {
+        self.trials.iter().filter(move |t| t.rung == rung)
+    }
+
+    /// Merges another history into this one (used by Hyperband brackets and
+    /// ASHA workers).
+    pub fn extend(&mut self, other: History) {
+        self.trials.extend(other.trials);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_metrics::FoldScores;
+
+    fn trial(budget: usize, rung: usize, score: f64) -> Trial {
+        Trial {
+            config: Configuration(vec![0]),
+            budget,
+            rung,
+            outcome: EvalOutcome {
+                fold_scores: FoldScores::new(vec![score], 10.0),
+                score,
+                cost_units: 100,
+                wall_seconds: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut h = History::new();
+        h.push(trial(10, 0, 0.5));
+        h.push(trial(20, 1, 0.7));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.total_cost(), 200);
+        assert!((h.total_wall_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_prefers_largest_budget_then_score() {
+        let mut h = History::new();
+        h.push(trial(10, 0, 0.99));
+        h.push(trial(20, 1, 0.60));
+        h.push(trial(20, 1, 0.70));
+        let best = h.best().unwrap();
+        assert_eq!(best.budget, 20);
+        assert!((best.outcome.score - 0.70).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rung_filter_selects_matching_trials() {
+        let mut h = History::new();
+        h.push(trial(10, 0, 0.1));
+        h.push(trial(20, 1, 0.2));
+        h.push(trial(20, 1, 0.3));
+        assert_eq!(h.rung(1).count(), 2);
+        assert_eq!(h.rung(5).count(), 0);
+    }
+
+    #[test]
+    fn empty_history_has_no_best() {
+        assert!(History::new().best().is_none());
+        assert!(History::new().is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests over the bandit optimizers.
+
+use hpo_core::evaluator::CvEvaluator;
+use hpo_core::pipeline::Pipeline;
+use hpo_core::sha::{successive_halving, ShaConfig};
+use hpo_core::space::{Configuration, SearchSpace};
+use hpo_data::synth::{make_classification, ClassificationSpec};
+use hpo_models::mlp::MlpParams;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared dataset/evaluator per process — building them is the
+/// expensive part and the properties only need variety in the candidates.
+fn shared() -> &'static (hpo_data::Dataset, MlpParams) {
+    static CELL: OnceLock<(hpo_data::Dataset, MlpParams)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 150,
+                n_features: 4,
+                n_informative: 4,
+                ..Default::default()
+            },
+            1,
+        );
+        let base = MlpParams {
+            hidden_layer_sizes: vec![4],
+            max_iter: 2,
+            ..Default::default()
+        };
+        (data, base)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// SHA's winner is always one of the provided candidates, for any
+    /// candidate set, eta and seed, and the evaluation count follows the
+    /// geometric rung series.
+    #[test]
+    fn sha_invariants(
+        n_candidates in 2usize..12,
+        eta in 2usize..4,
+        stream in 0u64..100,
+    ) {
+        let (data, base) = shared();
+        let ev = CvEvaluator::new(data, Pipeline::vanilla(), base.clone(), 3);
+        let space = SearchSpace::mlp_cv18();
+        let candidates: Vec<Configuration> =
+            (0..n_candidates).map(|i| space.configuration(i % 18)).collect();
+        let result = successive_halving(
+            &ev,
+            &space,
+            &candidates,
+            base,
+            &ShaConfig { eta, min_budget: 10 },
+            stream,
+        );
+        prop_assert!(candidates.contains(&result.best));
+        // expected evaluations: sum of rung sizes until one survivor
+        let mut expected = 0usize;
+        let mut m = n_candidates;
+        while m > 1 {
+            expected += m;
+            m = m.div_ceil(eta).min(m - 1).max(1);
+        }
+        prop_assert_eq!(result.history.len(), expected);
+        // budgets never exceed the dataset and never drop below min_budget
+        prop_assert!(result.history.trials().iter().all(|t| t.budget >= 10));
+        prop_assert!(result
+            .history
+            .trials()
+            .iter()
+            .all(|t| t.budget <= data.n_instances()));
+    }
+
+    /// Scores recorded in the history are the pipeline metric of the fold
+    /// scores (internal consistency across the whole run).
+    #[test]
+    fn history_scores_are_consistent(stream in 0u64..50) {
+        let (data, base) = shared();
+        let ev = CvEvaluator::new(data, Pipeline::enhanced(), base.clone(), 5);
+        let space = SearchSpace::mlp_cv18();
+        let candidates: Vec<Configuration> = (0..4).map(|i| space.configuration(i)).collect();
+        let result = successive_halving(
+            &ev,
+            &space,
+            &candidates,
+            base,
+            &ShaConfig::default(),
+            stream,
+        );
+        for t in result.history.trials() {
+            let recomputed = t.outcome.fold_scores.score(&ev.pipeline().metric);
+            prop_assert!((recomputed - t.outcome.score).abs() < 1e-12);
+        }
+    }
+}

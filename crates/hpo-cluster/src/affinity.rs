@@ -1,0 +1,301 @@
+//! Affinity propagation clustering (Frey & Dueck, Science 2007).
+//!
+//! The third clustering option the paper lists for the grouping step.
+//! Exchanges *responsibility* and *availability* messages between points
+//! until a set of exemplars emerges; the cluster count is controlled by the
+//! self-similarity *preference* rather than an explicit `k`.
+
+use hpo_data::matrix::Matrix;
+
+/// Configuration for [`affinity_propagation`].
+#[derive(Clone, Debug)]
+pub struct AffinityConfig {
+    /// Message damping factor in `[0.5, 1)`. Default 0.7 — plain 0.5 can
+    /// oscillate for hundreds of iterations on blob-structured data.
+    pub damping: f64,
+    /// Maximum message-passing iterations.
+    pub max_iters: usize,
+    /// Iterations of unchanged exemplars before declaring convergence.
+    pub convergence_iters: usize,
+    /// Self-similarity preference; `None` uses the median similarity
+    /// (the standard default, yielding a moderate cluster count).
+    pub preference: Option<f64>,
+}
+
+impl Default for AffinityConfig {
+    fn default() -> Self {
+        AffinityConfig {
+            damping: 0.7,
+            max_iters: 200,
+            convergence_iters: 15,
+            preference: None,
+        }
+    }
+}
+
+/// Outcome of an affinity-propagation run.
+#[derive(Clone, Debug)]
+pub struct AffinityResult {
+    /// Cluster assignment per input row.
+    pub assignments: Vec<usize>,
+    /// Row indices of the exemplars, one per cluster.
+    pub exemplars: Vec<usize>,
+    /// Message-passing iterations performed.
+    pub iterations: usize,
+}
+
+impl AffinityResult {
+    /// Number of clusters discovered.
+    pub fn n_clusters(&self) -> usize {
+        self.exemplars.len()
+    }
+}
+
+/// Runs affinity propagation with negative-squared-Euclidean similarities.
+///
+/// O(n² · iters) in time and O(n²) in memory — appropriate for grouping-step
+/// sizes (subsample large datasets first, as the paper suggests for
+/// clustering).
+///
+/// # Panics
+/// Panics on empty input or damping outside `[0.5, 1)`.
+pub fn affinity_propagation(x: &Matrix, config: &AffinityConfig) -> AffinityResult {
+    assert!(x.rows() > 0, "cannot cluster zero points");
+    assert!(
+        (0.5..1.0).contains(&config.damping),
+        "damping must be in [0.5, 1)"
+    );
+    let n = x.rows();
+    if n == 1 {
+        return AffinityResult {
+            assignments: vec![0],
+            exemplars: vec![0],
+            iterations: 0,
+        };
+    }
+
+    // Similarity matrix: s(i,k) = -||x_i - x_k||².
+    let mut s = vec![0.0f64; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            s[i * n + k] = -Matrix::dist_sq(x.row(i), x.row(k));
+        }
+    }
+    // Break symmetry with a tiny deterministic jitter (the standard fix for
+    // AP's message oscillation on symmetric inputs; scikit-learn does the
+    // same with random noise).
+    let scale = s.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-12);
+    let mut jitter_state = 0x9E37_79B9u64;
+    for v in s.iter_mut() {
+        jitter_state = jitter_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (jitter_state >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        *v += scale * 1e-9 * u;
+    }
+    // Preference on the diagonal.
+    let pref = config.preference.unwrap_or_else(|| {
+        let mut off: Vec<f64> = (0..n)
+            .flat_map(|i| (0..n).filter(move |&k| k != i).map(move |k| (i, k)))
+            .map(|(i, k)| s[i * n + k])
+            .collect();
+        off.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        off[off.len() / 2]
+    });
+    for i in 0..n {
+        s[i * n + i] = pref;
+    }
+
+    let mut r = vec![0.0f64; n * n]; // responsibilities
+    let mut a = vec![0.0f64; n * n]; // availabilities
+    let damp = config.damping;
+    let mut last_exemplars: Vec<usize> = Vec::new();
+    let mut stable = 0usize;
+    let mut iterations = 0usize;
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Responsibilities: r(i,k) = s(i,k) − max_{k'≠k} (a(i,k') + s(i,k')).
+        for i in 0..n {
+            // top-2 of a+s over k'
+            let (mut max1, mut max1_k, mut max2) = (f64::NEG_INFINITY, 0usize, f64::NEG_INFINITY);
+            for k in 0..n {
+                let v = a[i * n + k] + s[i * n + k];
+                if v > max1 {
+                    max2 = max1;
+                    max1 = v;
+                    max1_k = k;
+                } else if v > max2 {
+                    max2 = v;
+                }
+            }
+            for k in 0..n {
+                let competitor = if k == max1_k { max2 } else { max1 };
+                let new_r = s[i * n + k] - competitor;
+                r[i * n + k] = damp * r[i * n + k] + (1.0 - damp) * new_r;
+            }
+        }
+        // Availabilities: a(i,k) = min(0, r(k,k) + Σ_{i'∉{i,k}} max(0, r(i',k)))
+        // and a(k,k) = Σ_{i'≠k} max(0, r(i',k)).
+        for k in 0..n {
+            let mut pos_sum = 0.0;
+            for i in 0..n {
+                if i != k {
+                    pos_sum += r[i * n + k].max(0.0);
+                }
+            }
+            for i in 0..n {
+                let new_a = if i == k {
+                    pos_sum
+                } else {
+                    (r[k * n + k] + pos_sum - r[i * n + k].max(0.0)).min(0.0)
+                };
+                a[i * n + k] = damp * a[i * n + k] + (1.0 - damp) * new_a;
+            }
+        }
+        // Exemplars: points where r(k,k) + a(k,k) > 0.
+        let exemplars: Vec<usize> = (0..n)
+            .filter(|&k| r[k * n + k] + a[k * n + k] > 0.0)
+            .collect();
+        if exemplars == last_exemplars && !exemplars.is_empty() {
+            stable += 1;
+            if stable >= config.convergence_iters {
+                break;
+            }
+        } else {
+            stable = 0;
+            last_exemplars = exemplars;
+        }
+    }
+
+    let mut exemplars = last_exemplars;
+    if exemplars.is_empty() {
+        // No point self-elected (can happen with extreme preferences):
+        // fall back to the point with the largest self-evidence.
+        let best = (0..n)
+            .max_by(|&p, &q| {
+                (r[p * n + p] + a[p * n + p])
+                    .partial_cmp(&(r[q * n + q] + a[q * n + q]))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("n >= 1");
+        exemplars = vec![best];
+    }
+
+    // Assign every point to its most similar exemplar; exemplars to themselves.
+    let assignments: Vec<usize> = (0..n)
+        .map(|i| {
+            if let Some(pos) = exemplars.iter().position(|&e| e == i) {
+                return pos;
+            }
+            exemplars
+                .iter()
+                .enumerate()
+                .max_by(|(_, &e1), (_, &e2)| {
+                    s[i * n + e1]
+                        .partial_cmp(&s[i * n + e2])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(pos, _)| pos)
+                .expect("exemplars non-empty")
+        })
+        .collect();
+
+    AffinityResult {
+        assignments,
+        exemplars,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::rng::{rng_from_seed, standard_normal};
+
+    fn blobs(centers: &[(f64, f64)], n_each: usize, seed: u64) -> Matrix {
+        let mut rng = rng_from_seed(seed);
+        let mut flat = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..n_each {
+                flat.push(cx + standard_normal(&mut rng) * 0.2);
+                flat.push(cy + standard_normal(&mut rng) * 0.2);
+            }
+        }
+        Matrix::from_vec(centers.len() * n_each, 2, flat).unwrap()
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let x = blobs(&[(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)], 15, 1);
+        let result = affinity_propagation(&x, &AffinityConfig::default());
+        assert_eq!(result.n_clusters(), 3, "exemplars: {:?}", result.exemplars);
+        // points of one blob share an assignment
+        for b in 0..3 {
+            let first = result.assignments[b * 15];
+            assert!(
+                result.assignments[b * 15..(b + 1) * 15]
+                    .iter()
+                    .all(|&a| a == first),
+                "blob {b} split: {:?}",
+                &result.assignments[b * 15..(b + 1) * 15]
+            );
+        }
+    }
+
+    #[test]
+    fn low_preference_gives_fewer_clusters() {
+        let x = blobs(&[(0.0, 0.0), (6.0, 0.0), (0.0, 6.0)], 10, 2);
+        let many = affinity_propagation(
+            &x,
+            &AffinityConfig {
+                preference: Some(-0.5),
+                ..Default::default()
+            },
+        );
+        let few = affinity_propagation(
+            &x,
+            &AffinityConfig {
+                preference: Some(-500.0),
+                ..Default::default()
+            },
+        );
+        assert!(
+            few.n_clusters() <= many.n_clusters(),
+            "{} vs {}",
+            few.n_clusters(),
+            many.n_clusters()
+        );
+        assert!(few.n_clusters() >= 1);
+    }
+
+    #[test]
+    fn exemplars_assign_to_themselves() {
+        let x = blobs(&[(0.0, 0.0), (10.0, 10.0)], 8, 3);
+        let result = affinity_propagation(&x, &AffinityConfig::default());
+        for (pos, &e) in result.exemplars.iter().enumerate() {
+            assert_eq!(result.assignments[e], pos);
+        }
+    }
+
+    #[test]
+    fn single_point_is_its_own_cluster() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let result = affinity_propagation(&x, &AffinityConfig::default());
+        assert_eq!(result.n_clusters(), 1);
+        assert_eq!(result.assignments, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn rejects_bad_damping() {
+        let x = Matrix::zeros(3, 2);
+        affinity_propagation(
+            &x,
+            &AffinityConfig {
+                damping: 0.3,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! Balanced re-clustering (paper §III-A).
+//!
+//! The paper's grouping step avoids tiny clusters, which would starve the
+//! subsequent fold construction: *"If a particular cluster has very few
+//! instances (less than `r_group` ratio of the average number of instances
+//! per cluster, `n/k × r_group`), we remove these instances and re-cluster
+//! the rest until each cluster has the desired number of instances."* The
+//! removed instances are finally attached to their nearest surviving
+//! centroid so the output is a full partition.
+
+use crate::kmeans::{kmeans, KMeansConfig};
+use hpo_data::matrix::Matrix;
+use hpo_data::rng::derive_seed;
+
+/// Configuration for [`balanced_kmeans`].
+#[derive(Clone, Debug)]
+pub struct BalancedKMeansConfig {
+    /// Number of clusters `v` (paper recommends 2–5).
+    pub k: usize,
+    /// Minimum cluster size as a fraction of the average size `n/k`
+    /// (the paper's `r_group`; experiments use 0.8).
+    pub r_group: f64,
+    /// Maximum number of remove-and-recluster rounds before accepting the
+    /// current clustering as-is.
+    pub max_rounds: usize,
+    /// Lloyd iterations per round (paper default: 10).
+    pub max_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BalancedKMeansConfig {
+    fn default() -> Self {
+        BalancedKMeansConfig {
+            k: 3,
+            r_group: 0.8,
+            max_rounds: 5,
+            max_iters: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of balanced clustering: a full partition of all input rows.
+#[derive(Clone, Debug)]
+pub struct BalancedKMeansResult {
+    /// Cluster assignment per input row (every row is assigned).
+    pub assignments: Vec<usize>,
+    /// Final centroids.
+    pub centroids: Matrix,
+    /// Remove-and-recluster rounds performed (1 = first clustering was
+    /// already balanced).
+    pub rounds: usize,
+    /// Number of instances that were set aside during re-clustering and
+    /// re-attached to their nearest centroid at the end.
+    pub reattached: usize,
+}
+
+impl BalancedKMeansResult {
+    /// Instance count per cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.rows()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Runs the paper's iterative balanced k-means.
+///
+/// Rounds of k-means are run on a shrinking "core" of instances: after each
+/// round, instances in clusters smaller than `r_group × n_core/k` are set
+/// aside and the rest are re-clustered. Once every cluster passes the size
+/// check (or `max_rounds` is hit), set-aside instances are assigned to their
+/// nearest final centroid. The output is therefore always a partition of all
+/// `x.rows()` instances into exactly `k` clusters.
+///
+/// # Panics
+/// Panics if `k == 0`, `x.rows() < k`, or `r_group` is not in `[0, 1)`.
+pub fn balanced_kmeans(x: &Matrix, config: &BalancedKMeansConfig) -> BalancedKMeansResult {
+    assert!(config.k >= 1, "k must be positive");
+    assert!(
+        (0.0..1.0).contains(&config.r_group),
+        "r_group must be in [0,1)"
+    );
+    assert!(
+        x.rows() >= config.k,
+        "cannot form {} clusters from {} points",
+        config.k,
+        x.rows()
+    );
+
+    let n = x.rows();
+    let mut core: Vec<usize> = (0..n).collect();
+    let mut removed: Vec<usize> = Vec::new();
+    let mut rounds = 0usize;
+    let mut last = None;
+
+    for round in 0..config.max_rounds.max(1) {
+        rounds = round + 1;
+        let sub = x.select_rows(&core);
+        let km = kmeans(
+            &sub,
+            &KMeansConfig {
+                k: config.k,
+                max_iters: config.max_iters,
+                tol: 1e-6,
+                seed: derive_seed(config.seed, round as u64),
+            },
+        );
+        let sizes = {
+            let mut s = vec![0usize; config.k];
+            for &a in &km.assignments {
+                s[a] += 1;
+            }
+            s
+        };
+        let threshold = (core.len() as f64 / config.k as f64) * config.r_group;
+        let small: Vec<usize> = (0..config.k)
+            .filter(|&c| (sizes[c] as f64) < threshold)
+            .collect();
+
+        if small.is_empty() || round + 1 == config.max_rounds.max(1) {
+            last = Some((km, core.clone()));
+            break;
+        }
+
+        // Set aside members of small clusters and re-cluster the rest —
+        // unless that would leave fewer points than clusters.
+        let keep: Vec<usize> = core
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !small.contains(&km.assignments[i]))
+            .map(|(_, &orig)| orig)
+            .collect();
+        if keep.len() < config.k {
+            last = Some((km, core.clone()));
+            break;
+        }
+        removed.extend(core.iter().enumerate().filter_map(|(i, &orig)| {
+            if small.contains(&km.assignments[i]) {
+                Some(orig)
+            } else {
+                None
+            }
+        }));
+        core = keep;
+    }
+
+    let (km, core) = last.expect("loop always sets a result");
+
+    // Stitch the partition back together: core rows keep their assignment,
+    // removed rows attach to the nearest final centroid.
+    let mut assignments = vec![0usize; n];
+    for (i, &orig) in core.iter().enumerate() {
+        assignments[orig] = km.assignments[i];
+    }
+    for &orig in &removed {
+        let row = x.row(orig);
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (c, center) in km.centroids.iter_rows().enumerate() {
+            let d = Matrix::dist_sq(row, center);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        assignments[orig] = best;
+    }
+
+    BalancedKMeansResult {
+        assignments,
+        centroids: km.centroids,
+        rounds,
+        reattached: removed.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::rng::{rng_from_seed, standard_normal};
+    use rand::Rng;
+
+    /// Two big blobs plus a handful of outliers that form a tiny third
+    /// cluster under plain k-means.
+    fn blob_with_outliers(seed: u64) -> Matrix {
+        let mut rng = rng_from_seed(seed);
+        let mut rows = Vec::new();
+        for _ in 0..100 {
+            rows.push(vec![
+                standard_normal(&mut rng) * 0.3,
+                standard_normal(&mut rng) * 0.3,
+            ]);
+        }
+        for _ in 0..100 {
+            rows.push(vec![
+                5.0 + standard_normal(&mut rng) * 0.3,
+                standard_normal(&mut rng) * 0.3,
+            ]);
+        }
+        for _ in 0..4 {
+            rows.push(vec![
+                2.5 + rng.gen::<f64>() * 0.1,
+                40.0 + rng.gen::<f64>() * 0.1,
+            ]);
+        }
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        Matrix::from_vec(rows.len(), 2, flat).unwrap()
+    }
+
+    #[test]
+    fn output_is_a_full_partition() {
+        let x = blob_with_outliers(1);
+        let r = balanced_kmeans(
+            &x,
+            &BalancedKMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.assignments.len(), x.rows());
+        assert!(r.assignments.iter().all(|&a| a < 3));
+        assert_eq!(r.cluster_sizes().iter().sum::<usize>(), x.rows());
+    }
+
+    #[test]
+    fn tiny_clusters_trigger_reclustering() {
+        let x = blob_with_outliers(2);
+        let r = balanced_kmeans(
+            &x,
+            &BalancedKMeansConfig {
+                k: 3,
+                r_group: 0.8,
+                ..Default::default()
+            },
+        );
+        // The 4 outliers cannot sustain a cluster of their own at r_group=0.8
+        // (threshold ≈ 0.8 * 204/3 ≈ 54), so at least one re-cluster round
+        // must have happened or the outliers were reattached.
+        assert!(
+            r.rounds > 1 || r.reattached > 0 || r.cluster_sizes().iter().all(|&s| s >= 54),
+            "expected rebalancing activity: rounds={} reattached={} sizes={:?}",
+            r.rounds,
+            r.reattached,
+            r.cluster_sizes()
+        );
+    }
+
+    #[test]
+    fn balanced_dataset_converges_in_one_round() {
+        // Three clean equal blobs: first clustering passes the size check.
+        let mut rng = rng_from_seed(3);
+        let mut flat = Vec::new();
+        for c in 0..3 {
+            for _ in 0..50 {
+                flat.push(c as f64 * 10.0 + standard_normal(&mut rng) * 0.2);
+                flat.push(standard_normal(&mut rng) * 0.2);
+            }
+        }
+        let x = Matrix::from_vec(150, 2, flat).unwrap();
+        let r = balanced_kmeans(
+            &x,
+            &BalancedKMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.reattached, 0);
+        let sizes = r.cluster_sizes();
+        assert!(sizes.iter().all(|&s| s == 50), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn r_group_zero_degenerates_to_plain_kmeans() {
+        let x = blob_with_outliers(4);
+        let r = balanced_kmeans(
+            &x,
+            &BalancedKMeansConfig {
+                k: 3,
+                r_group: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.reattached, 0);
+    }
+
+    #[test]
+    fn respects_max_rounds() {
+        let x = blob_with_outliers(5);
+        let r = balanced_kmeans(
+            &x,
+            &BalancedKMeansConfig {
+                k: 3,
+                r_group: 0.99, // nearly impossible to satisfy
+                max_rounds: 2,
+                ..Default::default()
+            },
+        );
+        assert!(r.rounds <= 2);
+        assert_eq!(r.assignments.len(), x.rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "r_group")]
+    fn rejects_r_group_of_one() {
+        let x = Matrix::zeros(10, 2);
+        balanced_kmeans(
+            &x,
+            &BalancedKMeansConfig {
+                k: 2,
+                r_group: 1.0,
+                ..Default::default()
+            },
+        );
+    }
+}

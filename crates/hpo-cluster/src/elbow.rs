@@ -1,0 +1,119 @@
+//! Elbow heuristic for choosing the cluster count `v`.
+//!
+//! The paper (§III-B) notes that strategies like the elbow method can pick
+//! `v` automatically but chooses a fixed `v ≤ 5` so the fold count stays at
+//! the conventional 5. We provide the heuristic anyway: it is used by the
+//! ablation benches and lets downstream users pick `v` data-dependently.
+
+use crate::kmeans::{kmeans, KMeansConfig};
+use hpo_data::matrix::Matrix;
+
+/// Inertia for each candidate `k` in `ks` (in order).
+pub fn inertia_curve(x: &Matrix, ks: &[usize], seed: u64, max_iters: usize) -> Vec<f64> {
+    ks.iter()
+        .map(|&k| {
+            kmeans(
+                x,
+                &KMeansConfig {
+                    k,
+                    max_iters,
+                    tol: 1e-6,
+                    seed,
+                },
+            )
+            .inertia
+        })
+        .collect()
+}
+
+/// Picks the elbow of an inertia curve by maximum distance to the chord
+/// between the first and last points (the "kneedle" construction).
+///
+/// Returns the index into `ks`/`inertias`; `None` when fewer than 3 points.
+pub fn elbow_index(ks: &[usize], inertias: &[f64]) -> Option<usize> {
+    if ks.len() != inertias.len() || ks.len() < 3 {
+        return None;
+    }
+    let (x0, y0) = (ks[0] as f64, inertias[0]);
+    let (x1, y1) = (*ks.last().unwrap() as f64, *inertias.last().unwrap());
+    let dx = x1 - x0;
+    let dy = y1 - y0;
+    let norm = (dx * dx + dy * dy).sqrt();
+    if norm <= 0.0 {
+        return Some(0);
+    }
+    let mut best = 0usize;
+    let mut best_dist = f64::NEG_INFINITY;
+    for (i, (&k, &inertia)) in ks.iter().zip(inertias).enumerate() {
+        // Perpendicular distance from (k, inertia) to the chord.
+        let d = ((k as f64 - x0) * dy - (inertia - y0) * dx).abs() / norm;
+        if d > best_dist {
+            best_dist = d;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Runs the full elbow selection: clusters for each `k` in `ks`, returns the
+/// chosen `k`. Falls back to the first candidate when the curve is too short.
+pub fn select_k_elbow(x: &Matrix, ks: &[usize], seed: u64) -> usize {
+    assert!(!ks.is_empty(), "candidate list must be non-empty");
+    let inertias = inertia_curve(x, ks, seed, 10);
+    match elbow_index(ks, &inertias) {
+        Some(i) => ks[i],
+        None => ks[0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::rng::{rng_from_seed, standard_normal};
+
+    fn three_blobs() -> Matrix {
+        let mut rng = rng_from_seed(1);
+        let mut flat = Vec::new();
+        for c in 0..3 {
+            for _ in 0..60 {
+                flat.push((c as f64) * 8.0 + standard_normal(&mut rng) * 0.3);
+                flat.push((c as f64) * -4.0 + standard_normal(&mut rng) * 0.3);
+            }
+        }
+        Matrix::from_vec(180, 2, flat).unwrap()
+    }
+
+    #[test]
+    fn inertia_curve_decreases() {
+        let x = three_blobs();
+        let ks = [1, 2, 3, 4, 5];
+        let curve = inertia_curve(&x, &ks, 0, 15);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] * 1.05, "curve not decreasing: {curve:?}");
+        }
+    }
+
+    #[test]
+    fn elbow_finds_the_true_k_on_clean_blobs() {
+        let x = three_blobs();
+        let k = select_k_elbow(&x, &[1, 2, 3, 4, 5, 6], 0);
+        assert!(
+            (2..=4).contains(&k),
+            "elbow should land near the true k=3, got {k}"
+        );
+    }
+
+    #[test]
+    fn elbow_index_edge_cases() {
+        assert_eq!(elbow_index(&[1, 2], &[5.0, 1.0]), None);
+        assert_eq!(elbow_index(&[1, 2, 3], &[5.0, 1.0]), None); // length mismatch
+                                                                // A sharp elbow at the middle point.
+        assert_eq!(elbow_index(&[1, 2, 3], &[10.0, 1.0, 0.9]), Some(1));
+    }
+
+    #[test]
+    fn flat_curve_picks_first() {
+        let idx = elbow_index(&[1, 2, 3], &[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(idx, 0);
+    }
+}

@@ -1,0 +1,357 @@
+//! k-means clustering with k-means++ seeding and Lloyd iterations.
+//!
+//! The paper defaults to 10 Lloyd iterations (§III-E's cost analysis assumes
+//! this), which [`KMeansConfig::default`] mirrors.
+
+use hpo_data::matrix::Matrix;
+use hpo_data::rng::rng_from_seed;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Configuration for [`kmeans`].
+#[derive(Clone, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters `v`.
+    pub k: usize,
+    /// Maximum Lloyd iterations (paper default: 10).
+    pub max_iters: usize,
+    /// Convergence threshold on the relative inertia improvement.
+    pub tol: f64,
+    /// RNG seed for the k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 3,
+            max_iters: 10,
+            tol: 1e-6,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster assignment per row of the input.
+    pub assignments: Vec<usize>,
+    /// Final centroids, one per row.
+    pub centroids: Matrix,
+    /// Final inertia (sum of squared distances to assigned centroids).
+    pub inertia: f64,
+    /// Lloyd iterations actually performed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Instance count per cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.rows()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Runs k-means on the rows of `x`.
+///
+/// Uses k-means++ seeding, then Lloyd iterations until `max_iters` or the
+/// relative inertia improvement drops below `tol`. Clusters that become empty
+/// are re-seeded with the point farthest from its assigned centroid, so the
+/// result always has exactly `k` non-degenerate centroids when `x.rows() >= k`.
+///
+/// # Panics
+/// Panics if `k == 0` or `x` has fewer rows than `k`.
+pub fn kmeans(x: &Matrix, config: &KMeansConfig) -> KMeansResult {
+    let n = x.rows();
+    let k = config.k;
+    assert!(k >= 1, "k must be positive");
+    assert!(n >= k, "cannot form {k} clusters from {n} points");
+
+    let mut rng = rng_from_seed(config.seed);
+    let mut centroids = plus_plus_init(x, k, &mut rng);
+    let mut assignments = vec![0usize; n];
+    let mut inertia = f64::INFINITY;
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iters.max(1) {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut new_inertia = 0.0;
+        for (i, row) in x.iter_rows().enumerate() {
+            let (best, dist) = nearest_centroid(row, &centroids);
+            assignments[i] = best;
+            new_inertia += dist;
+        }
+        // Update step.
+        let mut sums = Matrix::zeros(k, x.cols());
+        let mut counts = vec![0usize; k];
+        for (i, row) in x.iter_rows().enumerate() {
+            let a = assignments[i];
+            counts[a] += 1;
+            for (s, &v) in sums.row_mut(a).iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // indexes counts, centroids and sums together
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the point farthest from its
+                // current centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = Matrix::dist_sq(x.row(a), centroids.row(assignments[a]));
+                        let db = Matrix::dist_sq(x.row(b), centroids.row(assignments[b]));
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("n >= k >= 1");
+                centroids.row_mut(c).copy_from_slice(x.row(far));
+            } else {
+                let inv = 1.0 / counts[c] as f64;
+                for (cv, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                    *cv = s * inv;
+                }
+            }
+        }
+        // Convergence check on relative improvement.
+        let converged =
+            inertia.is_finite() && (inertia - new_inertia).abs() <= config.tol * inertia.max(1e-12);
+        inertia = new_inertia;
+        if converged {
+            break;
+        }
+    }
+
+    // Final assignment against the converged centroids.
+    let mut final_inertia = 0.0;
+    for (i, row) in x.iter_rows().enumerate() {
+        let (best, dist) = nearest_centroid(row, &centroids);
+        assignments[i] = best;
+        final_inertia += dist;
+    }
+
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia: final_inertia,
+        iterations,
+    }
+}
+
+/// k-means++ seeding: first center uniform, subsequent centers with
+/// probability proportional to squared distance to the nearest chosen center.
+fn plus_plus_init(x: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = x.rows();
+    let mut centroids = Matrix::zeros(k, x.cols());
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(x.row(first));
+
+    let mut dist_sq: Vec<f64> = x
+        .iter_rows()
+        .map(|row| Matrix::dist_sq(row, centroids.row(0)))
+        .collect();
+
+    for c in 1..k {
+        let total: f64 = dist_sq.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with chosen centers; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &d) in dist_sq.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.row_mut(c).copy_from_slice(x.row(chosen));
+        for (i, row) in x.iter_rows().enumerate() {
+            let d = Matrix::dist_sq(row, centroids.row(c));
+            if d < dist_sq[i] {
+                dist_sq[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// Index of and squared distance to the nearest centroid.
+#[inline]
+fn nearest_centroid(row: &[f64], centroids: &Matrix) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (c, center) in centroids.iter_rows().enumerate() {
+        let d = Matrix::dist_sq(row, center);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// Computes the inertia of an arbitrary assignment (used by tests/benches).
+pub fn inertia_of(x: &Matrix, assignments: &[usize], centroids: &Matrix) -> f64 {
+    x.iter_rows()
+        .zip(assignments)
+        .map(|(row, &a)| Matrix::dist_sq(row, centroids.row(a)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    fn blobs(n: usize, k: usize, seed: u64) -> Matrix {
+        let spec = ClassificationSpec {
+            n_instances: n,
+            n_features: 4,
+            n_informative: 4,
+            n_classes: 2,
+            n_blobs: k,
+            label_purity: 1.0,
+            label_noise: 0.0,
+            blob_spread: 0.15,
+            ..Default::default()
+        };
+        make_classification(&spec, seed).x().clone()
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let x = blobs(300, 3, 1);
+        let result = kmeans(
+            &x,
+            &KMeansConfig {
+                k: 3,
+                max_iters: 30,
+                ..Default::default()
+            },
+        );
+        let sizes = result.cluster_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 300);
+        assert!(
+            sizes.iter().all(|&s| s > 30),
+            "blob recovery failed: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn inertia_never_increases_with_more_iterations() {
+        let x = blobs(200, 4, 2);
+        let short = kmeans(
+            &x,
+            &KMeansConfig {
+                k: 4,
+                max_iters: 1,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let long = kmeans(
+            &x,
+            &KMeansConfig {
+                k: 4,
+                max_iters: 20,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        assert!(long.inertia <= short.inertia + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = blobs(150, 3, 3);
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = kmeans(&x, &cfg);
+        let b = kmeans(&x, &cfg);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[5.0, 5.0], &[10.0, 0.0]]);
+        let result = kmeans(
+            &x,
+            &KMeansConfig {
+                k: 3,
+                max_iters: 10,
+                ..Default::default()
+            },
+        );
+        assert!(result.inertia < 1e-9, "inertia {}", result.inertia);
+        let mut sizes = result.cluster_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn k_one_centroid_is_the_mean() {
+        let x = Matrix::from_rows(&[&[0.0], &[2.0], &[4.0]]);
+        let result = kmeans(
+            &x,
+            &KMeansConfig {
+                k: 1,
+                max_iters: 5,
+                ..Default::default()
+            },
+        );
+        assert!((result.centroids[(0, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_points_dont_crash() {
+        let x = Matrix::full(10, 3, 1.5);
+        let result = kmeans(
+            &x,
+            &KMeansConfig {
+                k: 3,
+                max_iters: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.assignments.len(), 10);
+        assert!(result.inertia < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot form")]
+    fn more_clusters_than_points_panics() {
+        let x = Matrix::zeros(2, 2);
+        kmeans(
+            &x,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn inertia_of_matches_result() {
+        let x = blobs(100, 2, 7);
+        let r = kmeans(
+            &x,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        let recomputed = inertia_of(&x, &r.assignments, &r.centroids);
+        assert!((recomputed - r.inertia).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,26 @@
+//! Clustering substrate for the grouping step (paper §III-A).
+//!
+//! The paper clusters instances by their features with k-means before the
+//! HPO process starts, re-clustering whenever a cluster falls below
+//! `r_group` of the average cluster size. This crate provides:
+//!
+//! * [`mod@kmeans`] — k-means with k-means++ seeding and Lloyd iterations.
+//! * [`balanced`] — the paper's iterative "remove tiny clusters and
+//!   re-cluster" loop.
+//! * [`elbow`] — the elbow heuristic for choosing `v` (paper cites it as an
+//!   alternative to the fixed `v ≤ 5`).
+//! * [`meanshift`] / [`affinity`] — the two alternative clustering
+//!   algorithms the paper names for the grouping step.
+//! * [`silhouette`] — silhouette score diagnostics used in tests and benches.
+
+#![warn(missing_docs)]
+
+pub mod affinity;
+pub mod balanced;
+pub mod elbow;
+pub mod kmeans;
+pub mod meanshift;
+pub mod silhouette;
+
+pub use balanced::{balanced_kmeans, BalancedKMeansConfig};
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};

@@ -1,0 +1,239 @@
+//! Mean-shift clustering.
+//!
+//! The paper (§III-A) lists mean-shift as an alternative clustering
+//! algorithm for the grouping step ("our method can employ various
+//! clustering algorithms such as k-means, mean-shift, and affinity
+//! propagation"). This is a flat-kernel implementation: every point climbs
+//! to the mean of its bandwidth-neighbourhood until convergence; modes
+//! closer than the bandwidth merge into one cluster.
+
+use hpo_data::matrix::Matrix;
+
+/// Configuration for [`mean_shift`].
+#[derive(Clone, Debug)]
+pub struct MeanShiftConfig {
+    /// Kernel bandwidth (radius of the flat kernel). Use
+    /// [`estimate_bandwidth`] when unsure.
+    pub bandwidth: f64,
+    /// Maximum hill-climbing iterations per point.
+    pub max_iters: usize,
+    /// Convergence threshold on the squared shift distance.
+    pub tol: f64,
+}
+
+impl Default for MeanShiftConfig {
+    fn default() -> Self {
+        MeanShiftConfig {
+            bandwidth: 1.0,
+            max_iters: 50,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// Outcome of a mean-shift run.
+#[derive(Clone, Debug)]
+pub struct MeanShiftResult {
+    /// Cluster assignment per input row.
+    pub assignments: Vec<usize>,
+    /// Cluster modes, one per row.
+    pub modes: Matrix,
+}
+
+impl MeanShiftResult {
+    /// Number of clusters discovered.
+    pub fn n_clusters(&self) -> usize {
+        self.modes.rows()
+    }
+}
+
+/// Runs flat-kernel mean-shift on the rows of `x`.
+///
+/// O(n² · iters) — appropriate for the grouping step's dataset sizes (the
+/// paper notes a data subsample suffices for clustering when `n` is large).
+///
+/// # Panics
+/// Panics on an empty input or non-positive bandwidth.
+pub fn mean_shift(x: &Matrix, config: &MeanShiftConfig) -> MeanShiftResult {
+    assert!(x.rows() > 0, "cannot cluster zero points");
+    assert!(config.bandwidth > 0.0, "bandwidth must be positive");
+    let n = x.rows();
+    let d = x.cols();
+    let bw_sq = config.bandwidth * config.bandwidth;
+
+    // Hill-climb every point to its mode.
+    let mut points = x.clone();
+    for i in 0..n {
+        let mut current = points.row(i).to_vec();
+        for _ in 0..config.max_iters {
+            let mut mean = vec![0.0; d];
+            let mut count = 0usize;
+            for row in x.iter_rows() {
+                if Matrix::dist_sq(&current, row) <= bw_sq {
+                    for (m, &v) in mean.iter_mut().zip(row) {
+                        *m += v;
+                    }
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                break; // isolated point: it is its own mode
+            }
+            for m in mean.iter_mut() {
+                *m /= count as f64;
+            }
+            let shift = Matrix::dist_sq(&current, &mean);
+            current = mean;
+            if shift < config.tol {
+                break;
+            }
+        }
+        points.row_mut(i).copy_from_slice(&current);
+    }
+
+    // Merge modes within one bandwidth of each other (first-come ordering).
+    let mut modes: Vec<Vec<f64>> = Vec::new();
+    let mut assignments = vec![0usize; n];
+    for (i, slot) in assignments.iter_mut().enumerate() {
+        let p = points.row(i);
+        match modes.iter().position(|m| Matrix::dist_sq(m, p) <= bw_sq) {
+            Some(c) => *slot = c,
+            None => {
+                *slot = modes.len();
+                modes.push(p.to_vec());
+            }
+        }
+    }
+    let flat: Vec<f64> = modes.iter().flatten().copied().collect();
+    let modes = Matrix::from_vec(modes.len(), d, flat).expect("modes stack cleanly");
+    MeanShiftResult { assignments, modes }
+}
+
+/// Bandwidth heuristic: the mean distance of each point to its
+/// `quantile`-th nearest neighbour (scikit-learn's `estimate_bandwidth`
+/// idea, exact O(n²) variant).
+///
+/// Returns a small positive floor for degenerate (all-identical) inputs.
+pub fn estimate_bandwidth(x: &Matrix, quantile: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&quantile), "quantile must be in [0,1]");
+    let n = x.rows();
+    if n < 2 {
+        return 1.0;
+    }
+    let k = (((n - 1) as f64) * quantile).round().max(1.0) as usize;
+    let mut total = 0.0;
+    let mut dists = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        dists.clear();
+        let row_i = x.row(i);
+        for (j, row_j) in x.iter_rows().enumerate() {
+            if i != j {
+                dists.push(Matrix::dist_sq(row_i, row_j));
+            }
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        total += dists[k.min(dists.len()) - 1].sqrt();
+    }
+    (total / n as f64).max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::rng::{rng_from_seed, standard_normal};
+
+    fn two_blobs(n_each: usize, sep: f64, seed: u64) -> Matrix {
+        let mut rng = rng_from_seed(seed);
+        let mut flat = Vec::with_capacity(n_each * 4);
+        for c in 0..2 {
+            for _ in 0..n_each {
+                flat.push(c as f64 * sep + standard_normal(&mut rng) * 0.2);
+                flat.push(standard_normal(&mut rng) * 0.2);
+            }
+        }
+        Matrix::from_vec(n_each * 2, 2, flat).unwrap()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let x = two_blobs(40, 6.0, 1);
+        let result = mean_shift(
+            &x,
+            &MeanShiftConfig {
+                bandwidth: 1.5,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.n_clusters(), 2, "modes: {:?}", result.modes);
+        // first 40 points share a cluster, last 40 the other
+        let first = result.assignments[0];
+        assert!(result.assignments[..40].iter().all(|&a| a == first));
+        assert!(result.assignments[40..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn huge_bandwidth_gives_one_cluster() {
+        let x = two_blobs(20, 3.0, 2);
+        let result = mean_shift(
+            &x,
+            &MeanShiftConfig {
+                bandwidth: 100.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.n_clusters(), 1);
+    }
+
+    #[test]
+    fn tiny_bandwidth_isolates_points() {
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[5.0, 0.0], &[0.0, 5.0]]);
+        let result = mean_shift(
+            &x,
+            &MeanShiftConfig {
+                bandwidth: 0.1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.n_clusters(), 3);
+    }
+
+    #[test]
+    fn bandwidth_estimate_scales_with_separation() {
+        let near = estimate_bandwidth(&two_blobs(30, 2.0, 3), 0.3);
+        let far = estimate_bandwidth(&two_blobs(30, 20.0, 3), 0.3);
+        assert!(
+            far > near,
+            "estimate should grow with spread: {near} vs {far}"
+        );
+        assert!(near > 0.0);
+    }
+
+    #[test]
+    fn estimated_bandwidth_recovers_blobs() {
+        let x = two_blobs(30, 8.0, 4);
+        let bw = estimate_bandwidth(&x, 0.3);
+        let result = mean_shift(
+            &x,
+            &MeanShiftConfig {
+                bandwidth: bw,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (2..=4).contains(&result.n_clusters()),
+            "clusters: {}",
+            result.n_clusters()
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let single = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let r = mean_shift(&single, &MeanShiftConfig::default());
+        assert_eq!(r.n_clusters(), 1);
+        assert_eq!(estimate_bandwidth(&single, 0.3), 1.0);
+        let identical = Matrix::full(5, 2, 3.0);
+        let r = mean_shift(&identical, &MeanShiftConfig::default());
+        assert_eq!(r.n_clusters(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Silhouette score for clustering quality diagnostics.
+//!
+//! Used in tests and in the clustering micro-benchmarks to check that the
+//! balanced re-clustering loop does not destroy cluster quality.
+
+use hpo_data::matrix::Matrix;
+
+/// Mean silhouette coefficient over all points.
+///
+/// For each point: `s = (b - a) / max(a, b)` where `a` is the mean distance
+/// to points of its own cluster and `b` the smallest mean distance to another
+/// cluster. Points in singleton clusters score 0, matching scikit-learn.
+///
+/// Returns `None` when there are fewer than 2 clusters or fewer than 2 points.
+///
+/// This is the O(n²) exact computation — fine for the dataset sizes the
+/// diagnostics run on.
+pub fn silhouette_score(x: &Matrix, assignments: &[usize]) -> Option<f64> {
+    let n = x.rows();
+    if n < 2 || assignments.len() != n {
+        return None;
+    }
+    let k = assignments.iter().copied().max()? + 1;
+    let mut sizes = vec![0usize; k];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+    if sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return None;
+    }
+
+    let mut total = 0.0;
+    // Reuse one distance accumulator per point to avoid re-allocating.
+    let mut sums = vec![0.0f64; k];
+    for i in 0..n {
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        let row_i = x.row(i);
+        for (j, row_j) in x.iter_rows().enumerate() {
+            if i == j {
+                continue;
+            }
+            sums[assignments[j]] += Matrix::dist_sq(row_i, row_j).sqrt();
+        }
+        let own = assignments[i];
+        if sizes[own] <= 1 {
+            continue; // singleton contributes 0
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    Some(total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_scores_near_one() {
+        let x = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.1, 0.0],
+            &[0.0, 0.1],
+            &[100.0, 100.0],
+            &[100.1, 100.0],
+            &[100.0, 100.1],
+        ]);
+        let s = silhouette_score(&x, &[0, 0, 0, 1, 1, 1]).unwrap();
+        assert!(s > 0.95, "score {s}");
+    }
+
+    #[test]
+    fn random_assignment_scores_low() {
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.1, 0.0], &[100.0, 100.0], &[100.1, 100.0]]);
+        // Deliberately mixed-up assignment.
+        let s = silhouette_score(&x, &[0, 1, 0, 1]).unwrap();
+        assert!(s < 0.1, "score {s}");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        assert!(silhouette_score(&x, &[0, 0]).is_none()); // one cluster
+        let single = Matrix::from_rows(&[&[1.0]]);
+        assert!(silhouette_score(&single, &[0]).is_none()); // one point
+        assert!(silhouette_score(&x, &[0]).is_none()); // length mismatch
+    }
+
+    #[test]
+    fn singleton_cluster_contributes_zero() {
+        let x = Matrix::from_rows(&[&[0.0], &[0.1], &[50.0]]);
+        let s = silhouette_score(&x, &[0, 0, 1]).unwrap();
+        // Two good points with s≈1, one singleton with s=0 → mean ≈ 2/3.
+        assert!((s - 2.0 / 3.0).abs() < 0.05, "score {s}");
+    }
+}

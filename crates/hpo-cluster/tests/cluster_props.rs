@@ -1,0 +1,58 @@
+//! Property tests for the clustering algorithms.
+
+use hpo_cluster::balanced::{balanced_kmeans, BalancedKMeansConfig};
+use hpo_cluster::kmeans::{inertia_of, kmeans, KMeansConfig};
+use hpo_cluster::silhouette::silhouette_score;
+use hpo_data::matrix::Matrix;
+use proptest::prelude::*;
+
+fn points(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-20.0f64..20.0, n * 2)
+        .prop_map(move |v| Matrix::from_vec(n, 2, v).expect("shape matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// k-means centroids are no worse than random centroids (inertia-wise).
+    #[test]
+    fn kmeans_beats_arbitrary_assignment(x in points(40), seed in 0u64..100) {
+        let k = 3;
+        let result = kmeans(&x, &KMeansConfig { k, seed, max_iters: 15, ..Default::default() });
+        // Compare with assigning everything to centroid 0.
+        let all_zero = vec![0usize; 40];
+        let baseline = inertia_of(&x, &all_zero, &result.centroids);
+        prop_assert!(result.inertia <= baseline + 1e-9);
+    }
+
+    /// Balanced k-means always yields a partition with every label < k.
+    #[test]
+    fn balanced_kmeans_is_total(x in points(30), r_group in 0.0f64..0.95, seed in 0u64..50) {
+        let result = balanced_kmeans(&x, &BalancedKMeansConfig {
+            k: 3,
+            r_group,
+            seed,
+            ..Default::default()
+        });
+        prop_assert_eq!(result.assignments.len(), 30);
+        prop_assert!(result.assignments.iter().all(|&a| a < 3));
+    }
+
+    /// Silhouette, when defined, is in [-1, 1].
+    #[test]
+    fn silhouette_bounds(x in points(20), seed in 0u64..50) {
+        let result = kmeans(&x, &KMeansConfig { k: 2, seed, ..Default::default() });
+        if let Some(s) = silhouette_score(&x, &result.assignments) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s), "silhouette {}", s);
+        }
+    }
+
+    /// More clusters never increase the optimal inertia (with shared seeds,
+    /// allow small slack for local optima).
+    #[test]
+    fn inertia_decreases_with_k(x in points(30), seed in 0u64..20) {
+        let i2 = kmeans(&x, &KMeansConfig { k: 2, seed, max_iters: 20, ..Default::default() }).inertia;
+        let i6 = kmeans(&x, &KMeansConfig { k: 6, seed, max_iters: 20, ..Default::default() }).inertia;
+        prop_assert!(i6 <= i2 * 1.2 + 1e-6, "k=6 inertia {} vs k=2 {}", i6, i2);
+    }
+}

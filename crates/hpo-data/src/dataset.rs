@@ -1,0 +1,248 @@
+//! The [`Dataset`] type: features, labels and task kind.
+
+use crate::error::DataError;
+use crate::matrix::Matrix;
+
+/// The learning task a dataset poses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Task {
+    /// Binary classification; labels are `0.0` or `1.0`.
+    BinaryClassification,
+    /// Multi-class classification with `classes` classes; labels are
+    /// `0.0 .. classes-1`.
+    MultiClassification {
+        /// Total number of classes `u`.
+        classes: usize,
+    },
+    /// Regression; labels are arbitrary reals.
+    Regression,
+}
+
+impl Task {
+    /// Number of classes, or `None` for regression.
+    pub fn n_classes(&self) -> Option<usize> {
+        match self {
+            Task::BinaryClassification => Some(2),
+            Task::MultiClassification { classes } => Some(*classes),
+            Task::Regression => None,
+        }
+    }
+
+    /// Whether this is a classification task.
+    pub fn is_classification(&self) -> bool {
+        !matches!(self, Task::Regression)
+    }
+}
+
+/// A dataset `D = {d_i | i = 1..n}` of `n` instances: a feature matrix,
+/// a label vector, and the task kind (paper Table I).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Feature matrix, one instance per row.
+    x: Matrix,
+    /// Label per instance. Class indices for classification, targets for
+    /// regression.
+    y: Vec<f64>,
+    /// Task the labels encode.
+    task: Task,
+    /// Optional human-readable name (e.g. the paper dataset it stands in for).
+    name: String,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating label/feature agreement.
+    ///
+    /// # Errors
+    /// Returns [`DataError::Shape`] when `x.rows() != y.len()`, and
+    /// [`DataError::InvalidArgument`] when classification labels are not
+    /// valid class indices for the declared task.
+    pub fn new(x: Matrix, y: Vec<f64>, task: Task) -> Result<Self, DataError> {
+        if x.rows() != y.len() {
+            return Err(DataError::shape(format!(
+                "{} feature rows but {} labels",
+                x.rows(),
+                y.len()
+            )));
+        }
+        if let Some(k) = task.n_classes() {
+            for (i, &label) in y.iter().enumerate() {
+                if label.fract() != 0.0 || label < 0.0 || label >= k as f64 {
+                    return Err(DataError::invalid(
+                        "y",
+                        format!("label {label} at row {i} is not a class index in 0..{k}"),
+                    ));
+                }
+            }
+        }
+        Ok(Dataset {
+            x,
+            y,
+            task,
+            name: String::new(),
+        })
+    }
+
+    /// Sets a human-readable name (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The dataset name (may be empty).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instances `n`.
+    pub fn n_instances(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of features `f`.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// The task kind.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// The feature matrix.
+    pub fn x(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The label vector.
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Features of instance `i`.
+    pub fn instance(&self, i: usize) -> &[f64] {
+        self.x.row(i)
+    }
+
+    /// Label of instance `i`.
+    pub fn label(&self, i: usize) -> f64 {
+        self.y[i]
+    }
+
+    /// Label of instance `i` as a class index.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when called on a regression dataset.
+    pub fn class(&self, i: usize) -> usize {
+        debug_assert!(self.task.is_classification());
+        self.y[i] as usize
+    }
+
+    /// Builds a new dataset containing the given rows, in order.
+    ///
+    /// Duplicate indices are allowed; the task and name are preserved.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            task: self.task,
+            name: self.name.clone(),
+        }
+    }
+
+    /// Builds a new dataset containing only the given feature columns
+    /// (labels and task preserved) — used by per-tree feature subsampling in
+    /// random forests.
+    ///
+    /// # Panics
+    /// Panics if any column index is out of bounds.
+    pub fn select_features(&self, columns: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_cols(columns),
+            y: self.y.clone(),
+            task: self.task,
+            name: self.name.clone(),
+        }
+    }
+
+    /// Replaces the labels (used by label-merging; see [`crate::labels`]).
+    ///
+    /// # Errors
+    /// Same validation as [`Dataset::new`].
+    pub fn with_labels(&self, y: Vec<f64>, task: Task) -> Result<Dataset, DataError> {
+        Dataset::new(self.x.clone(), y, task).map(|d| d.with_name(self.name.clone()))
+    }
+
+    /// Per-class instance counts (classification only).
+    ///
+    /// Index `c` of the returned vector is the number of instances of class
+    /// `c`.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let k = self.task.n_classes().unwrap_or(0);
+        let mut counts = vec![0usize; k];
+        for &label in &self.y {
+            counts[label as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        Dataset::new(x, vec![0.0, 1.0, 0.0, 1.0], Task::BinaryClassification).unwrap()
+    }
+
+    #[test]
+    fn new_validates_shapes() {
+        let x = Matrix::zeros(3, 2);
+        assert!(Dataset::new(x, vec![0.0, 1.0], Task::BinaryClassification).is_err());
+    }
+
+    #[test]
+    fn new_validates_class_indices() {
+        let x = Matrix::zeros(2, 1);
+        assert!(Dataset::new(x.clone(), vec![0.0, 2.0], Task::BinaryClassification).is_err());
+        assert!(Dataset::new(x.clone(), vec![0.0, 0.5], Task::BinaryClassification).is_err());
+        assert!(Dataset::new(x, vec![0.0, -1.0], Task::Regression).is_ok());
+    }
+
+    #[test]
+    fn select_preserves_labels_and_task() {
+        let d = toy();
+        let s = d.select(&[3, 0]);
+        assert_eq!(s.n_instances(), 2);
+        assert_eq!(s.y(), &[1.0, 0.0]);
+        assert_eq!(s.instance(0), &[3.0, 3.0]);
+        assert_eq!(s.task(), Task::BinaryClassification);
+    }
+
+    #[test]
+    fn class_counts_are_correct() {
+        let d = toy();
+        assert_eq!(d.class_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    fn task_helpers() {
+        assert_eq!(Task::BinaryClassification.n_classes(), Some(2));
+        assert_eq!(
+            Task::MultiClassification { classes: 6 }.n_classes(),
+            Some(6)
+        );
+        assert_eq!(Task::Regression.n_classes(), None);
+        assert!(!Task::Regression.is_classification());
+    }
+
+    #[test]
+    fn with_labels_replaces_y() {
+        let d = toy();
+        let r = d
+            .with_labels(vec![0.5, 1.5, 2.5, 3.5], Task::Regression)
+            .unwrap();
+        assert_eq!(r.task(), Task::Regression);
+        assert_eq!(r.label(2), 2.5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type for dataset construction and IO.
+
+use std::fmt;
+
+/// Errors produced while constructing, transforming or loading datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// Matrix or dataset dimensions are inconsistent with the operation.
+    Shape {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// An argument was outside its valid domain (e.g. a ratio not in `(0,1)`).
+    InvalidArgument {
+        /// Name of the offending argument.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        detail: String,
+    },
+    /// A dataset file could not be parsed.
+    Parse {
+        /// 1-based line number where parsing failed, if known.
+        line: Option<usize>,
+        /// Description of the parse failure.
+        detail: String,
+    },
+    /// Underlying IO failure while reading or writing dataset files.
+    Io(std::io::Error),
+}
+
+impl DataError {
+    /// Convenience constructor for a shape mismatch.
+    pub fn shape(detail: impl Into<String>) -> Self {
+        DataError::Shape {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for an invalid argument.
+    pub fn invalid(name: &'static str, detail: impl Into<String>) -> Self {
+        DataError::InvalidArgument {
+            name,
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for a parse failure.
+    pub fn parse(line: Option<usize>, detail: impl Into<String>) -> Self {
+        DataError::Parse {
+            line,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Shape { detail } => write!(f, "shape mismatch: {detail}"),
+            DataError::InvalidArgument { name, detail } => {
+                write!(f, "invalid argument `{name}`: {detail}")
+            }
+            DataError::Parse {
+                line: Some(l),
+                detail,
+            } => {
+                write!(f, "parse error at line {l}: {detail}")
+            }
+            DataError::Parse { line: None, detail } => write!(f, "parse error: {detail}"),
+            DataError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_detail() {
+        let e = DataError::shape("rows 3 != cols 4");
+        assert!(e.to_string().contains("rows 3 != cols 4"));
+        let e = DataError::invalid("ratio", "must be in (0,1)");
+        assert!(e.to_string().contains("ratio"));
+        let e = DataError::parse(Some(7), "bad float");
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_roundtrip_preserves_kind() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: DataError = io.into();
+        match e {
+            DataError::Io(inner) => assert_eq!(inner.kind(), std::io::ErrorKind::NotFound),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+}

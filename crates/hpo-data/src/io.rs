@@ -1,0 +1,277 @@
+//! Dataset IO: LibSVM and CSV formats.
+//!
+//! The synthetic catalog drives the experiments, but real datasets (the
+//! paper's LibSVM/UCI/Kaggle files) can be dropped in through these loaders.
+
+use crate::dataset::{Dataset, Task};
+use crate::error::DataError;
+use crate::matrix::Matrix;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses LibSVM format (`label idx:value idx:value ...`) from a reader.
+///
+/// Feature indices are 1-based per the format. Labels are remapped to dense
+/// class indices `0..k` in sorted order of their original values when
+/// `classification` is true; raw values are kept for regression.
+///
+/// # Errors
+/// Returns [`DataError::Parse`] on malformed lines.
+pub fn read_libsvm(reader: impl Read, classification: bool) -> Result<Dataset, DataError> {
+    let reader = BufReader::new(reader);
+    let mut raw_labels: Vec<f64> = Vec::new();
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut max_feature = 0usize;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let label_tok = parts.next().expect("non-empty line has a first token");
+        let label: f64 = label_tok
+            .parse()
+            .map_err(|_| DataError::parse(Some(lineno + 1), format!("bad label `{label_tok}`")))?;
+        let mut feats = Vec::new();
+        for tok in parts {
+            let (idx, val) = tok.split_once(':').ok_or_else(|| {
+                DataError::parse(Some(lineno + 1), format!("expected idx:value, got `{tok}`"))
+            })?;
+            let idx: usize = idx.parse().map_err(|_| {
+                DataError::parse(Some(lineno + 1), format!("bad feature index `{idx}`"))
+            })?;
+            if idx == 0 {
+                return Err(DataError::parse(
+                    Some(lineno + 1),
+                    "libsvm feature indices are 1-based",
+                ));
+            }
+            let val: f64 = val.parse().map_err(|_| {
+                DataError::parse(Some(lineno + 1), format!("bad feature value `{val}`"))
+            })?;
+            max_feature = max_feature.max(idx);
+            feats.push((idx - 1, val));
+        }
+        raw_labels.push(label);
+        rows.push(feats);
+    }
+
+    let n = rows.len();
+    let mut x = Matrix::zeros(n, max_feature);
+    for (r, feats) in rows.iter().enumerate() {
+        for &(c, v) in feats {
+            x[(r, c)] = v;
+        }
+    }
+
+    if classification {
+        let (y, k) = densify_labels(&raw_labels);
+        let task = if k == 2 {
+            Task::BinaryClassification
+        } else {
+            Task::MultiClassification { classes: k }
+        };
+        Dataset::new(x, y, task)
+    } else {
+        Dataset::new(x, raw_labels, Task::Regression)
+    }
+}
+
+/// Reads a LibSVM file from disk.
+///
+/// # Errors
+/// IO and parse errors as in [`read_libsvm`].
+pub fn read_libsvm_file(
+    path: impl AsRef<Path>,
+    classification: bool,
+) -> Result<Dataset, DataError> {
+    let file = std::fs::File::open(path)?;
+    read_libsvm(file, classification)
+}
+
+/// Writes a dataset in LibSVM format (zeros omitted).
+///
+/// # Errors
+/// Propagates IO failures.
+pub fn write_libsvm(data: &Dataset, mut writer: impl Write) -> Result<(), DataError> {
+    for i in 0..data.n_instances() {
+        write!(writer, "{}", data.label(i))?;
+        for (j, &v) in data.instance(i).iter().enumerate() {
+            if v != 0.0 {
+                write!(writer, " {}:{}", j + 1, v)?;
+            }
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Parses a headerless CSV of floats where the **last column is the label**.
+///
+/// Classification labels are remapped to dense class indices as in
+/// [`read_libsvm`].
+///
+/// # Errors
+/// Returns [`DataError::Parse`] on ragged rows or non-numeric cells.
+pub fn read_csv(reader: impl Read, classification: bool) -> Result<Dataset, DataError> {
+    let reader = BufReader::new(reader);
+    let mut raw_labels = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    let mut n_cols: Option<usize> = None;
+    let mut n_rows = 0usize;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        match n_cols {
+            None => n_cols = Some(cells.len()),
+            Some(c) if c != cells.len() => {
+                return Err(DataError::parse(
+                    Some(lineno + 1),
+                    format!("expected {c} columns, found {}", cells.len()),
+                ))
+            }
+            _ => {}
+        }
+        let (feat_cells, label_cell) = cells.split_at(cells.len() - 1);
+        for cell in feat_cells {
+            values.push(
+                cell.parse().map_err(|_| {
+                    DataError::parse(Some(lineno + 1), format!("bad number `{cell}`"))
+                })?,
+            );
+        }
+        raw_labels.push(label_cell[0].parse().map_err(|_| {
+            DataError::parse(Some(lineno + 1), format!("bad label `{}`", label_cell[0]))
+        })?);
+        n_rows += 1;
+    }
+    let n_feats = n_cols.map_or(0, |c| c.saturating_sub(1));
+    let x = Matrix::from_vec(n_rows, n_feats, values)?;
+    if classification {
+        let (y, k) = densify_labels(&raw_labels);
+        let task = if k == 2 {
+            Task::BinaryClassification
+        } else {
+            Task::MultiClassification { classes: k }
+        };
+        Dataset::new(x, y, task)
+    } else {
+        Dataset::new(x, raw_labels, Task::Regression)
+    }
+}
+
+/// Writes a dataset as headerless CSV with the label in the last column.
+///
+/// # Errors
+/// Propagates IO failures.
+pub fn write_csv(data: &Dataset, mut writer: impl Write) -> Result<(), DataError> {
+    for i in 0..data.n_instances() {
+        for &v in data.instance(i) {
+            write!(writer, "{v},")?;
+        }
+        writeln!(writer, "{}", data.label(i))?;
+    }
+    Ok(())
+}
+
+/// Remaps arbitrary numeric labels to dense `0..k` indices (sorted order).
+fn densify_labels(raw: &[f64]) -> (Vec<f64>, usize) {
+    let mut mapping: BTreeMap<u64, usize> = BTreeMap::new();
+    for &l in raw {
+        mapping.entry(l.to_bits()).or_insert(0);
+    }
+    // BTreeMap over raw bit patterns sorts negatives after positives; sort
+    // the distinct values properly instead.
+    let mut distinct: Vec<f64> = mapping.keys().map(|&b| f64::from_bits(b)).collect();
+    distinct.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let index: BTreeMap<u64, usize> = distinct
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v.to_bits(), i))
+        .collect();
+    let y = raw.iter().map(|l| index[&l.to_bits()] as f64).collect();
+    (y, distinct.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libsvm_roundtrip() {
+        let text = "+1 1:0.5 3:2.0\n-1 2:1.5\n+1 1:1.0 2:1.0 3:1.0\n";
+        let d = read_libsvm(text.as_bytes(), true).unwrap();
+        assert_eq!(d.n_instances(), 3);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.task(), Task::BinaryClassification);
+        // -1 maps to class 0, +1 to class 1 (sorted order)
+        assert_eq!(d.y(), &[1.0, 0.0, 1.0]);
+        assert_eq!(d.instance(0), &[0.5, 0.0, 2.0]);
+        assert_eq!(d.instance(1), &[0.0, 1.5, 0.0]);
+
+        let mut buf = Vec::new();
+        write_libsvm(&d, &mut buf).unwrap();
+        let d2 = read_libsvm(buf.as_slice(), true).unwrap();
+        assert_eq!(d2.y(), d.y());
+        assert_eq!(d2.x().as_slice(), d.x().as_slice());
+    }
+
+    #[test]
+    fn libsvm_rejects_malformed_input() {
+        assert!(read_libsvm("abc 1:2".as_bytes(), true).is_err());
+        assert!(read_libsvm("1 0:2".as_bytes(), true).is_err()); // 0-based index
+        assert!(read_libsvm("1 5".as_bytes(), true).is_err()); // missing colon
+        assert!(read_libsvm("1 1:x".as_bytes(), true).is_err());
+    }
+
+    #[test]
+    fn libsvm_ignores_comments_and_blank_lines() {
+        let text = "# header\n\n1 1:2.0 # trailing\n0 1:3.0\n";
+        let d = read_libsvm(text.as_bytes(), true).unwrap();
+        assert_eq!(d.n_instances(), 2);
+    }
+
+    #[test]
+    fn libsvm_regression_keeps_raw_labels() {
+        let d = read_libsvm("3.5 1:1\n-2.25 1:2\n".as_bytes(), false).unwrap();
+        assert_eq!(d.task(), Task::Regression);
+        assert_eq!(d.y(), &[3.5, -2.25]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let text = "1.0,2.0,0\n3.0,4.0,1\n5.0,6.0,0\n";
+        let d = read_csv(text.as_bytes(), true).unwrap();
+        assert_eq!(d.n_instances(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.y(), &[0.0, 1.0, 0.0]);
+
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let d2 = read_csv(buf.as_slice(), true).unwrap();
+        assert_eq!(d2.x().as_slice(), d.x().as_slice());
+        assert_eq!(d2.y(), d.y());
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        assert!(read_csv("1,2,0\n1,0\n".as_bytes(), true).is_err());
+    }
+
+    #[test]
+    fn multiclass_labels_densify_in_sorted_order() {
+        let text = "10 1:1\n-5 1:1\n3 1:1\n10 1:1\n";
+        let d = read_libsvm(text.as_bytes(), true).unwrap();
+        assert_eq!(d.task(), Task::MultiClassification { classes: 3 });
+        // sorted distinct: -5 -> 0, 3 -> 1, 10 -> 2
+        assert_eq!(d.y(), &[2.0, 0.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Label-category processing (paper §III-A).
+//!
+//! The grouping step needs a *label category* `c_i^y` per instance. For most
+//! classification datasets this is the raw class index. Two special cases
+//! from the paper are handled here:
+//!
+//! * **Imbalanced datasets** — classes holding fewer than `n/u × 10%`
+//!   instances are merged with the other infrequent classes into one
+//!   category ([`label_categories`]).
+//! * **Regression datasets** — numeric targets are divided by magnitude into
+//!   quantile bins and the bin index is used as the category
+//!   ([`bin_regression_labels`]).
+
+use crate::dataset::{Dataset, Task};
+use crate::stats::quantile;
+
+/// Fraction of the per-class average below which a class is considered rare
+/// (the paper merges classes with fewer than `n/u × 10%` instances).
+pub const RARE_CLASS_FRACTION: f64 = 0.10;
+
+/// Computes the label category `c_i^y` for every instance (paper §III-A).
+///
+/// For classification, rare classes (fewer than `n/u × 10%` instances) are
+/// merged into a single shared category; all other classes keep a category of
+/// their own. For regression, labels are binned into `regression_bins`
+/// quantile bins.
+///
+/// Returns `(categories, n_categories)` where `categories[i] ∈ 0..n_categories`.
+pub fn label_categories(data: &Dataset, regression_bins: usize) -> (Vec<usize>, usize) {
+    match data.task() {
+        Task::Regression => bin_regression_labels(data.y(), regression_bins),
+        _ => merge_rare_classes(data),
+    }
+}
+
+/// Merges rare classes of a classification dataset into one category.
+///
+/// Classes with at least `n/u × RARE_CLASS_FRACTION` instances each map to
+/// their own category; every rare class maps to one shared trailing category.
+/// If no class is rare the mapping is the identity.
+pub fn merge_rare_classes(data: &Dataset) -> (Vec<usize>, usize) {
+    let u = data
+        .task()
+        .n_classes()
+        .expect("merge_rare_classes requires a classification dataset");
+    let counts = data.class_counts();
+    let n = data.n_instances();
+    let threshold = (n as f64 / u as f64) * RARE_CLASS_FRACTION;
+
+    // class -> category mapping; rare classes share one category.
+    let mut mapping = vec![usize::MAX; u];
+    let mut next = 0usize;
+    let mut has_rare = false;
+    for (class, &count) in counts.iter().enumerate() {
+        if count > 0 && (count as f64) >= threshold {
+            mapping[class] = next;
+            next += 1;
+        } else if count > 0 {
+            // Only rare classes that actually occur create the shared bucket;
+            // absent classes map there too but don't force it into existence.
+            has_rare = true;
+        }
+    }
+    let rare_category = next;
+    let n_categories = if has_rare { next + 1 } else { next };
+    for m in mapping.iter_mut() {
+        if *m == usize::MAX {
+            *m = rare_category;
+        }
+    }
+    // Degenerate case: every class was rare (tiny dataset). Fall back to the
+    // identity mapping so at least one category exists per class.
+    if next == 0 {
+        let cats = data.y().iter().map(|&y| y as usize).collect();
+        return (cats, u);
+    }
+    let cats = data.y().iter().map(|&y| mapping[y as usize]).collect();
+    (cats, n_categories)
+}
+
+/// Bins regression targets into `bins` quantile bins by magnitude.
+///
+/// Returns `(bin_index_per_instance, n_bins_actually_used)`. Ties at bin
+/// boundaries go to the lower bin; empty input yields zero bins.
+pub fn bin_regression_labels(y: &[f64], bins: usize) -> (Vec<usize>, usize) {
+    assert!(bins >= 1, "need at least one bin");
+    if y.is_empty() {
+        return (Vec::new(), 0);
+    }
+    // Quantile cut points between bins.
+    let cuts: Vec<f64> = (1..bins)
+        .map(|b| quantile(y, b as f64 / bins as f64).expect("non-empty input"))
+        .collect();
+    let cats: Vec<usize> = y
+        .iter()
+        .map(|&v| cuts.iter().take_while(|&&c| v > c).count())
+        .collect();
+    // All-equal labels collapse every cut to the same value -> one bin.
+    let used = cats.iter().copied().max().unwrap_or(0) + 1;
+    (cats, used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn classification(y: Vec<f64>, classes: usize) -> Dataset {
+        let x = Matrix::zeros(y.len(), 2);
+        Dataset::new(x, y, Task::MultiClassification { classes }).unwrap()
+    }
+
+    #[test]
+    fn balanced_classes_keep_identity_mapping() {
+        let d = classification(vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0], 3);
+        let (cats, k) = merge_rare_classes(&d);
+        assert_eq!(k, 3);
+        assert_eq!(cats, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn rare_classes_are_merged() {
+        // 100 instances, 3 classes: class 2 has 2 instances < (100/3)*0.1 ≈ 3.3.
+        let mut y = vec![0.0; 49];
+        y.extend(vec![1.0; 49]);
+        y.extend(vec![2.0; 2]);
+        let d = classification(y, 3);
+        let (cats, k) = merge_rare_classes(&d);
+        assert_eq!(k, 3); // two frequent categories + one rare bucket
+        assert_eq!(cats[0], 0);
+        assert_eq!(cats[49], 1);
+        assert_eq!(cats[98], 2);
+        assert_eq!(cats[99], 2);
+    }
+
+    #[test]
+    fn two_rare_classes_share_one_bucket() {
+        // classes 2 and 3 are both rare and must share a category.
+        let mut y = vec![0.0; 50];
+        y.extend(vec![1.0; 46]);
+        y.extend(vec![2.0; 1]);
+        y.extend(vec![3.0; 1]);
+        let d = classification(y, 4);
+        let (cats, k) = merge_rare_classes(&d);
+        assert_eq!(k, 3);
+        assert_eq!(cats[96], cats[97]);
+    }
+
+    #[test]
+    fn absent_classes_do_not_create_a_rare_bucket() {
+        // Classes 2..99 never occur; the present classes 0 and 1 each exceed
+        // the rare threshold, so exactly two categories result.
+        let d = classification(vec![0.0, 1.0], 100);
+        let (cats, k) = merge_rare_classes(&d);
+        assert_eq!(k, 2);
+        assert_eq!(cats, vec![0, 1]);
+    }
+
+    #[test]
+    fn regression_binning_splits_by_quantile() {
+        let y: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let (cats, k) = bin_regression_labels(&y, 4);
+        assert_eq!(k, 4);
+        assert_eq!(cats[0], 0);
+        assert_eq!(cats[30], 1);
+        assert_eq!(cats[60], 2);
+        assert_eq!(cats[99], 3);
+        // bins are contiguous and ordered
+        for w in cats.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn constant_labels_use_one_bin() {
+        let (cats, k) = bin_regression_labels(&[5.0; 10], 4);
+        assert_eq!(k, 1);
+        assert!(cats.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn label_categories_dispatches_by_task() {
+        let d = classification(vec![0.0, 1.0, 0.0, 1.0], 2);
+        let (cats, k) = label_categories(&d, 3);
+        assert_eq!(k, 2);
+        assert_eq!(cats, vec![0, 1, 0, 1]);
+
+        let x = Matrix::zeros(4, 1);
+        let r = Dataset::new(x, vec![1.0, 2.0, 3.0, 4.0], Task::Regression).unwrap();
+        let (_, k) = label_categories(&r, 2);
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn empty_regression_input() {
+        let (cats, k) = bin_regression_labels(&[], 4);
+        assert!(cats.is_empty());
+        assert_eq!(k, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Dataset substrate for the bandit-based HPO reproduction.
+//!
+//! This crate provides everything the optimizer and the models need to talk
+//! about data:
+//!
+//! * [`Matrix`] — a dense, row-major `f64` matrix used for features,
+//!   activations and gradients throughout the workspace.
+//! * [`Dataset`] — features + labels + task kind, with row-subset views.
+//! * [`synth`] — seeded synthetic generators and a catalog of stand-ins for
+//!   the twelve public datasets used in the paper (see `DESIGN.md` §1 for the
+//!   substitution rationale).
+//! * [`split`] — train/test and stratified splitting utilities.
+//! * [`scale`] — feature standardization/min-max scaling.
+//! * [`io`] — LibSVM and CSV readers/writers so real datasets can be used in
+//!   place of the synthetic catalog.
+//! * [`labels`] — class bookkeeping: counting, rare-class merging and
+//!   regression-label binning (paper §III-A).
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod error;
+pub mod io;
+pub mod labels;
+pub mod matrix;
+pub mod rng;
+pub mod scale;
+pub mod split;
+pub mod stats;
+pub mod synth;
+
+pub use dataset::{Dataset, Task};
+pub use error::DataError;
+pub use matrix::Matrix;

@@ -1,0 +1,118 @@
+//! Seeded randomness helpers.
+//!
+//! Every stochastic component in the workspace takes a `u64` seed and builds
+//! its PRNG through these helpers, so whole experiments are reproducible from
+//! a single seed (the paper repeats each experiment with five seeds).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Builds the workspace-standard PRNG from a seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream index.
+///
+/// Used to give independent streams to e.g. each CV fold or each SHA rung
+/// without the streams being correlated (SplitMix64 finalizer).
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Returns `0..n` shuffled with the given RNG.
+pub fn shuffled_indices(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx
+}
+
+/// Samples `k` distinct indices from `0..n` (Fisher–Yates prefix).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_without_replacement(n: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct items from {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Draws a standard normal variate via Box–Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0) by keeping u1 in (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u32> = {
+            let mut r = rng_from_seed(7);
+            (0..10).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = rng_from_seed(7);
+            (0..10).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derived_seeds_differ_across_streams() {
+        let seeds: HashSet<u64> = (0..100).map(|s| derive_seed(42, s)).collect();
+        assert_eq!(seeds.len(), 100, "derived seeds should be distinct");
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct_and_in_range() {
+        let mut rng = rng_from_seed(1);
+        let s = sample_without_replacement(50, 20, &mut rng);
+        assert_eq!(s.len(), 20);
+        let set: HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_more_than_population_panics() {
+        let mut rng = rng_from_seed(1);
+        sample_without_replacement(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn shuffled_indices_is_permutation() {
+        let mut rng = rng_from_seed(3);
+        let mut s = shuffled_indices(20, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn standard_normal_has_sane_moments() {
+        let mut rng = rng_from_seed(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+}

@@ -1,0 +1,196 @@
+//! Feature scaling: standardization and min-max normalization.
+//!
+//! Scalers are fit on training data only and then applied to train and test,
+//! mirroring the scikit-learn pipeline the paper's experiments use.
+
+use crate::dataset::Dataset;
+use crate::matrix::Matrix;
+
+/// Z-score standardizer: `(x - mean) / std` per feature.
+#[derive(Clone, Debug)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits per-feature mean and standard deviation on `x`.
+    ///
+    /// Constant features get `std = 1` so they map to zero instead of NaN.
+    pub fn fit(x: &Matrix) -> Self {
+        let means = x.col_means();
+        let n = x.rows().max(1) as f64;
+        let mut vars = vec![0.0; x.cols()];
+        for row in x.iter_rows() {
+            for ((v, &m), &xv) in vars.iter_mut().zip(&means).zip(row) {
+                let d = xv - m;
+                *v += d * d;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Applies the fitted transform, returning a new matrix.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len(), "feature count mismatch");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for ((v, &m), &s) in out.row_mut(r).iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Fits on `x` and transforms it in one call.
+    pub fn fit_transform(x: &Matrix) -> (Self, Matrix) {
+        let scaler = Self::fit(x);
+        let t = scaler.transform(x);
+        (scaler, t)
+    }
+
+    /// Per-feature means learned at fit time.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-feature standard deviations learned at fit time.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// Min-max scaler mapping each feature to `[0, 1]`.
+#[derive(Clone, Debug)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits per-feature min and range on `x`. Constant features get range 1.
+    pub fn fit(x: &Matrix) -> Self {
+        let cols = x.cols();
+        let mut mins = vec![f64::INFINITY; cols];
+        let mut maxs = vec![f64::NEG_INFINITY; cols];
+        for row in x.iter_rows() {
+            for ((mn, mx), &v) in mins.iter_mut().zip(maxs.iter_mut()).zip(row) {
+                *mn = mn.min(v);
+                *mx = mx.max(v);
+            }
+        }
+        let ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&mn, &mx)| {
+                let r = mx - mn;
+                if r > 1e-12 {
+                    r
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        // Empty matrices leave mins at +inf; normalize to 0 for safety.
+        let mins = mins
+            .into_iter()
+            .map(|m| if m.is_finite() { m } else { 0.0 })
+            .collect();
+        MinMaxScaler { mins, ranges }
+    }
+
+    /// Applies the fitted transform, returning a new matrix.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mins.len(), "feature count mismatch");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for ((v, &mn), &rg) in out.row_mut(r).iter_mut().zip(&self.mins).zip(&self.ranges) {
+                *v = (*v - mn) / rg;
+            }
+        }
+        out
+    }
+}
+
+/// Standardizes a dataset's features in place of the originals, returning the
+/// new dataset and the fitted scaler (for applying to a test set).
+pub fn standardize_dataset(data: &Dataset) -> (Dataset, StandardScaler) {
+    let (scaler, x) = StandardScaler::fit_transform(data.x());
+    let d = Dataset::new(x, data.y().to_vec(), data.task())
+        .expect("scaling preserves shape")
+        .with_name(data.name().to_string());
+    (d, scaler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_std() {
+        let x = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]);
+        let (_, t) = StandardScaler::fit_transform(&x);
+        let means = t.col_means();
+        assert!(means.iter().all(|m| m.abs() < 1e-12));
+        // std of each column is 1
+        for c in 0..2 {
+            let col = t.col_to_vec(c);
+            let var: f64 = col.iter().map(|v| v * v).sum::<f64>() / 3.0;
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let x = Matrix::from_rows(&[&[5.0], &[5.0], &[5.0]]);
+        let (_, t) = StandardScaler::fit_transform(&x);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scaler_applies_train_statistics_to_test() {
+        let train = Matrix::from_rows(&[&[0.0], &[2.0]]); // mean 1, std 1
+        let scaler = StandardScaler::fit(&train);
+        let test = Matrix::from_rows(&[&[3.0]]);
+        let t = scaler.transform(&test);
+        assert!((t[(0, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let x = Matrix::from_rows(&[&[2.0, -1.0], &[4.0, 3.0], &[6.0, 1.0]]);
+        let s = MinMaxScaler::fit(&x);
+        let t = s.transform(&x);
+        for &v in t.as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert_eq!(t[(0, 0)], 0.0);
+        assert_eq!(t[(2, 0)], 1.0);
+    }
+
+    #[test]
+    fn standardize_dataset_keeps_labels_and_name() {
+        let x = Matrix::from_rows(&[&[1.0], &[3.0]]);
+        let d = Dataset::new(
+            x,
+            vec![0.0, 1.0],
+            crate::dataset::Task::BinaryClassification,
+        )
+        .unwrap()
+        .with_name("toy");
+        let (sd, _) = standardize_dataset(&d);
+        assert_eq!(sd.y(), d.y());
+        assert_eq!(sd.name(), "toy");
+    }
+}

@@ -1,0 +1,278 @@
+//! Train/test splitting and subset sampling.
+//!
+//! The paper uses the 80/20 rule for datasets without a test set and
+//! stratified sampling as the vanilla subset allocator inside the bandit
+//! methods; both live here.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::rng::{sample_without_replacement, shuffled_indices};
+use rand::Rng;
+
+/// A train/test pair produced by a split.
+#[derive(Clone, Debug)]
+pub struct TrainTest {
+    /// Training partition.
+    pub train: Dataset,
+    /// Held-out test partition.
+    pub test: Dataset,
+}
+
+/// Randomly splits `data` into train/test with `test_ratio` in `(0,1)`.
+///
+/// # Errors
+/// Returns [`DataError::InvalidArgument`] for ratios outside `(0,1)` or when
+/// either side would be empty.
+pub fn train_test_split(
+    data: &Dataset,
+    test_ratio: f64,
+    rng: &mut impl Rng,
+) -> Result<TrainTest, DataError> {
+    let n = data.n_instances();
+    let n_test = validated_test_size(n, test_ratio)?;
+    let idx = shuffled_indices(n, rng);
+    let (test_idx, train_idx) = idx.split_at(n_test);
+    Ok(TrainTest {
+        train: data.select(train_idx),
+        test: data.select(test_idx),
+    })
+}
+
+/// Stratified train/test split: each class contributes ~`test_ratio` of its
+/// instances to the test set (classification datasets only).
+///
+/// # Errors
+/// Returns [`DataError::InvalidArgument`] for bad ratios or regression input.
+pub fn stratified_train_test_split(
+    data: &Dataset,
+    test_ratio: f64,
+    rng: &mut impl Rng,
+) -> Result<TrainTest, DataError> {
+    if !data.task().is_classification() {
+        return Err(DataError::invalid(
+            "data",
+            "stratified split requires a classification dataset",
+        ));
+    }
+    let n = data.n_instances();
+    validated_test_size(n, test_ratio)?;
+
+    let k = data.task().n_classes().unwrap_or(0);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for i in 0..n {
+        per_class[data.class(i)].push(i);
+    }
+
+    let mut train_idx = Vec::with_capacity(n);
+    let mut test_idx = Vec::new();
+    for members in per_class.iter_mut() {
+        // shuffle members of the class, then cut
+        for i in (1..members.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            members.swap(i, j);
+        }
+        let cut = ((members.len() as f64) * test_ratio).round() as usize;
+        let cut = cut.min(members.len());
+        test_idx.extend_from_slice(&members[..cut]);
+        train_idx.extend_from_slice(&members[cut..]);
+    }
+    if train_idx.is_empty() || test_idx.is_empty() {
+        return Err(DataError::invalid(
+            "test_ratio",
+            "split produced an empty partition",
+        ));
+    }
+    Ok(TrainTest {
+        train: data.select(&train_idx),
+        test: data.select(&test_idx),
+    })
+}
+
+/// Uniform random subsample of `size` instances without replacement.
+///
+/// This is the *vanilla* budget allocator of bandit-based methods (paper
+/// §II-C: "random ... sampling").
+pub fn random_subsample_indices(n: usize, size: usize, rng: &mut impl Rng) -> Vec<usize> {
+    sample_without_replacement(n, size.min(n), rng)
+}
+
+/// Stratified subsample of approximately `size` instances: each class
+/// contributes proportionally to its frequency (the vanilla *stratified*
+/// allocator).
+///
+/// Guarantees at least one instance from every non-empty class when
+/// `size >= #classes`, and exactly `min(size, n)` total indices.
+pub fn stratified_subsample_indices(
+    labels: &[usize],
+    n_categories: usize,
+    size: usize,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let n = labels.len();
+    let size = size.min(n);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_categories];
+    for (i, &c) in labels.iter().enumerate() {
+        per_class[c].push(i);
+    }
+    let mut picked = Vec::with_capacity(size);
+    // First pass: proportional allocation, floor, at least 1 for non-empty classes.
+    let mut want: Vec<usize> = per_class
+        .iter()
+        .map(|m| {
+            if m.is_empty() {
+                0
+            } else {
+                (((m.len() as f64 / n as f64) * size as f64).floor() as usize).max(1)
+            }
+        })
+        .collect();
+    // Adjust to hit exactly `size`: trim from the largest or add to the largest.
+    let mut total: usize = want.iter().sum();
+    while total > size {
+        let i = (0..n_categories).max_by_key(|&i| want[i]).unwrap();
+        want[i] -= 1;
+        total -= 1;
+    }
+    while total < size {
+        // add to the class with the most remaining capacity
+        let i = (0..n_categories)
+            .filter(|&i| want[i] < per_class[i].len())
+            .max_by_key(|&i| per_class[i].len() - want[i])
+            .expect("size <= n guarantees remaining capacity");
+        want[i] += 1;
+        total += 1;
+    }
+    for (members, &w) in per_class.iter().zip(&want) {
+        if w == 0 {
+            continue;
+        }
+        let w = w.min(members.len());
+        let chosen = sample_without_replacement(members.len(), w, rng);
+        picked.extend(chosen.into_iter().map(|j| members[j]));
+    }
+    picked
+}
+
+fn validated_test_size(n: usize, test_ratio: f64) -> Result<usize, DataError> {
+    if !(0.0 < test_ratio && test_ratio < 1.0) {
+        return Err(DataError::invalid(
+            "test_ratio",
+            format!("{test_ratio} not in (0,1)"),
+        ));
+    }
+    let n_test = ((n as f64) * test_ratio).round() as usize;
+    if n_test == 0 || n_test >= n {
+        return Err(DataError::invalid(
+            "test_ratio",
+            format!("split of {n} instances at ratio {test_ratio} leaves a side empty"),
+        ));
+    }
+    Ok(n_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Task;
+    use crate::matrix::Matrix;
+    use crate::rng::rng_from_seed;
+
+    fn toy(n: usize) -> Dataset {
+        let x = Matrix::from_vec(n, 1, (0..n).map(|i| i as f64).collect()).unwrap();
+        let y = (0..n).map(|i| (i % 2) as f64).collect();
+        Dataset::new(x, y, Task::BinaryClassification).unwrap()
+    }
+
+    #[test]
+    fn split_sizes_follow_ratio() {
+        let d = toy(100);
+        let mut rng = rng_from_seed(0);
+        let tt = train_test_split(&d, 0.2, &mut rng).unwrap();
+        assert_eq!(tt.test.n_instances(), 20);
+        assert_eq!(tt.train.n_instances(), 80);
+    }
+
+    #[test]
+    fn split_partitions_instances() {
+        let d = toy(50);
+        let mut rng = rng_from_seed(1);
+        let tt = train_test_split(&d, 0.3, &mut rng).unwrap();
+        let mut seen: Vec<f64> = tt
+            .train
+            .x()
+            .col_to_vec(0)
+            .into_iter()
+            .chain(tt.test.x().col_to_vec(0))
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn invalid_ratios_rejected() {
+        let d = toy(10);
+        let mut rng = rng_from_seed(2);
+        assert!(train_test_split(&d, 0.0, &mut rng).is_err());
+        assert!(train_test_split(&d, 1.0, &mut rng).is_err());
+        assert!(train_test_split(&d, -0.5, &mut rng).is_err());
+        assert!(train_test_split(&d, 0.001, &mut rng).is_err()); // empty test
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_balance() {
+        let d = toy(100); // 50/50 classes
+        let mut rng = rng_from_seed(3);
+        let tt = stratified_train_test_split(&d, 0.2, &mut rng).unwrap();
+        let counts = tt.test.class_counts();
+        assert_eq!(counts, vec![10, 10]);
+    }
+
+    #[test]
+    fn stratified_split_rejects_regression() {
+        let x = Matrix::zeros(10, 1);
+        let d = Dataset::new(x, vec![0.5; 10], Task::Regression).unwrap();
+        let mut rng = rng_from_seed(4);
+        assert!(stratified_train_test_split(&d, 0.2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn random_subsample_caps_at_population() {
+        let mut rng = rng_from_seed(5);
+        let s = random_subsample_indices(10, 100, &mut rng);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn stratified_subsample_hits_exact_size_and_balance() {
+        let labels: Vec<usize> = (0..100).map(|i| i % 4).collect();
+        let mut rng = rng_from_seed(6);
+        let s = stratified_subsample_indices(&labels, 4, 40, &mut rng);
+        assert_eq!(s.len(), 40);
+        let mut counts = [0usize; 4];
+        for &i in &s {
+            counts[labels[i]] += 1;
+        }
+        assert_eq!(counts, [10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn stratified_subsample_gives_minorities_a_seat() {
+        // 97 of class 0, 3 of class 1, ask for 10: class 1 must appear.
+        let mut labels = vec![0usize; 97];
+        labels.extend([1usize; 3]);
+        let mut rng = rng_from_seed(7);
+        let s = stratified_subsample_indices(&labels, 2, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().any(|&i| labels[i] == 1));
+    }
+
+    #[test]
+    fn stratified_subsample_with_empty_category_slot() {
+        // category 1 has no members; allocation must still work.
+        let labels = vec![0usize, 0, 2, 2];
+        let mut rng = rng_from_seed(8);
+        let s = stratified_subsample_indices(&labels, 3, 3, &mut rng);
+        assert_eq!(s.len(), 3);
+    }
+}

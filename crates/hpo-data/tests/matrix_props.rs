@@ -1,0 +1,89 @@
+//! Property tests for the matrix kernels.
+
+use hpo_data::matrix::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with values in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("shape matches"))
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(&x, &y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_of_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(approx_eq(&left, &right, 1e-10));
+    }
+
+    /// The fused kernels agree with explicit transposition.
+    #[test]
+    fn fused_transpose_products(a in matrix(3, 4), b in matrix(3, 2), c in matrix(5, 4)) {
+        prop_assert!(approx_eq(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-10));
+        prop_assert!(approx_eq(&a.matmul_t(&c), &a.matmul(&c.transpose()), 1e-10));
+    }
+
+    /// Matrix multiplication distributes over axpy: (A + αB)·C = A·C + αB·C.
+    #[test]
+    fn matmul_is_linear(a in matrix(2, 3), b in matrix(2, 3), c in matrix(3, 2), alpha in -3.0f64..3.0) {
+        let mut lhs_in = a.clone();
+        lhs_in.axpy(alpha, &b);
+        let lhs = lhs_in.matmul(&c);
+        let mut rhs = a.matmul(&c);
+        let mut bc = b.matmul(&c);
+        bc.scale_inplace(alpha);
+        rhs.axpy(1.0, &bc);
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-9));
+    }
+
+    /// select_rows + vstack reassemble the original matrix.
+    #[test]
+    fn select_and_stack_roundtrip(m in matrix(6, 3), cut in 1usize..5) {
+        let top: Vec<usize> = (0..cut).collect();
+        let bottom: Vec<usize> = (cut..6).collect();
+        let rebuilt = m.select_rows(&top).vstack(&m.select_rows(&bottom));
+        prop_assert_eq!(rebuilt, m);
+    }
+
+    /// Frobenius norm is invariant under transposition.
+    #[test]
+    fn frobenius_transpose_invariant(m in matrix(4, 3)) {
+        prop_assert!((m.frob_sq() - m.transpose().frob_sq()).abs() < 1e-9);
+    }
+
+    /// Column sums of a vstack are the sums of column sums.
+    #[test]
+    fn col_sums_additive(a in matrix(3, 4), b in matrix(2, 4)) {
+        let stacked = a.vstack(&b);
+        let expect: Vec<f64> = a
+            .col_sums()
+            .iter()
+            .zip(b.col_sums())
+            .map(|(&x, y)| x + y)
+            .collect();
+        for (got, want) in stacked.col_sums().iter().zip(&expect) {
+            prop_assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    /// dist_sq is symmetric, non-negative, and zero on identical rows.
+    #[test]
+    fn dist_sq_metric_properties(m in matrix(2, 5)) {
+        let (a, b) = (m.row(0), m.row(1));
+        let d_ab = Matrix::dist_sq(a, b);
+        let d_ba = Matrix::dist_sq(b, a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!(d_ab >= 0.0);
+        prop_assert_eq!(Matrix::dist_sq(a, a), 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Classification metrics: accuracy, confusion matrix, precision/recall/F1.
+
+/// Fraction of predictions equal to the truth.
+///
+/// # Panics
+/// Panics when the slices have different lengths; returns 0 for empty input.
+pub fn accuracy(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let correct = y_true.iter().zip(y_pred).filter(|(&t, &p)| t == p).count();
+    correct as f64 / y_true.len() as f64
+}
+
+/// A `k x k` confusion matrix; `counts[t][p]` counts instances of true class
+/// `t` predicted as class `p`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix for `n_classes` classes.
+    ///
+    /// Labels outside `0..n_classes` are ignored (defensive; the dataset
+    /// layer validates class indices).
+    pub fn from_predictions(y_true: &[f64], y_pred: &[f64], n_classes: usize) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            let (t, p) = (t as usize, p as usize);
+            if t < n_classes && p < n_classes {
+                counts[t][p] += 1;
+            }
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw count of true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Precision of class `c` (0 when the class is never predicted).
+    pub fn precision(&self, c: usize) -> f64 {
+        let predicted: usize = (0..self.n_classes()).map(|t| self.counts[t][c]).sum();
+        if predicted == 0 {
+            return 0.0;
+        }
+        self.counts[c][c] as f64 / predicted as f64
+    }
+
+    /// Recall of class `c` (0 when the class never occurs).
+    pub fn recall(&self, c: usize) -> f64 {
+        let actual: usize = self.counts[c].iter().sum();
+        if actual == 0 {
+            return 0.0;
+        }
+        self.counts[c][c] as f64 / actual as f64
+    }
+
+    /// F1 of class `c`.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F1 over classes that occur in the truth.
+    pub fn macro_f1(&self) -> f64 {
+        let present: Vec<usize> = (0..self.n_classes())
+            .filter(|&c| self.counts[c].iter().sum::<usize>() > 0)
+            .collect();
+        if present.is_empty() {
+            return 0.0;
+        }
+        present.iter().map(|&c| self.f1(c)).sum::<f64>() / present.len() as f64
+    }
+
+    /// Weighted F1: per-class F1 weighted by class frequency in the truth.
+    ///
+    /// This is the `f1` the paper reports on the imbalanced binary datasets
+    /// (scikit-learn's `f1_score(average='weighted')` convention).
+    pub fn weighted_f1(&self) -> f64 {
+        let total: usize = self.counts.iter().map(|r| r.iter().sum::<usize>()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        (0..self.n_classes())
+            .map(|c| {
+                let support: usize = self.counts[c].iter().sum();
+                self.f1(c) * support as f64 / total as f64
+            })
+            .sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().map(|r| r.iter().sum::<usize>()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.n_classes()).map(|c| self.counts[c][c]).sum();
+        correct as f64 / total as f64
+    }
+}
+
+/// Binary F1 of the positive class (class `1`).
+pub fn binary_f1(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    ConfusionMatrix::from_predictions(y_true, y_pred, 2).f1(1)
+}
+
+/// Area under the ROC curve for binary labels and real-valued scores.
+///
+/// Computed as the normalized Mann–Whitney U statistic (ties count half),
+/// which equals the trapezoidal ROC area. Returns 0.5 when either class is
+/// absent (no ranking information).
+pub fn roc_auc(y_true: &[f64], scores: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), scores.len(), "length mismatch");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Average ranks with tie handling.
+    let n = scores.len();
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    let n_pos = y_true.iter().filter(|&&t| t == 1.0).count();
+    let n_neg = n - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let rank_sum: f64 = y_true
+        .iter()
+        .zip(&ranks)
+        .filter(|(&t, _)| t == 1.0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+/// Weighted F1 over all classes (the paper's `F1` column).
+pub fn weighted_f1(y_true: &[f64], y_pred: &[f64], n_classes: usize) -> f64 {
+    ConfusionMatrix::from_predictions(y_true, y_pred, n_classes).weighted_f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0.0, 1.0, 1.0, 0.0], &[0.0, 1.0, 0.0, 0.0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let cm = ConfusionMatrix::from_predictions(
+            &[0.0, 0.0, 1.0, 1.0, 1.0],
+            &[0.0, 1.0, 1.0, 1.0, 0.0],
+            2,
+        );
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.accuracy(), 0.6);
+    }
+
+    #[test]
+    fn precision_recall_f1_hand_check() {
+        // TP=2, FP=1, FN=1 for class 1.
+        let cm = ConfusionMatrix::from_predictions(
+            &[0.0, 0.0, 1.0, 1.0, 1.0],
+            &[0.0, 1.0, 1.0, 1.0, 0.0],
+            2,
+        );
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.f1(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let y = [0.0, 1.0, 2.0, 1.0];
+        let cm = ConfusionMatrix::from_predictions(&y, &y, 3);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        assert_eq!(cm.weighted_f1(), 1.0);
+    }
+
+    #[test]
+    fn absent_class_excluded_from_macro_f1() {
+        // class 2 never occurs in the truth.
+        let cm = ConfusionMatrix::from_predictions(&[0.0, 1.0], &[0.0, 1.0], 3);
+        assert_eq!(cm.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_all_one_class() {
+        let cm = ConfusionMatrix::from_predictions(&[1.0, 1.0], &[1.0, 1.0], 2);
+        assert_eq!(cm.precision(0), 0.0);
+        assert_eq!(cm.recall(0), 0.0);
+        assert_eq!(cm.f1(0), 0.0);
+        assert_eq!(cm.f1(1), 1.0);
+        assert_eq!(cm.weighted_f1(), 1.0);
+    }
+
+    #[test]
+    fn weighted_f1_weights_by_support() {
+        // 3 of class 0 (all right), 1 of class 1 (wrong).
+        let cm = ConfusionMatrix::from_predictions(&[0.0, 0.0, 0.0, 1.0], &[0.0, 0.0, 0.0, 0.0], 2);
+        // f1(0): p=3/4, r=1 -> 6/7 ; f1(1)=0. weighted = (3/4)(6/7) + (1/4)(0)
+        let expect = 0.75 * (6.0 / 7.0);
+        assert!((cm.weighted_f1() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_auc_perfect_separation_is_one() {
+        let t = [0.0, 0.0, 1.0, 1.0];
+        let s = [0.1, 0.2, 0.8, 0.9];
+        assert!((roc_auc(&t, &s) - 1.0).abs() < 1e-12);
+        let rev = [0.9, 0.8, 0.2, 0.1];
+        assert!(roc_auc(&t, &rev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_auc_random_scores_near_half() {
+        // Scores identical => no information => 0.5 via tie handling.
+        let t = [0.0, 1.0, 0.0, 1.0];
+        let s = [0.5, 0.5, 0.5, 0.5];
+        assert!((roc_auc(&t, &s) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_auc_hand_computed() {
+        // pos scores {0.8, 0.4}, neg scores {0.6, 0.2}:
+        // pairs won: (0.8>0.6),(0.8>0.2),(0.4>0.2) = 3 of 4 -> 0.75.
+        let t = [1.0, 0.0, 1.0, 0.0];
+        let s = [0.8, 0.6, 0.4, 0.2];
+        assert!((roc_auc(&t, &s) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_auc_degenerate_single_class() {
+        assert_eq!(roc_auc(&[1.0, 1.0], &[0.3, 0.7]), 0.5);
+        assert_eq!(roc_auc(&[0.0, 0.0], &[0.3, 0.7]), 0.5);
+    }
+
+    #[test]
+    fn binary_f1_helper_matches_matrix() {
+        let t = [0.0, 1.0, 1.0, 0.0];
+        let p = [1.0, 1.0, 0.0, 0.0];
+        let cm = ConfusionMatrix::from_predictions(&t, &p, 2);
+        assert_eq!(binary_f1(&t, &p), cm.f1(1));
+    }
+}

@@ -1,0 +1,17 @@
+//! Evaluation metrics for the bandit-based HPO reproduction.
+//!
+//! * [`classification`] — accuracy, confusion matrix, precision/recall/F1.
+//! * [`regression`] — MSE/RMSE/MAE and the R² score.
+//! * [`ranking`] — nDCG, Spearman and Kendall correlations, used to measure
+//!   how well a cross-validation scheme ranks configurations (paper §IV-C).
+//! * [`score`] — the paper's evaluation metric: the UCB form (Eq. 1), the
+//!   sampling-size weight β(γ) (Eq. 2) and the combined score (Eq. 3).
+
+#![warn(missing_docs)]
+
+pub mod classification;
+pub mod ranking;
+pub mod regression;
+pub mod score;
+
+pub use score::{beta_weight, EvalMetric, FoldScores};

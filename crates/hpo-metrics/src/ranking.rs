@@ -1,0 +1,359 @@
+//! Ranking metrics: nDCG, Spearman and Kendall correlations.
+//!
+//! The paper (§IV-C) judges a cross-validation scheme not only by the single
+//! configuration it recommends but by how well its scores *rank* all
+//! candidate configurations against their true test performance; nDCG is its
+//! headline ranking metric.
+
+/// Normalized discounted cumulative gain of ranking items by
+/// `predicted` when the true relevance is `actual`.
+///
+/// Items are sorted by predicted score (descending) and the DCG of their
+/// actual relevances is divided by the ideal DCG (actual sorted descending).
+/// Actual relevances are shifted to be non-negative first, so callers can
+/// pass raw scores (e.g. R² values that may be negative).
+///
+/// Returns 1.0 for empty input or when all actual relevances are equal
+/// (every ordering is ideal).
+pub fn ndcg(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let n = predicted.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let min_actual = actual
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
+    let rel: Vec<f64> = actual.iter().map(|&a| a - min_actual).collect();
+
+    let order = argsort_desc(predicted);
+    let ideal = argsort_desc(&rel);
+
+    let dcg: f64 = order
+        .iter()
+        .enumerate()
+        .map(|(rank, &i)| rel[i] / ((rank + 2) as f64).log2())
+        .sum();
+    let idcg: f64 = ideal
+        .iter()
+        .enumerate()
+        .map(|(rank, &i)| rel[i] / ((rank + 2) as f64).log2())
+        .sum();
+    if idcg <= 0.0 {
+        1.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// nDCG with **rank-graded** relevance: item relevance is determined by its
+/// position in the true ranking (best item gets relevance `n`, next `n−1`,
+/// ..., worst gets 1), not by the raw score values.
+///
+/// This is the discriminative variant used for the paper's configuration-
+/// ranking experiments: with raw-score relevance, configurations whose true
+/// scores cluster tightly make every ordering look near-perfect, while
+/// rank-graded relevance penalizes any inversion of the true order. Tied
+/// true scores share their average rank-relevance, so permutations within a
+/// tie class don't change the value.
+pub fn ndcg_rank_graded(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let n = predicted.len();
+    if n == 0 {
+        return 1.0;
+    }
+    // relevance = average rank position from the true scores (descending).
+    let rel = rank_relevance(actual);
+    let order = argsort_desc(predicted);
+    let ideal = argsort_desc(&rel);
+    let dcg: f64 = order
+        .iter()
+        .enumerate()
+        .map(|(rank, &i)| rel[i] / ((rank + 2) as f64).log2())
+        .sum();
+    let idcg: f64 = ideal
+        .iter()
+        .enumerate()
+        .map(|(rank, &i)| rel[i] / ((rank + 2) as f64).log2())
+        .sum();
+    if idcg <= 0.0 {
+        1.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Rank-based relevance: the best item gets `n`, the worst 1 (ties
+/// averaged). `average_ranks` already assigns rank 1 to the smallest value
+/// and `n` to the largest, which is exactly the relevance we want.
+fn rank_relevance(actual: &[f64]) -> Vec<f64> {
+    average_ranks(actual)
+}
+
+/// nDCG@k: only the top `k` predicted items contribute gain.
+pub fn ndcg_at_k(predicted: &[f64], actual: &[f64], k: usize) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let n = predicted.len();
+    if n == 0 || k == 0 {
+        return 1.0;
+    }
+    let k = k.min(n);
+    let min_actual = actual
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
+    let rel: Vec<f64> = actual.iter().map(|&a| a - min_actual).collect();
+    let order = argsort_desc(predicted);
+    let ideal = argsort_desc(&rel);
+    let dcg: f64 = order
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(rank, &i)| rel[i] / ((rank + 2) as f64).log2())
+        .sum();
+    let idcg: f64 = ideal
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(rank, &i)| rel[i] / ((rank + 2) as f64).log2())
+        .sum();
+    if idcg <= 0.0 {
+        1.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Spearman rank correlation between two score vectors.
+///
+/// Ties get average ranks. Returns 0 for inputs shorter than 2 or with zero
+/// rank variance.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Kendall tau-b rank correlation (handles ties).
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let (mut concordant, mut discordant) = (0i64, 0i64);
+    let (mut ties_a, mut ties_b) = (0i64, 0i64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 && db == 0.0 {
+                continue;
+            } else if da == 0.0 {
+                ties_a += 1;
+            } else if db == 0.0 {
+                ties_b += 1;
+            } else if da * db > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = concordant + discordant;
+    let denom = (((n0 + ties_a) as f64) * ((n0 + ties_b) as f64)).sqrt();
+    if denom <= 0.0 {
+        0.0
+    } else {
+        (concordant - discordant) as f64 / denom
+    }
+}
+
+fn argsort_desc(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&x, &y| {
+        values[y]
+            .partial_cmp(&values[x])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+/// Average ranks (1-based); tied values share the mean of their positions.
+fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&x, &y| {
+        values[x]
+            .partial_cmp(&values[y])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    let denom = (va * vb).sqrt();
+    if denom <= 0.0 {
+        0.0
+    } else {
+        cov / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let actual = [0.9, 0.5, 0.1];
+        assert!((ndcg(&actual, &actual) - 1.0).abs() < 1e-12);
+        assert!((spearman(&actual, &actual) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&actual, &actual) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_ranking_scores_below_one() {
+        let actual = [0.9, 0.5, 0.1];
+        let pred = [0.1, 0.5, 0.9];
+        assert!(ndcg(&pred, &actual) < 1.0);
+        assert!((spearman(&pred, &actual) + 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&pred, &actual) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_is_in_unit_interval() {
+        let pred = [0.3, 0.8, 0.1, 0.5];
+        let actual = [0.2, 0.1, 0.9, 0.4];
+        let s = ndcg(&pred, &actual);
+        assert!((0.0..=1.0).contains(&s), "ndcg {s}");
+    }
+
+    #[test]
+    fn ndcg_handles_negative_relevance() {
+        // R² values can be negative; nDCG must still be valid.
+        let pred = [0.5, 0.1];
+        let actual = [-2.0, -0.5];
+        let s = ndcg(&pred, &actual);
+        assert!((0.0..=1.0).contains(&s));
+        // the prediction ranks the worse item first → below 1
+        assert!(s < 1.0);
+    }
+
+    #[test]
+    fn ndcg_all_equal_relevance_is_one() {
+        assert_eq!(ndcg(&[0.1, 0.9], &[0.5, 0.5]), 1.0);
+        assert_eq!(ndcg(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn ndcg_hand_computed() {
+        // pred order: item1, item0 ; rel = [3, 1] (already non-negative)
+        // DCG  = 1/log2(2) + 3/log2(3) = 1 + 3/1.58496
+        // IDCG = 3/log2(2) + 1/log2(3) = 3 + 1/1.58496
+        let pred = [0.2, 0.8];
+        let actual = [3.0, 1.0];
+        let dcg = 1.0 / 1.0 + 3.0 / 3.0f64.log2();
+        let idcg = 3.0 / 1.0 + 1.0 / 3.0f64.log2();
+        assert!((ndcg(&pred, &actual) - dcg / idcg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_graded_discriminates_where_raw_saturates() {
+        // True scores cluster tightly: raw-relevance nDCG barely moves for a
+        // bad ordering; rank-graded nDCG must drop noticeably more.
+        let actual = [0.900, 0.899, 0.898, 0.897, 0.896, 0.895];
+        let reversed: Vec<f64> = actual.iter().rev().copied().collect();
+        let raw = ndcg(&reversed, &actual);
+        let graded = ndcg_rank_graded(&reversed, &actual);
+        assert!(raw > 0.99, "raw saturates: {raw}");
+        assert!(graded < 0.9, "graded should discriminate: {graded}");
+        // perfect ordering is still 1 under both
+        assert!((ndcg_rank_graded(&actual, &actual) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_graded_is_tie_invariant() {
+        let actual = [0.5, 0.5, 0.9, 0.1];
+        // Two predictions that only differ in the order of the tied pair.
+        let p1 = [0.8, 0.7, 0.9, 0.1];
+        let p2 = [0.7, 0.8, 0.9, 0.1];
+        assert!((ndcg_rank_graded(&p1, &actual) - ndcg_rank_graded(&p2, &actual)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_graded_in_unit_interval() {
+        let pred = [0.3, 0.8, 0.1, 0.5];
+        let actual = [0.2, 0.1, 0.9, 0.4];
+        let g = ndcg_rank_graded(&pred, &actual);
+        assert!((0.0..=1.0).contains(&g));
+        assert_eq!(ndcg_rank_graded(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn ndcg_at_k_focuses_on_top_items() {
+        // Top-1 predicted is the true best → ndcg@1 = 1 regardless of tail.
+        let pred = [0.9, 0.8, 0.1];
+        let actual = [1.0, 0.0, 0.5];
+        assert!((ndcg_at_k(&pred, &actual, 1) - 1.0).abs() < 1e-12);
+        assert!(ndcg_at_k(&pred, &actual, 3) < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0];
+        let b = [1.0, 1.0, 2.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_b_hand_check() {
+        // 4 items, one discordant pair out of 6.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 4.0, 3.0];
+        assert!((kendall_tau(&a, &b) - (5.0 - 1.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_vectors_have_zero_correlation() {
+        assert_eq!(spearman(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(kendall_tau(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn average_ranks_tie_handling() {
+        let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Regression metrics: MSE, RMSE, MAE, R².
+
+/// Mean squared error.
+///
+/// # Panics
+/// Panics on length mismatch; returns 0 for empty input.
+pub fn mse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(&t, &p)| (t - p).powi(2))
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    mse(y_true, y_pred).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(&t, &p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Coefficient of determination R² (the paper's regression score).
+///
+/// `1 - SS_res / SS_tot`. When the truth is constant, returns 1 for perfect
+/// predictions and 0 otherwise (scikit-learn convention).
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|&t| (t - mean).powi(2)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(&t, &p)| (t - p).powi(2))
+        .sum();
+    if ss_tot <= 0.0 {
+        return if ss_res <= 1e-12 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_rmse_mae_hand_check() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [1.0, 3.0, 5.0];
+        assert!((mse(&t, &p) - 5.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&t, &p) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&t, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_perfect_is_one() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn r2_mean_predictor_is_zero() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r2(&t, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_can_be_negative() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [3.0, 2.0, 1.0];
+        assert!(r2(&t, &p) < 0.0);
+    }
+
+    #[test]
+    fn r2_constant_truth_convention() {
+        assert_eq!(r2(&[2.0, 2.0], &[2.0, 2.0]), 1.0);
+        assert_eq!(r2(&[2.0, 2.0], &[1.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert_eq!(r2(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! The paper's evaluation metric (§III-C).
+//!
+//! Configurations are scored from their cross-validation fold results. The
+//! vanilla metric is the fold mean µ. The paper augments it in two steps:
+//!
+//! 1. **Variance** — a UCB-style score `µ + α·σ` (Eq. 1) keeps potentially
+//!    good but noisily-evaluated configurations alive.
+//! 2. **Sampling size** — the variance weight is scaled by β(γ) (Eq. 2),
+//!    a tanh/atanh-shaped function of the subset percentage
+//!    `γ = |b_t|/|B| × 100`, so variance matters a lot for small subsets and
+//!    vanishes for large ones. The combined score is Eq. 3:
+//!    `s = µ + α·β(γ)·σ`.
+
+use serde::{Deserialize, Serialize};
+
+/// The sampling-size weight β(γ) of Eq. 2.
+///
+/// `gamma_pct` is the subset size as a **percentage** of the full budget
+/// (`γ = |b_t|/|B| × 100`), `beta_max` the maximum weight (paper recommends
+/// `1/α`; experiments use 10).
+///
+/// The formula is
+/// `β(γ) = 2·atanh(1 − 2·clamp(γ, γ_min, γ_max)/100) + β_max/2` with
+/// `γ_min = 50(1 − tanh(β_max/4))` and `γ_max = 50(1 − tanh(−β_max/4))`,
+/// which yields a curve that equals `β_max` below `γ_min`, decays through
+/// `β_max/2` at γ = 50%, and reaches 0 above `γ_max` (paper Fig. 3). The
+/// symmetric tail above 50% exists so the same metric applies to plain
+/// cross-validation, where subsets can exceed half the data.
+pub fn beta_weight(gamma_pct: f64, beta_max: f64) -> f64 {
+    assert!(beta_max > 0.0, "beta_max must be positive");
+    let gamma_min = 50.0 * (1.0 - (beta_max / 4.0).tanh());
+    let gamma_max = 50.0 * (1.0 - (-(beta_max / 4.0)).tanh());
+    let g = gamma_pct.clamp(gamma_min, gamma_max) / 100.0;
+    // The endpoints evaluate to exactly 0 and β_max analytically; clamp away
+    // the ±1e-16 floating-point residue.
+    (2.0 * (1.0 - 2.0 * g).atanh() + beta_max / 2.0).clamp(0.0, beta_max)
+}
+
+/// How fold results are reduced to one evaluation score.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EvalMetric {
+    /// Vanilla: the fold mean µ.
+    MeanOnly,
+    /// Eq. 1: `µ + α·σ` with a fixed variance weight.
+    Ucb {
+        /// Variance weight α.
+        alpha: f64,
+    },
+    /// Eq. 3: `µ + α·β(γ)·σ` — the paper's full metric with the
+    /// sampling-size-dependent weight.
+    VarianceSize {
+        /// Variance weight α (paper: 0.1).
+        alpha: f64,
+        /// Maximum sampling weight β_max (paper: 10, recommended `1/α`).
+        beta_max: f64,
+    },
+}
+
+impl EvalMetric {
+    /// The paper's configuration: α = 0.1, β_max = 10.
+    pub fn paper_default() -> Self {
+        EvalMetric::VarianceSize {
+            alpha: 0.1,
+            beta_max: 10.0,
+        }
+    }
+
+    /// Scores a configuration from its fold statistics.
+    ///
+    /// `gamma_pct` is the subset percentage γ; it is ignored by the metrics
+    /// that don't use it.
+    pub fn score(&self, mean: f64, std_dev: f64, gamma_pct: f64) -> f64 {
+        match *self {
+            EvalMetric::MeanOnly => mean,
+            EvalMetric::Ucb { alpha } => mean + alpha * std_dev,
+            EvalMetric::VarianceSize { alpha, beta_max } => {
+                mean + alpha * beta_weight(gamma_pct, beta_max) * std_dev
+            }
+        }
+    }
+}
+
+/// Per-fold results of evaluating one configuration, plus the subset
+/// percentage the evaluation ran on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FoldScores {
+    /// Validation score per fold (accuracy / F1 / R², higher is better).
+    pub folds: Vec<f64>,
+    /// Subset size as a percentage of the full budget, `γ ∈ (0, 100]`.
+    pub gamma_pct: f64,
+}
+
+impl FoldScores {
+    /// Creates fold scores; `gamma_pct` is clamped into `(0, 100]`.
+    pub fn new(folds: Vec<f64>, gamma_pct: f64) -> Self {
+        FoldScores {
+            folds,
+            gamma_pct: gamma_pct.clamp(f64::MIN_POSITIVE, 100.0),
+        }
+    }
+
+    /// Fold mean µ; 0 when no folds were evaluated.
+    pub fn mean(&self) -> f64 {
+        if self.folds.is_empty() {
+            return 0.0;
+        }
+        self.folds.iter().sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Population standard deviation σ across folds.
+    pub fn std_dev(&self) -> f64 {
+        if self.folds.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.folds.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.folds.len() as f64).sqrt()
+    }
+
+    /// Applies an [`EvalMetric`] to these fold results.
+    ///
+    /// The variance-bonus metrics are capped at the best observed fold
+    /// score: the UCB bonus is an optimism-under-uncertainty device, and no
+    /// optimism should credit a configuration with more than it ever
+    /// achieved on any fold. Without the cap, a configuration oscillating
+    /// between great and terrible folds (large σ) could outscore a uniformly
+    /// good one — most acute for regression, where R² is unbounded below.
+    pub fn score(&self, metric: &EvalMetric) -> f64 {
+        let raw = metric.score(self.mean(), self.std_dev(), self.gamma_pct);
+        match metric {
+            EvalMetric::MeanOnly => raw,
+            EvalMetric::Ucb { .. } | EvalMetric::VarianceSize { .. } => {
+                let best_fold = self.folds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if best_fold.is_finite() {
+                    raw.min(best_fold.max(self.mean()))
+                } else {
+                    raw
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BMAX: f64 = 10.0;
+
+    #[test]
+    fn beta_is_beta_max_for_tiny_subsets() {
+        // γ below γ_min ≈ 0.67% saturates at β_max.
+        assert!((beta_weight(0.0, BMAX) - BMAX).abs() < 1e-9);
+        assert!((beta_weight(0.1, BMAX) - BMAX).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_is_zero_for_near_full_subsets() {
+        assert!(beta_weight(100.0, BMAX).abs() < 1e-9);
+        assert!(beta_weight(99.9, BMAX).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_is_half_max_at_fifty_percent() {
+        assert!((beta_weight(50.0, BMAX) - BMAX / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_is_monotone_non_increasing() {
+        let mut prev = f64::INFINITY;
+        for i in 0..=1000 {
+            let g = i as f64 / 10.0;
+            let b = beta_weight(g, BMAX);
+            assert!(b <= prev + 1e-12, "β not monotone at γ={g}");
+            assert!((0.0..=BMAX + 1e-9).contains(&b));
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn beta_is_symmetric_about_fifty() {
+        // Paper: "a symmetric design for sizes larger than 50%".
+        for d in [5.0, 10.0, 20.0, 30.0, 40.0] {
+            let lo = beta_weight(50.0 - d, BMAX);
+            let hi = beta_weight(50.0 + d, BMAX);
+            assert!(
+                (lo + hi - BMAX).abs() < 1e-9,
+                "β({}) + β({}) = {} ≠ β_max",
+                50.0 - d,
+                50.0 + d,
+                lo + hi
+            );
+        }
+    }
+
+    #[test]
+    fn beta_changes_faster_at_small_sizes() {
+        // Paper assumption (ii): weight change is non-uniform — steeper at
+        // the small end than in the middle.
+        let d_small = beta_weight(2.0, BMAX) - beta_weight(7.0, BMAX);
+        let d_mid = beta_weight(45.0, BMAX) - beta_weight(50.0, BMAX);
+        assert!(
+            d_small > d_mid,
+            "expected steeper change at small γ ({d_small} vs {d_mid})"
+        );
+    }
+
+    #[test]
+    fn metric_mean_only_ignores_variance() {
+        let m = EvalMetric::MeanOnly;
+        assert_eq!(m.score(0.8, 0.5, 10.0), 0.8);
+    }
+
+    #[test]
+    fn ucb_adds_weighted_std() {
+        let m = EvalMetric::Ucb { alpha: 0.1 };
+        assert!((m.score(0.8, 0.5, 10.0) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_size_reduces_to_mean_on_full_data() {
+        let m = EvalMetric::paper_default();
+        assert!((m.score(0.8, 0.5, 100.0) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_size_rewards_variance_on_small_subsets() {
+        let m = EvalMetric::paper_default();
+        let small = m.score(0.8, 0.1, 1.0);
+        let large = m.score(0.8, 0.1, 90.0);
+        assert!(small > large, "small-subset score should weigh σ more");
+        // At γ≈γ_min the weight is α·β_max = 1 → score ≈ 0.9.
+        assert!((small - 0.9).abs() < 0.02, "got {small}");
+    }
+
+    #[test]
+    fn fold_scores_statistics() {
+        let fs = FoldScores::new(vec![0.8, 0.9, 1.0], 10.0);
+        assert!((fs.mean() - 0.9).abs() < 1e-12);
+        let expect_std = (0.02f64 / 3.0).sqrt();
+        assert!((fs.std_dev() - expect_std).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fold_scores_degenerate_cases() {
+        let empty = FoldScores::new(vec![], 10.0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.std_dev(), 0.0);
+        let single = FoldScores::new(vec![0.7], 10.0);
+        assert_eq!(single.mean(), 0.7);
+        assert_eq!(single.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn gamma_is_clamped_into_valid_range() {
+        let fs = FoldScores::new(vec![0.5], -5.0);
+        assert!(fs.gamma_pct > 0.0);
+        let fs = FoldScores::new(vec![0.5], 500.0);
+        assert_eq!(fs.gamma_pct, 100.0);
+    }
+
+    #[test]
+    fn variance_bonus_is_capped_at_the_best_fold() {
+        let metric = EvalMetric::paper_default();
+        // Oscillating config: folds swing between terrible and good. Its
+        // optimistic score must not exceed its best fold...
+        let oscillating = FoldScores::new(vec![-1.0, 0.9, -1.0, 0.9, -1.0], 5.0);
+        assert!(oscillating.score(&metric) <= 0.9 + 1e-12);
+        // ...so a uniformly good config still wins.
+        let stable = FoldScores::new(vec![0.95, 0.96, 0.97, 0.96, 0.95], 5.0);
+        assert!(stable.score(&metric) > oscillating.score(&metric));
+        // MeanOnly is not capped (nothing to cap: no bonus).
+        assert_eq!(oscillating.score(&EvalMetric::MeanOnly), oscillating.mean());
+    }
+
+    #[test]
+    fn higher_variance_wins_ties_on_small_subsets() {
+        // Two configs with equal mean; the noisier one must score higher
+        // under the paper metric on a small subset (exploration).
+        let metric = EvalMetric::paper_default();
+        let stable = FoldScores::new(vec![0.80, 0.80, 0.80], 5.0);
+        let noisy = FoldScores::new(vec![0.70, 0.80, 0.90], 5.0);
+        assert!(noisy.score(&metric) > stable.score(&metric));
+    }
+}

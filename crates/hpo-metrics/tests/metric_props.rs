@@ -1,0 +1,147 @@
+//! Property tests for metric invariants.
+
+use hpo_metrics::classification::{accuracy, roc_auc, ConfusionMatrix};
+use hpo_metrics::ranking::{ndcg, ndcg_rank_graded, spearman};
+use hpo_metrics::regression::{mae, mse, r2, rmse};
+use hpo_metrics::score::beta_weight;
+use hpo_metrics::{EvalMetric, FoldScores};
+use proptest::prelude::*;
+
+proptest! {
+    /// Accuracy equals the confusion-matrix accuracy for any labels.
+    #[test]
+    fn accuracy_matches_confusion_matrix(
+        pairs in proptest::collection::vec((0usize..3, 0usize..3), 1..100)
+    ) {
+        let t: Vec<f64> = pairs.iter().map(|&(a, _)| a as f64).collect();
+        let p: Vec<f64> = pairs.iter().map(|&(_, b)| b as f64).collect();
+        let cm = ConfusionMatrix::from_predictions(&t, &p, 3);
+        prop_assert!((accuracy(&t, &p) - cm.accuracy()).abs() < 1e-12);
+    }
+
+    /// Weighted F1 is bounded by [0, 1] and hits 1 on perfect predictions.
+    #[test]
+    fn weighted_f1_bounds(labels in proptest::collection::vec(0usize..4, 1..80)) {
+        let t: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+        let cm = ConfusionMatrix::from_predictions(&t, &t, 4);
+        prop_assert!((cm.weighted_f1() - 1.0).abs() < 1e-12);
+        // random predictions stay bounded
+        let p: Vec<f64> = labels.iter().map(|&l| ((l + 1) % 4) as f64).collect();
+        let cm = ConfusionMatrix::from_predictions(&t, &p, 4);
+        let f1 = cm.weighted_f1();
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+
+    /// ROC-AUC is flip-symmetric: negating scores mirrors around 0.5.
+    #[test]
+    fn roc_auc_flip_symmetry(
+        pairs in proptest::collection::vec((0usize..2, -5.0f64..5.0), 2..60)
+    ) {
+        let t: Vec<f64> = pairs.iter().map(|&(a, _)| a as f64).collect();
+        let s: Vec<f64> = pairs.iter().map(|&(_, v)| v).collect();
+        let neg: Vec<f64> = s.iter().map(|&v| -v).collect();
+        let auc = roc_auc(&t, &s);
+        let auc_neg = roc_auc(&t, &neg);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        let n_pos = t.iter().filter(|&&x| x == 1.0).count();
+        if n_pos > 0 && n_pos < t.len() {
+            prop_assert!((auc + auc_neg - 1.0).abs() < 1e-9, "{} + {} != 1", auc, auc_neg);
+        }
+    }
+
+    /// Regression metrics: rmse² = mse, mae ≤ rmse, r2(perfect) = 1.
+    #[test]
+    fn regression_metric_relations(
+        pairs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..60)
+    ) {
+        let t: Vec<f64> = pairs.iter().map(|&(a, _)| a).collect();
+        let p: Vec<f64> = pairs.iter().map(|&(_, b)| b).collect();
+        prop_assert!((rmse(&t, &p).powi(2) - mse(&t, &p)).abs() < 1e-9);
+        prop_assert!(mae(&t, &p) <= rmse(&t, &p) + 1e-12);
+        prop_assert!((r2(&t, &t) - 1.0).abs() < 1e-12 || t.iter().all(|&v| v == t[0]));
+    }
+
+    /// Both nDCG variants are permutation-consistent: the identity ranking
+    /// scores at least as high as any other prediction.
+    #[test]
+    fn ndcg_identity_is_optimal(
+        actual in proptest::collection::vec(0.0f64..1.0, 2..40),
+        shuffle_seed in 0u64..100,
+    ) {
+        use rand::seq::SliceRandom;
+        let mut rng = hpo_data_shim::rng(shuffle_seed);
+        let mut pred = actual.clone();
+        pred.shuffle(&mut rng);
+        prop_assert!(ndcg(&actual, &actual) >= ndcg(&pred, &actual) - 1e-9);
+        prop_assert!(
+            ndcg_rank_graded(&actual, &actual) >= ndcg_rank_graded(&pred, &actual) - 1e-9
+        );
+    }
+
+    /// Spearman is invariant under monotone transforms of either argument.
+    #[test]
+    fn spearman_monotone_invariance(
+        values in proptest::collection::vec((-3.0f64..3.0, -3.0f64..3.0), 3..40)
+    ) {
+        let a: Vec<f64> = values.iter().map(|&(x, _)| x).collect();
+        let b: Vec<f64> = values.iter().map(|&(_, y)| y).collect();
+        let a_t: Vec<f64> = a.iter().map(|&x| x.exp()).collect(); // strictly monotone
+        prop_assert!((spearman(&a, &b) - spearman(&a_t, &b)).abs() < 1e-9);
+    }
+
+    /// Eq. 3 is monotone in the mean and (for fixed γ < 100) in the std.
+    #[test]
+    fn eq3_monotonicity(
+        mean in 0.0f64..1.0,
+        std in 0.0f64..0.3,
+        gamma in 1.0f64..99.0,
+        bump in 0.001f64..0.2,
+    ) {
+        let m = EvalMetric::paper_default();
+        prop_assert!(m.score(mean + bump, std, gamma) > m.score(mean, std, gamma));
+        prop_assert!(m.score(mean, std + bump, gamma) >= m.score(mean, std, gamma));
+    }
+
+    /// FoldScores::score equals applying the metric to (mean, std, γ),
+    /// capped at the best fold for the variance-bonus metrics (the
+    /// no-optimism-beyond-observation rule).
+    #[test]
+    fn fold_scores_consistency(
+        folds in proptest::collection::vec(0.0f64..1.0, 1..8),
+        gamma in 0.5f64..100.0,
+    ) {
+        let fs = FoldScores::new(folds, gamma);
+        let best = fs.folds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for metric in [
+            EvalMetric::MeanOnly,
+            EvalMetric::Ucb { alpha: 0.3 },
+            EvalMetric::paper_default(),
+        ] {
+            let direct = metric.score(fs.mean(), fs.std_dev(), fs.gamma_pct);
+            let expect = match metric {
+                EvalMetric::MeanOnly => direct,
+                _ => direct.min(best.max(fs.mean())),
+            };
+            prop_assert!((fs.score(&metric) - expect).abs() < 1e-12);
+            // the cap never pushes the score below the fold mean
+            prop_assert!(fs.score(&metric) >= fs.mean() - 1e-12);
+        }
+    }
+
+    /// β(γ) respects its analytic endpoints for any β_max.
+    #[test]
+    fn beta_endpoints(beta_max in 0.5f64..30.0) {
+        prop_assert!((beta_weight(0.0, beta_max) - beta_max).abs() < 1e-9);
+        prop_assert!(beta_weight(100.0, beta_max).abs() < 1e-9);
+        prop_assert!((beta_weight(50.0, beta_max) - beta_max / 2.0).abs() < 1e-9);
+    }
+}
+
+/// Tiny local RNG shim so this test crate doesn't depend on hpo-data.
+mod hpo_data_shim {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    pub fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+}

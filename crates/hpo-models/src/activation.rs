@@ -1,0 +1,122 @@
+//! Hidden-layer activation functions (paper Table III: logistic/tanh/relu).
+
+use serde::{Deserialize, Serialize};
+
+/// Hidden-layer activation function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Sigmoid `1/(1+e^-x)`.
+    Logistic,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit `max(0, x)`.
+    Relu,
+    /// Identity (used for linear probes in tests).
+    Identity,
+}
+
+impl Activation {
+    /// All activations in the paper's search space.
+    pub const SEARCH_SPACE: [Activation; 3] =
+        [Activation::Logistic, Activation::Tanh, Activation::Relu];
+
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Logistic => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *activated* value `a = f(x)`,
+    /// which is what backprop has on hand.
+    #[inline]
+    pub fn derivative_from_output(&self, a: f64) -> f64 {
+        match self {
+            Activation::Logistic => a * (1.0 - a),
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// The scikit-learn parameter string for this activation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Activation::Logistic => "logistic",
+            Activation::Tanh => "tanh",
+            Activation::Relu => "relu",
+            Activation::Identity => "identity",
+        }
+    }
+
+    /// Parses a scikit-learn-style activation name.
+    pub fn from_name(name: &str) -> Option<Activation> {
+        match name {
+            "logistic" => Some(Activation::Logistic),
+            "tanh" => Some(Activation::Tanh),
+            "relu" => Some(Activation::Relu),
+            "identity" => Some(Activation::Identity),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logistic_values() {
+        let a = Activation::Logistic;
+        assert!((a.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(a.apply(10.0) > 0.9999);
+        assert!(a.apply(-10.0) < 0.0001);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let a = Activation::Relu;
+        assert_eq!(a.apply(-3.0), 0.0);
+        assert_eq!(a.apply(2.5), 2.5);
+        assert_eq!(a.derivative_from_output(0.0), 0.0);
+        assert_eq!(a.derivative_from_output(1.0), 1.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for act in [Activation::Logistic, Activation::Tanh, Activation::Identity] {
+            for &x in &[-2.0, -0.5, 0.3, 1.7] {
+                let fd = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let an = act.derivative_from_output(act.apply(x));
+                assert!(
+                    (fd - an).abs() < 1e-5,
+                    "{act:?} derivative mismatch at {x}: fd={fd} an={an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for act in [
+            Activation::Logistic,
+            Activation::Tanh,
+            Activation::Relu,
+            Activation::Identity,
+        ] {
+            assert_eq!(Activation::from_name(act.name()), Some(act));
+        }
+        assert_eq!(Activation::from_name("swish"), None);
+    }
+}

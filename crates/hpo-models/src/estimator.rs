@@ -1,0 +1,66 @@
+//! Estimator traits and training-cost accounting.
+//!
+//! The HPO evaluator is generic over anything that can `fit` on a dataset
+//! and `predict` labels. Training also returns a [`TrainReport`] with a
+//! deterministic *cost* counter (≈ multiply-accumulate operations), which the
+//! benchmark harness uses alongside wall-clock time so the paper's relative
+//! search-time comparisons are machine-independent (DESIGN.md §1).
+
+use hpo_data::dataset::Dataset;
+use hpo_data::error::DataError;
+use hpo_data::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a completed training run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Epochs (or L-BFGS iterations) actually run.
+    pub epochs: usize,
+    /// Final training loss.
+    pub final_loss: f64,
+    /// Deterministic training cost in multiply-accumulate units.
+    pub cost_units: u64,
+    /// Whether training stopped early (convergence or early stopping).
+    pub stopped_early: bool,
+}
+
+/// Anything that can be trained on a dataset and produce label predictions.
+pub trait Estimator {
+    /// Trains the model on `data`, replacing any previous fit.
+    ///
+    /// # Errors
+    /// Returns [`DataError`] when `data` is incompatible (e.g. wrong task or
+    /// empty input).
+    fn fit(&mut self, data: &Dataset) -> Result<TrainReport, DataError>;
+
+    /// Predicts a label per row of `x`.
+    ///
+    /// # Panics
+    /// May panic when called before `fit` or with the wrong feature count.
+    fn predict(&self, x: &Matrix) -> Vec<f64>;
+}
+
+/// Classification-specific extensions.
+pub trait Classifier: Estimator {
+    /// Class probabilities, one row per instance, one column per class.
+    fn predict_proba(&self, x: &Matrix) -> Matrix;
+
+    /// Number of classes the model was fit for.
+    fn n_classes(&self) -> usize;
+}
+
+/// Regression marker trait (predictions are real-valued targets).
+pub trait Regressor: Estimator {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_report_default_is_zeroed() {
+        let r = TrainReport::default();
+        assert_eq!(r.epochs, 0);
+        assert_eq!(r.cost_units, 0);
+        assert!(!r.stopped_early);
+    }
+}

@@ -1,0 +1,195 @@
+//! k-nearest-neighbour classifier.
+//!
+//! A lazy baseline used by the examples and tests as a sanity reference
+//! against the tuned MLP (the paper's experiments tune MLPs; kNN gives the
+//! "no training" floor a practitioner would compare with).
+
+use crate::estimator::{Classifier, Estimator, TrainReport};
+use hpo_data::dataset::{Dataset, Task};
+use hpo_data::error::DataError;
+use hpo_data::matrix::Matrix;
+
+/// k-nearest-neighbour majority-vote classifier (exact, brute force).
+#[derive(Clone, Debug)]
+pub struct KnnClassifier {
+    /// Number of neighbours `k`.
+    pub k: usize,
+    train_x: Option<Matrix>,
+    train_y: Vec<f64>,
+    n_classes: usize,
+}
+
+impl KnnClassifier {
+    /// Creates an unfitted classifier with the given `k`.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        KnnClassifier {
+            k,
+            train_x: None,
+            train_y: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Estimator for KnnClassifier {
+    fn fit(&mut self, data: &Dataset) -> Result<TrainReport, DataError> {
+        let k_classes = match data.task() {
+            Task::Regression => {
+                return Err(DataError::invalid(
+                    "data",
+                    "KnnClassifier requires a classification dataset",
+                ))
+            }
+            task => task.n_classes().expect("classification has classes"),
+        };
+        if data.n_instances() == 0 {
+            return Err(DataError::invalid("data", "empty dataset"));
+        }
+        self.train_x = Some(data.x().clone());
+        self.train_y = data.y().to_vec();
+        self.n_classes = k_classes;
+        Ok(TrainReport {
+            epochs: 0,
+            final_loss: 0.0,
+            // "Training" is memorization; cost is the copy.
+            cost_units: (data.n_instances() * data.n_features()) as u64,
+            stopped_early: false,
+        })
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let p = self.predict_proba(x);
+        (0..p.rows())
+            .map(|r| {
+                let row = p.row(r);
+                let mut best = 0;
+                for (c, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = c;
+                    }
+                }
+                best as f64
+            })
+            .collect()
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let train = self
+            .train_x
+            .as_ref()
+            .expect("KnnClassifier::predict called before fit");
+        let k = self.k.min(train.rows());
+        let mut proba = Matrix::zeros(x.rows(), self.n_classes);
+        let mut dists: Vec<(f64, usize)> = Vec::with_capacity(train.rows());
+        for (r, query) in x.iter_rows().enumerate() {
+            dists.clear();
+            for (j, row) in train.iter_rows().enumerate() {
+                dists.push((Matrix::dist_sq(query, row), j));
+            }
+            dists.select_nth_unstable_by(k - 1, |a, b| {
+                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let inv_k = 1.0 / k as f64;
+            for &(_, j) in &dists[..k] {
+                proba[(r, self.train_y[j] as usize)] += inv_k;
+            }
+        }
+        proba
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    #[test]
+    fn classifies_clean_blobs_perfectly() {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 200,
+                n_features: 4,
+                n_informative: 4,
+                n_classes: 2,
+                n_blobs: 2,
+                label_purity: 1.0,
+                label_noise: 0.0,
+                blob_spread: 0.2,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut knn = KnnClassifier::new(3);
+        knn.fit(&data).unwrap();
+        let preds = knn.predict(data.x());
+        let acc = preds.iter().zip(data.y()).filter(|(a, b)| a == b).count() as f64 / 200.0;
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn k_one_memorizes_training_data() {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 60,
+                label_noise: 0.3, // even noisy labels are memorized exactly
+                ..Default::default()
+            },
+            2,
+        );
+        let mut knn = KnnClassifier::new(1);
+        knn.fit(&data).unwrap();
+        assert_eq!(knn.predict(data.x()), data.y());
+    }
+
+    #[test]
+    fn proba_rows_sum_to_one() {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 50,
+                n_classes: 3,
+                n_blobs: 3,
+                ..Default::default()
+            },
+            3,
+        );
+        let mut knn = KnnClassifier::new(5);
+        knn.fit(&data).unwrap();
+        let p = knn.predict_proba(data.x());
+        for row in p.iter_rows() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 10,
+                ..Default::default()
+            },
+            4,
+        );
+        let mut knn = KnnClassifier::new(100);
+        knn.fit(&data).unwrap();
+        let preds = knn.predict(data.x());
+        assert_eq!(preds.len(), 10);
+    }
+
+    #[test]
+    fn rejects_regression() {
+        use hpo_data::dataset::Dataset;
+        let x = Matrix::zeros(4, 2);
+        let d = Dataset::new(x, vec![0.5; 4], Task::Regression).unwrap();
+        assert!(KnnClassifier::new(3).fit(&d).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! From-scratch ML models tuned by the HPO harness.
+//!
+//! The paper tunes scikit-learn's `MLPClassifier`/`MLPRegressor` over the
+//! eight hyperparameters of its Table III. The Rust ML ecosystem does not
+//! provide an equivalent, so this crate reimplements it:
+//!
+//! * [`mlp`] — the multi-layer perceptron with hidden-layer-sizes,
+//!   activations {logistic, tanh, relu}, solvers {sgd, adam, lbfgs},
+//!   learning-rate schedules {constant, invscaling, adaptive}, momentum,
+//!   mini-batches and early stopping.
+//! * [`optimizer`] — SGD(+momentum), Adam and L-BFGS over flat parameter
+//!   vectors.
+//! * [`linear`] / [`knn`] / [`tree`] / [`forest`] — logistic/linear
+//!   regression, kNN, CART and random-forest baselines used by tests,
+//!   examples and the model-agnostic evaluation path.
+//! * [`estimator`] — the `fit`/`predict` traits the HPO evaluator drives,
+//!   plus the deterministic training-cost accounting used by the benchmark
+//!   harness (see `DESIGN.md` §1 on the wall-clock substitution).
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod estimator;
+pub mod forest;
+pub mod knn;
+pub mod linear;
+pub mod loss;
+pub mod mlp;
+pub mod optimizer;
+pub mod schedule;
+pub mod tree;
+
+pub use estimator::{Classifier, Estimator, Regressor, TrainReport};
+pub use mlp::{MlpClassifier, MlpParams, MlpRegressor};

@@ -1,0 +1,295 @@
+//! Linear baselines: logistic regression and ordinary least squares via
+//! gradient descent. Used by tests and as cheap sanity baselines in the
+//! examples; the paper's experiments tune the MLP.
+
+use crate::estimator::{Classifier, Estimator, Regressor, TrainReport};
+use hpo_data::dataset::{Dataset, Task};
+use hpo_data::error::DataError;
+use hpo_data::matrix::Matrix;
+
+/// Binary/multinomial logistic regression trained with full-batch gradient
+/// descent.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    /// Learning rate for the gradient steps.
+    pub learning_rate: f64,
+    /// Number of gradient steps.
+    pub max_iter: usize,
+    /// L2 penalty.
+    pub alpha: f64,
+    weights: Option<Matrix>,
+    bias: Vec<f64>,
+    n_classes: usize,
+}
+
+impl LogisticRegression {
+    /// Creates an unfitted model with sensible defaults.
+    pub fn new() -> Self {
+        LogisticRegression {
+            learning_rate: 0.5,
+            max_iter: 200,
+            alpha: 1e-4,
+            weights: None,
+            bias: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Estimator for LogisticRegression {
+    fn fit(&mut self, data: &Dataset) -> Result<TrainReport, DataError> {
+        let k = data
+            .task()
+            .n_classes()
+            .ok_or_else(|| DataError::invalid("data", "classification dataset required"))?;
+        if data.n_instances() == 0 {
+            return Err(DataError::invalid("data", "empty dataset"));
+        }
+        let n = data.n_instances() as f64;
+        let f = data.n_features();
+        let mut w = Matrix::zeros(f, k);
+        let mut b = vec![0.0; k];
+        let targets = crate::loss::one_hot(data.y(), k);
+        let mut loss = 0.0;
+        for _ in 0..self.max_iter {
+            // p = softmax(xW + b)
+            let mut p = data.x().matmul(&w);
+            p.add_row_vector(&b);
+            crate::loss::OutputLoss::SoftmaxCrossEntropy.transform(&mut p);
+            loss = crate::loss::OutputLoss::SoftmaxCrossEntropy.loss(&p, &targets);
+            let delta = crate::loss::OutputLoss::SoftmaxCrossEntropy.delta(&p, &targets);
+            let mut gw = data.x().t_matmul(&delta);
+            gw.axpy(self.alpha / n, &w);
+            let gb = delta.col_sums();
+            gw.scale_inplace(-self.learning_rate);
+            w.axpy(1.0, &gw);
+            for (bv, &g) in b.iter_mut().zip(&gb) {
+                *bv -= self.learning_rate * g;
+            }
+        }
+        let cost = (3 * f * k) as u64 * data.n_instances() as u64 * self.max_iter as u64;
+        self.weights = Some(w);
+        self.bias = b;
+        self.n_classes = k;
+        Ok(TrainReport {
+            epochs: self.max_iter,
+            final_loss: loss,
+            cost_units: cost,
+            stopped_early: false,
+        })
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let p = self.predict_proba(x);
+        (0..p.rows())
+            .map(|r| {
+                let row = p.row(r);
+                let mut best = 0;
+                for (c, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = c;
+                    }
+                }
+                best as f64
+            })
+            .collect()
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let w = self
+            .weights
+            .as_ref()
+            .expect("LogisticRegression::predict called before fit");
+        let mut p = x.matmul(w);
+        p.add_row_vector(&self.bias);
+        crate::loss::OutputLoss::SoftmaxCrossEntropy.transform(&mut p);
+        p
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// Ordinary least squares via gradient descent.
+#[derive(Clone, Debug)]
+pub struct LinearRegression {
+    /// Learning rate for the gradient steps.
+    pub learning_rate: f64,
+    /// Number of gradient steps.
+    pub max_iter: usize,
+    weights: Vec<f64>,
+    bias: f64,
+    fitted: bool,
+}
+
+impl LinearRegression {
+    /// Creates an unfitted model with sensible defaults.
+    pub fn new() -> Self {
+        LinearRegression {
+            learning_rate: 0.1,
+            max_iter: 500,
+            weights: Vec::new(),
+            bias: 0.0,
+            fitted: false,
+        }
+    }
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Estimator for LinearRegression {
+    fn fit(&mut self, data: &Dataset) -> Result<TrainReport, DataError> {
+        if data.task() != Task::Regression {
+            return Err(DataError::invalid("data", "regression dataset required"));
+        }
+        if data.n_instances() == 0 {
+            return Err(DataError::invalid("data", "empty dataset"));
+        }
+        let n = data.n_instances() as f64;
+        let f = data.n_features();
+        self.weights = vec![0.0; f];
+        self.bias = 0.0;
+        let mut loss = 0.0;
+        for _ in 0..self.max_iter {
+            let mut gw = vec![0.0; f];
+            let mut gb = 0.0;
+            loss = 0.0;
+            for i in 0..data.n_instances() {
+                let row = data.instance(i);
+                let pred = Matrix::dot(row, &self.weights) + self.bias;
+                let err = pred - data.label(i);
+                loss += 0.5 * err * err / n;
+                for (g, &v) in gw.iter_mut().zip(row) {
+                    *g += err * v / n;
+                }
+                gb += err / n;
+            }
+            for (w, g) in self.weights.iter_mut().zip(&gw) {
+                *w -= self.learning_rate * g;
+            }
+            self.bias -= self.learning_rate * gb;
+        }
+        self.fitted = true;
+        Ok(TrainReport {
+            epochs: self.max_iter,
+            final_loss: loss,
+            cost_units: (3 * f) as u64 * data.n_instances() as u64 * self.max_iter as u64,
+            stopped_early: false,
+        })
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(self.fitted, "LinearRegression::predict called before fit");
+        (0..x.rows())
+            .map(|r| Matrix::dot(x.row(r), &self.weights) + self.bias)
+            .collect()
+    }
+}
+
+impl Regressor for LinearRegression {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::synth::{
+        make_classification, make_regression, ClassificationSpec, RegressionSpec,
+    };
+
+    #[test]
+    fn logistic_regression_separates_blobs() {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 300,
+                n_features: 4,
+                n_informative: 4,
+                n_classes: 2,
+                n_blobs: 2,
+                label_purity: 1.0,
+                label_noise: 0.0,
+                blob_spread: 0.25,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut lr = LogisticRegression::new();
+        lr.fit(&data).unwrap();
+        let preds = lr.predict(data.x());
+        let acc = preds.iter().zip(data.y()).filter(|(a, b)| a == b).count() as f64 / 300.0;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn linear_regression_recovers_linear_signal() {
+        let data = make_regression(
+            &RegressionSpec {
+                n_instances: 300,
+                n_features: 4,
+                n_informative: 4,
+                noise: 0.01,
+                blob_effect: 0.0,
+                ..Default::default()
+            },
+            2,
+        );
+        let mut lr = LinearRegression::new();
+        lr.fit(&data).unwrap();
+        let preds = lr.predict(data.x());
+        let mean = data.y().iter().sum::<f64>() / 300.0;
+        let ss_tot: f64 = data.y().iter().map(|&v| (v - mean).powi(2)).sum();
+        let ss_res: f64 = data
+            .y()
+            .iter()
+            .zip(&preds)
+            .map(|(&a, &b)| (a - b).powi(2))
+            .sum();
+        let r2 = 1.0 - ss_res / ss_tot;
+        assert!(r2 > 0.95, "R² {r2}");
+    }
+
+    #[test]
+    fn task_mismatch_is_an_error() {
+        let x = Matrix::zeros(4, 2);
+        let class_data = Dataset::new(
+            x.clone(),
+            vec![0.0, 1.0, 0.0, 1.0],
+            Task::BinaryClassification,
+        )
+        .unwrap();
+        let reg_data = Dataset::new(x, vec![0.5; 4], Task::Regression).unwrap();
+        assert!(LinearRegression::new().fit(&class_data).is_err());
+        assert!(LogisticRegression::new().fit(&reg_data).is_err());
+    }
+
+    #[test]
+    fn logistic_proba_rows_sum_to_one() {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 50,
+                n_classes: 3,
+                n_blobs: 3,
+                ..Default::default()
+            },
+            3,
+        );
+        let mut lr = LogisticRegression::new();
+        lr.fit(&data).unwrap();
+        assert_eq!(lr.n_classes(), 3);
+        let p = lr.predict_proba(data.x());
+        for row in p.iter_rows() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Output layers and losses: softmax + cross-entropy for classification,
+//! identity + squared error for regression.
+//!
+//! Both pairs share the convenient property that the output-layer error term
+//! is simply `prediction − target`, which `mlp::Network::backward` relies on.
+
+use hpo_data::matrix::Matrix;
+
+/// The output transform + loss pair of a network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputLoss {
+    /// Softmax outputs with categorical cross-entropy (classification).
+    SoftmaxCrossEntropy,
+    /// Identity outputs with mean squared error (regression).
+    SquaredError,
+}
+
+impl OutputLoss {
+    /// Applies the output transform to raw scores in place (row-wise).
+    pub fn transform(&self, z: &mut Matrix) {
+        match self {
+            OutputLoss::SoftmaxCrossEntropy => {
+                for r in 0..z.rows() {
+                    softmax_row(z.row_mut(r));
+                }
+            }
+            OutputLoss::SquaredError => {}
+        }
+    }
+
+    /// Mean loss of transformed predictions `p` against targets `t`.
+    ///
+    /// For cross-entropy, `t` is one-hot; for squared error the factor is
+    /// `1/2` per element so the gradient is exactly `p − t`.
+    pub fn loss(&self, p: &Matrix, t: &Matrix) -> f64 {
+        assert_eq!(p.shape(), t.shape(), "prediction/target shape mismatch");
+        let n = p.rows().max(1) as f64;
+        match self {
+            OutputLoss::SoftmaxCrossEntropy => {
+                let mut total = 0.0;
+                for (pr, tr) in p.iter_rows().zip(t.iter_rows()) {
+                    for (&pv, &tv) in pr.iter().zip(tr) {
+                        if tv > 0.0 {
+                            total -= tv * pv.max(1e-12).ln();
+                        }
+                    }
+                }
+                total / n
+            }
+            OutputLoss::SquaredError => {
+                let mut total = 0.0;
+                for (pr, tr) in p.iter_rows().zip(t.iter_rows()) {
+                    for (&pv, &tv) in pr.iter().zip(tr) {
+                        let d = pv - tv;
+                        total += 0.5 * d * d;
+                    }
+                }
+                total / n
+            }
+        }
+    }
+
+    /// Output-layer delta `(p − t) / n`, shared by both pairs.
+    pub fn delta(&self, p: &Matrix, t: &Matrix) -> Matrix {
+        assert_eq!(p.shape(), t.shape(), "prediction/target shape mismatch");
+        let n = p.rows().max(1) as f64;
+        let mut d = p.clone();
+        d.axpy(-1.0, t);
+        d.scale_inplace(1.0 / n);
+        d
+    }
+}
+
+/// Numerically stable in-place softmax of one row.
+fn softmax_row(row: &mut [f64]) {
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// One-hot encodes class labels into an `n x k` matrix.
+pub fn one_hot(labels: &[f64], k: usize) -> Matrix {
+    let mut t = Matrix::zeros(labels.len(), k);
+    for (i, &l) in labels.iter().enumerate() {
+        let c = l as usize;
+        assert!(c < k, "label {l} outside 0..{k}");
+        t[(i, c)] = 1.0;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut z = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        OutputLoss::SoftmaxCrossEntropy.transform(&mut z);
+        for row in z.iter_rows() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(row.iter().all(|&v| v > 0.0));
+        }
+        // larger logits get larger probability
+        assert!(z[(0, 2)] > z[(0, 1)] && z[(0, 1)] > z[(0, 0)]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_huge_logits() {
+        let mut z = Matrix::from_rows(&[&[1000.0, 1001.0]]);
+        OutputLoss::SoftmaxCrossEntropy.transform(&mut z);
+        assert!(z.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_zero() {
+        let p = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let t = p.clone();
+        assert!(OutputLoss::SoftmaxCrossEntropy.loss(&p, &t) < 1e-9);
+    }
+
+    #[test]
+    fn cross_entropy_hand_value() {
+        let p = Matrix::from_rows(&[&[0.5, 0.5]]);
+        let t = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let expect = -(0.5f64.ln());
+        assert!((OutputLoss::SoftmaxCrossEntropy.loss(&p, &t) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_error_hand_value() {
+        let p = Matrix::from_rows(&[&[2.0], &[4.0]]);
+        let t = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        // (0.5*1 + 0.5*9) / 2 = 2.5
+        assert!((OutputLoss::SquaredError.loss(&p, &t) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_is_scaled_difference() {
+        let p = Matrix::from_rows(&[&[0.7, 0.3], &[0.2, 0.8]]);
+        let t = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let d = OutputLoss::SoftmaxCrossEntropy.delta(&p, &t);
+        assert!((d[(0, 0)] - (0.7 - 1.0) / 2.0).abs() < 1e-12);
+        assert!((d[(1, 1)] - (0.8 - 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_hot_encodes_labels() {
+        let t = one_hot(&[0.0, 2.0, 1.0], 3);
+        assert_eq!(t.row(0), &[1.0, 0.0, 0.0]);
+        assert_eq!(t.row(1), &[0.0, 0.0, 1.0]);
+        assert_eq!(t.row(2), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn one_hot_rejects_out_of_range() {
+        one_hot(&[3.0], 3);
+    }
+}

@@ -1,0 +1,245 @@
+//! The MLP classifier (softmax output, cross-entropy loss).
+
+use super::network::Network;
+use super::params::MlpParams;
+use super::train::train;
+use crate::estimator::{Classifier, Estimator, TrainReport};
+use crate::loss::{one_hot, OutputLoss};
+use hpo_data::dataset::{Dataset, Task};
+use hpo_data::error::DataError;
+use hpo_data::matrix::Matrix;
+
+/// Multi-layer perceptron classifier mirroring scikit-learn's
+/// `MLPClassifier` over the paper's hyperparameters.
+///
+/// ```
+/// use hpo_models::mlp::{MlpClassifier, MlpParams};
+/// use hpo_models::estimator::Estimator;
+/// use hpo_data::synth::{make_classification, ClassificationSpec};
+///
+/// let data = make_classification(&ClassificationSpec::default(), 42);
+/// let mut clf = MlpClassifier::new(MlpParams {
+///     hidden_layer_sizes: vec![16],
+///     max_iter: 20,
+///     ..Default::default()
+/// });
+/// clf.fit(&data).unwrap();
+/// let preds = clf.predict(data.x());
+/// assert_eq!(preds.len(), data.n_instances());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MlpClassifier {
+    params: MlpParams,
+    net: Option<Network>,
+    n_classes: usize,
+}
+
+impl MlpClassifier {
+    /// Creates an unfitted classifier with the given hyperparameters.
+    pub fn new(params: MlpParams) -> Self {
+        MlpClassifier {
+            params,
+            net: None,
+            n_classes: 0,
+        }
+    }
+
+    /// The hyperparameters this classifier was built with.
+    pub fn params(&self) -> &MlpParams {
+        &self.params
+    }
+
+    fn fitted_net(&self) -> &Network {
+        self.net
+            .as_ref()
+            .expect("MlpClassifier::predict called before fit")
+    }
+}
+
+impl Estimator for MlpClassifier {
+    fn fit(&mut self, data: &Dataset) -> Result<TrainReport, DataError> {
+        let k = match data.task() {
+            Task::Regression => {
+                return Err(DataError::invalid(
+                    "data",
+                    "MlpClassifier requires a classification dataset",
+                ))
+            }
+            task => task.n_classes().expect("classification task has classes"),
+        };
+        if data.n_instances() == 0 {
+            return Err(DataError::invalid("data", "cannot fit on an empty dataset"));
+        }
+        let mut sizes = Vec::with_capacity(self.params.hidden_layer_sizes.len() + 2);
+        sizes.push(data.n_features());
+        sizes.extend_from_slice(&self.params.hidden_layer_sizes);
+        sizes.push(k);
+        let mut net = Network::new(
+            sizes,
+            self.params.activation,
+            OutputLoss::SoftmaxCrossEntropy,
+            self.params.seed,
+        );
+        let targets = one_hot(data.y(), k);
+        let report = train(&mut net, data.x(), &targets, &self.params);
+        self.net = Some(net);
+        self.n_classes = k;
+        Ok(report)
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let proba = self.predict_proba(x);
+        (0..proba.rows())
+            .map(|r| {
+                let row = proba.row(r);
+                let mut best = 0usize;
+                let mut best_v = f64::NEG_INFINITY;
+                for (c, &v) in row.iter().enumerate() {
+                    if v > best_v {
+                        best_v = v;
+                        best = c;
+                    }
+                }
+                best as f64
+            })
+            .collect()
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        self.fitted_net().predict_raw(x)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+    use hpo_metrics_shim::accuracy;
+
+    // Local accuracy helper to avoid a dev-dependency cycle with hpo-metrics.
+    mod hpo_metrics_shim {
+        pub fn accuracy(t: &[f64], p: &[f64]) -> f64 {
+            t.iter().zip(p).filter(|(a, b)| a == b).count() as f64 / t.len() as f64
+        }
+    }
+
+    fn easy_dataset(seed: u64) -> Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_instances: 300,
+                n_features: 6,
+                n_informative: 6,
+                n_classes: 2,
+                n_blobs: 2,
+                label_purity: 0.98,
+                label_noise: 0.0,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn learns_separable_data_well() {
+        let data = easy_dataset(1);
+        let mut clf = MlpClassifier::new(MlpParams {
+            hidden_layer_sizes: vec![16],
+            learning_rate_init: 0.01,
+            max_iter: 60,
+            seed: 1,
+            ..Default::default()
+        });
+        clf.fit(&data).unwrap();
+        let acc = accuracy(data.y(), &clf.predict(data.x()));
+        assert!(acc > 0.9, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn multiclass_probabilities_are_valid() {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 200,
+                n_classes: 3,
+                n_blobs: 3,
+                ..Default::default()
+            },
+            2,
+        );
+        let mut clf = MlpClassifier::new(MlpParams {
+            hidden_layer_sizes: vec![8],
+            max_iter: 10,
+            ..Default::default()
+        });
+        clf.fit(&data).unwrap();
+        assert_eq!(clf.n_classes(), 3);
+        let p = clf.predict_proba(data.x());
+        assert_eq!(p.shape(), (200, 3));
+        for row in p.iter_rows() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        // predictions are valid class indices
+        assert!(clf.predict(data.x()).iter().all(|&c| c < 3.0));
+    }
+
+    #[test]
+    fn rejects_regression_dataset() {
+        let x = Matrix::zeros(5, 2);
+        let data = Dataset::new(x, vec![0.5; 5], Task::Regression).unwrap();
+        let mut clf = MlpClassifier::new(MlpParams::default());
+        assert!(clf.fit(&data).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let clf = MlpClassifier::new(MlpParams::default());
+        clf.predict(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn refit_replaces_previous_model() {
+        let data = easy_dataset(3);
+        let mut clf = MlpClassifier::new(MlpParams {
+            hidden_layer_sizes: vec![4],
+            max_iter: 5,
+            ..Default::default()
+        });
+        clf.fit(&data).unwrap();
+        let first = clf.predict(data.x());
+        // Refit on relabeled data; predictions must follow the new fit.
+        let flipped: Vec<f64> = data.y().iter().map(|&y| 1.0 - y).collect();
+        let data2 = data
+            .with_labels(flipped, Task::BinaryClassification)
+            .unwrap();
+        clf.fit(&data2).unwrap();
+        let second = clf.predict(data2.x());
+        assert_eq!(first.len(), second.len());
+    }
+
+    #[test]
+    fn subset_with_single_class_still_outputs_all_classes() {
+        // A CV fold can contain one class only; the model must still emit
+        // probabilities for every global class.
+        let data = easy_dataset(4);
+        let only_zero: Vec<usize> = (0..data.n_instances())
+            .filter(|&i| data.class(i) == 0)
+            .take(30)
+            .collect();
+        let sub = data.select(&only_zero);
+        let mut clf = MlpClassifier::new(MlpParams {
+            hidden_layer_sizes: vec![4],
+            max_iter: 5,
+            ..Default::default()
+        });
+        clf.fit(&sub).unwrap();
+        assert_eq!(clf.n_classes(), 2);
+        assert_eq!(clf.predict_proba(sub.x()).cols(), 2);
+    }
+}

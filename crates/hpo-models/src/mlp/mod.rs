@@ -1,0 +1,19 @@
+//! Multi-layer perceptron mirroring scikit-learn's `MLPClassifier` /
+//! `MLPRegressor` over the paper's Table III hyperparameters.
+//!
+//! * [`params`] — the hyperparameter struct ([`MlpParams`]) and solver enum.
+//! * [`network`] — the feed-forward network, backprop and flat-parameter
+//!   packing.
+//! * [`train`] — the solver-dispatching training loop (SGD / Adam / L-BFGS,
+//!   schedules, early stopping, cost accounting).
+//! * [`classifier`] / [`regressor`] — the public estimators.
+
+pub mod classifier;
+pub mod network;
+pub mod params;
+pub mod regressor;
+pub mod train;
+
+pub use classifier::MlpClassifier;
+pub use params::{MlpParams, Solver};
+pub use regressor::MlpRegressor;

@@ -1,0 +1,297 @@
+//! The feed-forward network: forward pass, backprop, flat-parameter packing.
+
+use crate::activation::Activation;
+use crate::loss::OutputLoss;
+use hpo_data::matrix::Matrix;
+use hpo_data::rng::rng_from_seed;
+use rand::Rng;
+
+/// A fully-connected feed-forward network.
+#[derive(Clone, Debug)]
+pub struct Network {
+    /// Layer widths `[input, hidden..., output]`.
+    sizes: Vec<usize>,
+    /// Weight matrices, `sizes[l] x sizes[l+1]` each.
+    weights: Vec<Matrix>,
+    /// Bias vectors, one per non-input layer.
+    biases: Vec<Vec<f64>>,
+    /// Hidden activation.
+    activation: Activation,
+    /// Output transform + loss pair.
+    output: OutputLoss,
+}
+
+impl Network {
+    /// Builds a network with Glorot-uniform weights and zero biases.
+    ///
+    /// # Panics
+    /// Panics when fewer than two layer sizes are given or any size is zero.
+    pub fn new(sizes: Vec<usize>, activation: Activation, output: OutputLoss, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output layers");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut rng = rng_from_seed(seed);
+        let mut weights = Vec::with_capacity(sizes.len() - 1);
+        let mut biases = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+            let mut m = Matrix::zeros(fan_in, fan_out);
+            for v in m.as_mut_slice() {
+                *v = rng.gen_range(-bound..bound);
+            }
+            weights.push(m);
+            biases.push(vec![0.0; fan_out]);
+        }
+        Network {
+            sizes,
+            weights,
+            biases,
+            activation,
+            output,
+        }
+    }
+
+    /// Layer widths.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Number of trainable parameters.
+    pub fn n_params(&self) -> usize {
+        self.sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+
+    /// Multiply-accumulate operations for one instance's forward pass —
+    /// the unit of the deterministic cost model.
+    pub fn cost_per_instance(&self) -> u64 {
+        self.sizes.windows(2).map(|w| (w[0] * w[1]) as u64).sum()
+    }
+
+    /// Forward pass returning the activations of every layer
+    /// (`activations[0]` is the input, the last entry is the transformed
+    /// output).
+    pub fn forward(&self, x: &Matrix) -> Vec<Matrix> {
+        assert_eq!(x.cols(), self.sizes[0], "input width mismatch");
+        let n_layers = self.weights.len();
+        let mut activations = Vec::with_capacity(n_layers + 1);
+        activations.push(x.clone());
+        for l in 0..n_layers {
+            let mut z = activations[l].matmul(&self.weights[l]);
+            z.add_row_vector(&self.biases[l]);
+            if l < n_layers - 1 {
+                z.map_inplace(|v| self.activation.apply(v));
+            } else {
+                self.output.transform(&mut z);
+            }
+            activations.push(z);
+        }
+        activations
+    }
+
+    /// Transformed output for a batch (probabilities for classification,
+    /// raw values for regression).
+    pub fn predict_raw(&self, x: &Matrix) -> Matrix {
+        self.forward(x).pop().expect("forward returns >= 2 entries")
+    }
+
+    /// Loss and flat gradient for a batch, including the L2 penalty
+    /// `alpha/(2n) · Σ‖W‖²` on weights (biases unpenalized, as in
+    /// scikit-learn).
+    pub fn loss_grad(&self, x: &Matrix, targets: &Matrix, alpha: f64) -> (f64, Vec<f64>) {
+        let n = x.rows().max(1) as f64;
+        let activations = self.forward(x);
+        let prediction = activations.last().expect("non-empty activations");
+        let mut loss = self.output.loss(prediction, targets);
+        for w in &self.weights {
+            loss += alpha / (2.0 * n) * w.frob_sq();
+        }
+
+        let n_layers = self.weights.len();
+        let mut grad_w: Vec<Matrix> = Vec::with_capacity(n_layers);
+        let mut grad_b: Vec<Vec<f64>> = Vec::with_capacity(n_layers);
+        // Output delta already includes the 1/n factor.
+        let mut delta = self.output.delta(prediction, targets);
+        for l in (0..n_layers).rev() {
+            let mut gw = activations[l].t_matmul(&delta);
+            gw.axpy(alpha / n, &self.weights[l]);
+            let gb = delta.col_sums();
+            grad_w.push(gw);
+            grad_b.push(gb);
+            if l > 0 {
+                let mut prev_delta = delta.matmul_t(&self.weights[l]);
+                // Multiply by activation derivative at the hidden layer l.
+                for r in 0..prev_delta.rows() {
+                    let act_row = activations[l].row(r);
+                    for (d, &a) in prev_delta.row_mut(r).iter_mut().zip(act_row) {
+                        *d *= self.activation.derivative_from_output(a);
+                    }
+                }
+                delta = prev_delta;
+            }
+        }
+        grad_w.reverse();
+        grad_b.reverse();
+
+        let mut flat = Vec::with_capacity(self.n_params());
+        for (gw, gb) in grad_w.iter().zip(&grad_b) {
+            flat.extend_from_slice(gw.as_slice());
+            flat.extend_from_slice(gb);
+        }
+        (loss, flat)
+    }
+
+    /// Copies all parameters into one flat vector (weights then biases, per
+    /// layer in order — the same layout `loss_grad` produces).
+    pub fn params_flat(&self) -> Vec<f64> {
+        let mut flat = Vec::with_capacity(self.n_params());
+        for (w, b) in self.weights.iter().zip(&self.biases) {
+            flat.extend_from_slice(w.as_slice());
+            flat.extend_from_slice(b);
+        }
+        flat
+    }
+
+    /// Restores all parameters from a flat vector.
+    ///
+    /// # Panics
+    /// Panics when the vector length differs from [`Network::n_params`].
+    pub fn set_params_flat(&mut self, flat: &[f64]) {
+        assert_eq!(flat.len(), self.n_params(), "parameter count mismatch");
+        let mut off = 0;
+        for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
+            let wlen = w.rows() * w.cols();
+            w.as_mut_slice().copy_from_slice(&flat[off..off + wlen]);
+            off += wlen;
+            let blen = b.len();
+            b.copy_from_slice(&flat[off..off + blen]);
+            off += blen;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::one_hot;
+
+    fn tiny_net(seed: u64) -> Network {
+        Network::new(
+            vec![3, 4, 2],
+            Activation::Tanh,
+            OutputLoss::SoftmaxCrossEntropy,
+            seed,
+        )
+    }
+
+    #[test]
+    fn n_params_counts_weights_and_biases() {
+        let net = tiny_net(0);
+        assert_eq!(net.n_params(), 3 * 4 + 4 + 4 * 2 + 2);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut net = tiny_net(1);
+        let flat = net.params_flat();
+        let mut changed = flat.clone();
+        changed[0] += 1.0;
+        net.set_params_flat(&changed);
+        assert_eq!(net.params_flat(), changed);
+        net.set_params_flat(&flat);
+        assert_eq!(net.params_flat(), flat);
+    }
+
+    #[test]
+    fn forward_output_shape_and_probabilities() {
+        let net = tiny_net(2);
+        let x = Matrix::zeros(5, 3);
+        let out = net.predict_raw(&x);
+        assert_eq!(out.shape(), (5, 2));
+        for row in out.iter_rows() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        // The canonical backprop correctness check.
+        let mut net = Network::new(
+            vec![2, 3, 2],
+            Activation::Logistic,
+            OutputLoss::SoftmaxCrossEntropy,
+            3,
+        );
+        let x = Matrix::from_rows(&[&[0.5, -1.0], &[1.5, 0.3], &[-0.7, 0.9]]);
+        let t = one_hot(&[0.0, 1.0, 0.0], 2);
+        let alpha = 0.01;
+
+        let (_, grad) = net.loss_grad(&x, &t, alpha);
+        let flat = net.params_flat();
+        let h = 1e-6;
+        for i in (0..flat.len()).step_by(3) {
+            let mut plus = flat.clone();
+            plus[i] += h;
+            net.set_params_flat(&plus);
+            let (lp, _) = net.loss_grad(&x, &t, alpha);
+            let mut minus = flat.clone();
+            minus[i] -= h;
+            net.set_params_flat(&minus);
+            let (lm, _) = net.loss_grad(&x, &t, alpha);
+            net.set_params_flat(&flat);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - grad[i]).abs() < 1e-5,
+                "param {i}: fd={fd} backprop={}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_regression_relu() {
+        let mut net = Network::new(vec![2, 4, 1], Activation::Relu, OutputLoss::SquaredError, 4);
+        let x = Matrix::from_rows(&[&[0.5, -1.0], &[1.5, 0.3]]);
+        let t = Matrix::from_rows(&[&[1.0], &[-0.5]]);
+        let (_, grad) = net.loss_grad(&x, &t, 0.0);
+        let flat = net.params_flat();
+        let h = 1e-6;
+        for i in (0..flat.len()).step_by(2) {
+            let mut plus = flat.clone();
+            plus[i] += h;
+            net.set_params_flat(&plus);
+            let (lp, _) = net.loss_grad(&x, &t, 0.0);
+            let mut minus = flat.clone();
+            minus[i] -= h;
+            net.set_params_flat(&minus);
+            let (lm, _) = net.loss_grad(&x, &t, 0.0);
+            net.set_params_flat(&flat);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - grad[i]).abs() < 1e-5,
+                "param {i}: fd={fd} backprop={}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_init_per_seed() {
+        let a = tiny_net(7).params_flat();
+        let b = tiny_net(7).params_flat();
+        let c = tiny_net(8).params_flat();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cost_per_instance_counts_macs() {
+        let net = tiny_net(0);
+        assert_eq!(net.cost_per_instance(), (3 * 4 + 4 * 2) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width")]
+    fn forward_rejects_wrong_width() {
+        tiny_net(0).predict_raw(&Matrix::zeros(2, 5));
+    }
+}

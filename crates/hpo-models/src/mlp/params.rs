@@ -1,0 +1,186 @@
+//! MLP hyperparameters (paper Table III).
+
+use crate::activation::Activation;
+use crate::schedule::LearningRate;
+use serde::{Deserialize, Serialize};
+
+/// Weight optimizer (paper Table III: lbfgs/sgd/adam).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Solver {
+    /// Full-batch L-BFGS.
+    Lbfgs,
+    /// Mini-batch SGD with momentum and the learning-rate schedule.
+    Sgd,
+    /// Mini-batch Adam (schedule ignored, as in scikit-learn).
+    Adam,
+}
+
+impl Solver {
+    /// All solvers in the paper's search space.
+    pub const SEARCH_SPACE: [Solver; 3] = [Solver::Lbfgs, Solver::Sgd, Solver::Adam];
+
+    /// The scikit-learn parameter string.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Solver::Lbfgs => "lbfgs",
+            Solver::Sgd => "sgd",
+            Solver::Adam => "adam",
+        }
+    }
+
+    /// Parses a scikit-learn-style solver name.
+    pub fn from_name(name: &str) -> Option<Solver> {
+        match name {
+            "lbfgs" => Some(Solver::Lbfgs),
+            "sgd" => Some(Solver::Sgd),
+            "adam" => Some(Solver::Adam),
+            _ => None,
+        }
+    }
+}
+
+/// Hyperparameters of the MLP, covering all eight entries of the paper's
+/// search space plus the scikit-learn housekeeping parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MlpParams {
+    /// Sizes of the hidden layers, e.g. `[40, 40]`.
+    pub hidden_layer_sizes: Vec<usize>,
+    /// Hidden activation.
+    pub activation: Activation,
+    /// Weight optimizer.
+    pub solver: Solver,
+    /// Initial learning rate (`learning_rate_init`).
+    pub learning_rate_init: f64,
+    /// Mini-batch size (`batch_size`). Capped at the sample count at fit time.
+    pub batch_size: usize,
+    /// Learning-rate schedule (`learning_rate`; SGD only).
+    pub learning_rate: LearningRate,
+    /// Momentum for SGD.
+    pub momentum: f64,
+    /// Whether to hold out validation data and stop early.
+    pub early_stopping: bool,
+    /// L2 penalty (`alpha`).
+    pub alpha: f64,
+    /// Maximum epochs (SGD/Adam) or iterations (L-BFGS).
+    pub max_iter: usize,
+    /// Fraction held out when `early_stopping` is on.
+    pub validation_fraction: f64,
+    /// Epochs without `tol` improvement before stopping.
+    pub n_iter_no_change: usize,
+    /// Convergence tolerance.
+    pub tol: f64,
+    /// Seed for weight initialization and batch shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpParams {
+    /// scikit-learn defaults, except `max_iter` (40 instead of 200) so that
+    /// HPO experiments evaluating hundreds of configurations stay
+    /// laptop-scale; experiments can always raise it.
+    fn default() -> Self {
+        MlpParams {
+            hidden_layer_sizes: vec![100],
+            activation: Activation::Relu,
+            solver: Solver::Adam,
+            learning_rate_init: 0.001,
+            batch_size: 200,
+            learning_rate: LearningRate::Constant,
+            momentum: 0.9,
+            early_stopping: false,
+            alpha: 1e-4,
+            max_iter: 40,
+            validation_fraction: 0.1,
+            n_iter_no_change: 5,
+            tol: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+impl MlpParams {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    /// Panics on non-positive learning rate, batch size, or max_iter, or on
+    /// an empty hidden-layer list.
+    pub fn validate(&self) {
+        assert!(
+            !self.hidden_layer_sizes.is_empty() && self.hidden_layer_sizes.iter().all(|&h| h > 0),
+            "hidden_layer_sizes must be non-empty and positive"
+        );
+        assert!(
+            self.learning_rate_init > 0.0,
+            "learning_rate_init must be positive"
+        );
+        assert!(self.batch_size > 0, "batch_size must be positive");
+        assert!(self.max_iter > 0, "max_iter must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.validation_fraction),
+            "validation_fraction must be in [0,1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.momentum),
+            "momentum must be in [0,1)"
+        );
+    }
+
+    /// A compact human-readable identifier, e.g.
+    /// `h=[40,40] act=relu sol=adam lr=0.01 bs=64 sched=constant mom=0.9 es=false`.
+    pub fn describe(&self) -> String {
+        format!(
+            "h={:?} act={} sol={} lr={} bs={} sched={} mom={} es={}",
+            self.hidden_layer_sizes,
+            self.activation.name(),
+            self.solver.name(),
+            self.learning_rate_init,
+            self.batch_size,
+            self.learning_rate.name(),
+            self.momentum,
+            self.early_stopping
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        MlpParams::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden_layer_sizes")]
+    fn empty_hidden_layers_rejected() {
+        MlpParams {
+            hidden_layer_sizes: vec![],
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "learning_rate_init")]
+    fn zero_learning_rate_rejected() {
+        MlpParams {
+            learning_rate_init: 0.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn solver_name_roundtrip() {
+        for s in Solver::SEARCH_SPACE {
+            assert_eq!(Solver::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Solver::from_name("newton"), None);
+    }
+
+    #[test]
+    fn describe_mentions_key_fields() {
+        let d = MlpParams::default().describe();
+        assert!(d.contains("adam") && d.contains("relu") && d.contains("h=[100]"));
+    }
+}

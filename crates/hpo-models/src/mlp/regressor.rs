@@ -1,0 +1,147 @@
+//! The MLP regressor (identity output, squared-error loss).
+
+use super::network::Network;
+use super::params::MlpParams;
+use super::train::train;
+use crate::estimator::{Estimator, Regressor, TrainReport};
+use crate::loss::OutputLoss;
+use hpo_data::dataset::{Dataset, Task};
+use hpo_data::error::DataError;
+use hpo_data::matrix::Matrix;
+
+/// Multi-layer perceptron regressor mirroring scikit-learn's `MLPRegressor`.
+#[derive(Clone, Debug)]
+pub struct MlpRegressor {
+    params: MlpParams,
+    net: Option<Network>,
+}
+
+impl MlpRegressor {
+    /// Creates an unfitted regressor with the given hyperparameters.
+    pub fn new(params: MlpParams) -> Self {
+        MlpRegressor { params, net: None }
+    }
+
+    /// The hyperparameters this regressor was built with.
+    pub fn params(&self) -> &MlpParams {
+        &self.params
+    }
+}
+
+impl Estimator for MlpRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<TrainReport, DataError> {
+        if data.task() != Task::Regression {
+            return Err(DataError::invalid(
+                "data",
+                "MlpRegressor requires a regression dataset",
+            ));
+        }
+        if data.n_instances() == 0 {
+            return Err(DataError::invalid("data", "cannot fit on an empty dataset"));
+        }
+        let mut sizes = Vec::with_capacity(self.params.hidden_layer_sizes.len() + 2);
+        sizes.push(data.n_features());
+        sizes.extend_from_slice(&self.params.hidden_layer_sizes);
+        sizes.push(1);
+        let mut net = Network::new(
+            sizes,
+            self.params.activation,
+            OutputLoss::SquaredError,
+            self.params.seed,
+        );
+        let targets = Matrix::from_vec(data.n_instances(), 1, data.y().to_vec())
+            .expect("label vector reshapes to a column");
+        let report = train(&mut net, data.x(), &targets, &self.params);
+        self.net = Some(net);
+        Ok(report)
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let net = self
+            .net
+            .as_ref()
+            .expect("MlpRegressor::predict called before fit");
+        net.predict_raw(x).col_to_vec(0)
+    }
+}
+
+impl Regressor for MlpRegressor {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::synth::{make_regression, RegressionSpec};
+
+    fn r2_of(t: &[f64], p: &[f64]) -> f64 {
+        let mean = t.iter().sum::<f64>() / t.len() as f64;
+        let ss_tot: f64 = t.iter().map(|&v| (v - mean).powi(2)).sum();
+        let ss_res: f64 = t.iter().zip(p).map(|(&a, &b)| (a - b).powi(2)).sum();
+        1.0 - ss_res / ss_tot
+    }
+
+    #[test]
+    fn fits_smooth_regression_target() {
+        let data = make_regression(
+            &RegressionSpec {
+                n_instances: 400,
+                n_features: 5,
+                n_informative: 5,
+                noise: 0.05,
+                blob_effect: 0.0,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut reg = MlpRegressor::new(MlpParams {
+            hidden_layer_sizes: vec![32],
+            learning_rate_init: 0.01,
+            max_iter: 100,
+            n_iter_no_change: 100,
+            seed: 1,
+            ..Default::default()
+        });
+        reg.fit(&data).unwrap();
+        let r2 = r2_of(data.y(), &reg.predict(data.x()));
+        assert!(r2 > 0.8, "train R² {r2}");
+    }
+
+    #[test]
+    fn rejects_classification_dataset() {
+        let x = Matrix::zeros(4, 2);
+        let data = Dataset::new(x, vec![0.0, 1.0, 0.0, 1.0], Task::BinaryClassification).unwrap();
+        let mut reg = MlpRegressor::new(MlpParams::default());
+        assert!(reg.fit(&data).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let reg = MlpRegressor::new(MlpParams::default());
+        reg.predict(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn lbfgs_solver_works_for_regression() {
+        let data = make_regression(
+            &RegressionSpec {
+                n_instances: 200,
+                n_features: 3,
+                n_informative: 3,
+                noise: 0.01,
+                blob_effect: 0.0,
+                ..Default::default()
+            },
+            2,
+        );
+        let mut reg = MlpRegressor::new(MlpParams {
+            hidden_layer_sizes: vec![16],
+            solver: crate::mlp::Solver::Lbfgs,
+            max_iter: 150,
+            seed: 2,
+            ..Default::default()
+        });
+        let report = reg.fit(&data).unwrap();
+        let r2 = r2_of(data.y(), &reg.predict(data.x()));
+        assert!(r2 > 0.8, "train R² {r2}, loss {}", report.final_loss);
+    }
+}

@@ -1,0 +1,348 @@
+//! The solver-dispatching training loop.
+//!
+//! Shared by the classifier and the regressor: takes a network, a prepared
+//! target matrix (one-hot or raw), and the hyperparameters, and runs SGD,
+//! Adam or L-BFGS with schedules, early stopping and deterministic cost
+//! accounting.
+
+use super::network::Network;
+use super::params::{MlpParams, Solver};
+use crate::estimator::TrainReport;
+use crate::optimizer::{lbfgs, Adam, Sgd};
+use crate::schedule::ScheduleState;
+use hpo_data::matrix::Matrix;
+use hpo_data::rng::{rng_from_seed, shuffled_indices};
+
+/// Trains `net` on `(x, targets)` according to `params`.
+///
+/// Forward+backward over one instance is costed at `3 ×` the forward MACs
+/// (the usual 1:2 forward:backward rule of thumb), giving the deterministic
+/// `cost_units` of the returned report.
+pub fn train(net: &mut Network, x: &Matrix, targets: &Matrix, params: &MlpParams) -> TrainReport {
+    params.validate();
+    assert_eq!(x.rows(), targets.rows(), "sample/target count mismatch");
+    assert!(x.rows() > 0, "cannot train on an empty dataset");
+
+    match params.solver {
+        Solver::Lbfgs => train_lbfgs(net, x, targets, params),
+        Solver::Sgd | Solver::Adam => train_minibatch(net, x, targets, params),
+    }
+}
+
+fn train_lbfgs(net: &mut Network, x: &Matrix, targets: &Matrix, params: &MlpParams) -> TrainReport {
+    let mut flat = net.params_flat();
+    let cost_fb = 3 * net.cost_per_instance() * x.rows() as u64;
+    // The closure needs its own copy to evaluate at trial points.
+    let mut probe = net.clone();
+    let mut evals = 0u64;
+    let report = lbfgs(&mut flat, params.max_iter, params.tol, |p| {
+        probe.set_params_flat(p);
+        evals += 1;
+        probe.loss_grad(x, targets, params.alpha)
+    });
+    net.set_params_flat(&flat);
+    TrainReport {
+        epochs: report.iterations,
+        final_loss: report.final_loss,
+        cost_units: evals * cost_fb,
+        stopped_early: report.converged,
+    }
+}
+
+fn train_minibatch(
+    net: &mut Network,
+    x: &Matrix,
+    targets: &Matrix,
+    params: &MlpParams,
+) -> TrainReport {
+    let n = x.rows();
+    let mut rng = rng_from_seed(params.seed.wrapping_add(0x5eed));
+
+    // Optional validation split for early stopping.
+    let (train_idx, val_idx): (Vec<usize>, Vec<usize>) = if params.early_stopping {
+        let n_val = ((n as f64) * params.validation_fraction).round() as usize;
+        let n_val = n_val.clamp(1, n.saturating_sub(1).max(1));
+        let idx = shuffled_indices(n, &mut rng);
+        let (val, train) = idx.split_at(n_val.min(n.saturating_sub(1)));
+        (train.to_vec(), val.to_vec())
+    } else {
+        ((0..n).collect(), Vec::new())
+    };
+    let (x_val, t_val) = if val_idx.is_empty() {
+        (None, None)
+    } else {
+        (
+            Some(x.select_rows(&val_idx)),
+            Some(targets.select_rows(&val_idx)),
+        )
+    };
+    let x_train = x.select_rows(&train_idx);
+    let t_train = targets.select_rows(&train_idx);
+    let n_train = x_train.rows();
+    let batch_size = params.batch_size.min(n_train).max(1);
+
+    let n_params = net.n_params();
+    let mut sgd = Sgd::new(n_params, params.momentum);
+    let mut adam = Adam::new(n_params);
+    let mut schedule =
+        ScheduleState::new(params.learning_rate, params.learning_rate_init, params.tol);
+
+    let cost_per_batch_row = 3 * net.cost_per_instance();
+    let mut cost_units = 0u64;
+    let mut flat = net.params_flat();
+
+    let mut best_monitor = f64::INFINITY;
+    let mut no_change = 0usize;
+    let mut stopped_early = false;
+    let mut epochs = 0usize;
+    let mut epoch_loss = f64::INFINITY;
+
+    for _epoch in 0..params.max_iter {
+        epochs += 1;
+        let order = shuffled_indices(n_train, &mut rng);
+        let mut loss_sum = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(batch_size) {
+            let xb = x_train.select_rows(chunk);
+            let tb = t_train.select_rows(chunk);
+            net.set_params_flat(&flat);
+            let (loss, grad) = net.loss_grad(&xb, &tb, params.alpha);
+            cost_units += cost_per_batch_row * chunk.len() as u64;
+            match params.solver {
+                // Only SGD honours the schedule, as in scikit-learn.
+                Solver::Sgd => sgd.step(&mut flat, &grad, schedule.current()),
+                Solver::Adam => adam.step(&mut flat, &grad, params.learning_rate_init),
+                Solver::Lbfgs => unreachable!("dispatched in train()"),
+            }
+            loss_sum += loss;
+            batches += 1;
+        }
+        epoch_loss = loss_sum / batches.max(1) as f64;
+        schedule.observe_epoch(epoch_loss);
+
+        // Early-stopping / convergence monitor: validation loss when early
+        // stopping is on, training loss otherwise.
+        let monitor = match (&x_val, &t_val) {
+            (Some(xv), Some(tv)) => {
+                net.set_params_flat(&flat);
+                let (vloss, _) = net.loss_grad(xv, tv, 0.0);
+                cost_units += net.cost_per_instance() * xv.rows() as u64;
+                vloss
+            }
+            _ => epoch_loss,
+        };
+        if monitor < best_monitor - params.tol {
+            best_monitor = monitor;
+            no_change = 0;
+        } else {
+            no_change += 1;
+            if no_change >= params.n_iter_no_change {
+                stopped_early = true;
+                break;
+            }
+        }
+        if !epoch_loss.is_finite() {
+            // Diverged (e.g. lr too high) — stop; the evaluator will see the
+            // resulting poor validation score, which is exactly how a
+            // diverging configuration should look to the optimizer.
+            break;
+        }
+    }
+    net.set_params_flat(&flat);
+    TrainReport {
+        epochs,
+        final_loss: epoch_loss,
+        cost_units,
+        stopped_early,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::loss::{one_hot, OutputLoss};
+    use crate::schedule::LearningRate;
+
+    /// Tiny two-blob classification problem the net must solve.
+    fn xor_ish() -> (Matrix, Matrix) {
+        let x = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.1, 0.1],
+            &[1.0, 1.0],
+            &[0.9, 0.9],
+            &[0.0, 1.0],
+            &[0.1, 0.9],
+            &[1.0, 0.0],
+            &[0.9, 0.1],
+        ]);
+        let y = one_hot(&[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0], 2);
+        (x, y)
+    }
+
+    fn accuracy_of(net: &Network, x: &Matrix, labels: &[usize]) -> f64 {
+        let p = net.predict_raw(x);
+        let mut correct = 0;
+        for (r, &want) in labels.iter().enumerate() {
+            let row = p.row(r);
+            let pred = if row[1] > row[0] { 1 } else { 0 };
+            if pred == want {
+                correct += 1;
+            }
+        }
+        correct as f64 / labels.len() as f64
+    }
+
+    #[test]
+    fn adam_learns_xor() {
+        let (x, t) = xor_ish();
+        let mut net = Network::new(
+            vec![2, 16, 2],
+            Activation::Tanh,
+            OutputLoss::SoftmaxCrossEntropy,
+            1,
+        );
+        let params = MlpParams {
+            solver: Solver::Adam,
+            learning_rate_init: 0.05,
+            batch_size: 8,
+            max_iter: 300,
+            n_iter_no_change: 300,
+            ..Default::default()
+        };
+        let report = train(&mut net, &x, &t, &params);
+        assert!(report.final_loss < 0.1, "loss {}", report.final_loss);
+        assert_eq!(accuracy_of(&net, &x, &[0, 0, 0, 0, 1, 1, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn sgd_with_momentum_learns_xor() {
+        let (x, t) = xor_ish();
+        let mut net = Network::new(
+            vec![2, 16, 2],
+            Activation::Tanh,
+            OutputLoss::SoftmaxCrossEntropy,
+            2,
+        );
+        let params = MlpParams {
+            solver: Solver::Sgd,
+            learning_rate_init: 0.5,
+            momentum: 0.9,
+            batch_size: 8,
+            max_iter: 500,
+            n_iter_no_change: 500,
+            learning_rate: LearningRate::Constant,
+            ..Default::default()
+        };
+        let report = train(&mut net, &x, &t, &params);
+        assert!(report.final_loss < 0.2, "loss {}", report.final_loss);
+    }
+
+    #[test]
+    fn lbfgs_learns_xor_fast() {
+        let (x, t) = xor_ish();
+        let mut net = Network::new(
+            vec![2, 16, 2],
+            Activation::Tanh,
+            OutputLoss::SoftmaxCrossEntropy,
+            3,
+        );
+        let params = MlpParams {
+            solver: Solver::Lbfgs,
+            max_iter: 200,
+            tol: 1e-8,
+            ..Default::default()
+        };
+        let report = train(&mut net, &x, &t, &params);
+        assert!(report.final_loss < 0.1, "loss {}", report.final_loss);
+        assert!(report.cost_units > 0);
+    }
+
+    #[test]
+    fn early_stopping_halts_before_max_iter() {
+        let (x, t) = xor_ish();
+        let mut net = Network::new(
+            vec![2, 8, 2],
+            Activation::Tanh,
+            OutputLoss::SoftmaxCrossEntropy,
+            4,
+        );
+        let params = MlpParams {
+            solver: Solver::Adam,
+            learning_rate_init: 0.05,
+            max_iter: 5000,
+            early_stopping: true,
+            validation_fraction: 0.25,
+            n_iter_no_change: 3,
+            ..Default::default()
+        };
+        let report = train(&mut net, &x, &t, &params);
+        assert!(report.epochs < 5000, "never stopped: {}", report.epochs);
+        assert!(report.stopped_early);
+    }
+
+    #[test]
+    fn cost_units_scale_with_epochs() {
+        let (x, t) = xor_ish();
+        let make = |max_iter| {
+            let mut net = Network::new(
+                vec![2, 8, 2],
+                Activation::Relu,
+                OutputLoss::SoftmaxCrossEntropy,
+                5,
+            );
+            let params = MlpParams {
+                solver: Solver::Adam,
+                max_iter,
+                n_iter_no_change: usize::MAX,
+                tol: 0.0,
+                ..Default::default()
+            };
+            train(&mut net, &x, &t, &params).cost_units
+        };
+        let c1 = make(1);
+        let c10 = make(10);
+        assert_eq!(c10, c1 * 10);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let (x, t) = xor_ish();
+        let run = |seed| {
+            let mut net = Network::new(
+                vec![2, 8, 2],
+                Activation::Tanh,
+                OutputLoss::SoftmaxCrossEntropy,
+                seed,
+            );
+            let params = MlpParams {
+                solver: Solver::Adam,
+                max_iter: 20,
+                seed,
+                ..Default::default()
+            };
+            train(&mut net, &x, &t, &params);
+            net.params_flat()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let mut net = Network::new(
+            vec![2, 4, 2],
+            Activation::Relu,
+            OutputLoss::SoftmaxCrossEntropy,
+            0,
+        );
+        let params = MlpParams::default();
+        train(
+            &mut net,
+            &Matrix::zeros(0, 2),
+            &Matrix::zeros(0, 2),
+            &params,
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! First-order and quasi-Newton optimizers over flat parameter vectors.
+//!
+//! The network flattens its weights into one `Vec<f64>`; these optimizers
+//! are agnostic to the network structure. SGD and Adam consume per-batch
+//! gradients; L-BFGS drives full-batch optimization through a closure.
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Momentum coefficient (paper Table III: 0.7/0.8/0.9).
+    pub momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// Creates SGD state for `n_params` parameters.
+    pub fn new(n_params: usize, momentum: f64) -> Self {
+        assert!((0.0..1.0).contains(&momentum) || momentum == 0.0 || momentum < 1.0);
+        Sgd {
+            momentum,
+            velocity: vec![0.0; n_params],
+        }
+    }
+
+    /// Applies one update: `v = m·v − lr·g; θ += v`.
+    pub fn step(&mut self, params: &mut [f64], grad: &[f64], lr: f64) {
+        debug_assert_eq!(params.len(), grad.len());
+        debug_assert_eq!(params.len(), self.velocity.len());
+        for ((p, &g), v) in params.iter_mut().zip(grad).zip(&mut self.velocity) {
+            *v = self.momentum * *v - lr * g;
+            *p += *v;
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction; scikit-learn's MLP default.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam state with the standard (β₁, β₂, ε) = (0.9, 0.999, 1e-8).
+    pub fn new(n_params: usize) -> Self {
+        Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n_params],
+            v: vec![0.0; n_params],
+            t: 0,
+        }
+    }
+
+    /// Applies one bias-corrected update.
+    pub fn step(&mut self, params: &mut [f64], grad: &[f64], lr: f64) {
+        debug_assert_eq!(params.len(), grad.len());
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((p, &g), m), v) in params
+            .iter_mut()
+            .zip(grad)
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+        {
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let m_hat = *m / bc1;
+            let v_hat = *v / bc2;
+            *p -= lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Outcome of an L-BFGS run.
+#[derive(Clone, Debug)]
+pub struct LbfgsReport {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final objective value.
+    pub final_loss: f64,
+    /// Whether the gradient-norm/progress criterion was met before the
+    /// iteration cap.
+    pub converged: bool,
+    /// Total objective/gradient evaluations (for cost accounting).
+    pub evaluations: usize,
+}
+
+/// Limited-memory BFGS with Armijo backtracking line search.
+///
+/// `objective` must return `(loss, gradient)` at the given parameters.
+/// `params` is optimized in place. History size `m = 10` matches common
+/// practice (and scipy's default used by scikit-learn's `solver='lbfgs'`).
+pub fn lbfgs(
+    params: &mut [f64],
+    max_iters: usize,
+    tol: f64,
+    mut objective: impl FnMut(&[f64]) -> (f64, Vec<f64>),
+) -> LbfgsReport {
+    const HISTORY: usize = 10;
+    let _n = params.len();
+    let mut evals = 0usize;
+
+    let (mut loss, mut grad) = objective(params);
+    evals += 1;
+
+    let mut s_hist: Vec<Vec<f64>> = Vec::new();
+    let mut y_hist: Vec<Vec<f64>> = Vec::new();
+    let mut rho_hist: Vec<f64> = Vec::new();
+
+    let mut converged = false;
+    let mut iterations = 0usize;
+
+    for _ in 0..max_iters {
+        let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+        if gnorm < tol {
+            converged = true;
+            break;
+        }
+        iterations += 1;
+
+        // Two-loop recursion to compute direction d = -H·g.
+        let mut q = grad.clone();
+        let k = s_hist.len();
+        let mut alphas = vec![0.0; k];
+        for i in (0..k).rev() {
+            let a = rho_hist[i] * dot(&s_hist[i], &q);
+            alphas[i] = a;
+            for (qv, &yv) in q.iter_mut().zip(&y_hist[i]) {
+                *qv -= a * yv;
+            }
+        }
+        // Initial Hessian scaling γ = s·y / y·y from the latest pair.
+        if let (Some(s), Some(y)) = (s_hist.last(), y_hist.last()) {
+            let sy = dot(s, y);
+            let yy = dot(y, y);
+            if yy > 0.0 {
+                let gamma = sy / yy;
+                for qv in q.iter_mut() {
+                    *qv *= gamma;
+                }
+            }
+        }
+        for i in 0..k {
+            let b = rho_hist[i] * dot(&y_hist[i], &q);
+            for (qv, &sv) in q.iter_mut().zip(&s_hist[i]) {
+                *qv += (alphas[i] - b) * sv;
+            }
+        }
+        let direction: Vec<f64> = q.iter().map(|&v| -v).collect();
+
+        // Armijo backtracking from a unit step.
+        let dg = dot(&direction, &grad);
+        if dg >= 0.0 {
+            // Not a descent direction (numerical breakdown): restart memory
+            // and use steepest descent.
+            s_hist.clear();
+            y_hist.clear();
+            rho_hist.clear();
+        }
+        let (dir, dg) = if dg < 0.0 {
+            (direction, dg)
+        } else {
+            let sd: Vec<f64> = grad.iter().map(|&g| -g).collect();
+            let dg = -grad.iter().map(|g| g * g).sum::<f64>();
+            (sd, dg)
+        };
+
+        // Weak-Wolfe line search with bracketing: shrink on an Armijo
+        // failure, grow while the slope is still strongly negative. The
+        // growth phase is what keeps L-BFGS from stalling when the inverse
+        // Hessian estimate underestimates the step (e.g. in Rosenbrock's
+        // valley).
+        let c1 = 1e-4;
+        let c2 = 0.9;
+        let old_params = params.to_vec();
+        let mut step = 1.0;
+        let mut lo = 0.0f64;
+        let mut hi = f64::INFINITY;
+        let mut accepted: Option<(f64, f64, Vec<f64>)> = None;
+        for _ in 0..30 {
+            for ((p, &o), &d) in params.iter_mut().zip(&old_params).zip(&dir) {
+                *p = o + step * d;
+            }
+            let (new_loss, new_grad) = objective(params);
+            evals += 1;
+            if !new_loss.is_finite() || new_loss > loss + c1 * step * dg {
+                hi = step; // too long
+            } else if dot(&new_grad, &dir) < c2 * dg {
+                // Sufficient decrease but the slope is still steep: the
+                // minimum along `dir` lies further out.
+                accepted = Some((step, new_loss, new_grad));
+                lo = step;
+            } else {
+                accepted = Some((step, new_loss, new_grad));
+                break;
+            }
+            step = if hi.is_finite() {
+                0.5 * (lo + hi)
+            } else {
+                step * 2.0
+            };
+        }
+        let Some((best_step, new_loss, new_grad)) = accepted else {
+            // No Armijo point found at any scale; restore and stop.
+            params.copy_from_slice(&old_params);
+            break;
+        };
+        // The loop may have probed past the accepted step; re-apply it.
+        for ((p, &o), &d) in params.iter_mut().zip(&old_params).zip(&dir) {
+            *p = o + best_step * d;
+        }
+        let s: Vec<f64> = params
+            .iter()
+            .zip(&old_params)
+            .map(|(&p, &o)| p - o)
+            .collect();
+        let y: Vec<f64> = new_grad.iter().zip(&grad).map(|(&a, &b)| a - b).collect();
+        let sy = dot(&s, &y);
+        if sy > 1e-10 {
+            if s_hist.len() == HISTORY {
+                s_hist.remove(0);
+                y_hist.remove(0);
+                rho_hist.remove(0);
+            }
+            rho_hist.push(1.0 / sy);
+            s_hist.push(s);
+            y_hist.push(y);
+        }
+        let progress = loss - new_loss;
+        loss = new_loss;
+        grad = new_grad;
+        if progress.abs() < tol * loss.abs().max(1.0) * 1e-6 {
+            converged = true;
+            break;
+        }
+    }
+
+    LbfgsReport {
+        iterations,
+        final_loss: loss,
+        converged,
+        evaluations: evals,
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rosenbrock function — the classic L-BFGS stress test.
+    fn rosenbrock(p: &[f64]) -> (f64, Vec<f64>) {
+        let (x, y) = (p[0], p[1]);
+        let loss = (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2);
+        let gx = -2.0 * (1.0 - x) - 400.0 * x * (y - x * x);
+        let gy = 200.0 * (y - x * x);
+        (loss, vec![gx, gy])
+    }
+
+    fn quadratic(p: &[f64]) -> (f64, Vec<f64>) {
+        // f = sum (p_i - i)^2
+        let loss = p
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v - i as f64).powi(2))
+            .sum();
+        let grad = p
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 2.0 * (v - i as f64))
+            .collect();
+        (loss, grad)
+    }
+
+    #[test]
+    fn sgd_decreases_quadratic() {
+        let mut params = vec![5.0, 5.0, 5.0];
+        let mut sgd = Sgd::new(3, 0.9);
+        for _ in 0..200 {
+            let (_, g) = quadratic(&params);
+            sgd.step(&mut params, &g, 0.05);
+        }
+        let (loss, _) = quadratic(&params);
+        assert!(loss < 1e-3, "loss {loss}, params {params:?}");
+    }
+
+    #[test]
+    fn momentum_accelerates_over_plain_sgd() {
+        let run = |momentum: f64| {
+            let mut params = vec![10.0];
+            let mut sgd = Sgd::new(1, momentum);
+            for _ in 0..30 {
+                let g = vec![2.0 * params[0]];
+                sgd.step(&mut params, &g, 0.01);
+            }
+            params[0].abs()
+        };
+        assert!(run(0.9) < run(0.0), "momentum should converge faster here");
+    }
+
+    #[test]
+    fn adam_solves_quadratic() {
+        let mut params = vec![5.0, -3.0, 8.0];
+        let mut adam = Adam::new(3);
+        for _ in 0..2000 {
+            let (_, g) = quadratic(&params);
+            adam.step(&mut params, &g, 0.05);
+        }
+        let (loss, _) = quadratic(&params);
+        assert!(loss < 1e-3, "loss {loss}, params {params:?}");
+    }
+
+    #[test]
+    fn lbfgs_solves_quadratic_quickly() {
+        let mut params = vec![10.0, -10.0, 10.0, -10.0];
+        let report = lbfgs(&mut params, 100, 1e-8, quadratic);
+        assert!(report.final_loss < 1e-8, "loss {}", report.final_loss);
+        assert!(report.iterations < 30, "took {} iters", report.iterations);
+    }
+
+    #[test]
+    fn lbfgs_solves_rosenbrock() {
+        let mut params = vec![-1.2, 1.0];
+        let report = lbfgs(&mut params, 300, 1e-8, rosenbrock);
+        assert!(
+            (params[0] - 1.0).abs() < 1e-3 && (params[1] - 1.0).abs() < 1e-3,
+            "params {params:?}, loss {}",
+            report.final_loss
+        );
+    }
+
+    #[test]
+    fn lbfgs_zero_gradient_converges_immediately() {
+        let mut params = vec![0.0, 1.0, 2.0];
+        let report = lbfgs(&mut params, 100, 1e-8, quadratic);
+        assert!(report.converged);
+        assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step ≈ lr in magnitude.
+        let mut params = vec![1.0];
+        let mut adam = Adam::new(1);
+        adam.step(&mut params, &[10.0], 0.01);
+        assert!((params[0] - (1.0 - 0.01)).abs() < 1e-6, "got {}", params[0]);
+    }
+}

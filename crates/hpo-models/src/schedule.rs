@@ -1,0 +1,165 @@
+//! Learning-rate schedules (paper Table III: constant/invscaling/adaptive).
+//!
+//! Semantics mirror scikit-learn's `MLPClassifier(learning_rate=...)`:
+//!
+//! * `constant` — `lr_init` throughout.
+//! * `invscaling` — `lr_init / t^power_t` with `power_t = 0.5`, where `t` is
+//!   the epoch counter.
+//! * `adaptive` — keep `lr` while the loss improves; divide by 5 whenever
+//!   two consecutive epochs fail to improve by `tol`.
+
+use serde::{Deserialize, Serialize};
+
+/// Learning-rate schedule kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LearningRate {
+    /// Fixed at `lr_init`.
+    Constant,
+    /// `lr_init / t^0.5`.
+    InvScaling,
+    /// Divide by 5 after two consecutive non-improving epochs.
+    Adaptive,
+}
+
+impl LearningRate {
+    /// All schedules in the paper's search space.
+    pub const SEARCH_SPACE: [LearningRate; 3] = [
+        LearningRate::Constant,
+        LearningRate::InvScaling,
+        LearningRate::Adaptive,
+    ];
+
+    /// The scikit-learn parameter string.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LearningRate::Constant => "constant",
+            LearningRate::InvScaling => "invscaling",
+            LearningRate::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses a scikit-learn-style schedule name.
+    pub fn from_name(name: &str) -> Option<LearningRate> {
+        match name {
+            "constant" => Some(LearningRate::Constant),
+            "invscaling" => Some(LearningRate::InvScaling),
+            "adaptive" => Some(LearningRate::Adaptive),
+            _ => None,
+        }
+    }
+}
+
+/// Stateful schedule tracker driven by the training loop.
+#[derive(Clone, Debug)]
+pub struct ScheduleState {
+    kind: LearningRate,
+    lr_init: f64,
+    lr: f64,
+    epoch: usize,
+    bad_streak: usize,
+    best_loss: f64,
+    tol: f64,
+}
+
+impl ScheduleState {
+    /// Creates the tracker. `tol` is the minimum loss improvement that counts
+    /// as progress for the adaptive schedule.
+    pub fn new(kind: LearningRate, lr_init: f64, tol: f64) -> Self {
+        assert!(lr_init > 0.0, "learning rate must be positive");
+        ScheduleState {
+            kind,
+            lr_init,
+            lr: lr_init,
+            epoch: 0,
+            bad_streak: 0,
+            best_loss: f64::INFINITY,
+            tol,
+        }
+    }
+
+    /// The learning rate to use for the current epoch.
+    pub fn current(&self) -> f64 {
+        self.lr
+    }
+
+    /// Advances to the next epoch given the loss the finished epoch achieved.
+    pub fn observe_epoch(&mut self, loss: f64) {
+        self.epoch += 1;
+        match self.kind {
+            LearningRate::Constant => {}
+            LearningRate::InvScaling => {
+                self.lr = self.lr_init / (self.epoch as f64 + 1.0).sqrt();
+            }
+            LearningRate::Adaptive => {
+                if loss < self.best_loss - self.tol {
+                    self.bad_streak = 0;
+                } else {
+                    self.bad_streak += 1;
+                    if self.bad_streak >= 2 {
+                        self.lr /= 5.0;
+                        self.bad_streak = 0;
+                    }
+                }
+            }
+        }
+        if loss < self.best_loss {
+            self.best_loss = loss;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let mut s = ScheduleState::new(LearningRate::Constant, 0.1, 1e-4);
+        for loss in [1.0, 1.0, 1.0, 1.0] {
+            s.observe_epoch(loss);
+        }
+        assert_eq!(s.current(), 0.1);
+    }
+
+    #[test]
+    fn invscaling_decays_with_epochs() {
+        let mut s = ScheduleState::new(LearningRate::InvScaling, 0.1, 1e-4);
+        let mut prev = s.current();
+        for _ in 0..5 {
+            s.observe_epoch(1.0);
+            assert!(s.current() < prev);
+            prev = s.current();
+        }
+        // after 5 epochs: 0.1 / sqrt(6)
+        assert!((s.current() - 0.1 / 6.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_divides_after_two_bad_epochs() {
+        let mut s = ScheduleState::new(LearningRate::Adaptive, 0.5, 1e-4);
+        s.observe_epoch(1.0); // first observation establishes best
+        assert_eq!(s.current(), 0.5);
+        s.observe_epoch(1.0); // bad 1
+        assert_eq!(s.current(), 0.5);
+        s.observe_epoch(1.0); // bad 2 -> divide
+        assert!((s.current() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_resets_streak_on_improvement() {
+        let mut s = ScheduleState::new(LearningRate::Adaptive, 0.5, 1e-4);
+        s.observe_epoch(1.0);
+        s.observe_epoch(1.0); // bad 1
+        s.observe_epoch(0.5); // improvement resets
+        s.observe_epoch(0.5); // bad 1 again
+        assert_eq!(s.current(), 0.5);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for k in LearningRate::SEARCH_SPACE {
+            assert_eq!(LearningRate::from_name(k.name()), Some(k));
+        }
+        assert_eq!(LearningRate::from_name("cosine"), None);
+    }
+}

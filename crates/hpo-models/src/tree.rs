@@ -1,0 +1,391 @@
+//! CART-style decision tree classifier.
+//!
+//! A depth-limited binary tree split on Gini impurity. Serves two roles:
+//! another fast baseline next to the MLP the paper tunes, and a
+//! qualitatively different model family for exercising the HPO evaluator in
+//! tests (trees are deterministic and cheap, so tree-based assertions don't
+//! inherit MLP training noise).
+
+use crate::estimator::{Classifier, Estimator, TrainReport};
+use hpo_data::dataset::{Dataset, Task};
+use hpo_data::error::DataError;
+use hpo_data::matrix::Matrix;
+
+/// Hyperparameters of the tree.
+#[derive(Clone, Debug)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum impurity decrease required to accept a split.
+    pub min_impurity_decrease: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 8,
+            min_samples_split: 2,
+            min_impurity_decrease: 1e-7,
+        }
+    }
+}
+
+/// A fitted tree node.
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        /// Class probabilities at the leaf.
+        proba: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// CART decision tree classifier (Gini impurity, axis-aligned splits).
+#[derive(Clone, Debug)]
+pub struct DecisionTreeClassifier {
+    /// Hyperparameters.
+    pub params: TreeParams,
+    root: Option<Node>,
+    n_classes: usize,
+}
+
+impl DecisionTreeClassifier {
+    /// Creates an unfitted tree with the given hyperparameters.
+    pub fn new(params: TreeParams) -> Self {
+        DecisionTreeClassifier {
+            params,
+            root: None,
+            n_classes: 0,
+        }
+    }
+
+    /// Number of leaves of the fitted tree (diagnostics).
+    pub fn n_leaves(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        self.root.as_ref().map_or(0, count)
+    }
+
+    fn build(&self, x: &Matrix, y: &[usize], indices: &[usize], depth: usize) -> Node {
+        let counts = class_counts(y, indices, self.n_classes);
+        let total = indices.len() as f64;
+        let node_gini = gini(&counts, total);
+
+        let make_leaf = || Node::Leaf {
+            proba: counts.iter().map(|&c| c as f64 / total).collect(),
+        };
+        if depth >= self.params.max_depth
+            || indices.len() < self.params.min_samples_split
+            || node_gini == 0.0
+        {
+            return make_leaf();
+        }
+
+        // Best axis-aligned split by exhaustive scan per feature.
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity decrease)
+        for f in 0..x.cols() {
+            let mut order: Vec<usize> = indices.to_vec();
+            order.sort_by(|&a, &b| {
+                x[(a, f)]
+                    .partial_cmp(&x[(b, f)])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_counts = vec![0usize; self.n_classes];
+            for cut in 1..order.len() {
+                left_counts[y[order[cut - 1]]] += 1;
+                let (prev, cur) = (x[(order[cut - 1], f)], x[(order[cut], f)]);
+                if prev == cur {
+                    continue; // can't split between equal values
+                }
+                let right_counts: Vec<usize> = counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(&t, &l)| t - l)
+                    .collect();
+                let nl = cut as f64;
+                let nr = total - nl;
+                let weighted =
+                    (nl / total) * gini(&left_counts, nl) + (nr / total) * gini(&right_counts, nr);
+                let decrease = node_gini - weighted;
+                if best.is_none_or(|(_, _, d)| decrease > d) {
+                    best = Some((f, 0.5 * (prev + cur), decrease));
+                }
+            }
+        }
+
+        match best {
+            Some((feature, threshold, decrease))
+                if decrease >= self.params.min_impurity_decrease =>
+            {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| x[(i, feature)] <= threshold);
+                if left_idx.is_empty() || right_idx.is_empty() {
+                    return make_leaf();
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build(x, y, &left_idx, depth + 1)),
+                    right: Box::new(self.build(x, y, &right_idx, depth + 1)),
+                }
+            }
+            _ => make_leaf(),
+        }
+    }
+}
+
+fn class_counts(y: &[usize], indices: &[usize], k: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; k];
+    for &i in indices {
+        counts[y[i]] += 1;
+    }
+    counts
+}
+
+/// Gini impurity `1 − Σ p²`.
+fn gini(counts: &[usize], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+impl Estimator for DecisionTreeClassifier {
+    fn fit(&mut self, data: &Dataset) -> Result<TrainReport, DataError> {
+        let k = match data.task() {
+            Task::Regression => {
+                return Err(DataError::invalid(
+                    "data",
+                    "DecisionTreeClassifier requires a classification dataset",
+                ))
+            }
+            task => task.n_classes().expect("classification has classes"),
+        };
+        if data.n_instances() == 0 {
+            return Err(DataError::invalid("data", "empty dataset"));
+        }
+        self.n_classes = k;
+        let y: Vec<usize> = data.y().iter().map(|&l| l as usize).collect();
+        let indices: Vec<usize> = (0..data.n_instances()).collect();
+        self.root = Some(self.build(data.x(), &y, &indices, 0));
+        // Cost model: exhaustive split scan ≈ n log n per feature per level.
+        let n = data.n_instances() as u64;
+        let cost =
+            n.max(1).ilog2() as u64 * n * data.n_features() as u64 * self.params.max_depth as u64;
+        Ok(TrainReport {
+            epochs: 1,
+            final_loss: 0.0,
+            cost_units: cost,
+            stopped_early: false,
+        })
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let p = self.predict_proba(x);
+        (0..p.rows())
+            .map(|r| {
+                let row = p.row(r);
+                let mut best = 0;
+                for (c, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = c;
+                    }
+                }
+                best as f64
+            })
+            .collect()
+    }
+}
+
+impl Classifier for DecisionTreeClassifier {
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let root = self
+            .root
+            .as_ref()
+            .expect("DecisionTreeClassifier::predict called before fit");
+        let mut proba = Matrix::zeros(x.rows(), self.n_classes);
+        for (r, row) in x.iter_rows().enumerate() {
+            let mut node = root;
+            loop {
+                match node {
+                    Node::Leaf { proba: p } => {
+                        proba.row_mut(r).copy_from_slice(p);
+                        break;
+                    }
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        node = if row[*feature] <= *threshold {
+                            left
+                        } else {
+                            right
+                        };
+                    }
+                }
+            }
+        }
+        proba
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    fn acc(t: &[f64], p: &[f64]) -> f64 {
+        t.iter().zip(p).filter(|(a, b)| a == b).count() as f64 / t.len() as f64
+    }
+
+    #[test]
+    fn separates_axis_aligned_data_perfectly() {
+        // y = x0 > 0.5
+        let x = Matrix::from_rows(&[
+            &[0.1, 9.0],
+            &[0.2, -3.0],
+            &[0.3, 5.0],
+            &[0.7, 1.0],
+            &[0.8, -2.0],
+            &[0.9, 4.0],
+        ]);
+        let d = Dataset::new(
+            x,
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+            Task::BinaryClassification,
+        )
+        .unwrap();
+        let mut tree = DecisionTreeClassifier::new(TreeParams::default());
+        tree.fit(&d).unwrap();
+        assert_eq!(acc(d.y(), &tree.predict(d.x())), 1.0);
+        assert_eq!(tree.n_leaves(), 2, "one split suffices");
+    }
+
+    #[test]
+    fn depth_zero_is_a_majority_leaf() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let d = Dataset::new(x, vec![1.0, 1.0, 0.0], Task::BinaryClassification).unwrap();
+        let mut tree = DecisionTreeClassifier::new(TreeParams {
+            max_depth: 0,
+            ..Default::default()
+        });
+        tree.fit(&d).unwrap();
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.predict(d.x()), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn learns_blobs_well() {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 300,
+                n_features: 5,
+                n_informative: 5,
+                n_classes: 3,
+                n_blobs: 3,
+                label_purity: 1.0,
+                label_noise: 0.0,
+                blob_spread: 0.25,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut tree = DecisionTreeClassifier::new(TreeParams::default());
+        tree.fit(&data).unwrap();
+        let a = acc(data.y(), &tree.predict(data.x()));
+        assert!(a > 0.95, "train accuracy {a}");
+    }
+
+    #[test]
+    fn proba_rows_sum_to_one() {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 80,
+                label_noise: 0.2,
+                ..Default::default()
+            },
+            2,
+        );
+        let mut tree = DecisionTreeClassifier::new(TreeParams {
+            max_depth: 3,
+            ..Default::default()
+        });
+        tree.fit(&data).unwrap();
+        let p = tree.predict_proba(data.x());
+        for row in p.iter_rows() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn min_impurity_decrease_prunes_noise_splits() {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 120,
+                label_noise: 0.3,
+                ..Default::default()
+            },
+            3,
+        );
+        let mut loose = DecisionTreeClassifier::new(TreeParams {
+            max_depth: 10,
+            min_impurity_decrease: 0.0,
+            ..Default::default()
+        });
+        loose.fit(&data).unwrap();
+        let mut strict = DecisionTreeClassifier::new(TreeParams {
+            max_depth: 10,
+            min_impurity_decrease: 0.05,
+            ..Default::default()
+        });
+        strict.fit(&data).unwrap();
+        assert!(
+            strict.n_leaves() <= loose.n_leaves(),
+            "{} vs {}",
+            strict.n_leaves(),
+            loose.n_leaves()
+        );
+    }
+
+    #[test]
+    fn rejects_regression_and_empty() {
+        let x = Matrix::zeros(3, 2);
+        let reg = Dataset::new(x, vec![0.5; 3], Task::Regression).unwrap();
+        assert!(DecisionTreeClassifier::new(TreeParams::default())
+            .fit(&reg)
+            .is_err());
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let x = Matrix::full(10, 3, 1.0);
+        let y = (0..10).map(|i| (i % 2) as f64).collect();
+        let d = Dataset::new(x, y, Task::BinaryClassification).unwrap();
+        let mut tree = DecisionTreeClassifier::new(TreeParams::default());
+        tree.fit(&d).unwrap();
+        assert_eq!(tree.n_leaves(), 1, "no valid split exists");
+    }
+}

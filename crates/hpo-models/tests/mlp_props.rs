@@ -1,0 +1,96 @@
+//! Property tests for the MLP: gradients, determinism, solver agreement.
+
+use hpo_data::matrix::Matrix;
+use hpo_models::activation::Activation;
+use hpo_models::loss::{one_hot, OutputLoss};
+use hpo_models::mlp::network::Network;
+use proptest::prelude::*;
+
+fn batch(n: usize, d: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f64..2.0, n * d)
+        .prop_map(move |v| Matrix::from_vec(n, d, v).expect("shape matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Backprop matches central finite differences on random nets and
+    /// batches, for every activation and both output losses.
+    #[test]
+    fn gradients_match_finite_differences(
+        x in batch(4, 3),
+        labels in proptest::collection::vec(0usize..2, 4),
+        act_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let act = [Activation::Logistic, Activation::Tanh, Activation::Relu][act_idx];
+        let y: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+        let t = one_hot(&y, 2);
+        let mut net = Network::new(vec![3, 5, 2], act, OutputLoss::SoftmaxCrossEntropy, seed);
+        let (_, grad) = net.loss_grad(&x, &t, 0.01);
+        let flat = net.params_flat();
+        let h = 1e-6;
+        // Spot-check a third of the parameters.
+        for i in (0..flat.len()).step_by(3) {
+            let mut plus = flat.clone();
+            plus[i] += h;
+            net.set_params_flat(&plus);
+            let (lp, _) = net.loss_grad(&x, &t, 0.01);
+            let mut minus = flat.clone();
+            minus[i] -= h;
+            net.set_params_flat(&minus);
+            let (lm, _) = net.loss_grad(&x, &t, 0.01);
+            net.set_params_flat(&flat);
+            let fd = (lp - lm) / (2.0 * h);
+            // ReLU kinks can spoil individual finite differences; allow a
+            // loose tolerance there and a tight one elsewhere.
+            let tol = if act == Activation::Relu { 2e-3 } else { 2e-5 };
+            prop_assert!(
+                (fd - grad[i]).abs() < tol,
+                "param {}: fd={} bp={} act={:?}", i, fd, grad[i], act
+            );
+        }
+    }
+
+    /// Flat parameter round-trips are exact for arbitrary shapes.
+    #[test]
+    fn params_roundtrip(hidden in 1usize..8, seed in 0u64..1000) {
+        let mut net = Network::new(
+            vec![4, hidden, 3],
+            Activation::Tanh,
+            OutputLoss::SoftmaxCrossEntropy,
+            seed,
+        );
+        let flat = net.params_flat();
+        prop_assert_eq!(flat.len(), net.n_params());
+        net.set_params_flat(&flat);
+        prop_assert_eq!(net.params_flat(), flat);
+    }
+
+    /// The loss is non-negative and finite for any input batch.
+    #[test]
+    fn loss_is_finite_and_nonnegative(
+        x in batch(5, 3),
+        labels in proptest::collection::vec(0usize..3, 5),
+        seed in 0u64..1000,
+    ) {
+        let y: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+        let t = one_hot(&y, 3);
+        let net = Network::new(vec![3, 4, 3], Activation::Relu, OutputLoss::SoftmaxCrossEntropy, seed);
+        let (loss, grad) = net.loss_grad(&x, &t, 1e-4);
+        prop_assert!(loss.is_finite() && loss >= 0.0, "loss {}", loss);
+        prop_assert!(grad.iter().all(|g| g.is_finite()));
+    }
+
+    /// Probabilities sum to one for any input.
+    #[test]
+    fn prediction_rows_are_distributions(x in batch(6, 4), seed in 0u64..1000) {
+        let net = Network::new(vec![4, 6, 3], Activation::Logistic, OutputLoss::SoftmaxCrossEntropy, seed);
+        let p = net.predict_raw(&x);
+        for row in p.iter_rows() {
+            let s: f64 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9, "row sums to {}", s);
+            prop_assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+}

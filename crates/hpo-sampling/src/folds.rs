@@ -1,0 +1,387 @@
+//! Operation 2: general and special fold construction (paper §III-B).
+//!
+//! Given the groups Ω from Operation 1 and a budget `b_t`, the evaluator
+//! needs `k_gen + k_spe` disjoint folds:
+//!
+//! * **general folds** mirror the global distribution — each is sampled from
+//!   every group proportionally to the group's size (group-stratified);
+//! * **special folds** deliberately deviate — fold `i` draws most of its
+//!   instances (e.g. 80%) from group `ω_i` and the rest stratified from the
+//!   remaining groups, so each special fold probes the configuration under
+//!   one group's distribution.
+//!
+//! The paper sets `k_spe = v` and keeps `k_gen + k_spe = 5`, matching the
+//! conventional 5-fold CV (experiments: `k_gen = 3`, `k_spe = 2`, 80/20).
+
+use crate::groups::Grouping;
+use crate::kfold::Folds;
+use hpo_data::rng::sample_without_replacement;
+use rand::Rng;
+
+/// Configuration of Operation 2.
+#[derive(Clone, Copy, Debug)]
+pub struct GenFoldsConfig {
+    /// Number of general (distribution-mirroring) folds (paper: 3).
+    pub k_gen: usize,
+    /// Number of special (group-biased) folds (paper: 2 = v).
+    pub k_spe: usize,
+    /// Fraction of a special fold drawn from its own group (paper: 0.8).
+    pub special_own_frac: f64,
+}
+
+impl Default for GenFoldsConfig {
+    fn default() -> Self {
+        GenFoldsConfig {
+            k_gen: 3,
+            k_spe: 2,
+            special_own_frac: 0.8,
+        }
+    }
+}
+
+impl GenFoldsConfig {
+    /// Total fold count `k_gen + k_spe`.
+    pub fn total_folds(&self) -> usize {
+        self.k_gen + self.k_spe
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on zero total folds or an own-fraction outside `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.total_folds() >= 1, "need at least one fold");
+        assert!(
+            self.special_own_frac > 0.0 && self.special_own_frac <= 1.0,
+            "special_own_frac must be in (0,1]"
+        );
+    }
+}
+
+/// Operation 2: builds `k_gen + k_spe` disjoint folds over a budgeted subset
+/// of the grouped instances.
+///
+/// ```
+/// use hpo_sampling::folds::{gen_folds, GenFoldsConfig};
+/// use hpo_sampling::groups::Grouping;
+/// use hpo_data::rng::rng_from_seed;
+///
+/// // 100 instances in two equal groups.
+/// let grouping = Grouping {
+///     group_of: (0..100).map(|i| i % 2).collect(),
+///     n_groups: 2,
+///     label_category: vec![0; 100],
+///     n_label_categories: 1,
+/// };
+/// let mut rng = rng_from_seed(7);
+/// let folds = gen_folds(&grouping, 50, &GenFoldsConfig::default(), &mut rng);
+/// assert_eq!(folds.len(), 5);                                // 3 general + 2 special
+/// assert_eq!(folds.iter().map(Vec::len).sum::<usize>(), 50); // exact budget
+/// ```
+///
+/// The folds' union has `min(budget, n)` instances. Special fold `i` biases
+/// towards group `i mod v`; general folds are group-stratified. When a group
+/// cannot supply a special fold's own-share, the shortfall is filled from
+/// the other groups (the fold degrades gracefully towards a general fold).
+///
+/// # Panics
+/// Panics when the (capped) budget is smaller than the fold count.
+pub fn gen_folds(
+    grouping: &Grouping,
+    budget: usize,
+    config: &GenFoldsConfig,
+    rng: &mut impl Rng,
+) -> Folds {
+    config.validate();
+    let n = grouping.group_of.len();
+    let budget = budget.min(n);
+    let k = config.total_folds();
+    assert!(
+        budget >= k,
+        "budget {budget} cannot fill {k} folds with at least one instance each"
+    );
+
+    // Shuffled per-group pools we draw from without replacement.
+    let mut pools: Vec<Vec<usize>> = grouping
+        .members()
+        .into_iter()
+        .map(|members| {
+            let order = sample_without_replacement(members.len(), members.len(), rng);
+            order.into_iter().map(|i| members[i]).collect()
+        })
+        .collect();
+    let group_sizes: Vec<usize> = pools.iter().map(Vec::len).collect();
+    let total: usize = group_sizes.iter().sum();
+
+    // Fold sizes: distribute the remainder over the first folds.
+    let base = budget / k;
+    let mut fold_sizes = vec![base; k];
+    for item in fold_sizes.iter_mut().take(budget % k) {
+        *item += 1;
+    }
+
+    let mut folds: Folds = Vec::with_capacity(k);
+
+    // Special folds first: they need their own group's instances.
+    #[allow(clippy::needless_range_loop)] // i selects both fold size and own group
+    for i in 0..config.k_spe {
+        let size = fold_sizes[i];
+        let own = i % grouping.n_groups;
+        let want_own = ((size as f64) * config.special_own_frac).round() as usize;
+        let want_own = want_own.min(size);
+        let mut fold = draw(&mut pools, own, want_own);
+        let missing = size - fold.len();
+        fold.extend(draw_stratified(
+            &mut pools,
+            &group_sizes,
+            missing,
+            Some(own),
+        ));
+        // If other groups also ran dry, take whatever is left anywhere.
+        let missing = size - fold.len();
+        if missing > 0 {
+            fold.extend(draw_any(&mut pools, missing));
+        }
+        folds.push(fold);
+    }
+
+    // General folds: group-stratified by original group share.
+    for &size in fold_sizes.iter().take(k).skip(config.k_spe) {
+        let mut fold = draw_stratified(&mut pools, &group_sizes, size, None);
+        let missing = size - fold.len();
+        if missing > 0 {
+            fold.extend(draw_any(&mut pools, missing));
+        }
+        folds.push(fold);
+    }
+
+    debug_assert_eq!(folds.iter().map(Vec::len).sum::<usize>(), budget.min(total));
+    // Order folds as [general..., special...] so callers can tell them apart
+    // positionally: the first k_gen entries are general.
+    folds.rotate_left(config.k_spe);
+    folds
+}
+
+/// Draws up to `count` instances from pool `g`.
+fn draw(pools: &mut [Vec<usize>], g: usize, count: usize) -> Vec<usize> {
+    let pool = &mut pools[g];
+    let take = count.min(pool.len());
+    pool.split_off(pool.len() - take)
+}
+
+/// Draws `count` instances across pools proportionally to `weights`
+/// (largest-remainder allocation), skipping `exclude`. May return fewer if
+/// pools run dry.
+fn draw_stratified(
+    pools: &mut [Vec<usize>],
+    weights: &[usize],
+    count: usize,
+    exclude: Option<usize>,
+) -> Vec<usize> {
+    let eligible: Vec<usize> = (0..pools.len())
+        .filter(|&g| Some(g) != exclude && !pools[g].is_empty())
+        .collect();
+    if eligible.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    let total_w: usize = eligible.iter().map(|&g| weights[g].max(1)).sum();
+    // Largest-remainder apportionment.
+    let mut want: Vec<(usize, usize, f64)> = eligible
+        .iter()
+        .map(|&g| {
+            let exact = count as f64 * weights[g].max(1) as f64 / total_w as f64;
+            (g, exact.floor() as usize, exact.fract())
+        })
+        .collect();
+    let mut allocated: usize = want.iter().map(|w| w.1).sum();
+    want.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let mut i = 0;
+    while allocated < count && i < want.len() {
+        want[i].1 += 1;
+        allocated += 1;
+        i += 1;
+    }
+    let mut out = Vec::with_capacity(count);
+    for (g, w, _) in want {
+        out.extend(draw(pools, g, w));
+    }
+    // Top up from any eligible pool if rounding met empty pools.
+    if out.len() < count {
+        for &g in &eligible {
+            let missing = count - out.len();
+            if missing == 0 {
+                break;
+            }
+            out.extend(draw(pools, g, missing));
+        }
+    }
+    out
+}
+
+/// Draws `count` instances from whichever pools still have instances.
+fn draw_any(pools: &mut [Vec<usize>], count: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(count);
+    for g in 0..pools.len() {
+        let missing = count - out.len();
+        if missing == 0 {
+            break;
+        }
+        out.extend(draw(pools, g, missing));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::rng::rng_from_seed;
+    use std::collections::HashSet;
+
+    /// 100 instances in 2 groups: 0..60 -> group 0, 60..100 -> group 1.
+    fn toy_grouping() -> Grouping {
+        let group_of: Vec<usize> = (0..100).map(|i| usize::from(i >= 60)).collect();
+        Grouping {
+            group_of,
+            n_groups: 2,
+            label_category: vec![0; 100],
+            n_label_categories: 1,
+        }
+    }
+
+    fn assert_disjoint(folds: &Folds) {
+        let all: Vec<usize> = folds.iter().flatten().copied().collect();
+        let set: HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(all.len(), set.len(), "folds overlap");
+    }
+
+    #[test]
+    fn folds_are_disjoint_and_cover_the_budget() {
+        let g = toy_grouping();
+        let mut rng = rng_from_seed(1);
+        let folds = gen_folds(&g, 50, &GenFoldsConfig::default(), &mut rng);
+        assert_eq!(folds.len(), 5);
+        assert_disjoint(&folds);
+        assert_eq!(folds.iter().map(Vec::len).sum::<usize>(), 50);
+        for f in &folds {
+            assert_eq!(f.len(), 10);
+        }
+    }
+
+    #[test]
+    fn special_folds_are_biased_to_their_group() {
+        let g = toy_grouping();
+        let mut rng = rng_from_seed(2);
+        let cfg = GenFoldsConfig::default();
+        let folds = gen_folds(&g, 50, &cfg, &mut rng);
+        // folds[k_gen..] are the special folds; fold k_gen+i biases group i.
+        for (i, fold) in folds[cfg.k_gen..].iter().enumerate() {
+            let own = i % g.n_groups;
+            let own_count = fold.iter().filter(|&&x| g.group_of[x] == own).count();
+            let frac = own_count as f64 / fold.len() as f64;
+            assert!(
+                (frac - 0.8).abs() < 0.11,
+                "special fold {i} own-fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn general_folds_mirror_group_shares() {
+        let g = toy_grouping(); // 60/40 split
+        let mut rng = rng_from_seed(3);
+        let cfg = GenFoldsConfig::default();
+        let folds = gen_folds(&g, 50, &cfg, &mut rng);
+        for fold in &folds[..cfg.k_gen] {
+            let g0 = fold.iter().filter(|&&x| g.group_of[x] == 0).count();
+            let frac = g0 as f64 / fold.len() as f64;
+            assert!(
+                (frac - 0.6).abs() < 0.25,
+                "general fold group share {frac} (expect ~0.6)"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_larger_than_population_is_capped() {
+        let g = toy_grouping();
+        let mut rng = rng_from_seed(4);
+        let folds = gen_folds(&g, 1000, &GenFoldsConfig::default(), &mut rng);
+        assert_eq!(folds.iter().map(Vec::len).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn tiny_group_degrades_gracefully() {
+        // group 1 has only 3 instances; its special fold cannot reach 80%.
+        let mut group_of = vec![0usize; 97];
+        group_of.extend([1usize; 3]);
+        let g = Grouping {
+            group_of,
+            n_groups: 2,
+            label_category: vec![0; 100],
+            n_label_categories: 1,
+        };
+        let mut rng = rng_from_seed(5);
+        let folds = gen_folds(&g, 60, &GenFoldsConfig::default(), &mut rng);
+        assert_disjoint(&folds);
+        assert_eq!(folds.iter().map(Vec::len).sum::<usize>(), 60);
+        for f in &folds {
+            assert_eq!(f.len(), 12);
+        }
+    }
+
+    #[test]
+    fn all_general_or_all_special_configurations_work() {
+        let g = toy_grouping();
+        for (k_gen, k_spe) in [(5, 0), (0, 5), (1, 4), (4, 1)] {
+            let mut rng = rng_from_seed(6);
+            let cfg = GenFoldsConfig {
+                k_gen,
+                k_spe,
+                special_own_frac: 0.8,
+            };
+            let folds = gen_folds(&g, 50, &cfg, &mut rng);
+            assert_eq!(folds.len(), 5, "k_gen={k_gen} k_spe={k_spe}");
+            assert_disjoint(&folds);
+        }
+    }
+
+    #[test]
+    fn more_special_folds_than_groups_wraps_around() {
+        let g = toy_grouping(); // 2 groups
+        let mut rng = rng_from_seed(7);
+        let cfg = GenFoldsConfig {
+            k_gen: 1,
+            k_spe: 4,
+            special_own_frac: 0.8,
+        };
+        let folds = gen_folds(&g, 50, &cfg, &mut rng);
+        assert_eq!(folds.len(), 5);
+        assert_disjoint(&folds);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fill")]
+    fn budget_below_fold_count_panics() {
+        let g = toy_grouping();
+        let mut rng = rng_from_seed(8);
+        gen_folds(&g, 3, &GenFoldsConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = toy_grouping();
+        let a = gen_folds(&g, 40, &GenFoldsConfig::default(), &mut rng_from_seed(9));
+        let b = gen_folds(&g, 40, &GenFoldsConfig::default(), &mut rng_from_seed(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uneven_budget_distributes_remainder() {
+        let g = toy_grouping();
+        let mut rng = rng_from_seed(10);
+        let folds = gen_folds(&g, 52, &GenFoldsConfig::default(), &mut rng);
+        let mut sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![10, 10, 10, 11, 11]);
+    }
+}

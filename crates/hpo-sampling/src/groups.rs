@@ -1,0 +1,535 @@
+//! Operation 1: instance grouping from features and labels (paper §III-A).
+//!
+//! Before optimization starts, instances are clustered on their features
+//! (balanced k-means, `C_x`) and categorized on their labels (rare-class
+//! merge / regression binning, `C_y`). [`gen_groups`] then mixes the two
+//! into `v` groups:
+//!
+//! 1. per cluster, the top-k classes by count claim their instances for the
+//!    cluster's group;
+//! 2. every remaining instance goes to the group of the cluster where its
+//!    class is most concentrated.
+//!
+//! The result is a partition that reflects feature structure *and* label
+//! structure, which the fold construction (Operation 2) samples from.
+
+use hpo_cluster::affinity::{affinity_propagation, AffinityConfig};
+use hpo_cluster::balanced::{balanced_kmeans, BalancedKMeansConfig};
+use hpo_cluster::meanshift::{estimate_bandwidth, mean_shift, MeanShiftConfig};
+use hpo_data::dataset::Dataset;
+use hpo_data::labels::label_categories;
+
+/// Which clustering algorithm drives the feature categorization `C_x`.
+///
+/// The paper uses balanced k-means and names mean-shift and affinity
+/// propagation as drop-in alternatives (§III-A). The density-based
+/// algorithms pick their own cluster count; [`build_grouping`] caps it at
+/// `v` by merging the smallest clusters, so the fold construction always
+/// sees at most `v` groups.
+#[derive(Clone, Debug, Default)]
+pub enum ClusterAlgo {
+    /// The paper's default: k-means with the `r_group` re-clustering loop.
+    #[default]
+    BalancedKMeans,
+    /// Flat-kernel mean-shift; bandwidth estimated at the given neighbour
+    /// quantile.
+    MeanShift {
+        /// Quantile for the bandwidth heuristic (e.g. 0.3).
+        quantile: f64,
+    },
+    /// Affinity propagation with the median-similarity preference.
+    AffinityPropagation,
+}
+
+/// Configuration for the full grouping pipeline ([`build_grouping`]).
+#[derive(Clone, Debug)]
+pub struct GroupingConfig {
+    /// Number of groups `v` (= clusters = special folds; paper keeps `v ≤ 5`,
+    /// experiments use 2).
+    pub v: usize,
+    /// Minimum cluster size ratio for the balanced k-means (`r_group`,
+    /// paper: 0.8).
+    pub r_group: f64,
+    /// Quantile bins used to categorize regression labels.
+    pub regression_bins: usize,
+    /// Clustering algorithm for the feature categorization.
+    pub algo: ClusterAlgo,
+    /// Instances above which density-based algorithms (O(n²)) cluster a
+    /// subsample and assign the rest by nearest exemplar/mode — the paper's
+    /// "take only a part of the dataset for training the cluster".
+    pub cluster_sample_cap: usize,
+    /// RNG seed for clustering.
+    pub seed: u64,
+}
+
+impl Default for GroupingConfig {
+    fn default() -> Self {
+        GroupingConfig {
+            v: 2,
+            r_group: 0.8,
+            regression_bins: 4,
+            algo: ClusterAlgo::BalancedKMeans,
+            cluster_sample_cap: 1000,
+            seed: 0,
+        }
+    }
+}
+
+/// A partition of the training instances into `v` groups.
+#[derive(Clone, Debug)]
+pub struct Grouping {
+    /// Group index per instance.
+    pub group_of: Vec<usize>,
+    /// Number of groups `v`.
+    pub n_groups: usize,
+    /// Label category per instance (`C_y` after rare-class merge/binning) —
+    /// kept because general folds stratify on it within groups.
+    pub label_category: Vec<usize>,
+    /// Number of label categories.
+    pub n_label_categories: usize,
+}
+
+impl Grouping {
+    /// Instance indices of each group.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut members = vec![Vec::new(); self.n_groups];
+        for (i, &g) in self.group_of.iter().enumerate() {
+            members[g].push(i);
+        }
+        members
+    }
+
+    /// Instance count per group.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_groups];
+        for &g in &self.group_of {
+            sizes[g] += 1;
+        }
+        sizes
+    }
+}
+
+/// Operation 1: merges feature clusters and label categories into groups.
+///
+/// `clusters[i] ∈ 0..v` is the feature cluster of instance `i` (`c_i^x`);
+/// `classes[i] ∈ 0..u` its label category (`c_i^y`). Returns a group index
+/// per instance, with `v` groups (one per cluster).
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn gen_groups(clusters: &[usize], classes: &[usize], v: usize, u: usize) -> Vec<usize> {
+    assert_eq!(clusters.len(), classes.len(), "length mismatch");
+    assert!(!clusters.is_empty(), "cannot group zero instances");
+    assert!(v >= 1 && u >= 1, "need at least one cluster and one class");
+    let n = clusters.len();
+
+    // counts[class][cluster]
+    let mut counts = vec![vec![0usize; v]; u];
+    for (&cl, &cy) in clusters.iter().zip(classes) {
+        counts[cy][cl] += 1;
+    }
+
+    // Stage 1: per cluster, the top-k classes claim their instances.
+    // k is derived from the category/cluster ratio so that, collectively,
+    // the stage-1 claims cover roughly every class once.
+    let top_k = usize::max(1, u.div_ceil(v));
+    let mut claimed = vec![vec![false; v]; u]; // claimed[class][cluster]
+    for j in 0..v {
+        let mut class_counts: Vec<(usize, usize)> = (0..u).map(|c| (c, counts[c][j])).collect();
+        class_counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for &(class, count) in class_counts.iter().take(top_k) {
+            if count > 0 {
+                claimed[class][j] = true;
+            }
+        }
+    }
+
+    // Stage 2 assignment for unclaimed (class, cluster) pairs: the group of
+    // the cluster with the highest share of that class.
+    let best_cluster_for_class: Vec<usize> = (0..u)
+        .map(|c| {
+            (0..v)
+                .max_by(|&a, &b| counts[c][a].cmp(&counts[c][b]))
+                .unwrap_or(0)
+        })
+        .collect();
+
+    let mut group_of = vec![0usize; n];
+    for i in 0..n {
+        let (cl, cy) = (clusters[i], classes[i]);
+        group_of[i] = if claimed[cy][cl] {
+            cl
+        } else {
+            best_cluster_for_class[cy]
+        };
+    }
+    group_of
+}
+
+/// Runs the full §III-A pipeline on a dataset: feature clustering (per
+/// `config.algo`), label categorization, then [`gen_groups`].
+pub fn build_grouping(data: &Dataset, config: &GroupingConfig) -> Grouping {
+    assert!(
+        data.n_instances() >= config.v,
+        "dataset smaller than the group count"
+    );
+    let (assignments, v) = cluster_features(data, config);
+    let (label_category, n_label_categories) = label_categories(data, config.regression_bins);
+    let group_of = gen_groups(&assignments, &label_category, v, n_label_categories.max(1));
+    Grouping {
+        group_of,
+        n_groups: v,
+        label_category,
+        n_label_categories: n_label_categories.max(1),
+    }
+}
+
+/// Feature clustering per the configured algorithm. Returns `(c_i^x, v)`
+/// with every assignment below `v` and `v ≤ config.v`.
+fn cluster_features(data: &Dataset, config: &GroupingConfig) -> (Vec<usize>, usize) {
+    match config.algo {
+        ClusterAlgo::BalancedKMeans => {
+            let clustering = balanced_kmeans(
+                data.x(),
+                &BalancedKMeansConfig {
+                    k: config.v,
+                    r_group: config.r_group,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+            );
+            (clustering.assignments, config.v)
+        }
+        ClusterAlgo::MeanShift { quantile } => {
+            let (x, sample) = subsample_for_clustering(data, config);
+            let bw = estimate_bandwidth(&x, quantile);
+            let result = mean_shift(
+                &x,
+                &MeanShiftConfig {
+                    bandwidth: bw,
+                    ..Default::default()
+                },
+            );
+            let assignments = extend_by_nearest(data, &x, &result.assignments, sample.as_deref());
+            cap_clusters(&assignments, config.v)
+        }
+        ClusterAlgo::AffinityPropagation => {
+            let (x, sample) = subsample_for_clustering(data, config);
+            let result = affinity_propagation(&x, &AffinityConfig::default());
+            let assignments = extend_by_nearest(data, &x, &result.assignments, sample.as_deref());
+            cap_clusters(&assignments, config.v)
+        }
+    }
+}
+
+/// O(n²) algorithms cluster at most `cluster_sample_cap` instances.
+/// Returns the clustered matrix and, when subsampled, the chosen indices.
+fn subsample_for_clustering(
+    data: &Dataset,
+    config: &GroupingConfig,
+) -> (hpo_data::matrix::Matrix, Option<Vec<usize>>) {
+    let n = data.n_instances();
+    if n <= config.cluster_sample_cap {
+        return (data.x().clone(), None);
+    }
+    let mut rng = hpo_data::rng::rng_from_seed(config.seed);
+    let sample = hpo_data::rng::sample_without_replacement(n, config.cluster_sample_cap, &mut rng);
+    (data.x().select_rows(&sample), Some(sample))
+}
+
+/// Propagates sample-cluster assignments to the full dataset by nearest
+/// clustered instance (1-NN); identity when no subsample happened.
+fn extend_by_nearest(
+    data: &Dataset,
+    sample_x: &hpo_data::matrix::Matrix,
+    sample_assignments: &[usize],
+    sample: Option<&[usize]>,
+) -> Vec<usize> {
+    let Some(sample_idx) = sample else {
+        return sample_assignments.to_vec();
+    };
+    use hpo_data::matrix::Matrix;
+    let mut out = vec![usize::MAX; data.n_instances()];
+    for (pos, &orig) in sample_idx.iter().enumerate() {
+        out[orig] = sample_assignments[pos];
+    }
+    for (i, slot) in out.iter_mut().enumerate() {
+        if *slot != usize::MAX {
+            continue;
+        }
+        let row = data.instance(i);
+        let nearest = (0..sample_x.rows())
+            .min_by(|&a, &b| {
+                Matrix::dist_sq(row, sample_x.row(a))
+                    .partial_cmp(&Matrix::dist_sq(row, sample_x.row(b)))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty sample");
+        *slot = sample_assignments[nearest];
+    }
+    out
+}
+
+/// Remaps an arbitrary clustering to at most `v` clusters: the `v − 1`
+/// largest keep their identity, everything else merges into the last slot.
+/// Cluster ids are compacted to `0..v'` (`v' ≤ v`).
+pub fn cap_clusters(assignments: &[usize], v: usize) -> (Vec<usize>, usize) {
+    assert!(v >= 1, "need at least one cluster");
+    let max_id = assignments.iter().copied().max().unwrap_or(0);
+    let mut sizes = vec![0usize; max_id + 1];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+    let mut order: Vec<usize> = (0..=max_id).filter(|&c| sizes[c] > 0).collect();
+    order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
+    let n_found = order.len();
+    if n_found <= v {
+        // Just compact the ids.
+        let mut remap = vec![0usize; max_id + 1];
+        for (new, &old) in order.iter().enumerate() {
+            remap[old] = new;
+        }
+        return (assignments.iter().map(|&a| remap[a]).collect(), n_found);
+    }
+    // Keep the v-1 largest; merge the tail into slot v-1.
+    let mut remap = vec![v - 1; max_id + 1];
+    for (new, &old) in order.iter().take(v - 1).enumerate() {
+        remap[old] = new;
+    }
+    (assignments.iter().map(|&a| remap[a]).collect(), v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    #[test]
+    fn gen_groups_outputs_a_partition() {
+        let clusters = vec![0, 0, 1, 1, 2, 2, 0, 1, 2];
+        let classes = vec![0, 1, 0, 1, 0, 1, 2, 2, 2];
+        let groups = gen_groups(&clusters, &classes, 3, 3);
+        assert_eq!(groups.len(), 9);
+        assert!(groups.iter().all(|&g| g < 3));
+    }
+
+    #[test]
+    fn pure_clusters_map_to_their_own_group() {
+        // cluster j holds exactly class j: stage 1 claims everything.
+        let clusters = vec![0, 0, 1, 1, 2, 2];
+        let classes = vec![0, 0, 1, 1, 2, 2];
+        let groups = gen_groups(&clusters, &classes, 3, 3);
+        assert_eq!(groups, clusters);
+    }
+
+    #[test]
+    fn minority_class_follows_its_concentration() {
+        // Class 1 is never top-1 of cluster 1 but is concentrated in
+        // cluster 0; its cluster-1 stragglers must move to group 0.
+        // cluster 0: class0 x1, class1 x3 -> top-1 = class1
+        // cluster 1: class0 x5, class1 x1 -> top-1 = class0
+        let clusters = vec![0, 0, 0, 0, 1, 1, 1, 1, 1, 1];
+        let classes = vec![0, 1, 1, 1, 0, 0, 0, 0, 0, 1];
+        let groups = gen_groups(&clusters, &classes, 2, 2);
+        // top_k = ceil(2/2) = 1; instance 9 (cluster1,class1) is unclaimed and
+        // class 1 is most concentrated in cluster 0 -> group 0.
+        assert_eq!(groups[9], 0);
+        // instance 0 (cluster0,class0) unclaimed; class 0 concentrated in
+        // cluster 1 -> group 1.
+        assert_eq!(groups[0], 1);
+        // claimed instances stay with their cluster.
+        assert_eq!(groups[1], 0);
+        assert_eq!(groups[4], 1);
+    }
+
+    #[test]
+    fn single_group_puts_everything_together() {
+        let groups = gen_groups(&[0, 0, 0], &[0, 1, 2], 1, 3);
+        assert!(groups.iter().all(|&g| g == 0));
+    }
+
+    #[test]
+    fn more_classes_than_clusters_uses_bigger_top_k() {
+        // u=4, v=2 -> top_k = 2: each cluster claims its two biggest classes.
+        let clusters = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let classes = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        let groups = gen_groups(&clusters, &classes, 2, 4);
+        assert_eq!(groups, clusters, "all instances claimed in stage 1");
+    }
+
+    #[test]
+    fn build_grouping_is_a_partition_with_v_groups() {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 400,
+                n_features: 6,
+                n_informative: 6,
+                n_classes: 2,
+                n_blobs: 3,
+                ..Default::default()
+            },
+            1,
+        );
+        let g = build_grouping(
+            &data,
+            &GroupingConfig {
+                v: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(g.group_of.len(), 400);
+        assert_eq!(g.n_groups, 3);
+        let sizes = g.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 400);
+        assert!(sizes.iter().all(|&s| s > 0), "empty group: {sizes:?}");
+    }
+
+    #[test]
+    fn grouping_reflects_feature_structure() {
+        // With pure well-separated blobs and v = true blob count, groups
+        // should align with blobs (each group dominated by one blob's
+        // instances → group sizes ≈ blob sizes).
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 300,
+                n_features: 4,
+                n_informative: 4,
+                n_classes: 2,
+                n_blobs: 2,
+                label_purity: 1.0,
+                label_noise: 0.0,
+                blob_spread: 0.15,
+                ..Default::default()
+            },
+            2,
+        );
+        let g = build_grouping(
+            &data,
+            &GroupingConfig {
+                v: 2,
+                ..Default::default()
+            },
+        );
+        let sizes = g.sizes();
+        // blobs are balanced; groups should be too (within 25%)
+        let (a, b) = (sizes[0] as f64, sizes[1] as f64);
+        assert!((a / (a + b) - 0.5).abs() < 0.25, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn members_and_sizes_agree() {
+        let g = Grouping {
+            group_of: vec![0, 1, 0, 2, 1],
+            n_groups: 3,
+            label_category: vec![0; 5],
+            n_label_categories: 1,
+        };
+        let members = g.members();
+        assert_eq!(members[0], vec![0, 2]);
+        assert_eq!(members[1], vec![1, 4]);
+        assert_eq!(members[2], vec![3]);
+        assert_eq!(g.sizes(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        gen_groups(&[0, 1], &[0], 2, 2);
+    }
+
+    #[test]
+    fn cap_clusters_merges_the_tail() {
+        // 4 clusters of sizes 5, 3, 2, 1 capped at 2: the largest keeps its
+        // identity, the remaining three merge.
+        let assignments = vec![0, 0, 0, 0, 0, 1, 1, 1, 2, 2, 3];
+        let (capped, v) = cap_clusters(&assignments, 2);
+        assert_eq!(v, 2);
+        assert!(capped.iter().all(|&c| c < 2));
+        assert_eq!(capped[..5], [0, 0, 0, 0, 0]);
+        assert!(capped[5..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn cap_clusters_compacts_sparse_ids() {
+        let (capped, v) = cap_clusters(&[7, 7, 3, 3, 3], 5);
+        assert_eq!(v, 2);
+        assert_eq!(capped, vec![1, 1, 0, 0, 0]); // 3 is larger -> id 0
+    }
+
+    #[test]
+    fn mean_shift_grouping_runs() {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 200,
+                n_features: 4,
+                n_informative: 4,
+                n_blobs: 2,
+                label_purity: 1.0,
+                label_noise: 0.0,
+                blob_spread: 0.2,
+                ..Default::default()
+            },
+            4,
+        );
+        let g = build_grouping(
+            &data,
+            &GroupingConfig {
+                v: 3,
+                algo: ClusterAlgo::MeanShift { quantile: 0.3 },
+                ..Default::default()
+            },
+        );
+        assert_eq!(g.group_of.len(), 200);
+        assert!(g.n_groups <= 3 && g.n_groups >= 1);
+        assert!(g.group_of.iter().all(|&x| x < g.n_groups));
+    }
+
+    #[test]
+    fn affinity_grouping_runs_with_subsampling() {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 300,
+                n_features: 4,
+                n_informative: 4,
+                n_blobs: 2,
+                blob_spread: 0.2,
+                ..Default::default()
+            },
+            5,
+        );
+        let g = build_grouping(
+            &data,
+            &GroupingConfig {
+                v: 2,
+                algo: ClusterAlgo::AffinityPropagation,
+                cluster_sample_cap: 100, // force the subsample + 1-NN path
+                ..Default::default()
+            },
+        );
+        assert_eq!(g.group_of.len(), 300);
+        assert!(g.n_groups <= 2);
+        assert!(g.group_of.iter().all(|&x| x < g.n_groups));
+    }
+
+    #[test]
+    fn regression_labels_are_binned_for_grouping() {
+        use hpo_data::synth::{make_regression, RegressionSpec};
+        let data = make_regression(
+            &RegressionSpec {
+                n_instances: 200,
+                ..Default::default()
+            },
+            3,
+        );
+        let g = build_grouping(
+            &data,
+            &GroupingConfig {
+                v: 2,
+                regression_bins: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(g.n_label_categories, 4);
+        assert_eq!(g.group_of.len(), 200);
+    }
+}

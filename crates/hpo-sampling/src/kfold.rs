@@ -1,0 +1,192 @@
+//! Vanilla K-fold baselines and budgeted subset sampling.
+//!
+//! These are the paper's comparison points (§IV-C): random K-fold and
+//! label-stratified K-fold, both over a budgeted subset of the training
+//! data. A fold set is always a list of `k` disjoint index lists; fold `i`
+//! serves once as the validation set while the others train.
+
+use hpo_data::rng::sample_without_replacement;
+use hpo_data::split::{random_subsample_indices, stratified_subsample_indices};
+use rand::Rng;
+
+/// `k` disjoint folds of instance indices (into the training dataset).
+pub type Folds = Vec<Vec<usize>>;
+
+/// Splits `indices` into `k` random folds of near-equal size.
+///
+/// # Panics
+/// Panics when `k == 0` or `k > indices.len()`.
+pub fn split_into_k(indices: &[usize], k: usize, rng: &mut impl Rng) -> Folds {
+    assert!(k >= 1, "need at least one fold");
+    assert!(
+        k <= indices.len(),
+        "cannot split {} instances into {k} folds",
+        indices.len()
+    );
+    let mut shuffled = indices.to_vec();
+    for i in (1..shuffled.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        shuffled.swap(i, j);
+    }
+    let mut folds: Folds = vec![Vec::with_capacity(shuffled.len() / k + 1); k];
+    for (pos, idx) in shuffled.into_iter().enumerate() {
+        folds[pos % k].push(idx);
+    }
+    folds
+}
+
+/// Random K-fold over a budgeted subset: samples `budget` instances
+/// uniformly from `0..n`, then splits them into `k` random folds.
+pub fn random_kfold(n: usize, budget: usize, k: usize, rng: &mut impl Rng) -> Folds {
+    let subset = random_subsample_indices(n, budget, rng);
+    split_into_k(&subset, k, rng)
+}
+
+/// Label-stratified K-fold over a budgeted subset: samples `budget`
+/// instances preserving the class balance, then deals each class's
+/// instances round-robin across folds so every fold mirrors the balance.
+pub fn stratified_kfold(
+    labels: &[usize],
+    n_categories: usize,
+    budget: usize,
+    k: usize,
+    rng: &mut impl Rng,
+) -> Folds {
+    let subset = stratified_subsample_indices(labels, n_categories, budget, rng);
+    stratified_split_into_k(&subset, labels, n_categories, k, rng)
+}
+
+/// Splits an index set into `k` folds, stratifying on `labels`.
+///
+/// # Panics
+/// Panics when `k == 0` or `k > indices.len()`.
+pub fn stratified_split_into_k(
+    indices: &[usize],
+    labels: &[usize],
+    n_categories: usize,
+    k: usize,
+    rng: &mut impl Rng,
+) -> Folds {
+    assert!(k >= 1, "need at least one fold");
+    assert!(
+        k <= indices.len(),
+        "cannot split {} instances into {k} folds",
+        indices.len()
+    );
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_categories];
+    for &i in indices {
+        per_class[labels[i]].push(i);
+    }
+    let mut folds: Folds = vec![Vec::with_capacity(indices.len() / k + 1); k];
+    // Offset the round-robin start per class so small classes don't all pile
+    // into fold 0.
+    let mut offset = 0usize;
+    for members in per_class.iter_mut() {
+        if members.is_empty() {
+            continue;
+        }
+        // shuffle within the class
+        let order = sample_without_replacement(members.len(), members.len(), rng);
+        for (pos, &ord) in order.iter().enumerate() {
+            folds[(pos + offset) % k].push(members[ord]);
+        }
+        offset = (offset + members.len()) % k;
+    }
+    folds
+}
+
+/// Flattens all folds except `val_fold` into one training index list.
+pub fn train_indices_for(folds: &Folds, val_fold: usize) -> Vec<usize> {
+    folds
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != val_fold)
+        .flat_map(|(_, f)| f.iter().copied())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::rng::rng_from_seed;
+    use std::collections::HashSet;
+
+    fn assert_partition(folds: &Folds, expect_total: usize) {
+        let all: Vec<usize> = folds.iter().flatten().copied().collect();
+        let set: HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(all.len(), set.len(), "folds overlap");
+        assert_eq!(all.len(), expect_total, "folds lose or invent instances");
+    }
+
+    #[test]
+    fn split_into_k_is_a_balanced_partition() {
+        let mut rng = rng_from_seed(1);
+        let indices: Vec<usize> = (0..103).collect();
+        let folds = split_into_k(&indices, 5, &mut rng);
+        assert_partition(&folds, 103);
+        for f in &folds {
+            assert!((20..=21).contains(&f.len()), "fold size {}", f.len());
+        }
+    }
+
+    #[test]
+    fn random_kfold_respects_budget() {
+        let mut rng = rng_from_seed(2);
+        let folds = random_kfold(1000, 100, 5, &mut rng);
+        assert_partition(&folds, 100);
+        assert!(folds.iter().flatten().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn stratified_kfold_preserves_balance_per_fold() {
+        let labels: Vec<usize> = (0..200).map(|i| i % 2).collect();
+        let mut rng = rng_from_seed(3);
+        let folds = stratified_kfold(&labels, 2, 100, 5, &mut rng);
+        assert_partition(&folds, 100);
+        for f in &folds {
+            let ones = f.iter().filter(|&&i| labels[i] == 1).count();
+            // each fold of 20 should have ~10 of each class (±1)
+            assert!(
+                (9..=11).contains(&ones),
+                "fold balance broken: {ones}/{}",
+                f.len()
+            );
+        }
+    }
+
+    #[test]
+    fn stratified_split_spreads_small_classes() {
+        // 5 instances of class 1 across 5 folds: each fold gets exactly one.
+        let labels: Vec<usize> = (0..50).map(|i| usize::from(i >= 45)).collect();
+        let indices: Vec<usize> = (0..50).collect();
+        let mut rng = rng_from_seed(4);
+        let folds = stratified_split_into_k(&indices, &labels, 2, 5, &mut rng);
+        assert_partition(&folds, 50);
+        for f in &folds {
+            let minority = f.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(minority, 1, "minority not spread: {folds:?}");
+        }
+    }
+
+    #[test]
+    fn train_indices_exclude_validation_fold() {
+        let folds: Folds = vec![vec![0, 1], vec![2, 3], vec![4]];
+        let train = train_indices_for(&folds, 1);
+        assert_eq!(train, vec![0, 1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn too_many_folds_panics() {
+        let mut rng = rng_from_seed(5);
+        split_into_k(&[1, 2], 3, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
+        let a = stratified_kfold(&labels, 3, 30, 5, &mut rng_from_seed(7));
+        let b = stratified_kfold(&labels, 3, 30, 5, &mut rng_from_seed(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,25 @@
+//! Instance grouping and fold construction — the heart of the paper's method.
+//!
+//! * [`groups`] — Operation 1: merge feature clusters `C_x` and label
+//!   categories `C_y` into instance groups Ω (paper §III-A).
+//! * [`folds`] — Operation 2: build general folds (group-stratified, mirror
+//!   the global distribution) and special folds (biased towards one group)
+//!   for cross-validation (paper §III-B).
+//! * [`kfold`] — the vanilla baselines: random K-fold and label-stratified
+//!   K-fold, plus subset sampling at a budget.
+//! * [`strategy`] — a single [`strategy::FoldStrategy`] enum the evaluator
+//!   dispatches on, so vanilla and enhanced pipelines share one code path.
+//! * [`stability`] — the analytic machinery behind Proposition 1 (binomial
+//!   mixture sampling stability).
+
+#![warn(missing_docs)]
+
+pub mod folds;
+pub mod groups;
+pub mod kfold;
+pub mod stability;
+pub mod strategy;
+
+pub use folds::{gen_folds, GenFoldsConfig};
+pub use groups::{build_grouping, gen_groups, Grouping, GroupingConfig};
+pub use strategy::FoldStrategy;

@@ -1,0 +1,186 @@
+//! Proposition 1: sampling stability of group-based subset sampling.
+//!
+//! The paper models random sampling of a balanced binary dataset as a
+//! binomial `B(n, p)` and the group-based sampler as the sum of two
+//! binomials `B(n/2, p−ε) + B(n/2, p+ε)` — sampling half the subset from
+//! each of two groups whose positive rates straddle `p`. This module makes
+//! the proposition computable:
+//!
+//! * the exact pmf of both samplers;
+//! * their variances (`n·p(1−p)` vs `n·p(1−p) − n·ε²`: grouping strictly
+//!   reduces variance whenever the groups actually differ);
+//! * the probability of drawing a subset whose positive count matches the
+//!   dataset's expectation — the paper's "consistent with the distribution"
+//!   event.
+
+/// Binomial pmf `P(x; n, p)`, computed in log space for robustness.
+pub fn binomial_pmf(x: usize, n: usize, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if x > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if x == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if x == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_choose(n, x) + (x as f64) * p.ln() + ((n - x) as f64) * (1.0 - p).ln();
+    ln.exp()
+}
+
+/// Pmf of the group sampler: `X = B(n/2, p−ε) + B(n/2, p+ε)` (paper's
+/// `P_our`). `n` must be even.
+pub fn group_pmf(x: usize, n: usize, p: f64, eps: f64) -> f64 {
+    assert!(
+        n.is_multiple_of(2),
+        "the proposition splits n into two equal groups"
+    );
+    let half = n / 2;
+    let p1 = (p - eps).clamp(0.0, 1.0);
+    let p2 = (p + eps).clamp(0.0, 1.0);
+    (0..=x.min(half))
+        .map(|i| binomial_pmf(i, half, p1) * binomial_pmf(x.saturating_sub(i), half, p2))
+        .sum()
+}
+
+/// Variance of the positive count under random sampling: `n·p(1−p)`.
+pub fn random_sampling_variance(n: usize, p: f64) -> f64 {
+    n as f64 * p * (1.0 - p)
+}
+
+/// Variance of the positive count under group sampling:
+/// `n·p(1−p) − n·ε²` — strictly smaller than random sampling for any ε > 0.
+pub fn group_sampling_variance(n: usize, p: f64, eps: f64) -> f64 {
+    let half = n as f64 / 2.0;
+    let p1 = p - eps;
+    let p2 = p + eps;
+    half * p1 * (1.0 - p1) + half * p2 * (1.0 - p2)
+}
+
+/// Probability that a sampler's positive count exactly matches the dataset
+/// expectation `round(n·p)` — the paper's "consistent with the overall
+/// distribution" event for the given pmf.
+pub fn match_probability(n: usize, p: f64, eps: Option<f64>) -> f64 {
+    let target = (n as f64 * p).round() as usize;
+    match eps {
+        None => binomial_pmf(target, n, p),
+        Some(e) => group_pmf(target, n, p, e),
+    }
+}
+
+fn ln_choose(n: usize, k: usize) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln(n!)` via direct summation (exact enough for the subset sizes the
+/// proposition is about; no Stirling error terms to reason about).
+fn ln_factorial(n: usize) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let total: f64 = (0..=20).map(|x| binomial_pmf(x, 20, 0.3)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_pmf_hand_values() {
+        assert!((binomial_pmf(1, 2, 0.5) - 0.5).abs() < 1e-12);
+        assert!((binomial_pmf(0, 3, 0.5) - 0.125).abs() < 1e-12);
+        assert_eq!(binomial_pmf(5, 4, 0.5), 0.0);
+        assert_eq!(binomial_pmf(0, 10, 0.0), 1.0);
+        assert_eq!(binomial_pmf(10, 10, 1.0), 1.0);
+    }
+
+    #[test]
+    fn group_pmf_sums_to_one() {
+        let total: f64 = (0..=20).map(|x| group_pmf(x, 20, 0.5, 0.2)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eps_zero_reduces_to_random_sampling() {
+        for x in 0..=10 {
+            let a = group_pmf(x, 10, 0.4, 0.0);
+            let b = binomial_pmf(x, 10, 0.4);
+            assert!((a - b).abs() < 1e-9, "x={x}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn eps_equal_p_gives_deterministic_match() {
+        // ε = p: one group has rate 0, the other 2p. For p=0.5 the second
+        // group is all-positive — the sampler always draws exactly n/2
+        // positives, matching the overall distribution with probability 1.
+        let prob = match_probability(10, 0.5, Some(0.5));
+        assert!((prob - 1.0).abs() < 1e-9, "got {prob}");
+    }
+
+    #[test]
+    fn group_sampling_is_more_stable_than_random() {
+        // Proposition 1: larger ε ⇒ higher probability of matching the
+        // overall distribution, with random sampling the ε=0 floor.
+        let n = 20;
+        let p = 0.5;
+        let random = match_probability(n, p, None);
+        let mut prev = random;
+        for eps in [0.1, 0.2, 0.3, 0.4, 0.5] {
+            let ours = match_probability(n, p, Some(eps));
+            assert!(
+                ours >= prev - 1e-12,
+                "match prob not monotone in ε at {eps}: {ours} < {prev}"
+            );
+            prev = ours;
+        }
+        assert!(prev > random, "grouping never helped");
+    }
+
+    #[test]
+    fn variance_identity_holds() {
+        // group variance = random variance − n·ε²
+        let (n, p, eps) = (100, 0.5, 0.2);
+        let expect = random_sampling_variance(n, p) - n as f64 * eps * eps;
+        assert!((group_sampling_variance(n, p, eps) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_group_variance_matches_analytic() {
+        // Monte-Carlo check of the mixture variance.
+        use hpo_data::rng::rng_from_seed;
+        use rand::Rng;
+        let mut rng = rng_from_seed(1);
+        let (n, p, eps) = (40usize, 0.5, 0.3);
+        let half = n / 2;
+        let trials = 20_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..trials {
+            let mut x = 0usize;
+            for _ in 0..half {
+                if rng.gen::<f64>() < p - eps {
+                    x += 1;
+                }
+            }
+            for _ in 0..half {
+                if rng.gen::<f64>() < p + eps {
+                    x += 1;
+                }
+            }
+            sum += x as f64;
+            sum_sq += (x * x) as f64;
+        }
+        let mean = sum / trials as f64;
+        let var = sum_sq / trials as f64 - mean * mean;
+        let analytic = group_sampling_variance(n, p, eps);
+        assert!(
+            (var - analytic).abs() / analytic < 0.06,
+            "empirical {var} vs analytic {analytic}"
+        );
+    }
+}

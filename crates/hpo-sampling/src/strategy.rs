@@ -1,0 +1,164 @@
+//! The fold-strategy enum the evaluator dispatches on.
+//!
+//! One entry point, [`FoldStrategy::build`], produces the fold set for a
+//! configuration evaluation at a given budget, whether the pipeline is
+//! vanilla (random / label-stratified) or enhanced (group-based general +
+//! special folds). This keeps the bandit methods entirely agnostic of which
+//! variant is running — exactly how the paper plugs its method into SHA,
+//! Hyperband and BOHB.
+
+use crate::folds::{gen_folds, GenFoldsConfig};
+use crate::groups::Grouping;
+use crate::kfold::{random_kfold, stratified_kfold, Folds};
+use rand::Rng;
+
+/// How cross-validation folds are constructed for each evaluation.
+#[derive(Clone, Debug)]
+pub enum FoldStrategy {
+    /// Vanilla random K-fold over a random budgeted subset.
+    Random {
+        /// Number of folds.
+        k: usize,
+    },
+    /// Vanilla label-stratified K-fold over a stratified budgeted subset.
+    StratifiedLabel {
+        /// Number of folds.
+        k: usize,
+    },
+    /// Group-stratified K-fold (the paper's grouping without special folds —
+    /// used by the Table V ablation).
+    StratifiedGroup {
+        /// Number of folds.
+        k: usize,
+    },
+    /// The paper's full Operation 2: general + special folds from groups.
+    GeneralSpecial(GenFoldsConfig),
+}
+
+impl FoldStrategy {
+    /// The paper's default enhanced strategy (3 general + 2 special, 80/20).
+    pub fn paper_default() -> Self {
+        FoldStrategy::GeneralSpecial(GenFoldsConfig::default())
+    }
+
+    /// Total number of folds this strategy produces.
+    pub fn n_folds(&self) -> usize {
+        match self {
+            FoldStrategy::Random { k }
+            | FoldStrategy::StratifiedLabel { k }
+            | FoldStrategy::StratifiedGroup { k } => *k,
+            FoldStrategy::GeneralSpecial(cfg) => cfg.total_folds(),
+        }
+    }
+
+    /// Whether this strategy needs a [`Grouping`] to operate.
+    pub fn needs_grouping(&self) -> bool {
+        matches!(
+            self,
+            FoldStrategy::StratifiedGroup { .. } | FoldStrategy::GeneralSpecial(_)
+        )
+    }
+
+    /// Builds the fold set for one evaluation.
+    ///
+    /// `n` is the training-set size, `labels` the per-instance label
+    /// categories (used by the stratified variant), `grouping` the Operation 1
+    /// output (required by the group-based variants), and `budget` the
+    /// instance budget `b_t`.
+    ///
+    /// # Panics
+    /// Panics when a group-based strategy is called without a grouping, or
+    /// when the budget cannot fill the folds.
+    pub fn build(
+        &self,
+        n: usize,
+        labels: &[usize],
+        n_label_categories: usize,
+        grouping: Option<&Grouping>,
+        budget: usize,
+        rng: &mut impl Rng,
+    ) -> Folds {
+        let budget = budget.min(n);
+        match self {
+            FoldStrategy::Random { k } => random_kfold(n, budget, *k, rng),
+            FoldStrategy::StratifiedLabel { k } => {
+                stratified_kfold(labels, n_label_categories, budget, *k, rng)
+            }
+            FoldStrategy::StratifiedGroup { k } => {
+                let grouping = grouping.expect("StratifiedGroup requires a grouping");
+                // Group-stratified subset + folds == Operation 2 with zero
+                // special folds.
+                let cfg = GenFoldsConfig {
+                    k_gen: *k,
+                    k_spe: 0,
+                    special_own_frac: 0.8,
+                };
+                gen_folds(grouping, budget, &cfg, rng)
+            }
+            FoldStrategy::GeneralSpecial(cfg) => {
+                let grouping = grouping.expect("GeneralSpecial requires a grouping");
+                gen_folds(grouping, budget, cfg, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_data::rng::rng_from_seed;
+
+    fn toy_grouping(n: usize) -> Grouping {
+        Grouping {
+            group_of: (0..n).map(|i| i % 2).collect(),
+            n_groups: 2,
+            label_category: (0..n).map(|i| i % 3).collect(),
+            n_label_categories: 3,
+        }
+    }
+
+    #[test]
+    fn every_strategy_builds_k_disjoint_folds() {
+        let n = 120;
+        let g = toy_grouping(n);
+        let labels = g.label_category.clone();
+        let strategies = [
+            FoldStrategy::Random { k: 5 },
+            FoldStrategy::StratifiedLabel { k: 5 },
+            FoldStrategy::StratifiedGroup { k: 5 },
+            FoldStrategy::paper_default(),
+        ];
+        for s in strategies {
+            let mut rng = rng_from_seed(1);
+            let folds = s.build(n, &labels, 3, Some(&g), 60, &mut rng);
+            assert_eq!(folds.len(), 5, "{s:?}");
+            let total: usize = folds.iter().map(Vec::len).sum();
+            assert_eq!(total, 60, "{s:?}");
+            let mut all: Vec<usize> = folds.into_iter().flatten().collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), 60, "{s:?} folds overlap");
+        }
+    }
+
+    #[test]
+    fn n_folds_matches_build_output() {
+        assert_eq!(FoldStrategy::Random { k: 4 }.n_folds(), 4);
+        assert_eq!(FoldStrategy::paper_default().n_folds(), 5);
+    }
+
+    #[test]
+    fn needs_grouping_flags_group_strategies() {
+        assert!(!FoldStrategy::Random { k: 5 }.needs_grouping());
+        assert!(!FoldStrategy::StratifiedLabel { k: 5 }.needs_grouping());
+        assert!(FoldStrategy::StratifiedGroup { k: 5 }.needs_grouping());
+        assert!(FoldStrategy::paper_default().needs_grouping());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a grouping")]
+    fn group_strategy_without_grouping_panics() {
+        let mut rng = rng_from_seed(2);
+        FoldStrategy::paper_default().build(100, &[0; 100], 1, None, 50, &mut rng);
+    }
+}

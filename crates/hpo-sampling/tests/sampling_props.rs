@@ -1,0 +1,111 @@
+//! Property tests for grouping and fold construction.
+
+use hpo_data::rng::rng_from_seed;
+use hpo_sampling::folds::{gen_folds, GenFoldsConfig};
+use hpo_sampling::groups::{cap_clusters, gen_groups, Grouping};
+use hpo_sampling::strategy::FoldStrategy;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Stage-1 claims of Operation 1 are stable: instances with the same
+    /// (cluster, class) always land in the same group.
+    #[test]
+    fn gen_groups_is_a_function_of_cluster_and_class(
+        pairs in proptest::collection::vec((0usize..3, 0usize..4), 2..120)
+    ) {
+        let clusters: Vec<usize> = pairs.iter().map(|&(c, _)| c).collect();
+        let classes: Vec<usize> = pairs.iter().map(|&(_, y)| y).collect();
+        let groups = gen_groups(&clusters, &classes, 3, 4);
+        let mut seen: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        for i in 0..pairs.len() {
+            let key = (clusters[i], classes[i]);
+            if let Some(&g) = seen.get(&key) {
+                prop_assert_eq!(g, groups[i], "same (cluster,class), different group");
+            } else {
+                seen.insert(key, groups[i]);
+            }
+        }
+    }
+
+    /// cap_clusters preserves co-membership of same-cluster points and
+    /// never exceeds the cap.
+    #[test]
+    fn cap_clusters_properties(
+        assignments in proptest::collection::vec(0usize..10, 1..100),
+        v in 1usize..6,
+    ) {
+        let (capped, used) = cap_clusters(&assignments, v);
+        prop_assert_eq!(capped.len(), assignments.len());
+        prop_assert!(used <= v);
+        prop_assert!(capped.iter().all(|&c| c < used));
+        // same original cluster -> same capped cluster
+        for i in 0..assignments.len() {
+            for j in (i + 1)..assignments.len() {
+                if assignments[i] == assignments[j] {
+                    prop_assert_eq!(capped[i], capped[j]);
+                }
+            }
+        }
+    }
+
+    /// Every fold strategy yields disjoint folds filling the budget, over
+    /// random group structures and budgets.
+    #[test]
+    fn strategies_fill_budgets(
+        group_of in proptest::collection::vec(0usize..2, 40..120),
+        budget_frac in 0.2f64..1.0,
+        seed in 0u64..200,
+    ) {
+        let n = group_of.len();
+        let grouping = Grouping {
+            group_of: group_of.clone(),
+            n_groups: 2,
+            label_category: group_of.clone(),
+            n_label_categories: 2,
+        };
+        let labels = grouping.label_category.clone();
+        let budget = ((n as f64) * budget_frac) as usize;
+        prop_assume!(budget >= 10);
+        for strategy in [
+            FoldStrategy::Random { k: 5 },
+            FoldStrategy::StratifiedLabel { k: 5 },
+            FoldStrategy::StratifiedGroup { k: 5 },
+            FoldStrategy::GeneralSpecial(GenFoldsConfig::default()),
+        ] {
+            let mut rng = rng_from_seed(seed);
+            let folds = strategy.build(n, &labels, 2, Some(&grouping), budget, &mut rng);
+            let all: Vec<usize> = folds.iter().flatten().copied().collect();
+            let set: HashSet<usize> = all.iter().copied().collect();
+            prop_assert_eq!(all.len(), set.len(), "{:?} folds overlap", strategy);
+            prop_assert_eq!(all.len(), budget, "{:?} misses the budget", strategy);
+            prop_assert!(all.iter().all(|&i| i < n));
+        }
+    }
+
+    /// The special folds' own-group share approaches the configured
+    /// fraction whenever the group is large enough to supply it.
+    #[test]
+    fn special_fold_bias_is_respected(seed in 0u64..300) {
+        // Two equal groups of 100; budget 100 -> folds of 20; own share 16.
+        let group_of: Vec<usize> = (0..200).map(|i| i % 2).collect();
+        let grouping = Grouping {
+            group_of,
+            n_groups: 2,
+            label_category: vec![0; 200],
+            n_label_categories: 1,
+        };
+        let cfg = GenFoldsConfig { k_gen: 3, k_spe: 2, special_own_frac: 0.8 };
+        let mut rng = rng_from_seed(seed);
+        let folds = gen_folds(&grouping, 100, &cfg, &mut rng);
+        for (i, fold) in folds[cfg.k_gen..].iter().enumerate() {
+            let own = i % 2;
+            let own_count = fold
+                .iter()
+                .filter(|&&x| grouping.group_of[x] == own)
+                .count();
+            prop_assert_eq!(own_count, 16, "fold {} has own share {}", i, own_count);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Comparing the three clustering algorithms behind Operation 1.
+//!
+//! The paper names k-means (its default), mean-shift and affinity
+//! propagation as candidates for the grouping step. This example runs all
+//! three on the same dataset, reports cluster counts, silhouette scores and
+//! the resulting group structure, and shows how the baseline models
+//! (decision tree, kNN, logistic regression) compare to a tuned MLP.
+//!
+//! ```text
+//! cargo run --release --example clustering_algorithms
+//! ```
+
+use enhancing_bhpo::cluster::silhouette::silhouette_score;
+use enhancing_bhpo::data::split::stratified_train_test_split;
+use enhancing_bhpo::data::synth::{make_classification, ClassificationSpec};
+use enhancing_bhpo::models::estimator::Estimator;
+use enhancing_bhpo::models::knn::KnnClassifier;
+use enhancing_bhpo::models::linear::LogisticRegression;
+use enhancing_bhpo::models::tree::{DecisionTreeClassifier, TreeParams};
+use enhancing_bhpo::models::{MlpClassifier, MlpParams};
+use enhancing_bhpo::sampling::groups::{build_grouping, ClusterAlgo, GroupingConfig};
+
+fn main() {
+    let data = make_classification(
+        &ClassificationSpec {
+            n_instances: 600,
+            n_features: 10,
+            n_informative: 8,
+            n_classes: 3,
+            n_blobs: 6,
+            label_purity: 0.9,
+            blob_spread: 0.5,
+            ..Default::default()
+        },
+        21,
+    );
+
+    println!("Operation 1 with different clustering algorithms (v = 3):\n");
+    let algos: [(&str, ClusterAlgo); 3] = [
+        ("balanced k-means", ClusterAlgo::BalancedKMeans),
+        ("mean-shift", ClusterAlgo::MeanShift { quantile: 0.1 }),
+        ("affinity propagation", ClusterAlgo::AffinityPropagation),
+    ];
+    for (name, algo) in algos {
+        let grouping = build_grouping(
+            &data,
+            &GroupingConfig {
+                v: 3,
+                algo,
+                cluster_sample_cap: 400,
+                ..Default::default()
+            },
+        );
+        let silhouette = silhouette_score(data.x(), &grouping.group_of).unwrap_or(f64::NAN);
+        println!(
+            "  {name:<22} groups={} sizes={:?} silhouette={silhouette:.3}",
+            grouping.n_groups,
+            grouping.sizes()
+        );
+    }
+
+    // Baseline model zoo on the same data.
+    println!("\nbaseline models (train/test accuracy):");
+    let mut rng = enhancing_bhpo::data::rng::rng_from_seed(21);
+    let tt = stratified_train_test_split(&data, 0.25, &mut rng).expect("clean split");
+    let acc = |t: &[f64], p: &[f64]| {
+        t.iter().zip(p).filter(|(a, b)| a == b).count() as f64 / t.len() as f64
+    };
+
+    let mut tree = DecisionTreeClassifier::new(TreeParams::default());
+    tree.fit(&tt.train).unwrap();
+    println!(
+        "  decision tree        train={:.3} test={:.3} ({} leaves)",
+        acc(tt.train.y(), &tree.predict(tt.train.x())),
+        acc(tt.test.y(), &tree.predict(tt.test.x())),
+        tree.n_leaves()
+    );
+
+    let mut knn = KnnClassifier::new(5);
+    knn.fit(&tt.train).unwrap();
+    println!(
+        "  5-NN                 train={:.3} test={:.3}",
+        acc(tt.train.y(), &knn.predict(tt.train.x())),
+        acc(tt.test.y(), &knn.predict(tt.test.x()))
+    );
+
+    let mut logreg = LogisticRegression::new();
+    logreg.fit(&tt.train).unwrap();
+    println!(
+        "  logistic regression  train={:.3} test={:.3}",
+        acc(tt.train.y(), &logreg.predict(tt.train.x())),
+        acc(tt.test.y(), &logreg.predict(tt.test.x()))
+    );
+
+    let mut mlp = MlpClassifier::new(MlpParams {
+        hidden_layer_sizes: vec![32],
+        learning_rate_init: 0.01,
+        max_iter: 60,
+        ..Default::default()
+    });
+    mlp.fit(&tt.train).unwrap();
+    println!(
+        "  MLP [32]             train={:.3} test={:.3}",
+        acc(tt.train.y(), &mlp.predict(tt.train.x())),
+        acc(tt.test.y(), &mlp.predict(tt.test.x()))
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: enhanced vs vanilla Successive Halving in ~40 lines.
+//!
+//! Generates a synthetic binary-classification dataset with latent group
+//! structure, runs `SHA` (vanilla pipeline) and `SHA+` (the paper's enhanced
+//! pipeline) over an 18-configuration MLP space, and prints both rows.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use enhancing_bhpo::core::harness::{run_method, Method};
+use enhancing_bhpo::core::pipeline::Pipeline;
+use enhancing_bhpo::core::sha::ShaConfig;
+use enhancing_bhpo::core::space::SearchSpace;
+use enhancing_bhpo::data::split::stratified_train_test_split;
+use enhancing_bhpo::data::synth::{make_classification, ClassificationSpec};
+use enhancing_bhpo::models::mlp::MlpParams;
+
+fn main() {
+    // A dataset whose feature blobs correlate with (but don't equal) the
+    // labels — the structure the paper's grouping step exploits.
+    let data = make_classification(
+        &ClassificationSpec {
+            n_instances: 1200,
+            n_features: 12,
+            n_informative: 8,
+            n_classes: 2,
+            n_blobs: 4,
+            label_purity: 0.85,
+            label_noise: 0.05,
+            ..Default::default()
+        },
+        42,
+    );
+    let mut rng = enhancing_bhpo::data::rng::rng_from_seed(42);
+    let tt = stratified_train_test_split(&data, 0.2, &mut rng).expect("clean split");
+
+    // 18 configurations: hidden layer sizes × activation (paper §IV-C).
+    let space = SearchSpace::mlp_cv18();
+    let base = MlpParams {
+        max_iter: 20,
+        ..Default::default()
+    };
+
+    println!(
+        "searching {} configurations with Successive Halving...\n",
+        space.n_configurations()
+    );
+    for pipeline in [Pipeline::vanilla(), Pipeline::enhanced()] {
+        let row = run_method(
+            &tt.train,
+            &tt.test,
+            &space,
+            pipeline,
+            &base,
+            &Method::Sha(ShaConfig::default()),
+            42,
+        );
+        println!(
+            "SHA[{:<8}]  test {}={:.2}%  search={:.2}s  evals={}  best: {}",
+            row.pipeline,
+            row.score_kind,
+            row.test_score * 100.0,
+            row.search_seconds,
+            row.n_evaluations,
+            row.best_config_desc,
+        );
+    }
+}

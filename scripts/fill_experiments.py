@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fills EXPERIMENTS.md placeholders from results/*.txt.
+
+Each `<!-- X_RESULTS -->` marker is replaced by the cleaned output of the
+corresponding experiment binary (cargo noise stripped), fenced as text.
+Re-runnable: the fill is idempotent because markers are kept on their own
+line above the fenced block.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+
+MARKERS = {
+    "TABLE4_RESULTS": ["table4a.txt", "table4b.txt", "table4c.txt"],
+    "FIG4_RESULTS": ["fig4.txt"],
+    "FIG5_RESULTS": ["fig5.txt"],
+    "TABLE5_RESULTS": ["table5.txt"],
+    "FIG6_RESULTS": ["fig6.txt"],
+    "FIG7_RESULTS": ["fig7.txt"],
+    "EXT_RESULTS": ["extensions.txt"],
+}
+
+NOISE = re.compile(
+    r"^(WARNING conda|\s*(Compiling|Finished|Running|Downloaded|warning|note|-->|\||=)\b|warning:)"
+)
+
+
+def clean(path: Path) -> str:
+    if not path.exists():
+        return f"(missing: {path.name})"
+    lines = []
+    for line in path.read_text().splitlines():
+        if NOISE.match(line):
+            continue
+        lines.append(line.rstrip())
+    # collapse leading/trailing blank runs
+    while lines and not lines[0]:
+        lines.pop(0)
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)
+
+
+def main() -> int:
+    exp = ROOT / "EXPERIMENTS.md"
+    text = exp.read_text()
+    for marker, files in MARKERS.items():
+        body = "\n\n".join(clean(RESULTS / f) for f in files)
+        block = f"<!-- {marker} -->\n\n```text\n{body}\n```\n"
+        pattern = re.compile(
+            rf"<!-- {marker} -->\n(?:\n```text\n.*?\n```\n)?", re.DOTALL
+        )
+        if not pattern.search(text):
+            print(f"marker {marker} not found", file=sys.stderr)
+            return 1
+        text = pattern.sub(block, text, count=1)
+    exp.write_text(text)
+    print("EXPERIMENTS.md updated")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper into results/ and refreshes
+# EXPERIMENTS.md. Laptop-sized by default; pass REPEATS/SCALE to override:
+#
+#   REPEATS=5 SCALE=1.0 bash scripts/run_all_experiments.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPEATS="${REPEATS:-4}"
+SCALE="${SCALE:-1.0}"
+BIG_SCALE="${BIG_SCALE:-0.3}"   # a9a / fraud are large; keep their slice smaller
+mkdir -p results
+
+run() { cargo run --release -p hpo-bench --bin "$@"; }
+
+run exp_fig1_sha_schedule                    > results/fig1.txt 2>&1
+run exp_fig3_beta_curve                      > results/fig3.txt 2>&1
+run exp_prop1_stability                      > results/prop1.txt 2>&1
+run exp_table4_hpo_comparison -- --datasets australian,satimage,kc-house \
+    --repeats "$REPEATS" --scale "$SCALE" --max-iter 15        > results/table4a.txt 2>&1
+run exp_table4_hpo_comparison -- --datasets a9a,fraud \
+    --repeats "$REPEATS" --scale "$BIG_SCALE" --max-iter 15    > results/table4b.txt 2>&1
+run exp_fig5_cv_methods -- --datasets australian,satimage \
+    --repeats "$REPEATS" --scale "$SCALE" --max-iter 20        > results/fig5.txt 2>&1
+run exp_table5_grouping_ablation -- --datasets australian,splice,satimage \
+    --repeats "$REPEATS" --scale "$SCALE" --max-iter 20        > results/table5.txt 2>&1
+run exp_fig6_fold_allocation -- --datasets australian,satimage \
+    --repeats "$REPEATS" --scale "$SCALE" --max-iter 20        > results/fig6.txt 2>&1
+run exp_fig7_metric_ablation -- --datasets australian \
+    --repeats "$REPEATS" --scale "$SCALE" --max-iter 20        > results/fig7.txt 2>&1
+run exp_fig4_config_scaling -- --repeats 3 --max-hps 6 --max-layers 3 \
+                                                               > results/fig4.txt 2>&1
+run exp_extension_methods -- --datasets australian --repeats 3 --scale "$SCALE" \
+                                                               > results/extensions.txt 2>&1
+
+python3 scripts/fill_experiments.py
+echo "all experiments recorded in results/ and EXPERIMENTS.md"

@@ -1,0 +1,41 @@
+//! Umbrella crate for the Enhancing-BHPO reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use enhancing_bhpo::...`. See the individual crates
+//! for the real APIs:
+//!
+//! * [`data`] — datasets, synthetic catalog, splits, IO.
+//! * [`cluster`] — k-means and balanced re-clustering.
+//! * [`models`] — the MLP and linear models being tuned.
+//! * [`sampling`] — instance grouping and general/special folds.
+//! * [`metrics`] — accuracy/F1/R², nDCG, and the paper's evaluation score.
+//! * [`core`] — bandit-based optimizers (SHA/HB/BOHB/ASHA/PASHA/DEHB) and
+//!   their enhanced variants.
+//!
+//! ```
+//! use enhancing_bhpo::core::harness::{run_method, Method};
+//! use enhancing_bhpo::core::pipeline::Pipeline;
+//! use enhancing_bhpo::core::sha::ShaConfig;
+//! use enhancing_bhpo::core::space::SearchSpace;
+//! use enhancing_bhpo::data::synth::catalog::PaperDataset;
+//! use enhancing_bhpo::models::mlp::MlpParams;
+//!
+//! let tt = PaperDataset::Australian.load(0.2, 42);
+//! let space = SearchSpace::mlp_cv18();
+//! let base = MlpParams { max_iter: 3, ..Default::default() };
+//! let row = run_method(
+//!     &tt.train, &tt.test, &space,
+//!     Pipeline::enhanced(), &base,
+//!     &Method::Sha(ShaConfig::default()), 42,
+//! );
+//! assert!(row.test_score.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hpo_cluster as cluster;
+pub use hpo_core as core;
+pub use hpo_data as data;
+pub use hpo_metrics as metrics;
+pub use hpo_models as models;
+pub use hpo_sampling as sampling;

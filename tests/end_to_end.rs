@@ -1,0 +1,206 @@
+//! End-to-end integration tests spanning all crates.
+
+use enhancing_bhpo::core::harness::{run_method, Method};
+use enhancing_bhpo::core::pipeline::Pipeline;
+use enhancing_bhpo::core::random_search::RandomSearchConfig;
+use enhancing_bhpo::core::sha::ShaConfig;
+use enhancing_bhpo::core::space::SearchSpace;
+use enhancing_bhpo::data::split::stratified_train_test_split;
+use enhancing_bhpo::data::synth::catalog::PaperDataset;
+use enhancing_bhpo::data::synth::{make_classification, ClassificationSpec};
+use enhancing_bhpo::models::mlp::MlpParams;
+
+fn quick_base() -> MlpParams {
+    MlpParams {
+        max_iter: 8,
+        ..Default::default()
+    }
+}
+
+/// A dataset with strong latent group structure that small random subsets
+/// misrepresent — the regime the paper's method targets.
+fn grouped_dataset(seed: u64) -> enhancing_bhpo::data::Dataset {
+    make_classification(
+        &ClassificationSpec {
+            n_instances: 500,
+            n_features: 8,
+            n_informative: 8,
+            n_classes: 2,
+            n_blobs: 4,
+            label_purity: 0.85,
+            label_noise: 0.05,
+            blob_spread: 0.4,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn sha_plus_end_to_end_produces_competitive_accuracy() {
+    let data = grouped_dataset(1);
+    let mut rng = enhancing_bhpo::data::rng::rng_from_seed(1);
+    let tt = stratified_train_test_split(&data, 0.25, &mut rng).unwrap();
+    let space = SearchSpace::mlp_cv18();
+    let row = run_method(
+        &tt.train,
+        &tt.test,
+        &space,
+        Pipeline::enhanced(),
+        &quick_base(),
+        &Method::Sha(ShaConfig::default()),
+        1,
+    );
+    assert!(
+        row.test_score > 0.7,
+        "SHA+ should solve this easy problem: {}",
+        row.test_score
+    );
+    assert_eq!(row.pipeline, "enhanced");
+    // SHA over 18 configs evaluates 18+9+5+3+2 = 37 times with eta=2.
+    assert_eq!(row.n_evaluations, 37);
+}
+
+#[test]
+fn every_method_runs_both_pipelines_on_classification() {
+    let data = grouped_dataset(2);
+    let mut rng = enhancing_bhpo::data::rng::rng_from_seed(2);
+    let tt = stratified_train_test_split(&data, 0.25, &mut rng).unwrap();
+    let space = SearchSpace::mlp_cv18();
+    let methods: Vec<Method> = vec![
+        Method::Random(RandomSearchConfig { n_samples: 3 }),
+        Method::Sha(ShaConfig::default()),
+        Method::Hyperband(enhancing_bhpo::core::hyperband::HyperbandConfig::default()),
+        Method::Bohb(enhancing_bhpo::core::bohb::BohbConfig::default()),
+        Method::Asha(enhancing_bhpo::core::asha::AshaConfig {
+            workers: 2,
+            n_configs: 8,
+            ..Default::default()
+        }),
+    ];
+    for method in &methods {
+        for pipeline in [Pipeline::vanilla(), Pipeline::enhanced()] {
+            let label = pipeline.label.clone();
+            let row = run_method(
+                &tt.train,
+                &tt.test,
+                &space,
+                pipeline,
+                &quick_base(),
+                method,
+                2,
+            );
+            assert!(
+                (0.0..=1.0).contains(&row.test_score),
+                "{} [{}] produced score {}",
+                row.method,
+                label,
+                row.test_score
+            );
+            assert!(row.n_evaluations > 0);
+            assert!(row.search_cost_units > 0);
+        }
+    }
+}
+
+#[test]
+fn regression_task_end_to_end_with_enhanced_pipeline() {
+    let tt = PaperDataset::KcHouse.load(0.05, 3);
+    let space = SearchSpace::mlp_cv18();
+    let row = run_method(
+        &tt.train,
+        &tt.test,
+        &space,
+        Pipeline::enhanced(),
+        &MlpParams {
+            max_iter: 15,
+            ..Default::default()
+        },
+        &Method::Sha(ShaConfig::default()),
+        3,
+    );
+    assert_eq!(row.score_kind, "r2");
+    assert!(
+        row.test_score > 0.3,
+        "regression R² too low: {}",
+        row.test_score
+    );
+}
+
+#[test]
+fn imbalanced_dataset_uses_f1_and_merges_rare_classes() {
+    let tt = PaperDataset::Fraud.load(0.05, 4);
+    let space = SearchSpace::mlp_cv18();
+    let row = run_method(
+        &tt.train,
+        &tt.test,
+        &space,
+        Pipeline::enhanced(),
+        &quick_base(),
+        &Method::Sha(ShaConfig::default()),
+        4,
+    );
+    assert_eq!(row.score_kind, "f1");
+    assert!(row.test_score > 0.8, "F1 too low: {}", row.test_score);
+}
+
+#[test]
+fn full_run_is_deterministic_per_seed() {
+    let data = grouped_dataset(5);
+    let mut rng = enhancing_bhpo::data::rng::rng_from_seed(5);
+    let tt = stratified_train_test_split(&data, 0.25, &mut rng).unwrap();
+    let space = SearchSpace::mlp_cv18();
+    let run = || {
+        run_method(
+            &tt.train,
+            &tt.test,
+            &space,
+            Pipeline::enhanced(),
+            &quick_base(),
+            &Method::Sha(ShaConfig::default()),
+            55,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.best_config, b.best_config);
+    assert_eq!(a.test_score, b.test_score);
+    assert_eq!(a.search_cost_units, b.search_cost_units);
+}
+
+#[test]
+fn catalog_datasets_all_run_a_small_search() {
+    // Every stand-in must survive the full pipeline (grouping included).
+    let space = SearchSpace::mlp_table3(1); // 6 configs, fast
+    for ds in PaperDataset::ALL {
+        let tt = ds.load(0.05, 6);
+        let row = run_method(
+            &tt.train,
+            &tt.test,
+            &space,
+            Pipeline::enhanced(),
+            &MlpParams {
+                max_iter: 3,
+                ..Default::default()
+            },
+            &Method::Sha(ShaConfig::default()),
+            6,
+        );
+        // Accuracy/F1 live in [0,1]; R² of a barely-trained net can be very
+        // negative but must be finite and at most 1.
+        assert!(
+            row.test_score.is_finite() && row.test_score <= 1.0 + 1e-9,
+            "{}: bad score {}",
+            ds.name(),
+            row.test_score
+        );
+        if row.score_kind != "r2" {
+            assert!(
+                row.test_score >= 0.0,
+                "{}: negative classification score {}",
+                ds.name(),
+                row.test_score
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Cross-crate checks of the paper's stated properties.
+
+use enhancing_bhpo::core::evaluator::CvEvaluator;
+use enhancing_bhpo::core::pipeline::Pipeline;
+use enhancing_bhpo::core::sha::{sha_on_grid, ShaConfig};
+use enhancing_bhpo::core::space::SearchSpace;
+use enhancing_bhpo::data::synth::{make_classification, ClassificationSpec};
+use enhancing_bhpo::metrics::score::beta_weight;
+use enhancing_bhpo::metrics::EvalMetric;
+use enhancing_bhpo::models::mlp::MlpParams;
+use enhancing_bhpo::sampling::stability::{group_sampling_variance, random_sampling_variance};
+
+#[test]
+fn table_iii_space_is_the_papers_162_grid() {
+    // 4 hyperparameters -> 6·3·3·3 = 162 (paper §IV-B).
+    let space = SearchSpace::mlp_table3(4);
+    assert_eq!(space.n_configurations(), 162);
+    // §IV-C uses 6·3 = 18.
+    assert_eq!(SearchSpace::mlp_cv18().n_configurations(), 18);
+}
+
+#[test]
+fn sha_budget_schedule_matches_figure_1() {
+    // B/|T| budgets over an 8-candidate run, eta = 2 (Fig. 1).
+    let data = make_classification(
+        &ClassificationSpec {
+            n_instances: 400,
+            ..Default::default()
+        },
+        1,
+    );
+    let base = MlpParams {
+        hidden_layer_sizes: vec![4],
+        max_iter: 2,
+        ..Default::default()
+    };
+    let ev = CvEvaluator::new(&data, Pipeline::vanilla(), base.clone(), 1);
+    let space = SearchSpace::mlp_table3(1); // 6 configs
+    let result = sha_on_grid(
+        &ev,
+        &space,
+        &base,
+        &ShaConfig {
+            eta: 2,
+            min_budget: 10,
+        },
+        0,
+    );
+    // rung budgets: 400/6=66, 400/3=133, 400/2=200
+    let budgets: Vec<usize> = (0..3)
+        .filter_map(|r| result.history.rung(r).next().map(|t| t.budget))
+        .collect();
+    assert_eq!(budgets, vec![66, 133, 200]);
+}
+
+#[test]
+fn eq3_reduces_to_vanilla_at_full_budget() {
+    // Paper §III-C: at large subsets the mean dominates; at γ=100 the
+    // enhanced metric *is* the vanilla metric.
+    let metric = EvalMetric::paper_default();
+    for (mean, std) in [(0.7, 0.1), (0.9, 0.02), (0.5, 0.3)] {
+        let enhanced = metric.score(mean, std, 100.0);
+        assert!(
+            (enhanced - mean).abs() < 1e-9,
+            "Eq.3 at γ=100 drifted: {enhanced} vs {mean}"
+        );
+    }
+}
+
+#[test]
+fn beta_max_recommendation_normalizes_the_weight() {
+    // Paper: β_max = 1/α so α·β ≤ 1.
+    let alpha = 0.1;
+    let beta_max = 1.0 / alpha;
+    for gamma in [0.5, 5.0, 25.0, 75.0, 99.0] {
+        let combined = alpha * beta_weight(gamma, beta_max);
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&combined),
+            "α·β(γ={gamma}) = {combined} escapes [0,1]"
+        );
+    }
+}
+
+#[test]
+fn proposition_1_grouping_never_increases_variance() {
+    for n in [10usize, 40, 100] {
+        for p in [0.3f64, 0.5, 0.7] {
+            let upper = p.min(1.0 - p);
+            for step in 0..=10 {
+                let eps = upper * step as f64 / 10.0;
+                let ours = group_sampling_variance(n, p, eps);
+                let random = random_sampling_variance(n, p);
+                assert!(
+                    ours <= random + 1e-12,
+                    "group variance exceeded random at n={n} p={p} eps={eps}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn enhanced_scores_are_at_least_the_mean_on_small_subsets() {
+    // With positive α and σ, the paper's score adds a non-negative bonus.
+    let data = make_classification(
+        &ClassificationSpec {
+            n_instances: 300,
+            n_blobs: 3,
+            ..Default::default()
+        },
+        2,
+    );
+    let base = MlpParams {
+        hidden_layer_sizes: vec![6],
+        max_iter: 4,
+        ..Default::default()
+    };
+    let ev = CvEvaluator::new(&data, Pipeline::enhanced(), base.clone(), 2);
+    for budget in [30, 60, 150, 300] {
+        let out = ev.evaluate(&base, budget, 0);
+        assert!(
+            out.score >= out.fold_scores.mean() - 1e-12,
+            "budget {budget}: score {} below mean {}",
+            out.score,
+            out.fold_scores.mean()
+        );
+    }
+}
+
+#[test]
+fn group_draws_have_lower_composition_variance_than_random_draws() {
+    // Proposition 1 on the actual fold machinery: across many independent
+    // draws, the group share of a group-stratified subset varies less than
+    // that of a random subset.
+    use enhancing_bhpo::data::rng::rng_from_seed;
+    use enhancing_bhpo::sampling::groups::Grouping;
+    use enhancing_bhpo::sampling::FoldStrategy;
+
+    let n = 400;
+    let grouping = Grouping {
+        group_of: (0..n).map(|i| i % 2).collect(),
+        n_groups: 2,
+        label_category: vec![0; n],
+        n_label_categories: 1,
+    };
+    let labels = vec![0usize; n];
+    let budget = 40;
+    let share_variance = |strategy: FoldStrategy| {
+        let shares: Vec<f64> = (0..60)
+            .map(|seed| {
+                let mut rng = rng_from_seed(seed);
+                let folds = strategy.build(n, &labels, 1, Some(&grouping), budget, &mut rng);
+                let drawn: Vec<usize> = folds.into_iter().flatten().collect();
+                let g0 = drawn.iter().filter(|&&i| grouping.group_of[i] == 0).count();
+                g0 as f64 / drawn.len() as f64
+            })
+            .collect();
+        let m = shares.iter().sum::<f64>() / shares.len() as f64;
+        shares.iter().map(|s| (s - m).powi(2)).sum::<f64>() / shares.len() as f64
+    };
+    let random_var = share_variance(FoldStrategy::Random { k: 5 });
+    let group_var = share_variance(FoldStrategy::StratifiedGroup { k: 5 });
+    assert!(
+        group_var < random_var,
+        "group draws should be more stable: {group_var} vs {random_var}"
+    );
+    // And the group-stratified share is essentially exact every draw.
+    assert!(group_var < 1e-4, "group composition variance {group_var}");
+}
+
+#[test]
+fn grouping_cost_is_negligible_next_to_training() {
+    // Paper §III-E: grouping ≈ one epoch of a 25-neuron hidden layer.
+    // Check the deterministic cost model agrees within an order of magnitude:
+    // k-means cost ~ n·f·v·iters vs one epoch ~ 3·n·(f·25 + 25·2).
+    let (n, f, v, iters) = (2000u64, 20u64, 3u64, 10u64);
+    let kmeans_cost = n * f * v * iters;
+    let epoch_cost = 3 * n * (f * 25 + 25 * 2);
+    assert!(
+        kmeans_cost < epoch_cost,
+        "clustering ({kmeans_cost}) should cost less than one epoch ({epoch_cost})"
+    );
+}

@@ -1,0 +1,163 @@
+//! Property-based tests on the core invariants (proptest).
+
+use enhancing_bhpo::data::rng::rng_from_seed;
+use enhancing_bhpo::metrics::ranking::{kendall_tau, ndcg, spearman};
+use enhancing_bhpo::metrics::score::beta_weight;
+use enhancing_bhpo::metrics::{EvalMetric, FoldScores};
+use enhancing_bhpo::sampling::folds::{gen_folds, GenFoldsConfig};
+use enhancing_bhpo::sampling::groups::{gen_groups, Grouping};
+use enhancing_bhpo::sampling::kfold::{split_into_k, stratified_split_into_k};
+use enhancing_bhpo::sampling::stability::{binomial_pmf, group_pmf};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Operation 1 always outputs a partition into < v groups, whatever the
+    /// cluster/class structure.
+    #[test]
+    fn gen_groups_is_total_and_in_range(
+        assignments in proptest::collection::vec((0usize..4, 0usize..5), 1..200)
+    ) {
+        let clusters: Vec<usize> = assignments.iter().map(|&(c, _)| c).collect();
+        let classes: Vec<usize> = assignments.iter().map(|&(_, y)| y).collect();
+        let groups = gen_groups(&clusters, &classes, 4, 5);
+        prop_assert_eq!(groups.len(), clusters.len());
+        prop_assert!(groups.iter().all(|&g| g < 4));
+    }
+
+    /// Operation 2 folds are disjoint, exactly fill the budget, and have
+    /// near-equal sizes, for any group structure and fold mix.
+    #[test]
+    fn gen_folds_partitions_the_budget(
+        group_of in proptest::collection::vec(0usize..3, 30..150),
+        k_spe in 0usize..=5,
+        budget_frac in 0.3f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let n = group_of.len();
+        let grouping = Grouping {
+            group_of,
+            n_groups: 3,
+            label_category: vec![0; n],
+            n_label_categories: 1,
+        };
+        let cfg = GenFoldsConfig { k_gen: 5 - k_spe, k_spe, special_own_frac: 0.8 };
+        let budget = ((n as f64) * budget_frac) as usize;
+        prop_assume!(budget >= 5);
+        let mut rng = rng_from_seed(seed);
+        let folds = gen_folds(&grouping, budget, &cfg, &mut rng);
+        prop_assert_eq!(folds.len(), 5);
+        let all: Vec<usize> = folds.iter().flatten().copied().collect();
+        let set: HashSet<usize> = all.iter().copied().collect();
+        prop_assert_eq!(all.len(), set.len(), "folds overlap");
+        prop_assert_eq!(all.len(), budget.min(n));
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "uneven folds: {:?}", sizes);
+    }
+
+    /// Vanilla K-fold splitters produce exact partitions too.
+    #[test]
+    fn kfold_splitters_partition(
+        n in 10usize..200,
+        k in 2usize..=5,
+        seed in 0u64..1000,
+    ) {
+        let indices: Vec<usize> = (0..n).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let mut rng = rng_from_seed(seed);
+        for folds in [
+            split_into_k(&indices, k, &mut rng),
+            stratified_split_into_k(&indices, &labels, 3, k, &mut rng),
+        ] {
+            let all: Vec<usize> = folds.iter().flatten().copied().collect();
+            let set: HashSet<usize> = all.iter().copied().collect();
+            prop_assert_eq!(all.len(), n);
+            prop_assert_eq!(set.len(), n);
+        }
+    }
+
+    /// β(γ) is bounded, monotone non-increasing, and symmetric about 50%.
+    #[test]
+    fn beta_weight_properties(
+        beta_max in 0.5f64..40.0,
+        g1 in 0.0f64..=100.0,
+        g2 in 0.0f64..=100.0,
+    ) {
+        let b1 = beta_weight(g1, beta_max);
+        let b2 = beta_weight(g2, beta_max);
+        prop_assert!((0.0..=beta_max + 1e-9).contains(&b1));
+        if g1 < g2 {
+            prop_assert!(b1 >= b2 - 1e-9, "not monotone: β({g1})={b1} < β({g2})={b2}");
+        }
+        let d = (g1 - 50.0).abs().min(49.0);
+        let sym = beta_weight(50.0 - d, beta_max) + beta_weight(50.0 + d, beta_max);
+        prop_assert!((sym - beta_max).abs() < 1e-6, "not symmetric at d={d}: {sym}");
+    }
+
+    /// Eq. 3 never scores below the fold mean (α, σ, β all non-negative)
+    /// and coincides with the mean at γ = 100.
+    #[test]
+    fn eq3_score_bounds(
+        folds in proptest::collection::vec(0.0f64..=1.0, 1..10),
+        gamma in 0.01f64..=100.0,
+    ) {
+        let fs = FoldScores::new(folds, gamma);
+        let metric = EvalMetric::paper_default();
+        prop_assert!(fs.score(&metric) >= fs.mean() - 1e-12);
+        let full = FoldScores::new(fs.folds.clone(), 100.0);
+        prop_assert!((full.score(&metric) - full.mean()).abs() < 1e-9);
+    }
+
+    /// Ranking metrics stay in their documented ranges.
+    #[test]
+    fn ranking_metric_ranges(
+        scores in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 2..50)
+    ) {
+        let a: Vec<f64> = scores.iter().map(|&(x, _)| x).collect();
+        let b: Vec<f64> = scores.iter().map(|&(_, y)| y).collect();
+        let n = ndcg(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&n), "ndcg {n}");
+        let s = spearman(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s), "spearman {s}");
+        let k = kendall_tau(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&k), "kendall {k}");
+        // identical rankings are perfect
+        prop_assert!((ndcg(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    /// The Proposition 1 mixture pmf is a distribution for any (p, ε).
+    #[test]
+    fn group_pmf_is_a_distribution(
+        half in 1usize..15,
+        p in 0.05f64..0.95,
+        eps_frac in 0.0f64..=1.0,
+    ) {
+        let n = 2 * half;
+        let eps = eps_frac * p.min(1.0 - p);
+        let total: f64 = (0..=n).map(|x| group_pmf(x, n, p, eps)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "pmf sums to {total}");
+        let btotal: f64 = (0..=n).map(|x| binomial_pmf(x, n, p)).sum();
+        prop_assert!((btotal - 1.0).abs() < 1e-6);
+    }
+
+    /// k-means never loses points and assigns everything in range.
+    #[test]
+    fn kmeans_assignments_are_total(
+        seed in 0u64..200,
+        n in 10usize..80,
+        k in 1usize..5,
+    ) {
+        prop_assume!(k <= n);
+        use enhancing_bhpo::cluster::kmeans::{kmeans, KMeansConfig};
+        use enhancing_bhpo::data::Matrix;
+        let mut rng = rng_from_seed(seed);
+        use rand::Rng;
+        let data: Vec<f64> = (0..n * 3).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let x = Matrix::from_vec(n, 3, data).unwrap();
+        let result = kmeans(&x, &KMeansConfig { k, seed, ..Default::default() });
+        prop_assert_eq!(result.assignments.len(), n);
+        prop_assert!(result.assignments.iter().all(|&a| a < k));
+        prop_assert!(result.inertia >= 0.0);
+    }
+}
