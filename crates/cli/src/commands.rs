@@ -5,7 +5,9 @@ use hpo_core::asha::AshaConfig;
 use hpo_core::bohb::BohbConfig;
 use hpo_core::dehb::DehbConfig;
 use hpo_core::evaluator::CvEvaluator;
-use hpo_core::harness::{run_method, Method};
+use hpo_core::exec::{compare_scores, FailurePolicy};
+use hpo_core::harness::{run_method_with, Method, RunOptions};
+use hpo_core::persist::save_run_result_file;
 use hpo_core::hyperband::HyperbandConfig;
 use hpo_core::pasha::PashaConfig;
 use hpo_core::pipeline::Pipeline;
@@ -129,6 +131,18 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
     let method = parse_method(flags)?;
     let pipeline = parse_pipeline(flags)?;
 
+    let trial_timeout: f64 = flags.get_or("trial-timeout", 0.0)?;
+    let opts = RunOptions {
+        failure_policy: FailurePolicy {
+            max_retries: flags.get_or("max-retries", 1u32)?,
+            trial_timeout_secs: (trial_timeout > 0.0).then_some(trial_timeout),
+            ..Default::default()
+        },
+        checkpoint: flags.get("checkpoint").map(std::path::PathBuf::from),
+        checkpoint_every: flags.get_or("checkpoint-every", 1usize)?,
+        resume: flags.get("resume").is_some(),
+    };
+
     eprintln!(
         "optimizing {} configurations on {} train / {} test instances ({} features, {})...",
         space.n_configurations(),
@@ -141,7 +155,7 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
             "regression"
         },
     );
-    let row = run_method(&train, &test, &space, pipeline, &base, &method, seed);
+    let row = run_method_with(&train, &test, &space, pipeline, &base, &method, seed, &opts);
     println!(
         "method={} pipeline={} {}: train {:.4} test {:.4}",
         row.method, row.pipeline, row.score_kind, row.train_score, row.test_score
@@ -153,11 +167,14 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
         row.n_evaluations,
         row.search_cost_units as f64 / 1e9
     );
+    if row.n_failures > 0 || row.n_resumed > 0 {
+        println!(
+            "robustness: {} failed trials (imputed), {} resumed from checkpoint",
+            row.n_failures, row.n_resumed
+        );
+    }
     if let Some(path) = flags.get("json") {
-        std::fs::write(
-            path,
-            serde_json::to_string_pretty(&row).expect("row serializes"),
-        )?;
+        save_run_result_file(&row, path).map_err(|e| CliError(e.to_string()))?;
         eprintln!("wrote {path}");
     }
     Ok(())
@@ -200,7 +217,7 @@ pub fn cross_validate(flags: &Flags) -> Result<(), CliError> {
             )
         })
         .collect();
-    rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+    rows.sort_by(|a, b| compare_scores(b.3, a.3));
     for (desc, mean, std, score) in rows {
         println!("  score={score:.4}  µ={mean:.4} σ={std:.4}  {desc}");
     }

@@ -8,13 +8,19 @@
 //! matching the paper's description of ASHA as the parallel improvement over
 //! Hyperband.
 
-use crate::evaluator::CvEvaluator;
+use crate::evaluator::EvalOutcome;
+use crate::exec::{compare_scores, TrialEvaluator};
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_data::rng::derive_seed;
 use hpo_models::mlp::MlpParams;
 use parking_lot::Mutex;
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How many times a job whose evaluation panicked is handed to another
+/// worker before it is recorded as failed with an imputed score.
+const MAX_WORKER_REQUEUES: u32 = 2;
 
 /// ASHA settings.
 #[derive(Clone, Debug)]
@@ -54,6 +60,8 @@ pub struct AshaResult {
 struct Job {
     config_id: usize,
     rung: usize,
+    /// How many workers have already died evaluating this job.
+    attempts: u32,
 }
 
 /// Shared scheduler state.
@@ -66,13 +74,21 @@ struct Shared {
     next_fresh: usize,
     /// Jobs currently being evaluated.
     in_flight: usize,
+    /// Jobs whose worker panicked, waiting to be retried. Popped before any
+    /// promotion or fresh launch so a crashed trial is never lost.
+    requeued: Vec<Job>,
 }
 
 impl Shared {
-    /// The ASHA promotion rule: find, from the highest rung down, a completed
-    /// configuration in the top `1/η` of its rung that hasn't been promoted;
-    /// otherwise launch a fresh rung-0 configuration.
+    /// The ASHA promotion rule: drain requeued (crashed) jobs first, then
+    /// find, from the highest rung down, a completed configuration in the
+    /// top `1/η` of its rung that hasn't been promoted; otherwise launch a
+    /// fresh rung-0 configuration.
     fn next_job(&mut self, eta: usize, max_rung: usize, n_configs: usize) -> Option<Job> {
+        if let Some(job) = self.requeued.pop() {
+            self.in_flight += 1;
+            return Some(job);
+        }
         for rung in (0..max_rung).rev() {
             let done = &self.results[rung];
             let k = done.len() / eta;
@@ -81,7 +97,7 @@ impl Shared {
             }
             // top-k of this rung so far
             let mut sorted: Vec<&(usize, f64)> = done.iter().collect();
-            sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            sorted.sort_by(|a, b| compare_scores(b.1, a.1));
             for &&(config_id, _) in sorted.iter().take(k) {
                 if !self.promoted[rung].contains(&config_id) {
                     self.promoted[rung].insert(config_id);
@@ -89,6 +105,7 @@ impl Shared {
                     return Some(Job {
                         config_id,
                         rung: rung + 1,
+                        attempts: 0,
                     });
                 }
             }
@@ -100,6 +117,7 @@ impl Shared {
             return Some(Job {
                 config_id: id,
                 rung: 0,
+                attempts: 0,
             });
         }
         None
@@ -113,8 +131,8 @@ impl Shared {
 ///
 /// # Panics
 /// Panics when `eta < 2`, `workers == 0`, or `n_configs == 0`.
-pub fn asha(
-    evaluator: &CvEvaluator<'_>,
+pub fn asha<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
     space: &SearchSpace,
     base_params: &MlpParams,
     config: &AshaConfig,
@@ -143,6 +161,7 @@ pub fn asha(
         promoted: vec![HashSet::new(); budgets.len()],
         next_fresh: 0,
         in_flight: 0,
+        requeued: Vec::new(),
     });
     let history = Mutex::new(History::new());
 
@@ -172,18 +191,65 @@ pub fn asha(
                 // Fold streams per the pipeline (see sha.rs).
                 let eval_stream =
                     evaluator.fold_stream(stream, job.rung as u64, job.config_id as u64);
-                let outcome = evaluator.evaluate(&params, budgets[job.rung], eval_stream);
-                {
-                    let mut s = shared.lock();
-                    s.results[job.rung].push((job.config_id, outcome.score));
-                    s.in_flight -= 1;
+                // `evaluate_trial` already retries and imputes per the
+                // failure policy; this extra layer contains panics that
+                // escape it (e.g. a custom evaluator dying outright) so one
+                // crashed worker iteration can neither deadlock the pool nor
+                // lose the trial.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    evaluator.evaluate_trial(&params, budgets[job.rung], eval_stream)
+                }));
+                match result {
+                    Ok(outcome) => {
+                        {
+                            let mut s = shared.lock();
+                            s.results[job.rung].push((job.config_id, outcome.score));
+                            s.in_flight -= 1;
+                        }
+                        history.lock().push(Trial {
+                            config: cand.clone(),
+                            budget: budgets[job.rung],
+                            rung: job.rung,
+                            outcome,
+                        });
+                    }
+                    Err(_) if job.attempts < MAX_WORKER_REQUEUES => {
+                        // Decrement and requeue under one lock: either this
+                        // worker (still looping) or any non-idle peer pops
+                        // the job again, so it cannot be orphaned.
+                        let mut s = shared.lock();
+                        s.in_flight -= 1;
+                        s.requeued.push(Job {
+                            attempts: job.attempts + 1,
+                            ..job
+                        });
+                    }
+                    Err(_) => {
+                        // Give up: record the trial as failed with the
+                        // policy's imputed score so rung accounting (and any
+                        // promotion maths downstream) still sees it.
+                        let imputed = evaluator.failure_policy().imputed_score;
+                        let total = evaluator.total_budget().max(1);
+                        let gamma_pct =
+                            100.0 * budgets[job.rung].min(total) as f64 / total as f64;
+                        {
+                            let mut s = shared.lock();
+                            s.results[job.rung].push((job.config_id, imputed));
+                            s.in_flight -= 1;
+                        }
+                        history.lock().push(Trial {
+                            config: cand.clone(),
+                            budget: budgets[job.rung],
+                            rung: job.rung,
+                            outcome: EvalOutcome::failed(
+                                job.attempts + 1,
+                                imputed,
+                                gamma_pct,
+                                0.0,
+                            ),
+                        });
+                    }
                 }
-                history.lock().push(Trial {
-                    config: cand.clone(),
-                    budget: budgets[job.rung],
-                    rung: job.rung,
-                    outcome,
-                });
             });
         }
     });
@@ -196,10 +262,7 @@ pub fn asha(
         .iter()
         .rev()
         .find(|r| !r.is_empty())
-        .and_then(|r| {
-            r.iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-        })
+        .and_then(|r| r.iter().max_by(|a, b| compare_scores(a.1, b.1)))
         .map(|&(id, _)| id)
         .expect("at least one evaluation completed");
 
@@ -212,6 +275,7 @@ pub fn asha(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluator::CvEvaluator;
     use crate::pipeline::Pipeline;
     use hpo_data::synth::{make_classification, ClassificationSpec};
 

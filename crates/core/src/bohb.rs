@@ -8,7 +8,7 @@
 //! gets add-one-smoothed frequency models `l(x)` and `g(x)`, and candidates
 //! drawn from `l` are ranked by the acquisition ratio `l(x)/g(x)`.
 
-use crate::evaluator::CvEvaluator;
+use crate::exec::{compare_scores, TrialEvaluator};
 use crate::hyperband::{hyperband_with_sampler, ConfigSampler, HyperbandConfig, HyperbandResult};
 use crate::space::{Configuration, SearchSpace};
 use hpo_data::rng::{derive_seed, rng_from_seed};
@@ -106,7 +106,7 @@ impl TpeSampler {
         let budget = self.model_budget()?;
         let obs = &self.observations[&budget];
         let mut sorted: Vec<&(Configuration, f64)> = obs.iter().collect();
-        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(|a, b| compare_scores(b.1, a.1));
         let n_good = ((obs.len() as f64 * self.config.top_fraction).ceil() as usize)
             .clamp(1, obs.len().saturating_sub(1).max(1));
         let good: Vec<&Configuration> = sorted[..n_good].iter().map(|o| &o.0).collect();
@@ -194,8 +194,8 @@ impl ConfigSampler for TpeSampler {
 }
 
 /// Runs BOHB: Hyperband brackets with the TPE sampler.
-pub fn bohb(
-    evaluator: &CvEvaluator<'_>,
+pub fn bohb<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
     space: &SearchSpace,
     base_params: &MlpParams,
     config: &BohbConfig,
@@ -215,6 +215,7 @@ pub fn bohb(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluator::CvEvaluator;
     use crate::pipeline::Pipeline;
     use hpo_data::synth::{make_classification, ClassificationSpec};
 

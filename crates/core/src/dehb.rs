@@ -13,7 +13,7 @@
 //! `DESIGN.md`; selection pressure comes from mutating around the archive's
 //! top performers.
 
-use crate::evaluator::CvEvaluator;
+use crate::exec::{compare_scores, TrialEvaluator};
 use crate::hyperband::{hyperband_with_sampler, ConfigSampler, HyperbandConfig, HyperbandResult};
 use crate::space::{Configuration, SearchSpace};
 use hpo_data::rng::{derive_seed, rng_from_seed};
@@ -109,11 +109,7 @@ impl DeSampler {
         // Parent pool: the top fraction by score (prefer larger budgets by
         // sorting on (score) within the archive's latest budget tier).
         let mut ranked: Vec<&(Vec<f64>, f64, usize)> = self.archive.iter().collect();
-        ranked.sort_by(|a, b| {
-            (b.2, b.1)
-                .partial_cmp(&(a.2, a.1))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        ranked.sort_by(|a, b| b.2.cmp(&a.2).then(compare_scores(b.1, a.1)));
         let pool = ((ranked.len() as f64) * self.config.parent_fraction).ceil() as usize;
         let pool = pool.clamp(3, ranked.len());
         let pick = |rng: &mut dyn rand::RngCore| ranked[rng.gen_range(0..pool)].0.clone();
@@ -192,8 +188,8 @@ impl ConfigSampler for DeSampler {
 }
 
 /// Runs DEHB: the Hyperband skeleton with the DE sampler.
-pub fn dehb(
-    evaluator: &CvEvaluator<'_>,
+pub fn dehb<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
     space: &SearchSpace,
     base_params: &MlpParams,
     config: &DehbConfig,
@@ -213,6 +209,7 @@ pub fn dehb(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluator::CvEvaluator;
     use crate::pipeline::Pipeline;
     use hpo_data::synth::{make_classification, ClassificationSpec};
 

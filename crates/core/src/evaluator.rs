@@ -6,6 +6,7 @@
 //! held-out fold, and
 //! reduce the fold scores with the pipeline's [`hpo_metrics::EvalMetric`].
 
+use crate::exec::FailurePolicy;
 use crate::pipeline::Pipeline;
 use hpo_data::dataset::{Dataset, Task};
 use hpo_data::rng::{derive_seed, rng_from_seed};
@@ -70,6 +71,37 @@ impl ScoreKind {
     }
 }
 
+/// How one trial evaluation terminated.
+///
+/// Everything except [`TrialStatus::Completed`] is a *failure* outcome: the
+/// score carried by the trial is then the failure policy's imputed
+/// worst-score, so bandit optimizers demote the configuration
+/// deterministically instead of crashing (see `exec` module docs and
+/// DESIGN.md "Failure semantics").
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrialStatus {
+    /// The evaluation ran to completion with a finite score.
+    #[default]
+    Completed,
+    /// The score (or a fold score) was non-finite — e.g. a diverging MLP —
+    /// and retries were exhausted.
+    Diverged,
+    /// The trial exceeded the policy's wall-clock or cost deadline.
+    TimedOut,
+    /// The evaluation panicked on every attempt.
+    Failed {
+        /// Number of attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl TrialStatus {
+    /// Whether the trial completed normally.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TrialStatus::Completed)
+    }
+}
+
 /// Result of evaluating one configuration at one budget.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct EvalOutcome {
@@ -81,6 +113,24 @@ pub struct EvalOutcome {
     pub cost_units: u64,
     /// Wall-clock seconds the evaluation took.
     pub wall_seconds: f64,
+    /// How the evaluation terminated. Defaults to `Completed` so histories
+    /// persisted before failure tracking still deserialize.
+    #[serde(default)]
+    pub status: TrialStatus,
+}
+
+impl EvalOutcome {
+    /// A synthetic outcome for a trial that panicked on every attempt: no
+    /// folds, the policy's imputed score, `Failed` status.
+    pub fn failed(attempts: u32, imputed_score: f64, gamma_pct: f64, wall_seconds: f64) -> Self {
+        EvalOutcome {
+            fold_scores: FoldScores::new(Vec::new(), gamma_pct),
+            score: imputed_score,
+            cost_units: 0,
+            wall_seconds,
+            status: TrialStatus::Failed { attempts },
+        }
+    }
 }
 
 /// The cross-validation evaluator (see module docs).
@@ -97,6 +147,8 @@ pub struct CvEvaluator<'a> {
     /// Total budget `B` (= training instances, as in the paper).
     total_budget: usize,
     seed: u64,
+    /// Retry/deadline/imputation rules for failed trials.
+    policy: FailurePolicy,
 }
 
 impl<'a> CvEvaluator<'a> {
@@ -128,7 +180,19 @@ impl<'a> CvEvaluator<'a> {
             base_params,
             total_budget: train.n_instances(),
             seed,
+            policy: FailurePolicy::default(),
         }
+    }
+
+    /// Replaces the failure policy (builder style).
+    pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The retry/deadline/imputation rules this evaluator runs under.
+    pub fn failure_policy(&self) -> &FailurePolicy {
+        &self.policy
     }
 
     /// The training dataset under evaluation.
@@ -179,13 +243,18 @@ impl<'a> CvEvaluator<'a> {
     /// Evaluates `params` with `budget` instances. `stream` decorrelates the
     /// fold sampling across configurations and rungs.
     pub fn evaluate(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
-        self.evaluate_fn(budget, stream, |fold, train_sub, val_sub| {
+        let mut diverged_folds = 0usize;
+        let mut out = self.evaluate_fn(budget, stream, |fold, train_sub, val_sub| {
             let mut fold_params = params.clone();
             fold_params.seed = derive_seed(self.seed, stream ^ (fold as u64) << 32);
             match self.train.task() {
                 Task::Regression => {
                     let mut model = MlpRegressor::new(fold_params);
                     match model.fit(train_sub) {
+                        Ok(report) if report.diverged => {
+                            diverged_folds += 1;
+                            (Vec::new(), report.cost_units)
+                        }
                         Ok(report) => (model.predict(val_sub.x()), report.cost_units),
                         Err(_) => (Vec::new(), 0),
                     }
@@ -193,12 +262,24 @@ impl<'a> CvEvaluator<'a> {
                 _ => {
                     let mut model = MlpClassifier::new(fold_params);
                     match model.fit(train_sub) {
+                        Ok(report) if report.diverged => {
+                            diverged_folds += 1;
+                            (Vec::new(), report.cost_units)
+                        }
                         Ok(report) => (model.predict(val_sub.x()), report.cost_units),
                         Err(_) => (Vec::new(), 0),
                     }
                 }
             }
-        })
+        });
+        // A majority of diverged folds means the configuration is unstable
+        // at this budget, not merely unlucky: flag the whole trial so the
+        // failure policy can impute and demote it.
+        let n_folds = out.fold_scores.folds.len();
+        if out.status == TrialStatus::Completed && n_folds > 0 && 2 * diverged_folds > n_folds {
+            out.status = TrialStatus::Diverged;
+        }
+        out
     }
 
     /// Model-agnostic evaluation: the pipeline builds the folds, the caller
@@ -231,7 +312,20 @@ impl<'a> CvEvaluator<'a> {
 
         let mut scores = Vec::with_capacity(folds.len());
         let mut cost_units = 0u64;
+        let mut status = TrialStatus::Completed;
         for v in 0..folds.len() {
+            // Mid-evaluation deadlines: stop between folds once the policy's
+            // wall-clock or cost budget is spent. The partial fold scores are
+            // kept for diagnostics; the failure policy imputes the score.
+            if self
+                .policy
+                .trial_timeout_secs
+                .is_some_and(|limit| start.elapsed().as_secs_f64() > limit)
+                || self.policy.max_cost_units.is_some_and(|max| cost_units > max)
+            {
+                status = TrialStatus::TimedOut;
+                break;
+            }
             let train_idx = train_indices_for(&folds, v);
             let val_idx = &folds[v];
             if train_idx.len() < 2 || val_idx.is_empty() {
@@ -270,6 +364,7 @@ impl<'a> CvEvaluator<'a> {
             score,
             cost_units,
             wall_seconds: start.elapsed().as_secs_f64(),
+            status,
         }
     }
 }

@@ -1,0 +1,634 @@
+//! Fault-tolerant trial execution.
+//!
+//! Real HPO services must treat trial failure as a first-class outcome the
+//! bandit *prunes*, not a crash that takes the whole search down. This
+//! module is the execution layer every optimizer runs through:
+//!
+//! - [`FailurePolicy`] — retries with reseeded jitter, wall/cost deadlines,
+//!   and worst-score imputation so failed configurations are demoted
+//!   deterministically instead of unwrapped.
+//! - [`TrialEvaluator`] — the trait the optimizers are generic over;
+//!   [`crate::evaluator::CvEvaluator`] implements it, and so do the two
+//!   wrappers below.
+//! - [`run_trial`] — the retry/containment loop behind
+//!   [`TrialEvaluator::evaluate_trial`]: panics are caught with
+//!   `catch_unwind`, non-finite scores retried and then imputed, deadline
+//!   overruns marked [`TrialStatus::TimedOut`].
+//! - [`FaultInjector`] — a seeded, deterministic chaos wrapper (panic / NaN
+//!   score / slow trial with configurable probabilities) used by the
+//!   cross-optimizer fault suite.
+//! - [`CheckpointingEvaluator`] — crash-safe checkpoint/resume: every
+//!   completed trial is journaled to an atomic on-disk checkpoint
+//!   ([`crate::persist::RunCheckpoint`]), and on resume already-completed
+//!   trials are replayed from the checkpoint instead of re-evaluated.
+//! - [`compare_scores`] — the total order used for every halving decision:
+//!   `f64::total_cmp` with non-finite scores ranked strictly worst.
+
+use crate::evaluator::{CvEvaluator, EvalOutcome, TrialStatus};
+use crate::persist::{save_checkpoint, CheckpointEntry, PersistError, RunCheckpoint};
+use hpo_data::rng::{derive_seed, rng_from_seed};
+use hpo_models::mlp::MlpParams;
+use parking_lot::Mutex;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The score imputed for failed trials: decisively worse than any real
+/// pipeline score (accuracy/F1 ∈ [0,1], clamped R² ∈ [-1,1]) yet finite, so
+/// it survives a JSON round-trip (`serde_json` writes non-finite floats as
+/// `null`, which would not deserialize back into an `f64`).
+pub const IMPUTED_SCORE: f64 = -1.0e9;
+
+/// Retry, deadline and imputation rules for trial execution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FailurePolicy {
+    /// Extra attempts after the first failure (panic or non-finite score).
+    /// Each retry reseeds the fold stream with deterministic jitter.
+    pub max_retries: u32,
+    /// Per-trial wall-clock deadline in seconds (`None` = unlimited).
+    pub trial_timeout_secs: Option<f64>,
+    /// Per-trial deterministic cost deadline in MAC units (`None` =
+    /// unlimited).
+    pub max_cost_units: Option<u64>,
+    /// The finite worst-score recorded for failed trials (see
+    /// [`IMPUTED_SCORE`]).
+    pub imputed_score: f64,
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        FailurePolicy {
+            max_retries: 1,
+            trial_timeout_secs: None,
+            max_cost_units: None,
+            imputed_score: IMPUTED_SCORE,
+        }
+    }
+}
+
+impl FailurePolicy {
+    /// A policy that never retries (useful in tests that want to observe
+    /// first-attempt failures).
+    pub fn no_retries() -> Self {
+        FailurePolicy {
+            max_retries: 0,
+            ..Default::default()
+        }
+    }
+}
+
+/// The evaluation interface the optimizers are generic over.
+///
+/// `evaluate_raw` is one *attempt*; [`TrialEvaluator::evaluate_trial`] is an
+/// attempt wrapped in the failure policy (retries, panic containment,
+/// imputation) and is what optimizers call. Implementations must be `Sync`:
+/// ASHA/PASHA share the evaluator across worker threads.
+pub trait TrialEvaluator: Sync {
+    /// One evaluation attempt, no containment. May panic; may return
+    /// non-finite scores.
+    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome;
+
+    /// Total budget `B` (training instances).
+    fn total_budget(&self) -> usize;
+
+    /// Derives the fold-sampling stream for a (rung, candidate) pair (see
+    /// [`CvEvaluator::fold_stream`]).
+    fn fold_stream(&self, base: u64, rung: u64, candidate: u64) -> u64;
+
+    /// The failure policy governing `evaluate_trial`.
+    fn failure_policy(&self) -> &FailurePolicy;
+
+    /// Evaluates one trial under the failure policy. Never panics from a
+    /// contained evaluation; always returns a finite score (imputed on
+    /// failure).
+    fn evaluate_trial(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        run_trial(self, params, budget, stream)
+    }
+}
+
+impl TrialEvaluator for CvEvaluator<'_> {
+    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        CvEvaluator::evaluate(self, params, budget, stream)
+    }
+
+    fn total_budget(&self) -> usize {
+        CvEvaluator::total_budget(self)
+    }
+
+    fn fold_stream(&self, base: u64, rung: u64, candidate: u64) -> u64 {
+        CvEvaluator::fold_stream(self, base, rung, candidate)
+    }
+
+    fn failure_policy(&self) -> &FailurePolicy {
+        CvEvaluator::failure_policy(self)
+    }
+}
+
+/// The retry/containment loop (see module docs).
+///
+/// Attempt 1 uses `stream` verbatim so fault-free runs are bit-identical to
+/// the pre-failure-policy behaviour; retries jitter the stream
+/// deterministically so a diverging fold draw gets fresh folds.
+pub fn run_trial<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
+    params: &MlpParams,
+    budget: usize,
+    stream: u64,
+) -> EvalOutcome {
+    let policy = evaluator.failure_policy().clone();
+    let max_attempts = policy.max_retries.saturating_add(1);
+    let start = Instant::now();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let attempt_stream = if attempts == 1 {
+            stream
+        } else {
+            derive_seed(stream, 0xFA17_0000 + attempts as u64)
+        };
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            evaluator.evaluate_raw(params, budget, attempt_stream)
+        }));
+        match caught {
+            Ok(mut out) => {
+                let timed_out = out.status == TrialStatus::TimedOut
+                    || policy
+                        .trial_timeout_secs
+                        .is_some_and(|limit| out.wall_seconds > limit)
+                    || policy
+                        .max_cost_units
+                        .is_some_and(|max| out.cost_units > max);
+                if timed_out {
+                    // A deadline overrun is not retried: the retry would
+                    // blow the same deadline again.
+                    out.status = TrialStatus::TimedOut;
+                    return impute(out, &policy);
+                }
+                let diverged = out.status == TrialStatus::Diverged
+                    || !out.score.is_finite()
+                    || out.fold_scores.folds.iter().any(|s| !s.is_finite());
+                if diverged {
+                    if attempts < max_attempts {
+                        continue;
+                    }
+                    out.status = TrialStatus::Diverged;
+                    return impute(out, &policy);
+                }
+                out.status = TrialStatus::Completed;
+                return out;
+            }
+            Err(_) => {
+                if attempts < max_attempts {
+                    continue;
+                }
+                let total = evaluator.total_budget().max(1);
+                let gamma_pct = 100.0 * budget.min(total) as f64 / total as f64;
+                return EvalOutcome::failed(
+                    attempts,
+                    policy.imputed_score,
+                    gamma_pct,
+                    start.elapsed().as_secs_f64(),
+                );
+            }
+        }
+    }
+}
+
+/// Overwrites the score (and any non-finite fold scores) with the policy's
+/// imputed worst-score, keeping the outcome JSON-serializable and strictly
+/// worse than any completed trial under [`compare_scores`].
+fn impute(mut out: EvalOutcome, policy: &FailurePolicy) -> EvalOutcome {
+    out.score = policy.imputed_score;
+    for s in &mut out.fold_scores.folds {
+        if !s.is_finite() {
+            *s = policy.imputed_score;
+        }
+    }
+    out
+}
+
+/// Total order on scores for halving decisions: non-finite ranks strictly
+/// worst (as `NEG_INFINITY`), finite scores by `f64::total_cmp`.
+pub fn compare_scores(a: f64, b: f64) -> std::cmp::Ordering {
+    let demote = |x: f64| if x.is_finite() { x } else { f64::NEG_INFINITY };
+    demote(a).total_cmp(&demote(b))
+}
+
+/// Probabilities and seed for deterministic fault injection.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed of the per-stream fault draw (independent of the run seed).
+    pub seed: u64,
+    /// Probability an attempt panics.
+    pub panic_prob: f64,
+    /// Probability an attempt returns a NaN score.
+    pub nan_prob: f64,
+    /// Probability an attempt is "slow": its reported wall-clock is inflated
+    /// by `injected_delay_secs` (no real sleeping, so tests stay fast and
+    /// deterministic).
+    pub slow_prob: f64,
+    /// Seconds added to `wall_seconds` on a slow fault.
+    pub injected_delay_secs: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            panic_prob: 0.0,
+            nan_prob: 0.0,
+            slow_prob: 0.0,
+            injected_delay_secs: 7200.0,
+        }
+    }
+}
+
+/// A deterministic chaos wrapper around any evaluator.
+///
+/// The fault draw depends only on `(plan.seed, stream)`, so equal seeds
+/// reproduce the exact same fault pattern — including across retries, which
+/// use jittered streams and therefore draw fresh faults.
+pub struct FaultInjector<'e, E: TrialEvaluator> {
+    inner: &'e E,
+    plan: FaultPlan,
+    policy: FailurePolicy,
+}
+
+impl<'e, E: TrialEvaluator> FaultInjector<'e, E> {
+    /// Wraps `inner`, inheriting its failure policy.
+    pub fn new(inner: &'e E, plan: FaultPlan) -> Self {
+        let policy = inner.failure_policy().clone();
+        FaultInjector {
+            inner,
+            plan,
+            policy,
+        }
+    }
+
+    /// Overrides the failure policy the contained trials run under.
+    pub fn with_policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+impl<E: TrialEvaluator> TrialEvaluator for FaultInjector<'_, E> {
+    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        let mut rng = rng_from_seed(derive_seed(self.plan.seed, stream));
+        let roll: f64 = rng.gen();
+        if roll < self.plan.panic_prob {
+            panic!("injected fault: worker panic (stream {stream})");
+        }
+        if roll < self.plan.panic_prob + self.plan.nan_prob {
+            // A NaN score without paying for a real evaluation: the point is
+            // exercising the optimizer's failure path, not the MLP.
+            let total = self.inner.total_budget().max(1);
+            let gamma_pct = 100.0 * budget.min(total) as f64 / total as f64;
+            return EvalOutcome {
+                fold_scores: hpo_metrics::FoldScores::new(vec![f64::NAN], gamma_pct),
+                score: f64::NAN,
+                cost_units: 0,
+                wall_seconds: 0.0,
+                status: TrialStatus::Completed,
+            };
+        }
+        let mut out = self.inner.evaluate_raw(params, budget, stream);
+        if roll < self.plan.panic_prob + self.plan.nan_prob + self.plan.slow_prob {
+            out.wall_seconds += self.plan.injected_delay_secs;
+        }
+        out
+    }
+
+    fn total_budget(&self) -> usize {
+        self.inner.total_budget()
+    }
+
+    fn fold_stream(&self, base: u64, rung: u64, candidate: u64) -> u64 {
+        self.inner.fold_stream(base, rung, candidate)
+    }
+
+    fn failure_policy(&self) -> &FailurePolicy {
+        &self.policy
+    }
+}
+
+/// Cache key of one trial within a seeded run: the budget, the fold stream
+/// and a fingerprint of the hyperparameters. The stream already encodes
+/// (rung, candidate) for per-config pipelines; the fingerprint keeps shared-
+/// fold pipelines (where many candidates share a stream) unambiguous.
+fn trial_key(params: &MlpParams, budget: usize, stream: u64) -> (usize, u64, u64) {
+    use std::hash::{Hash, Hasher};
+    // DefaultHasher::new() uses fixed keys, so the fingerprint is stable
+    // across processes — required for resume.
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{params:?}").hash(&mut h);
+    (budget, stream, h.finish())
+}
+
+struct CheckpointState {
+    /// Outcomes replayed from a previous run, keyed by [`trial_key`].
+    cache: HashMap<(usize, u64, u64), EvalOutcome>,
+    checkpoint: RunCheckpoint,
+    new_since_save: usize,
+    /// Cache hits served so far (trials skipped on resume).
+    hits: usize,
+}
+
+/// Crash-safe checkpoint/resume wrapper (see module docs).
+///
+/// Safe to share across ASHA/PASHA workers: the journal is mutex-guarded,
+/// and checkpoint writes are atomic temp-file+rename, so a crash at any
+/// point leaves either the previous or the new checkpoint on disk — never a
+/// truncated one.
+pub struct CheckpointingEvaluator<'e, E: TrialEvaluator> {
+    inner: &'e E,
+    path: Option<PathBuf>,
+    /// Write the checkpoint after this many new trials (0 = only on
+    /// [`CheckpointingEvaluator::flush`]).
+    every: usize,
+    state: Mutex<CheckpointState>,
+}
+
+impl<'e, E: TrialEvaluator> CheckpointingEvaluator<'e, E> {
+    /// Wraps `inner`. `path = None` keeps the journal in memory only.
+    pub fn new(
+        inner: &'e E,
+        seed: u64,
+        method: &str,
+        pipeline: &str,
+        path: Option<PathBuf>,
+        every: usize,
+    ) -> Self {
+        CheckpointingEvaluator {
+            inner,
+            path,
+            every,
+            state: Mutex::new(CheckpointState {
+                cache: HashMap::new(),
+                checkpoint: RunCheckpoint::new(seed, method, pipeline),
+                new_since_save: 0,
+                hits: 0,
+            }),
+        }
+    }
+
+    /// Loads a previous run's checkpoint: its trials are replayed from cache
+    /// instead of re-evaluated, and carried into this run's checkpoint so a
+    /// twice-resumed run stays complete.
+    ///
+    /// The caller is responsible for validating seed/method compatibility
+    /// (see [`RunCheckpoint::matches`]).
+    pub fn absorb(&self, prior: RunCheckpoint) {
+        let mut st = self.state.lock();
+        for entry in prior.entries {
+            st.cache.insert(
+                (entry.budget, entry.stream, entry.params_fingerprint),
+                entry.outcome.clone(),
+            );
+            st.checkpoint.entries.push(entry);
+        }
+    }
+
+    /// Trials served from the resume cache so far.
+    pub fn resumed_trials(&self) -> usize {
+        self.state.lock().hits
+    }
+
+    /// Writes the final checkpoint (no-op without a path).
+    ///
+    /// # Errors
+    /// IO or serialization failures.
+    pub fn flush(&self) -> Result<(), PersistError> {
+        let st = self.state.lock();
+        match &self.path {
+            Some(path) => save_checkpoint(&st.checkpoint, path),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
+    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        self.inner.evaluate_raw(params, budget, stream)
+    }
+
+    fn total_budget(&self) -> usize {
+        self.inner.total_budget()
+    }
+
+    fn fold_stream(&self, base: u64, rung: u64, candidate: u64) -> u64 {
+        self.inner.fold_stream(base, rung, candidate)
+    }
+
+    fn failure_policy(&self) -> &FailurePolicy {
+        self.inner.failure_policy()
+    }
+
+    fn evaluate_trial(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        let key = trial_key(params, budget, stream);
+        if let Some(hit) = {
+            let mut st = self.state.lock();
+            let hit = st.cache.get(&key).cloned();
+            if hit.is_some() {
+                st.hits += 1;
+            }
+            hit
+        } {
+            return hit;
+        }
+        let out = self.inner.evaluate_trial(params, budget, stream);
+        let mut st = self.state.lock();
+        st.checkpoint.entries.push(CheckpointEntry {
+            budget,
+            stream,
+            params_fingerprint: key.2,
+            outcome: out.clone(),
+        });
+        st.new_since_save += 1;
+        if self.every > 0 && st.new_since_save >= self.every {
+            st.new_since_save = 0;
+            if let Some(path) = &self.path {
+                // Mid-run checkpoints are best-effort; the final flush
+                // surfaces persistent IO errors.
+                let _ = save_checkpoint(&st.checkpoint, path);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    fn dataset() -> hpo_data::Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_instances: 150,
+                n_features: 4,
+                n_informative: 4,
+                ..Default::default()
+            },
+            1,
+        )
+    }
+
+    fn quick_base() -> MlpParams {
+        MlpParams {
+            hidden_layer_sizes: vec![4],
+            max_iter: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn compare_scores_ranks_non_finite_strictly_worst() {
+        use std::cmp::Ordering::*;
+        assert_eq!(compare_scores(0.5, f64::NAN), Greater);
+        assert_eq!(compare_scores(f64::NAN, 0.5), Less);
+        assert_eq!(compare_scores(f64::NAN, f64::INFINITY), Equal);
+        assert_eq!(compare_scores(-1.0e9, f64::NAN), Greater);
+        assert_eq!(compare_scores(0.2, 0.3), Less);
+        assert_eq!(compare_scores(0.3, 0.3), Equal);
+    }
+
+    #[test]
+    fn clean_trial_completes_with_original_score() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let direct = CvEvaluator::evaluate(&ev, &quick_base(), 100, 3);
+        let managed = ev.evaluate_trial(&quick_base(), 100, 3);
+        assert_eq!(managed.status, TrialStatus::Completed);
+        assert_eq!(managed.score, direct.score);
+        assert_eq!(managed.fold_scores.folds, direct.fold_scores.folds);
+    }
+
+    #[test]
+    fn nan_injection_is_imputed_as_diverged() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let inj = FaultInjector::new(
+            &ev,
+            FaultPlan {
+                nan_prob: 1.0,
+                ..Default::default()
+            },
+        );
+        let out = inj.evaluate_trial(&quick_base(), 100, 5);
+        assert_eq!(out.status, TrialStatus::Diverged);
+        assert_eq!(out.score, IMPUTED_SCORE);
+        assert!(out.fold_scores.folds.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn panic_injection_is_contained_as_failed() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let inj = FaultInjector::new(
+            &ev,
+            FaultPlan {
+                panic_prob: 1.0,
+                ..Default::default()
+            },
+        );
+        let out = inj.evaluate_trial(&quick_base(), 100, 5);
+        // Default policy: 1 retry, so 2 attempts before giving up.
+        assert_eq!(out.status, TrialStatus::Failed { attempts: 2 });
+        assert_eq!(out.score, IMPUTED_SCORE);
+        assert!(out.fold_scores.folds.is_empty());
+    }
+
+    #[test]
+    fn slow_injection_times_out_under_a_deadline() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1)
+            .with_failure_policy(FailurePolicy {
+                trial_timeout_secs: Some(3600.0),
+                ..Default::default()
+            });
+        let inj = FaultInjector::new(
+            &ev,
+            FaultPlan {
+                slow_prob: 1.0,
+                injected_delay_secs: 7200.0,
+                ..Default::default()
+            },
+        );
+        let out = inj.evaluate_trial(&quick_base(), 100, 5);
+        assert_eq!(out.status, TrialStatus::TimedOut);
+        assert_eq!(out.score, IMPUTED_SCORE);
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_stream() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let plan = FaultPlan {
+            seed: 9,
+            panic_prob: 0.3,
+            nan_prob: 0.3,
+            ..Default::default()
+        };
+        let inj = FaultInjector::new(&ev, plan);
+        for stream in 0..10u64 {
+            let a = inj.evaluate_trial(&quick_base(), 80, stream);
+            let b = inj.evaluate_trial(&quick_base(), 80, stream);
+            assert_eq!(a.status, b.status, "stream {stream}");
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "stream {stream}");
+        }
+    }
+
+    #[test]
+    fn retries_recover_from_a_first_attempt_fault() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let plan = FaultPlan {
+            seed: 4,
+            nan_prob: 0.5,
+            ..Default::default()
+        };
+        // Find a stream whose first attempt faults.
+        let no_retry = FaultInjector::new(&ev, plan.clone()).with_policy(FailurePolicy::no_retries());
+        let stream = (0..50u64)
+            .find(|&s| {
+                no_retry.evaluate_trial(&quick_base(), 80, s).status != TrialStatus::Completed
+            })
+            .expect("some stream faults at p=0.5");
+        // With enough retries, the jittered streams eventually draw no fault.
+        let retrying = FaultInjector::new(&ev, plan).with_policy(FailurePolicy {
+            max_retries: 16,
+            ..Default::default()
+        });
+        let out = retrying.evaluate_trial(&quick_base(), 80, stream);
+        assert_eq!(out.status, TrialStatus::Completed);
+        assert!(out.score.is_finite());
+    }
+
+    #[test]
+    fn checkpointing_replays_cached_trials() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let first = CheckpointingEvaluator::new(&ev, 1, "SHA", "vanilla", None, 0);
+        let a = first.evaluate_trial(&quick_base(), 100, 7);
+        assert_eq!(first.resumed_trials(), 0);
+
+        let prior = {
+            let st = first.state.lock();
+            st.checkpoint.clone()
+        };
+        let second = CheckpointingEvaluator::new(&ev, 1, "SHA", "vanilla", None, 0);
+        second.absorb(prior);
+        let b = second.evaluate_trial(&quick_base(), 100, 7);
+        assert_eq!(second.resumed_trials(), 1);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+        assert_eq!(a.fold_scores.folds, b.fold_scores.folds);
+        // A different stream misses the cache.
+        second.evaluate_trial(&quick_base(), 100, 8);
+        assert_eq!(second.resumed_trials(), 1);
+    }
+}

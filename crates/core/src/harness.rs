@@ -9,8 +9,10 @@ use crate::asha::{asha, AshaConfig};
 use crate::bohb::{bohb, BohbConfig};
 use crate::dehb::{dehb, DehbConfig};
 use crate::evaluator::{fit_and_score, CvEvaluator, ScoreKind};
+use crate::exec::{CheckpointingEvaluator, FailurePolicy, TrialEvaluator};
 use crate::hyperband::{hyperband, HyperbandConfig};
 use crate::pasha::{pasha, PashaConfig};
+use crate::persist::load_checkpoint;
 use crate::pipeline::Pipeline;
 use crate::random_search::{random_search, RandomSearchConfig};
 use crate::sha::{sha_on_grid, ShaConfig};
@@ -19,6 +21,7 @@ use crate::trial::History;
 use hpo_data::dataset::Dataset;
 use hpo_models::mlp::MlpParams;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// The optimizer to run.
@@ -78,6 +81,79 @@ pub struct RunResult {
     pub search_cost_units: u64,
     /// Number of configuration evaluations performed.
     pub n_evaluations: usize,
+    /// Trials that did not complete (diverged, timed out or failed).
+    #[serde(default)]
+    pub n_failures: usize,
+    /// Trials replayed from a checkpoint instead of re-evaluated.
+    #[serde(default)]
+    pub n_resumed: usize,
+}
+
+/// Robustness knobs for [`run_method_with`]: retry/impute policy, plus
+/// crash-safe checkpointing and resume.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Per-trial retry/deadline/imputation policy.
+    pub failure_policy: FailurePolicy,
+    /// Checkpoint file; `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Write the checkpoint after this many new trials (0 = final write
+    /// only). The default of 1 journals after every trial.
+    pub checkpoint_every: usize,
+    /// Replay completed trials from `checkpoint` if it exists and matches
+    /// this run's identity (seed, method, pipeline).
+    pub resume: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            failure_policy: FailurePolicy::default(),
+            checkpoint: None,
+            checkpoint_every: 1,
+            resume: false,
+        }
+    }
+}
+
+/// Runs the chosen optimizer through any [`TrialEvaluator`].
+fn dispatch<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    method: &Method,
+    seed: u64,
+) -> (Configuration, History) {
+    match method {
+        Method::Random(cfg) => {
+            let r = random_search(evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Sha(cfg) => {
+            let r = sha_on_grid(evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Hyperband(cfg) => {
+            let r = hyperband(evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Bohb(cfg) => {
+            let r = bohb(evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Asha(cfg) => {
+            let r = asha(evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Pasha(cfg) => {
+            let r = pasha(evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Dehb(cfg) => {
+            let r = dehb(evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+    }
 }
 
 /// Runs one method × pipeline on a train/test pair.
@@ -94,43 +170,77 @@ pub fn run_method(
     method: &Method,
     seed: u64,
 ) -> RunResult {
+    run_method_with(
+        train,
+        test,
+        space,
+        pipeline,
+        base_params,
+        method,
+        seed,
+        &RunOptions::default(),
+    )
+}
+
+/// [`run_method`] with explicit robustness options: a failure policy for
+/// every trial, plus optional crash-safe checkpointing and resume.
+///
+/// On resume, completed trials recorded in the checkpoint are replayed from
+/// cache, so a killed-and-resumed run converges to the same selection as an
+/// uninterrupted run with the same seed. A checkpoint whose identity (seed,
+/// method, pipeline, version) does not match is ignored with a warning
+/// rather than silently corrupting the run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_method_with(
+    train: &Dataset,
+    test: &Dataset,
+    space: &SearchSpace,
+    pipeline: Pipeline,
+    base_params: &MlpParams,
+    method: &Method,
+    seed: u64,
+    opts: &RunOptions,
+) -> RunResult {
     let method_label = method.label().to_string();
     let pipeline_label = pipeline.label.clone();
-    let evaluator = CvEvaluator::new(train, pipeline, base_params.clone(), seed);
+    let evaluator = CvEvaluator::new(train, pipeline, base_params.clone(), seed)
+        .with_failure_policy(opts.failure_policy.clone());
     let score_kind = evaluator.score_kind();
 
+    let ckpt = CheckpointingEvaluator::new(
+        &evaluator,
+        seed,
+        &method_label,
+        &pipeline_label,
+        opts.checkpoint.clone(),
+        opts.checkpoint_every,
+    );
+    if opts.resume {
+        if let Some(path) = opts.checkpoint.as_deref().filter(|p| p.exists()) {
+            match load_checkpoint(path) {
+                Ok(prior) if prior.matches(seed, &method_label, &pipeline_label) => {
+                    ckpt.absorb(prior);
+                }
+                Ok(_) => eprintln!(
+                    "warning: ignoring checkpoint {} (different seed/method/pipeline)",
+                    path.display()
+                ),
+                Err(e) => eprintln!(
+                    "warning: ignoring unreadable checkpoint {}: {e}",
+                    path.display()
+                ),
+            }
+        }
+    }
+
     let start = Instant::now();
-    let (best, history): (Configuration, History) = match method {
-        Method::Random(cfg) => {
-            let r = random_search(&evaluator, space, base_params, cfg, seed);
-            (r.best, r.history)
-        }
-        Method::Sha(cfg) => {
-            let r = sha_on_grid(&evaluator, space, base_params, cfg, seed);
-            (r.best, r.history)
-        }
-        Method::Hyperband(cfg) => {
-            let r = hyperband(&evaluator, space, base_params, cfg, seed);
-            (r.best, r.history)
-        }
-        Method::Bohb(cfg) => {
-            let r = bohb(&evaluator, space, base_params, cfg, seed);
-            (r.best, r.history)
-        }
-        Method::Asha(cfg) => {
-            let r = asha(&evaluator, space, base_params, cfg, seed);
-            (r.best, r.history)
-        }
-        Method::Pasha(cfg) => {
-            let r = pasha(&evaluator, space, base_params, cfg, seed);
-            (r.best, r.history)
-        }
-        Method::Dehb(cfg) => {
-            let r = dehb(&evaluator, space, base_params, cfg, seed);
-            (r.best, r.history)
-        }
-    };
+    let (best, history): (Configuration, History) =
+        dispatch(&ckpt, space, base_params, method, seed);
     let search_seconds = start.elapsed().as_secs_f64();
+    let n_resumed = ckpt.resumed_trials();
+    if let Err(e) = ckpt.flush() {
+        eprintln!("warning: final checkpoint write failed: {e}");
+    }
 
     // Final refit on the complete training set (paper Fig. 1's last step).
     let mut final_params = space.to_params(&best, base_params);
@@ -148,6 +258,8 @@ pub fn run_method(
         search_seconds,
         search_cost_units: history.total_cost(),
         n_evaluations: history.len(),
+        n_failures: history.n_failures(),
+        n_resumed,
     }
 }
 

@@ -5,7 +5,7 @@
 //! optimizer with [`crate::pipeline::Pipeline::vanilla`], `HB+` with
 //! [`crate::pipeline::Pipeline::enhanced`].
 
-use crate::evaluator::CvEvaluator;
+use crate::exec::{compare_scores, TrialEvaluator};
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_data::rng::derive_seed;
@@ -65,8 +65,8 @@ impl ConfigSampler for RandomSampler {
 ///
 /// # Panics
 /// Panics when `eta < 2` or the budget range is degenerate.
-pub fn hyperband_with_sampler(
-    evaluator: &CvEvaluator<'_>,
+pub fn hyperband_with_sampler<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
     space: &SearchSpace,
     base_params: &MlpParams,
     config: &HyperbandConfig,
@@ -101,13 +101,25 @@ pub fn hyperband_with_sampler(
             for (c, cand) in survivors.iter().enumerate() {
                 let params = space.to_params(cand, base_params);
                 let t_stream = evaluator.fold_stream(bracket_stream, i as u64, c as u64);
-                let outcome = evaluator.evaluate(&params, budget, t_stream);
-                sampler.observe(cand, budget, outcome.fold_scores.mean());
+                let outcome = evaluator.evaluate_trial(&params, budget, t_stream);
+                // Only feed real observations to model-based samplers; an
+                // imputed score would teach TPE that the region is merely
+                // bad rather than broken, which is fine — but a NaN would
+                // poison its density estimate.
+                if outcome.status.is_ok() {
+                    sampler.observe(cand, budget, outcome.fold_scores.mean());
+                } else {
+                    sampler.observe(cand, budget, outcome.score);
+                }
                 scored.push((c, outcome.score));
-                if best
-                    .as_ref()
-                    .is_none_or(|(_, b, sc)| (budget, outcome.score) > (*b, *sc))
-                {
+                // NaN-safe "largest budget, then score" tracking: a failed
+                // trial's imputed score can win only against other failures.
+                let candidate_wins = best.as_ref().is_none_or(|(_, b, sc)| {
+                    budget > *b
+                        || (budget == *b
+                            && compare_scores(outcome.score, *sc) == std::cmp::Ordering::Greater)
+                });
+                if candidate_wins {
                     best = Some((cand.clone(), budget, outcome.score));
                 }
                 history.push(Trial {
@@ -121,7 +133,7 @@ pub fn hyperband_with_sampler(
                 break;
             }
             let keep = (survivors.len() / config.eta).max(1);
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            scored.sort_by(|a, b| compare_scores(b.1, a.1));
             survivors = scored
                 .into_iter()
                 .take(keep)
@@ -137,8 +149,8 @@ pub fn hyperband_with_sampler(
 }
 
 /// Plain Hyperband with uniform random sampling.
-pub fn hyperband(
-    evaluator: &CvEvaluator<'_>,
+pub fn hyperband<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
     space: &SearchSpace,
     base_params: &MlpParams,
     config: &HyperbandConfig,
@@ -151,6 +163,7 @@ pub fn hyperband(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluator::CvEvaluator;
     use crate::pipeline::Pipeline;
     use hpo_data::synth::{make_classification, ClassificationSpec};
 

@@ -29,6 +29,7 @@ pub mod bohb;
 pub mod curves;
 pub mod dehb;
 pub mod evaluator;
+pub mod exec;
 pub mod harness;
 pub mod hyperband;
 pub mod pasha;
@@ -39,7 +40,11 @@ pub mod sha;
 pub mod space;
 pub mod trial;
 
-pub use evaluator::{CvEvaluator, EvalOutcome, ScoreKind};
-pub use harness::{run_method, Method, RunResult};
+pub use evaluator::{CvEvaluator, EvalOutcome, ScoreKind, TrialStatus};
+pub use exec::{
+    compare_scores, CheckpointingEvaluator, FailurePolicy, FaultInjector, FaultPlan,
+    TrialEvaluator,
+};
+pub use harness::{run_method, run_method_with, Method, RunOptions, RunResult};
 pub use pipeline::Pipeline;
 pub use space::{Configuration, SearchSpace};

@@ -12,7 +12,8 @@
 //! This implementation reuses the ASHA promotion rule over a worker pool and
 //! adds the progressive `max_rung` with a Kendall-τ stability test.
 
-use crate::evaluator::CvEvaluator;
+use crate::evaluator::EvalOutcome;
+use crate::exec::{compare_scores, TrialEvaluator};
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_data::rng::derive_seed;
@@ -20,6 +21,10 @@ use hpo_metrics::ranking::kendall_tau;
 use hpo_models::mlp::MlpParams;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Crashed-job retries before recording an imputed failure (see asha.rs).
+const MAX_WORKER_REQUEUES: u32 = 2;
 
 /// PASHA settings.
 #[derive(Clone, Debug)]
@@ -71,10 +76,16 @@ struct Shared {
     in_flight: usize,
     /// Current top rung (grows progressively). Index into `budgets`.
     current_max: usize,
+    /// Crashed `(config_id, rung, attempts)` jobs awaiting retry.
+    requeued: Vec<(usize, usize, u32)>,
 }
 
 impl Shared {
-    fn next_job(&mut self, eta: usize, n_configs: usize) -> Option<(usize, usize)> {
+    fn next_job(&mut self, eta: usize, n_configs: usize) -> Option<(usize, usize, u32)> {
+        if let Some(job) = self.requeued.pop() {
+            self.in_flight += 1;
+            return Some(job);
+        }
         // Promote within the currently-open ladder only.
         for rung in (0..self.current_max).rev() {
             let done = &self.completed[rung];
@@ -83,16 +94,12 @@ impl Shared {
                 continue;
             }
             let mut sorted: Vec<usize> = done.clone();
-            sorted.sort_by(|&a, &b| {
-                self.results[rung][&b]
-                    .partial_cmp(&self.results[rung][&a])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            sorted.sort_by(|&a, &b| compare_scores(self.results[rung][&b], self.results[rung][&a]));
             for &config_id in sorted.iter().take(k) {
                 if !self.promoted[rung].contains(&config_id) {
                     self.promoted[rung].insert(config_id);
                     self.in_flight += 1;
-                    return Some((config_id, rung + 1));
+                    return Some((config_id, rung + 1, 0));
                 }
             }
         }
@@ -100,7 +107,7 @@ impl Shared {
             let id = self.next_fresh;
             self.next_fresh += 1;
             self.in_flight += 1;
-            return Some((id, 0));
+            return Some((id, 0, 0));
         }
         None
     }
@@ -137,8 +144,8 @@ impl Shared {
 ///
 /// # Panics
 /// Panics on `eta < 2`, zero workers, or zero configurations.
-pub fn pasha(
-    evaluator: &CvEvaluator<'_>,
+pub fn pasha<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
     space: &SearchSpace,
     base_params: &MlpParams,
     config: &PashaConfig,
@@ -168,6 +175,7 @@ pub fn pasha(
         in_flight: 0,
         // PASHA opens two rungs initially (or fewer if the ladder is short).
         current_max: 1.min(absolute_max),
+        requeued: Vec::new(),
     });
     let history = Mutex::new(History::new());
 
@@ -179,7 +187,7 @@ pub fn pasha(
             let budgets = &budgets;
             scope.spawn(move || loop {
                 let job = { shared.lock().next_job(config.eta, n_configs) };
-                let Some((config_id, rung)) = job else {
+                let Some((config_id, rung, attempts)) = job else {
                     let idle = { shared.lock().in_flight == 0 };
                     if idle {
                         break;
@@ -191,7 +199,25 @@ pub fn pasha(
                 let params = space.to_params(cand, base_params);
                 // Fold streams per the pipeline (see sha.rs).
                 let eval_stream = evaluator.fold_stream(stream, rung as u64, config_id as u64);
-                let outcome = evaluator.evaluate(&params, budgets[rung], eval_stream);
+                // Panic containment + requeue, as in asha.rs.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    evaluator.evaluate_trial(&params, budgets[rung], eval_stream)
+                }));
+                let outcome = match result {
+                    Ok(outcome) => outcome,
+                    Err(_) if attempts < MAX_WORKER_REQUEUES => {
+                        let mut s = shared.lock();
+                        s.in_flight -= 1;
+                        s.requeued.push((config_id, rung, attempts + 1));
+                        continue;
+                    }
+                    Err(_) => {
+                        let imputed = evaluator.failure_policy().imputed_score;
+                        let total = evaluator.total_budget().max(1);
+                        let gamma_pct = 100.0 * budgets[rung].min(total) as f64 / total as f64;
+                        EvalOutcome::failed(attempts + 1, imputed, gamma_pct, 0.0)
+                    }
+                };
                 {
                     let mut s = shared.lock();
                     s.results[rung].insert(config_id, outcome.score);
@@ -219,7 +245,7 @@ pub fn pasha(
         .expect("at least one evaluation completed");
     let best_id = shared.results[top_rung]
         .iter()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| compare_scores(*a.1, *b.1).then(a.0.cmp(b.0)))
         .map(|(&id, _)| id)
         .expect("top rung non-empty");
 
@@ -233,6 +259,7 @@ pub fn pasha(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluator::CvEvaluator;
     use crate::pipeline::Pipeline;
     use hpo_data::synth::{make_classification, ClassificationSpec};
 

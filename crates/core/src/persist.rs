@@ -1,14 +1,27 @@
 //! Persistence of optimization results.
 //!
-//! Histories and run results serialize to JSON so searches can be archived,
-//! diffed across seeds, and post-processed outside Rust (the experiment
-//! binaries' `--json` mode and the `bhpo optimize --json` flag build on
-//! this).
+//! Histories, run results and crash-recovery checkpoints serialize to JSON
+//! so searches can be archived, diffed across seeds, resumed after a crash,
+//! and post-processed outside Rust (the experiment binaries' `--json` mode
+//! and the `bhpo optimize --json`/`--checkpoint` flags build on this).
+//!
+//! All file writes go through [`write_json_atomic`]: serialize, write a
+//! sibling temp file, fsync, rename. A crash mid-save therefore leaves
+//! either the previous file or the new one — never a truncated JSON
+//! document. Truncated or otherwise undecodable files are rejected on load
+//! with [`PersistError::Corrupt`].
 
+use crate::evaluator::EvalOutcome;
 use crate::harness::RunResult;
 use crate::trial::History;
+use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::path::Path;
+
+/// Version tag of the on-disk checkpoint envelope. Bump on breaking schema
+/// changes; loads of other versions are rejected as corrupt rather than
+/// misinterpreted.
+pub const CHECKPOINT_VERSION: u32 = 1;
 
 /// Errors from result persistence.
 #[derive(Debug)]
@@ -17,6 +30,9 @@ pub enum PersistError {
     Io(std::io::Error),
     /// Serialization or deserialization failure.
     Json(serde_json::Error),
+    /// The file decoded but is not a usable artifact (truncated write from
+    /// a pre-atomic version, wrong envelope version, mismatched run).
+    Corrupt(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -24,6 +40,7 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Json(e) => write!(f, "json error: {e}"),
+            PersistError::Corrupt(detail) => write!(f, "corrupt persistence file: {detail}"),
         }
     }
 }
@@ -40,6 +57,33 @@ impl From<serde_json::Error> for PersistError {
     fn from(e: serde_json::Error) -> Self {
         PersistError::Json(e)
     }
+}
+
+/// Atomically replaces `path` with `bytes`: write to a sibling temp file,
+/// fsync it, rename over the target, then (on Unix) fsync the directory so
+/// the rename itself is durable.
+///
+/// # Errors
+/// IO failures from any of the steps.
+pub fn write_json_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
+    #[cfg(unix)]
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            d.sync_all().ok();
+        }
+    }
+    Ok(())
 }
 
 /// Writes a history as pretty JSON.
@@ -59,12 +103,12 @@ pub fn load_history(reader: impl Read) -> Result<History, PersistError> {
     Ok(serde_json::from_reader(reader)?)
 }
 
-/// Writes a history to a file path.
+/// Writes a history to a file path (atomic temp-file+rename).
 ///
 /// # Errors
 /// IO or serialization failures.
 pub fn save_history_file(history: &History, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    save_history(history, std::fs::File::create(path)?)
+    write_json_atomic(path, serde_json::to_string_pretty(history)?.as_bytes())
 }
 
 /// Reads a history from a file path.
@@ -92,10 +136,101 @@ pub fn load_run_result(reader: impl Read) -> Result<RunResult, PersistError> {
     Ok(serde_json::from_reader(reader)?)
 }
 
+/// Writes a run result to a file path (atomic temp-file+rename).
+///
+/// # Errors
+/// IO or serialization failures.
+pub fn save_run_result_file(result: &RunResult, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    write_json_atomic(path, serde_json::to_string_pretty(result)?.as_bytes())
+}
+
+/// One journaled trial inside a [`RunCheckpoint`]. `(budget, stream,
+/// params_fingerprint)` identifies the trial within a seeded run (see
+/// `exec::CheckpointingEvaluator`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CheckpointEntry {
+    /// Instance budget the trial used.
+    pub budget: usize,
+    /// The fold-sampling stream the trial was evaluated with.
+    pub stream: u64,
+    /// Stable hash of the hyperparameters evaluated.
+    pub params_fingerprint: u64,
+    /// The recorded outcome (replayed verbatim on resume).
+    pub outcome: EvalOutcome,
+}
+
+/// The crash-recovery journal of one seeded run: a versioned envelope plus
+/// every completed trial so far.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunCheckpoint {
+    /// Envelope version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The run seed; resume requires an exact match.
+    pub seed: u64,
+    /// Optimizer label ("SHA", "HB", ...).
+    pub method: String,
+    /// Pipeline label ("vanilla" / "enhanced").
+    pub pipeline: String,
+    /// Completed trials, in completion order.
+    pub entries: Vec<CheckpointEntry>,
+}
+
+impl RunCheckpoint {
+    /// An empty checkpoint for a new run.
+    pub fn new(seed: u64, method: &str, pipeline: &str) -> Self {
+        RunCheckpoint {
+            version: CHECKPOINT_VERSION,
+            seed,
+            method: method.to_string(),
+            pipeline: pipeline.to_string(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether this checkpoint belongs to the given run identity (resuming
+    /// a different seed/method/pipeline would replay wrong outcomes).
+    pub fn matches(&self, seed: u64, method: &str, pipeline: &str) -> bool {
+        self.seed == seed && self.method == method && self.pipeline == pipeline
+    }
+}
+
+/// Writes a checkpoint atomically.
+///
+/// # Errors
+/// IO or serialization failures.
+pub fn save_checkpoint(cp: &RunCheckpoint, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    write_json_atomic(path, serde_json::to_string_pretty(cp)?.as_bytes())
+}
+
+/// Reads and validates a checkpoint.
+///
+/// # Errors
+/// IO failures, and [`PersistError::Corrupt`] when the file does not decode
+/// as a checkpoint or carries an unknown envelope version.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<RunCheckpoint, PersistError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)?;
+    let cp: RunCheckpoint = serde_json::from_str(&text).map_err(|e| {
+        PersistError::Corrupt(format!(
+            "{} does not decode as a run checkpoint ({e}); \
+             likely a truncated write from a crashed process",
+            path.display()
+        ))
+    })?;
+    if cp.version != CHECKPOINT_VERSION {
+        return Err(PersistError::Corrupt(format!(
+            "{}: checkpoint version {} (this build reads version {CHECKPOINT_VERSION})",
+            path.display(),
+            cp.version
+        )));
+    }
+    Ok(cp)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::EvalOutcome;
+    use crate::evaluator::{EvalOutcome, TrialStatus};
     use crate::space::Configuration;
     use crate::trial::Trial;
     use hpo_metrics::FoldScores;
@@ -112,6 +247,7 @@ mod tests {
                     score: 0.6 + i as f64 / 100.0,
                     cost_units: 1000 * i as u64,
                     wall_seconds: 0.25,
+                    status: TrialStatus::Completed,
                 },
             });
         }
@@ -131,6 +267,7 @@ mod tests {
             assert_eq!(a.budget, b.budget);
             assert_eq!(a.outcome.score, b.outcome.score);
             assert_eq!(a.outcome.fold_scores.folds, b.outcome.fold_scores.folds);
+            assert_eq!(a.outcome.status, b.outcome.status);
         }
     }
 
@@ -142,6 +279,69 @@ mod tests {
         let back = load_history_file(&path).unwrap();
         assert_eq!(back.len(), 3);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("hpo_core_atomic_test.json");
+        write_json_atomic(&path, b"{}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{}");
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        assert!(!tmp.exists(), "temp file must be renamed away");
+        // Overwrite goes through the same path.
+        write_json_atomic(&path, b"[1]").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"[1]");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn statuses_survive_serialization() {
+        let mut h = History::new();
+        for status in [
+            TrialStatus::Completed,
+            TrialStatus::Diverged,
+            TrialStatus::TimedOut,
+            TrialStatus::Failed { attempts: 3 },
+        ] {
+            h.push(Trial {
+                config: Configuration(vec![0]),
+                budget: 10,
+                rung: 0,
+                outcome: EvalOutcome {
+                    fold_scores: FoldScores::new(vec![0.5], 10.0),
+                    score: 0.5,
+                    cost_units: 1,
+                    wall_seconds: 0.1,
+                    status,
+                },
+            });
+        }
+        let mut buf = Vec::new();
+        save_history(&h, &mut buf).unwrap();
+        let back = load_history(buf.as_slice()).unwrap();
+        assert_eq!(
+            back.trials()[3].outcome.status,
+            TrialStatus::Failed { attempts: 3 }
+        );
+        assert_eq!(back.trials()[1].outcome.status, TrialStatus::Diverged);
+    }
+
+    #[test]
+    fn legacy_outcome_without_status_defaults_to_completed() {
+        let json = r#"[{
+            "config": [0],
+            "budget": 10,
+            "rung": 0,
+            "outcome": {
+                "fold_scores": {"folds": [0.5], "gamma_pct": 10.0},
+                "score": 0.5,
+                "cost_units": 1,
+                "wall_seconds": 0.1
+            }
+        }]"#;
+        let back = load_history(json.as_bytes()).unwrap();
+        assert_eq!(back.trials()[0].outcome.status, TrialStatus::Completed);
     }
 
     #[test]
@@ -157,6 +357,8 @@ mod tests {
             search_seconds: 1.5,
             search_cost_units: 12345,
             n_evaluations: 37,
+            n_failures: 2,
+            n_resumed: 0,
         };
         let mut buf = Vec::new();
         save_run_result(&r, &mut buf).unwrap();
@@ -164,11 +366,72 @@ mod tests {
         assert_eq!(back.method, "SHA");
         assert_eq!(back.best_config, r.best_config);
         assert_eq!(back.n_evaluations, 37);
+        assert_eq!(back.n_failures, 2);
     }
 
     #[test]
     fn malformed_json_is_an_error() {
         assert!(load_history("{not json".as_bytes()).is_err());
         assert!(load_run_result("[]".as_bytes()).is_err());
+    }
+
+    fn sample_checkpoint() -> RunCheckpoint {
+        let mut cp = RunCheckpoint::new(7, "SHA", "vanilla");
+        for i in 0..4u64 {
+            cp.entries.push(CheckpointEntry {
+                budget: 20 * (i as usize + 1),
+                stream: i,
+                params_fingerprint: 0xABC + i,
+                outcome: EvalOutcome {
+                    fold_scores: FoldScores::new(vec![0.4, 0.5], 25.0),
+                    score: 0.45,
+                    cost_units: 10,
+                    wall_seconds: 0.2,
+                    status: TrialStatus::Completed,
+                },
+            });
+        }
+        cp
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_matches_identity() {
+        let cp = sample_checkpoint();
+        let path = std::env::temp_dir().join("hpo_core_ckpt_roundtrip.json");
+        save_checkpoint(&cp, &path).unwrap();
+        let back = load_checkpoint(&path).unwrap();
+        assert_eq!(back.entries.len(), 4);
+        assert!(back.matches(7, "SHA", "vanilla"));
+        assert!(!back.matches(8, "SHA", "vanilla"));
+        assert!(!back.matches(7, "HB", "vanilla"));
+        assert!(!back.matches(7, "SHA", "enhanced"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected_with_a_clear_error() {
+        let cp = sample_checkpoint();
+        let path = std::env::temp_dir().join("hpo_core_ckpt_truncated.json");
+        save_checkpoint(&cp, &path).unwrap();
+        // Simulate the torn write atomic replacement prevents.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let err = load_checkpoint(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("corrupt"), "unexpected error: {msg}");
+        assert!(msg.contains("truncated"), "unexpected error: {msg}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn future_checkpoint_version_is_rejected() {
+        let mut cp = sample_checkpoint();
+        cp.version = CHECKPOINT_VERSION + 1;
+        let path = std::env::temp_dir().join("hpo_core_ckpt_version.json");
+        write_json_atomic(&path, serde_json::to_string_pretty(&cp).unwrap().as_bytes()).unwrap();
+        let err = load_checkpoint(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)));
+        assert!(err.to_string().contains("version"));
+        std::fs::remove_file(&path).ok();
     }
 }

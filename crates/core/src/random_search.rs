@@ -6,7 +6,7 @@
 //! like this baseline at equal time budgets, and therefore reports only
 //! random search; we do the same.
 
-use crate::evaluator::CvEvaluator;
+use crate::exec::{compare_scores, TrialEvaluator};
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_data::rng::derive_seed;
@@ -38,8 +38,8 @@ pub struct RandomSearchResult {
 ///
 /// # Panics
 /// Panics when `n_samples == 0`.
-pub fn random_search(
-    evaluator: &CvEvaluator<'_>,
+pub fn random_search<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
     space: &SearchSpace,
     base_params: &MlpParams,
     config: &RandomSearchConfig,
@@ -54,7 +54,7 @@ pub fn random_search(
         let params = space.to_params(cand, base_params);
         // Fold streams per the pipeline (see sha.rs).
         let outcome =
-            evaluator.evaluate(&params, budget, evaluator.fold_stream(stream, 0, i as u64));
+            evaluator.evaluate_trial(&params, budget, evaluator.fold_stream(stream, 0, i as u64));
         let score = outcome.score;
         history.push(Trial {
             config: cand.clone(),
@@ -62,7 +62,11 @@ pub fn random_search(
             rung: 0,
             outcome,
         });
-        if best.as_ref().is_none_or(|(_, s)| score > *s) {
+        // NaN-safe: an imputed/failed score can never displace a finite one.
+        if best
+            .as_ref()
+            .is_none_or(|(_, s)| compare_scores(score, *s) == std::cmp::Ordering::Greater)
+        {
             best = Some((cand.clone(), score));
         }
     }
@@ -75,6 +79,7 @@ pub fn random_search(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluator::CvEvaluator;
     use crate::pipeline::Pipeline;
     use hpo_data::synth::{make_classification, ClassificationSpec};
 

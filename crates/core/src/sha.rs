@@ -6,7 +6,7 @@
 //! pipelines this is exactly Algorithm 1: `SHA` with [`Pipeline::vanilla`],
 //! `SHA+` with [`Pipeline::enhanced`].
 
-use crate::evaluator::CvEvaluator;
+use crate::exec::{compare_scores, TrialEvaluator};
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_models::mlp::MlpParams;
@@ -48,8 +48,8 @@ pub struct ShaResult {
 ///
 /// # Panics
 /// Panics when `candidates` is empty or `eta < 2`.
-pub fn successive_halving(
-    evaluator: &CvEvaluator<'_>,
+pub fn successive_halving<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
     space: &SearchSpace,
     candidates: &[Configuration],
     base_params: &MlpParams,
@@ -75,7 +75,7 @@ pub fn successive_halving(
         for (i, cand) in survivors.iter().enumerate() {
             let params = space.to_params(cand, base_params);
             let stream_i = evaluator.fold_stream(stream, rung as u64, i as u64);
-            let outcome = evaluator.evaluate(&params, budget, stream_i);
+            let outcome = evaluator.evaluate_trial(&params, budget, stream_i);
             scored.push((i, outcome.score));
             history.push(Trial {
                 config: cand.clone(),
@@ -90,7 +90,8 @@ pub fn successive_halving(
             .div_ceil(config.eta)
             .min(survivors.len() - 1)
             .max(1);
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // NaN-safe, total-order ranking: failed/imputed scores sink.
+        scored.sort_by(|a, b| compare_scores(b.1, a.1));
         let keep_idx: Vec<usize> = scored.iter().take(keep).map(|&(i, _)| i).collect();
         survivors = keep_idx.into_iter().map(|i| survivors[i].clone()).collect();
         rung += 1;
@@ -103,8 +104,8 @@ pub fn successive_halving(
 }
 
 /// Runs SHA over the full grid of `space` (the paper's Table IV setting).
-pub fn sha_on_grid(
-    evaluator: &CvEvaluator<'_>,
+pub fn sha_on_grid<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
     space: &SearchSpace,
     base_params: &MlpParams,
     config: &ShaConfig,
@@ -117,6 +118,7 @@ pub fn sha_on_grid(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluator::CvEvaluator;
     use crate::pipeline::Pipeline;
     use hpo_data::synth::{make_classification, ClassificationSpec};
 

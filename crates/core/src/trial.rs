@@ -61,12 +61,29 @@ impl History {
 
     /// The trial with the best pipeline score at the largest budget
     /// (ties broken by score).
+    ///
+    /// Failed trials (non-`Completed` status or a non-finite score) rank
+    /// strictly below every completed trial regardless of budget, and
+    /// scores are compared with `f64::total_cmp` so a NaN can never win a
+    /// tie arbitrarily.
     pub fn best(&self) -> Option<&Trial> {
         self.trials.iter().max_by(|a, b| {
-            (a.budget, a.outcome.score)
-                .partial_cmp(&(b.budget, b.outcome.score))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            let usable =
+                |t: &Trial| t.outcome.status.is_ok() && t.outcome.score.is_finite();
+            usable(a)
+                .cmp(&usable(b))
+                .then(a.budget.cmp(&b.budget))
+                .then(crate::exec::compare_scores(a.outcome.score, b.outcome.score))
         })
+    }
+
+    /// Number of trials that did not complete (diverged, timed out or
+    /// failed).
+    pub fn n_failures(&self) -> usize {
+        self.trials
+            .iter()
+            .filter(|t| !t.outcome.status.is_ok())
+            .count()
     }
 
     /// Trials of a given rung.
@@ -84,6 +101,7 @@ impl History {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluator::TrialStatus;
     use hpo_metrics::FoldScores;
 
     fn trial(budget: usize, rung: usize, score: f64) -> Trial {
@@ -96,6 +114,7 @@ mod tests {
                 score,
                 cost_units: 100,
                 wall_seconds: 0.5,
+                status: TrialStatus::Completed,
             },
         }
     }
@@ -135,5 +154,42 @@ mod tests {
     fn empty_history_has_no_best() {
         assert!(History::new().best().is_none());
         assert!(History::new().is_empty());
+    }
+
+    #[test]
+    fn nan_scored_trial_never_wins_best() {
+        let mut h = History::new();
+        h.push(trial(10, 0, 0.7));
+        h.push(trial(20, 1, f64::NAN));
+        h.push(trial(20, 1, f64::INFINITY));
+        let best = h.best().unwrap();
+        assert!((best.outcome.score - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_trials_rank_below_completed_ones() {
+        let mut h = History::new();
+        h.push(trial(10, 0, 0.4));
+        let mut failed = trial(40, 2, -1.0e9);
+        failed.outcome.status = TrialStatus::Failed { attempts: 2 };
+        h.push(failed);
+        // The failed trial has the larger budget but must not win.
+        let best = h.best().unwrap();
+        assert!(best.outcome.status.is_ok());
+        assert!((best.outcome.score - 0.4).abs() < 1e-12);
+        assert_eq!(h.n_failures(), 1);
+    }
+
+    #[test]
+    fn all_failed_history_still_returns_a_best() {
+        let mut h = History::new();
+        let mut a = trial(10, 0, -1.0e9);
+        a.outcome.status = TrialStatus::Diverged;
+        let mut b = trial(20, 1, -1.0e9);
+        b.outcome.status = TrialStatus::TimedOut;
+        h.push(a);
+        h.push(b);
+        assert_eq!(h.best().unwrap().budget, 20);
+        assert_eq!(h.n_failures(), 2);
     }
 }

@@ -1,0 +1,413 @@
+//! Cross-optimizer fault-tolerance suite.
+//!
+//! Every optimizer runs against a seeded [`FaultInjector`] (panics, NaN
+//! scores, deadline-blowing slow trials) and must (a) complete, (b) return a
+//! best configuration with a finite recorded score, and (c) stay
+//! seed-reproducible — the injected fault pattern is part of the seed.
+//! Separately: ASHA's worker pool must survive workers dying mid-trial, and
+//! a killed-and-resumed run must converge to the uninterrupted selection.
+
+use hpo_core::asha::{asha, AshaConfig};
+use hpo_core::bohb::{bohb, BohbConfig};
+use hpo_core::dehb::{dehb, DehbConfig};
+use hpo_core::evaluator::{CvEvaluator, EvalOutcome, TrialStatus};
+use hpo_core::exec::{FailurePolicy, FaultInjector, FaultPlan, TrialEvaluator};
+use hpo_core::harness::{run_method_with, Method, RunOptions};
+use hpo_core::hyperband::{hyperband, HyperbandConfig};
+use hpo_core::pasha::{pasha, PashaConfig};
+use hpo_core::persist::{load_checkpoint, save_checkpoint};
+use hpo_core::pipeline::Pipeline;
+use hpo_core::random_search::{random_search, RandomSearchConfig};
+use hpo_core::sha::{sha_on_grid, ShaConfig};
+use hpo_core::space::SearchSpace;
+use hpo_core::trial::History;
+use hpo_data::synth::{make_classification, ClassificationSpec};
+use hpo_models::mlp::MlpParams;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+fn shared() -> &'static (hpo_data::Dataset, MlpParams) {
+    static CELL: OnceLock<(hpo_data::Dataset, MlpParams)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 150,
+                n_features: 4,
+                n_informative: 4,
+                label_purity: 0.95,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            1,
+        );
+        let base = MlpParams {
+            hidden_layer_sizes: vec![4],
+            max_iter: 2,
+            ..Default::default()
+        };
+        (data, base)
+    })
+}
+
+/// ≥20% of attempts fault: 10% panic + 10% NaN + 5% slow (the slow fault
+/// inflates reported wall-clock past the policy's one-hour deadline).
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        panic_prob: 0.10,
+        nan_prob: 0.10,
+        slow_prob: 0.05,
+        injected_delay_secs: 7200.0,
+    }
+}
+
+fn chaos_policy() -> FailurePolicy {
+    FailurePolicy {
+        max_retries: 1,
+        trial_timeout_secs: Some(3600.0),
+        ..Default::default()
+    }
+}
+
+/// Runs all seven optimizers through `evaluator`, returning labelled
+/// (best, history) pairs.
+fn run_all<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &SearchSpace,
+    base: &MlpParams,
+    stream: u64,
+) -> Vec<(&'static str, hpo_core::space::Configuration, History)> {
+    let mut out = Vec::new();
+    let r = random_search(
+        evaluator,
+        space,
+        base,
+        &RandomSearchConfig { n_samples: 8 },
+        stream,
+    );
+    out.push(("random", r.best, r.history));
+    let r = sha_on_grid(evaluator, space, base, &ShaConfig::default(), stream);
+    out.push(("SHA", r.best, r.history));
+    let r = hyperband(evaluator, space, base, &HyperbandConfig::default(), stream);
+    out.push(("HB", r.best, r.history));
+    let r = bohb(evaluator, space, base, &BohbConfig::default(), stream);
+    out.push(("BOHB", r.best, r.history));
+    let r = dehb(evaluator, space, base, &DehbConfig::default(), stream);
+    out.push(("DEHB", r.best, r.history));
+    let cfg = AshaConfig {
+        workers: 2,
+        n_configs: 8,
+        ..Default::default()
+    };
+    let r = asha(evaluator, space, base, &cfg, stream);
+    out.push(("ASHA", r.best, r.history));
+    let cfg = PashaConfig {
+        workers: 2,
+        n_configs: 8,
+        ..Default::default()
+    };
+    let r = pasha(evaluator, space, base, &cfg, stream);
+    out.push(("PASHA", r.best, r.history));
+    out
+}
+
+#[test]
+fn all_seven_optimizers_survive_twenty_percent_faults() {
+    let (data, base) = shared();
+    let space = SearchSpace::mlp_cv18();
+    let ev = CvEvaluator::new(data, Pipeline::vanilla(), base.clone(), 11)
+        .with_failure_policy(chaos_policy());
+    let injector = FaultInjector::new(&ev, chaos_plan(99));
+
+    for (name, best, history) in run_all(&injector, &space, base, 7) {
+        // The winner is a real point of the space.
+        assert!(
+            space.all_configurations().contains(&best),
+            "{name}: config out of space: {best:?}"
+        );
+        assert!(!history.is_empty(), "{name}: empty history");
+        // Every recorded score is finite — failures were imputed, never
+        // propagated as NaN.
+        for t in history.trials() {
+            assert!(
+                t.outcome.score.is_finite(),
+                "{name}: non-finite recorded score"
+            );
+        }
+        // The search still did real work under ≥20% faults.
+        assert!(
+            history.trials().iter().any(|t| t.outcome.status.is_ok()),
+            "{name}: no trial completed"
+        );
+        let best_trial = history.best().expect("non-empty history has a best");
+        assert!(
+            best_trial.outcome.score.is_finite(),
+            "{name}: best score not finite"
+        );
+    }
+}
+
+#[test]
+fn injected_faults_are_recorded_with_the_imputed_score() {
+    let (data, base) = shared();
+    let space = SearchSpace::mlp_cv18();
+    let policy = FailurePolicy::no_retries();
+    let ev = CvEvaluator::new(data, Pipeline::vanilla(), base.clone(), 12)
+        .with_failure_policy(policy.clone());
+    // Heavy fault rate + no retries: failures must show up in the history.
+    let plan = FaultPlan {
+        seed: 3,
+        panic_prob: 0.25,
+        nan_prob: 0.25,
+        slow_prob: 0.0,
+        injected_delay_secs: 0.0,
+    };
+    let injector = FaultInjector::new(&ev, plan);
+    let r = sha_on_grid(&injector, &space, base, &ShaConfig::default(), 5);
+    let failed: Vec<_> = r
+        .history
+        .trials()
+        .iter()
+        .filter(|t| !t.outcome.status.is_ok())
+        .collect();
+    assert!(
+        !failed.is_empty(),
+        "a 50% fault rate with no retries must produce recorded failures"
+    );
+    for t in &failed {
+        assert_eq!(
+            t.outcome.score, policy.imputed_score,
+            "failed trial carries a non-imputed score"
+        );
+        assert!(matches!(
+            t.outcome.status,
+            TrialStatus::Failed { .. } | TrialStatus::Diverged | TrialStatus::TimedOut
+        ));
+    }
+    assert_eq!(r.history.n_failures(), failed.len());
+    // The winner nevertheless has a finite (usually real) score.
+    assert!(r.history.best().unwrap().outcome.score.is_finite());
+}
+
+/// Trial-by-trial history equality, statuses included. Wall-clock is the
+/// one legitimately nondeterministic field and is excluded.
+fn assert_histories_identical(a: &History, b: &History, label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: different trial counts");
+    for (x, y) in a.trials().iter().zip(b.trials()) {
+        assert_eq!(x.config, y.config, "{label}: config mismatch");
+        assert_eq!(x.budget, y.budget, "{label}: budget mismatch");
+        assert_eq!(x.rung, y.rung, "{label}: rung mismatch");
+        assert_eq!(
+            x.outcome.score.to_bits(),
+            y.outcome.score.to_bits(),
+            "{label}: score mismatch"
+        );
+        assert_eq!(x.outcome.status, y.outcome.status, "{label}: status mismatch");
+        assert_eq!(
+            x.outcome.cost_units, y.outcome.cost_units,
+            "{label}: cost mismatch"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Fault injection is part of the seed: equal seeds reproduce identical
+    /// SHA and Hyperband runs, failed trials and all.
+    #[test]
+    fn equal_seeds_reproduce_faulty_runs(stream in 0u64..20) {
+        let (data, base) = shared();
+        let space = SearchSpace::mlp_cv18();
+        let ev = CvEvaluator::new(data, Pipeline::enhanced(), base.clone(), 13)
+            .with_failure_policy(chaos_policy());
+        let injector = FaultInjector::new(&ev, chaos_plan(41));
+
+        let s1 = sha_on_grid(&injector, &space, base, &ShaConfig::default(), stream);
+        let s2 = sha_on_grid(&injector, &space, base, &ShaConfig::default(), stream);
+        prop_assert_eq!(&s1.best, &s2.best);
+        assert_histories_identical(&s1.history, &s2.history, "SHA");
+
+        let h1 = hyperband(&injector, &space, base, &HyperbandConfig::default(), stream);
+        let h2 = hyperband(&injector, &space, base, &HyperbandConfig::default(), stream);
+        prop_assert_eq!(&h1.best, &h2.best);
+        assert_histories_identical(&h1.history, &h2.history, "HB");
+    }
+}
+
+/// An evaluator whose first `n` `evaluate_trial` calls panic outright —
+/// simulating a worker dying *outside* the retry loop's containment, which
+/// is exactly what ASHA's own catch_unwind + requeue layer is for.
+struct PanickyEvaluator<'e> {
+    inner: &'e CvEvaluator<'e>,
+    remaining_panics: AtomicUsize,
+}
+
+impl TrialEvaluator for PanickyEvaluator<'_> {
+    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        self.inner.evaluate_raw(params, budget, stream)
+    }
+
+    fn total_budget(&self) -> usize {
+        self.inner.total_budget()
+    }
+
+    fn fold_stream(&self, base: u64, rung: u64, candidate: u64) -> u64 {
+        self.inner.fold_stream(base, rung, candidate)
+    }
+
+    fn failure_policy(&self) -> &FailurePolicy {
+        self.inner.failure_policy()
+    }
+
+    fn evaluate_trial(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        if self
+            .remaining_panics
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            panic!("simulated worker crash");
+        }
+        self.inner.evaluate_trial(params, budget, stream)
+    }
+}
+
+#[test]
+fn asha_survives_workers_dying_mid_trial() {
+    let (data, base) = shared();
+    let space = SearchSpace::mlp_cv18();
+    let ev = CvEvaluator::new(data, Pipeline::vanilla(), base.clone(), 14);
+    let panicky = PanickyEvaluator {
+        inner: &ev,
+        remaining_panics: AtomicUsize::new(3),
+    };
+    let cfg = AshaConfig {
+        workers: 2,
+        n_configs: 6,
+        ..Default::default()
+    };
+    // Must neither deadlock (the scoped pool returns) nor lose a trial.
+    let r = asha(&panicky, &space, base, &cfg, 4);
+    assert_eq!(
+        r.history.rung(0).count(),
+        6,
+        "every rung-0 job must be recorded despite worker crashes"
+    );
+    assert!(r.history.trials().iter().any(|t| t.outcome.status.is_ok()));
+    assert!(space.all_configurations().contains(&r.best));
+}
+
+#[test]
+fn pasha_survives_workers_dying_mid_trial() {
+    let (data, base) = shared();
+    let space = SearchSpace::mlp_cv18();
+    let ev = CvEvaluator::new(data, Pipeline::vanilla(), base.clone(), 15);
+    let panicky = PanickyEvaluator {
+        inner: &ev,
+        remaining_panics: AtomicUsize::new(3),
+    };
+    let cfg = PashaConfig {
+        workers: 2,
+        n_configs: 6,
+        ..Default::default()
+    };
+    let r = pasha(&panicky, &space, base, &cfg, 4);
+    assert_eq!(r.history.rung(0).count(), 6);
+    assert!(r.history.trials().iter().any(|t| t.outcome.status.is_ok()));
+}
+
+#[test]
+fn killed_and_resumed_sha_matches_the_uninterrupted_run() {
+    let (data, base) = shared();
+    let space = SearchSpace::mlp_cv18();
+    let mut rng = hpo_data::rng::rng_from_seed(77);
+    let tt = hpo_data::split::stratified_train_test_split(data, 0.25, &mut rng).unwrap();
+
+    let path = std::env::temp_dir().join(format!(
+        "bhpo_resume_test_{}_{}.json",
+        std::process::id(),
+        16
+    ));
+    std::fs::remove_file(&path).ok();
+
+    let run = |opts: &RunOptions| {
+        run_method_with(
+            &tt.train,
+            &tt.test,
+            &space,
+            Pipeline::enhanced(),
+            base,
+            &Method::Sha(ShaConfig::default()),
+            16,
+            opts,
+        )
+    };
+
+    // Uninterrupted reference run; journals every trial to the checkpoint.
+    let full = run(&RunOptions {
+        checkpoint: Some(path.clone()),
+        ..Default::default()
+    });
+    assert_eq!(full.n_resumed, 0);
+
+    // Simulate a mid-run crash: keep only the first half of the journal.
+    let mut cp = load_checkpoint(&path).unwrap();
+    assert!(cp.entries.len() >= 4, "reference run journaled too little");
+    let kept = cp.entries.len() / 2;
+    cp.entries.truncate(kept);
+    save_checkpoint(&cp, &path).unwrap();
+
+    let resumed = run(&RunOptions {
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..Default::default()
+    });
+    assert_eq!(resumed.n_resumed, kept, "all surviving trials must replay");
+    assert_eq!(resumed.best_config, full.best_config);
+    assert_eq!(resumed.test_score, full.test_score);
+    assert_eq!(resumed.n_evaluations, full.n_evaluations);
+
+    // The resumed run's final checkpoint is complete again.
+    let final_cp = load_checkpoint(&path).unwrap();
+    assert_eq!(final_cp.entries.len(), full.n_evaluations);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mismatched_checkpoint_identity_is_ignored_not_replayed() {
+    let (data, base) = shared();
+    let space = SearchSpace::mlp_cv18();
+    let mut rng = hpo_data::rng::rng_from_seed(78);
+    let tt = hpo_data::split::stratified_train_test_split(data, 0.25, &mut rng).unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "bhpo_mismatch_test_{}.json",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+
+    let run = |seed: u64, resume: bool| {
+        run_method_with(
+            &tt.train,
+            &tt.test,
+            &space,
+            Pipeline::vanilla(),
+            base,
+            &Method::Random(RandomSearchConfig { n_samples: 4 }),
+            seed,
+            &RunOptions {
+                checkpoint: Some(path.clone()),
+                resume,
+                ..Default::default()
+            },
+        )
+    };
+    run(21, false);
+    // Different seed: the checkpoint on disk must not be replayed.
+    let other = run(22, true);
+    assert_eq!(
+        other.n_resumed, 0,
+        "a checkpoint from another seed must be ignored"
+    );
+    std::fs::remove_file(&path).ok();
+}

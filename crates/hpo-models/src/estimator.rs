@@ -22,6 +22,11 @@ pub struct TrainReport {
     pub cost_units: u64,
     /// Whether training stopped early (convergence or early stopping).
     pub stopped_early: bool,
+    /// Whether training diverged (non-finite loss). The model's weights are
+    /// the last finite iterate, but its predictions should not be trusted —
+    /// the evaluator scores diverged fits as failed folds.
+    #[serde(default)]
+    pub diverged: bool,
 }
 
 /// Anything that can be trained on a dataset and produce label predictions.

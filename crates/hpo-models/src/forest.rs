@@ -116,6 +116,7 @@ impl Estimator for RandomForestClassifier {
             final_loss: 0.0,
             cost_units: total_cost,
             stopped_early: false,
+            diverged: false,
         })
     }
 

@@ -58,6 +58,7 @@ impl Estimator for KnnClassifier {
             // "Training" is memorization; cost is the copy.
             cost_units: (data.n_instances() * data.n_features()) as u64,
             stopped_early: false,
+            diverged: false,
         })
     }
 

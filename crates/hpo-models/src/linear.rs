@@ -82,6 +82,7 @@ impl Estimator for LogisticRegression {
             final_loss: loss,
             cost_units: cost,
             stopped_early: false,
+            diverged: false,
         })
     }
 
@@ -188,6 +189,7 @@ impl Estimator for LinearRegression {
             final_loss: loss,
             cost_units: (3 * f) as u64 * data.n_instances() as u64 * self.max_iter as u64,
             stopped_early: false,
+            diverged: false,
         })
     }
 

@@ -46,6 +46,7 @@ fn train_lbfgs(net: &mut Network, x: &Matrix, targets: &Matrix, params: &MlpPara
         final_loss: report.final_loss,
         cost_units: evals * cost_fb,
         stopped_early: report.converged,
+        diverged: !report.final_loss.is_finite(),
     }
 }
 
@@ -94,10 +95,11 @@ fn train_minibatch(
     let mut best_monitor = f64::INFINITY;
     let mut no_change = 0usize;
     let mut stopped_early = false;
+    let mut diverged = false;
     let mut epochs = 0usize;
     let mut epoch_loss = f64::INFINITY;
 
-    for _epoch in 0..params.max_iter {
+    'epochs: for _epoch in 0..params.max_iter {
         epochs += 1;
         let order = shuffled_indices(n_train, &mut rng);
         let mut loss_sum = 0.0;
@@ -108,6 +110,14 @@ fn train_minibatch(
             net.set_params_flat(&flat);
             let (loss, grad) = net.loss_grad(&xb, &tb, params.alpha);
             cost_units += cost_per_batch_row * chunk.len() as u64;
+            if !loss.is_finite() || grad.iter().any(|g| !g.is_finite()) {
+                // Diverged (e.g. lr too high): stop *before* the non-finite
+                // gradient poisons the weights — `flat` still holds the last
+                // finite iterate.
+                diverged = true;
+                epoch_loss = loss;
+                break 'epochs;
+            }
             match params.solver {
                 // Only SGD honours the schedule, as in scikit-learn.
                 Solver::Sgd => sgd.step(&mut flat, &grad, schedule.current()),
@@ -142,9 +152,9 @@ fn train_minibatch(
             }
         }
         if !epoch_loss.is_finite() {
-            // Diverged (e.g. lr too high) — stop; the evaluator will see the
-            // resulting poor validation score, which is exactly how a
-            // diverging configuration should look to the optimizer.
+            // Diverged (e.g. lr too high) — stop; the evaluator scores
+            // diverged fits as failed folds.
+            diverged = true;
             break;
         }
     }
@@ -154,6 +164,7 @@ fn train_minibatch(
         final_loss: epoch_loss,
         cost_units,
         stopped_early,
+        diverged,
     }
 }
 
@@ -326,6 +337,32 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn absurd_learning_rate_reports_divergence() {
+        let (x, t) = xor_ish();
+        let mut net = Network::new(
+            vec![2, 16, 2],
+            Activation::Relu,
+            OutputLoss::SoftmaxCrossEntropy,
+            6,
+        );
+        let params = MlpParams {
+            solver: Solver::Sgd,
+            learning_rate: LearningRate::Constant,
+            learning_rate_init: 1.0e12,
+            momentum: 0.0,
+            batch_size: 8,
+            max_iter: 50,
+            n_iter_no_change: 50,
+            ..Default::default()
+        };
+        let report = train(&mut net, &x, &t, &params);
+        assert!(report.diverged, "loss {}", report.final_loss);
+        // The guard stops before a non-finite gradient is applied, so the
+        // surviving weights are the last finite iterate.
+        assert!(net.params_flat().iter().all(|w| w.is_finite()));
     }
 
     #[test]

@@ -194,6 +194,7 @@ impl Estimator for DecisionTreeClassifier {
             final_loss: 0.0,
             cost_units: cost,
             stopped_early: false,
+            diverged: false,
         })
     }
 
