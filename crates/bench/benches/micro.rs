@@ -206,6 +206,59 @@ fn sha_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
+fn observability_overhead(c: &mut Criterion) {
+    // The §5.6 budget: a disabled recorder must keep the observed stack
+    // within ~2% of the bare evaluator on an end-to-end SHA run.
+    use hpo_core::obs::{ObservedEvaluator, Recorder, RunEvent};
+    let data = bench_dataset(400);
+    let base = MlpParams {
+        hidden_layer_sizes: vec![8],
+        max_iter: 3,
+        ..Default::default()
+    };
+    let space = SearchSpace::mlp_cv18();
+    let candidates: Vec<_> = (0..8).map(|i| space.configuration(i)).collect();
+    let evaluator = CvEvaluator::new(&data, Pipeline::vanilla(), base.clone(), 1);
+    let mut g = c.benchmark_group("observability");
+    g.sample_size(10);
+    g.bench_function("sha8_bare", |b| {
+        b.iter(|| {
+            successive_halving(
+                black_box(&evaluator),
+                &space,
+                &candidates,
+                &base,
+                &ShaConfig::default(),
+                0,
+            )
+        })
+    });
+    let observed = ObservedEvaluator::new(&evaluator, Recorder::disabled());
+    g.bench_function("sha8_observed_disabled", |b| {
+        b.iter(|| {
+            successive_halving(
+                black_box(&observed),
+                &space,
+                &candidates,
+                &base,
+                &ShaConfig::default(),
+                0,
+            )
+        })
+    });
+    let disabled = Recorder::disabled();
+    g.bench_function("emit_disabled", |b| {
+        b.iter(|| {
+            black_box(&disabled).emit(RunEvent::TrialStarted {
+                trial: 0,
+                budget: 400,
+                stream: 7,
+            })
+        })
+    });
+    g.finish();
+}
+
 fn alternative_clusterers(c: &mut Criterion) {
     // The paper's §III-A alternatives; O(n²), so benched at smaller n.
     use hpo_cluster::affinity::{affinity_propagation, AffinityConfig};
@@ -259,6 +312,7 @@ criterion_group!(
     mlp_epoch,
     metrics,
     sha_end_to_end,
+    observability_overhead,
     alternative_clusterers,
     baseline_models
 );

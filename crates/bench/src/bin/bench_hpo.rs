@@ -1,0 +1,138 @@
+//! End-to-end HPO throughput benchmark with a machine-readable report.
+//!
+//! Runs every optimizer (random, SHA, HB, BOHB, DEHB, ASHA, PASHA) on each
+//! dataset, prints an aligned summary table, and writes `BENCH_hpo.json`
+//! containing one row per (method, dataset) — wall-clock seconds, trial
+//! count, trials/sec, deterministic cost — plus a snapshot of the global
+//! metrics registry (trial-latency histograms, hot-path timers) accumulated
+//! over the whole run.
+//!
+//! ```text
+//! cargo run --release -p hpo-bench --bin bench_hpo -- \
+//!     --datasets australian --scale 0.1 --out BENCH_hpo.json
+//! ```
+
+use hpo_bench::args::ExpArgs;
+use hpo_bench::report::Table;
+use hpo_core::asha::AshaConfig;
+use hpo_core::bohb::BohbConfig;
+use hpo_core::dehb::DehbConfig;
+use hpo_core::harness::{run_method_with, Method, RunOptions};
+use hpo_core::hyperband::HyperbandConfig;
+use hpo_core::obs;
+use hpo_core::pasha::PashaConfig;
+use hpo_core::persist::write_json_atomic;
+use hpo_core::pipeline::Pipeline;
+use hpo_core::random_search::RandomSearchConfig;
+use hpo_core::sha::ShaConfig;
+use hpo_core::space::SearchSpace;
+use hpo_data::synth::catalog::PaperDataset;
+use hpo_models::mlp::MlpParams;
+
+fn methods() -> Vec<(&'static str, Method)> {
+    vec![
+        ("random", Method::Random(RandomSearchConfig::default())),
+        ("sha", Method::Sha(ShaConfig::default())),
+        ("hb", Method::Hyperband(HyperbandConfig::default())),
+        ("bohb", Method::Bohb(BohbConfig::default())),
+        ("dehb", Method::Dehb(DehbConfig::default())),
+        ("asha", Method::Asha(AshaConfig::default())),
+        ("pasha", Method::Pasha(PashaConfig::default())),
+    ]
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let datasets = args.datasets_or(&[PaperDataset::Australian]);
+    let out_path: String = args
+        .get("out")
+        .unwrap_or_else(|| "BENCH_hpo.json".to_string());
+    let pipeline = match args
+        .get::<String>("pipeline")
+        .unwrap_or_else(|| "enhanced".to_string())
+        .as_str()
+    {
+        "vanilla" => Pipeline::vanilla(),
+        "enhanced" => Pipeline::enhanced(),
+        other => panic!("unknown pipeline `{other}`"),
+    };
+    let hps: usize = args.get("hps").unwrap_or(4);
+    let space = SearchSpace::mlp_table3(hps);
+    let base = MlpParams {
+        max_iter: args.get("max-iter").unwrap_or(10),
+        ..Default::default()
+    };
+
+    println!(
+        "HPO benchmark: {} configurations, scale {}, seed {}\n",
+        space.n_configurations(),
+        args.scale,
+        args.seed
+    );
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "dataset",
+        "method",
+        "wall (s)",
+        "trials",
+        "trials/s",
+        "cost (GMAC)",
+        "test",
+    ]);
+    for ds in &datasets {
+        let tt = ds.load(args.scale, args.seed);
+        for (name, method) in methods() {
+            let row = run_method_with(
+                &tt.train,
+                &tt.test,
+                &space,
+                pipeline.clone(),
+                &base,
+                &method,
+                args.seed,
+                &RunOptions::default(),
+            );
+            let trials_per_sec = if row.search_seconds > 0.0 {
+                row.n_evaluations as f64 / row.search_seconds
+            } else {
+                0.0
+            };
+            table.row(vec![
+                ds.name().to_string(),
+                name.to_string(),
+                format!("{:.2}", row.search_seconds),
+                row.n_evaluations.to_string(),
+                format!("{trials_per_sec:.1}"),
+                format!("{:.2}", row.search_cost_units as f64 / 1e9),
+                format!("{:.4}", row.test_score),
+            ]);
+            rows.push(serde_json::json!({
+                "dataset": ds.name(),
+                "method": name,
+                "pipeline": row.pipeline,
+                "wall_seconds": row.search_seconds,
+                "trials": row.n_evaluations,
+                "trials_per_sec": trials_per_sec,
+                "cost_units": row.search_cost_units,
+                "n_failures": row.n_failures,
+                "train_score": row.train_score,
+                "test_score": row.test_score,
+            }));
+        }
+    }
+    table.print();
+
+    let metrics = obs::global_metrics().snapshot();
+    let report = serde_json::json!({
+        "bench": "hpo",
+        "seed": args.seed,
+        "scale": args.scale,
+        "n_configurations": space.n_configurations(),
+        "rows": rows,
+        "metrics": metrics,
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    write_json_atomic(&out_path, text.as_bytes()).expect("write benchmark report");
+    println!("\nwrote {out_path}");
+}

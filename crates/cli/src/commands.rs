@@ -7,9 +7,11 @@ use hpo_core::dehb::DehbConfig;
 use hpo_core::evaluator::CvEvaluator;
 use hpo_core::exec::{compare_scores, FailurePolicy};
 use hpo_core::harness::{run_method_with, Method, RunOptions};
-use hpo_core::persist::save_run_result_file;
 use hpo_core::hyperband::HyperbandConfig;
+use hpo_core::obs::{self, LogLevel, Recorder};
+use hpo_core::obs_info;
 use hpo_core::pasha::PashaConfig;
+use hpo_core::persist::save_run_result_file;
 use hpo_core::pipeline::Pipeline;
 use hpo_core::random_search::RandomSearchConfig;
 use hpo_core::sha::ShaConfig;
@@ -131,6 +133,13 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
     let method = parse_method(flags)?;
     let pipeline = parse_pipeline(flags)?;
 
+    if let Some(level) = flags.get("log-level") {
+        let level = LogLevel::parse(level)
+            .ok_or_else(|| CliError(format!("unknown log level `{level}`")))?;
+        obs::set_log_level(level);
+    }
+    let recorder = build_recorder(flags)?;
+
     let trial_timeout: f64 = flags.get_or("trial-timeout", 0.0)?;
     let opts = RunOptions {
         failure_policy: FailurePolicy {
@@ -141,9 +150,10 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
         checkpoint: flags.get("checkpoint").map(std::path::PathBuf::from),
         checkpoint_every: flags.get_or("checkpoint-every", 1usize)?,
         resume: flags.get("resume").is_some(),
+        recorder,
     };
 
-    eprintln!(
+    obs_info!(
         "optimizing {} configurations on {} train / {} test instances ({} features, {})...",
         space.n_configurations(),
         train.n_instances(),
@@ -175,9 +185,34 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
     }
     if let Some(path) = flags.get("json") {
         save_run_result_file(&row, path).map_err(|e| CliError(e.to_string()))?;
-        eprintln!("wrote {path}");
+        obs_info!("wrote {path}");
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        obs::global_metrics()
+            .write_snapshot_file(path)
+            .map_err(|e| CliError(format!("writing metrics snapshot: {e}")))?;
+        obs_info!("wrote {path}");
+    }
+    if let Some(path) = flags.get("events-out") {
+        obs_info!("wrote {path}");
     }
     Ok(())
+}
+
+/// Builds the run recorder from the observability flags: `--events-out`
+/// journals to JSONL, `--progress` paints a live line on stderr. With
+/// neither, the recorder is disabled and costs nothing.
+fn build_recorder(flags: &Flags) -> Result<Recorder, CliError> {
+    let mut builder = Recorder::builder();
+    if let Some(path) = flags.get("events-out") {
+        builder = builder.journal_to(path);
+    }
+    if flags.get("progress").is_some() {
+        builder = builder.with_progress();
+    }
+    builder
+        .build()
+        .map_err(|e| CliError(format!("opening event journal: {e}")))
 }
 
 /// `bhpo cv`: score every configuration of the 18-grid by cross-validation.

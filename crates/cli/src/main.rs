@@ -3,6 +3,8 @@
 //! ```text
 //! bhpo optimize --data train.libsvm [--test test.libsvm] [--method sha]
 //!               [--pipeline enhanced] [--hps 4] [--seed 42] [--json out.json]
+//!               [--events-out run.jsonl] [--metrics-out metrics.json]
+//!               [--log-level info] [--progress]
 //! bhpo cv       --data train.libsvm [--ratio 0.2] [--pipeline enhanced]
 //! bhpo groups   --data train.libsvm [--v 2]
 //! bhpo datasets
@@ -21,7 +23,7 @@ fn main() -> ExitCode {
     match cli::run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("bhpo: {e}");
+            hpo_core::obs_error!("bhpo: {e}");
             ExitCode::FAILURE
         }
     }

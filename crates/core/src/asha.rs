@@ -10,6 +10,7 @@
 
 use crate::evaluator::EvalOutcome;
 use crate::exec::{compare_scores, TrialEvaluator};
+use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_data::rng::derive_seed;
@@ -156,6 +157,17 @@ pub fn asha<E: TrialEvaluator + ?Sized>(
     let candidates = space.sample_distinct(config.n_configs, derive_seed(stream, 0xA5A));
     let n_configs = candidates.len();
 
+    let recorder = evaluator.recorder();
+    // ASHA has no rung barriers; rung 0 is the only rung with a known
+    // start, and promotions are per-configuration events emitted by the
+    // worker that launches them.
+    recorder.emit(RunEvent::RungStarted {
+        bracket: 0,
+        rung: 0,
+        n_candidates: n_configs,
+        budget: budgets[0],
+    });
+
     let shared = Mutex::new(Shared {
         results: vec![Vec::new(); budgets.len()],
         promoted: vec![HashSet::new(); budgets.len()],
@@ -171,6 +183,7 @@ pub fn asha<E: TrialEvaluator + ?Sized>(
             let history = &history;
             let candidates = &candidates;
             let budgets = &budgets;
+            let recorder = &recorder;
             scope.spawn(move || loop {
                 let job = {
                     let mut s = shared.lock();
@@ -186,6 +199,17 @@ pub fn asha<E: TrialEvaluator + ?Sized>(
                     std::thread::yield_now();
                     continue;
                 };
+                if job.rung > 0 && job.attempts == 0 {
+                    // A freshly-scheduled rung-r job *is* the asynchronous
+                    // promotion decision: one configuration at a time.
+                    recorder.emit(RunEvent::Promotion {
+                        bracket: 0,
+                        from_rung: job.rung - 1,
+                        to_rung: job.rung,
+                        promoted: 1,
+                        pruned: 0,
+                    });
+                }
                 let cand = &candidates[job.config_id];
                 let params = space.to_params(cand, base_params);
                 // Fold streams per the pipeline (see sha.rs).
@@ -230,8 +254,7 @@ pub fn asha<E: TrialEvaluator + ?Sized>(
                         // promotion maths downstream) still sees it.
                         let imputed = evaluator.failure_policy().imputed_score;
                         let total = evaluator.total_budget().max(1);
-                        let gamma_pct =
-                            100.0 * budgets[job.rung].min(total) as f64 / total as f64;
+                        let gamma_pct = 100.0 * budgets[job.rung].min(total) as f64 / total as f64;
                         {
                             let mut s = shared.lock();
                             s.results[job.rung].push((job.config_id, imputed));
@@ -241,12 +264,7 @@ pub fn asha<E: TrialEvaluator + ?Sized>(
                             config: cand.clone(),
                             budget: budgets[job.rung],
                             rung: job.rung,
-                            outcome: EvalOutcome::failed(
-                                job.attempts + 1,
-                                imputed,
-                                gamma_pct,
-                                0.0,
-                            ),
+                            outcome: EvalOutcome::failed(job.attempts + 1, imputed, gamma_pct, 0.0),
                         });
                     }
                 }

@@ -7,6 +7,7 @@
 //! reduce the fold scores with the pipeline's [`hpo_metrics::EvalMetric`].
 
 use crate::exec::FailurePolicy;
+use crate::obs::{self, ScopedTimer, LATENCY_BUCKETS};
 use crate::pipeline::Pipeline;
 use hpo_data::dataset::{Dataset, Task};
 use hpo_data::rng::{derive_seed, rng_from_seed};
@@ -159,6 +160,12 @@ impl<'a> CvEvaluator<'a> {
         let grouping = pipeline.grouping.as_ref().map(|cfg| {
             let mut cfg = cfg.clone();
             cfg.seed = derive_seed(seed, 0x6600);
+            // Operation 1 (clustering) runs once per evaluator; its latency
+            // is a standing question for the "overhead of the enhanced
+            // pipeline" analysis, so it gets its own histogram.
+            let _timer = ScopedTimer::start(
+                obs::global_metrics().histogram("hpo_grouping_seconds", LATENCY_BUCKETS),
+            );
             build_grouping(train, &cfg)
         });
         let (strat_labels, n_strat_categories) = match train.task() {
@@ -243,6 +250,10 @@ impl<'a> CvEvaluator<'a> {
     /// Evaluates `params` with `budget` instances. `stream` decorrelates the
     /// fold sampling across configurations and rungs.
     pub fn evaluate(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        // Handles resolved once per trial, not per fold: the per-fold hot
+        // path then costs one `Instant` pair and a few relaxed atomics.
+        let fit_seconds = obs::global_metrics().histogram("hpo_model_fit_seconds", LATENCY_BUCKETS);
+        let epochs_total = obs::global_metrics().counter("hpo_model_epochs_total");
         let mut diverged_folds = 0usize;
         let mut out = self.evaluate_fn(budget, stream, |fold, train_sub, val_sub| {
             let mut fold_params = params.clone();
@@ -250,23 +261,39 @@ impl<'a> CvEvaluator<'a> {
             match self.train.task() {
                 Task::Regression => {
                     let mut model = MlpRegressor::new(fold_params);
-                    match model.fit(train_sub) {
+                    let fit = {
+                        let _timer = ScopedTimer::start(std::sync::Arc::clone(&fit_seconds));
+                        model.fit(train_sub)
+                    };
+                    match fit {
                         Ok(report) if report.diverged => {
+                            epochs_total.add(report.epochs as u64);
                             diverged_folds += 1;
                             (Vec::new(), report.cost_units)
                         }
-                        Ok(report) => (model.predict(val_sub.x()), report.cost_units),
+                        Ok(report) => {
+                            epochs_total.add(report.epochs as u64);
+                            (model.predict(val_sub.x()), report.cost_units)
+                        }
                         Err(_) => (Vec::new(), 0),
                     }
                 }
                 _ => {
                     let mut model = MlpClassifier::new(fold_params);
-                    match model.fit(train_sub) {
+                    let fit = {
+                        let _timer = ScopedTimer::start(std::sync::Arc::clone(&fit_seconds));
+                        model.fit(train_sub)
+                    };
+                    match fit {
                         Ok(report) if report.diverged => {
+                            epochs_total.add(report.epochs as u64);
                             diverged_folds += 1;
                             (Vec::new(), report.cost_units)
                         }
-                        Ok(report) => (model.predict(val_sub.x()), report.cost_units),
+                        Ok(report) => {
+                            epochs_total.add(report.epochs as u64);
+                            (model.predict(val_sub.x()), report.cost_units)
+                        }
                         Err(_) => (Vec::new(), 0),
                     }
                 }
@@ -301,14 +328,19 @@ impl<'a> CvEvaluator<'a> {
         let k = self.pipeline.fold_strategy.n_folds();
         let budget = budget.clamp(k.max(2), self.total_budget.max(k));
         let mut rng = rng_from_seed(derive_seed(self.seed, stream));
-        let folds = self.pipeline.fold_strategy.build(
-            self.train.n_instances(),
-            &self.strat_labels,
-            self.n_strat_categories,
-            self.grouping.as_ref(),
-            budget,
-            &mut rng,
-        );
+        let folds = {
+            let _timer = ScopedTimer::start(
+                obs::global_metrics().histogram("hpo_fold_build_seconds", LATENCY_BUCKETS),
+            );
+            self.pipeline.fold_strategy.build(
+                self.train.n_instances(),
+                &self.strat_labels,
+                self.n_strat_categories,
+                self.grouping.as_ref(),
+                budget,
+                &mut rng,
+            )
+        };
 
         let mut scores = Vec::with_capacity(folds.len());
         let mut cost_units = 0u64;
@@ -321,7 +353,10 @@ impl<'a> CvEvaluator<'a> {
                 .policy
                 .trial_timeout_secs
                 .is_some_and(|limit| start.elapsed().as_secs_f64() > limit)
-                || self.policy.max_cost_units.is_some_and(|max| cost_units > max)
+                || self
+                    .policy
+                    .max_cost_units
+                    .is_some_and(|max| cost_units > max)
             {
                 status = TrialStatus::TimedOut;
                 break;

@@ -25,6 +25,7 @@
 //!   `f64::total_cmp` with non-finite scores ranked strictly worst.
 
 use crate::evaluator::{CvEvaluator, EvalOutcome, TrialStatus};
+use crate::obs::{Recorder, RunEvent};
 use crate::persist::{save_checkpoint, CheckpointEntry, PersistError, RunCheckpoint};
 use hpo_data::rng::{derive_seed, rng_from_seed};
 use hpo_models::mlp::MlpParams;
@@ -101,6 +102,21 @@ pub trait TrialEvaluator: Sync {
     /// The failure policy governing `evaluate_trial`.
     fn failure_policy(&self) -> &FailurePolicy;
 
+    /// The event recorder for this evaluation stack. Optimizers call this
+    /// to emit their decision events (brackets, rungs, promotions);
+    /// wrappers forward it inward so the whole stack shares one recorder.
+    /// The default is disabled — emission is then a cheap early return.
+    fn recorder(&self) -> Recorder {
+        Recorder::disabled()
+    }
+
+    /// Hook invoked by [`run_trial`] just before re-attempting a failed
+    /// trial; `attempt` is the attempt number about to run (2 = first
+    /// retry). The default does nothing;
+    /// [`crate::obs::ObservedEvaluator`] turns it into a `TrialRetried`
+    /// event and a retry counter.
+    fn on_trial_retry(&self, _stream: u64, _attempt: u32) {}
+
     /// Evaluates one trial under the failure policy. Never panics from a
     /// contained evaluation; always returns a finite score (imputed on
     /// failure).
@@ -172,6 +188,7 @@ pub fn run_trial<E: TrialEvaluator + ?Sized>(
                     || out.fold_scores.folds.iter().any(|s| !s.is_finite());
                 if diverged {
                     if attempts < max_attempts {
+                        evaluator.on_trial_retry(stream, attempts + 1);
                         continue;
                     }
                     out.status = TrialStatus::Diverged;
@@ -182,6 +199,7 @@ pub fn run_trial<E: TrialEvaluator + ?Sized>(
             }
             Err(_) => {
                 if attempts < max_attempts {
+                    evaluator.on_trial_retry(stream, attempts + 1);
                     continue;
                 }
                 let total = evaluator.total_budget().max(1);
@@ -313,6 +331,14 @@ impl<E: TrialEvaluator> TrialEvaluator for FaultInjector<'_, E> {
     fn failure_policy(&self) -> &FailurePolicy {
         &self.policy
     }
+
+    fn recorder(&self) -> Recorder {
+        self.inner.recorder()
+    }
+
+    fn on_trial_retry(&self, stream: u64, attempt: u32) {
+        self.inner.on_trial_retry(stream, attempt);
+    }
 }
 
 /// Cache key of one trial within a seeded run: the budget, the fold stream
@@ -350,6 +376,10 @@ pub struct CheckpointingEvaluator<'e, E: TrialEvaluator> {
     /// [`CheckpointingEvaluator::flush`]).
     every: usize,
     state: Mutex<CheckpointState>,
+    /// Recorder used solely for `CheckpointWritten` events; trial events
+    /// belong to the inner (observed) layer, so `recorder()` forwards
+    /// inward instead of returning this.
+    checkpoint_recorder: Recorder,
 }
 
 impl<'e, E: TrialEvaluator> CheckpointingEvaluator<'e, E> {
@@ -372,6 +402,23 @@ impl<'e, E: TrialEvaluator> CheckpointingEvaluator<'e, E> {
                 new_since_save: 0,
                 hits: 0,
             }),
+            checkpoint_recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Emits a `CheckpointWritten` event through `recorder` after every
+    /// successful checkpoint save.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.checkpoint_recorder = recorder;
+        self
+    }
+
+    fn emit_checkpoint_written(&self, entries: usize) {
+        if let Some(path) = &self.path {
+            self.checkpoint_recorder.emit(RunEvent::CheckpointWritten {
+                path: path.display().to_string(),
+                entries,
+            });
         }
     }
 
@@ -402,11 +449,16 @@ impl<'e, E: TrialEvaluator> CheckpointingEvaluator<'e, E> {
     /// # Errors
     /// IO or serialization failures.
     pub fn flush(&self) -> Result<(), PersistError> {
-        let st = self.state.lock();
-        match &self.path {
-            Some(path) => save_checkpoint(&st.checkpoint, path),
-            None => Ok(()),
-        }
+        let entries = {
+            let st = self.state.lock();
+            match &self.path {
+                Some(path) => save_checkpoint(&st.checkpoint, path)?,
+                None => return Ok(()),
+            }
+            st.checkpoint.entries.len()
+        };
+        self.emit_checkpoint_written(entries);
+        Ok(())
     }
 }
 
@@ -425,6 +477,14 @@ impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
 
     fn failure_policy(&self) -> &FailurePolicy {
         self.inner.failure_policy()
+    }
+
+    fn recorder(&self) -> Recorder {
+        self.inner.recorder()
+    }
+
+    fn on_trial_retry(&self, stream: u64, attempt: u32) {
+        self.inner.on_trial_retry(stream, attempt);
     }
 
     fn evaluate_trial(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
@@ -448,13 +508,20 @@ impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
             outcome: out.clone(),
         });
         st.new_since_save += 1;
+        let mut saved_entries = None;
         if self.every > 0 && st.new_since_save >= self.every {
             st.new_since_save = 0;
             if let Some(path) = &self.path {
                 // Mid-run checkpoints are best-effort; the final flush
                 // surfaces persistent IO errors.
-                let _ = save_checkpoint(&st.checkpoint, path);
+                if save_checkpoint(&st.checkpoint, path).is_ok() {
+                    saved_entries = Some(st.checkpoint.entries.len());
+                }
             }
+        }
+        drop(st);
+        if let Some(entries) = saved_entries {
+            self.emit_checkpoint_written(entries);
         }
         out
     }
@@ -546,11 +613,12 @@ mod tests {
     #[test]
     fn slow_injection_times_out_under_a_deadline() {
         let data = dataset();
-        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1)
-            .with_failure_policy(FailurePolicy {
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1).with_failure_policy(
+            FailurePolicy {
                 trial_timeout_secs: Some(3600.0),
                 ..Default::default()
-            });
+            },
+        );
         let inj = FaultInjector::new(
             &ev,
             FaultPlan {
@@ -593,7 +661,8 @@ mod tests {
             ..Default::default()
         };
         // Find a stream whose first attempt faults.
-        let no_retry = FaultInjector::new(&ev, plan.clone()).with_policy(FailurePolicy::no_retries());
+        let no_retry =
+            FaultInjector::new(&ev, plan.clone()).with_policy(FailurePolicy::no_retries());
         let stream = (0..50u64)
             .find(|&s| {
                 no_retry.evaluate_trial(&quick_base(), 80, s).status != TrialStatus::Completed

@@ -11,6 +11,7 @@ use crate::dehb::{dehb, DehbConfig};
 use crate::evaluator::{fit_and_score, CvEvaluator, ScoreKind};
 use crate::exec::{CheckpointingEvaluator, FailurePolicy, TrialEvaluator};
 use crate::hyperband::{hyperband, HyperbandConfig};
+use crate::obs::{self, ObservedEvaluator, Recorder, RunEvent};
 use crate::pasha::{pasha, PashaConfig};
 use crate::persist::load_checkpoint;
 use crate::pipeline::Pipeline;
@@ -103,6 +104,10 @@ pub struct RunOptions {
     /// Replay completed trials from `checkpoint` if it exists and matches
     /// this run's identity (seed, method, pipeline).
     pub resume: bool,
+    /// Event recorder: journal/progress sinks for every run, rung, trial,
+    /// retry, promotion and checkpoint event. Disabled by default (one
+    /// branch per would-be emission).
+    pub recorder: Recorder,
 }
 
 impl Default for RunOptions {
@@ -112,6 +117,7 @@ impl Default for RunOptions {
             checkpoint: None,
             checkpoint_every: 1,
             resume: false,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -203,35 +209,48 @@ pub fn run_method_with(
 ) -> RunResult {
     let method_label = method.label().to_string();
     let pipeline_label = pipeline.label.clone();
+    let recorder = opts.recorder.clone();
     let evaluator = CvEvaluator::new(train, pipeline, base_params.clone(), seed)
         .with_failure_policy(opts.failure_policy.clone());
     let score_kind = evaluator.score_kind();
 
+    // Composition order (DESIGN.md §5.6): observation sits inside
+    // checkpointing, so trials replayed from a resume cache emit no
+    // duplicate events.
+    let observed = ObservedEvaluator::new(&evaluator, recorder.clone());
     let ckpt = CheckpointingEvaluator::new(
-        &evaluator,
+        &observed,
         seed,
         &method_label,
         &pipeline_label,
         opts.checkpoint.clone(),
         opts.checkpoint_every,
-    );
+    )
+    .with_recorder(recorder.clone());
     if opts.resume {
         if let Some(path) = opts.checkpoint.as_deref().filter(|p| p.exists()) {
             match load_checkpoint(path) {
                 Ok(prior) if prior.matches(seed, &method_label, &pipeline_label) => {
                     ckpt.absorb(prior);
                 }
-                Ok(_) => eprintln!(
-                    "warning: ignoring checkpoint {} (different seed/method/pipeline)",
+                Ok(_) => crate::obs_warn!(
+                    "ignoring checkpoint {} (different seed/method/pipeline)",
                     path.display()
                 ),
-                Err(e) => eprintln!(
-                    "warning: ignoring unreadable checkpoint {}: {e}",
-                    path.display()
-                ),
+                Err(e) => {
+                    crate::obs_warn!("ignoring unreadable checkpoint {}: {e}", path.display())
+                }
             }
         }
     }
+
+    recorder.emit(RunEvent::RunStarted {
+        method: method_label.clone(),
+        pipeline: pipeline_label.clone(),
+        seed,
+        total_budget: evaluator.total_budget(),
+    });
+    obs::global_metrics().counter("hpo_runs_total").inc();
 
     let start = Instant::now();
     let (best, history): (Configuration, History) =
@@ -239,7 +258,25 @@ pub fn run_method_with(
     let search_seconds = start.elapsed().as_secs_f64();
     let n_resumed = ckpt.resumed_trials();
     if let Err(e) = ckpt.flush() {
-        eprintln!("warning: final checkpoint write failed: {e}");
+        crate::obs_warn!("final checkpoint write failed: {e}");
+    }
+
+    let best_score = history
+        .best()
+        .filter(|t| t.outcome.status.is_ok() && t.outcome.score.is_finite())
+        .map(|t| t.outcome.score);
+    if let Some(score) = best_score {
+        obs::global_metrics().gauge("hpo_best_score").set(score);
+    }
+    recorder.emit(RunEvent::RunFinished {
+        method: method_label.clone(),
+        n_trials: history.len(),
+        n_failures: history.n_failures(),
+        best_score,
+        wall_seconds: search_seconds,
+    });
+    if let Err(e) = recorder.flush() {
+        crate::obs_warn!("event journal sync failed: {e}");
     }
 
     // Final refit on the complete training set (paper Fig. 1's last step).

@@ -6,6 +6,7 @@
 //! [`crate::pipeline::Pipeline::enhanced`].
 
 use crate::exec::{compare_scores, TrialEvaluator};
+use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_data::rng::derive_seed;
@@ -80,6 +81,7 @@ pub fn hyperband_with_sampler<E: TrialEvaluator + ?Sized>(
 
     // s_max brackets: the most aggressive bracket starts at r_min.
     let s_max = ((r_max as f64 / r_min as f64).ln() / eta.ln()).floor() as usize;
+    let recorder = evaluator.recorder();
     let mut history = History::new();
     let mut best: Option<(Configuration, usize, f64)> = None;
 
@@ -89,6 +91,11 @@ pub fn hyperband_with_sampler<E: TrialEvaluator + ?Sized>(
         let r0 = (r_max as f64 * eta.powi(-(s as i32))).round() as usize;
         let bracket_stream = derive_seed(stream, 0xB0 + s as u64);
         let mut survivors = sampler.sample(space, n.max(1), bracket_stream);
+        recorder.emit(RunEvent::BracketStarted {
+            bracket: s,
+            n_configs: survivors.len(),
+            budget: r0.clamp(r_min, r_max),
+        });
 
         for i in 0..=s {
             if survivors.is_empty() {
@@ -96,6 +103,12 @@ pub fn hyperband_with_sampler<E: TrialEvaluator + ?Sized>(
             }
             let budget = ((r0 as f64) * eta.powi(i as i32)).round() as usize;
             let budget = budget.clamp(r_min, r_max);
+            recorder.emit(RunEvent::RungStarted {
+                bracket: s,
+                rung: i,
+                n_candidates: survivors.len(),
+                budget,
+            });
             // Fold streams per the pipeline (see sha.rs).
             let mut scored: Vec<(usize, f64)> = Vec::with_capacity(survivors.len());
             for (c, cand) in survivors.iter().enumerate() {
@@ -134,6 +147,13 @@ pub fn hyperband_with_sampler<E: TrialEvaluator + ?Sized>(
             }
             let keep = (survivors.len() / config.eta).max(1);
             scored.sort_by(|a, b| compare_scores(b.1, a.1));
+            recorder.emit(RunEvent::Promotion {
+                bracket: s,
+                from_rung: i,
+                to_rung: i + 1,
+                promoted: keep,
+                pruned: survivors.len().saturating_sub(keep),
+            });
             survivors = scored
                 .into_iter()
                 .take(keep)

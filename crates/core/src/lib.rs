@@ -20,7 +20,9 @@
 //!
 //! [`harness`] runs a method end to end (search → refit on the full training
 //! set → test-set score) and is what the experiment binaries and examples
-//! drive.
+//! drive. [`obs`] is the observability layer threaded through all of it:
+//! typed run events journaled as JSONL, a lock-light metrics registry with
+//! scoped timers, a leveled logging facade, and live terminal progress.
 
 #![warn(missing_docs)]
 
@@ -32,6 +34,7 @@ pub mod evaluator;
 pub mod exec;
 pub mod harness;
 pub mod hyperband;
+pub mod obs;
 pub mod pasha;
 pub mod persist;
 pub mod pipeline;
@@ -42,9 +45,11 @@ pub mod trial;
 
 pub use evaluator::{CvEvaluator, EvalOutcome, ScoreKind, TrialStatus};
 pub use exec::{
-    compare_scores, CheckpointingEvaluator, FailurePolicy, FaultInjector, FaultPlan,
-    TrialEvaluator,
+    compare_scores, CheckpointingEvaluator, FailurePolicy, FaultInjector, FaultPlan, TrialEvaluator,
 };
 pub use harness::{run_method, run_method_with, Method, RunOptions, RunResult};
+pub use obs::{
+    EventRecord, LogLevel, MetricsSnapshot, ObservedEvaluator, Recorder, RunEvent, ScopedTimer,
+};
 pub use pipeline::Pipeline;
 pub use space::{Configuration, SearchSpace};

@@ -1,0 +1,235 @@
+//! The typed event taxonomy of one optimization run.
+//!
+//! Every observable thing an optimizer does — starting a run, opening a
+//! bracket or rung, evaluating a trial, retrying or failing one, promoting
+//! survivors, journaling a checkpoint — is a [`RunEvent`] variant. Events
+//! are serialized as single JSONL lines (one [`EventRecord`] per line) so a
+//! run journal can be replayed, diffed across seeds, and queried with
+//! standard tools (`jq`, `grep`).
+//!
+//! Variant names and field sets are part of the journal schema: renaming a
+//! variant is a breaking change to every archived journal, so prefer adding
+//! new variants over mutating existing ones (the same discipline as
+//! [`crate::persist::CHECKPOINT_VERSION`]).
+
+use crate::evaluator::TrialStatus;
+use serde::{Deserialize, Serialize};
+
+/// One observable event inside an optimization run.
+///
+/// The lifecycle of a healthy run reads `RunStarted` → (`BracketStarted` →
+/// (`RungStarted` → trial events → `Promotion`)\*)\* → `RunFinished`.
+/// Asynchronous optimizers (ASHA, PASHA) have no rung barriers, so their
+/// journals interleave trial events with per-configuration `Promotion`
+/// events instead.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type")]
+pub enum RunEvent {
+    /// A seeded run began.
+    RunStarted {
+        /// Optimizer label ("SHA", "HB", ...).
+        method: String,
+        /// Pipeline label ("vanilla" / "enhanced").
+        pipeline: String,
+        /// The run seed.
+        seed: u64,
+        /// Total budget `B` (training instances).
+        total_budget: usize,
+    },
+    /// A Hyperband bracket opened.
+    BracketStarted {
+        /// Bracket index `s` (aggressive brackets first).
+        bracket: usize,
+        /// Configurations sampled into the bracket.
+        n_configs: usize,
+        /// Initial per-configuration budget of the bracket.
+        budget: usize,
+    },
+    /// A synchronous rung began evaluating its candidates.
+    RungStarted {
+        /// Bracket the rung belongs to (0 for single-bracket methods).
+        bracket: usize,
+        /// Rung index within the bracket.
+        rung: usize,
+        /// Surviving candidates entering the rung.
+        n_candidates: usize,
+        /// Per-candidate instance budget at this rung.
+        budget: usize,
+    },
+    /// One trial evaluation began.
+    TrialStarted {
+        /// Recorder-assigned trial id (monotonic within the run).
+        trial: u64,
+        /// Instance budget of the evaluation.
+        budget: usize,
+        /// Fold-sampling stream (encodes rung/candidate, see
+        /// [`crate::evaluator::CvEvaluator::fold_stream`]).
+        stream: u64,
+    },
+    /// A trial completed normally with a finite score.
+    TrialFinished {
+        /// Trial id from the matching [`RunEvent::TrialStarted`].
+        trial: u64,
+        /// Instance budget of the evaluation.
+        budget: usize,
+        /// Fold-sampling stream of the evaluation.
+        stream: u64,
+        /// The pipeline-metric score.
+        score: f64,
+        /// Wall-clock seconds the evaluation took.
+        wall_seconds: f64,
+        /// Deterministic training cost (MAC units).
+        cost_units: u64,
+    },
+    /// A trial ended in a failure outcome (diverged, timed out, or panicked
+    /// on every attempt); its score is the policy's imputed worst-score.
+    TrialFailed {
+        /// Trial id from the matching [`RunEvent::TrialStarted`].
+        trial: u64,
+        /// Instance budget of the evaluation.
+        budget: usize,
+        /// Fold-sampling stream of the evaluation.
+        stream: u64,
+        /// How the trial terminated (never `Completed`).
+        status: TrialStatus,
+        /// The imputed score recorded for the trial.
+        score: f64,
+    },
+    /// A failed attempt is being retried with a jittered fold stream.
+    TrialRetried {
+        /// Fold-sampling stream of the trial being retried (attempt 1's
+        /// stream; retries jitter it internally).
+        stream: u64,
+        /// The attempt number about to run (2 = first retry).
+        attempt: u32,
+    },
+    /// A halving/promotion decision was taken.
+    Promotion {
+        /// Bracket the decision belongs to.
+        bracket: usize,
+        /// Rung the survivors are promoted out of.
+        from_rung: usize,
+        /// Rung the survivors are promoted into.
+        to_rung: usize,
+        /// Configurations promoted.
+        promoted: usize,
+        /// Configurations pruned.
+        pruned: usize,
+    },
+    /// The crash-recovery checkpoint was written to disk.
+    CheckpointWritten {
+        /// Checkpoint file path.
+        path: String,
+        /// Completed trials recorded in the checkpoint.
+        entries: usize,
+    },
+    /// The run finished; the journal is complete.
+    RunFinished {
+        /// Optimizer label, mirroring [`RunEvent::RunStarted`].
+        method: String,
+        /// Trials evaluated (excluding checkpoint replays).
+        n_trials: usize,
+        /// Trials that ended in a failure outcome.
+        n_failures: usize,
+        /// Best score observed in the history, when any trial completed.
+        best_score: Option<f64>,
+        /// Wall-clock seconds of the search.
+        wall_seconds: f64,
+    },
+}
+
+impl RunEvent {
+    /// The schema tag of the variant (the JSON `"type"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunEvent::RunStarted { .. } => "RunStarted",
+            RunEvent::BracketStarted { .. } => "BracketStarted",
+            RunEvent::RungStarted { .. } => "RungStarted",
+            RunEvent::TrialStarted { .. } => "TrialStarted",
+            RunEvent::TrialFinished { .. } => "TrialFinished",
+            RunEvent::TrialFailed { .. } => "TrialFailed",
+            RunEvent::TrialRetried { .. } => "TrialRetried",
+            RunEvent::Promotion { .. } => "Promotion",
+            RunEvent::CheckpointWritten { .. } => "CheckpointWritten",
+            RunEvent::RunFinished { .. } => "RunFinished",
+        }
+    }
+}
+
+/// One journal line: a sequence number, a wall-clock timestamp, and the
+/// event itself.
+///
+/// `seq` is assigned atomically by the recorder, so within one run it is a
+/// total order over emissions; `ts_ms` is informational only and is the one
+/// field two equal-seeded runs are allowed to disagree on (see the journal
+/// determinism test).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Emission order within the run (0-based, gap-free).
+    pub seq: u64,
+    /// Milliseconds since the Unix epoch at emission.
+    pub ts_ms: u64,
+    /// The event.
+    pub event: RunEvent,
+}
+
+impl EventRecord {
+    /// A copy with the timestamp zeroed — the normal form compared by
+    /// determinism checks.
+    pub fn without_timestamp(&self) -> EventRecord {
+        EventRecord {
+            seq: self.seq,
+            ts_ms: 0,
+            event: self.event.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_matches_serde_tag() {
+        let ev = RunEvent::RunStarted {
+            method: "SHA".into(),
+            pipeline: "vanilla".into(),
+            seed: 1,
+            total_budget: 100,
+        };
+        let json = serde_json::to_string(&ev).unwrap();
+        assert!(json.contains("\"type\":\"RunStarted\""), "{json}");
+        assert_eq!(ev.kind(), "RunStarted");
+    }
+
+    #[test]
+    fn record_roundtrips_and_normalizes() {
+        let rec = EventRecord {
+            seq: 3,
+            ts_ms: 1234,
+            event: RunEvent::TrialRetried {
+                stream: 7,
+                attempt: 2,
+            },
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: EventRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.without_timestamp().ts_ms, 0);
+        assert_eq!(back.without_timestamp().event, rec.event);
+    }
+
+    #[test]
+    fn failure_statuses_serialize_inside_events() {
+        let ev = RunEvent::TrialFailed {
+            trial: 1,
+            budget: 50,
+            stream: 9,
+            status: TrialStatus::Failed { attempts: 3 },
+            score: -1.0e9,
+        };
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: RunEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ev);
+    }
+}

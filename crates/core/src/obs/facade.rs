@@ -1,0 +1,161 @@
+//! Leveled logging facade replacing ad-hoc `eprintln!` diagnostics.
+//!
+//! One process-wide level (an atomic, so checking it is a single relaxed
+//! load) gates four macros: [`obs_error!`](crate::obs_error),
+//! [`obs_warn!`](crate::obs_warn), [`obs_info!`](crate::obs_info) and
+//! [`obs_debug!`](crate::obs_debug). Messages go to stderr as
+//! `LEVEL: message`, keeping stdout clean for machine-readable output
+//! (result JSON, journals, metric snapshots). The CLI's `--log-level`
+//! flag maps directly onto [`set_log_level`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Severity of a log line; lower values are more severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LogLevel {
+    /// Unrecoverable or user-visible failures.
+    Error = 0,
+    /// Degraded-but-continuing conditions (e.g. checkpoint write failed).
+    Warn = 1,
+    /// Progress milestones; the default level.
+    Info = 2,
+    /// High-volume diagnostics.
+    Debug = 3,
+}
+
+impl LogLevel {
+    /// The canonical lowercase name (`"error"`, `"warn"`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+
+    /// Parses a level name, case-insensitively. `"off"`/`"quiet"` and
+    /// `"trace"`/`"verbose"` map onto the nearest supported level.
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" | "off" | "quiet" => Some(LogLevel::Error),
+            "warn" | "warning" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" | "trace" | "verbose" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// Sets the process-wide log level.
+pub fn set_log_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide log level.
+pub fn log_level() -> LogLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => LogLevel::Error,
+        1 => LogLevel::Warn,
+        2 => LogLevel::Info,
+        _ => LogLevel::Debug,
+    }
+}
+
+/// Whether lines at `level` are currently emitted.
+pub fn enabled(level: LogLevel) -> bool {
+    level <= log_level()
+}
+
+/// Writes one line to stderr when `level` is enabled. Prefer the macros,
+/// which skip formatting entirely when the level is off.
+pub fn log(level: LogLevel, args: std::fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("{}: {}", level.as_str(), args);
+    }
+}
+
+/// Logs at [`LogLevel::Error`].
+#[macro_export]
+macro_rules! obs_error {
+    ($($arg:tt)*) => {
+        $crate::obs::facade::log(
+            $crate::obs::facade::LogLevel::Error,
+            ::core::format_args!($($arg)*),
+        )
+    };
+}
+
+/// Logs at [`LogLevel::Warn`].
+#[macro_export]
+macro_rules! obs_warn {
+    ($($arg:tt)*) => {
+        if $crate::obs::facade::enabled($crate::obs::facade::LogLevel::Warn) {
+            $crate::obs::facade::log(
+                $crate::obs::facade::LogLevel::Warn,
+                ::core::format_args!($($arg)*),
+            )
+        }
+    };
+}
+
+/// Logs at [`LogLevel::Info`].
+#[macro_export]
+macro_rules! obs_info {
+    ($($arg:tt)*) => {
+        if $crate::obs::facade::enabled($crate::obs::facade::LogLevel::Info) {
+            $crate::obs::facade::log(
+                $crate::obs::facade::LogLevel::Info,
+                ::core::format_args!($($arg)*),
+            )
+        }
+    };
+}
+
+/// Logs at [`LogLevel::Debug`].
+#[macro_export]
+macro_rules! obs_debug {
+    ($($arg:tt)*) => {
+        if $crate::obs::facade::enabled($crate::obs::facade::LogLevel::Debug) {
+            $crate::obs::facade::log(
+                $crate::obs::facade::LogLevel::Debug,
+                ::core::format_args!($($arg)*),
+            )
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_severity() {
+        assert!(LogLevel::Error < LogLevel::Warn);
+        assert!(LogLevel::Warn < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(LogLevel::parse("WARN"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("quiet"), Some(LogLevel::Error));
+        assert_eq!(LogLevel::parse("verbose"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("nope"), None);
+    }
+
+    #[test]
+    fn enabled_respects_global_level() {
+        // Note: the level is process-global; restore the default before
+        // returning so parallel tests that log are unaffected long-term.
+        let prev = log_level();
+        set_log_level(LogLevel::Warn);
+        assert!(enabled(LogLevel::Error));
+        assert!(enabled(LogLevel::Warn));
+        assert!(!enabled(LogLevel::Debug));
+        set_log_level(prev);
+    }
+}

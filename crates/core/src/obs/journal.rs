@@ -1,0 +1,217 @@
+//! Append-only JSONL journal of run events.
+//!
+//! The journal is the durable form of the event stream: one
+//! [`EventRecord`] per line, appended and flushed as events are emitted, so
+//! a crash at any point leaves a journal whose *prefix* is valid. That is a
+//! different durability contract from the checkpoint's temp-file+rename
+//! discipline ([`crate::persist::write_json_atomic`]): a checkpoint is
+//! replaced whole, a journal only ever grows. The reader side therefore
+//! mirrors the checkpoint's truncation check — a torn final line is
+//! detected and reported (not silently dropped), and a malformed line
+//! anywhere *before* the tail is rejected as corruption.
+
+use super::event::EventRecord;
+use crate::persist::PersistError;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Appends event records to a JSONL file, flushing after every line so the
+/// journal tail survives a crash up to the last completed write.
+#[derive(Debug)]
+pub struct JournalWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    lines: u64,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) the journal file at `path`.
+    ///
+    /// # Errors
+    /// IO failures opening the file.
+    pub fn create(path: impl AsRef<Path>) -> Result<JournalWriter, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(JournalWriter {
+            path,
+            out: BufWriter::new(file),
+            lines: 0,
+        })
+    }
+
+    /// Appends one record as a JSON line and flushes it to the OS.
+    ///
+    /// # Errors
+    /// Serialization or IO failures.
+    pub fn append(&mut self, record: &EventRecord) -> Result<(), PersistError> {
+        let line = serde_json::to_string(record)?;
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Forces the journal contents to stable storage (fsync).
+    ///
+    /// # Errors
+    /// IO failures.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        Ok(())
+    }
+}
+
+/// The result of reading a journal back: every decodable record plus, when
+/// the final line was torn mid-write, the raw partial tail.
+#[derive(Clone, Debug)]
+pub struct JournalReplay {
+    /// All complete records, in file order.
+    pub events: Vec<EventRecord>,
+    /// The undecodable final line, when the journal was truncated by a
+    /// crash. `None` for a cleanly-written journal.
+    pub truncated_tail: Option<String>,
+}
+
+impl JournalReplay {
+    /// Whether the journal ends in a torn write.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated_tail.is_some()
+    }
+}
+
+/// Reads a journal, tolerating (and reporting) a torn final line.
+///
+/// # Errors
+/// IO failures, and [`PersistError::Corrupt`] when a line *before* the tail
+/// does not decode — that is not a crash artifact, it is a damaged file.
+pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalReplay, PersistError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)?;
+    let lines: Vec<&str> = text
+        .split('\n')
+        .filter(|line| !line.trim().is_empty())
+        .collect();
+    let mut events = Vec::with_capacity(lines.len());
+    let mut truncated_tail = None;
+    for (i, line) in lines.iter().enumerate() {
+        match serde_json::from_str::<EventRecord>(line) {
+            Ok(rec) => events.push(rec),
+            Err(e) if i + 1 == lines.len() => {
+                // A torn tail is the expected crash artifact of an
+                // append-only log; report it rather than failing the read.
+                truncated_tail = Some((*line).to_string());
+                let _ = e;
+            }
+            Err(e) => {
+                return Err(PersistError::Corrupt(format!(
+                    "{} line {}: undecodable journal record ({e}); \
+                     the file is damaged beyond a torn tail",
+                    path.display(),
+                    i + 1
+                )));
+            }
+        }
+    }
+    Ok(JournalReplay {
+        events,
+        truncated_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::event::RunEvent;
+
+    fn record(seq: u64) -> EventRecord {
+        EventRecord {
+            seq,
+            ts_ms: 42,
+            event: RunEvent::TrialStarted {
+                trial: seq,
+                budget: 10,
+                stream: seq,
+            },
+        }
+    }
+
+    #[test]
+    fn journal_roundtrips_in_order() {
+        let path = std::env::temp_dir().join("hpo_obs_journal_roundtrip.jsonl");
+        let mut w = JournalWriter::create(&path).unwrap();
+        for seq in 0..5 {
+            w.append(&record(seq)).unwrap();
+        }
+        assert_eq!(w.lines(), 5);
+        w.sync().unwrap();
+        let replay = read_journal(&path).unwrap();
+        assert!(!replay.is_truncated());
+        assert_eq!(replay.events.len(), 5);
+        assert_eq!(
+            replay.events.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_prefix_kept() {
+        let path = std::env::temp_dir().join("hpo_obs_journal_torn.jsonl");
+        let mut w = JournalWriter::create(&path).unwrap();
+        for seq in 0..3 {
+            w.append(&record(seq)).unwrap();
+        }
+        drop(w);
+        // Tear the last line mid-record, as a crash mid-append would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 10]).unwrap();
+        let replay = read_journal(&path).unwrap();
+        assert!(replay.is_truncated());
+        assert_eq!(replay.events.len(), 2, "prefix records survive");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_damage_is_corruption() {
+        let path = std::env::temp_dir().join("hpo_obs_journal_damage.jsonl");
+        let mut w = JournalWriter::create(&path).unwrap();
+        for seq in 0..3 {
+            w.append(&record(seq)).unwrap();
+        }
+        drop(w);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let damaged = text.replacen("\"seq\":1", "\"seq\":garbage", 1);
+        std::fs::write(&path, damaged).unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_journal_reads_empty() {
+        let path = std::env::temp_dir().join("hpo_obs_journal_empty.jsonl");
+        JournalWriter::create(&path).unwrap();
+        let replay = read_journal(&path).unwrap();
+        assert!(replay.events.is_empty());
+        assert!(!replay.is_truncated());
+        std::fs::remove_file(&path).ok();
+    }
+}

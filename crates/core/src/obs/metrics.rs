@@ -1,0 +1,381 @@
+//! Lock-light metrics: counters, gauges, fixed-bucket histograms.
+//!
+//! The hot path (incrementing a counter, observing a latency) is a handful
+//! of relaxed atomic operations on a pre-registered handle — no locks, no
+//! allocation. Registration (name → handle) goes through an `RwLock`, paid
+//! once per metric per call site; instrumented code caches the `Arc`
+//! handles (see [`crate::obs::ObservedEvaluator`]). Poisoning cannot occur:
+//! no panic can happen while the maps are held.
+//!
+//! Two export formats: Prometheus text (`prometheus_text`) for scraping,
+//! and a serde [`MetricsSnapshot`] for the `--metrics-out` JSON file and
+//! `BENCH_hpo.json`. Snapshot files are written with the same atomic
+//! temp+rename discipline as every other artifact
+//! ([`crate::persist::write_json_atomic`]).
+
+use crate::persist::{write_json_atomic, PersistError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Default latency buckets (seconds): 10 µs … 60 s, roughly ×3 per step.
+/// The implicit final bucket is `+Inf`.
+pub const LATENCY_BUCKETS: &[f64] = &[
+    1e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 60.0,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge (stored as `f64` bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram: cumulative-style export, lock-free recording.
+///
+/// `bounds` are the inclusive upper edges of the finite buckets; one extra
+/// overflow bucket catches everything above the last bound (`+Inf` in the
+/// Prometheus rendering).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed values, as `f64` bits updated by CAS loop.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given finite bucket bounds (must be
+    /// strictly increasing).
+    ///
+    /// # Panics
+    /// Panics when `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// Serializable copy of one histogram. `counts` has one more entry than
+/// `bounds` (the overflow bucket); entries are per-bucket, not cumulative.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper edges.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (last entry = overflow).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+/// Point-in-time copy of a whole registry, as written by `--metrics-out`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// The metric registry: name → handle, with get-or-register semantics.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Returns (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().unwrap().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .unwrap()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// Returns (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().unwrap().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .unwrap()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// Returns (registering on first use) the histogram `name` with the
+    /// given bounds. Bounds are fixed by the first registration; later
+    /// callers get the existing histogram regardless of the bounds they
+    /// pass.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().unwrap().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .unwrap()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                let le = match h.bounds.get(i) {
+                    Some(b) => format!("{b}"),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Writes the JSON snapshot atomically to `path`.
+    ///
+    /// # Errors
+    /// IO or serialization failures.
+    pub fn write_snapshot_file(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        write_json_atomic(
+            path,
+            serde_json::to_string_pretty(&self.snapshot())?.as_bytes(),
+        )
+    }
+}
+
+/// The process-wide registry every built-in timer and counter records into
+/// (Prometheus-style). Per-run isolation is not needed: metric values are
+/// cumulative by design, and the run journal is the per-run record.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hpo_test_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same handle.
+        assert_eq!(reg.counter("hpo_test_total").get(), 5);
+        let g = reg.gauge("hpo_test_gauge");
+        g.set(0.75);
+        assert!((reg.gauge("hpo_test_gauge").get() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = Histogram::new(&[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.5, 0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 2, 1, 1]);
+        assert_eq!(snap.count, 5);
+        assert!((snap.sum - 56.05).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_bounds_are_rejected() {
+        Histogram::new(&[1.0, 0.5]);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hpo_trials_total").add(3);
+        reg.gauge("hpo_best_score").set(0.9);
+        reg.histogram("hpo_trial_seconds", &[0.1, 1.0]).observe(0.2);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counters["hpo_trials_total"], 3);
+        assert_eq!(back.histograms["hpo_trial_seconds"].count, 1);
+    }
+
+    #[test]
+    fn prometheus_text_is_cumulative() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("hpo_lat", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(9.0);
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE hpo_lat histogram"), "{text}");
+        assert!(text.contains("hpo_lat_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("hpo_lat_bucket{le=\"2\"} 2"), "{text}");
+        assert!(text.contains("hpo_lat_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("hpo_lat_count 3"), "{text}");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = global().counter("hpo_global_smoke_total");
+        global().counter("hpo_global_smoke_total").add(2);
+        assert!(a.get() >= 2);
+    }
+}

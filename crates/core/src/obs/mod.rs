@@ -1,0 +1,404 @@
+//! End-to-end observability: events, journal, metrics, timers, progress.
+//!
+//! The paper's argument is about *where evaluation noise comes from*, which
+//! makes "what did this run actually do" a first-class question. This
+//! subsystem answers it three ways:
+//!
+//! - **Events** ([`event`], [`journal`]): every rung, promotion, trial,
+//!   retry, failure and checkpoint is a typed [`RunEvent`] emitted through a
+//!   [`Recorder`] handle and journaled append-only as JSONL
+//!   (`--events-out`), replayable and `jq`-queryable.
+//! - **Metrics** ([`metrics`], [`timer`]): lock-light counters, gauges and
+//!   latency histograms fed by scoped timers around the hot paths
+//!   (fold construction, grouping, model fitting, whole trials), exported
+//!   as Prometheus text or a JSON snapshot (`--metrics-out`).
+//! - **Progress & logging** ([`progress`], [`facade`]): a throttled
+//!   terminal status line (`--progress`) and a leveled stderr logging
+//!   facade (`--log-level`) replacing ad-hoc `eprintln!`.
+//!
+//! Instrumentation attaches to the optimizers through one seam:
+//! [`ObservedEvaluator`] wraps any [`TrialEvaluator`], so all seven methods
+//! get per-trial events and latency metrics for free via
+//! [`crate::harness::run_method_with`]; optimizers additionally emit their
+//! *decision* events (brackets, rungs, promotions) through
+//! [`TrialEvaluator::recorder`]. A disabled recorder is a `None` behind an
+//! `Option<Arc<_>>`, so the off path costs one branch per emission — the
+//! overhead budget (§5.6 of DESIGN.md) is ≤2% on the micro bench.
+
+pub mod event;
+pub mod facade;
+pub mod journal;
+pub mod metrics;
+pub mod progress;
+pub mod timer;
+
+pub use event::{EventRecord, RunEvent};
+pub use facade::{log_level, set_log_level, LogLevel};
+pub use journal::{read_journal, JournalReplay, JournalWriter};
+pub use metrics::{
+    global as global_metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, LATENCY_BUCKETS,
+};
+pub use progress::ProgressReporter;
+pub use timer::ScopedTimer;
+
+use crate::evaluator::{EvalOutcome, TrialStatus};
+use crate::exec::{run_trial, FailurePolicy, TrialEvaluator};
+use crate::persist::PersistError;
+use hpo_models::mlp::MlpParams;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    journal: Option<Mutex<JournalWriter>>,
+    memory: Option<Mutex<Vec<EventRecord>>>,
+    progress: Option<ProgressReporter>,
+    seq: AtomicU64,
+    trial_ids: AtomicU64,
+}
+
+/// A cheap, cloneable handle through which events are emitted.
+///
+/// A disabled recorder (the default everywhere) is `None` behind the
+/// `Option<Arc<_>>`, so [`Recorder::emit`] on the off path is a single
+/// branch — optimizers emit unconditionally and never check a flag.
+/// Cloned handles share the same sinks and sequence counter, so the
+/// journal stays a gap-free total order even across ASHA/PASHA workers.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    inner: Option<Arc<RecorderInner>>,
+}
+
+impl Recorder {
+    /// The no-op recorder: every emission is a cheap early return.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// A recorder that only collects events in memory (tests, determinism
+    /// checks).
+    pub fn in_memory() -> Recorder {
+        RecorderBuilder::new()
+            .record_in_memory()
+            .build()
+            .expect("in-memory recorder cannot fail to build")
+    }
+
+    /// Starts configuring a recorder with journal/memory/progress sinks.
+    pub fn builder() -> RecorderBuilder {
+        RecorderBuilder::new()
+    }
+
+    /// Whether any sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emits one event to every attached sink, stamping it with the next
+    /// sequence number and the wall clock. Journal IO failures degrade to a
+    /// warning: observability must never take the search down.
+    pub fn emit(&self, event: RunEvent) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let record = EventRecord {
+            seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+            ts_ms: now_ms(),
+            event,
+        };
+        if let Some(journal) = &inner.journal {
+            if let Ok(mut j) = journal.lock() {
+                if let Err(e) = j.append(&record) {
+                    crate::obs_warn!("event journal append failed: {e}");
+                }
+            }
+        }
+        if let Some(memory) = &inner.memory {
+            if let Ok(mut m) = memory.lock() {
+                m.push(record.clone());
+            }
+        }
+        if let Some(progress) = &inner.progress {
+            progress.on_event(&record);
+        }
+    }
+
+    /// Allocates the next trial id (monotonic within the run; 0 when
+    /// disabled, where ids are never observed).
+    pub fn next_trial_id(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.trial_ids.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// A copy of the in-memory event log (empty without a memory sink).
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.memory.as_ref())
+            .and_then(|m| m.lock().ok().map(|m| m.clone()))
+            .unwrap_or_default()
+    }
+
+    /// Fsyncs the journal (no-op without one).
+    ///
+    /// # Errors
+    /// IO failures syncing the journal file.
+    pub fn flush(&self) -> Result<(), PersistError> {
+        if let Some(journal) = self.inner.as_ref().and_then(|i| i.journal.as_ref()) {
+            if let Ok(mut j) = journal.lock() {
+                j.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The journal path, when a journal sink is attached.
+    pub fn journal_path(&self) -> Option<PathBuf> {
+        let inner = self.inner.as_ref()?;
+        let journal = inner.journal.as_ref()?;
+        journal.lock().ok().map(|j| j.path().to_path_buf())
+    }
+}
+
+/// Configures the sinks of a [`Recorder`].
+#[derive(Debug, Default)]
+pub struct RecorderBuilder {
+    journal_path: Option<PathBuf>,
+    memory: bool,
+    progress: bool,
+}
+
+impl RecorderBuilder {
+    /// An empty builder; with no sinks configured, [`RecorderBuilder::build`]
+    /// returns a disabled recorder.
+    pub fn new() -> RecorderBuilder {
+        RecorderBuilder::default()
+    }
+
+    /// Journals events as JSONL to `path` (created/truncated at build).
+    pub fn journal_to(mut self, path: impl Into<PathBuf>) -> RecorderBuilder {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Also keeps every event in memory (retrievable via
+    /// [`Recorder::events`]).
+    pub fn record_in_memory(mut self) -> RecorderBuilder {
+        self.memory = true;
+        self
+    }
+
+    /// Paints a live progress line to stderr.
+    pub fn with_progress(mut self) -> RecorderBuilder {
+        self.progress = true;
+        self
+    }
+
+    /// Builds the recorder, opening the journal file if configured.
+    ///
+    /// # Errors
+    /// IO failures creating the journal file.
+    pub fn build(self) -> Result<Recorder, PersistError> {
+        if self.journal_path.is_none() && !self.memory && !self.progress {
+            return Ok(Recorder::disabled());
+        }
+        let journal = match self.journal_path {
+            Some(path) => Some(Mutex::new(JournalWriter::create(path)?)),
+            None => None,
+        };
+        Ok(Recorder {
+            inner: Some(Arc::new(RecorderInner {
+                journal,
+                memory: self.memory.then(|| Mutex::new(Vec::new())),
+                progress: self.progress.then(ProgressReporter::stderr),
+                seq: AtomicU64::new(0),
+                trial_ids: AtomicU64::new(0),
+            })),
+        })
+    }
+}
+
+/// The instrumentation decorator: wraps any [`TrialEvaluator`] and emits
+/// `TrialStarted`/`TrialFinished`/`TrialFailed`/`TrialRetried` events plus
+/// latency/counter metrics around every trial.
+///
+/// Composition order matters (see DESIGN.md §5.6): the observed layer sits
+/// *inside* [`crate::exec::CheckpointingEvaluator`], so trials replayed from
+/// a resume cache emit no duplicate events, and *outside*
+/// [`crate::exec::FaultInjector`], so injected faults are observed exactly
+/// like organic ones.
+pub struct ObservedEvaluator<'e, E: TrialEvaluator> {
+    inner: &'e E,
+    recorder: Recorder,
+    trials_total: Arc<Counter>,
+    trial_failures: Arc<Counter>,
+    trial_retries: Arc<Counter>,
+    trial_seconds: Arc<Histogram>,
+    trial_cost_units: Arc<Counter>,
+}
+
+impl<'e, E: TrialEvaluator> ObservedEvaluator<'e, E> {
+    /// Wraps `inner`, emitting events through `recorder` and recording
+    /// metrics into the global registry. Metric handles are resolved once
+    /// here, keeping the per-trial hot path lock-free.
+    pub fn new(inner: &'e E, recorder: Recorder) -> Self {
+        let reg = metrics::global();
+        ObservedEvaluator {
+            inner,
+            recorder,
+            trials_total: reg.counter("hpo_trials_total"),
+            trial_failures: reg.counter("hpo_trial_failures_total"),
+            trial_retries: reg.counter("hpo_trial_retries_total"),
+            trial_seconds: reg.histogram("hpo_trial_seconds", LATENCY_BUCKETS),
+            trial_cost_units: reg.counter("hpo_trial_cost_units_total"),
+        }
+    }
+}
+
+impl<E: TrialEvaluator> TrialEvaluator for ObservedEvaluator<'_, E> {
+    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        self.inner.evaluate_raw(params, budget, stream)
+    }
+
+    fn total_budget(&self) -> usize {
+        self.inner.total_budget()
+    }
+
+    fn fold_stream(&self, base: u64, rung: u64, candidate: u64) -> u64 {
+        self.inner.fold_stream(base, rung, candidate)
+    }
+
+    fn failure_policy(&self) -> &FailurePolicy {
+        self.inner.failure_policy()
+    }
+
+    fn recorder(&self) -> Recorder {
+        self.recorder.clone()
+    }
+
+    fn on_trial_retry(&self, stream: u64, attempt: u32) {
+        self.trial_retries.inc();
+        self.recorder
+            .emit(RunEvent::TrialRetried { stream, attempt });
+    }
+
+    fn evaluate_trial(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        let trial = self.recorder.next_trial_id();
+        self.recorder.emit(RunEvent::TrialStarted {
+            trial,
+            budget,
+            stream,
+        });
+        let start = Instant::now();
+        // Run the retry loop at *this* layer (not `inner.evaluate_trial`),
+        // so `on_trial_retry` fires here and retries are not double-looped.
+        let out = run_trial(self, params, budget, stream);
+        let wall_seconds = start.elapsed().as_secs_f64();
+
+        self.trials_total.inc();
+        self.trial_seconds.observe(wall_seconds);
+        self.trial_cost_units.add(out.cost_units);
+        if out.status == TrialStatus::Completed {
+            self.recorder.emit(RunEvent::TrialFinished {
+                trial,
+                budget,
+                stream,
+                score: out.score,
+                wall_seconds,
+                cost_units: out.cost_units,
+            });
+        } else {
+            self.trial_failures.inc();
+            self.recorder.emit(RunEvent::TrialFailed {
+                trial,
+                budget,
+                stream,
+                status: out.status.clone(),
+                score: out.score,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.emit(RunEvent::TrialRetried {
+            stream: 0,
+            attempt: 2,
+        });
+        assert!(rec.events().is_empty());
+        rec.flush().unwrap();
+        assert!(rec.journal_path().is_none());
+    }
+
+    #[test]
+    fn empty_builder_builds_disabled() {
+        let rec = Recorder::builder().build().unwrap();
+        assert!(!rec.is_enabled());
+    }
+
+    #[test]
+    fn in_memory_recorder_sequences_events() {
+        let rec = Recorder::in_memory();
+        let clone = rec.clone();
+        rec.emit(RunEvent::TrialRetried {
+            stream: 1,
+            attempt: 2,
+        });
+        clone.emit(RunEvent::TrialRetried {
+            stream: 2,
+            attempt: 2,
+        });
+        let events = rec.events();
+        assert_eq!(events.len(), 2, "clones share the same sink");
+        assert_eq!(
+            events.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1],
+            "sequence numbers are gap-free"
+        );
+    }
+
+    #[test]
+    fn journal_sink_writes_jsonl() {
+        let path = std::env::temp_dir().join("hpo_obs_recorder_journal.jsonl");
+        let rec = Recorder::builder().journal_to(&path).build().unwrap();
+        rec.emit(RunEvent::TrialRetried {
+            stream: 5,
+            attempt: 3,
+        });
+        rec.flush().unwrap();
+        assert_eq!(rec.journal_path().as_deref(), Some(path.as_path()));
+        let replay = read_journal(&path).unwrap();
+        assert_eq!(replay.events.len(), 1);
+        assert_eq!(replay.events[0].event.kind(), "TrialRetried");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trial_ids_are_monotonic_and_shared() {
+        let rec = Recorder::in_memory();
+        let clone = rec.clone();
+        assert_eq!(rec.next_trial_id(), 0);
+        assert_eq!(clone.next_trial_id(), 1);
+        assert_eq!(rec.next_trial_id(), 2);
+    }
+}

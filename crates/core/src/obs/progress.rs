@@ -1,0 +1,309 @@
+//! Terminal progress reporting driven by the event stream.
+//!
+//! The reporter is just another event sink: the [`Recorder`](super::Recorder)
+//! forwards every emitted [`EventRecord`] to [`ProgressReporter::on_event`],
+//! which folds it into a small running summary (bracket/rung position,
+//! trial and failure counts, best score, trials/sec, budget-based ETA) and
+//! repaints a single status line on carriage return. Rendering is
+//! throttled; structural events (rung starts, run end) always repaint.
+
+use super::event::{EventRecord, RunEvent};
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Minimum interval between throttled repaints.
+const REFRESH_EVERY: Duration = Duration::from_millis(200);
+
+#[derive(Debug)]
+struct ProgressState {
+    method: String,
+    total_budget: usize,
+    consumed_budget: u64,
+    bracket: usize,
+    rung: usize,
+    trials: usize,
+    failures: usize,
+    retries: usize,
+    best: Option<f64>,
+    started: Instant,
+    last_render: Option<Instant>,
+    finished: bool,
+}
+
+impl ProgressState {
+    fn new() -> ProgressState {
+        ProgressState {
+            method: String::new(),
+            total_budget: 0,
+            consumed_budget: 0,
+            bracket: 0,
+            rung: 0,
+            trials: 0,
+            failures: 0,
+            retries: 0,
+            best: None,
+            started: Instant::now(),
+            last_render: None,
+            finished: false,
+        }
+    }
+
+    /// Folds one event in; returns whether a repaint must not be throttled.
+    fn apply(&mut self, event: &RunEvent) -> bool {
+        match event {
+            RunEvent::RunStarted {
+                method,
+                total_budget,
+                ..
+            } => {
+                self.method = method.clone();
+                self.total_budget = *total_budget;
+                self.started = Instant::now();
+                true
+            }
+            RunEvent::BracketStarted { bracket, .. } => {
+                self.bracket = *bracket;
+                true
+            }
+            RunEvent::RungStarted { bracket, rung, .. } => {
+                self.bracket = *bracket;
+                self.rung = *rung;
+                true
+            }
+            RunEvent::TrialStarted { .. } => false,
+            RunEvent::TrialFinished { budget, score, .. } => {
+                self.trials += 1;
+                self.consumed_budget += *budget as u64;
+                let better = match self.best {
+                    Some(b) => *score > b,
+                    None => true,
+                };
+                if better {
+                    self.best = Some(*score);
+                }
+                false
+            }
+            RunEvent::TrialFailed { budget, .. } => {
+                self.trials += 1;
+                self.failures += 1;
+                self.consumed_budget += *budget as u64;
+                false
+            }
+            RunEvent::TrialRetried { .. } => {
+                self.retries += 1;
+                false
+            }
+            RunEvent::Promotion { .. } | RunEvent::CheckpointWritten { .. } => false,
+            RunEvent::RunFinished { best_score, .. } => {
+                if best_score.is_some() {
+                    self.best = *best_score;
+                }
+                self.finished = true;
+                true
+            }
+        }
+    }
+
+    fn line(&self) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            self.trials as f64 / elapsed
+        } else {
+            0.0
+        };
+        let best = match self.best {
+            Some(b) => format!("{b:.4}"),
+            None => "-".to_string(),
+        };
+        // Multiple rungs re-spend budget, so the ratio is a coarse ETA
+        // signal, clamped rather than trusted.
+        let eta = if self.total_budget > 0 && self.consumed_budget > 0 && !self.finished {
+            let frac = (self.consumed_budget as f64 / self.total_budget as f64).clamp(1e-9, 1.0);
+            let remaining = (elapsed / frac - elapsed).max(0.0);
+            format!("{remaining:.0}s")
+        } else {
+            "-".to_string()
+        };
+        format!(
+            "[{}] bracket {} rung {} | trials {} (failed {}, retried {}) | best {} | {:.1}/s | eta {}",
+            self.method, self.bracket, self.rung, self.trials, self.failures, self.retries,
+            best, rate, eta
+        )
+    }
+}
+
+/// Repaints a one-line run summary as events arrive.
+pub struct ProgressReporter {
+    inner: Mutex<(ProgressState, Box<dyn Write + Send>)>,
+}
+
+impl std::fmt::Debug for ProgressReporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressReporter").finish_non_exhaustive()
+    }
+}
+
+impl ProgressReporter {
+    /// A reporter painting to stderr (stdout stays machine-readable).
+    pub fn stderr() -> ProgressReporter {
+        ProgressReporter::to_writer(Box::new(std::io::stderr()))
+    }
+
+    /// A reporter painting into an arbitrary writer (used by tests).
+    pub fn to_writer(out: Box<dyn Write + Send>) -> ProgressReporter {
+        ProgressReporter {
+            inner: Mutex::new((ProgressState::new(), out)),
+        }
+    }
+
+    /// Folds one event into the summary and repaints when due.
+    pub fn on_event(&self, record: &EventRecord) {
+        let Ok(mut guard) = self.inner.lock() else {
+            return;
+        };
+        let (state, _) = &mut *guard;
+        let force = state.apply(&record.event);
+        let due = match state.last_render {
+            Some(at) => at.elapsed() >= REFRESH_EVERY,
+            None => true,
+        };
+        if !(force || due) {
+            return;
+        }
+        let finished = state.finished;
+        let line = state.line();
+        state.last_render = Some(Instant::now());
+        let (_, out) = &mut *guard;
+        // A clear-to-end escape avoids stale tail characters when the new
+        // line is shorter than the previous paint.
+        let _ = write!(out, "\r{line}\x1b[K");
+        if finished {
+            let _ = writeln!(out);
+        }
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn record(seq: u64, event: RunEvent) -> EventRecord {
+        EventRecord {
+            seq,
+            ts_ms: 0,
+            event,
+        }
+    }
+
+    #[test]
+    fn reporter_tracks_lifecycle() {
+        let buf = SharedBuf::default();
+        let reporter = ProgressReporter::to_writer(Box::new(buf.clone()));
+        reporter.on_event(&record(
+            0,
+            RunEvent::RunStarted {
+                method: "SHA".into(),
+                pipeline: "vanilla".into(),
+                seed: 7,
+                total_budget: 1000,
+            },
+        ));
+        reporter.on_event(&record(
+            1,
+            RunEvent::RungStarted {
+                bracket: 0,
+                rung: 1,
+                n_candidates: 9,
+                budget: 111,
+            },
+        ));
+        reporter.on_event(&record(
+            2,
+            RunEvent::TrialFinished {
+                trial: 0,
+                budget: 111,
+                stream: 0,
+                score: 0.83,
+                wall_seconds: 0.01,
+                cost_units: 5,
+            },
+        ));
+        reporter.on_event(&record(
+            3,
+            RunEvent::RunFinished {
+                method: "SHA".into(),
+                n_trials: 1,
+                n_failures: 0,
+                best_score: Some(0.83),
+                wall_seconds: 0.01,
+            },
+        ));
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("[SHA]"), "{text}");
+        assert!(text.contains("rung 1"), "{text}");
+        assert!(text.contains("best 0.8300"), "{text}");
+        assert!(text.ends_with('\n'), "final paint terminates the line");
+    }
+
+    #[test]
+    fn failures_and_retries_are_counted() {
+        let buf = SharedBuf::default();
+        let reporter = ProgressReporter::to_writer(Box::new(buf.clone()));
+        reporter.on_event(&record(
+            0,
+            RunEvent::RunStarted {
+                method: "ASHA".into(),
+                pipeline: "enhanced".into(),
+                seed: 1,
+                total_budget: 100,
+            },
+        ));
+        reporter.on_event(&record(
+            1,
+            RunEvent::TrialRetried {
+                stream: 3,
+                attempt: 2,
+            },
+        ));
+        reporter.on_event(&record(
+            2,
+            RunEvent::TrialFailed {
+                trial: 0,
+                budget: 10,
+                stream: 3,
+                status: crate::evaluator::TrialStatus::Failed { attempts: 3 },
+                score: -1e9,
+            },
+        ));
+        reporter.on_event(&record(
+            3,
+            RunEvent::RunFinished {
+                method: "ASHA".into(),
+                n_trials: 1,
+                n_failures: 1,
+                best_score: None,
+                wall_seconds: 0.0,
+            },
+        ));
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("failed 1"), "{text}");
+        assert!(text.contains("retried 1"), "{text}");
+        assert!(text.contains("best -"), "{text}");
+    }
+}

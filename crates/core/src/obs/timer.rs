@@ -1,0 +1,111 @@
+//! Scoped wall-clock timers feeding the metrics registry.
+//!
+//! A [`ScopedTimer`] records the elapsed seconds of its lexical scope into
+//! a latency [`Histogram`](super::metrics::Histogram) when dropped, so
+//! instrumenting a hot path is one line at the top of the block. For
+//! non-lexical spans (or when the result is needed inline) use
+//! [`time`], which returns the closure's value alongside recording.
+
+use super::metrics::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Records elapsed wall-clock seconds into a histogram when dropped.
+///
+/// The handle is cheap (`Arc` clone + `Instant::now`); the drop is a few
+/// relaxed atomics. Use [`ScopedTimer::cancel`] to discard a measurement
+/// (e.g. on an error path that should not pollute the latency profile).
+#[must_use = "a dropped-immediately timer measures nothing"]
+pub struct ScopedTimer {
+    histogram: Option<Arc<Histogram>>,
+    start: Instant,
+}
+
+impl ScopedTimer {
+    /// Starts timing into `histogram`.
+    pub fn start(histogram: Arc<Histogram>) -> ScopedTimer {
+        ScopedTimer {
+            histogram: Some(histogram),
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed so far, without stopping the timer.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Discards the measurement; nothing is recorded on drop.
+    pub fn cancel(mut self) {
+        self.histogram = None;
+    }
+
+    /// Stops the timer now and returns the recorded seconds.
+    pub fn stop(mut self) -> f64 {
+        let elapsed = self.elapsed_seconds();
+        if let Some(h) = self.histogram.take() {
+            h.observe(elapsed);
+        }
+        elapsed
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if let Some(h) = self.histogram.take() {
+            h.observe(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Runs `f`, recording its wall-clock seconds into `histogram`, and
+/// returns its value.
+pub fn time<T>(histogram: &Arc<Histogram>, f: impl FnOnce() -> T) -> T {
+    let _timer = ScopedTimer::start(Arc::clone(histogram));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::metrics::MetricsRegistry;
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("hpo_timer_test_seconds", &[0.1, 1.0]);
+        {
+            let _t = ScopedTimer::start(Arc::clone(&h));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.0);
+    }
+
+    #[test]
+    fn cancel_discards_measurement() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("hpo_timer_cancel_seconds", &[0.1]);
+        let t = ScopedTimer::start(Arc::clone(&h));
+        t.cancel();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn stop_records_once() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("hpo_timer_stop_seconds", &[0.1]);
+        let t = ScopedTimer::start(Arc::clone(&h));
+        let secs = t.stop();
+        assert!(secs >= 0.0);
+        assert_eq!(h.count(), 1, "stop must not double-record with drop");
+    }
+
+    #[test]
+    fn time_returns_value_and_records() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("hpo_timer_fn_seconds", &[0.1]);
+        let v = time(&h, || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(h.count(), 1);
+    }
+}

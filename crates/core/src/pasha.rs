@@ -14,6 +14,7 @@
 
 use crate::evaluator::EvalOutcome;
 use crate::exec::{compare_scores, TrialEvaluator};
+use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_data::rng::derive_seed;
@@ -114,10 +115,11 @@ impl Shared {
 
     /// PASHA's growth test: compare the ranking of configurations evaluated
     /// at both the top rung and the rung below. An unstable ranking
-    /// (τ below threshold) opens a new rung.
-    fn maybe_grow(&mut self, tau_threshold: f64, absolute_max: usize) {
+    /// (τ below threshold) opens a new rung; the new top-rung index is
+    /// returned so the caller can emit a `RungStarted` event for it.
+    fn maybe_grow(&mut self, tau_threshold: f64, absolute_max: usize) -> Option<usize> {
         if self.current_max >= absolute_max {
-            return;
+            return None;
         }
         let top = self.current_max;
         let below = top - 1;
@@ -127,7 +129,7 @@ impl Shared {
             .copied()
             .collect();
         if shared_ids.len() < 2 {
-            return;
+            return None;
         }
         let top_scores: Vec<f64> = shared_ids.iter().map(|id| self.results[top][id]).collect();
         let below_scores: Vec<f64> = shared_ids
@@ -136,7 +138,9 @@ impl Shared {
             .collect();
         if kendall_tau(&top_scores, &below_scores) < tau_threshold {
             self.current_max += 1;
+            return Some(self.current_max);
         }
+        None
     }
 }
 
@@ -167,6 +171,20 @@ pub fn pasha<E: TrialEvaluator + ?Sized>(
     let candidates = space.sample_distinct(config.n_configs, derive_seed(stream, 0x9A5A));
     let n_configs = candidates.len();
 
+    let recorder = evaluator.recorder();
+    let initial_max = 1.min(absolute_max);
+    // The initially-open ladder; further rungs announce themselves as the
+    // stability test opens them. Candidate counts above rung 0 are unknown
+    // in advance (promotions arrive asynchronously), hence 0.
+    for rung in 0..=initial_max {
+        recorder.emit(RunEvent::RungStarted {
+            bracket: 0,
+            rung,
+            n_candidates: if rung == 0 { n_configs } else { 0 },
+            budget: budgets[rung],
+        });
+    }
+
     let shared = Mutex::new(Shared {
         results: vec![HashMap::new(); budgets.len()],
         completed: vec![Vec::new(); budgets.len()],
@@ -174,7 +192,7 @@ pub fn pasha<E: TrialEvaluator + ?Sized>(
         next_fresh: 0,
         in_flight: 0,
         // PASHA opens two rungs initially (or fewer if the ladder is short).
-        current_max: 1.min(absolute_max),
+        current_max: initial_max,
         requeued: Vec::new(),
     });
     let history = Mutex::new(History::new());
@@ -185,6 +203,7 @@ pub fn pasha<E: TrialEvaluator + ?Sized>(
             let history = &history;
             let candidates = &candidates;
             let budgets = &budgets;
+            let recorder = &recorder;
             scope.spawn(move || loop {
                 let job = { shared.lock().next_job(config.eta, n_configs) };
                 let Some((config_id, rung, attempts)) = job else {
@@ -195,6 +214,16 @@ pub fn pasha<E: TrialEvaluator + ?Sized>(
                     std::thread::yield_now();
                     continue;
                 };
+                if rung > 0 && attempts == 0 {
+                    // Asynchronous per-configuration promotion (see asha.rs).
+                    recorder.emit(RunEvent::Promotion {
+                        bracket: 0,
+                        from_rung: rung - 1,
+                        to_rung: rung,
+                        promoted: 1,
+                        pruned: 0,
+                    });
+                }
                 let cand = &candidates[config_id];
                 let params = space.to_params(cand, base_params);
                 // Fold streams per the pipeline (see sha.rs).
@@ -218,14 +247,24 @@ pub fn pasha<E: TrialEvaluator + ?Sized>(
                         EvalOutcome::failed(attempts + 1, imputed, gamma_pct, 0.0)
                     }
                 };
-                {
+                let grown = {
                     let mut s = shared.lock();
                     s.results[rung].insert(config_id, outcome.score);
                     s.completed[rung].push(config_id);
                     s.in_flight -= 1;
                     if rung == s.current_max {
-                        s.maybe_grow(config.stability_tau, absolute_max);
+                        s.maybe_grow(config.stability_tau, absolute_max)
+                    } else {
+                        None
                     }
+                };
+                if let Some(new_top) = grown {
+                    recorder.emit(RunEvent::RungStarted {
+                        bracket: 0,
+                        rung: new_top,
+                        n_candidates: 0,
+                        budget: budgets[new_top],
+                    });
                 }
                 history.lock().push(Trial {
                     config: cand.clone(),

@@ -140,7 +140,10 @@ pub fn load_run_result(reader: impl Read) -> Result<RunResult, PersistError> {
 ///
 /// # Errors
 /// IO or serialization failures.
-pub fn save_run_result_file(result: &RunResult, path: impl AsRef<Path>) -> Result<(), PersistError> {
+pub fn save_run_result_file(
+    result: &RunResult,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistError> {
     write_json_atomic(path, serde_json::to_string_pretty(result)?.as_bytes())
 }
 

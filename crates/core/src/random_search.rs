@@ -7,6 +7,7 @@
 //! random search; we do the same.
 
 use crate::exec::{compare_scores, TrialEvaluator};
+use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_data::rng::derive_seed;
@@ -48,6 +49,13 @@ pub fn random_search<E: TrialEvaluator + ?Sized>(
     assert!(config.n_samples >= 1, "need at least one sample");
     let candidates = space.sample_distinct(config.n_samples, derive_seed(stream, 0xA11));
     let budget = evaluator.total_budget();
+    // Random search is one full-budget "rung" with no promotions.
+    evaluator.recorder().emit(RunEvent::RungStarted {
+        bracket: 0,
+        rung: 0,
+        n_candidates: candidates.len(),
+        budget,
+    });
     let mut history = History::new();
     let mut best: Option<(Configuration, f64)> = None;
     for (i, cand) in candidates.iter().enumerate() {

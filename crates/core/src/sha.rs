@@ -7,6 +7,7 @@
 //! `SHA+` with [`Pipeline::enhanced`].
 
 use crate::exec::{compare_scores, TrialEvaluator};
+use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_models::mlp::MlpParams;
@@ -60,6 +61,7 @@ pub fn successive_halving<E: TrialEvaluator + ?Sized>(
     assert!(config.eta >= 2, "eta must be at least 2");
 
     let total_budget = evaluator.total_budget();
+    let recorder = evaluator.recorder();
     let mut survivors: Vec<Configuration> = candidates.to_vec();
     let mut history = History::new();
     let mut rung = 0usize;
@@ -68,6 +70,12 @@ pub fn successive_halving<E: TrialEvaluator + ?Sized>(
         let budget = (total_budget / survivors.len())
             .max(config.min_budget)
             .min(total_budget);
+        recorder.emit(RunEvent::RungStarted {
+            bracket: 0,
+            rung,
+            n_candidates: survivors.len(),
+            budget,
+        });
         // Fold streams per the pipeline: per-configuration draws (paper
         // Algorithm 1) or one shared draw per rung (scikit-learn semantics,
         // the Proposition 1 ablation) — see Pipeline::per_config_folds.
@@ -93,6 +101,13 @@ pub fn successive_halving<E: TrialEvaluator + ?Sized>(
         // NaN-safe, total-order ranking: failed/imputed scores sink.
         scored.sort_by(|a, b| compare_scores(b.1, a.1));
         let keep_idx: Vec<usize> = scored.iter().take(keep).map(|&(i, _)| i).collect();
+        recorder.emit(RunEvent::Promotion {
+            bracket: 0,
+            from_rung: rung,
+            to_rung: rung + 1,
+            promoted: keep,
+            pruned: survivors.len() - keep,
+        });
         survivors = keep_idx.into_iter().map(|i| survivors[i].clone()).collect();
         rung += 1;
     }

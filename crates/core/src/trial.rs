@@ -68,12 +68,14 @@ impl History {
     /// tie arbitrarily.
     pub fn best(&self) -> Option<&Trial> {
         self.trials.iter().max_by(|a, b| {
-            let usable =
-                |t: &Trial| t.outcome.status.is_ok() && t.outcome.score.is_finite();
+            let usable = |t: &Trial| t.outcome.status.is_ok() && t.outcome.score.is_finite();
             usable(a)
                 .cmp(&usable(b))
                 .then(a.budget.cmp(&b.budget))
-                .then(crate::exec::compare_scores(a.outcome.score, b.outcome.score))
+                .then(crate::exec::compare_scores(
+                    a.outcome.score,
+                    b.outcome.score,
+                ))
         })
     }
 

@@ -203,7 +203,10 @@ fn assert_histories_identical(a: &History, b: &History, label: &str) {
             y.outcome.score.to_bits(),
             "{label}: score mismatch"
         );
-        assert_eq!(x.outcome.status, y.outcome.status, "{label}: status mismatch");
+        assert_eq!(
+            x.outcome.status, y.outcome.status,
+            "{label}: status mismatch"
+        );
         assert_eq!(
             x.outcome.cost_units, y.outcome.cost_units,
             "{label}: cost mismatch"
@@ -380,10 +383,7 @@ fn mismatched_checkpoint_identity_is_ignored_not_replayed() {
     let space = SearchSpace::mlp_cv18();
     let mut rng = hpo_data::rng::rng_from_seed(78);
     let tt = hpo_data::split::stratified_train_test_split(data, 0.25, &mut rng).unwrap();
-    let path = std::env::temp_dir().join(format!(
-        "bhpo_mismatch_test_{}.json",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("bhpo_mismatch_test_{}.json", std::process::id()));
     std::fs::remove_file(&path).ok();
 
     let run = |seed: u64, resume: bool| {

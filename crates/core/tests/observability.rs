@@ -1,0 +1,377 @@
+//! Cross-optimizer observability suite.
+//!
+//! Every optimizer runs under an in-memory [`Recorder`] and must journal a
+//! well-formed lifecycle (`RunStarted` first, `RunFinished` last, per-rung
+//! and per-trial events in between, counts agreeing with the [`History`]).
+//! Composition with the fault-tolerance layers is exercised explicitly:
+//! injected failures surface as `TrialRetried`/`TrialFailed` events with
+//! correct counts, and checkpoint replays emit no duplicate trial events.
+//! Journals are deterministic per seed (modulo timestamps) and survive the
+//! same torn-tail discipline as the checkpoint store.
+
+use hpo_core::evaluator::CvEvaluator;
+use hpo_core::exec::{FaultInjector, FaultPlan};
+use hpo_core::harness::{run_method_with, Method, RunOptions};
+use hpo_core::obs::{self, read_journal, EventRecord, ObservedEvaluator, Recorder, RunEvent};
+use hpo_core::pipeline::Pipeline;
+use hpo_core::random_search::RandomSearchConfig;
+use hpo_core::sha::{sha_on_grid, ShaConfig};
+use hpo_core::space::SearchSpace;
+use hpo_data::synth::{make_classification, ClassificationSpec};
+use hpo_models::mlp::MlpParams;
+use std::sync::OnceLock;
+
+fn shared() -> &'static (hpo_data::Dataset, hpo_data::Dataset, MlpParams) {
+    static CELL: OnceLock<(hpo_data::Dataset, hpo_data::Dataset, MlpParams)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 160,
+                n_features: 4,
+                n_informative: 4,
+                label_purity: 0.95,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut rng = hpo_data::rng::rng_from_seed(5);
+        let tt = hpo_data::split::stratified_train_test_split(&data, 0.25, &mut rng).unwrap();
+        let base = MlpParams {
+            hidden_layer_sizes: vec![4],
+            max_iter: 2,
+            ..Default::default()
+        };
+        (tt.train, tt.test, base)
+    })
+}
+
+fn memory_recorder() -> Recorder {
+    Recorder::builder()
+        .record_in_memory()
+        .build()
+        .expect("in-memory recorder never fails to build")
+}
+
+fn count(events: &[EventRecord], kind: &str) -> usize {
+    events.iter().filter(|e| e.event.kind() == kind).count()
+}
+
+fn run_with_recorder(
+    method: &Method,
+    seed: u64,
+    opts_base: RunOptions,
+) -> (Vec<EventRecord>, hpo_core::harness::RunResult) {
+    let (train, test, base) = shared();
+    let space = SearchSpace::mlp_cv18();
+    let recorder = memory_recorder();
+    let opts = RunOptions {
+        recorder: recorder.clone(),
+        ..opts_base
+    };
+    let row = run_method_with(
+        train,
+        test,
+        &space,
+        Pipeline::vanilla(),
+        base,
+        method,
+        seed,
+        &opts,
+    );
+    (recorder.events(), row)
+}
+
+#[test]
+fn every_method_journals_a_well_formed_lifecycle() {
+    let methods: Vec<(&str, Method)> = vec![
+        (
+            "random",
+            Method::Random(RandomSearchConfig { n_samples: 4 }),
+        ),
+        ("sha", Method::Sha(ShaConfig::default())),
+        ("hb", Method::Hyperband(Default::default())),
+        ("bohb", Method::Bohb(Default::default())),
+        ("dehb", Method::Dehb(Default::default())),
+        (
+            "asha",
+            Method::Asha(hpo_core::asha::AshaConfig {
+                workers: 2,
+                n_configs: 4,
+                ..Default::default()
+            }),
+        ),
+        (
+            "pasha",
+            Method::Pasha(hpo_core::pasha::PashaConfig {
+                workers: 2,
+                n_configs: 4,
+                ..Default::default()
+            }),
+        ),
+    ];
+    for (name, method) in methods {
+        let (events, row) = run_with_recorder(&method, 9, RunOptions::default());
+        assert!(!events.is_empty(), "{name}: no events recorded");
+        assert_eq!(
+            events.first().unwrap().event.kind(),
+            "RunStarted",
+            "{name}: journal must open with RunStarted"
+        );
+        assert_eq!(
+            events.last().unwrap().event.kind(),
+            "RunFinished",
+            "{name}: journal must close with RunFinished"
+        );
+        // Sequence numbers are dense and ordered.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "{name}: seq gap at {i}");
+        }
+        assert!(
+            count(&events, "RungStarted") >= 1,
+            "{name}: no RungStarted events"
+        );
+        let started = count(&events, "TrialStarted");
+        let finished = count(&events, "TrialFinished");
+        let failed = count(&events, "TrialFailed");
+        assert_eq!(
+            started,
+            finished + failed,
+            "{name}: unbalanced trial events"
+        );
+        assert_eq!(
+            started, row.n_evaluations,
+            "{name}: trial events disagree with the history"
+        );
+        let Some(RunEvent::RunFinished {
+            n_trials,
+            n_failures,
+            best_score,
+            ..
+        }) = events.last().map(|e| &e.event)
+        else {
+            panic!("{name}: last event is not RunFinished");
+        };
+        assert_eq!(*n_trials, row.n_evaluations, "{name}: RunFinished n_trials");
+        assert_eq!(
+            *n_failures, row.n_failures,
+            "{name}: RunFinished n_failures"
+        );
+        assert!(
+            best_score.map(f64::is_finite).unwrap_or(false),
+            "{name}: healthy run must report a finite best score"
+        );
+    }
+}
+
+#[test]
+fn promotions_are_journaled_for_halving_methods() {
+    let (events, _) = run_with_recorder(
+        &Method::Sha(ShaConfig::default()),
+        11,
+        RunOptions::default(),
+    );
+    let promos: Vec<&RunEvent> = events
+        .iter()
+        .map(|e| &e.event)
+        .filter(|e| e.kind() == "Promotion")
+        .collect();
+    assert!(!promos.is_empty(), "SHA must journal promotion decisions");
+    for p in promos {
+        let RunEvent::Promotion {
+            from_rung,
+            to_rung,
+            promoted,
+            ..
+        } = p
+        else {
+            unreachable!()
+        };
+        assert_eq!(*to_rung, *from_rung + 1);
+        assert!(*promoted >= 1, "a promotion always keeps at least one");
+    }
+}
+
+#[test]
+fn injected_failures_surface_as_retry_and_failure_events() {
+    let (train, _, base) = shared();
+    let space = SearchSpace::mlp_cv18();
+    // Every attempt produces NaN: with the default policy's single retry,
+    // each trial is exactly one TrialRetried followed by one TrialFailed.
+    let ev = CvEvaluator::new(train, Pipeline::vanilla(), base.clone(), 21);
+    let injector = FaultInjector::new(
+        &ev,
+        FaultPlan {
+            seed: 4,
+            nan_prob: 1.0,
+            ..Default::default()
+        },
+    );
+    let recorder = memory_recorder();
+    let observed = ObservedEvaluator::new(&injector, recorder.clone());
+    let r = sha_on_grid(&observed, &space, base, &ShaConfig::default(), 3);
+    let events = recorder.events();
+
+    let started = count(&events, "TrialStarted");
+    let failed = count(&events, "TrialFailed");
+    let retried = count(&events, "TrialRetried");
+    assert_eq!(started, r.history.len());
+    assert_eq!(
+        failed,
+        r.history.n_failures(),
+        "every failure must be journaled"
+    );
+    assert_eq!(failed, started, "all-NaN evaluation can never succeed");
+    assert_eq!(count(&events, "TrialFinished"), 0);
+    assert_eq!(
+        retried, started,
+        "one retry per trial under the default policy"
+    );
+    for e in &events {
+        if let RunEvent::TrialRetried { attempt, .. } = &e.event {
+            assert_eq!(*attempt, 2, "first retry is attempt 2");
+        }
+        if let RunEvent::TrialFailed { status, score, .. } = &e.event {
+            assert!(!status.is_ok(), "TrialFailed must carry a failure status");
+            assert!(score.is_finite(), "failed trials carry the imputed score");
+        }
+    }
+}
+
+#[test]
+fn checkpoint_replay_emits_no_duplicate_trial_events() {
+    let path = std::env::temp_dir().join(format!("bhpo_obs_replay_{}.json", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    let method = Method::Random(RandomSearchConfig { n_samples: 4 });
+
+    let (first_events, first) = run_with_recorder(
+        &method,
+        31,
+        RunOptions {
+            checkpoint: Some(path.clone()),
+            ..Default::default()
+        },
+    );
+    assert!(
+        count(&first_events, "CheckpointWritten") >= 1,
+        "checkpointed run must journal checkpoint writes"
+    );
+    assert_eq!(count(&first_events, "TrialStarted"), first.n_evaluations);
+
+    // Resume from the complete checkpoint: every trial replays from cache,
+    // so the journal contains the run bookends but zero trial events.
+    let (resumed_events, resumed) = run_with_recorder(
+        &method,
+        31,
+        RunOptions {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..Default::default()
+        },
+    );
+    assert_eq!(resumed.n_resumed, first.n_evaluations);
+    assert_eq!(
+        count(&resumed_events, "TrialStarted"),
+        0,
+        "cache hits must not re-journal trials"
+    );
+    assert_eq!(count(&resumed_events, "RunStarted"), 1);
+    assert_eq!(count(&resumed_events, "RunFinished"), 1);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Serialized event sequences, timestamps zeroed.
+fn canonical(events: &[EventRecord]) -> Vec<String> {
+    events
+        .iter()
+        .map(|e| serde_json::to_string(&e.without_timestamp()).unwrap())
+        .collect()
+}
+
+#[test]
+fn equal_seeds_produce_identical_journals_modulo_timestamps() {
+    // Synchronous methods only: worker-pool interleaving is legitimately
+    // nondeterministic for ASHA/PASHA.
+    for method in [
+        Method::Random(RandomSearchConfig { n_samples: 4 }),
+        Method::Sha(ShaConfig::default()),
+        Method::Hyperband(Default::default()),
+    ] {
+        let (a, _) = run_with_recorder(&method, 17, RunOptions::default());
+        let (b, _) = run_with_recorder(&method, 17, RunOptions::default());
+        assert_eq!(canonical(&a), canonical(&b));
+    }
+}
+
+#[test]
+fn journal_file_roundtrips_and_detects_torn_tails() {
+    let (train, test, base) = shared();
+    let space = SearchSpace::mlp_cv18();
+    let path = std::env::temp_dir().join(format!("bhpo_obs_journal_{}.jsonl", std::process::id()));
+    std::fs::remove_file(&path).ok();
+
+    let recorder = Recorder::builder().journal_to(&path).build().unwrap();
+    run_method_with(
+        train,
+        test,
+        &space,
+        Pipeline::vanilla(),
+        base,
+        &Method::Random(RandomSearchConfig { n_samples: 3 }),
+        23,
+        &RunOptions {
+            recorder,
+            ..Default::default()
+        },
+    );
+
+    let replay = read_journal(&path).unwrap();
+    assert!(!replay.is_truncated());
+    assert_eq!(replay.events.first().unwrap().event.kind(), "RunStarted");
+    assert_eq!(replay.events.last().unwrap().event.kind(), "RunFinished");
+
+    // Tear the final line as a crash mid-append would: tolerated, reported.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let torn = &text[..text.len() - 7];
+    std::fs::write(&path, torn).unwrap();
+    let replay = read_journal(&path).unwrap();
+    assert!(replay.is_truncated());
+    assert_eq!(
+        replay.events.len(),
+        torn.lines().count() - 1,
+        "all complete lines must still parse"
+    );
+
+    // Damage a middle line: that is corruption, not a torn tail.
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    lines[1] = "{\"seq\":not json".to_string();
+    std::fs::write(&path, lines.join("\n")).unwrap();
+    assert!(read_journal(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trial_latency_histogram_accumulates_under_instrumented_runs() {
+    // The global registry is process-wide; any instrumented run in this
+    // binary feeds it. Run one here so the test stands alone.
+    let _ = run_with_recorder(
+        &Method::Random(RandomSearchConfig { n_samples: 3 }),
+        41,
+        RunOptions::default(),
+    );
+    let snapshot = obs::global_metrics().snapshot();
+    let hist = snapshot
+        .histograms
+        .get("hpo_trial_seconds")
+        .expect("trial latency histogram registered");
+    assert!(hist.count > 0, "trial latencies must be observed");
+    assert_eq!(hist.count, hist.counts.iter().sum::<u64>());
+    assert!(
+        snapshot
+            .counters
+            .get("hpo_trials_total")
+            .copied()
+            .unwrap_or(0)
+            > 0
+    );
+}

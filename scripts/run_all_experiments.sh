@@ -32,6 +32,8 @@ run exp_fig4_config_scaling -- --repeats 3 --max-hps 6 --max-layers 3 \
                                                                > results/fig4.txt 2>&1
 run exp_extension_methods -- --datasets australian --repeats 3 --scale "$SCALE" \
                                                                > results/extensions.txt 2>&1
+run bench_hpo -- --datasets australian --scale "$SCALE" \
+    --out results/BENCH_hpo.json                               > results/bench_hpo.txt 2>&1
 
 python3 scripts/fill_experiments.py
 echo "all experiments recorded in results/ and EXPERIMENTS.md"
