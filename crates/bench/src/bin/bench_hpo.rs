@@ -1,15 +1,16 @@
 //! End-to-end HPO throughput benchmark with a machine-readable report.
 //!
 //! Runs every optimizer (random, SHA, HB, BOHB, DEHB, ASHA, PASHA) on each
-//! dataset, prints an aligned summary table, and writes `BENCH_hpo.json`
-//! containing one row per (method, dataset) — wall-clock seconds, trial
-//! count, trials/sec, deterministic cost — plus a snapshot of the global
-//! metrics registry (trial-latency histograms, hot-path timers) accumulated
-//! over the whole run.
+//! dataset at every `--workers` setting, prints an aligned summary table, and
+//! writes `BENCH_hpo.json` containing one row per (method, dataset, workers)
+//! — wall-clock seconds, trial count, trials/sec, deterministic cost — plus
+//! per-method parallel-scaling summaries, a 256×256 matmul micro-benchmark
+//! (cache-blocked kernel vs the naive reference), the machine's core counts,
+//! and a snapshot of the global metrics registry accumulated over the run.
 //!
 //! ```text
 //! cargo run --release -p hpo-bench --bin bench_hpo -- \
-//!     --datasets australian --scale 0.1 --out BENCH_hpo.json
+//!     --datasets australian --scale 0.1 --workers 1,4 --out BENCH_hpo.json
 //! ```
 
 use hpo_bench::args::ExpArgs;
@@ -26,8 +27,11 @@ use hpo_core::pipeline::Pipeline;
 use hpo_core::random_search::RandomSearchConfig;
 use hpo_core::sha::ShaConfig;
 use hpo_core::space::SearchSpace;
+use hpo_data::matrix::Matrix;
 use hpo_data::synth::catalog::PaperDataset;
 use hpo_models::mlp::MlpParams;
+use std::collections::BTreeMap;
+use std::time::Instant;
 
 fn methods() -> Vec<(&'static str, Method)> {
     vec![
@@ -39,6 +43,103 @@ fn methods() -> Vec<(&'static str, Method)> {
         ("asha", Method::Asha(AshaConfig::default())),
         ("pasha", Method::Pasha(PashaConfig::default())),
     ]
+}
+
+/// Logical CPUs visible to this process.
+fn logical_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Physical core count: distinct (physical id, core id) pairs from
+/// /proc/cpuinfo on Linux, falling back to the logical count elsewhere (or
+/// when the file lists no topology, e.g. some containers/VMs).
+fn physical_cores() -> usize {
+    let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return logical_cores();
+    };
+    let mut pairs = std::collections::HashSet::new();
+    let (mut phys, mut core) = (None, None);
+    for line in info.lines() {
+        let mut split = line.splitn(2, ':');
+        let key = split.next().unwrap_or("").trim();
+        let val = split.next().unwrap_or("").trim().to_string();
+        match key {
+            "physical id" => phys = Some(val),
+            "core id" => core = Some(val),
+            "" => {
+                if let (Some(p), Some(c)) = (phys.take(), core.take()) {
+                    pairs.insert((p, c));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let (Some(p), Some(c)) = (phys, core) {
+        pairs.insert((p, c));
+    }
+    if pairs.is_empty() {
+        logical_cores()
+    } else {
+        pairs.len()
+    }
+}
+
+/// Deterministic pseudo-random matrix for the kernel micro-benchmark.
+fn bench_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("shape matches data")
+}
+
+/// Times `f` over `iters` runs, returning best-of seconds (noise-robust).
+fn time_best_of(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Single-thread 256×256 matmul: cache-blocked kernel vs naive reference.
+fn matmul_microbench(seed: u64) -> serde_json::Value {
+    const N: usize = 256;
+    let a = bench_matrix(N, N, seed);
+    let b = bench_matrix(N, N, seed ^ 0xB);
+    // Warm up + correctness guard: the kernels must agree bit-for-bit.
+    assert_eq!(
+        a.matmul(&b).as_slice(),
+        a.matmul_naive(&b).as_slice(),
+        "blocked and naive matmul disagree"
+    );
+    let blocked = time_best_of(5, || {
+        std::hint::black_box(std::hint::black_box(&a).matmul(std::hint::black_box(&b)));
+    });
+    let naive = time_best_of(5, || {
+        std::hint::black_box(std::hint::black_box(&a).matmul_naive(std::hint::black_box(&b)));
+    });
+    let speedup = if blocked > 0.0 { naive / blocked } else { 0.0 };
+    println!(
+        "matmul 256x256: blocked {:.2} ms, naive {:.2} ms, speedup {speedup:.2}x",
+        blocked * 1e3,
+        naive * 1e3
+    );
+    serde_json::json!({
+        "size": N,
+        "blocked_seconds": blocked,
+        "naive_seconds": naive,
+        "speedup": speedup,
+    })
 }
 
 fn main() {
@@ -62,18 +163,34 @@ fn main() {
         max_iter: args.get("max-iter").unwrap_or(10),
         ..Default::default()
     };
+    let worker_counts: Vec<usize> = args
+        .get::<String>("workers")
+        .unwrap_or_else(|| "1,4".to_string())
+        .split(',')
+        .map(|w| w.trim().parse().expect("--workers expects integers"))
+        .collect();
 
+    let logical = logical_cores();
+    let physical = physical_cores();
     println!(
-        "HPO benchmark: {} configurations, scale {}, seed {}\n",
+        "HPO benchmark: {} configurations, scale {}, seed {}, workers {:?} \
+         ({physical} physical / {logical} logical cores)\n",
         space.n_configurations(),
         args.scale,
-        args.seed
+        args.seed,
+        worker_counts,
     );
 
+    let matmul = matmul_microbench(args.seed);
+    println!();
+
     let mut rows = Vec::new();
+    // (method, workers) -> trials/sec summed over datasets, for scaling.
+    let mut throughput: BTreeMap<(String, usize), f64> = BTreeMap::new();
     let mut table = Table::new(&[
         "dataset",
         "method",
+        "workers",
         "wall (s)",
         "trials",
         "trials/s",
@@ -83,45 +200,103 @@ fn main() {
     for ds in &datasets {
         let tt = ds.load(args.scale, args.seed);
         for (name, method) in methods() {
-            let row = run_method_with(
-                &tt.train,
-                &tt.test,
-                &space,
-                pipeline.clone(),
-                &base,
-                &method,
-                args.seed,
-                &RunOptions::default(),
-            );
-            let trials_per_sec = if row.search_seconds > 0.0 {
-                row.n_evaluations as f64 / row.search_seconds
-            } else {
-                0.0
-            };
-            table.row(vec![
-                ds.name().to_string(),
-                name.to_string(),
-                format!("{:.2}", row.search_seconds),
-                row.n_evaluations.to_string(),
-                format!("{trials_per_sec:.1}"),
-                format!("{:.2}", row.search_cost_units as f64 / 1e9),
-                format!("{:.4}", row.test_score),
-            ]);
-            rows.push(serde_json::json!({
-                "dataset": ds.name(),
-                "method": name,
-                "pipeline": row.pipeline,
-                "wall_seconds": row.search_seconds,
-                "trials": row.n_evaluations,
-                "trials_per_sec": trials_per_sec,
-                "cost_units": row.search_cost_units,
-                "n_failures": row.n_failures,
-                "train_score": row.train_score,
-                "test_score": row.test_score,
-            }));
+            for &workers in &worker_counts {
+                let row = run_method_with(
+                    &tt.train,
+                    &tt.test,
+                    &space,
+                    pipeline.clone(),
+                    &base,
+                    &method,
+                    args.seed,
+                    &RunOptions {
+                        workers,
+                        ..Default::default()
+                    },
+                );
+                let trials_per_sec = if row.search_seconds > 0.0 {
+                    row.n_evaluations as f64 / row.search_seconds
+                } else {
+                    0.0
+                };
+                *throughput.entry((name.to_string(), workers)).or_default() += trials_per_sec;
+                table.row(vec![
+                    ds.name().to_string(),
+                    name.to_string(),
+                    workers.to_string(),
+                    format!("{:.2}", row.search_seconds),
+                    row.n_evaluations.to_string(),
+                    format!("{trials_per_sec:.1}"),
+                    format!("{:.2}", row.search_cost_units as f64 / 1e9),
+                    format!("{:.4}", row.test_score),
+                ]);
+                rows.push(serde_json::json!({
+                    "dataset": ds.name(),
+                    "method": name,
+                    "pipeline": row.pipeline,
+                    "workers": workers,
+                    "wall_seconds": row.search_seconds,
+                    "trials": row.n_evaluations,
+                    "trials_per_sec": trials_per_sec,
+                    "cost_units": row.search_cost_units,
+                    "n_failures": row.n_failures,
+                    "train_score": row.train_score,
+                    "test_score": row.test_score,
+                }));
+            }
         }
     }
     table.print();
+
+    // Per-method scaling: trials/sec at each worker count and the speedup
+    // over the single-worker baseline.
+    let mut scaling = Vec::new();
+    for (name, _) in methods() {
+        let base_tps = throughput
+            .get(&(name.to_string(), worker_counts[0]))
+            .copied()
+            .unwrap_or(0.0);
+        let per_workers: Vec<serde_json::Value> = worker_counts
+            .iter()
+            .map(|&w| {
+                let tps = throughput
+                    .get(&(name.to_string(), w))
+                    .copied()
+                    .unwrap_or(0.0);
+                serde_json::json!({
+                    "workers": w,
+                    "trials_per_sec": tps,
+                    "speedup": if base_tps > 0.0 { tps / base_tps } else { 0.0 },
+                })
+            })
+            .collect();
+        scaling.push(serde_json::json!({
+            "method": name,
+            "per_workers": per_workers,
+        }));
+    }
+    if worker_counts.len() > 1 {
+        println!("\nparallel scaling (trials/s, speedup vs {} worker):", {
+            worker_counts[0]
+        });
+        for entry in &scaling {
+            let method = entry["method"].as_str().unwrap_or("?");
+            let parts: Vec<String> = entry["per_workers"]
+                .as_array()
+                .map(|a| {
+                    a.iter()
+                        .map(|p| {
+                            format!(
+                                "{}w {:.1}/s ({:.2}x)",
+                                p["workers"], p["trials_per_sec"], p["speedup"]
+                            )
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            println!("  {method:<8} {}", parts.join("  "));
+        }
+    }
 
     let metrics = obs::global_metrics().snapshot();
     let report = serde_json::json!({
@@ -129,7 +304,12 @@ fn main() {
         "seed": args.seed,
         "scale": args.scale,
         "n_configurations": space.n_configurations(),
+        "worker_counts": worker_counts,
+        "physical_cores": physical,
+        "logical_cores": logical,
+        "matmul_256": matmul,
         "rows": rows,
+        "scaling": scaling,
         "metrics": metrics,
     });
     let text = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -151,6 +151,7 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
         checkpoint_every: flags.get_or("checkpoint-every", 1usize)?,
         resume: flags.get("resume").is_some(),
         recorder,
+        workers: flags.get_or("workers", 1usize)?,
     };
 
     obs_info!(

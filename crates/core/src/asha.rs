@@ -1,27 +1,29 @@
 //! ASHA — Asynchronous Successive Halving (Li et al., 2018).
 //!
 //! SHA's rungs are synchronization barriers: no configuration advances until
-//! its whole rung finishes. ASHA removes the barrier — a worker promotes a
-//! configuration to rung `r+1` as soon as it sits in the top `1/η` of the
-//! results *so far* at rung `r`. This crate runs ASHA over a thread pool
-//! (crossbeam-channel work queue, parking_lot-guarded shared rung state),
-//! matching the paper's description of ASHA as the parallel improvement over
-//! Hyperband.
+//! its whole rung finishes. ASHA removes the barrier — a configuration is
+//! promoted to rung `r+1` as soon as it sits in the top `1/η` of the results
+//! *so far* at rung `r`.
+//!
+//! This implementation runs ASHA's promotion rule in deterministic *waves*:
+//! the scheduler drains every job the rule currently allows (promotions from
+//! the highest eligible rung down, then fresh rung-0 launches), hands the
+//! wave to the execution engine as one [`TrialJob`] batch, and commits the
+//! outcomes in submission order before draining the next wave. The engine
+//! ([`crate::parallel::ParallelEvaluator`] under `--workers N`) decides how
+//! many threads evaluate the wave; the schedule itself never depends on
+//! thread timing, so equal seeds give bit-identical searches at every worker
+//! count. Trial-level panic containment lives in the engine
+//! ([`crate::exec::contained_evaluate`]), which demotes a crashed trial to
+//! an imputed failure instead of losing it.
 
-use crate::evaluator::EvalOutcome;
-use crate::exec::{compare_scores, TrialEvaluator};
+use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
 use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_data::rng::derive_seed;
 use hpo_models::mlp::MlpParams;
-use parking_lot::Mutex;
 use std::collections::HashSet;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-
-/// How many times a job whose evaluation panicked is handed to another
-/// worker before it is recorded as failed with an imputed score.
-const MAX_WORKER_REQUEUES: u32 = 2;
 
 /// ASHA settings.
 #[derive(Clone, Debug)]
@@ -30,7 +32,10 @@ pub struct AshaConfig {
     pub eta: usize,
     /// Budget of rung 0 (instances); rung `r` gets `min_budget · η^r`.
     pub min_budget: usize,
-    /// Number of worker threads.
+    /// Historical worker-count knob, kept for API compatibility. Execution
+    /// parallelism now belongs to the engine (`RunOptions::workers` /
+    /// `--workers`); this field no longer affects the schedule, which is
+    /// deliberate — the schedule must not depend on thread counts.
     pub workers: usize,
     /// Number of configurations to launch at rung 0.
     pub n_configs: usize,
@@ -52,44 +57,34 @@ impl Default for AshaConfig {
 pub struct AshaResult {
     /// Best configuration at the highest rung reached (score breaks ties).
     pub best: Configuration,
-    /// Every evaluation, in completion order.
+    /// Every evaluation, in wave submission order.
     pub history: History,
 }
 
-/// A unit of work: evaluate `config` at `rung`.
-#[derive(Clone, Debug)]
+/// A unit of work: evaluate `config_id` at `rung`.
+#[derive(Clone, Copy, Debug)]
 struct Job {
     config_id: usize,
     rung: usize,
-    /// How many workers have already died evaluating this job.
-    attempts: u32,
 }
 
-/// Shared scheduler state.
-struct Shared {
-    /// results[rung] = completed (config_id, score) pairs, completion order.
+/// The scheduler state behind the promotion rule. Only touched between
+/// waves, on the coordinating thread.
+struct Scheduler {
+    /// results[rung] = completed (config_id, score) pairs, commit order.
     results: Vec<Vec<(usize, f64)>>,
     /// promoted[rung] = config ids already promoted out of that rung.
     promoted: Vec<HashSet<usize>>,
     /// Next rung-0 configuration index not yet launched.
     next_fresh: usize,
-    /// Jobs currently being evaluated.
-    in_flight: usize,
-    /// Jobs whose worker panicked, waiting to be retried. Popped before any
-    /// promotion or fresh launch so a crashed trial is never lost.
-    requeued: Vec<Job>,
 }
 
-impl Shared {
-    /// The ASHA promotion rule: drain requeued (crashed) jobs first, then
-    /// find, from the highest rung down, a completed configuration in the
-    /// top `1/η` of its rung that hasn't been promoted; otherwise launch a
-    /// fresh rung-0 configuration.
+impl Scheduler {
+    /// The ASHA promotion rule: from the highest rung down, a completed
+    /// configuration in the top `1/η` of its rung that hasn't been promoted
+    /// yet; otherwise a fresh rung-0 configuration. `None` when the rule
+    /// currently allows nothing (the wave is complete).
     fn next_job(&mut self, eta: usize, max_rung: usize, n_configs: usize) -> Option<Job> {
-        if let Some(job) = self.requeued.pop() {
-            self.in_flight += 1;
-            return Some(job);
-        }
         for rung in (0..max_rung).rev() {
             let done = &self.results[rung];
             let k = done.len() / eta;
@@ -102,11 +97,9 @@ impl Shared {
             for &&(config_id, _) in sorted.iter().take(k) {
                 if !self.promoted[rung].contains(&config_id) {
                     self.promoted[rung].insert(config_id);
-                    self.in_flight += 1;
                     return Some(Job {
                         config_id,
                         rung: rung + 1,
-                        attempts: 0,
                     });
                 }
             }
@@ -114,21 +107,17 @@ impl Shared {
         if self.next_fresh < n_configs {
             let id = self.next_fresh;
             self.next_fresh += 1;
-            self.in_flight += 1;
             return Some(Job {
                 config_id: id,
                 rung: 0,
-                attempts: 0,
             });
         }
         None
     }
 }
 
-/// Runs ASHA over `config.workers` threads.
-///
-/// The evaluator is shared immutably across workers (it is `Sync`: all
-/// randomness is derived per call from the stream argument).
+/// Runs ASHA in deterministic waves (see module docs). Use
+/// `RunOptions::workers` / `--workers` to evaluate each wave in parallel.
 ///
 /// # Panics
 /// Panics when `eta < 2`, `workers == 0`, or `n_configs == 0`.
@@ -159,8 +148,8 @@ pub fn asha<E: TrialEvaluator + ?Sized>(
 
     let recorder = evaluator.recorder();
     // ASHA has no rung barriers; rung 0 is the only rung with a known
-    // start, and promotions are per-configuration events emitted by the
-    // worker that launches them.
+    // start, and promotions are per-configuration events emitted when the
+    // wave that launches them is scheduled.
     recorder.emit(RunEvent::RungStarted {
         bracket: 0,
         rung: 0,
@@ -168,114 +157,64 @@ pub fn asha<E: TrialEvaluator + ?Sized>(
         budget: budgets[0],
     });
 
-    let shared = Mutex::new(Shared {
+    let mut sched = Scheduler {
         results: vec![Vec::new(); budgets.len()],
         promoted: vec![HashSet::new(); budgets.len()],
         next_fresh: 0,
-        in_flight: 0,
-        requeued: Vec::new(),
-    });
-    let history = Mutex::new(History::new());
+    };
+    let mut history = History::new();
 
-    std::thread::scope(|scope| {
-        for _w in 0..config.workers {
-            let shared = &shared;
-            let history = &history;
-            let candidates = &candidates;
-            let budgets = &budgets;
-            let recorder = &recorder;
-            scope.spawn(move || loop {
-                let job = {
-                    let mut s = shared.lock();
-                    s.next_job(config.eta, max_rung, n_configs)
-                };
-                let Some(job) = job else {
-                    // No job now; if work is still in flight, results may
-                    // unlock promotions — spin briefly. Otherwise done.
-                    let idle = { shared.lock().in_flight == 0 };
-                    if idle {
-                        break;
-                    }
-                    std::thread::yield_now();
-                    continue;
-                };
-                if job.rung > 0 && job.attempts == 0 {
-                    // A freshly-scheduled rung-r job *is* the asynchronous
-                    // promotion decision: one configuration at a time.
-                    recorder.emit(RunEvent::Promotion {
-                        bracket: 0,
-                        from_rung: job.rung - 1,
-                        to_rung: job.rung,
-                        promoted: 1,
-                        pruned: 0,
-                    });
-                }
-                let cand = &candidates[job.config_id];
-                let params = space.to_params(cand, base_params);
-                // Fold streams per the pipeline (see sha.rs).
-                let eval_stream =
-                    evaluator.fold_stream(stream, job.rung as u64, job.config_id as u64);
-                // `evaluate_trial` already retries and imputes per the
-                // failure policy; this extra layer contains panics that
-                // escape it (e.g. a custom evaluator dying outright) so one
-                // crashed worker iteration can neither deadlock the pool nor
-                // lose the trial.
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    evaluator.evaluate_trial(&params, budgets[job.rung], eval_stream)
-                }));
-                match result {
-                    Ok(outcome) => {
-                        {
-                            let mut s = shared.lock();
-                            s.results[job.rung].push((job.config_id, outcome.score));
-                            s.in_flight -= 1;
-                        }
-                        history.lock().push(Trial {
-                            config: cand.clone(),
-                            budget: budgets[job.rung],
-                            rung: job.rung,
-                            outcome,
-                        });
-                    }
-                    Err(_) if job.attempts < MAX_WORKER_REQUEUES => {
-                        // Decrement and requeue under one lock: either this
-                        // worker (still looping) or any non-idle peer pops
-                        // the job again, so it cannot be orphaned.
-                        let mut s = shared.lock();
-                        s.in_flight -= 1;
-                        s.requeued.push(Job {
-                            attempts: job.attempts + 1,
-                            ..job
-                        });
-                    }
-                    Err(_) => {
-                        // Give up: record the trial as failed with the
-                        // policy's imputed score so rung accounting (and any
-                        // promotion maths downstream) still sees it.
-                        let imputed = evaluator.failure_policy().imputed_score;
-                        let total = evaluator.total_budget().max(1);
-                        let gamma_pct = 100.0 * budgets[job.rung].min(total) as f64 / total as f64;
-                        {
-                            let mut s = shared.lock();
-                            s.results[job.rung].push((job.config_id, imputed));
-                            s.in_flight -= 1;
-                        }
-                        history.lock().push(Trial {
-                            config: cand.clone(),
-                            budget: budgets[job.rung],
-                            rung: job.rung,
-                            outcome: EvalOutcome::failed(job.attempts + 1, imputed, gamma_pct, 0.0),
-                        });
-                    }
-                }
+    loop {
+        // Drain everything the promotion rule currently allows. Results do
+        // not change mid-drain, so the wave is a pure function of the
+        // committed results — the deterministic analogue of "whatever idle
+        // workers would grab next".
+        let mut wave: Vec<Job> = Vec::new();
+        while let Some(job) = sched.next_job(config.eta, max_rung, n_configs) {
+            wave.push(job);
+        }
+        if wave.is_empty() {
+            break;
+        }
+        for job in &wave {
+            if job.rung > 0 {
+                // A scheduled rung-r job *is* the asynchronous promotion
+                // decision: one configuration at a time.
+                recorder.emit(RunEvent::Promotion {
+                    bracket: 0,
+                    from_rung: job.rung - 1,
+                    to_rung: job.rung,
+                    promoted: 1,
+                    pruned: 0,
+                });
+            }
+        }
+        // Fold streams per the pipeline (see sha.rs); each job carries its
+        // stream, so the engine's thread placement cannot change it.
+        let jobs: Vec<TrialJob> = wave
+            .iter()
+            .map(|job| {
+                TrialJob::new(
+                    space.to_params(&candidates[job.config_id], base_params),
+                    budgets[job.rung],
+                    evaluator.fold_stream(stream, job.rung as u64, job.config_id as u64),
+                )
+            })
+            .collect();
+        let outcomes = evaluator.evaluate_batch(&jobs);
+        for (job, outcome) in wave.iter().zip(outcomes) {
+            sched.results[job.rung].push((job.config_id, outcome.score));
+            history.push(Trial {
+                config: candidates[job.config_id].clone(),
+                budget: budgets[job.rung],
+                rung: job.rung,
+                outcome,
             });
         }
-    });
+    }
 
-    let history = history.into_inner();
-    let shared = shared.into_inner();
     // Best = highest rung reached, best score there.
-    let best_id = shared
+    let best_id = sched
         .results
         .iter()
         .rev()
@@ -397,12 +336,12 @@ mod tests {
     }
 
     #[test]
-    fn more_workers_evaluate_the_same_rung0_set() {
+    fn schedule_is_identical_for_every_worker_setting() {
         let data = dataset();
         let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 4);
         let space = SearchSpace::mlp_cv18();
-        for workers in [1, 2, 6] {
-            let result = asha(
+        let run = |workers: usize| {
+            asha(
                 &ev,
                 &space,
                 &quick_base(),
@@ -412,12 +351,32 @@ mod tests {
                     ..Default::default()
                 },
                 3,
-            );
+            )
+        };
+        let baseline = run(1);
+        assert_eq!(baseline.history.rung(0).count(), 10);
+        for workers in [2, 6] {
+            let result = run(workers);
+            assert_eq!(result.best, baseline.best, "workers={workers}");
             assert_eq!(
-                result.history.rung(0).count(),
-                10,
-                "workers={workers} must evaluate all rung-0 configs"
+                result.history.len(),
+                baseline.history.len(),
+                "workers={workers}"
             );
+            for (a, b) in baseline
+                .history
+                .trials()
+                .iter()
+                .zip(result.history.trials())
+            {
+                assert_eq!(a.config, b.config, "workers={workers}");
+                assert_eq!(a.rung, b.rung, "workers={workers}");
+                assert_eq!(
+                    a.outcome.score.to_bits(),
+                    b.outcome.score.to_bits(),
+                    "workers={workers}"
+                );
+            }
         }
     }
 }

@@ -18,8 +18,15 @@ use hpo_models::estimator::Estimator;
 use hpo_models::mlp::{MlpClassifier, MlpParams, MlpRegressor};
 use hpo_sampling::groups::{build_grouping, Grouping};
 use hpo_sampling::kfold::train_indices_for;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Entry cap for the per-evaluator fold cache; on overflow the cache is
+/// cleared wholesale (rebuilds are cheap, bookkeeping an LRU is not).
+const FOLD_CACHE_CAP: usize = 256;
 
 /// Which validation score the folds produce (and the experiments report).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -150,6 +157,12 @@ pub struct CvEvaluator<'a> {
     seed: u64,
     /// Retry/deadline/imputation rules for failed trials.
     policy: FailurePolicy,
+    /// Fold constructions keyed by (clamped budget, stream). Folds are a
+    /// pure function of that key (plus per-evaluator state), so identical
+    /// constructions — every candidate of a shared-folds rung, or a rung
+    /// re-visited at the same budget — are built once and shared. Shared
+    /// across evaluation threads; entries are immutable once inserted.
+    fold_cache: Mutex<HashMap<(usize, u64), Arc<Vec<Vec<usize>>>>>,
 }
 
 impl<'a> CvEvaluator<'a> {
@@ -188,6 +201,7 @@ impl<'a> CvEvaluator<'a> {
             total_budget: train.n_instances(),
             seed,
             policy: FailurePolicy::default(),
+            fold_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -327,19 +341,35 @@ impl<'a> CvEvaluator<'a> {
         let start = Instant::now();
         let k = self.pipeline.fold_strategy.n_folds();
         let budget = budget.clamp(k.max(2), self.total_budget.max(k));
-        let mut rng = rng_from_seed(derive_seed(self.seed, stream));
-        let folds = {
-            let _timer = ScopedTimer::start(
-                obs::global_metrics().histogram("hpo_fold_build_seconds", LATENCY_BUCKETS),
-            );
-            self.pipeline.fold_strategy.build(
-                self.train.n_instances(),
-                &self.strat_labels,
-                self.n_strat_categories,
-                self.grouping.as_ref(),
-                budget,
-                &mut rng,
-            )
+        let key = (budget, stream);
+        let cached = self.fold_cache.lock().get(&key).cloned();
+        let folds: Arc<Vec<Vec<usize>>> = match cached {
+            Some(folds) => folds,
+            None => {
+                // Build outside the lock: a concurrent miss on the same key
+                // builds twice but both results are bit-identical, and the
+                // pool's workers never serialize on fold construction.
+                let mut rng = rng_from_seed(derive_seed(self.seed, stream));
+                let built = {
+                    let _timer = ScopedTimer::start(
+                        obs::global_metrics().histogram("hpo_fold_build_seconds", LATENCY_BUCKETS),
+                    );
+                    Arc::new(self.pipeline.fold_strategy.build(
+                        self.train.n_instances(),
+                        &self.strat_labels,
+                        self.n_strat_categories,
+                        self.grouping.as_ref(),
+                        budget,
+                        &mut rng,
+                    ))
+                };
+                let mut cache = self.fold_cache.lock();
+                if cache.len() >= FOLD_CACHE_CAP {
+                    cache.clear();
+                }
+                cache.insert(key, Arc::clone(&built));
+                built
+            }
         };
 
         let mut scores = Vec::with_capacity(folds.len());

@@ -123,6 +123,66 @@ pub trait TrialEvaluator: Sync {
     fn evaluate_trial(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
         run_trial(self, params, budget, stream)
     }
+
+    /// Evaluates a batch of independent trials, returning outcomes in
+    /// submission order (`out[i]` belongs to `jobs[i]`).
+    ///
+    /// This is the unit the optimizers hand to the execution engine: each
+    /// job carries its own pre-assigned RNG stream, so *where* it runs can
+    /// never change *what* it computes. The default runs the batch
+    /// sequentially; [`crate::parallel::ParallelEvaluator`] overrides it to
+    /// fan the batch across a worker pool. Either way each job gets
+    /// last-resort panic containment (see [`contained_evaluate`]), so a
+    /// poisoned trial is demoted to a failed outcome instead of taking the
+    /// batch down.
+    fn evaluate_batch(&self, jobs: &[TrialJob]) -> Vec<EvalOutcome> {
+        jobs.iter().map(|job| contained_evaluate(self, job)).collect()
+    }
+}
+
+/// One unit of batch work: a trial's hyperparameters, its budget, and the
+/// RNG stream assigned to it at submission time. The stream travels with the
+/// job, which is what makes parallel execution deterministic: a worker
+/// thread inherits the job's stream, never its own.
+#[derive(Clone, Debug)]
+pub struct TrialJob {
+    /// Hyperparameters of the candidate configuration.
+    pub params: MlpParams,
+    /// Training-instance budget for this rung.
+    pub budget: usize,
+    /// Pre-assigned fold-sampling stream (see [`TrialEvaluator::fold_stream`]).
+    pub stream: u64,
+}
+
+impl TrialJob {
+    /// Convenience constructor.
+    pub fn new(params: MlpParams, budget: usize, stream: u64) -> Self {
+        TrialJob {
+            params,
+            budget,
+            stream,
+        }
+    }
+}
+
+/// Runs `evaluate_trial` for one job with last-resort panic containment.
+///
+/// [`run_trial`] already contains panics raised by `evaluate_raw`, but an
+/// evaluator that *overrides* `evaluate_trial` (as the fault-suite's
+/// panicking stubs do) can still unwind past it. Batch execution must never
+/// lose the other jobs to one poisoned trial, so the escape hatch converts
+/// the unwind into the same failed outcome the retry loop would produce on
+/// its final attempt.
+pub fn contained_evaluate<E: TrialEvaluator + ?Sized>(evaluator: &E, job: &TrialJob) -> EvalOutcome {
+    catch_unwind(AssertUnwindSafe(|| {
+        evaluator.evaluate_trial(&job.params, job.budget, job.stream)
+    }))
+    .unwrap_or_else(|_| {
+        let policy = evaluator.failure_policy();
+        let total = evaluator.total_budget().max(1);
+        let gamma_pct = 100.0 * job.budget.min(total) as f64 / total as f64;
+        EvalOutcome::failed(1, policy.imputed_score, gamma_pct, 0.0)
+    })
 }
 
 impl TrialEvaluator for CvEvaluator<'_> {
@@ -524,6 +584,72 @@ impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
             self.emit_checkpoint_written(entries);
         }
         out
+    }
+
+    /// Batch path: serve resume hits in submission order, forward only the
+    /// misses to the inner engine (which may run them in parallel), then
+    /// append checkpoint entries for the misses — again in submission order,
+    /// so the on-disk journal is identical for every worker count — and make
+    /// one batch-granular save decision.
+    fn evaluate_batch(&self, jobs: &[TrialJob]) -> Vec<EvalOutcome> {
+        let keys: Vec<_> = jobs
+            .iter()
+            .map(|j| trial_key(&j.params, j.budget, j.stream))
+            .collect();
+        let mut slots: Vec<Option<EvalOutcome>> = {
+            let mut st = self.state.lock();
+            keys.iter()
+                .map(|k| {
+                    let hit = st.cache.get(k).cloned();
+                    if hit.is_some() {
+                        st.hits += 1;
+                    }
+                    hit
+                })
+                .collect()
+        };
+        let miss_idx: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect();
+        if !miss_idx.is_empty() {
+            let miss_jobs: Vec<TrialJob> = miss_idx.iter().map(|&i| jobs[i].clone()).collect();
+            let outs = self.inner.evaluate_batch(&miss_jobs);
+            debug_assert_eq!(outs.len(), miss_jobs.len());
+            let mut st = self.state.lock();
+            for (&i, out) in miss_idx.iter().zip(&outs) {
+                st.checkpoint.entries.push(CheckpointEntry {
+                    budget: jobs[i].budget,
+                    stream: jobs[i].stream,
+                    params_fingerprint: keys[i].2,
+                    outcome: out.clone(),
+                });
+            }
+            st.new_since_save += outs.len();
+            let mut saved_entries = None;
+            if self.every > 0 && st.new_since_save >= self.every {
+                st.new_since_save = 0;
+                if let Some(path) = &self.path {
+                    // Mid-run checkpoints are best-effort; the final flush
+                    // surfaces persistent IO errors.
+                    if save_checkpoint(&st.checkpoint, path).is_ok() {
+                        saved_entries = Some(st.checkpoint.entries.len());
+                    }
+                }
+            }
+            drop(st);
+            if let Some(entries) = saved_entries {
+                self.emit_checkpoint_written(entries);
+            }
+            for (&i, out) in miss_idx.iter().zip(outs) {
+                slots[i] = Some(out);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every batch slot is filled"))
+            .collect()
     }
 }
 

@@ -12,6 +12,7 @@ use crate::evaluator::{fit_and_score, CvEvaluator, ScoreKind};
 use crate::exec::{CheckpointingEvaluator, FailurePolicy, TrialEvaluator};
 use crate::hyperband::{hyperband, HyperbandConfig};
 use crate::obs::{self, ObservedEvaluator, Recorder, RunEvent};
+use crate::parallel::ParallelEvaluator;
 use crate::pasha::{pasha, PashaConfig};
 use crate::persist::load_checkpoint;
 use crate::pipeline::Pipeline;
@@ -36,7 +37,7 @@ pub enum Method {
     Hyperband(HyperbandConfig),
     /// BOHB (TPE-guided Hyperband).
     Bohb(BohbConfig),
-    /// Asynchronous SHA over a worker pool.
+    /// Asynchronous SHA (deterministic wave scheduling).
     Asha(AshaConfig),
     /// Progressive ASHA (extension; cited as PASHA in the paper's §II-B).
     Pasha(PashaConfig),
@@ -108,6 +109,10 @@ pub struct RunOptions {
     /// retry, promotion and checkpoint event. Disabled by default (one
     /// branch per would-be emission).
     pub recorder: Recorder,
+    /// Worker threads for trial evaluation ([`ParallelEvaluator`]). Results
+    /// are bit-identical for every value; 1 (the default) evaluates batches
+    /// inline on the calling thread.
+    pub workers: usize,
 }
 
 impl Default for RunOptions {
@@ -118,6 +123,7 @@ impl Default for RunOptions {
             checkpoint_every: 1,
             resume: false,
             recorder: Recorder::disabled(),
+            workers: 1,
         }
     }
 }
@@ -165,8 +171,8 @@ fn dispatch<E: TrialEvaluator + ?Sized>(
 /// Runs one method × pipeline on a train/test pair.
 ///
 /// `seed` drives everything: grouping, fold sampling, weight init, and the
-/// method's own randomness. Equal seeds ⇒ identical runs (ASHA excepted:
-/// thread interleaving can reorder promotions).
+/// method's own randomness. Equal seeds ⇒ identical runs, at every
+/// `RunOptions::workers` setting.
 pub fn run_method(
     train: &Dataset,
     test: &Dataset,
@@ -214,12 +220,14 @@ pub fn run_method_with(
         .with_failure_policy(opts.failure_policy.clone());
     let score_kind = evaluator.score_kind();
 
-    // Composition order (DESIGN.md §5.6): observation sits inside
-    // checkpointing, so trials replayed from a resume cache emit no
-    // duplicate events.
+    // Composition order (DESIGN.md §5.6/§5.7): observation sits inside the
+    // parallel engine (workers emit into thread-local buffers, replayed in
+    // submission order), which sits inside checkpointing, so trials replayed
+    // from a resume cache emit no duplicate events and never hit the pool.
     let observed = ObservedEvaluator::new(&evaluator, recorder.clone());
+    let engine = ParallelEvaluator::new(&observed, opts.workers);
     let ckpt = CheckpointingEvaluator::new(
-        &observed,
+        &engine,
         seed,
         &method_label,
         &pipeline_label,

@@ -5,7 +5,7 @@
 //! optimizer with [`crate::pipeline::Pipeline::vanilla`], `HB+` with
 //! [`crate::pipeline::Pipeline::enhanced`].
 
-use crate::exec::{compare_scores, TrialEvaluator};
+use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
 use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
@@ -109,12 +109,25 @@ pub fn hyperband_with_sampler<E: TrialEvaluator + ?Sized>(
                 n_candidates: survivors.len(),
                 budget,
             });
-            // Fold streams per the pipeline (see sha.rs).
+            // Fold streams per the pipeline (see sha.rs). The rung is one
+            // batch: the engine may run trials on any worker, but outcomes
+            // return in submission order, so the sampler observations and
+            // best-so-far tracking below are identical for every worker
+            // count.
+            let jobs: Vec<TrialJob> = survivors
+                .iter()
+                .enumerate()
+                .map(|(c, cand)| {
+                    TrialJob::new(
+                        space.to_params(cand, base_params),
+                        budget,
+                        evaluator.fold_stream(bracket_stream, i as u64, c as u64),
+                    )
+                })
+                .collect();
+            let outcomes = evaluator.evaluate_batch(&jobs);
             let mut scored: Vec<(usize, f64)> = Vec::with_capacity(survivors.len());
-            for (c, cand) in survivors.iter().enumerate() {
-                let params = space.to_params(cand, base_params);
-                let t_stream = evaluator.fold_stream(bracket_stream, i as u64, c as u64);
-                let outcome = evaluator.evaluate_trial(&params, budget, t_stream);
+            for ((c, cand), outcome) in survivors.iter().enumerate().zip(outcomes) {
                 // Only feed real observations to model-based samplers; an
                 // imputed score would teach TPE that the region is merely
                 // bad rather than broken, which is fine — but a NaN would

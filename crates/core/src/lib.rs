@@ -12,7 +12,7 @@
 //!    [`pipeline::Pipeline::vanilla`] vs [`pipeline::Pipeline::enhanced`].
 //! 3. The bandit optimizers, each generic over the pipeline:
 //!    [`sha`] (Successive Halving), [`hyperband`], [`bohb`] (TPE-guided
-//!    Hyperband), [`asha`] (asynchronous SHA over a thread pool),
+//!    Hyperband), [`asha`] (asynchronous SHA, deterministic waves),
 //!    [`pasha`] (progressive ASHA) and [`dehb`]
 //!    (differential-evolution Hyperband), plus [`random_search`]. `SHA+`,
 //!    `HB+`, `BOHB+` in the paper are these optimizers run with the enhanced
@@ -35,6 +35,7 @@ pub mod exec;
 pub mod harness;
 pub mod hyperband;
 pub mod obs;
+pub mod parallel;
 pub mod pasha;
 pub mod persist;
 pub mod pipeline;
@@ -46,10 +47,12 @@ pub mod trial;
 pub use evaluator::{CvEvaluator, EvalOutcome, ScoreKind, TrialStatus};
 pub use exec::{
     compare_scores, CheckpointingEvaluator, FailurePolicy, FaultInjector, FaultPlan, TrialEvaluator,
+    TrialJob,
 };
 pub use harness::{run_method, run_method_with, Method, RunOptions, RunResult};
 pub use obs::{
     EventRecord, LogLevel, MetricsSnapshot, ObservedEvaluator, Recorder, RunEvent, ScopedTimer,
 };
+pub use parallel::ParallelEvaluator;
 pub use pipeline::Pipeline;
 pub use space::{Configuration, SearchSpace};

@@ -183,6 +183,24 @@ impl EventRecord {
             event: self.event.clone(),
         }
     }
+
+    /// A copy with the timestamp *and* every measured duration zeroed — the
+    /// normal form compared by the cross-worker-count determinism suite,
+    /// where wall-clock readings are the only fields legitimately allowed to
+    /// differ between `--workers 1` and `--workers N`.
+    pub fn without_timings(&self) -> EventRecord {
+        let mut event = self.event.clone();
+        match &mut event {
+            RunEvent::TrialFinished { wall_seconds, .. }
+            | RunEvent::RunFinished { wall_seconds, .. } => *wall_seconds = 0.0,
+            _ => {}
+        }
+        EventRecord {
+            seq: self.seq,
+            ts_ms: 0,
+            event,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@ use crate::evaluator::{EvalOutcome, TrialStatus};
 use crate::exec::{run_trial, FailurePolicy, TrialEvaluator};
 use crate::persist::PersistError;
 use hpo_models::mlp::MlpParams;
+use std::cell::RefCell;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -56,6 +57,41 @@ fn now_ms() -> u64 {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_millis() as u64)
         .unwrap_or(0)
+}
+
+/// Events captured for one trial while it runs on a pool worker.
+///
+/// The parallel engine installs a buffer on the worker thread before each
+/// job; [`Recorder::emit`] then diverts the trial's events here instead of
+/// stamping them, and the engine replays the buffers in submission order on
+/// the coordinating thread. This is what keeps the journal byte-identical
+/// across worker counts: sequence numbers and timestamps are assigned at
+/// replay time, in a deterministic order.
+pub(crate) struct TrialEventBuffer {
+    /// Trial id reserved for this job (see [`Recorder::reserve_trial_ids`]).
+    pub(crate) trial_id: u64,
+    /// Raw events in the order the trial emitted them.
+    pub(crate) events: Vec<RunEvent>,
+}
+
+thread_local! {
+    static TRIAL_BUFFER: RefCell<Option<TrialEventBuffer>> = const { RefCell::new(None) };
+}
+
+/// Installs a trial event buffer on the current thread (parallel engine
+/// only). Any previously installed buffer is discarded.
+pub(crate) fn install_trial_buffer(trial_id: u64) {
+    TRIAL_BUFFER.with(|b| {
+        *b.borrow_mut() = Some(TrialEventBuffer {
+            trial_id,
+            events: Vec::new(),
+        });
+    });
+}
+
+/// Removes and returns the current thread's trial event buffer, if any.
+pub(crate) fn take_trial_buffer() -> Option<TrialEventBuffer> {
+    TRIAL_BUFFER.with(|b| b.borrow_mut().take())
 }
 
 #[derive(Debug)]
@@ -111,6 +147,17 @@ impl Recorder {
         let Some(inner) = &self.inner else {
             return;
         };
+        // A pool worker with an installed buffer defers stamping entirely:
+        // the parallel engine replays buffered events in submission order.
+        let mut event = Some(event);
+        TRIAL_BUFFER.with(|b| {
+            if let Some(buf) = b.borrow_mut().as_mut() {
+                buf.events.push(event.take().expect("event not yet consumed"));
+            }
+        });
+        let Some(event) = event else {
+            return;
+        };
         let record = EventRecord {
             seq: inner.seq.fetch_add(1, Ordering::Relaxed),
             ts_ms: now_ms(),
@@ -134,10 +181,27 @@ impl Recorder {
     }
 
     /// Allocates the next trial id (monotonic within the run; 0 when
-    /// disabled, where ids are never observed).
+    /// disabled, where ids are never observed). On a pool worker the id was
+    /// reserved at submission time and travels with the trial's event
+    /// buffer, so the id a trial observes never depends on scheduling.
     pub fn next_trial_id(&self) -> u64 {
+        let reserved = TRIAL_BUFFER.with(|b| b.borrow().as_ref().map(|buf| buf.trial_id));
+        if let Some(id) = reserved {
+            return id;
+        }
         match &self.inner {
             Some(inner) => inner.trial_ids.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Reserves `n` consecutive trial ids, returning the first (0 when
+    /// disabled). The parallel engine reserves a whole batch's ids up
+    /// front, so job `i` is always trial `base + i` regardless of which
+    /// worker executes it.
+    pub fn reserve_trial_ids(&self, n: u64) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.trial_ids.fetch_add(n, Ordering::Relaxed),
             None => 0,
         }
     }

@@ -1,0 +1,235 @@
+//! Deterministic parallel trial execution.
+//!
+//! Trials within a rung are independent by construction — the bandit only
+//! compares them *after* the whole rung has been evaluated — so they can be
+//! fanned across a worker pool without changing a single decision, provided
+//! two invariants hold:
+//!
+//! 1. **Streams travel with jobs.** Every [`TrialJob`] carries the RNG
+//!    stream assigned to it at submission time, so which worker (or how many
+//!    workers) runs it can never change what it computes.
+//! 2. **Results return in submission order.** Workers race through the job
+//!    queue, but outcomes are collected into their submission slots before
+//!    the optimizer sees them, so ranking and halving observe the exact
+//!    sequence a sequential run would.
+//!
+//! Observability is kept deterministic the same way: each job's events are
+//! captured in a thread-local buffer on the worker (see
+//! [`crate::obs::Recorder::emit`]) and replayed on the coordinating thread
+//! in submission order, with trial ids reserved per batch up front. The
+//! journal for `--workers 4` is therefore byte-identical to `--workers 1`
+//! modulo timestamps and measured durations.
+//!
+//! Worker panics cannot happen for contained evaluators ([`run_trial`]
+//! catches unwinds from `evaluate_raw`), but an evaluator overriding
+//! `evaluate_trial` may still unwind; [`contained_evaluate`] converts that
+//! into a failed outcome per the PR-1 failure policy, so one poisoned trial
+//! demotes itself instead of killing the pool.
+//!
+//! [`run_trial`]: crate::exec::run_trial
+
+use crate::evaluator::EvalOutcome;
+use crate::exec::{contained_evaluate, FailurePolicy, TrialEvaluator, TrialJob};
+use crate::obs::{self, Recorder};
+use hpo_models::mlp::MlpParams;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The parallel execution engine: fans [`TrialJob`] batches across a
+/// crossbeam scoped worker pool while staying bit-identical to sequential
+/// execution (see the module docs for the determinism contract).
+///
+/// Decorator position (outermost to innermost):
+/// `CheckpointingEvaluator(ParallelEvaluator(ObservedEvaluator(CvEvaluator)))`
+/// — the checkpoint layer stays outside so resume hits never reach the pool,
+/// and the observed layer stays inside so each worker emits its trial's
+/// events into its own buffer.
+pub struct ParallelEvaluator<'e, E: TrialEvaluator> {
+    inner: &'e E,
+    workers: usize,
+}
+
+impl<'e, E: TrialEvaluator> ParallelEvaluator<'e, E> {
+    /// Wraps `inner` with a pool of `workers` threads (clamped to ≥ 1).
+    pub fn new(inner: &'e E, workers: usize) -> Self {
+        ParallelEvaluator {
+            inner,
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
+    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        self.inner.evaluate_raw(params, budget, stream)
+    }
+
+    fn total_budget(&self) -> usize {
+        self.inner.total_budget()
+    }
+
+    fn fold_stream(&self, base: u64, rung: u64, candidate: u64) -> u64 {
+        self.inner.fold_stream(base, rung, candidate)
+    }
+
+    fn failure_policy(&self) -> &FailurePolicy {
+        self.inner.failure_policy()
+    }
+
+    fn recorder(&self) -> Recorder {
+        self.inner.recorder()
+    }
+
+    fn on_trial_retry(&self, stream: u64, attempt: u32) {
+        self.inner.on_trial_retry(stream, attempt);
+    }
+
+    fn evaluate_trial(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        self.inner.evaluate_trial(params, budget, stream)
+    }
+
+    /// Fans the batch across the pool. `workers == 1` still runs through
+    /// the same buffered code path (on a single pool thread), so the event
+    /// stream layout never depends on the worker count.
+    fn evaluate_batch(&self, jobs: &[TrialJob]) -> Vec<EvalOutcome> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let recorder = self.inner.recorder();
+        let base_id = recorder.reserve_trial_ids(n as u64);
+        let workers = self.workers.min(n);
+
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<(Option<obs::TrialEventBuffer>, EvalOutcome)>> =
+            (0..n).map(|_| None).collect();
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                handles.push(s.spawn(|_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        // The buffer is installed before and taken after the
+                        // contained call, so even a caught unwind leaves the
+                        // thread-local clean for the next job.
+                        obs::install_trial_buffer(base_id + idx as u64);
+                        let out = contained_evaluate(self.inner, &jobs[idx]);
+                        let buf = obs::take_trial_buffer();
+                        local.push((idx, buf, out));
+                    }
+                    local
+                }));
+            }
+            for handle in handles {
+                let local = handle.join().expect("pool workers contain all job panics");
+                for (idx, buf, out) in local {
+                    slots[idx] = Some((buf, out));
+                }
+            }
+        })
+        .expect("pool workers contain all job panics");
+
+        // Replay every job's buffered events in submission order; sequence
+        // numbers and timestamps are stamped here, on one thread.
+        let mut outcomes = Vec::with_capacity(n);
+        for slot in slots {
+            let (buf, out) = slot.expect("every submitted job produces a result");
+            if let Some(buf) = buf {
+                for event in buf.events {
+                    recorder.emit(event);
+                }
+            }
+            outcomes.push(out);
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::CvEvaluator;
+    use crate::obs::ObservedEvaluator;
+    use crate::pipeline::Pipeline;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+    use hpo_models::mlp::MlpParams;
+
+    fn dataset() -> hpo_data::Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_instances: 150,
+                n_features: 4,
+                n_informative: 4,
+                ..Default::default()
+            },
+            1,
+        )
+    }
+
+    fn quick_base() -> MlpParams {
+        MlpParams {
+            hidden_layer_sizes: vec![4],
+            max_iter: 2,
+            ..Default::default()
+        }
+    }
+
+    fn jobs() -> Vec<TrialJob> {
+        (0..6u64)
+            .map(|i| TrialJob::new(quick_base(), 100, 1000 + i))
+            .collect()
+    }
+
+    #[test]
+    fn batch_outcomes_are_identical_across_worker_counts() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let seq = ParallelEvaluator::new(&ev, 1).evaluate_batch(&jobs());
+        let par = ParallelEvaluator::new(&ev, 4).evaluate_batch(&jobs());
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.fold_scores.folds, b.fold_scores.folds);
+            assert_eq!(a.status, b.status);
+        }
+    }
+
+    #[test]
+    fn buffered_events_replay_in_submission_order() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let collect = |workers: usize| {
+            let recorder = Recorder::in_memory();
+            let observed = ObservedEvaluator::new(&ev, recorder.clone());
+            ParallelEvaluator::new(&observed, workers).evaluate_batch(&jobs());
+            recorder
+                .events()
+                .into_iter()
+                .map(|r| r.without_timings())
+                .collect::<Vec<_>>()
+        };
+        let seq = collect(1);
+        let par = collect(4);
+        assert!(!seq.is_empty());
+        assert_eq!(
+            serde_json::to_string(&seq).unwrap(),
+            serde_json::to_string(&par).unwrap(),
+            "event journals must be identical modulo timestamps"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        assert!(ParallelEvaluator::new(&ev, 4).evaluate_batch(&[]).is_empty());
+    }
+}

@@ -9,23 +9,22 @@
 //! ranking is stable, no further budget escalation happens and the search
 //! finishes cheaply.
 //!
-//! This implementation reuses the ASHA promotion rule over a worker pool and
-//! adds the progressive `max_rung` with a Kendall-τ stability test.
+//! This implementation reuses ASHA's deterministic wave scheduling (see
+//! asha.rs): drain every job the promotion rule allows, evaluate the wave as
+//! one [`TrialJob`] batch through the execution engine, commit outcomes in
+//! submission order — running the Kendall-τ stability test as each top-rung
+//! result lands, exactly where the legacy per-completion code ran it. The
+//! schedule never depends on thread timing, so equal seeds give bit-identical
+//! searches at every worker count.
 
-use crate::evaluator::EvalOutcome;
-use crate::exec::{compare_scores, TrialEvaluator};
+use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
 use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_data::rng::derive_seed;
 use hpo_metrics::ranking::kendall_tau;
 use hpo_models::mlp::MlpParams;
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-
-/// Crashed-job retries before recording an imputed failure (see asha.rs).
-const MAX_WORKER_REQUEUES: u32 = 2;
 
 /// PASHA settings.
 #[derive(Clone, Debug)]
@@ -34,7 +33,9 @@ pub struct PashaConfig {
     pub eta: usize,
     /// Budget of rung 0 (instances).
     pub min_budget: usize,
-    /// Number of worker threads.
+    /// Historical worker-count knob, kept for API compatibility. Execution
+    /// parallelism now belongs to the engine (`RunOptions::workers` /
+    /// `--workers`); this field no longer affects the schedule.
     pub workers: usize,
     /// Number of configurations to launch at rung 0.
     pub n_configs: usize,
@@ -61,32 +62,33 @@ impl Default for PashaConfig {
 pub struct PashaResult {
     /// Best configuration at the highest rung reached.
     pub best: Configuration,
-    /// Every evaluation, in completion order.
+    /// Every evaluation, in wave submission order.
     pub history: History,
     /// The final ladder height (number of rungs actually opened).
     pub final_rungs: usize,
 }
 
-struct Shared {
-    /// results[rung][config_id] = best score observed there.
+/// A unit of work: evaluate `config_id` at `rung`.
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    config_id: usize,
+    rung: usize,
+}
+
+/// Scheduler state. Only touched between waves, on the coordinating thread.
+struct Scheduler {
+    /// results[rung][config_id] = score observed there.
     results: Vec<HashMap<usize, f64>>,
     /// completion order per rung (for the promotion rule).
     completed: Vec<Vec<usize>>,
     promoted: Vec<HashSet<usize>>,
     next_fresh: usize,
-    in_flight: usize,
     /// Current top rung (grows progressively). Index into `budgets`.
     current_max: usize,
-    /// Crashed `(config_id, rung, attempts)` jobs awaiting retry.
-    requeued: Vec<(usize, usize, u32)>,
 }
 
-impl Shared {
-    fn next_job(&mut self, eta: usize, n_configs: usize) -> Option<(usize, usize, u32)> {
-        if let Some(job) = self.requeued.pop() {
-            self.in_flight += 1;
-            return Some(job);
-        }
+impl Scheduler {
+    fn next_job(&mut self, eta: usize, n_configs: usize) -> Option<Job> {
         // Promote within the currently-open ladder only.
         for rung in (0..self.current_max).rev() {
             let done = &self.completed[rung];
@@ -99,16 +101,20 @@ impl Shared {
             for &config_id in sorted.iter().take(k) {
                 if !self.promoted[rung].contains(&config_id) {
                     self.promoted[rung].insert(config_id);
-                    self.in_flight += 1;
-                    return Some((config_id, rung + 1, 0));
+                    return Some(Job {
+                        config_id,
+                        rung: rung + 1,
+                    });
                 }
             }
         }
         if self.next_fresh < n_configs {
             let id = self.next_fresh;
             self.next_fresh += 1;
-            self.in_flight += 1;
-            return Some((id, 0, 0));
+            return Some(Job {
+                config_id: id,
+                rung: 0,
+            });
         }
         None
     }
@@ -144,7 +150,8 @@ impl Shared {
     }
 }
 
-/// Runs PASHA over `config.workers` threads.
+/// Runs PASHA in deterministic waves (see asha.rs). Use
+/// `RunOptions::workers` / `--workers` to evaluate each wave in parallel.
 ///
 /// # Panics
 /// Panics on `eta < 2`, zero workers, or zero configurations.
@@ -175,7 +182,7 @@ pub fn pasha<E: TrialEvaluator + ?Sized>(
     let initial_max = 1.min(absolute_max);
     // The initially-open ladder; further rungs announce themselves as the
     // stability test opens them. Candidate counts above rung 0 are unknown
-    // in advance (promotions arrive asynchronously), hence 0.
+    // in advance (promotions arrive per configuration), hence 0.
     for rung in 0..=initial_max {
         recorder.emit(RunEvent::RungStarted {
             bracket: 0,
@@ -185,80 +192,58 @@ pub fn pasha<E: TrialEvaluator + ?Sized>(
         });
     }
 
-    let shared = Mutex::new(Shared {
+    let mut sched = Scheduler {
         results: vec![HashMap::new(); budgets.len()],
         completed: vec![Vec::new(); budgets.len()],
         promoted: vec![HashSet::new(); budgets.len()],
         next_fresh: 0,
-        in_flight: 0,
         // PASHA opens two rungs initially (or fewer if the ladder is short).
         current_max: initial_max,
-        requeued: Vec::new(),
-    });
-    let history = Mutex::new(History::new());
+    };
+    let mut history = History::new();
 
-    std::thread::scope(|scope| {
-        for _w in 0..config.workers {
-            let shared = &shared;
-            let history = &history;
-            let candidates = &candidates;
-            let budgets = &budgets;
-            let recorder = &recorder;
-            scope.spawn(move || loop {
-                let job = { shared.lock().next_job(config.eta, n_configs) };
-                let Some((config_id, rung, attempts)) = job else {
-                    let idle = { shared.lock().in_flight == 0 };
-                    if idle {
-                        break;
-                    }
-                    std::thread::yield_now();
-                    continue;
-                };
-                if rung > 0 && attempts == 0 {
-                    // Asynchronous per-configuration promotion (see asha.rs).
-                    recorder.emit(RunEvent::Promotion {
-                        bracket: 0,
-                        from_rung: rung - 1,
-                        to_rung: rung,
-                        promoted: 1,
-                        pruned: 0,
-                    });
-                }
-                let cand = &candidates[config_id];
-                let params = space.to_params(cand, base_params);
-                // Fold streams per the pipeline (see sha.rs).
-                let eval_stream = evaluator.fold_stream(stream, rung as u64, config_id as u64);
-                // Panic containment + requeue, as in asha.rs.
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    evaluator.evaluate_trial(&params, budgets[rung], eval_stream)
-                }));
-                let outcome = match result {
-                    Ok(outcome) => outcome,
-                    Err(_) if attempts < MAX_WORKER_REQUEUES => {
-                        let mut s = shared.lock();
-                        s.in_flight -= 1;
-                        s.requeued.push((config_id, rung, attempts + 1));
-                        continue;
-                    }
-                    Err(_) => {
-                        let imputed = evaluator.failure_policy().imputed_score;
-                        let total = evaluator.total_budget().max(1);
-                        let gamma_pct = 100.0 * budgets[rung].min(total) as f64 / total as f64;
-                        EvalOutcome::failed(attempts + 1, imputed, gamma_pct, 0.0)
-                    }
-                };
-                let grown = {
-                    let mut s = shared.lock();
-                    s.results[rung].insert(config_id, outcome.score);
-                    s.completed[rung].push(config_id);
-                    s.in_flight -= 1;
-                    if rung == s.current_max {
-                        s.maybe_grow(config.stability_tau, absolute_max)
-                    } else {
-                        None
-                    }
-                };
-                if let Some(new_top) = grown {
+    loop {
+        // Drain everything the promotion rule currently allows under the
+        // ladder as committed so far (see asha.rs for the wave contract).
+        let mut wave: Vec<Job> = Vec::new();
+        while let Some(job) = sched.next_job(config.eta, n_configs) {
+            wave.push(job);
+        }
+        if wave.is_empty() {
+            break;
+        }
+        for job in &wave {
+            if job.rung > 0 {
+                // Asynchronous per-configuration promotion (see asha.rs).
+                recorder.emit(RunEvent::Promotion {
+                    bracket: 0,
+                    from_rung: job.rung - 1,
+                    to_rung: job.rung,
+                    promoted: 1,
+                    pruned: 0,
+                });
+            }
+        }
+        // Fold streams per the pipeline (see sha.rs).
+        let jobs: Vec<TrialJob> = wave
+            .iter()
+            .map(|job| {
+                TrialJob::new(
+                    space.to_params(&candidates[job.config_id], base_params),
+                    budgets[job.rung],
+                    evaluator.fold_stream(stream, job.rung as u64, job.config_id as u64),
+                )
+            })
+            .collect();
+        let outcomes = evaluator.evaluate_batch(&jobs);
+        for (job, outcome) in wave.iter().zip(outcomes) {
+            sched.results[job.rung].insert(job.config_id, outcome.score);
+            sched.completed[job.rung].push(job.config_id);
+            // The stability test runs as each top-rung result lands, so the
+            // ladder can grow mid-commit and unlock promotions for the next
+            // wave — the same cadence as the legacy per-completion check.
+            if job.rung == sched.current_max {
+                if let Some(new_top) = sched.maybe_grow(config.stability_tau, absolute_max) {
                     recorder.emit(RunEvent::RungStarted {
                         bracket: 0,
                         rung: new_top,
@@ -266,23 +251,21 @@ pub fn pasha<E: TrialEvaluator + ?Sized>(
                         budget: budgets[new_top],
                     });
                 }
-                history.lock().push(Trial {
-                    config: cand.clone(),
-                    budget: budgets[rung],
-                    rung,
-                    outcome,
-                });
+            }
+            history.push(Trial {
+                config: candidates[job.config_id].clone(),
+                budget: budgets[job.rung],
+                rung: job.rung,
+                outcome,
             });
         }
-    });
+    }
 
-    let history = history.into_inner();
-    let shared = shared.into_inner();
     let top_rung = (0..budgets.len())
         .rev()
-        .find(|&r| !shared.results[r].is_empty())
+        .find(|&r| !sched.results[r].is_empty())
         .expect("at least one evaluation completed");
-    let best_id = shared.results[top_rung]
+    let best_id = sched.results[top_rung]
         .iter()
         .max_by(|a, b| compare_scores(*a.1, *b.1).then(a.0.cmp(b.0)))
         .map(|(&id, _)| id)
@@ -291,7 +274,7 @@ pub fn pasha<E: TrialEvaluator + ?Sized>(
     PashaResult {
         best: candidates[best_id].clone(),
         history,
-        final_rungs: shared.current_max + 1,
+        final_rungs: sched.current_max + 1,
     }
 }
 
@@ -414,5 +397,30 @@ mod tests {
             p_budget <= a_budget,
             "PASHA spent {p_budget} vs ASHA {a_budget}"
         );
+    }
+
+    #[test]
+    fn deterministic_across_worker_settings() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 4);
+        let space = SearchSpace::mlp_cv18();
+        let run = |workers: usize| {
+            pasha(
+                &ev,
+                &space,
+                &quick_base(),
+                &PashaConfig {
+                    workers,
+                    n_configs: 8,
+                    ..Default::default()
+                },
+                3,
+            )
+        };
+        let baseline = run(1);
+        let other = run(5);
+        assert_eq!(baseline.best, other.best);
+        assert_eq!(baseline.final_rungs, other.final_rungs);
+        assert_eq!(baseline.history.len(), other.history.len());
     }
 }

@@ -6,7 +6,7 @@
 //! like this baseline at equal time budgets, and therefore reports only
 //! random search; we do the same.
 
-use crate::exec::{compare_scores, TrialEvaluator};
+use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
 use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
@@ -58,11 +58,21 @@ pub fn random_search<E: TrialEvaluator + ?Sized>(
     });
     let mut history = History::new();
     let mut best: Option<(Configuration, f64)> = None;
-    for (i, cand) in candidates.iter().enumerate() {
-        let params = space.to_params(cand, base_params);
-        // Fold streams per the pipeline (see sha.rs).
-        let outcome =
-            evaluator.evaluate_trial(&params, budget, evaluator.fold_stream(stream, 0, i as u64));
+    // One full-budget batch; the engine may parallelize, outcomes return in
+    // submission order. Fold streams per the pipeline (see sha.rs).
+    let jobs: Vec<TrialJob> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, cand)| {
+            TrialJob::new(
+                space.to_params(cand, base_params),
+                budget,
+                evaluator.fold_stream(stream, 0, i as u64),
+            )
+        })
+        .collect();
+    let outcomes = evaluator.evaluate_batch(&jobs);
+    for (cand, outcome) in candidates.iter().zip(outcomes) {
         let score = outcome.score;
         history.push(Trial {
             config: cand.clone(),

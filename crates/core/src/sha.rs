@@ -6,7 +6,7 @@
 //! pipelines this is exactly Algorithm 1: `SHA` with [`Pipeline::vanilla`],
 //! `SHA+` with [`Pipeline::enhanced`].
 
-use crate::exec::{compare_scores, TrialEvaluator};
+use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
 use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
@@ -79,11 +79,23 @@ pub fn successive_halving<E: TrialEvaluator + ?Sized>(
         // Fold streams per the pipeline: per-configuration draws (paper
         // Algorithm 1) or one shared draw per rung (scikit-learn semantics,
         // the Proposition 1 ablation) — see Pipeline::per_config_folds.
+        // The rung is one batch: trials are independent, so the execution
+        // engine may run them on any worker; outcomes come back in
+        // submission order, which is all the ranking below ever sees.
+        let jobs: Vec<TrialJob> = survivors
+            .iter()
+            .enumerate()
+            .map(|(i, cand)| {
+                TrialJob::new(
+                    space.to_params(cand, base_params),
+                    budget,
+                    evaluator.fold_stream(stream, rung as u64, i as u64),
+                )
+            })
+            .collect();
+        let outcomes = evaluator.evaluate_batch(&jobs);
         let mut scored: Vec<(usize, f64)> = Vec::with_capacity(survivors.len());
-        for (i, cand) in survivors.iter().enumerate() {
-            let params = space.to_params(cand, base_params);
-            let stream_i = evaluator.fold_stream(stream, rung as u64, i as u64);
-            let outcome = evaluator.evaluate_trial(&params, budget, stream_i);
+        for ((i, cand), outcome) in survivors.iter().enumerate().zip(outcomes) {
             scored.push((i, outcome.score));
             history.push(Trial {
                 config: cand.clone(),

@@ -4,8 +4,9 @@
 //! scores, deadline-blowing slow trials) and must (a) complete, (b) return a
 //! best configuration with a finite recorded score, and (c) stay
 //! seed-reproducible — the injected fault pattern is part of the seed.
-//! Separately: ASHA's worker pool must survive workers dying mid-trial, and
-//! a killed-and-resumed run must converge to the uninterrupted selection.
+//! Separately: the execution engine must survive trials panicking outright
+//! (demoting them to imputed failures instead of losing them), and a
+//! killed-and-resumed run must converge to the uninterrupted selection.
 
 use hpo_core::asha::{asha, AshaConfig};
 use hpo_core::bohb::{bohb, BohbConfig};
@@ -241,7 +242,7 @@ proptest! {
 
 /// An evaluator whose first `n` `evaluate_trial` calls panic outright —
 /// simulating a worker dying *outside* the retry loop's containment, which
-/// is exactly what ASHA's own catch_unwind + requeue layer is for.
+/// is exactly what the batch engine's `contained_evaluate` layer is for.
 struct PanickyEvaluator<'e> {
     inner: &'e CvEvaluator<'e>,
     remaining_panics: AtomicUsize,

@@ -1,0 +1,212 @@
+//! Cross-optimizer parallel-determinism suite.
+//!
+//! The contract of the execution engine (`ParallelEvaluator`): for every
+//! optimizer, a run at `--workers N` is *bit-identical* to the sequential
+//! run — same best configuration, same test score, an identical event
+//! journal (modulo wall-clock timestamps/durations), and an identical
+//! crash-recovery checkpoint (modulo per-trial wall seconds).
+//!
+//! The parallel worker count honors `BHPO_TEST_WORKERS` (default 4) so CI
+//! can sweep it.
+
+use hpo_core::asha::AshaConfig;
+use hpo_core::bohb::BohbConfig;
+use hpo_core::dehb::DehbConfig;
+use hpo_core::harness::{run_method_with, Method, RunOptions, RunResult};
+use hpo_core::hyperband::HyperbandConfig;
+use hpo_core::obs::Recorder;
+use hpo_core::pasha::PashaConfig;
+use hpo_core::persist::{load_checkpoint, RunCheckpoint};
+use hpo_core::pipeline::Pipeline;
+use hpo_core::random_search::RandomSearchConfig;
+use hpo_core::sha::ShaConfig;
+use hpo_core::space::SearchSpace;
+use hpo_data::synth::{make_classification, ClassificationSpec};
+use hpo_models::mlp::MlpParams;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn shared() -> &'static (hpo_data::Dataset, hpo_data::Dataset, MlpParams) {
+    static CELL: OnceLock<(hpo_data::Dataset, hpo_data::Dataset, MlpParams)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let data = make_classification(
+            &ClassificationSpec {
+                n_instances: 180,
+                n_features: 4,
+                n_informative: 4,
+                label_purity: 0.95,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut rng = hpo_data::rng::rng_from_seed(55);
+        let tt = hpo_data::split::stratified_train_test_split(&data, 0.2, &mut rng).unwrap();
+        let base = MlpParams {
+            hidden_layer_sizes: vec![4],
+            max_iter: 2,
+            ..Default::default()
+        };
+        (tt.train, tt.test, base)
+    })
+}
+
+/// The worker count CI asks for (`BHPO_TEST_WORKERS`), default 4.
+fn test_workers() -> usize {
+    std::env::var("BHPO_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&w| w >= 2)
+        .unwrap_or(4)
+}
+
+/// Runs `method` end to end with the given worker count, returning the
+/// result row, the canonicalized journal (timestamps and wall-clock
+/// durations zeroed), and the final checkpoint with per-trial wall seconds
+/// zeroed.
+fn run_one(
+    method: &Method,
+    workers: usize,
+    checkpoint: &PathBuf,
+) -> (RunResult, Vec<String>, RunCheckpoint) {
+    let (train, test, base) = shared();
+    let space = SearchSpace::mlp_cv18();
+    let recorder = Recorder::in_memory();
+    let opts = RunOptions {
+        workers,
+        recorder: recorder.clone(),
+        checkpoint: Some(checkpoint.clone()),
+        ..Default::default()
+    };
+    let row = run_method_with(
+        train,
+        test,
+        &space,
+        Pipeline::enhanced(),
+        base,
+        method,
+        23,
+        &opts,
+    );
+    let journal: Vec<String> = recorder
+        .events()
+        .iter()
+        .map(|record| {
+            serde_json::to_string(&record.without_timings()).expect("event serializes")
+        })
+        .collect();
+    let mut cp = load_checkpoint(checkpoint).expect("checkpoint written");
+    for entry in &mut cp.entries {
+        entry.outcome.wall_seconds = 0.0;
+    }
+    (row, journal, cp)
+}
+
+/// The byte-identical-modulo-timings contract, for one optimizer.
+fn assert_parallel_matches_sequential(label: &str, method: Method) {
+    let workers = test_workers();
+    let path = std::env::temp_dir().join(format!(
+        "bhpo_parallel_{label}_{}.json",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+
+    // Sequential first, then parallel, against the same checkpoint path so
+    // CheckpointWritten events (which embed the path) compare equal.
+    let (seq_row, seq_journal, seq_cp) = run_one(&method, 1, &path);
+    std::fs::remove_file(&path).ok();
+    let (par_row, par_journal, par_cp) = run_one(&method, workers, &path);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(
+        seq_row.best_config, par_row.best_config,
+        "{label}: best config diverged at {workers} workers"
+    );
+    assert_eq!(
+        seq_row.test_score.to_bits(),
+        par_row.test_score.to_bits(),
+        "{label}: test score diverged"
+    );
+    assert_eq!(
+        seq_row.n_evaluations, par_row.n_evaluations,
+        "{label}: trial count diverged"
+    );
+    assert_eq!(
+        seq_row.search_cost_units, par_row.search_cost_units,
+        "{label}: deterministic cost diverged"
+    );
+
+    assert_eq!(
+        seq_journal.len(),
+        par_journal.len(),
+        "{label}: journal length diverged"
+    );
+    for (i, (a, b)) in seq_journal.iter().zip(&par_journal).enumerate() {
+        assert_eq!(a, b, "{label}: journal line {i} diverged");
+    }
+
+    let seq_text = serde_json::to_string(&seq_cp).expect("checkpoint serializes");
+    let par_text = serde_json::to_string(&par_cp).expect("checkpoint serializes");
+    assert_eq!(seq_text, par_text, "{label}: checkpoint diverged");
+}
+
+#[test]
+fn random_search_is_identical_in_parallel() {
+    assert_parallel_matches_sequential(
+        "random",
+        Method::Random(RandomSearchConfig { n_samples: 6 }),
+    );
+}
+
+#[test]
+fn sha_is_identical_in_parallel() {
+    assert_parallel_matches_sequential("sha", Method::Sha(ShaConfig::default()));
+}
+
+#[test]
+fn hyperband_is_identical_in_parallel() {
+    assert_parallel_matches_sequential("hb", Method::Hyperband(HyperbandConfig::default()));
+}
+
+#[test]
+fn bohb_is_identical_in_parallel() {
+    assert_parallel_matches_sequential("bohb", Method::Bohb(BohbConfig::default()));
+}
+
+#[test]
+fn dehb_is_identical_in_parallel() {
+    assert_parallel_matches_sequential("dehb", Method::Dehb(DehbConfig::default()));
+}
+
+#[test]
+fn asha_is_identical_in_parallel() {
+    assert_parallel_matches_sequential(
+        "asha",
+        Method::Asha(AshaConfig {
+            workers: 2,
+            n_configs: 8,
+            ..Default::default()
+        }),
+    );
+}
+
+#[test]
+fn pasha_is_identical_in_parallel() {
+    assert_parallel_matches_sequential(
+        "pasha",
+        Method::Pasha(PashaConfig {
+            workers: 2,
+            n_configs: 8,
+            ..Default::default()
+        }),
+    );
+}
+
+#[test]
+fn worker_counts_beyond_the_batch_are_harmless() {
+    // More workers than jobs: the engine clamps and stays deterministic.
+    assert_parallel_matches_sequential(
+        "overprovisioned",
+        Method::Random(RandomSearchConfig { n_samples: 2 }),
+    );
+}

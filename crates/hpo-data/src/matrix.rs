@@ -161,12 +161,63 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// A straightforward i-k-j loop ordering which keeps the inner loop over
-    /// contiguous rows of `other` (cache friendly, auto-vectorizable).
+    /// Cache-blocked i-k-j ordering: `other` is copied block-by-block into a
+    /// contiguous packed panel so the innermost loop streams one L1-resident
+    /// panel row per `k`, regardless of how wide `other` is. Every output
+    /// element still accumulates its `k` terms in ascending order, so the
+    /// result is bit-identical to the naive triple loop for finite inputs.
     ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner dimensions disagree: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        // Small products (the common MLP-layer case) are dominated by the
+        // panel allocation; the naive loop is bit-identical, so use it.
+        if self.rows * self.cols * other.cols <= 16_384 {
+            return self.matmul_naive(other);
+        }
+        const KB: usize = 64; // k-panel height (rows of `other` per block)
+        const JB: usize = 128; // j-panel width (columns of `other` per block)
+        let n = other.cols;
+        let mut out = Matrix::zeros(self.rows, n);
+        let mut panel = vec![0.0; KB * JB.min(n.max(1))];
+        let mut jb = 0;
+        while jb < n {
+            let jw = JB.min(n - jb);
+            let mut kb = 0;
+            while kb < self.cols {
+                let kw = KB.min(self.cols - kb);
+                for kk in 0..kw {
+                    let row_at = (kb + kk) * n + jb;
+                    panel[kk * jw..kk * jw + jw]
+                        .copy_from_slice(&other.data[row_at..row_at + jw]);
+                }
+                for i in 0..self.rows {
+                    let a_blk = &self.data[i * self.cols + kb..i * self.cols + kb + kw];
+                    let out_row = &mut out.data[i * n + jb..i * n + jb + jw];
+                    for (kk, &a_ik) in a_blk.iter().enumerate() {
+                        let p_row = &panel[kk * jw..kk * jw + jw];
+                        for (o, &b) in out_row.iter_mut().zip(p_row) {
+                            *o += a_ik * b;
+                        }
+                    }
+                }
+                kb += kw;
+            }
+            jb += jw;
+        }
+        out
+    }
+
+    /// Reference i-k-j implementation of [`Matrix::matmul`].
+    ///
+    /// Kept as the correctness oracle for the blocked kernel (property tests
+    /// assert exact equality) and as the micro-benchmark baseline.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul inner dimensions disagree: {}x{} * {}x{}",
@@ -177,9 +228,6 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
                 let b_row = other.row(k);
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a_ik * b;
@@ -191,9 +239,70 @@ impl Matrix {
 
     /// Matrix product `self^T * other` without materializing the transpose.
     ///
+    /// Register-tiled over four rows of the shared `r` dimension: each output
+    /// row is loaded once and receives four outer-product updates per pass
+    /// instead of one, quartering the read-modify-write traffic on `out`. The
+    /// four updates are applied as separate, ordered additions so every
+    /// element accumulates its `r` terms in the same ascending order as the
+    /// naive loop (bit-identical results for finite inputs).
+    ///
     /// # Panics
     /// Panics if `self.rows != other.rows`.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul requires equal row counts: {} vs {}",
+            self.rows, other.rows
+        );
+        let n = other.cols;
+        let mut out = Matrix::zeros(self.cols, n);
+        let mut r = 0;
+        while r + 4 <= self.rows {
+            let (a0, a1, a2, a3) = (
+                self.row(r),
+                self.row(r + 1),
+                self.row(r + 2),
+                self.row(r + 3),
+            );
+            let (b0, b1, b2, b3) = (
+                other.row(r),
+                other.row(r + 1),
+                other.row(r + 2),
+                other.row(r + 3),
+            );
+            for i in 0..self.cols {
+                let (x0, x1, x2, x3) = (a0[i], a1[i], a2[i], a3[i]);
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for ((((o, &y0), &y1), &y2), &y3) in
+                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    let mut acc = *o;
+                    acc += x0 * y0;
+                    acc += x1 * y1;
+                    acc += x2 * y2;
+                    acc += x3 * y3;
+                    *o = acc;
+                }
+            }
+            r += 4;
+        }
+        while r < self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+            r += 1;
+        }
+        out
+    }
+
+    /// Reference r-i-j implementation of [`Matrix::t_matmul`] (correctness
+    /// oracle and micro-benchmark baseline for the tiled kernel).
+    pub fn t_matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "t_matmul requires equal row counts: {} vs {}",
@@ -204,9 +313,6 @@ impl Matrix {
             let a_row = self.row(r);
             let b_row = other.row(r);
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -218,9 +324,64 @@ impl Matrix {
 
     /// Matrix product `self * other^T` without materializing the transpose.
     ///
+    /// Register-tiled over four rows of `other`: one pass over `self`'s row
+    /// feeds four independent dot-product accumulators, so the row is read
+    /// once per four outputs instead of once per output. Each accumulator
+    /// sums its `k` terms sequentially, exactly like the naive dot loop, so
+    /// results are bit-identical.
+    ///
     /// # Panics
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t requires equal column counts: {} vs {}",
+            self.cols, other.cols
+        );
+        let n = other.rows;
+        let mut out = Matrix::zeros(self.rows, n);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let (b0, b1, b2, b3) = (
+                    other.row(j),
+                    other.row(j + 1),
+                    other.row(j + 2),
+                    other.row(j + 3),
+                );
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                for ((((&a, &y0), &y1), &y2), &y3) in
+                    a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    s0 += a * y0;
+                    s1 += a * y1;
+                    s2 += a * y2;
+                    s3 += a * y3;
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            while j < n {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out_row[j] = acc;
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Reference i-j-k implementation of [`Matrix::matmul_t`] (correctness
+    /// oracle and micro-benchmark baseline for the tiled kernel).
+    pub fn matmul_t_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_t requires equal column counts: {} vs {}",
@@ -483,6 +644,44 @@ mod tests {
         let direct = a.matmul_t(&b);
         let explicit = a.matmul(&b.transpose());
         assert_eq!(direct, explicit);
+    }
+
+    /// Deterministic pseudo-random matrix for kernel cross-checks (no rand
+    /// dependency in this crate; an LCG is plenty for coverage).
+    fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Map the top bits to roughly [-1, 1).
+            data.push(((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0);
+        }
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive() {
+        // Odd shapes straddle the panel boundaries; the product is large
+        // enough (37*70*131 elements of work) to take the blocked path.
+        let a = lcg_matrix(37, 70, 7);
+        let b = lcg_matrix(70, 131, 11);
+        assert_eq!(a.matmul(&b), a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn tiled_t_matmul_is_bit_identical_to_naive() {
+        // 37 rows exercises both the 4-row tiles and the remainder loop.
+        let a = lcg_matrix(37, 19, 13);
+        let b = lcg_matrix(37, 23, 17);
+        assert_eq!(a.t_matmul(&b), a.t_matmul_naive(&b));
+    }
+
+    #[test]
+    fn tiled_matmul_t_is_bit_identical_to_naive() {
+        // 23 rows of `b` exercises both the 4-output tiles and the remainder.
+        let a = lcg_matrix(19, 31, 19);
+        let b = lcg_matrix(23, 31, 23);
+        assert_eq!(a.matmul_t(&b), a.matmul_t_naive(&b));
     }
 
     #[test]

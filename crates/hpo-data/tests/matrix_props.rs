@@ -76,6 +76,54 @@ proptest! {
         }
     }
 
+    /// The cache-blocked `matmul` preserves the naive kernel's per-element
+    /// accumulation order, so it must match the reference to the last bit —
+    /// 0 ULP, not an epsilon. Shapes are drawn wide enough to cross the
+    /// small-product cutoff and exercise the packed-panel path, including
+    /// ragged final panels.
+    #[test]
+    fn blocked_matmul_matches_naive_exactly(
+        ab in (1usize..32, 1usize..96, 1usize..160).prop_flat_map(|(m, k, n)| (
+            proptest::collection::vec(-10.0f64..10.0, m * k)
+                .prop_map(move |v| Matrix::from_vec(m, k, v).expect("shape matches")),
+            proptest::collection::vec(-10.0f64..10.0, k * n)
+                .prop_map(move |v| Matrix::from_vec(k, n, v).expect("shape matches")),
+        ))
+    ) {
+        let (a, b) = ab;
+        prop_assert_eq!(a.matmul(&b), a.matmul_naive(&b));
+    }
+
+    /// The register-tiled `t_matmul` applies its four outer-product updates
+    /// as ordered additions, so it is bit-identical to the reference.
+    #[test]
+    fn tiled_t_matmul_matches_naive_exactly(
+        ab in (1usize..40, 1usize..24, 1usize..24).prop_flat_map(|(r, i, j)| (
+            proptest::collection::vec(-10.0f64..10.0, r * i)
+                .prop_map(move |v| Matrix::from_vec(r, i, v).expect("shape matches")),
+            proptest::collection::vec(-10.0f64..10.0, r * j)
+                .prop_map(move |v| Matrix::from_vec(r, j, v).expect("shape matches")),
+        ))
+    ) {
+        let (a, b) = ab;
+        prop_assert_eq!(a.t_matmul(&b), a.t_matmul_naive(&b));
+    }
+
+    /// The register-tiled `matmul_t` keeps one sequential accumulator per
+    /// output element, so it is bit-identical to the reference.
+    #[test]
+    fn tiled_matmul_t_matches_naive_exactly(
+        ab in (1usize..24, 1usize..32, 1usize..40).prop_flat_map(|(m, k, n)| (
+            proptest::collection::vec(-10.0f64..10.0, m * k)
+                .prop_map(move |v| Matrix::from_vec(m, k, v).expect("shape matches")),
+            proptest::collection::vec(-10.0f64..10.0, n * k)
+                .prop_map(move |v| Matrix::from_vec(n, k, v).expect("shape matches")),
+        ))
+    ) {
+        let (a, b) = ab;
+        prop_assert_eq!(a.matmul_t(&b), a.matmul_t_naive(&b));
+    }
+
     /// dist_sq is symmetric, non-negative, and zero on identical rows.
     #[test]
     fn dist_sq_metric_properties(m in matrix(2, 5)) {
