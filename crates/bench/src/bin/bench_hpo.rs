@@ -4,9 +4,12 @@
 //! dataset at every `--workers` setting, prints an aligned summary table, and
 //! writes `BENCH_hpo.json` containing one row per (method, dataset, workers)
 //! — wall-clock seconds, trial count, trials/sec, deterministic cost — plus
-//! per-method parallel-scaling summaries, a 256×256 matmul micro-benchmark
-//! (cache-blocked kernel vs the naive reference), the machine's core counts,
-//! and a snapshot of the global metrics registry accumulated over the run.
+//! per-method parallel-scaling summaries, a warm-vs-cold continuation
+//! comparison (`--warm-start both`, the default, re-runs each method cold and
+//! reports cost-units and wall-clock saved by warm starting), a 256×256
+//! matmul micro-benchmark (cache-blocked kernel vs the naive reference), the
+//! machine's core counts, and a snapshot of the global metrics registry
+//! accumulated over the run.
 //!
 //! ```text
 //! cargo run --release -p hpo-bench --bin bench_hpo -- \
@@ -169,6 +172,15 @@ fn main() {
         .split(',')
         .map(|w| w.trim().parse().expect("--workers expects integers"))
         .collect();
+    let warm_start_mode = args
+        .get::<String>("warm-start")
+        .unwrap_or_else(|| "both".to_string());
+    let (main_warm, compare_cold) = match warm_start_mode.as_str() {
+        "both" => (true, true),
+        "on" => (true, false),
+        "off" => (false, false),
+        other => panic!("unknown --warm-start `{other}` (expected on|off|both)"),
+    };
 
     let logical = logical_cores();
     let physical = physical_cores();
@@ -185,6 +197,8 @@ fn main() {
     println!();
 
     let mut rows = Vec::new();
+    // Warm rows kept for the warm-vs-cold comparison pass below.
+    let mut warm_rows: Vec<(String, &'static str, hpo_core::harness::RunResult)> = Vec::new();
     // (method, workers) -> trials/sec summed over datasets, for scaling.
     let mut throughput: BTreeMap<(String, usize), f64> = BTreeMap::new();
     let mut table = Table::new(&[
@@ -211,6 +225,7 @@ fn main() {
                     args.seed,
                     &RunOptions {
                         workers,
+                        warm_start: main_warm,
                         ..Default::default()
                     },
                 );
@@ -235,18 +250,86 @@ fn main() {
                     "method": name,
                     "pipeline": row.pipeline,
                     "workers": workers,
+                    "warm_start": main_warm,
                     "wall_seconds": row.search_seconds,
                     "trials": row.n_evaluations,
                     "trials_per_sec": trials_per_sec,
                     "cost_units": row.search_cost_units,
                     "n_failures": row.n_failures,
+                    "n_continued": row.n_continued,
                     "train_score": row.train_score,
                     "test_score": row.test_score,
                 }));
+                if compare_cold && workers == worker_counts[0] {
+                    warm_rows.push((ds.name().to_string(), name, row));
+                }
             }
         }
     }
     table.print();
+
+    // Warm-vs-cold continuation comparison: re-run each method cold at the
+    // first worker count and report what warm starting saved.
+    let mut warm_vs_cold = Vec::new();
+    if compare_cold {
+        println!("\nwarm-start savings (workers {}):", worker_counts[0]);
+        for (ds_name, name, warm) in &warm_rows {
+            let ds = datasets
+                .iter()
+                .find(|d| d.name() == ds_name)
+                .expect("dataset of a recorded row");
+            let tt = ds.load(args.scale, args.seed);
+            let (_, method) = methods()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .expect("method of a recorded row");
+            let cold = run_method_with(
+                &tt.train,
+                &tt.test,
+                &space,
+                pipeline.clone(),
+                &base,
+                &method,
+                args.seed,
+                &RunOptions {
+                    workers: worker_counts[0],
+                    warm_start: false,
+                    ..Default::default()
+                },
+            );
+            let cost_saved_pct = if cold.search_cost_units > 0 {
+                100.0 * (1.0 - warm.search_cost_units as f64 / cold.search_cost_units as f64)
+            } else {
+                0.0
+            };
+            let wall_saved_pct = if cold.search_seconds > 0.0 {
+                100.0 * (1.0 - warm.search_seconds / cold.search_seconds)
+            } else {
+                0.0
+            };
+            println!(
+                "  {ds_name:<12} {name:<8} cost {:.2} -> {:.2} GMAC ({cost_saved_pct:+.1}% saved), \
+                 wall {:.2}s -> {:.2}s ({wall_saved_pct:+.1}%), {} trials continued",
+                cold.search_cost_units as f64 / 1e9,
+                warm.search_cost_units as f64 / 1e9,
+                cold.search_seconds,
+                warm.search_seconds,
+                warm.n_continued,
+            );
+            warm_vs_cold.push(serde_json::json!({
+                "dataset": ds_name,
+                "method": name,
+                "workers": worker_counts[0],
+                "cold_cost_units": cold.search_cost_units,
+                "warm_cost_units": warm.search_cost_units,
+                "cost_units_saved_pct": cost_saved_pct,
+                "cold_wall_seconds": cold.search_seconds,
+                "warm_wall_seconds": warm.search_seconds,
+                "wall_seconds_saved_pct": wall_saved_pct,
+                "n_continued": warm.n_continued,
+            }));
+        }
+    }
 
     // Per-method scaling: trials/sec at each worker count and the speedup
     // over the single-worker baseline.
@@ -305,6 +388,8 @@ fn main() {
         "scale": args.scale,
         "n_configurations": space.n_configurations(),
         "worker_counts": worker_counts,
+        "warm_start": warm_start_mode,
+        "warm_vs_cold": warm_vs_cold,
         "physical_cores": physical,
         "logical_cores": logical,
         "matmul_256": matmul,

@@ -82,7 +82,7 @@ const USAGE: &str = "usage:
   bhpo optimize --data <file|synth:name> [--test <file>] [--method random|sha|hb|bohb|asha|pasha|dehb]
                 [--pipeline vanilla|enhanced] [--hps 1..8] [--max-iter N] [--seed N] [--json <out.json>]
                 [--trial-timeout SECS] [--max-retries N] [--checkpoint FILE] [--checkpoint-every N] [--resume]
-                [--workers N]
+                [--workers N] [--warm-start on|off]
                 [--events-out FILE.jsonl] [--metrics-out FILE.json] [--log-level error|warn|info|debug] [--progress]
   bhpo cv       --data <file|synth:name> [--ratio 0..1] [--pipeline vanilla|enhanced|random] [--seed N]
   bhpo groups   --data <file|synth:name> [--v N] [--algo kmeans|meanshift|affinity] [--seed N]

@@ -152,6 +152,15 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
         resume: flags.get("resume").is_some(),
         recorder,
         workers: flags.get_or("workers", 1usize)?,
+        warm_start: match flags.get("warm-start").unwrap_or("on") {
+            "on" | "true" => true,
+            "off" | "false" => false,
+            other => {
+                return Err(CliError(format!(
+                    "invalid value `{other}` for --warm-start (expected on|off)"
+                )))
+            }
+        },
     };
 
     obs_info!(
@@ -182,6 +191,12 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
         println!(
             "robustness: {} failed trials (imputed), {} resumed from checkpoint",
             row.n_failures, row.n_resumed
+        );
+    }
+    if row.n_continued > 0 {
+        println!(
+            "warm start: {} trials continued from smaller-budget snapshots",
+            row.n_continued
         );
     }
     if let Some(path) = flags.get("json") {

@@ -17,6 +17,7 @@
 //! ([`crate::exec::contained_evaluate`]), which demotes a crashed trial to
 //! an imputed failure instead of losing it.
 
+use crate::continuation::CONTINUATION_KEY_SALT;
 use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
 use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
@@ -194,11 +195,20 @@ pub fn asha<E: TrialEvaluator + ?Sized>(
         let jobs: Vec<TrialJob> = wave
             .iter()
             .map(|job| {
+                // config_id is stable across rungs, so it doubles as the
+                // continuation key: a rung-r+1 job resumes from the fold
+                // snapshots its rung-r evaluation deposited. No wave ever
+                // holds the same config twice (a promotion needs the prior
+                // rung's committed result), so keys stay unique per batch.
                 TrialJob::new(
                     space.to_params(&candidates[job.config_id], base_params),
                     budgets[job.rung],
                     evaluator.fold_stream(stream, job.rung as u64, job.config_id as u64),
                 )
+                .with_continuation(derive_seed(
+                    stream,
+                    CONTINUATION_KEY_SALT + job.config_id as u64,
+                ))
             })
             .collect();
         let outcomes = evaluator.evaluate_batch(&jobs);

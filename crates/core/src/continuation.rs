@@ -1,0 +1,251 @@
+//! Warm-start continuation: per-configuration fold-model snapshots that let
+//! a rung-`i+1` evaluation resume training from its rung-`i` weights.
+//!
+//! Bandit optimizers re-evaluate surviving configurations at growing budgets;
+//! without continuation every rung refits each fold model from epoch 0, so a
+//! survivor pays for its full training history again at every rung. The
+//! [`ContinuationCache`] keeps the last [`FitState`] per
+//! `(continuation key, fold)` and the [`crate::evaluator::CvEvaluator`] warm
+//! path resumes from it, training only the *incremental* epoch share of the
+//! budget step (see `DESIGN.md §5.8`).
+//!
+//! Determinism: snapshots are written when a rung's batch completes and read
+//! only by later rungs (rungs are batch barriers, and within a batch no two
+//! jobs share a continuation key), so the cache contents at every read are a
+//! pure function of the run seed — independent of worker count or scheduling.
+//! Snapshots are also persisted inside the run checkpoint
+//! ([`crate::persist::RunCheckpoint`]), so a resumed run warm-starts exactly
+//! like the uninterrupted one.
+
+use crate::obs;
+use hpo_models::mlp::{FitState, MlpParams};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Salt the optimizers mix into [`hpo_data::rng::derive_seed`] when deriving
+/// a candidate's continuation key from its run/bracket stream, keeping key
+/// derivations disjoint from fold-stream derivations of the same seed.
+pub const CONTINUATION_KEY_SALT: u64 = 0x00C0_0000;
+
+/// Stable fingerprint of a hyperparameter configuration.
+///
+/// `DefaultHasher::new()` uses fixed keys, so the fingerprint is identical
+/// across processes — the same property the checkpoint resume cache relies
+/// on. Snapshot lookups check it so a key collision between two different
+/// configurations degrades to a cold start, never a wrong-weights resume.
+pub fn params_fingerprint(params: &MlpParams) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{params:?}").hash(&mut h);
+    h.finish()
+}
+
+/// The fold-model snapshots one evaluation produced: one optional
+/// [`FitState`] per fold (folds whose fit failed or diverged leave `None`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotSet {
+    /// Fingerprint of the configuration that produced the snapshots.
+    pub fingerprint: u64,
+    /// Clamped instance budget the snapshots were trained at.
+    pub budget: usize,
+    /// Per-fold resumable state, indexed by fold number.
+    pub folds: Vec<Option<FitState>>,
+}
+
+impl SnapshotSet {
+    /// Approximate in-memory size, for the cache byte metric.
+    pub fn approx_bytes(&self) -> u64 {
+        16 + self
+            .folds
+            .iter()
+            .flatten()
+            .map(FitState::approx_bytes)
+            .sum::<u64>()
+    }
+}
+
+/// One persisted cache entry: the continuation key plus its snapshot set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotEntry {
+    /// Continuation key the set is filed under.
+    pub key: u64,
+    /// The snapshot set.
+    pub set: SnapshotSet,
+}
+
+/// Thread-safe store of fold-model snapshots keyed by continuation key and
+/// budget (see module docs).
+pub struct ContinuationCache {
+    /// key → budget → snapshots. The inner map is ordered so lookups can
+    /// take the largest snapshot at or below the requested budget and
+    /// exports are deterministically sorted.
+    inner: Mutex<HashMap<u64, BTreeMap<usize, Arc<SnapshotSet>>>>,
+}
+
+impl Default for ContinuationCache {
+    fn default() -> Self {
+        ContinuationCache::new()
+    }
+}
+
+impl ContinuationCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ContinuationCache {
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The best snapshot to resume from: the largest budget ≤ `budget` under
+    /// `key` whose fingerprint matches. A fingerprint mismatch (key collision
+    /// or a re-used key across configurations) is skipped, so the caller
+    /// falls back to a cold fit.
+    pub fn lookup(&self, key: u64, fingerprint: u64, budget: usize) -> Option<Arc<SnapshotSet>> {
+        let inner = self.inner.lock();
+        inner
+            .get(&key)?
+            .range(..=budget)
+            .rev()
+            .find(|(_, set)| set.fingerprint == fingerprint)
+            .map(|(_, set)| Arc::clone(set))
+    }
+
+    /// Files `set` under `key` at its budget, replacing any snapshot already
+    /// there, and bumps the `hpo_continuation_bytes_total` counter.
+    pub fn insert(&self, key: u64, set: SnapshotSet) {
+        let bytes = set.approx_bytes();
+        self.inner
+            .lock()
+            .entry(key)
+            .or_default()
+            .insert(set.budget, Arc::new(set));
+        obs::global_metrics()
+            .counter("hpo_continuation_bytes_total")
+            .add(bytes);
+    }
+
+    /// Number of snapshot sets stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().values().map(BTreeMap::len).sum()
+    }
+
+    /// Whether the cache holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes held across all snapshot sets.
+    pub fn approx_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .values()
+            .flat_map(BTreeMap::values)
+            .map(|set| set.approx_bytes())
+            .sum()
+    }
+
+    /// All entries sorted by `(key, budget)` — the deterministic order the
+    /// checkpoint persists them in.
+    pub fn export(&self) -> Vec<SnapshotEntry> {
+        let inner = self.inner.lock();
+        let mut keys: Vec<u64> = inner.keys().copied().collect();
+        keys.sort_unstable();
+        keys.iter()
+            .flat_map(|key| {
+                inner[key].values().map(move |set| SnapshotEntry {
+                    key: *key,
+                    set: (**set).clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Seeds the cache from persisted entries (checkpoint resume).
+    pub fn import(&self, entries: Vec<SnapshotEntry>) {
+        let mut inner = self.inner.lock();
+        for entry in entries {
+            inner
+                .entry(entry.key)
+                .or_default()
+                .insert(entry.set.budget, Arc::new(entry.set));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_models::mlp::SolverState;
+
+    fn set(fingerprint: u64, budget: usize) -> SnapshotSet {
+        SnapshotSet {
+            fingerprint,
+            budget,
+            folds: vec![
+                Some(FitState {
+                    sizes: vec![2, 1],
+                    weights: vec![0.5; 3],
+                    solver: SolverState::Sgd {
+                        velocity: vec![0.0; 3],
+                    },
+                    epochs: 4,
+                }),
+                None,
+            ],
+        }
+    }
+
+    #[test]
+    fn lookup_returns_largest_snapshot_at_or_below_budget() {
+        let cache = ContinuationCache::new();
+        cache.insert(7, set(1, 50));
+        cache.insert(7, set(1, 100));
+        cache.insert(7, set(1, 200));
+        assert_eq!(cache.lookup(7, 1, 150).unwrap().budget, 100);
+        assert_eq!(cache.lookup(7, 1, 100).unwrap().budget, 100);
+        assert_eq!(cache.lookup(7, 1, 49), None);
+        assert_eq!(cache.lookup(8, 1, 150), None, "unknown key");
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_a_cold_start() {
+        let cache = ContinuationCache::new();
+        cache.insert(7, set(1, 50));
+        assert!(cache.lookup(7, 2, 100).is_none());
+        // A matching older snapshot is still found behind the mismatch.
+        cache.insert(7, set(2, 80));
+        assert_eq!(cache.lookup(7, 1, 100).unwrap().budget, 50);
+    }
+
+    #[test]
+    fn export_import_round_trips_in_sorted_order() {
+        let cache = ContinuationCache::new();
+        cache.insert(9, set(1, 100));
+        cache.insert(3, set(1, 50));
+        cache.insert(3, set(1, 25));
+        let entries = cache.export();
+        assert_eq!(
+            entries
+                .iter()
+                .map(|e| (e.key, e.set.budget))
+                .collect::<Vec<_>>(),
+            vec![(3, 25), (3, 50), (9, 100)]
+        );
+        let other = ContinuationCache::new();
+        other.import(entries.clone());
+        assert_eq!(other.export(), entries);
+        assert_eq!(other.len(), 3);
+        assert!(other.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn params_fingerprint_is_stable_and_discriminating() {
+        let a = MlpParams::default();
+        let mut b = MlpParams::default();
+        assert_eq!(params_fingerprint(&a), params_fingerprint(&b));
+        b.max_iter += 1;
+        assert_ne!(params_fingerprint(&a), params_fingerprint(&b));
+    }
+}

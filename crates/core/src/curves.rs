@@ -24,6 +24,12 @@ pub struct CurvePoint {
     pub fold_scores: FoldScores,
     /// The pipeline-metric score.
     pub score: f64,
+    /// Repeats that produced fewer folds than the longest repeat at this
+    /// budget (a mid-evaluation deadline can truncate a repeat's fold
+    /// vector). Fold means cover only the common prefix, and a non-zero
+    /// count flags the point as partially supported.
+    #[serde(default)]
+    pub short_repeats: usize,
 }
 
 /// Evaluates `config` at each budget of `budgets` (clamped to the dataset)
@@ -48,32 +54,49 @@ pub fn budget_curve(
     sorted
         .into_iter()
         .map(|budget| {
-            // Average fold scores across repeats, fold-position-wise.
             let mut all_folds: Vec<Vec<f64>> = Vec::new();
             let mut gamma = 0.0;
             let mut score_sum = 0.0;
             for r in 0..repeats {
-                let out = evaluator.evaluate(
-                    &params,
-                    budget,
-                    derive_seed(seed, ((budget as u64) << 8) | r as u64),
-                );
+                let out = evaluator.evaluate(&params, budget, repeat_stream(seed, budget, r));
                 gamma = out.fold_scores.gamma_pct;
                 score_sum += out.score;
                 all_folds.push(out.fold_scores.folds);
             }
-            let k = all_folds[0].len();
-            let mean_folds: Vec<f64> = (0..k)
-                .map(|f| all_folds.iter().map(|v| v[f]).sum::<f64>() / repeats as f64)
-                .collect();
+            let (mean_folds, short_repeats) = aggregate_repeats(&all_folds);
             CurvePoint {
                 budget,
                 gamma_pct: gamma,
                 fold_scores: FoldScores::new(mean_folds, gamma),
                 score: score_sum / repeats as f64,
+                short_repeats,
             }
         })
         .collect()
+}
+
+/// The fold stream of repeat `r` at `budget`: two chained `derive_seed`
+/// rounds. The previous `(budget << 8) | r` packing collided as soon as
+/// `repeats` reached 256 — repeat 256 of budget `b` aliased repeat 0 of
+/// budget `b + 1`, silently averaging duplicate draws into both points.
+fn repeat_stream(seed: u64, budget: usize, r: usize) -> u64 {
+    derive_seed(derive_seed(seed, budget as u64), r as u64)
+}
+
+/// Fold-position-wise means across repeats, over the *common prefix* of the
+/// repeats' fold vectors, plus the number of repeats that came back shorter
+/// than the longest one. A repeat can legitimately be short — a
+/// mid-evaluation deadline truncates its fold vector — and the previous
+/// `all_folds[0].len()` indexing panicked on exactly that raggedness.
+fn aggregate_repeats(all_folds: &[Vec<f64>]) -> (Vec<f64>, usize) {
+    let repeats = all_folds.len();
+    let k = all_folds.iter().map(Vec::len).min().unwrap_or(0);
+    let k_max = all_folds.iter().map(Vec::len).max().unwrap_or(0);
+    let short_repeats = all_folds.iter().filter(|v| v.len() < k_max).count();
+    let mean_folds: Vec<f64> = (0..k)
+        .map(|f| all_folds.iter().map(|v| v[f]).sum::<f64>() / repeats as f64)
+        .collect();
+    (mean_folds, short_repeats)
 }
 
 /// A geometric budget ladder from `min_budget` to the full dataset
@@ -181,5 +204,60 @@ mod tests {
         let curve = budget_curve(&ev, &space, &space.configuration(1), &[60], 3, 3);
         assert_eq!(curve.len(), 1);
         assert!(curve[0].score.is_finite());
+        assert_eq!(curve[0].short_repeats, 0);
+    }
+
+    #[test]
+    fn repeat_streams_do_not_collide_past_255_repeats() {
+        // Regression: `(budget << 8) | r` aliased repeat 256 of budget b
+        // with repeat 0 of budget b+1. The chained derivation must keep
+        // every (budget, repeat) pair distinct.
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for budget in 0..4usize {
+            for r in 0..600usize {
+                assert!(
+                    seen.insert(repeat_stream(42, budget, r)),
+                    "stream collision at budget {budget}, repeat {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_repeats_average_over_the_common_prefix() {
+        // Regression: a deadline-truncated repeat used to panic the
+        // aggregation (`all_folds[0].len()` indexed into shorter repeats).
+        let all = vec![vec![0.5, 0.7, 0.9], vec![0.3], vec![0.1, 0.5, 0.9]];
+        let (means, short) = aggregate_repeats(&all);
+        assert_eq!(means, vec![(0.5 + 0.3 + 0.1) / 3.0]);
+        assert_eq!(short, 1);
+
+        let even = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let (means, short) = aggregate_repeats(&even);
+        assert_eq!(means, vec![2.0, 3.0]);
+        assert_eq!(short, 0);
+
+        let empty: Vec<Vec<f64>> = vec![];
+        assert_eq!(aggregate_repeats(&empty), (vec![], 0));
+    }
+
+    #[test]
+    fn cost_deadline_truncation_does_not_panic_the_curve() {
+        use crate::exec::FailurePolicy;
+        let (data, base) = setup();
+        // A cost ceiling low enough to truncate evaluations mid-fold: the
+        // curve must aggregate whatever folds completed instead of panicking.
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), base.clone(), 9)
+            .with_failure_policy(FailurePolicy {
+                max_cost_units: Some(1),
+                ..Default::default()
+            });
+        let space = SearchSpace::mlp_cv18();
+        let curve = budget_curve(&ev, &space, &space.configuration(0), &[60, 120], 3, 9);
+        assert_eq!(curve.len(), 2);
+        for p in &curve {
+            assert!(p.fold_scores.folds.len() <= 5);
+        }
     }
 }

@@ -6,7 +6,8 @@
 //! held-out fold, and
 //! reduce the fold scores with the pipeline's [`hpo_metrics::EvalMetric`].
 
-use crate::exec::FailurePolicy;
+use crate::continuation::{params_fingerprint, ContinuationCache, SnapshotSet};
+use crate::exec::{FailurePolicy, TrialJob};
 use crate::obs::{self, ScopedTimer, LATENCY_BUCKETS};
 use crate::pipeline::Pipeline;
 use hpo_data::dataset::{Dataset, Task};
@@ -15,7 +16,7 @@ use hpo_metrics::classification::{accuracy, weighted_f1};
 use hpo_metrics::regression::r2;
 use hpo_metrics::FoldScores;
 use hpo_models::estimator::Estimator;
-use hpo_models::mlp::{MlpClassifier, MlpParams, MlpRegressor};
+use hpo_models::mlp::{FitState, MlpClassifier, MlpParams, MlpRegressor};
 use hpo_sampling::groups::{build_grouping, Grouping};
 use hpo_sampling::kfold::train_indices_for;
 use parking_lot::Mutex;
@@ -66,6 +67,19 @@ impl ScoreKind {
             ScoreKind::Accuracy => accuracy(y_true, y_pred),
             ScoreKind::WeightedF1 => weighted_f1(y_true, y_pred, n_classes),
             ScoreKind::R2 => r2(y_true, y_pred),
+        }
+    }
+
+    /// The score recorded for a fold whose model failed to fit (empty
+    /// predictions) or whose fold geometry was degenerate. Classification
+    /// scores bottom out at 0.0 naturally, but R² is unbounded below and its
+    /// fold scores are clamped to [-1, 1]: a failed regression fold scoring
+    /// 0.0 would rank *above* a working configuration at negative R², so it
+    /// scores the clamp floor −1.0 instead (DESIGN.md "Failure semantics").
+    pub fn failed_fold_score(&self) -> f64 {
+        match self {
+            ScoreKind::R2 => -1.0,
+            ScoreKind::Accuracy | ScoreKind::WeightedF1 => 0.0,
         }
     }
 
@@ -125,6 +139,12 @@ pub struct EvalOutcome {
     /// persisted before failure tracking still deserialize.
     #[serde(default)]
     pub status: TrialStatus,
+    /// The (clamped) budget of the snapshot this evaluation warm-started
+    /// from, or `None` for a cold evaluation. Skipped when absent, so
+    /// cold-mode checkpoints and journals serialize byte-identically to the
+    /// pre-warm-start format.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub resumed_from: Option<usize>,
 }
 
 impl EvalOutcome {
@@ -137,6 +157,7 @@ impl EvalOutcome {
             cost_units: 0,
             wall_seconds,
             status: TrialStatus::Failed { attempts },
+            resumed_from: None,
         }
     }
 }
@@ -157,6 +178,11 @@ pub struct CvEvaluator<'a> {
     seed: u64,
     /// Retry/deadline/imputation rules for failed trials.
     policy: FailurePolicy,
+    /// Warm-start snapshot store. `None` (the default) evaluates every trial
+    /// cold; with a cache attached, jobs carrying a continuation key resume
+    /// their fold models from the configuration's previous (smaller-budget)
+    /// snapshots and deposit fresh snapshots for the next rung.
+    continuation: Option<Arc<ContinuationCache>>,
     /// Fold constructions keyed by (clamped budget, stream). Folds are a
     /// pure function of that key (plus per-evaluator state), so identical
     /// constructions — every candidate of a shared-folds rung, or a rung
@@ -201,6 +227,7 @@ impl<'a> CvEvaluator<'a> {
             total_budget: train.n_instances(),
             seed,
             policy: FailurePolicy::default(),
+            continuation: None,
             fold_cache: Mutex::new(HashMap::new()),
         }
     }
@@ -209,6 +236,18 @@ impl<'a> CvEvaluator<'a> {
     pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Attaches a warm-start snapshot cache (builder style). Jobs without a
+    /// continuation key still evaluate cold.
+    pub fn with_continuation(mut self, cache: Arc<ContinuationCache>) -> Self {
+        self.continuation = Some(cache);
+        self
+    }
+
+    /// The attached warm-start cache, if any.
+    pub fn continuation_cache(&self) -> Option<&Arc<ContinuationCache>> {
+        self.continuation.as_ref()
     }
 
     /// The retry/deadline/imputation rules this evaluator runs under.
@@ -262,22 +301,80 @@ impl<'a> CvEvaluator<'a> {
     }
 
     /// Evaluates `params` with `budget` instances. `stream` decorrelates the
-    /// fold sampling across configurations and rungs.
+    /// fold sampling across configurations and rungs. Always a cold
+    /// evaluation; warm-start runs route through [`CvEvaluator::evaluate_job`].
     pub fn evaluate(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+        self.evaluate_mlp(params, budget, stream, None)
+    }
+
+    /// Evaluates one [`TrialJob`], warm-starting from the continuation cache
+    /// when both a cache is attached and the job carries a continuation key.
+    pub fn evaluate_job(&self, job: &TrialJob) -> EvalOutcome {
+        let warm = match (&self.continuation, job.cont) {
+            (Some(cache), Some(key)) => Some((Arc::clone(cache), key)),
+            _ => None,
+        };
+        self.evaluate_mlp(&job.params, job.budget, job.stream, warm)
+    }
+
+    /// The shared MLP evaluation path behind [`CvEvaluator::evaluate`] and
+    /// [`CvEvaluator::evaluate_job`]. With `warm` set, each fold model
+    /// resumes from the configuration's largest snapshot at or below this
+    /// budget (training only the incremental epoch share of the budget
+    /// step), and the fitted fold models are snapshotted for the next rung.
+    fn evaluate_mlp(
+        &self,
+        params: &MlpParams,
+        budget: usize,
+        stream: u64,
+        warm: Option<(Arc<ContinuationCache>, u64)>,
+    ) -> EvalOutcome {
         // Handles resolved once per trial, not per fold: the per-fold hot
         // path then costs one `Instant` pair and a few relaxed atomics.
         let fit_seconds = obs::global_metrics().histogram("hpo_model_fit_seconds", LATENCY_BUCKETS);
         let epochs_total = obs::global_metrics().counter("hpo_model_epochs_total");
+        // Clamp exactly as `evaluate_fn` does, so snapshot budgets line up
+        // with the budgets the folds are actually built at.
+        let k = self.pipeline.fold_strategy.n_folds();
+        let clamped = budget.clamp(k.max(2), self.total_budget.max(k));
+        let fingerprint = warm.as_ref().map(|_| params_fingerprint(params));
+        let prior = match (&warm, fingerprint) {
+            (Some((cache, key)), Some(fp)) => cache.lookup(*key, fp, clamped),
+            _ => None,
+        };
+        // Incremental epochs for the budget step ΔB/B, floored at 1 so a
+        // clamped repeat budget still gets a top-up rather than a no-op.
+        let epoch_cap = prior.as_ref().map(|p| {
+            let step = clamped.saturating_sub(p.budget) as f64 / clamped.max(1) as f64;
+            ((params.max_iter as f64 * step).ceil() as usize).max(1)
+        });
+        let capture = warm.is_some();
+        let mut snapshots: Vec<Option<FitState>> = Vec::new();
+        let mut resumed = false;
         let mut diverged_folds = 0usize;
+        let mut failed_folds = 0usize;
         let mut out = self.evaluate_fn(budget, stream, |fold, train_sub, val_sub| {
             let mut fold_params = params.clone();
             fold_params.seed = derive_seed(self.seed, stream ^ (fold as u64) << 32);
+            let snap = prior
+                .as_ref()
+                .and_then(|p| p.folds.get(fold))
+                .and_then(Option::as_ref);
+            if capture && snapshots.len() <= fold {
+                snapshots.resize(fold + 1, None);
+            }
             match self.train.task() {
                 Task::Regression => {
                     let mut model = MlpRegressor::new(fold_params);
                     let fit = {
                         let _timer = ScopedTimer::start(std::sync::Arc::clone(&fit_seconds));
-                        model.fit(train_sub)
+                        match (snap, epoch_cap) {
+                            (Some(state), Some(cap)) => {
+                                resumed = true;
+                                model.warm_fit(train_sub, state, cap)
+                            }
+                            _ => model.fit(train_sub),
+                        }
                     };
                     match fit {
                         Ok(report) if report.diverged => {
@@ -287,16 +384,28 @@ impl<'a> CvEvaluator<'a> {
                         }
                         Ok(report) => {
                             epochs_total.add(report.epochs as u64);
+                            if capture {
+                                snapshots[fold] = model.fit_state();
+                            }
                             (model.predict(val_sub.x()), report.cost_units)
                         }
-                        Err(_) => (Vec::new(), 0),
+                        Err(_) => {
+                            failed_folds += 1;
+                            (Vec::new(), 0)
+                        }
                     }
                 }
                 _ => {
                     let mut model = MlpClassifier::new(fold_params);
                     let fit = {
                         let _timer = ScopedTimer::start(std::sync::Arc::clone(&fit_seconds));
-                        model.fit(train_sub)
+                        match (snap, epoch_cap) {
+                            (Some(state), Some(cap)) => {
+                                resumed = true;
+                                model.warm_fit(train_sub, state, cap)
+                            }
+                            _ => model.fit(train_sub),
+                        }
                     };
                     match fit {
                         Ok(report) if report.diverged => {
@@ -306,19 +415,45 @@ impl<'a> CvEvaluator<'a> {
                         }
                         Ok(report) => {
                             epochs_total.add(report.epochs as u64);
+                            if capture {
+                                snapshots[fold] = model.fit_state();
+                            }
                             (model.predict(val_sub.x()), report.cost_units)
                         }
-                        Err(_) => (Vec::new(), 0),
+                        Err(_) => {
+                            failed_folds += 1;
+                            (Vec::new(), 0)
+                        }
                     }
                 }
             }
         });
-        // A majority of diverged folds means the configuration is unstable
-        // at this budget, not merely unlucky: flag the whole trial so the
-        // failure policy can impute and demote it.
+        // A majority of diverged *or unfittable* folds means the
+        // configuration is unstable at this budget, not merely unlucky: flag
+        // the whole trial so the failure policy can impute and demote it.
         let n_folds = out.fold_scores.folds.len();
-        if out.status == TrialStatus::Completed && n_folds > 0 && 2 * diverged_folds > n_folds {
+        if out.status == TrialStatus::Completed
+            && n_folds > 0
+            && 2 * (diverged_folds + failed_folds) > n_folds
+        {
             out.status = TrialStatus::Diverged;
+        }
+        if resumed {
+            out.resumed_from = prior.as_ref().map(|p| p.budget);
+        }
+        // Deposit snapshots for the next rung only from a healthy trial: a
+        // timed-out or demoted evaluation left partial or suspect models.
+        if out.status == TrialStatus::Completed {
+            if let (Some((cache, key)), Some(fp)) = (&warm, fingerprint) {
+                cache.insert(
+                    *key,
+                    SnapshotSet {
+                        fingerprint: fp,
+                        budget: clamped,
+                        folds: std::mem::take(&mut snapshots),
+                    },
+                );
+            }
         }
         out
     }
@@ -328,7 +463,8 @@ impl<'a> CvEvaluator<'a> {
     ///
     /// `fit_predict(fold_index, train_subset, val_subset)` must return the
     /// predictions for `val_subset` (empty to signal a failed fit, which
-    /// scores 0) and a deterministic cost figure. This is how non-MLP models
+    /// scores [`ScoreKind::failed_fold_score`]) and a deterministic cost
+    /// figure. This is how non-MLP models
     /// (trees, forests, anything implementing
     /// [`hpo_models::estimator::Estimator`]) run through the paper's
     /// enhanced cross-validation — see `examples/tree_tuning.rs`.
@@ -394,7 +530,7 @@ impl<'a> CvEvaluator<'a> {
             let train_idx = train_indices_for(&folds, v);
             let val_idx = &folds[v];
             if train_idx.len() < 2 || val_idx.is_empty() {
-                scores.push(0.0);
+                scores.push(self.score_kind.failed_fold_score());
                 continue;
             }
             let train_sub = self.train.select(&train_idx);
@@ -403,7 +539,10 @@ impl<'a> CvEvaluator<'a> {
             cost_units += cost;
             let k_classes = self.train.task().n_classes().unwrap_or(0);
             let score = if preds.is_empty() {
-                0.0
+                // A failed or diverged fit scores the metric's floor, never
+                // 0.0 blindly: under R² that would outrank real fits with
+                // negative scores (see ScoreKind::failed_fold_score).
+                self.score_kind.failed_fold_score()
             } else {
                 self.score_kind.compute(val_sub.y(), &preds, k_classes)
             };
@@ -430,6 +569,7 @@ impl<'a> CvEvaluator<'a> {
             cost_units,
             wall_seconds: start.elapsed().as_secs_f64(),
             status,
+            resumed_from: None,
         }
     }
 }
@@ -658,5 +798,107 @@ mod tests {
         );
         assert_eq!(out.fold_scores.folds.len(), 5);
         assert_eq!(ev.score_kind(), ScoreKind::R2);
+    }
+
+    #[test]
+    fn failed_fold_floor_depends_on_the_metric() {
+        // Accuracy/F1 are bounded below by 0.0; R² by the evaluator's fold
+        // clamp at -1.0. Scoring a crashed R² fold 0.0 would outrank real
+        // fits with negative scores — the satellite-1 bug.
+        assert_eq!(ScoreKind::Accuracy.failed_fold_score(), 0.0);
+        assert_eq!(ScoreKind::WeightedF1.failed_fold_score(), 0.0);
+        assert_eq!(ScoreKind::R2.failed_fold_score(), -1.0);
+    }
+
+    #[test]
+    fn warm_evaluation_resumes_and_matches_fold_count() {
+        use crate::continuation::ContinuationCache;
+        use crate::exec::TrialJob;
+        let data = dataset(20);
+        let cache = Arc::new(ContinuationCache::new());
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_params(), 20)
+            .with_continuation(Arc::clone(&cache));
+        let key = 0xFEED;
+
+        // First (small-budget) evaluation: cold, deposits snapshots.
+        let small = ev.evaluate_job(&TrialJob::new(quick_params(), 100, 5).with_continuation(key));
+        assert_eq!(small.resumed_from, None, "nothing to resume from yet");
+        assert!(!cache.is_empty(), "completed trial left no snapshots");
+
+        // Second (larger-budget) evaluation resumes from them.
+        let large = ev.evaluate_job(&TrialJob::new(quick_params(), 200, 6).with_continuation(key));
+        assert_eq!(large.resumed_from, Some(100), "large budget did not resume");
+        assert_eq!(large.fold_scores.folds.len(), 5);
+        assert!(large.score.is_finite());
+
+        // The warm evaluation costs less than the cold one at the same
+        // budget: it only trains the incremental epoch share.
+        let cold = CvEvaluator::new(&data, Pipeline::vanilla(), quick_params(), 20);
+        let cold_large = cold.evaluate(&quick_params(), 200, 6);
+        assert!(
+            large.cost_units < cold_large.cost_units,
+            "warm {} !< cold {}",
+            large.cost_units,
+            cold_large.cost_units
+        );
+    }
+
+    #[test]
+    fn fingerprint_mismatch_falls_back_to_a_cold_fit() {
+        use crate::continuation::ContinuationCache;
+        use crate::exec::TrialJob;
+        let data = dataset(21);
+        let cache = Arc::new(ContinuationCache::new());
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_params(), 21)
+            .with_continuation(Arc::clone(&cache));
+        let key = 0xBEEF;
+        ev.evaluate_job(&TrialJob::new(quick_params(), 100, 5).with_continuation(key));
+
+        // Same key, different hyperparameters: the fingerprint check must
+        // reject the snapshot rather than resume into the wrong weights.
+        let other = MlpParams {
+            hidden_layer_sizes: vec![12],
+            max_iter: 8,
+            ..Default::default()
+        };
+        let out = ev.evaluate_job(&TrialJob::new(other, 200, 6).with_continuation(key));
+        assert_eq!(out.resumed_from, None);
+        assert!(out.score.is_finite());
+    }
+
+    #[test]
+    fn jobs_without_a_key_stay_cold_even_with_a_cache_attached() {
+        use crate::continuation::ContinuationCache;
+        use crate::exec::TrialJob;
+        let data = dataset(22);
+        let cache = Arc::new(ContinuationCache::new());
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_params(), 22)
+            .with_continuation(Arc::clone(&cache));
+        let out = ev.evaluate_job(&TrialJob::new(quick_params(), 100, 5));
+        assert_eq!(out.resumed_from, None);
+        assert!(cache.is_empty(), "keyless job must not deposit snapshots");
+    }
+
+    #[test]
+    fn warm_and_cold_cover_the_same_folds_deterministically() {
+        use crate::continuation::ContinuationCache;
+        use crate::exec::TrialJob;
+        let data = dataset(23);
+        let cache = Arc::new(ContinuationCache::new());
+        let ev = CvEvaluator::new(&data, Pipeline::enhanced(), quick_params(), 23)
+            .with_continuation(Arc::clone(&cache));
+        let key = 0xCAFE;
+        ev.evaluate_job(&TrialJob::new(quick_params(), 100, 5).with_continuation(key));
+        let a = ev.evaluate_job(&TrialJob::new(quick_params(), 200, 6).with_continuation(key));
+        // Re-running the same warm evaluation (same snapshot, same stream)
+        // is bit-identical — the cache replaced the budget-100 entry only
+        // after trial 2 completed at budget 200, so re-lookup at 200 now
+        // resumes from 200; evaluate against a fresh cache clone instead.
+        let cache2 = Arc::new(ContinuationCache::new());
+        cache2.import(cache.export());
+        let ev2 = CvEvaluator::new(&data, Pipeline::enhanced(), quick_params(), 23)
+            .with_continuation(cache2);
+        let b = ev2.evaluate_job(&TrialJob::new(quick_params(), 200, 6).with_continuation(key));
+        assert_eq!(a.fold_scores.folds.len(), b.fold_scores.folds.len());
     }
 }

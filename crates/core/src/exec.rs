@@ -24,6 +24,7 @@
 //! - [`compare_scores`] — the total order used for every halving decision:
 //!   `f64::total_cmp` with non-finite scores ranked strictly worst.
 
+use crate::continuation::{params_fingerprint, ContinuationCache};
 use crate::evaluator::{CvEvaluator, EvalOutcome, TrialStatus};
 use crate::obs::{Recorder, RunEvent};
 use crate::persist::{save_checkpoint, CheckpointEntry, PersistError, RunCheckpoint};
@@ -35,6 +36,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The score imputed for failed trials: decisively worse than any real
@@ -89,8 +91,9 @@ impl FailurePolicy {
 /// ASHA/PASHA share the evaluator across worker threads.
 pub trait TrialEvaluator: Sync {
     /// One evaluation attempt, no containment. May panic; may return
-    /// non-finite scores.
-    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome;
+    /// non-finite scores. The job carries everything the attempt needs:
+    /// hyperparameters, budget, stream, and the optional continuation key.
+    fn evaluate_raw(&self, job: &TrialJob) -> EvalOutcome;
 
     /// Total budget `B` (training instances).
     fn total_budget(&self) -> usize;
@@ -120,8 +123,8 @@ pub trait TrialEvaluator: Sync {
     /// Evaluates one trial under the failure policy. Never panics from a
     /// contained evaluation; always returns a finite score (imputed on
     /// failure).
-    fn evaluate_trial(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
-        run_trial(self, params, budget, stream)
+    fn evaluate_trial(&self, job: &TrialJob) -> EvalOutcome {
+        run_trial(self, job)
     }
 
     /// Evaluates a batch of independent trials, returning outcomes in
@@ -152,16 +155,28 @@ pub struct TrialJob {
     pub budget: usize,
     /// Pre-assigned fold-sampling stream (see [`TrialEvaluator::fold_stream`]).
     pub stream: u64,
+    /// Warm-start continuation key: stable across the rungs one candidate
+    /// climbs, so the evaluator can resume this configuration's fold models
+    /// from the snapshots of its previous (smaller-budget) evaluation.
+    /// `None` evaluates cold.
+    pub cont: Option<u64>,
 }
 
 impl TrialJob {
-    /// Convenience constructor.
+    /// Convenience constructor (no continuation; evaluates cold).
     pub fn new(params: MlpParams, budget: usize, stream: u64) -> Self {
         TrialJob {
             params,
             budget,
             stream,
+            cont: None,
         }
+    }
+
+    /// Attaches a continuation key (builder style).
+    pub fn with_continuation(mut self, key: u64) -> Self {
+        self.cont = Some(key);
+        self
     }
 }
 
@@ -174,10 +189,7 @@ impl TrialJob {
 /// the unwind into the same failed outcome the retry loop would produce on
 /// its final attempt.
 pub fn contained_evaluate<E: TrialEvaluator + ?Sized>(evaluator: &E, job: &TrialJob) -> EvalOutcome {
-    catch_unwind(AssertUnwindSafe(|| {
-        evaluator.evaluate_trial(&job.params, job.budget, job.stream)
-    }))
-    .unwrap_or_else(|_| {
+    catch_unwind(AssertUnwindSafe(|| evaluator.evaluate_trial(job))).unwrap_or_else(|_| {
         let policy = evaluator.failure_policy();
         let total = evaluator.total_budget().max(1);
         let gamma_pct = 100.0 * job.budget.min(total) as f64 / total as f64;
@@ -186,8 +198,8 @@ pub fn contained_evaluate<E: TrialEvaluator + ?Sized>(evaluator: &E, job: &Trial
 }
 
 impl TrialEvaluator for CvEvaluator<'_> {
-    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
-        CvEvaluator::evaluate(self, params, budget, stream)
+    fn evaluate_raw(&self, job: &TrialJob) -> EvalOutcome {
+        CvEvaluator::evaluate_job(self, job)
     }
 
     fn total_budget(&self) -> usize {
@@ -208,26 +220,19 @@ impl TrialEvaluator for CvEvaluator<'_> {
 /// Attempt 1 uses `stream` verbatim so fault-free runs are bit-identical to
 /// the pre-failure-policy behaviour; retries jitter the stream
 /// deterministically so a diverging fold draw gets fresh folds.
-pub fn run_trial<E: TrialEvaluator + ?Sized>(
-    evaluator: &E,
-    params: &MlpParams,
-    budget: usize,
-    stream: u64,
-) -> EvalOutcome {
+pub fn run_trial<E: TrialEvaluator + ?Sized>(evaluator: &E, job: &TrialJob) -> EvalOutcome {
     let policy = evaluator.failure_policy().clone();
     let max_attempts = policy.max_retries.saturating_add(1);
     let start = Instant::now();
+    let stream = job.stream;
     let mut attempts = 0u32;
     loop {
         attempts += 1;
-        let attempt_stream = if attempts == 1 {
-            stream
-        } else {
-            derive_seed(stream, 0xFA17_0000 + attempts as u64)
-        };
-        let caught = catch_unwind(AssertUnwindSafe(|| {
-            evaluator.evaluate_raw(params, budget, attempt_stream)
-        }));
+        let mut attempt_job = job.clone();
+        if attempts > 1 {
+            attempt_job.stream = derive_seed(stream, 0xFA17_0000 + attempts as u64);
+        }
+        let caught = catch_unwind(AssertUnwindSafe(|| evaluator.evaluate_raw(&attempt_job)));
         match caught {
             Ok(mut out) => {
                 let timed_out = out.status == TrialStatus::TimedOut
@@ -263,7 +268,7 @@ pub fn run_trial<E: TrialEvaluator + ?Sized>(
                     continue;
                 }
                 let total = evaluator.total_budget().max(1);
-                let gamma_pct = 100.0 * budget.min(total) as f64 / total as f64;
+                let gamma_pct = 100.0 * job.budget.min(total) as f64 / total as f64;
                 return EvalOutcome::failed(
                     attempts,
                     policy.imputed_score,
@@ -354,7 +359,8 @@ impl<'e, E: TrialEvaluator> FaultInjector<'e, E> {
 }
 
 impl<E: TrialEvaluator> TrialEvaluator for FaultInjector<'_, E> {
-    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+    fn evaluate_raw(&self, job: &TrialJob) -> EvalOutcome {
+        let stream = job.stream;
         let mut rng = rng_from_seed(derive_seed(self.plan.seed, stream));
         let roll: f64 = rng.gen();
         if roll < self.plan.panic_prob {
@@ -364,16 +370,17 @@ impl<E: TrialEvaluator> TrialEvaluator for FaultInjector<'_, E> {
             // A NaN score without paying for a real evaluation: the point is
             // exercising the optimizer's failure path, not the MLP.
             let total = self.inner.total_budget().max(1);
-            let gamma_pct = 100.0 * budget.min(total) as f64 / total as f64;
+            let gamma_pct = 100.0 * job.budget.min(total) as f64 / total as f64;
             return EvalOutcome {
                 fold_scores: hpo_metrics::FoldScores::new(vec![f64::NAN], gamma_pct),
                 score: f64::NAN,
                 cost_units: 0,
                 wall_seconds: 0.0,
                 status: TrialStatus::Completed,
+                resumed_from: None,
             };
         }
-        let mut out = self.inner.evaluate_raw(params, budget, stream);
+        let mut out = self.inner.evaluate_raw(job);
         if roll < self.plan.panic_prob + self.plan.nan_prob + self.plan.slow_prob {
             out.wall_seconds += self.plan.injected_delay_secs;
         }
@@ -406,12 +413,9 @@ impl<E: TrialEvaluator> TrialEvaluator for FaultInjector<'_, E> {
 /// (rung, candidate) for per-config pipelines; the fingerprint keeps shared-
 /// fold pipelines (where many candidates share a stream) unambiguous.
 fn trial_key(params: &MlpParams, budget: usize, stream: u64) -> (usize, u64, u64) {
-    use std::hash::{Hash, Hasher};
-    // DefaultHasher::new() uses fixed keys, so the fingerprint is stable
-    // across processes — required for resume.
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    format!("{params:?}").hash(&mut h);
-    (budget, stream, h.finish())
+    // The fingerprint is shared with the continuation cache, so a checkpoint
+    // entry and its snapshots agree on what "the same configuration" means.
+    (budget, stream, params_fingerprint(params))
 }
 
 struct CheckpointState {
@@ -440,6 +444,13 @@ pub struct CheckpointingEvaluator<'e, E: TrialEvaluator> {
     /// belong to the inner (observed) layer, so `recorder()` forwards
     /// inward instead of returning this.
     checkpoint_recorder: Recorder,
+    /// The warm-start snapshot cache, when continuation is on. Its contents
+    /// are dumped into every checkpoint save (and seeded back on
+    /// [`CheckpointingEvaluator::absorb`]), so a resumed run warm-starts
+    /// exactly like the uninterrupted one. Snapshots are inserted into the
+    /// cache *before* the trial's checkpoint entry is appended, so a saved
+    /// entry always has its snapshots saved alongside it.
+    continuation: Option<Arc<ContinuationCache>>,
 }
 
 impl<'e, E: TrialEvaluator> CheckpointingEvaluator<'e, E> {
@@ -463,6 +474,7 @@ impl<'e, E: TrialEvaluator> CheckpointingEvaluator<'e, E> {
                 hits: 0,
             }),
             checkpoint_recorder: Recorder::disabled(),
+            continuation: None,
         }
     }
 
@@ -471,6 +483,21 @@ impl<'e, E: TrialEvaluator> CheckpointingEvaluator<'e, E> {
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.checkpoint_recorder = recorder;
         self
+    }
+
+    /// Persists (and on [`CheckpointingEvaluator::absorb`] restores) the
+    /// warm-start snapshot cache with every checkpoint.
+    pub fn with_continuation(mut self, cache: Arc<ContinuationCache>) -> Self {
+        self.continuation = Some(cache);
+        self
+    }
+
+    /// Copies the continuation cache into the checkpoint's snapshot section.
+    /// Called with the state lock held, immediately before every save.
+    fn sync_snapshots(&self, st: &mut CheckpointState) {
+        if let Some(cache) = &self.continuation {
+            st.checkpoint.snapshots = cache.export();
+        }
     }
 
     fn emit_checkpoint_written(&self, entries: usize) {
@@ -497,6 +524,9 @@ impl<'e, E: TrialEvaluator> CheckpointingEvaluator<'e, E> {
             );
             st.checkpoint.entries.push(entry);
         }
+        if let Some(cache) = &self.continuation {
+            cache.import(prior.snapshots);
+        }
     }
 
     /// Trials served from the resume cache so far.
@@ -510,9 +540,12 @@ impl<'e, E: TrialEvaluator> CheckpointingEvaluator<'e, E> {
     /// IO or serialization failures.
     pub fn flush(&self) -> Result<(), PersistError> {
         let entries = {
-            let st = self.state.lock();
+            let mut st = self.state.lock();
             match &self.path {
-                Some(path) => save_checkpoint(&st.checkpoint, path)?,
+                Some(path) => {
+                    self.sync_snapshots(&mut st);
+                    save_checkpoint(&st.checkpoint, path)?
+                }
                 None => return Ok(()),
             }
             st.checkpoint.entries.len()
@@ -523,8 +556,8 @@ impl<'e, E: TrialEvaluator> CheckpointingEvaluator<'e, E> {
 }
 
 impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
-    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
-        self.inner.evaluate_raw(params, budget, stream)
+    fn evaluate_raw(&self, job: &TrialJob) -> EvalOutcome {
+        self.inner.evaluate_raw(job)
     }
 
     fn total_budget(&self) -> usize {
@@ -547,8 +580,8 @@ impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
         self.inner.on_trial_retry(stream, attempt);
     }
 
-    fn evaluate_trial(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
-        let key = trial_key(params, budget, stream);
+    fn evaluate_trial(&self, job: &TrialJob) -> EvalOutcome {
+        let key = trial_key(&job.params, job.budget, job.stream);
         if let Some(hit) = {
             let mut st = self.state.lock();
             let hit = st.cache.get(&key).cloned();
@@ -559,11 +592,11 @@ impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
         } {
             return hit;
         }
-        let out = self.inner.evaluate_trial(params, budget, stream);
+        let out = self.inner.evaluate_trial(job);
         let mut st = self.state.lock();
         st.checkpoint.entries.push(CheckpointEntry {
-            budget,
-            stream,
+            budget: job.budget,
+            stream: job.stream,
             params_fingerprint: key.2,
             outcome: out.clone(),
         });
@@ -574,6 +607,7 @@ impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
             if let Some(path) = &self.path {
                 // Mid-run checkpoints are best-effort; the final flush
                 // surfaces persistent IO errors.
+                self.sync_snapshots(&mut st);
                 if save_checkpoint(&st.checkpoint, path).is_ok() {
                     saved_entries = Some(st.checkpoint.entries.len());
                 }
@@ -633,6 +667,7 @@ impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
                 if let Some(path) = &self.path {
                     // Mid-run checkpoints are best-effort; the final flush
                     // surfaces persistent IO errors.
+                    self.sync_snapshots(&mut st);
                     if save_checkpoint(&st.checkpoint, path).is_ok() {
                         saved_entries = Some(st.checkpoint.entries.len());
                     }
@@ -695,7 +730,7 @@ mod tests {
         let data = dataset();
         let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
         let direct = CvEvaluator::evaluate(&ev, &quick_base(), 100, 3);
-        let managed = ev.evaluate_trial(&quick_base(), 100, 3);
+        let managed = ev.evaluate_trial(&TrialJob::new(quick_base(), 100, 3));
         assert_eq!(managed.status, TrialStatus::Completed);
         assert_eq!(managed.score, direct.score);
         assert_eq!(managed.fold_scores.folds, direct.fold_scores.folds);
@@ -712,7 +747,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let out = inj.evaluate_trial(&quick_base(), 100, 5);
+        let out = inj.evaluate_trial(&TrialJob::new(quick_base(), 100, 5));
         assert_eq!(out.status, TrialStatus::Diverged);
         assert_eq!(out.score, IMPUTED_SCORE);
         assert!(out.fold_scores.folds.iter().all(|s| s.is_finite()));
@@ -729,7 +764,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let out = inj.evaluate_trial(&quick_base(), 100, 5);
+        let out = inj.evaluate_trial(&TrialJob::new(quick_base(), 100, 5));
         // Default policy: 1 retry, so 2 attempts before giving up.
         assert_eq!(out.status, TrialStatus::Failed { attempts: 2 });
         assert_eq!(out.score, IMPUTED_SCORE);
@@ -753,7 +788,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let out = inj.evaluate_trial(&quick_base(), 100, 5);
+        let out = inj.evaluate_trial(&TrialJob::new(quick_base(), 100, 5));
         assert_eq!(out.status, TrialStatus::TimedOut);
         assert_eq!(out.score, IMPUTED_SCORE);
     }
@@ -770,8 +805,8 @@ mod tests {
         };
         let inj = FaultInjector::new(&ev, plan);
         for stream in 0..10u64 {
-            let a = inj.evaluate_trial(&quick_base(), 80, stream);
-            let b = inj.evaluate_trial(&quick_base(), 80, stream);
+            let a = inj.evaluate_trial(&TrialJob::new(quick_base(), 80, stream));
+            let b = inj.evaluate_trial(&TrialJob::new(quick_base(), 80, stream));
             assert_eq!(a.status, b.status, "stream {stream}");
             assert_eq!(a.score.to_bits(), b.score.to_bits(), "stream {stream}");
         }
@@ -791,7 +826,7 @@ mod tests {
             FaultInjector::new(&ev, plan.clone()).with_policy(FailurePolicy::no_retries());
         let stream = (0..50u64)
             .find(|&s| {
-                no_retry.evaluate_trial(&quick_base(), 80, s).status != TrialStatus::Completed
+                no_retry.evaluate_trial(&TrialJob::new(quick_base(), 80, s)).status != TrialStatus::Completed
             })
             .expect("some stream faults at p=0.5");
         // With enough retries, the jittered streams eventually draw no fault.
@@ -799,7 +834,7 @@ mod tests {
             max_retries: 16,
             ..Default::default()
         });
-        let out = retrying.evaluate_trial(&quick_base(), 80, stream);
+        let out = retrying.evaluate_trial(&TrialJob::new(quick_base(), 80, stream));
         assert_eq!(out.status, TrialStatus::Completed);
         assert!(out.score.is_finite());
     }
@@ -809,7 +844,7 @@ mod tests {
         let data = dataset();
         let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
         let first = CheckpointingEvaluator::new(&ev, 1, "SHA", "vanilla", None, 0);
-        let a = first.evaluate_trial(&quick_base(), 100, 7);
+        let a = first.evaluate_trial(&TrialJob::new(quick_base(), 100, 7));
         assert_eq!(first.resumed_trials(), 0);
 
         let prior = {
@@ -818,12 +853,12 @@ mod tests {
         };
         let second = CheckpointingEvaluator::new(&ev, 1, "SHA", "vanilla", None, 0);
         second.absorb(prior);
-        let b = second.evaluate_trial(&quick_base(), 100, 7);
+        let b = second.evaluate_trial(&TrialJob::new(quick_base(), 100, 7));
         assert_eq!(second.resumed_trials(), 1);
         assert_eq!(a.score.to_bits(), b.score.to_bits());
         assert_eq!(a.fold_scores.folds, b.fold_scores.folds);
         // A different stream misses the cache.
-        second.evaluate_trial(&quick_base(), 100, 8);
+        second.evaluate_trial(&TrialJob::new(quick_base(), 100, 8));
         assert_eq!(second.resumed_trials(), 1);
     }
 }

@@ -22,8 +22,10 @@ use crate::space::{Configuration, SearchSpace};
 use crate::trial::History;
 use hpo_data::dataset::Dataset;
 use hpo_models::mlp::MlpParams;
+use crate::continuation::ContinuationCache;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The optimizer to run.
@@ -89,6 +91,10 @@ pub struct RunResult {
     /// Trials replayed from a checkpoint instead of re-evaluated.
     #[serde(default)]
     pub n_resumed: usize,
+    /// Trials that warm-started from a smaller-budget snapshot instead of
+    /// refitting from epoch 0 (0 when `RunOptions::warm_start` is off).
+    #[serde(default)]
+    pub n_continued: usize,
 }
 
 /// Robustness knobs for [`run_method_with`]: retry/impute policy, plus
@@ -113,6 +119,13 @@ pub struct RunOptions {
     /// are bit-identical for every value; 1 (the default) evaluates batches
     /// inline on the calling thread.
     pub workers: usize,
+    /// Warm-start budget continuation: rung-`i+1` evaluations resume fold
+    /// models from the rung-`i` snapshots of the same configuration
+    /// (DESIGN.md §5.8). On by default; turn off (`--warm-start off`) for
+    /// the cold-start ablation. Either mode is bit-reproducible at every
+    /// worker count, but warm and cold runs legitimately differ from each
+    /// other.
+    pub warm_start: bool,
 }
 
 impl Default for RunOptions {
@@ -124,6 +137,7 @@ impl Default for RunOptions {
             resume: false,
             recorder: Recorder::disabled(),
             workers: 1,
+            warm_start: true,
         }
     }
 }
@@ -216,8 +230,15 @@ pub fn run_method_with(
     let method_label = method.label().to_string();
     let pipeline_label = pipeline.label.clone();
     let recorder = opts.recorder.clone();
-    let evaluator = CvEvaluator::new(train, pipeline, base_params.clone(), seed)
+    // One continuation cache per run: the CvEvaluator reads/writes fold
+    // snapshots through it, and the checkpoint layer persists it so a
+    // resumed run warm-starts exactly like the uninterrupted one.
+    let continuation = opts.warm_start.then(|| Arc::new(ContinuationCache::new()));
+    let mut evaluator = CvEvaluator::new(train, pipeline, base_params.clone(), seed)
         .with_failure_policy(opts.failure_policy.clone());
+    if let Some(cache) = &continuation {
+        evaluator = evaluator.with_continuation(Arc::clone(cache));
+    }
     let score_kind = evaluator.score_kind();
 
     // Composition order (DESIGN.md §5.6/§5.7): observation sits inside the
@@ -235,6 +256,10 @@ pub fn run_method_with(
         opts.checkpoint_every,
     )
     .with_recorder(recorder.clone());
+    let ckpt = match &continuation {
+        Some(cache) => ckpt.with_continuation(Arc::clone(cache)),
+        None => ckpt,
+    };
     if opts.resume {
         if let Some(path) = opts.checkpoint.as_deref().filter(|p| p.exists()) {
             match load_checkpoint(path) {
@@ -269,6 +294,11 @@ pub fn run_method_with(
         crate::obs_warn!("final checkpoint write failed: {e}");
     }
 
+    let n_continued = history
+        .trials()
+        .iter()
+        .filter(|t| t.outcome.resumed_from.is_some())
+        .count();
     let best_score = history
         .best()
         .filter(|t| t.outcome.status.is_ok() && t.outcome.score.is_finite())
@@ -305,6 +335,7 @@ pub fn run_method_with(
         n_evaluations: history.len(),
         n_failures: history.n_failures(),
         n_resumed,
+        n_continued,
     }
 }
 

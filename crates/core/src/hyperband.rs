@@ -5,6 +5,7 @@
 //! optimizer with [`crate::pipeline::Pipeline::vanilla`], `HB+` with
 //! [`crate::pipeline::Pipeline::enhanced`].
 
+use crate::continuation::CONTINUATION_KEY_SALT;
 use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
 use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
@@ -90,7 +91,15 @@ pub fn hyperband_with_sampler<E: TrialEvaluator + ?Sized>(
         let n = (((s_max + 1) as f64 / (s + 1) as f64) * eta.powi(s as i32)).ceil() as usize;
         let r0 = (r_max as f64 * eta.powi(-(s as i32))).round() as usize;
         let bracket_stream = derive_seed(stream, 0xB0 + s as u64);
-        let mut survivors = sampler.sample(space, n.max(1), bracket_stream);
+        // As in SHA, survivors keep their index in the bracket's original
+        // sample so each configuration's continuation key is stable across
+        // the bracket's rungs (brackets never share keys: the key derives
+        // from the bracket stream).
+        let mut survivors: Vec<(usize, Configuration)> = sampler
+            .sample(space, n.max(1), bracket_stream)
+            .into_iter()
+            .enumerate()
+            .collect();
         recorder.emit(RunEvent::BracketStarted {
             bracket: s,
             n_configs: survivors.len(),
@@ -117,17 +126,21 @@ pub fn hyperband_with_sampler<E: TrialEvaluator + ?Sized>(
             let jobs: Vec<TrialJob> = survivors
                 .iter()
                 .enumerate()
-                .map(|(c, cand)| {
+                .map(|(c, (orig, cand))| {
                     TrialJob::new(
                         space.to_params(cand, base_params),
                         budget,
                         evaluator.fold_stream(bracket_stream, i as u64, c as u64),
                     )
+                    .with_continuation(derive_seed(
+                        bracket_stream,
+                        CONTINUATION_KEY_SALT + *orig as u64,
+                    ))
                 })
                 .collect();
             let outcomes = evaluator.evaluate_batch(&jobs);
             let mut scored: Vec<(usize, f64)> = Vec::with_capacity(survivors.len());
-            for ((c, cand), outcome) in survivors.iter().enumerate().zip(outcomes) {
+            for ((c, (_, cand)), outcome) in survivors.iter().enumerate().zip(outcomes) {
                 // Only feed real observations to model-based samplers; an
                 // imputed score would teach TPE that the region is merely
                 // bad rather than broken, which is fine — but a NaN would

@@ -28,6 +28,7 @@
 
 pub mod asha;
 pub mod bohb;
+pub mod continuation;
 pub mod curves;
 pub mod dehb;
 pub mod evaluator;
@@ -44,6 +45,7 @@ pub mod sha;
 pub mod space;
 pub mod trial;
 
+pub use continuation::{params_fingerprint, ContinuationCache, SnapshotEntry, SnapshotSet};
 pub use evaluator::{CvEvaluator, EvalOutcome, ScoreKind, TrialStatus};
 pub use exec::{
     compare_scores, CheckpointingEvaluator, FailurePolicy, FaultInjector, FaultPlan, TrialEvaluator,

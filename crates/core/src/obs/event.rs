@@ -95,6 +95,19 @@ pub enum RunEvent {
         /// The imputed score recorded for the trial.
         score: f64,
     },
+    /// A trial warm-started: its fold models resumed training from the
+    /// snapshots of this configuration's previous (smaller-budget)
+    /// evaluation instead of refitting from epoch 0.
+    TrialContinued {
+        /// Trial id from the matching [`RunEvent::TrialStarted`].
+        trial: u64,
+        /// Instance budget of this evaluation.
+        budget: usize,
+        /// Clamped budget of the snapshot the fold models resumed from.
+        from_budget: usize,
+        /// Fold-sampling stream of the evaluation.
+        stream: u64,
+    },
     /// A failed attempt is being retried with a jittered fold stream.
     TrialRetried {
         /// Fold-sampling stream of the trial being retried (attempt 1's
@@ -148,6 +161,7 @@ impl RunEvent {
             RunEvent::TrialStarted { .. } => "TrialStarted",
             RunEvent::TrialFinished { .. } => "TrialFinished",
             RunEvent::TrialFailed { .. } => "TrialFailed",
+            RunEvent::TrialContinued { .. } => "TrialContinued",
             RunEvent::TrialRetried { .. } => "TrialRetried",
             RunEvent::Promotion { .. } => "Promotion",
             RunEvent::CheckpointWritten { .. } => "CheckpointWritten",

@@ -43,9 +43,8 @@ pub use progress::ProgressReporter;
 pub use timer::ScopedTimer;
 
 use crate::evaluator::{EvalOutcome, TrialStatus};
-use crate::exec::{run_trial, FailurePolicy, TrialEvaluator};
+use crate::exec::{run_trial, FailurePolicy, TrialEvaluator, TrialJob};
 use crate::persist::PersistError;
-use hpo_models::mlp::MlpParams;
 use std::cell::RefCell;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -311,6 +310,8 @@ pub struct ObservedEvaluator<'e, E: TrialEvaluator> {
     trial_retries: Arc<Counter>,
     trial_seconds: Arc<Histogram>,
     trial_cost_units: Arc<Counter>,
+    continuation_hits: Arc<Counter>,
+    continuation_misses: Arc<Counter>,
 }
 
 impl<'e, E: TrialEvaluator> ObservedEvaluator<'e, E> {
@@ -327,13 +328,15 @@ impl<'e, E: TrialEvaluator> ObservedEvaluator<'e, E> {
             trial_retries: reg.counter("hpo_trial_retries_total"),
             trial_seconds: reg.histogram("hpo_trial_seconds", LATENCY_BUCKETS),
             trial_cost_units: reg.counter("hpo_trial_cost_units_total"),
+            continuation_hits: reg.counter("hpo_continuation_hits_total"),
+            continuation_misses: reg.counter("hpo_continuation_misses_total"),
         }
     }
 }
 
 impl<E: TrialEvaluator> TrialEvaluator for ObservedEvaluator<'_, E> {
-    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
-        self.inner.evaluate_raw(params, budget, stream)
+    fn evaluate_raw(&self, job: &TrialJob) -> EvalOutcome {
+        self.inner.evaluate_raw(job)
     }
 
     fn total_budget(&self) -> usize {
@@ -358,7 +361,9 @@ impl<E: TrialEvaluator> TrialEvaluator for ObservedEvaluator<'_, E> {
             .emit(RunEvent::TrialRetried { stream, attempt });
     }
 
-    fn evaluate_trial(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+    fn evaluate_trial(&self, job: &TrialJob) -> EvalOutcome {
+        let budget = job.budget;
+        let stream = job.stream;
         let trial = self.recorder.next_trial_id();
         self.recorder.emit(RunEvent::TrialStarted {
             trial,
@@ -368,12 +373,29 @@ impl<E: TrialEvaluator> TrialEvaluator for ObservedEvaluator<'_, E> {
         let start = Instant::now();
         // Run the retry loop at *this* layer (not `inner.evaluate_trial`),
         // so `on_trial_retry` fires here and retries are not double-looped.
-        let out = run_trial(self, params, budget, stream);
+        let out = run_trial(self, job);
         let wall_seconds = start.elapsed().as_secs_f64();
 
         self.trials_total.inc();
         self.trial_seconds.observe(wall_seconds);
         self.trial_cost_units.add(out.cost_units);
+        // Warm-start accounting: a job that asked for continuation either
+        // resumed from a snapshot (hit) or found none usable (miss).
+        match (job.cont, out.resumed_from) {
+            (_, Some(from_budget)) => {
+                self.continuation_hits.inc();
+                self.recorder.emit(RunEvent::TrialContinued {
+                    trial,
+                    budget,
+                    from_budget,
+                    stream,
+                });
+            }
+            (Some(_), None) => {
+                self.continuation_misses.inc();
+            }
+            (None, None) => {}
+        }
         if out.status == TrialStatus::Completed {
             self.recorder.emit(RunEvent::TrialFinished {
                 trial,

@@ -25,6 +25,7 @@ struct ProgressState {
     trials: usize,
     failures: usize,
     retries: usize,
+    resumed: usize,
     best: Option<f64>,
     started: Instant,
     last_render: Option<Instant>,
@@ -42,6 +43,7 @@ impl ProgressState {
             trials: 0,
             failures: 0,
             retries: 0,
+            resumed: 0,
             best: None,
             started: Instant::now(),
             last_render: None,
@@ -90,6 +92,10 @@ impl ProgressState {
                 self.consumed_budget += *budget as u64;
                 false
             }
+            RunEvent::TrialContinued { .. } => {
+                self.resumed += 1;
+                false
+            }
             RunEvent::TrialRetried { .. } => {
                 self.retries += 1;
                 false
@@ -126,9 +132,9 @@ impl ProgressState {
             "-".to_string()
         };
         format!(
-            "[{}] bracket {} rung {} | trials {} (failed {}, retried {}) | best {} | {:.1}/s | eta {}",
+            "[{}] bracket {} rung {} | trials {} (failed {}, retried {}, resumed {}) | best {} | {:.1}/s | eta {}",
             self.method, self.bracket, self.rung, self.trials, self.failures, self.retries,
-            best, rate, eta
+            self.resumed, best, rate, eta
         )
     }
 }

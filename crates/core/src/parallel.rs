@@ -31,7 +31,6 @@
 use crate::evaluator::EvalOutcome;
 use crate::exec::{contained_evaluate, FailurePolicy, TrialEvaluator, TrialJob};
 use crate::obs::{self, Recorder};
-use hpo_models::mlp::MlpParams;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The parallel execution engine: fans [`TrialJob`] batches across a
@@ -64,8 +63,8 @@ impl<'e, E: TrialEvaluator> ParallelEvaluator<'e, E> {
 }
 
 impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
-    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
-        self.inner.evaluate_raw(params, budget, stream)
+    fn evaluate_raw(&self, job: &TrialJob) -> EvalOutcome {
+        self.inner.evaluate_raw(job)
     }
 
     fn total_budget(&self) -> usize {
@@ -88,8 +87,8 @@ impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
         self.inner.on_trial_retry(stream, attempt);
     }
 
-    fn evaluate_trial(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
-        self.inner.evaluate_trial(params, budget, stream)
+    fn evaluate_trial(&self, job: &TrialJob) -> EvalOutcome {
+        self.inner.evaluate_trial(job)
     }
 
     /// Fans the batch across the pool. `workers == 1` still runs through

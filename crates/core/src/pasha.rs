@@ -17,6 +17,7 @@
 //! schedule never depends on thread timing, so equal seeds give bit-identical
 //! searches at every worker count.
 
+use crate::continuation::CONTINUATION_KEY_SALT;
 use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
 use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
@@ -228,11 +229,16 @@ pub fn pasha<E: TrialEvaluator + ?Sized>(
         let jobs: Vec<TrialJob> = wave
             .iter()
             .map(|job| {
+                // Stable config_id = continuation key, as in asha.rs.
                 TrialJob::new(
                     space.to_params(&candidates[job.config_id], base_params),
                     budgets[job.rung],
                     evaluator.fold_stream(stream, job.rung as u64, job.config_id as u64),
                 )
+                .with_continuation(derive_seed(
+                    stream,
+                    CONTINUATION_KEY_SALT + job.config_id as u64,
+                ))
             })
             .collect();
         let outcomes = evaluator.evaluate_batch(&jobs);

@@ -176,6 +176,11 @@ pub struct RunCheckpoint {
     pub pipeline: String,
     /// Completed trials, in completion order.
     pub entries: Vec<CheckpointEntry>,
+    /// Warm-start continuation snapshots, sorted by (key, budget). Empty
+    /// (and omitted from the JSON, keeping cold checkpoints byte-identical
+    /// to the pre-warm-start format) unless the run had continuation on.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub snapshots: Vec<crate::continuation::SnapshotEntry>,
 }
 
 impl RunCheckpoint {
@@ -187,6 +192,7 @@ impl RunCheckpoint {
             method: method.to_string(),
             pipeline: pipeline.to_string(),
             entries: Vec::new(),
+            snapshots: Vec::new(),
         }
     }
 
@@ -251,6 +257,7 @@ mod tests {
                     cost_units: 1000 * i as u64,
                     wall_seconds: 0.25,
                     status: TrialStatus::Completed,
+                    resumed_from: None,
                 },
             });
         }
@@ -317,6 +324,7 @@ mod tests {
                     cost_units: 1,
                     wall_seconds: 0.1,
                     status,
+                    resumed_from: None,
                 },
             });
         }
@@ -362,6 +370,7 @@ mod tests {
             n_evaluations: 37,
             n_failures: 2,
             n_resumed: 0,
+            n_continued: 0,
         };
         let mut buf = Vec::new();
         save_run_result(&r, &mut buf).unwrap();
@@ -391,6 +400,7 @@ mod tests {
                     cost_units: 10,
                     wall_seconds: 0.2,
                     status: TrialStatus::Completed,
+                    resumed_from: None,
                 },
             });
         }

@@ -6,10 +6,12 @@
 //! pipelines this is exactly Algorithm 1: `SHA` with [`Pipeline::vanilla`],
 //! `SHA+` with [`Pipeline::enhanced`].
 
+use crate::continuation::CONTINUATION_KEY_SALT;
 use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
 use crate::obs::RunEvent;
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
+use hpo_data::rng::derive_seed;
 use hpo_models::mlp::MlpParams;
 
 #[allow(unused_imports)] // rustdoc link
@@ -62,7 +64,11 @@ pub fn successive_halving<E: TrialEvaluator + ?Sized>(
 
     let total_budget = evaluator.total_budget();
     let recorder = evaluator.recorder();
-    let mut survivors: Vec<Configuration> = candidates.to_vec();
+    // Survivors carry their index in the *original* candidate list so the
+    // continuation key of a configuration is stable across rungs — that key
+    // is how a rung-i+1 evaluation finds the rung-i fold snapshots to warm
+    // start from, no matter how re-indexing shuffles the survivor vector.
+    let mut survivors: Vec<(usize, Configuration)> = candidates.iter().cloned().enumerate().collect();
     let mut history = History::new();
     let mut rung = 0usize;
 
@@ -85,17 +91,18 @@ pub fn successive_halving<E: TrialEvaluator + ?Sized>(
         let jobs: Vec<TrialJob> = survivors
             .iter()
             .enumerate()
-            .map(|(i, cand)| {
+            .map(|(i, (orig, cand))| {
                 TrialJob::new(
                     space.to_params(cand, base_params),
                     budget,
                     evaluator.fold_stream(stream, rung as u64, i as u64),
                 )
+                .with_continuation(derive_seed(stream, CONTINUATION_KEY_SALT + *orig as u64))
             })
             .collect();
         let outcomes = evaluator.evaluate_batch(&jobs);
         let mut scored: Vec<(usize, f64)> = Vec::with_capacity(survivors.len());
-        for ((i, cand), outcome) in survivors.iter().enumerate().zip(outcomes) {
+        for ((i, (_, cand)), outcome) in survivors.iter().enumerate().zip(outcomes) {
             scored.push((i, outcome.score));
             history.push(Trial {
                 config: cand.clone(),
@@ -125,7 +132,10 @@ pub fn successive_halving<E: TrialEvaluator + ?Sized>(
     }
 
     ShaResult {
-        best: survivors.pop().expect("loop leaves exactly one survivor"),
+        best: survivors
+            .pop()
+            .expect("loop leaves exactly one survivor")
+            .1,
         history,
     }
 }

@@ -117,6 +117,7 @@ mod tests {
                 cost_units: 100,
                 wall_seconds: 0.5,
                 status: TrialStatus::Completed,
+                resumed_from: None,
             },
         }
     }

@@ -12,7 +12,7 @@ use hpo_core::asha::{asha, AshaConfig};
 use hpo_core::bohb::{bohb, BohbConfig};
 use hpo_core::dehb::{dehb, DehbConfig};
 use hpo_core::evaluator::{CvEvaluator, EvalOutcome, TrialStatus};
-use hpo_core::exec::{FailurePolicy, FaultInjector, FaultPlan, TrialEvaluator};
+use hpo_core::exec::{FailurePolicy, FaultInjector, FaultPlan, TrialEvaluator, TrialJob};
 use hpo_core::harness::{run_method_with, Method, RunOptions};
 use hpo_core::hyperband::{hyperband, HyperbandConfig};
 use hpo_core::pasha::{pasha, PashaConfig};
@@ -22,7 +22,7 @@ use hpo_core::random_search::{random_search, RandomSearchConfig};
 use hpo_core::sha::{sha_on_grid, ShaConfig};
 use hpo_core::space::SearchSpace;
 use hpo_core::trial::History;
-use hpo_data::synth::{make_classification, ClassificationSpec};
+use hpo_data::synth::{make_classification, make_regression, ClassificationSpec, RegressionSpec};
 use hpo_models::mlp::MlpParams;
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -249,8 +249,8 @@ struct PanickyEvaluator<'e> {
 }
 
 impl TrialEvaluator for PanickyEvaluator<'_> {
-    fn evaluate_raw(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
-        self.inner.evaluate_raw(params, budget, stream)
+    fn evaluate_raw(&self, job: &TrialJob) -> EvalOutcome {
+        self.inner.evaluate_raw(job)
     }
 
     fn total_budget(&self) -> usize {
@@ -265,7 +265,7 @@ impl TrialEvaluator for PanickyEvaluator<'_> {
         self.inner.failure_policy()
     }
 
-    fn evaluate_trial(&self, params: &MlpParams, budget: usize, stream: u64) -> EvalOutcome {
+    fn evaluate_trial(&self, job: &TrialJob) -> EvalOutcome {
         if self
             .remaining_panics
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
@@ -273,7 +273,7 @@ impl TrialEvaluator for PanickyEvaluator<'_> {
         {
             panic!("simulated worker crash");
         }
-        self.inner.evaluate_trial(params, budget, stream)
+        self.inner.evaluate_trial(job)
     }
 }
 
@@ -411,4 +411,116 @@ fn mismatched_checkpoint_identity_is_ignored_not_replayed() {
         "a checkpoint from another seed must be ignored"
     );
     std::fs::remove_file(&path).ok();
+}
+
+/// Regression (ISSUE 4, satellite 4): a TimedOut or Diverged trial's
+/// recorded score — the value `compare_scores` ranks on — must be the
+/// policy's imputed score, never the Eq. 3 score of whatever partial folds
+/// completed before the deadline or the divergence demotion. Checked across
+/// all seven optimizers under a fault plan that produces both statuses.
+#[test]
+fn failed_trials_never_leak_partial_fold_scores_into_rankings() {
+    let (data, base) = shared();
+    let space = SearchSpace::mlp_cv18();
+    let policy = FailurePolicy::no_retries();
+    let ev = CvEvaluator::new(data, Pipeline::vanilla(), base.clone(), 16)
+        .with_failure_policy(policy.clone());
+    let plan = FaultPlan {
+        seed: 21,
+        panic_prob: 0.0,
+        nan_prob: 0.20,
+        slow_prob: 0.15,
+        injected_delay_secs: 7200.0,
+    };
+    let injector = FaultInjector::new(&ev, plan);
+
+    let mut saw_timed_out = false;
+    let mut saw_diverged = false;
+    for (name, _, history) in run_all(&injector, &space, base, 9) {
+        for t in history.trials() {
+            match &t.outcome.status {
+                TrialStatus::Completed => {}
+                status => {
+                    saw_timed_out |= *status == TrialStatus::TimedOut;
+                    saw_diverged |= *status == TrialStatus::Diverged;
+                    // Partial folds may be recorded for diagnostics, but the
+                    // *ranked* score must be the imputed sentinel.
+                    assert_eq!(
+                        t.outcome.score, policy.imputed_score,
+                        "{name}: a {status:?} trial leaked a partial-fold score {}",
+                        t.outcome.score
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        saw_timed_out && saw_diverged,
+        "fault plan failed to produce both TimedOut and Diverged trials \
+         (timed_out={saw_timed_out}, diverged={saw_diverged})"
+    );
+}
+
+/// Regression (ISSUE 4, satellite 1): under R² scoring, a configuration
+/// whose fits crash must rank *below* every configuration that completed —
+/// the old code scored failed folds 0.0, which under R² outranked real fits
+/// with negative scores.
+#[test]
+fn crashed_regression_fit_ranks_below_any_completed_config() {
+    let data = make_regression(
+        &RegressionSpec {
+            n_instances: 150,
+            n_features: 4,
+            n_informative: 4,
+            ..Default::default()
+        },
+        3,
+    );
+    let base = MlpParams {
+        hidden_layer_sizes: vec![4],
+        max_iter: 2,
+        ..Default::default()
+    };
+    let space = SearchSpace::mlp_cv18();
+    let policy = FailurePolicy::no_retries();
+    let ev = CvEvaluator::new(&data, Pipeline::vanilla(), base.clone(), 17)
+        .with_failure_policy(policy.clone());
+    let plan = FaultPlan {
+        seed: 8,
+        panic_prob: 0.30,
+        nan_prob: 0.20,
+        slow_prob: 0.0,
+        injected_delay_secs: 0.0,
+    };
+    let injector = FaultInjector::new(&ev, plan);
+    let r = sha_on_grid(&injector, &space, &base, &ShaConfig::default(), 6);
+
+    let (completed, failed): (Vec<_>, Vec<_>) = r
+        .history
+        .trials()
+        .iter()
+        .partition(|t| t.outcome.status.is_ok());
+    assert!(
+        !failed.is_empty(),
+        "a 50% fault rate with no retries must produce failures"
+    );
+    assert!(!completed.is_empty(), "no trial completed");
+    for f in &failed {
+        for c in &completed {
+            assert_eq!(
+                hpo_core::exec::compare_scores(c.outcome.score, f.outcome.score),
+                std::cmp::Ordering::Greater,
+                "crashed fit (score {}) did not rank below completed config (score {})",
+                f.outcome.score,
+                c.outcome.score
+            );
+        }
+    }
+    // And the completed scores themselves obey the R² fold clamp: a real
+    // fit's Eq. 3 score can be negative but is never below the -1 floor by
+    // more than the metric's variance penalty allows — in particular it is
+    // astronomically above the imputed sentinel.
+    for c in &completed {
+        assert!(c.outcome.score > policy.imputed_score / 2.0);
+    }
 }

@@ -7,7 +7,10 @@
 //! crash-recovery checkpoint (modulo per-trial wall seconds).
 //!
 //! The parallel worker count honors `BHPO_TEST_WORKERS` (default 4) so CI
-//! can sweep it.
+//! can sweep it, and `BHPO_TEST_WARM_START` (`on`, the default, or `off`)
+//! selects the warm-start mode the whole suite runs under — both modes must
+//! be bit-reproducible on their own, while warm and cold runs legitimately
+//! differ from each other.
 
 use hpo_core::asha::AshaConfig;
 use hpo_core::bohb::BohbConfig;
@@ -60,6 +63,14 @@ fn test_workers() -> usize {
         .unwrap_or(4)
 }
 
+/// The warm-start mode CI asks for (`BHPO_TEST_WARM_START`), default on.
+fn test_warm_start() -> bool {
+    !matches!(
+        std::env::var("BHPO_TEST_WARM_START").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
+}
+
 /// Runs `method` end to end with the given worker count, returning the
 /// result row, the canonicalized journal (timestamps and wall-clock
 /// durations zeroed), and the final checkpoint with per-trial wall seconds
@@ -67,6 +78,7 @@ fn test_workers() -> usize {
 fn run_one(
     method: &Method,
     workers: usize,
+    warm_start: bool,
     checkpoint: &PathBuf,
 ) -> (RunResult, Vec<String>, RunCheckpoint) {
     let (train, test, base) = shared();
@@ -74,6 +86,7 @@ fn run_one(
     let recorder = Recorder::in_memory();
     let opts = RunOptions {
         workers,
+        warm_start,
         recorder: recorder.clone(),
         checkpoint: Some(checkpoint.clone()),
         ..Default::default()
@@ -105,6 +118,7 @@ fn run_one(
 /// The byte-identical-modulo-timings contract, for one optimizer.
 fn assert_parallel_matches_sequential(label: &str, method: Method) {
     let workers = test_workers();
+    let warm = test_warm_start();
     let path = std::env::temp_dir().join(format!(
         "bhpo_parallel_{label}_{}.json",
         std::process::id()
@@ -113,9 +127,9 @@ fn assert_parallel_matches_sequential(label: &str, method: Method) {
 
     // Sequential first, then parallel, against the same checkpoint path so
     // CheckpointWritten events (which embed the path) compare equal.
-    let (seq_row, seq_journal, seq_cp) = run_one(&method, 1, &path);
+    let (seq_row, seq_journal, seq_cp) = run_one(&method, 1, warm, &path);
     std::fs::remove_file(&path).ok();
-    let (par_row, par_journal, par_cp) = run_one(&method, workers, &path);
+    let (par_row, par_journal, par_cp) = run_one(&method, workers, warm, &path);
     std::fs::remove_file(&path).ok();
 
     assert_eq!(
@@ -209,4 +223,69 @@ fn worker_counts_beyond_the_batch_are_harmless() {
         "overprovisioned",
         Method::Random(RandomSearchConfig { n_samples: 2 }),
     );
+}
+
+/// Warm starting must (a) stay bit-identical across worker counts, (b) cut
+/// the deterministic training cost of rung-laddered optimizers, and (c) be
+/// a pure evaluation-cost optimization — cold journals must not change when
+/// the feature ships (covered by running this whole suite with
+/// `BHPO_TEST_WARM_START=off`).
+#[test]
+fn warm_start_saves_cost_and_stays_deterministic() {
+    let workers = test_workers();
+    let path = std::env::temp_dir().join(format!("bhpo_warmstart_{}.json", std::process::id()));
+    let method = Method::Sha(ShaConfig::default());
+
+    std::fs::remove_file(&path).ok();
+    let (cold_row, _, _) = run_one(&method, 1, false, &path);
+    std::fs::remove_file(&path).ok();
+    let (warm_seq, warm_seq_journal, warm_seq_cp) = run_one(&method, 1, true, &path);
+    std::fs::remove_file(&path).ok();
+    let (warm_par, warm_par_journal, warm_par_cp) = run_one(&method, workers, true, &path);
+    std::fs::remove_file(&path).ok();
+
+    // (a) warm runs are deterministic at every worker count.
+    assert_eq!(warm_seq.best_config, warm_par.best_config);
+    assert_eq!(warm_seq_journal, warm_par_journal, "warm journal diverged");
+    assert_eq!(
+        serde_json::to_string(&warm_seq_cp).unwrap(),
+        serde_json::to_string(&warm_par_cp).unwrap(),
+        "warm checkpoint diverged"
+    );
+
+    // (b) continuation actually fires and cuts the deterministic cost.
+    assert!(warm_seq.n_continued > 0, "no trial warm-started");
+    assert_eq!(cold_row.n_continued, 0, "cold run must not warm-start");
+    assert!(
+        warm_seq.search_cost_units as f64 <= 0.85 * cold_row.search_cost_units as f64,
+        "warm start saved too little: {} vs {} cost units",
+        warm_seq.search_cost_units,
+        cold_row.search_cost_units
+    );
+    assert!(
+        warm_seq_journal.iter().any(|l| l.contains("TrialContinued")),
+        "journal records no TrialContinued events"
+    );
+    // The warm checkpoint persists the snapshots a resumed run would need.
+    assert!(
+        !warm_seq_cp.snapshots.is_empty(),
+        "checkpoint carries no fold snapshots"
+    );
+}
+
+/// A warm Hyperband run stays deterministic and never costs more than cold
+/// (η = 3 with tiny max_iter leaves little incremental headroom, so only
+/// monotonicity is asserted here; the ≥ 25 % SHA saving is asserted above
+/// and measured on the bench configs in BENCH_hpo.json).
+#[test]
+fn warm_hyperband_never_costs_more_than_cold() {
+    let path = std::env::temp_dir().join(format!("bhpo_warmhb_{}.json", std::process::id()));
+    let method = Method::Hyperband(HyperbandConfig::default());
+    std::fs::remove_file(&path).ok();
+    let (cold, _, _) = run_one(&method, 1, false, &path);
+    std::fs::remove_file(&path).ok();
+    let (warm, _, _) = run_one(&method, 1, true, &path);
+    std::fs::remove_file(&path).ok();
+    assert!(warm.search_cost_units <= cold.search_cost_units);
+    assert_eq!(warm.n_evaluations, cold.n_evaluations);
 }

@@ -2,7 +2,8 @@
 
 use super::network::Network;
 use super::params::MlpParams;
-use super::train::train;
+use super::snapshot::{FitState, SolverState};
+use super::train::train_continuing;
 use crate::estimator::{Classifier, Estimator, TrainReport};
 use crate::loss::{one_hot, OutputLoss};
 use hpo_data::dataset::{Dataset, Task};
@@ -32,6 +33,8 @@ pub struct MlpClassifier {
     params: MlpParams,
     net: Option<Network>,
     n_classes: usize,
+    solver_state: Option<SolverState>,
+    epochs_done: usize,
 }
 
 impl MlpClassifier {
@@ -41,6 +44,8 @@ impl MlpClassifier {
             params,
             net: None,
             n_classes: 0,
+            solver_state: None,
+            epochs_done: 0,
         }
     }
 
@@ -53,6 +58,75 @@ impl MlpClassifier {
         self.net
             .as_ref()
             .expect("MlpClassifier::predict called before fit")
+    }
+
+    /// Exports the fitted weights + solver buffers as a resumable snapshot,
+    /// or `None` before any successful `fit`/`warm_fit`.
+    pub fn fit_state(&self) -> Option<FitState> {
+        let net = self.net.as_ref()?;
+        Some(FitState {
+            sizes: net.sizes().to_vec(),
+            weights: net.params_flat(),
+            solver: self
+                .solver_state
+                .clone()
+                .unwrap_or(SolverState::Lbfgs),
+            epochs: self.epochs_done,
+        })
+    }
+
+    /// Resumes training from `state` (a snapshot of a prior fit of this
+    /// configuration on a smaller data subset), running at most `epoch_cap`
+    /// epochs. Falls back to a full cold [`Estimator::fit`] when the snapshot
+    /// shape doesn't match this configuration's network.
+    ///
+    /// # Errors
+    /// Returns [`DataError`] for the same inputs `fit` rejects.
+    pub fn warm_fit(
+        &mut self,
+        data: &Dataset,
+        state: &FitState,
+        epoch_cap: usize,
+    ) -> Result<TrainReport, DataError> {
+        let k = match data.task() {
+            Task::Regression => {
+                return Err(DataError::invalid(
+                    "data",
+                    "MlpClassifier requires a classification dataset",
+                ))
+            }
+            task => task.n_classes().expect("classification task has classes"),
+        };
+        if data.n_instances() == 0 {
+            return Err(DataError::invalid("data", "cannot fit on an empty dataset"));
+        }
+        let mut sizes = Vec::with_capacity(self.params.hidden_layer_sizes.len() + 2);
+        sizes.push(data.n_features());
+        sizes.extend_from_slice(&self.params.hidden_layer_sizes);
+        sizes.push(k);
+        let n_weights: usize = sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum();
+        if state.sizes != sizes || state.weights.len() != n_weights {
+            return self.fit(data);
+        }
+        let mut net = Network::new(
+            sizes,
+            self.params.activation,
+            OutputLoss::SoftmaxCrossEntropy,
+            self.params.seed,
+        );
+        net.set_params_flat(&state.weights);
+        let params = MlpParams {
+            max_iter: epoch_cap.max(1),
+            ..self.params.clone()
+        };
+        let targets = one_hot(data.y(), k);
+        let (report, solver) =
+            train_continuing(&mut net, data.x(), &targets, &params, Some(&state.solver));
+        self.net = Some(net);
+        self.n_classes = k;
+        self.solver_state = Some(solver);
+        self.epochs_done = state.epochs + report.epochs;
+        Ok(report)
     }
 }
 
@@ -81,9 +155,11 @@ impl Estimator for MlpClassifier {
             self.params.seed,
         );
         let targets = one_hot(data.y(), k);
-        let report = train(&mut net, data.x(), &targets, &self.params);
+        let (report, solver) = train_continuing(&mut net, data.x(), &targets, &self.params, None);
         self.net = Some(net);
         self.n_classes = k;
+        self.solver_state = Some(solver);
+        self.epochs_done = report.epochs;
         Ok(report)
     }
 
@@ -221,6 +297,50 @@ mod tests {
         clf.fit(&data2).unwrap();
         let second = clf.predict(data2.x());
         assert_eq!(first.len(), second.len());
+    }
+
+    #[test]
+    fn warm_fit_resumes_from_snapshot() {
+        let data = easy_dataset(5);
+        let mut clf = MlpClassifier::new(MlpParams {
+            hidden_layer_sizes: vec![8],
+            max_iter: 10,
+            seed: 5,
+            ..Default::default()
+        });
+        clf.fit(&data).unwrap();
+        let state = clf.fit_state().expect("fitted model exports state");
+        assert_eq!(state.epochs, 10);
+
+        // Continue for 5 more epochs on the full data from the snapshot.
+        let mut warm = MlpClassifier::new(clf.params().clone());
+        let report = warm.warm_fit(&data, &state, 5).unwrap();
+        assert!(report.epochs <= 5);
+        let warm_state = warm.fit_state().unwrap();
+        assert_eq!(warm_state.epochs, 10 + report.epochs);
+        // The warm fit started from the snapshot weights, not a fresh init.
+        assert_ne!(warm_state.weights, state.weights);
+        let acc = accuracy(data.y(), &warm.predict(data.x()));
+        assert!(acc > 0.5, "warm-fit accuracy collapsed: {acc}");
+    }
+
+    #[test]
+    fn warm_fit_with_mismatched_snapshot_falls_back_to_cold_fit() {
+        let data = easy_dataset(6);
+        let mut clf = MlpClassifier::new(MlpParams {
+            hidden_layer_sizes: vec![4],
+            max_iter: 3,
+            ..Default::default()
+        });
+        let bogus = crate::mlp::FitState {
+            sizes: vec![6, 99, 2],
+            weights: vec![0.0; 10],
+            solver: crate::mlp::SolverState::Lbfgs,
+            epochs: 1,
+        };
+        let report = clf.warm_fit(&data, &bogus, 1).unwrap();
+        // Cold fallback runs the full epoch budget, not the continuation cap.
+        assert_eq!(report.epochs, 3);
     }
 
     #[test]

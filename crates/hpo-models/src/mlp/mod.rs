@@ -6,14 +6,18 @@
 //!   packing.
 //! * [`train`] — the solver-dispatching training loop (SGD / Adam / L-BFGS,
 //!   schedules, early stopping, cost accounting).
+//! * [`snapshot`] — resumable training state ([`FitState`]) for warm-start
+//!   continuation across budget rungs.
 //! * [`classifier`] / [`regressor`] — the public estimators.
 
 pub mod classifier;
 pub mod network;
 pub mod params;
 pub mod regressor;
+pub mod snapshot;
 pub mod train;
 
 pub use classifier::MlpClassifier;
 pub use params::{MlpParams, Solver};
 pub use regressor::MlpRegressor;
+pub use snapshot::{FitState, SolverState};

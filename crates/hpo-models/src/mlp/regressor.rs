@@ -2,7 +2,8 @@
 
 use super::network::Network;
 use super::params::MlpParams;
-use super::train::train;
+use super::snapshot::{FitState, SolverState};
+use super::train::train_continuing;
 use crate::estimator::{Estimator, Regressor, TrainReport};
 use crate::loss::OutputLoss;
 use hpo_data::dataset::{Dataset, Task};
@@ -14,17 +15,90 @@ use hpo_data::matrix::Matrix;
 pub struct MlpRegressor {
     params: MlpParams,
     net: Option<Network>,
+    solver_state: Option<SolverState>,
+    epochs_done: usize,
 }
 
 impl MlpRegressor {
     /// Creates an unfitted regressor with the given hyperparameters.
     pub fn new(params: MlpParams) -> Self {
-        MlpRegressor { params, net: None }
+        MlpRegressor {
+            params,
+            net: None,
+            solver_state: None,
+            epochs_done: 0,
+        }
     }
 
     /// The hyperparameters this regressor was built with.
     pub fn params(&self) -> &MlpParams {
         &self.params
+    }
+
+    /// Exports the fitted weights + solver buffers as a resumable snapshot,
+    /// or `None` before any successful `fit`/`warm_fit`.
+    pub fn fit_state(&self) -> Option<FitState> {
+        let net = self.net.as_ref()?;
+        Some(FitState {
+            sizes: net.sizes().to_vec(),
+            weights: net.params_flat(),
+            solver: self
+                .solver_state
+                .clone()
+                .unwrap_or(SolverState::Lbfgs),
+            epochs: self.epochs_done,
+        })
+    }
+
+    /// Resumes training from `state` (a snapshot of a prior fit of this
+    /// configuration on a smaller data subset), running at most `epoch_cap`
+    /// epochs. Falls back to a full cold [`Estimator::fit`] when the snapshot
+    /// shape doesn't match this configuration's network.
+    ///
+    /// # Errors
+    /// Returns [`DataError`] for the same inputs `fit` rejects.
+    pub fn warm_fit(
+        &mut self,
+        data: &Dataset,
+        state: &FitState,
+        epoch_cap: usize,
+    ) -> Result<TrainReport, DataError> {
+        if data.task() != Task::Regression {
+            return Err(DataError::invalid(
+                "data",
+                "MlpRegressor requires a regression dataset",
+            ));
+        }
+        if data.n_instances() == 0 {
+            return Err(DataError::invalid("data", "cannot fit on an empty dataset"));
+        }
+        let mut sizes = Vec::with_capacity(self.params.hidden_layer_sizes.len() + 2);
+        sizes.push(data.n_features());
+        sizes.extend_from_slice(&self.params.hidden_layer_sizes);
+        sizes.push(1);
+        let n_weights: usize = sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum();
+        if state.sizes != sizes || state.weights.len() != n_weights {
+            return self.fit(data);
+        }
+        let mut net = Network::new(
+            sizes,
+            self.params.activation,
+            OutputLoss::SquaredError,
+            self.params.seed,
+        );
+        net.set_params_flat(&state.weights);
+        let params = MlpParams {
+            max_iter: epoch_cap.max(1),
+            ..self.params.clone()
+        };
+        let targets = Matrix::from_vec(data.n_instances(), 1, data.y().to_vec())
+            .expect("label vector reshapes to a column");
+        let (report, solver) =
+            train_continuing(&mut net, data.x(), &targets, &params, Some(&state.solver));
+        self.net = Some(net);
+        self.solver_state = Some(solver);
+        self.epochs_done = state.epochs + report.epochs;
+        Ok(report)
     }
 }
 
@@ -51,8 +125,10 @@ impl Estimator for MlpRegressor {
         );
         let targets = Matrix::from_vec(data.n_instances(), 1, data.y().to_vec())
             .expect("label vector reshapes to a column");
-        let report = train(&mut net, data.x(), &targets, &self.params);
+        let (report, solver) = train_continuing(&mut net, data.x(), &targets, &self.params, None);
         self.net = Some(net);
+        self.solver_state = Some(solver);
+        self.epochs_done = report.epochs;
         Ok(report)
     }
 
@@ -118,6 +194,35 @@ mod tests {
     fn predict_before_fit_panics() {
         let reg = MlpRegressor::new(MlpParams::default());
         reg.predict(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn warm_fit_resumes_regression_training() {
+        let data = make_regression(
+            &RegressionSpec {
+                n_instances: 200,
+                n_features: 4,
+                n_informative: 4,
+                noise: 0.05,
+                blob_effect: 0.0,
+                ..Default::default()
+            },
+            3,
+        );
+        let mut reg = MlpRegressor::new(MlpParams {
+            hidden_layer_sizes: vec![8],
+            learning_rate_init: 0.01,
+            max_iter: 20,
+            n_iter_no_change: 100,
+            seed: 3,
+            ..Default::default()
+        });
+        reg.fit(&data).unwrap();
+        let state = reg.fit_state().unwrap();
+        let mut warm = MlpRegressor::new(reg.params().clone());
+        let report = warm.warm_fit(&data, &state, 10).unwrap();
+        assert!(report.epochs <= 10);
+        assert_eq!(warm.fit_state().unwrap().epochs, 20 + report.epochs);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Serializable training state for warm-start continuation across budgets.
+//!
+//! A bandit rung-`i+1` evaluation repeats all the work of rung `i` on a
+//! superset of the data; snapshotting the fitted weights (plus the solver's
+//! internal buffers) lets the next rung *continue* training instead of
+//! refitting from epoch 0. The snapshot is deliberately minimal:
+//!
+//! * **Weights** always carry over — they are the whole point.
+//! * **SGD momentum** and **Adam moments + step count** carry over, so the
+//!   first warm batch behaves like the next batch of one long run rather
+//!   than a cold restart of the optimizer.
+//! * **L-BFGS history does not carry over.** Its curvature pairs `(s, y)`
+//!   approximate the Hessian of the *previous* objective (a smaller data
+//!   subset); reusing them against the new objective can produce ascent
+//!   directions, so a warm L-BFGS fit restarts its memory from the warm
+//!   weights — the same thing scipy does on a fresh `minimize` call with
+//!   `x0` set. [`SolverState::Lbfgs`] is therefore an empty marker.
+//! * The **learning-rate schedule and early-stopping monitor restart**:
+//!   both are cheap to rebuild and their state is relative to the old
+//!   objective's loss scale.
+
+use serde::{Deserialize, Serialize};
+
+/// Solver-internal state carried across a warm restart.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SolverState {
+    /// SGD momentum buffer.
+    Sgd {
+        /// Velocity vector, one entry per flat parameter.
+        velocity: Vec<f64>,
+    },
+    /// Adam moment estimates and bias-correction step count.
+    Adam {
+        /// First-moment (mean) buffer.
+        m: Vec<f64>,
+        /// Second-moment (uncentered variance) buffer.
+        v: Vec<f64>,
+        /// Steps taken so far (drives bias correction).
+        t: u64,
+    },
+    /// L-BFGS carries no state: its curvature history is specific to the
+    /// objective it was built against and is reset on continuation (see the
+    /// module docs).
+    Lbfgs,
+}
+
+impl SolverState {
+    /// Approximate serialized size, for cache accounting.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            SolverState::Sgd { velocity } => 8 * velocity.len() as u64,
+            SolverState::Adam { m, v, .. } => 8 * (m.len() + v.len()) as u64 + 8,
+            SolverState::Lbfgs => 0,
+        }
+    }
+}
+
+/// A complete resumable snapshot of one fitted fold model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FitState {
+    /// Layer widths `[input, hidden..., output]` of the snapshotted network.
+    pub sizes: Vec<usize>,
+    /// Flat parameter vector (see `Network::params_flat`).
+    pub weights: Vec<f64>,
+    /// Solver buffers to resume from.
+    pub solver: SolverState,
+    /// Total epochs trained into these weights across all continuations.
+    pub epochs: usize,
+}
+
+impl FitState {
+    /// Approximate in-memory/serialized size, for cache metrics.
+    pub fn approx_bytes(&self) -> u64 {
+        8 * (self.sizes.len() + self.weights.len()) as u64 + self.solver.approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_equality_covers_all_fields() {
+        let state = FitState {
+            sizes: vec![4, 8, 2],
+            weights: vec![0.25, -1.5, 3.125],
+            solver: SolverState::Adam {
+                m: vec![0.1, 0.2],
+                v: vec![0.3, 0.4],
+                t: 17,
+            },
+            epochs: 9,
+        };
+        let mut other = state.clone();
+        assert_eq!(other, state);
+        other.epochs += 1;
+        assert_ne!(other, state);
+    }
+
+    #[test]
+    fn approx_bytes_counts_buffers() {
+        let state = FitState {
+            sizes: vec![2, 1],
+            weights: vec![0.0; 3],
+            solver: SolverState::Sgd {
+                velocity: vec![0.0; 3],
+            },
+            epochs: 1,
+        };
+        assert_eq!(state.approx_bytes(), 8 * (2 + 3) + 8 * 3);
+        assert_eq!(SolverState::Lbfgs.approx_bytes(), 0);
+    }
+}

@@ -7,6 +7,7 @@
 
 use super::network::Network;
 use super::params::{MlpParams, Solver};
+use super::snapshot::SolverState;
 use crate::estimator::TrainReport;
 use crate::optimizer::{lbfgs, Adam, Sgd};
 use crate::schedule::ScheduleState;
@@ -19,13 +20,35 @@ use hpo_data::rng::{rng_from_seed, shuffled_indices};
 /// (the usual 1:2 forward:backward rule of thumb), giving the deterministic
 /// `cost_units` of the returned report.
 pub fn train(net: &mut Network, x: &Matrix, targets: &Matrix, params: &MlpParams) -> TrainReport {
+    train_continuing(net, x, targets, params, None).0
+}
+
+/// Like [`train`], but optionally resumes the solver from a prior fit's
+/// exported state and always returns the final solver state so the caller
+/// can snapshot it for the next continuation.
+///
+/// `net` must already hold the warm weights when `resume` is given (set them
+/// with `Network::set_params_flat` from the snapshot). A `resume` state whose
+/// solver kind or parameter count doesn't match `params`/`net` is ignored and
+/// the solver starts cold — the weights still carry over.
+///
+/// L-BFGS ignores `resume` entirely: its curvature history belongs to the
+/// objective it was built against (see [`super::snapshot`]), so continuation
+/// is warm weights + a fresh memory.
+pub fn train_continuing(
+    net: &mut Network,
+    x: &Matrix,
+    targets: &Matrix,
+    params: &MlpParams,
+    resume: Option<&SolverState>,
+) -> (TrainReport, SolverState) {
     params.validate();
     assert_eq!(x.rows(), targets.rows(), "sample/target count mismatch");
     assert!(x.rows() > 0, "cannot train on an empty dataset");
 
     match params.solver {
-        Solver::Lbfgs => train_lbfgs(net, x, targets, params),
-        Solver::Sgd | Solver::Adam => train_minibatch(net, x, targets, params),
+        Solver::Lbfgs => (train_lbfgs(net, x, targets, params), SolverState::Lbfgs),
+        Solver::Sgd | Solver::Adam => train_minibatch(net, x, targets, params, resume),
     }
 }
 
@@ -55,7 +78,8 @@ fn train_minibatch(
     x: &Matrix,
     targets: &Matrix,
     params: &MlpParams,
-) -> TrainReport {
+    resume: Option<&SolverState>,
+) -> (TrainReport, SolverState) {
     let n = x.rows();
     let mut rng = rng_from_seed(params.seed.wrapping_add(0x5eed));
 
@@ -83,8 +107,20 @@ fn train_minibatch(
     let batch_size = params.batch_size.min(n_train).max(1);
 
     let n_params = net.n_params();
-    let mut sgd = Sgd::new(n_params, params.momentum);
-    let mut adam = Adam::new(n_params);
+    // Resume the matching solver's buffers when their shape fits; anything
+    // else (solver switch, different architecture) silently starts cold.
+    let mut sgd = match resume {
+        Some(SolverState::Sgd { velocity }) if velocity.len() == n_params => {
+            Sgd::from_velocity(params.momentum, velocity.clone())
+        }
+        _ => Sgd::new(n_params, params.momentum),
+    };
+    let mut adam = match resume {
+        Some(SolverState::Adam { m, v, t }) if m.len() == n_params && v.len() == n_params => {
+            Adam::from_moments(m.clone(), v.clone(), *t)
+        }
+        _ => Adam::new(n_params),
+    };
     let mut schedule =
         ScheduleState::new(params.learning_rate, params.learning_rate_init, params.tol);
 
@@ -159,13 +195,30 @@ fn train_minibatch(
         }
     }
     net.set_params_flat(&flat);
-    TrainReport {
-        epochs,
-        final_loss: epoch_loss,
-        cost_units,
-        stopped_early,
-        diverged,
-    }
+    let state = match params.solver {
+        Solver::Sgd => SolverState::Sgd {
+            velocity: sgd.velocity().to_vec(),
+        },
+        Solver::Adam => {
+            let (m, v, t) = adam.moments();
+            SolverState::Adam {
+                m: m.to_vec(),
+                v: v.to_vec(),
+                t,
+            }
+        }
+        Solver::Lbfgs => unreachable!("dispatched in train_continuing()"),
+    };
+    (
+        TrainReport {
+            epochs,
+            final_loss: epoch_loss,
+            cost_units,
+            stopped_early,
+            diverged,
+        },
+        state,
+    )
 }
 
 #[cfg(test)]
@@ -363,6 +416,90 @@ mod tests {
         // The guard stops before a non-finite gradient is applied, so the
         // surviving weights are the last finite iterate.
         assert!(net.params_flat().iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn warm_resume_continues_from_prior_state() {
+        let (x, t) = xor_ish();
+        let params = MlpParams {
+            solver: Solver::Adam,
+            learning_rate_init: 0.05,
+            batch_size: 8,
+            max_iter: 15,
+            n_iter_no_change: usize::MAX,
+            tol: 0.0,
+            ..Default::default()
+        };
+        let mut net = Network::new(
+            vec![2, 16, 2],
+            Activation::Tanh,
+            OutputLoss::SoftmaxCrossEntropy,
+            7,
+        );
+        let (first, state) = train_continuing(&mut net, &x, &t, &params, None);
+        let loss_after_first = first.final_loss;
+        // Continue for another 15 epochs from the exported solver state: the
+        // warm run must keep improving on the snapshot it started from.
+        let (second, _) = train_continuing(&mut net, &x, &t, &params, Some(&state));
+        assert!(
+            second.final_loss < loss_after_first,
+            "warm continuation did not improve: {} -> {}",
+            loss_after_first,
+            second.final_loss
+        );
+        assert!(matches!(state, SolverState::Adam { .. }));
+    }
+
+    #[test]
+    fn warm_resume_is_deterministic() {
+        let (x, t) = xor_ish();
+        let params = MlpParams {
+            solver: Solver::Sgd,
+            learning_rate_init: 0.1,
+            momentum: 0.9,
+            batch_size: 8,
+            max_iter: 10,
+            n_iter_no_change: usize::MAX,
+            tol: 0.0,
+            learning_rate: LearningRate::Constant,
+            ..Default::default()
+        };
+        let run = || {
+            let mut net = Network::new(
+                vec![2, 8, 2],
+                Activation::Tanh,
+                OutputLoss::SoftmaxCrossEntropy,
+                8,
+            );
+            let (_, state) = train_continuing(&mut net, &x, &t, &params, None);
+            let (_, _) = train_continuing(&mut net, &x, &t, &params, Some(&state));
+            net.params_flat()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mismatched_resume_state_is_ignored() {
+        let (x, t) = xor_ish();
+        let params = MlpParams {
+            solver: Solver::Adam,
+            max_iter: 3,
+            ..Default::default()
+        };
+        let mut net = Network::new(
+            vec![2, 8, 2],
+            Activation::Tanh,
+            OutputLoss::SoftmaxCrossEntropy,
+            9,
+        );
+        // Wrong buffer length: must train cold rather than panic.
+        let bogus = SolverState::Adam {
+            m: vec![0.0; 3],
+            v: vec![0.0; 3],
+            t: 5,
+        };
+        let (report, _) = train_continuing(&mut net, &x, &t, &params, Some(&bogus));
+        assert_eq!(report.epochs, 3);
     }
 
     #[test]

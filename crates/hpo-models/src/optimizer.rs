@@ -22,6 +22,17 @@ impl Sgd {
         }
     }
 
+    /// Rebuilds SGD from a previously exported velocity buffer, so a warm
+    /// restart continues with the same momentum the prior fit ended with.
+    pub fn from_velocity(momentum: f64, velocity: Vec<f64>) -> Self {
+        Sgd { momentum, velocity }
+    }
+
+    /// The momentum buffer, for snapshotting across budget rungs.
+    pub fn velocity(&self) -> &[f64] {
+        &self.velocity
+    }
+
     /// Applies one update: `v = m·v − lr·g; θ += v`.
     pub fn step(&mut self, params: &mut [f64], grad: &[f64], lr: f64) {
         debug_assert_eq!(params.len(), grad.len());
@@ -55,6 +66,26 @@ impl Adam {
             v: vec![0.0; n_params],
             t: 0,
         }
+    }
+
+    /// Rebuilds Adam from previously exported moment buffers and step count,
+    /// so bias correction picks up exactly where the prior fit stopped.
+    pub fn from_moments(m: Vec<f64>, v: Vec<f64>, t: u64) -> Self {
+        debug_assert_eq!(m.len(), v.len());
+        Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m,
+            v,
+            t,
+        }
+    }
+
+    /// The first/second moment buffers and step count, for snapshotting
+    /// across budget rungs.
+    pub fn moments(&self) -> (&[f64], &[f64], u64) {
+        (&self.m, &self.v, self.t)
     }
 
     /// Applies one bias-corrected update.
