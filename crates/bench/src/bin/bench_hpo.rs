@@ -15,6 +15,12 @@
 //! cargo run --release -p hpo-bench --bin bench_hpo -- \
 //!     --datasets australian --scale 0.1 --workers 1,4 --out BENCH_hpo.json
 //! ```
+//!
+//! With `--server`, runs a service smoke benchmark instead: it starts an
+//! in-process `hpo-server` on a loopback port, submits one run through the
+//! HTTP API, and reports the service overhead — submit-to-first-trial
+//! latency and end-to-end trials/sec through the API versus the same spec
+//! invoked directly via `run_method_with`.
 
 use hpo_bench::args::ExpArgs;
 use hpo_bench::report::Table;
@@ -145,12 +151,131 @@ fn matmul_microbench(seed: u64) -> serde_json::Value {
     })
 }
 
+/// `--server` smoke mode: measures what the HTTP/registry layer costs on
+/// top of a direct invocation. One spec is submitted through a loopback
+/// `hpo-server`; the same spec is then run directly; the report records
+/// submit-to-first-trial latency, both end-to-end trials/sec figures, and
+/// whether the two results agree on every model-relevant field.
+fn server_smoke(args: &ExpArgs, out_path: &str) {
+    use hpo_server::{serve, Client, RunSpec, ServerConfig};
+
+    let data_dir = std::env::temp_dir().join(format!("hpo-bench-server-{}", std::process::id()));
+    std::fs::create_dir_all(&data_dir).expect("create bench data dir");
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: data_dir.clone(),
+        slots: 1,
+        checkpoint_every: 1,
+    })
+    .expect("server starts");
+    let client = Client::new(handle.addr().to_string());
+    println!("server smoke: serving on http://{}", handle.addr());
+
+    let spec = RunSpec {
+        dataset: "synth:australian".to_string(),
+        scale: args.scale,
+        method: args.get("method").unwrap_or_else(|| "sha".to_string()),
+        seed: args.seed,
+        max_iter: args.get("max-iter").unwrap_or(10),
+        ..RunSpec::default()
+    };
+
+    let submitted = Instant::now();
+    let id = client.submit(&spec).expect("submit").id;
+    let deadline = submitted + std::time::Duration::from_secs(600);
+    let mut first_trial_seconds = f64::NAN;
+    loop {
+        assert!(Instant::now() < deadline, "server smoke timed out");
+        if first_trial_seconds.is_nan()
+            && client
+                .events(&id, 0)
+                .map(|tail| tail.contains("TrialStarted"))
+                .unwrap_or(false)
+        {
+            first_trial_seconds = submitted.elapsed().as_secs_f64();
+        }
+        let view = client.status(&id).expect("status");
+        if view.state.status.is_terminal() {
+            assert_eq!(view.state.status, hpo_server::RunStatus::Completed);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let api_wall = submitted.elapsed().as_secs_f64();
+    let via_api = client.result(&id).expect("result");
+    handle.shutdown();
+
+    let prepared = spec.prepare().expect("spec prepares");
+    let direct_start = Instant::now();
+    let direct = run_method_with(
+        &prepared.train,
+        &prepared.test,
+        &prepared.space,
+        prepared.pipeline,
+        &prepared.base,
+        &prepared.method,
+        spec.seed,
+        &RunOptions {
+            workers: spec.workers,
+            warm_start: spec.warm_start,
+            ..RunOptions::default()
+        },
+    );
+    let direct_wall = direct_start.elapsed().as_secs_f64();
+
+    // Same normalization as the service tests: wall-clock and resume
+    // bookkeeping aside, the API must not change the result.
+    let normalized = |mut r: hpo_core::harness::RunResult| {
+        r.search_seconds = 0.0;
+        r.n_resumed = 0;
+        serde_json::to_string(&r).expect("result serializes")
+    };
+    let results_match = normalized(via_api.clone()) == normalized(direct.clone());
+    let api_tps = via_api.n_evaluations as f64 / api_wall.max(1e-9);
+    let direct_tps = direct.n_evaluations as f64 / direct_wall.max(1e-9);
+    println!(
+        "server smoke: submit-to-first-trial {:.1} ms, API {:.1} trials/s vs \
+         direct {:.1} trials/s ({} trials), results match: {results_match}",
+        first_trial_seconds * 1e3,
+        api_tps,
+        direct_tps,
+        direct.n_evaluations,
+    );
+
+    let report = serde_json::json!({
+        "bench": "hpo",
+        "mode": "server-smoke",
+        "seed": args.seed,
+        "scale": args.scale,
+        "method": spec.method,
+        "max_iter": spec.max_iter,
+        "server": {
+            "submit_to_first_trial_seconds": first_trial_seconds,
+            "api_wall_seconds": api_wall,
+            "api_trials_per_sec": api_tps,
+            "direct_wall_seconds": direct_wall,
+            "direct_trials_per_sec": direct_tps,
+            "overhead_wall_seconds": api_wall - direct_wall,
+            "trials": direct.n_evaluations,
+            "results_match": results_match,
+        },
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    write_json_atomic(out_path, text.as_bytes()).expect("write benchmark report");
+    println!("wrote {out_path}");
+    std::fs::remove_dir_all(&data_dir).ok();
+}
+
 fn main() {
     let args = ExpArgs::parse();
     let datasets = args.datasets_or(&[PaperDataset::Australian]);
     let out_path: String = args
         .get("out")
         .unwrap_or_else(|| "BENCH_hpo.json".to_string());
+    if args.get::<String>("server").as_deref() == Some("true") {
+        server_smoke(&args, &out_path);
+        return;
+    }
     let pipeline = match args
         .get::<String>("pipeline")
         .unwrap_or_else(|| "enhanced".to_string())

@@ -1,6 +1,6 @@
 //! Argument parsing and command dispatch for `bhpo`.
 
-use crate::commands;
+use crate::{commands, service};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -87,6 +87,15 @@ const USAGE: &str = "usage:
   bhpo cv       --data <file|synth:name> [--ratio 0..1] [--pipeline vanilla|enhanced|random] [--seed N]
   bhpo groups   --data <file|synth:name> [--v N] [--algo kmeans|meanshift|affinity] [--seed N]
   bhpo datasets
+  bhpo serve    --data-dir DIR [--addr 127.0.0.1:7878] [--slots N] [--checkpoint-every N]
+  bhpo submit   --data synth:name [--server HOST:PORT] [--method ...] [--pipeline ...] [--space cv18|table3:1..8]
+                [--seed N] [--scale 0..1] [--max-iter N] [--workers N] [--warm-start on|off]
+  bhpo runs     [--server HOST:PORT] [--status queued|running|completed|cancelled|failed]
+  bhpo status   --id run-NNNNNN [--server HOST:PORT]
+  bhpo watch    --id run-NNNNNN [--server HOST:PORT]
+  bhpo cancel   --id run-NNNNNN [--server HOST:PORT]
+  bhpo resume   --id run-NNNNNN [--server HOST:PORT]
+  bhpo result   --id run-NNNNNN [--server HOST:PORT] [--json out.json]
 
 data formats: .libsvm/.svm, .csv (label last column), synth:<catalog-name>";
 
@@ -101,8 +110,20 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "cv" => commands::cross_validate(&flags),
         "groups" => commands::groups(&flags),
         "datasets" => commands::datasets(),
+        "serve" => service::serve(&flags),
+        "submit" => service::submit(&flags),
+        "runs" => service::runs(&flags),
+        "status" => service::status(&flags),
+        "watch" => service::watch(&flags),
+        "cancel" => service::cancel(&flags),
+        "resume" => service::resume(&flags),
+        "result" => service::result(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
+            Ok(())
+        }
+        "version" | "--version" | "-V" => {
+            println!("bhpo {}", env!("CARGO_PKG_VERSION"));
             Ok(())
         }
         other => Err(CliError(format!("unknown command `{other}`\n{USAGE}"))),

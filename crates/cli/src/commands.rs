@@ -141,6 +141,19 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
     let recorder = build_recorder(flags)?;
 
     let trial_timeout: f64 = flags.get_or("trial-timeout", 0.0)?;
+    let workers: usize = flags.get_or("workers", 1usize)?;
+    if workers == 0 {
+        return Err(CliError(
+            "--workers must be at least 1 (0 would leave no thread to evaluate trials)".into(),
+        ));
+    }
+    let checkpoint_every: usize = flags.get_or("checkpoint-every", 1usize).map_err(|_| {
+        CliError(format!(
+            "invalid value `{}` for --checkpoint-every (expected a trial count, e.g. \
+             --checkpoint-every 5; 0 means final write only)",
+            flags.get("checkpoint-every").unwrap_or("")
+        ))
+    })?;
     let opts = RunOptions {
         failure_policy: FailurePolicy {
             max_retries: flags.get_or("max-retries", 1u32)?,
@@ -148,10 +161,10 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
             ..Default::default()
         },
         checkpoint: flags.get("checkpoint").map(std::path::PathBuf::from),
-        checkpoint_every: flags.get_or("checkpoint-every", 1usize)?,
+        checkpoint_every,
         resume: flags.get("resume").is_some(),
         recorder,
-        workers: flags.get_or("workers", 1usize)?,
+        workers,
         warm_start: match flags.get("warm-start").unwrap_or("on") {
             "on" | "true" => true,
             "off" | "false" => false,
@@ -161,6 +174,7 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
                 )))
             }
         },
+        ..RunOptions::default()
     };
 
     obs_info!(

@@ -8,15 +8,22 @@
 //! bhpo cv       --data train.libsvm [--ratio 0.2] [--pipeline enhanced]
 //! bhpo groups   --data train.libsvm [--v 2]
 //! bhpo datasets
+//! bhpo serve    --data-dir runs/ [--addr 127.0.0.1:7878] [--slots 2]
+//! bhpo submit   --data synth:australian [--method sha] [--seed 42]
+//! bhpo watch    --id run-000000
 //! ```
 //!
 //! `--data` accepts `.libsvm`/`.svm` or `.csv` (label in the last column),
 //! or `synth:<name>` to use a catalog stand-in (see `bhpo datasets`).
+//! The service verbs (`serve`, `submit`, `runs`, `status`, `watch`,
+//! `cancel`, `resume`, `result`) run HPO as a job-queue server; see the
+//! `hpo-server` crate and README's "Running as a service".
 
 use std::process::ExitCode;
 
 mod cli;
 mod commands;
+mod service;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,221 @@
+//! The service-facing `bhpo` subcommands: `serve` plus the API client
+//! verbs (`submit`, `runs`, `status`, `watch`, `cancel`, `resume`,
+//! `result`). Client verbs talk to `--server` (default `127.0.0.1:7878`)
+//! over the dependency-free [`hpo_server::Client`].
+
+use crate::cli::{CliError, Flags};
+use hpo_server::client::StatusView;
+use hpo_server::{Client, RunSpec, ServerConfig};
+use std::time::Duration;
+
+/// Default server address for every client verb.
+const DEFAULT_SERVER: &str = "127.0.0.1:7878";
+
+fn client(flags: &Flags) -> Client {
+    Client::new(flags.get("server").unwrap_or(DEFAULT_SERVER))
+}
+
+fn api_err(e: hpo_server::client::ClientError) -> CliError {
+    CliError(e.to_string())
+}
+
+/// `bhpo serve`: run the HPO service in the foreground until killed.
+///
+/// There is deliberately no graceful-exit command: killing the process
+/// leaves in-flight runs `Running` on disk, and the next `bhpo serve` on
+/// the same `--data-dir` requeues and resumes them from their checkpoints.
+pub fn serve(flags: &Flags) -> Result<(), CliError> {
+    let slots: usize = flags.get_or("slots", 2usize)?;
+    if slots == 0 {
+        return Err(CliError(
+            "--slots must be at least 1 (0 would never execute a run)".into(),
+        ));
+    }
+    let config = ServerConfig {
+        addr: flags.get("addr").unwrap_or(DEFAULT_SERVER).to_string(),
+        data_dir: flags.require("data-dir")?.into(),
+        slots,
+        checkpoint_every: flags.get_or("checkpoint-every", 1usize)?,
+    };
+    let handle = hpo_server::serve(config).map_err(|e| CliError(format!("starting server: {e}")))?;
+    println!("serving on http://{}", handle.addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Builds a [`RunSpec`] from submit flags (same names as `bhpo optimize`
+/// where they overlap).
+fn spec_from_flags(flags: &Flags) -> Result<RunSpec, CliError> {
+    let mut spec = RunSpec {
+        dataset: flags.require("data")?.to_string(),
+        ..RunSpec::default()
+    };
+    if let Some(v) = flags.get("method") {
+        spec.method = v.to_string();
+    }
+    if let Some(v) = flags.get("pipeline") {
+        spec.pipeline = v.to_string();
+    }
+    if let Some(v) = flags.get("space") {
+        spec.space = v.to_string();
+    }
+    spec.seed = flags.get_or("seed", spec.seed)?;
+    spec.scale = flags.get_or("scale", spec.scale)?;
+    spec.max_iter = flags.get_or("max-iter", spec.max_iter)?;
+    spec.workers = flags.get_or("workers", spec.workers)?;
+    spec.warm_start = match flags.get("warm-start").unwrap_or("on") {
+        "on" | "true" => true,
+        "off" | "false" => false,
+        other => {
+            return Err(CliError(format!(
+                "invalid value `{other}` for --warm-start (expected on|off)"
+            )))
+        }
+    };
+    spec.validate().map_err(|e| CliError(e.to_string()))?;
+    Ok(spec)
+}
+
+/// `bhpo submit`: submit a run; prints the bare run id on stdout so shells
+/// can capture it (`id=$(bhpo submit ...)`).
+pub fn submit(flags: &Flags) -> Result<(), CliError> {
+    let spec = spec_from_flags(flags)?;
+    let state = client(flags).submit(&spec).map_err(api_err)?;
+    println!("{}", state.id);
+    Ok(())
+}
+
+/// `bhpo runs`: list registered runs, optionally `--status` filtered.
+pub fn runs(flags: &Flags) -> Result<(), CliError> {
+    let runs = client(flags).runs(flags.get("status")).map_err(api_err)?;
+    println!("{:<12} {:<10} {:>7}  error", "id", "status", "resumes");
+    for r in runs {
+        println!(
+            "{:<12} {:<10} {:>7}  {}",
+            r.id,
+            r.status.as_str(),
+            r.resumes,
+            r.error.as_deref().unwrap_or("-")
+        );
+    }
+    Ok(())
+}
+
+fn print_status(view: &StatusView) {
+    let s = &view.state;
+    println!("id:       {}", s.id);
+    println!("status:   {}", s.status.as_str());
+    println!("resumes:  {}", s.resumes);
+    if let Some(e) = &s.error {
+        println!("error:    {e}");
+    }
+    match &view.best {
+        Some(b) => println!(
+            "best:     score {:.4} at budget {} ({} trials so far)",
+            b.score, b.budget, b.n_trials
+        ),
+        None => println!("best:     - (no completed trial yet)"),
+    }
+}
+
+/// `bhpo status`: one run's state and best-trial-so-far.
+pub fn status(flags: &Flags) -> Result<(), CliError> {
+    let view = client(flags).status(flags.require("id")?).map_err(api_err)?;
+    print_status(&view);
+    Ok(())
+}
+
+/// `bhpo watch`: stream a run's journal until it reaches a terminal state.
+pub fn watch(flags: &Flags) -> Result<(), CliError> {
+    let id = flags.require("id")?;
+    let api = client(flags);
+    let mut from = 0usize;
+    loop {
+        let tail = api.events(id, from).map_err(api_err)?;
+        for line in tail.lines() {
+            println!("{line}");
+            from += 1;
+        }
+        let view = api.status(id).map_err(api_err)?;
+        if view.state.status.is_terminal() {
+            print_status(&view);
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(500));
+    }
+}
+
+/// `bhpo cancel`: cooperative cancel; the run's checkpoint stays resumable.
+pub fn cancel(flags: &Flags) -> Result<(), CliError> {
+    let id = flags.require("id")?;
+    client(flags).cancel(id).map_err(api_err)?;
+    println!("cancel requested for {id}");
+    Ok(())
+}
+
+/// `bhpo resume`: requeue a cancelled or failed run.
+pub fn resume(flags: &Flags) -> Result<(), CliError> {
+    let state = client(flags).resume(flags.require("id")?).map_err(api_err)?;
+    println!("{} requeued (resumes: {})", state.id, state.resumes);
+    Ok(())
+}
+
+/// `bhpo result`: fetch a completed run's result; `--json FILE` saves it.
+pub fn result(flags: &Flags) -> Result<(), CliError> {
+    let row = client(flags).result(flags.require("id")?).map_err(api_err)?;
+    println!(
+        "method={} pipeline={} {}: train {:.4} test {:.4}",
+        row.method, row.pipeline, row.score_kind, row.train_score, row.test_score
+    );
+    println!("best configuration: {}", row.best_config_desc);
+    println!(
+        "search: {:.2}s, {} evaluations, {:.2} GMAC",
+        row.search_seconds,
+        row.n_evaluations,
+        row.search_cost_units as f64 / 1e9
+    );
+    if let Some(path) = flags.get("json") {
+        hpo_core::persist::save_run_result_file(&row, path)
+            .map_err(|e| CliError(e.to_string()))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(s: &str) -> Flags {
+        Flags::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn submit_flags_build_a_valid_spec() {
+        let spec = spec_from_flags(&flags(
+            "--data synth:australian --method asha --space table3:3 --seed 9 --scale 0.5",
+        ))
+        .unwrap();
+        assert_eq!(spec.method, "asha");
+        assert_eq!(spec.space, "table3:3");
+        assert_eq!(spec.seed, 9);
+        assert!(spec.warm_start);
+    }
+
+    #[test]
+    fn submit_flags_reject_bad_specs() {
+        assert!(spec_from_flags(&flags("--data synth:nope")).is_err());
+        assert!(spec_from_flags(&flags("--data synth:australian --workers 0")).is_err());
+        assert!(spec_from_flags(&flags("--data synth:australian --warm-start maybe")).is_err());
+    }
+
+    #[test]
+    fn client_errors_become_cli_errors() {
+        // Port 1 on loopback is never listening: every verb must fail with
+        // a transport CliError, not panic.
+        let f = flags("--server 127.0.0.1:1 --id run-000000");
+        assert!(status(&f).is_err());
+        assert!(cancel(&f).is_err());
+    }
+}

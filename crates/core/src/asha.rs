@@ -164,8 +164,15 @@ pub fn asha<E: TrialEvaluator + ?Sized>(
         next_fresh: 0,
     };
     let mut history = History::new();
+    let cancel = evaluator.cancel_token();
 
     loop {
+        // Cooperative cancellation at the wave boundary: completed waves are
+        // already committed (and their trials journaled), so a resumed run
+        // replays them and schedules the identical next wave.
+        if cancel.is_cancelled() {
+            break;
+        }
         // Drain everything the promotion rule currently allows. Results do
         // not change mid-drain, so the wave is a pure function of the
         // committed results — the deterministic analogue of "whatever idle
@@ -223,7 +230,9 @@ pub fn asha<E: TrialEvaluator + ?Sized>(
         }
     }
 
-    // Best = highest rung reached, best score there.
+    // Best = highest rung reached, best score there. A run cancelled before
+    // any wave committed has no results; fall back to the first candidate so
+    // the epilogue stays panic-free.
     let best_id = sched
         .results
         .iter()
@@ -231,7 +240,7 @@ pub fn asha<E: TrialEvaluator + ?Sized>(
         .find(|r| !r.is_empty())
         .and_then(|r| r.iter().max_by(|a, b| compare_scores(a.1, b.1)))
         .map(|&(id, _)| id)
-        .expect("at least one evaluation completed");
+        .unwrap_or(0);
 
     AshaResult {
         best: candidates[best_id].clone(),

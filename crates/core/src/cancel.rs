@@ -1,0 +1,98 @@
+//! Cooperative run cancellation.
+//!
+//! A [`CancelToken`] is the one-way "stop soon" switch threaded through
+//! [`crate::harness::run_method_with`], the optimizer loops and the
+//! execution engine. Cancellation is *cooperative*: nothing is killed
+//! mid-trial. The optimizers check the token at their loop boundaries
+//! (rungs, brackets, waves), the parallel engine checks it between jobs,
+//! and a cancelled run winds down through the normal epilogue — the
+//! checkpoint layer flushes every completed trial, so the run is resumable
+//! from exactly where it stopped (DESIGN.md §5.9).
+//!
+//! Determinism contract: trials either complete normally (and are
+//! checkpointed verbatim) or are skipped with a
+//! [`crate::evaluator::TrialStatus::Cancelled`] outcome that is *never*
+//! checkpointed — a resumed run re-evaluates them and converges to the
+//! uncancelled result.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cheap, cloneable cancellation flag (an `Arc<AtomicBool>` when armed).
+///
+/// The default token is *inert*: it has no flag, can never be cancelled,
+/// and costs one `Option` check to poll — so every pre-existing call site
+/// keeps its exact behaviour. [`CancelToken::new`] makes an armed token
+/// whose clones all observe the same [`CancelToken::cancel`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// An armed token: clones share one flag; any clone's
+    /// [`CancelToken::cancel`] is observed by all.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+        }
+    }
+
+    /// The inert token (the default): never cancellable.
+    pub fn none() -> CancelToken {
+        CancelToken { flag: None }
+    }
+
+    /// Whether this token can ever report cancellation.
+    pub fn is_armed(&self) -> bool {
+        self.flag.is_some()
+    }
+
+    /// Requests cancellation. A no-op on an inert token. Idempotent.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_token_never_cancels() {
+        let t = CancelToken::none();
+        assert!(!t.is_armed());
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(!CancelToken::default().is_armed());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled(), "clone observes the original's cancel");
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled());
+    }
+}

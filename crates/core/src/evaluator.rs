@@ -6,6 +6,7 @@
 //! held-out fold, and
 //! reduce the fold scores with the pipeline's [`hpo_metrics::EvalMetric`].
 
+use crate::cancel::CancelToken;
 use crate::continuation::{params_fingerprint, ContinuationCache, SnapshotSet};
 use crate::exec::{FailurePolicy, TrialJob};
 use crate::obs::{self, ScopedTimer, LATENCY_BUCKETS};
@@ -115,6 +116,11 @@ pub enum TrialStatus {
         /// Number of attempts made before giving up.
         attempts: u32,
     },
+    /// The trial was skipped because the run's [`crate::cancel::CancelToken`]
+    /// fired before (or while) its batch executed. Cancelled outcomes are
+    /// never written to checkpoints: a resumed run re-evaluates the trial
+    /// and converges to the uncancelled result.
+    Cancelled,
 }
 
 impl TrialStatus {
@@ -160,6 +166,20 @@ impl EvalOutcome {
             resumed_from: None,
         }
     }
+
+    /// A synthetic outcome for a trial skipped by cancellation: no folds,
+    /// the policy's imputed score (so it can never outrank a real trial if
+    /// it leaks into a ranking), zero cost, `Cancelled` status.
+    pub fn cancelled(imputed_score: f64, gamma_pct: f64) -> Self {
+        EvalOutcome {
+            fold_scores: FoldScores::new(Vec::new(), gamma_pct),
+            score: imputed_score,
+            cost_units: 0,
+            wall_seconds: 0.0,
+            status: TrialStatus::Cancelled,
+            resumed_from: None,
+        }
+    }
 }
 
 /// The cross-validation evaluator (see module docs).
@@ -178,6 +198,10 @@ pub struct CvEvaluator<'a> {
     seed: u64,
     /// Retry/deadline/imputation rules for failed trials.
     policy: FailurePolicy,
+    /// Cooperative cancellation flag for the run this evaluator serves.
+    /// Inert by default; the wrappers and optimizer loops poll it through
+    /// [`crate::exec::TrialEvaluator::cancel_token`].
+    cancel: CancelToken,
     /// Warm-start snapshot store. `None` (the default) evaluates every trial
     /// cold; with a cache attached, jobs carrying a continuation key resume
     /// their fold models from the configuration's previous (smaller-budget)
@@ -227,6 +251,7 @@ impl<'a> CvEvaluator<'a> {
             total_budget: train.n_instances(),
             seed,
             policy: FailurePolicy::default(),
+            cancel: CancelToken::none(),
             continuation: None,
             fold_cache: Mutex::new(HashMap::new()),
         }
@@ -236,6 +261,19 @@ impl<'a> CvEvaluator<'a> {
     pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Attaches a cooperative cancellation token (builder style). The
+    /// default token is inert, so uncancellable runs pay one branch per
+    /// poll.
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The cancellation token this evaluator polls.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Attaches a warm-start snapshot cache (builder style). Jobs without a

@@ -24,6 +24,7 @@
 //! - [`compare_scores`] — the total order used for every halving decision:
 //!   `f64::total_cmp` with non-finite scores ranked strictly worst.
 
+use crate::cancel::CancelToken;
 use crate::continuation::{params_fingerprint, ContinuationCache};
 use crate::evaluator::{CvEvaluator, EvalOutcome, TrialStatus};
 use crate::obs::{Recorder, RunEvent};
@@ -105,6 +106,14 @@ pub trait TrialEvaluator: Sync {
     /// The failure policy governing `evaluate_trial`.
     fn failure_policy(&self) -> &FailurePolicy;
 
+    /// The run's cooperative cancellation token. Optimizers poll it at loop
+    /// boundaries (rungs, brackets, waves) and the execution engine polls
+    /// it between jobs; wrappers forward it inward so the whole stack
+    /// shares one flag. The default is the inert token (never cancelled).
+    fn cancel_token(&self) -> CancelToken {
+        CancelToken::none()
+    }
+
     /// The event recorder for this evaluation stack. Optimizers call this
     /// to emit their decision events (brackets, rungs, promotions);
     /// wrappers forward it inward so the whole stack shares one recorder.
@@ -139,8 +148,30 @@ pub trait TrialEvaluator: Sync {
     /// poisoned trial is demoted to a failed outcome instead of taking the
     /// batch down.
     fn evaluate_batch(&self, jobs: &[TrialJob]) -> Vec<EvalOutcome> {
-        jobs.iter().map(|job| contained_evaluate(self, job)).collect()
+        let cancel = self.cancel_token();
+        jobs.iter()
+            .map(|job| {
+                // A mid-batch cancel skips the remaining jobs with synthetic
+                // Cancelled outcomes (never checkpointed; see the cancel
+                // module docs) instead of abandoning the batch shape.
+                if cancel.is_cancelled() {
+                    cancelled_outcome(self, job)
+                } else {
+                    contained_evaluate(self, job)
+                }
+            })
+            .collect()
     }
+}
+
+/// The synthetic outcome recorded for a job skipped by cancellation: the
+/// policy's imputed score with [`TrialStatus::Cancelled`] status, so it can
+/// never outrank a real trial and is excluded from checkpoints.
+pub fn cancelled_outcome<E: TrialEvaluator + ?Sized>(evaluator: &E, job: &TrialJob) -> EvalOutcome {
+    let policy = evaluator.failure_policy();
+    let total = evaluator.total_budget().max(1);
+    let gamma_pct = 100.0 * job.budget.min(total) as f64 / total as f64;
+    EvalOutcome::cancelled(policy.imputed_score, gamma_pct)
 }
 
 /// One unit of batch work: a trial's hyperparameters, its budget, and the
@@ -212,6 +243,10 @@ impl TrialEvaluator for CvEvaluator<'_> {
 
     fn failure_policy(&self) -> &FailurePolicy {
         CvEvaluator::failure_policy(self)
+    }
+
+    fn cancel_token(&self) -> CancelToken {
+        CvEvaluator::cancel_token(self)
     }
 }
 
@@ -399,6 +434,10 @@ impl<E: TrialEvaluator> TrialEvaluator for FaultInjector<'_, E> {
         &self.policy
     }
 
+    fn cancel_token(&self) -> CancelToken {
+        self.inner.cancel_token()
+    }
+
     fn recorder(&self) -> Recorder {
         self.inner.recorder()
     }
@@ -572,6 +611,10 @@ impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
         self.inner.failure_policy()
     }
 
+    fn cancel_token(&self) -> CancelToken {
+        self.inner.cancel_token()
+    }
+
     fn recorder(&self) -> Recorder {
         self.inner.recorder()
     }
@@ -593,6 +636,12 @@ impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
             return hit;
         }
         let out = self.inner.evaluate_trial(job);
+        // Cancelled outcomes are synthetic skips, not results: journaling
+        // one would make a resumed run replay the skip instead of
+        // re-evaluating the trial.
+        if out.status == TrialStatus::Cancelled {
+            return out;
+        }
         let mut st = self.state.lock();
         st.checkpoint.entries.push(CheckpointEntry {
             budget: job.budget,
@@ -652,15 +701,23 @@ impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
             let outs = self.inner.evaluate_batch(&miss_jobs);
             debug_assert_eq!(outs.len(), miss_jobs.len());
             let mut st = self.state.lock();
+            let mut journaled = 0usize;
             for (&i, out) in miss_idx.iter().zip(&outs) {
+                // Skip synthetic cancellation outcomes (see evaluate_trial):
+                // a resumed run must re-evaluate those jobs, not replay the
+                // skip.
+                if out.status == TrialStatus::Cancelled {
+                    continue;
+                }
                 st.checkpoint.entries.push(CheckpointEntry {
                     budget: jobs[i].budget,
                     stream: jobs[i].stream,
                     params_fingerprint: keys[i].2,
                     outcome: out.clone(),
                 });
+                journaled += 1;
             }
-            st.new_since_save += outs.len();
+            st.new_since_save += journaled;
             let mut saved_entries = None;
             if self.every > 0 && st.new_since_save >= self.every {
                 st.new_since_save = 0;

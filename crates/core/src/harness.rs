@@ -7,8 +7,9 @@
 
 use crate::asha::{asha, AshaConfig};
 use crate::bohb::{bohb, BohbConfig};
+use crate::cancel::CancelToken;
 use crate::dehb::{dehb, DehbConfig};
-use crate::evaluator::{fit_and_score, CvEvaluator, ScoreKind};
+use crate::evaluator::{fit_and_score, CvEvaluator, ScoreKind, TrialStatus};
 use crate::exec::{CheckpointingEvaluator, FailurePolicy, TrialEvaluator};
 use crate::hyperband::{hyperband, HyperbandConfig};
 use crate::obs::{self, ObservedEvaluator, Recorder, RunEvent};
@@ -95,6 +96,11 @@ pub struct RunResult {
     /// refitting from epoch 0 (0 when `RunOptions::warm_start` is off).
     #[serde(default)]
     pub n_continued: usize,
+    /// Whether the run was cooperatively cancelled before the search
+    /// finished. A cancelled run skips the final refit, so `train_score`
+    /// and `test_score` are NaN; resume from the checkpoint to complete it.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub cancelled: bool,
 }
 
 /// Robustness knobs for [`run_method_with`]: retry/impute policy, plus
@@ -126,6 +132,12 @@ pub struct RunOptions {
     /// worker count, but warm and cold runs legitimately differ from each
     /// other.
     pub warm_start: bool,
+    /// Cooperative cancellation token (inert by default). When another
+    /// thread calls [`CancelToken::cancel`], the optimizer stops at its next
+    /// loop boundary, in-flight checkpoint state is flushed, and the result
+    /// comes back with [`RunResult::cancelled`] set — resumable via
+    /// `resume: true` with the same checkpoint.
+    pub cancel: CancelToken,
 }
 
 impl Default for RunOptions {
@@ -138,6 +150,7 @@ impl Default for RunOptions {
             recorder: Recorder::disabled(),
             workers: 1,
             warm_start: true,
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -235,7 +248,8 @@ pub fn run_method_with(
     // resumed run warm-starts exactly like the uninterrupted one.
     let continuation = opts.warm_start.then(|| Arc::new(ContinuationCache::new()));
     let mut evaluator = CvEvaluator::new(train, pipeline, base_params.clone(), seed)
-        .with_failure_policy(opts.failure_policy.clone());
+        .with_failure_policy(opts.failure_policy.clone())
+        .with_cancel_token(opts.cancel.clone());
     if let Some(cache) = &continuation {
         evaluator = evaluator.with_continuation(Arc::clone(cache));
     }
@@ -294,11 +308,22 @@ pub fn run_method_with(
         crate::obs_warn!("final checkpoint write failed: {e}");
     }
 
+    let cancelled = opts.cancel.is_cancelled();
     let n_continued = history
         .trials()
         .iter()
         .filter(|t| t.outcome.resumed_from.is_some())
         .count();
+    // Cancelled-skip outcomes are bookkeeping placeholders, not
+    // evaluations: exclude them from every trial count so a cancelled run's
+    // accounting matches what actually ran (and was checkpointed).
+    let n_skipped = history
+        .trials()
+        .iter()
+        .filter(|t| t.outcome.status == TrialStatus::Cancelled)
+        .count();
+    let n_evaluations = history.len() - n_skipped;
+    let n_failures = history.n_failures() - n_skipped;
     let best_score = history
         .best()
         .filter(|t| t.outcome.status.is_ok() && t.outcome.score.is_finite())
@@ -306,21 +331,36 @@ pub fn run_method_with(
     if let Some(score) = best_score {
         obs::global_metrics().gauge("hpo_best_score").set(score);
     }
-    recorder.emit(RunEvent::RunFinished {
-        method: method_label.clone(),
-        n_trials: history.len(),
-        n_failures: history.n_failures(),
-        best_score,
-        wall_seconds: search_seconds,
-    });
+    if cancelled {
+        recorder.emit(RunEvent::RunCancelled {
+            method: method_label.clone(),
+            n_trials: n_evaluations,
+            wall_seconds: search_seconds,
+        });
+    } else {
+        recorder.emit(RunEvent::RunFinished {
+            method: method_label.clone(),
+            n_trials: n_evaluations,
+            n_failures,
+            best_score,
+            wall_seconds: search_seconds,
+        });
+    }
     if let Err(e) = recorder.flush() {
         crate::obs_warn!("event journal sync failed: {e}");
     }
 
     // Final refit on the complete training set (paper Fig. 1's last step).
-    let mut final_params = space.to_params(&best, base_params);
-    final_params.seed = seed;
-    let fit = fit_and_score(train, test, &final_params, score_kind);
+    // A cancelled run skips it: its selection is provisional, and the run
+    // will be resumed rather than reported.
+    let (train_score, test_score) = if cancelled {
+        (f64::NAN, f64::NAN)
+    } else {
+        let mut final_params = space.to_params(&best, base_params);
+        final_params.seed = seed;
+        let fit = fit_and_score(train, test, &final_params, score_kind);
+        (fit.train_score, fit.test_score)
+    };
 
     RunResult {
         method: method_label,
@@ -328,14 +368,15 @@ pub fn run_method_with(
         best_config_desc: space.describe(&best),
         best_config: best,
         score_kind: score_kind.name().to_string(),
-        train_score: fit.train_score,
-        test_score: fit.test_score,
+        train_score,
+        test_score,
         search_seconds,
         search_cost_units: history.total_cost(),
-        n_evaluations: history.len(),
-        n_failures: history.n_failures(),
+        n_evaluations,
+        n_failures,
         n_resumed,
         n_continued,
+        cancelled,
     }
 }
 

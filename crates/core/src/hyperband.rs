@@ -83,10 +83,15 @@ pub fn hyperband_with_sampler<E: TrialEvaluator + ?Sized>(
     // s_max brackets: the most aggressive bracket starts at r_min.
     let s_max = ((r_max as f64 / r_min as f64).ln() / eta.ln()).floor() as usize;
     let recorder = evaluator.recorder();
+    let cancel = evaluator.cancel_token();
     let mut history = History::new();
     let mut best: Option<(Configuration, usize, f64)> = None;
 
-    for s in (0..=s_max).rev() {
+    'brackets: for s in (0..=s_max).rev() {
+        // Cooperative cancellation at the bracket boundary.
+        if cancel.is_cancelled() {
+            break;
+        }
         // Bracket s: n configurations at initial budget R·η^{-s}.
         let n = (((s_max + 1) as f64 / (s + 1) as f64) * eta.powi(s as i32)).ceil() as usize;
         let r0 = (r_max as f64 * eta.powi(-(s as i32))).round() as usize;
@@ -109,6 +114,12 @@ pub fn hyperband_with_sampler<E: TrialEvaluator + ?Sized>(
         for i in 0..=s {
             if survivors.is_empty() {
                 break;
+            }
+            // Cooperative cancellation at the rung boundary: abandon the
+            // remaining rungs and brackets; completed trials are already
+            // journaled, so a resumed run replays them and continues.
+            if cancel.is_cancelled() {
+                break 'brackets;
             }
             let budget = ((r0 as f64) * eta.powi(i as i32)).round() as usize;
             let budget = budget.clamp(r_min, r_max);
@@ -188,8 +199,12 @@ pub fn hyperband_with_sampler<E: TrialEvaluator + ?Sized>(
         }
     }
 
+    // `best` is Some unless the run was cancelled before any trial finished;
+    // fall back to a fixed configuration so the epilogue stays panic-free.
     HyperbandResult {
-        best: best.expect("every bracket evaluates at least one config").0,
+        best: best
+            .map(|(cand, _, _)| cand)
+            .unwrap_or_else(|| space.configuration(0)),
         history,
     }
 }

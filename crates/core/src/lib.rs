@@ -28,6 +28,7 @@
 
 pub mod asha;
 pub mod bohb;
+pub mod cancel;
 pub mod continuation;
 pub mod curves;
 pub mod dehb;
@@ -45,6 +46,7 @@ pub mod sha;
 pub mod space;
 pub mod trial;
 
+pub use cancel::CancelToken;
 pub use continuation::{params_fingerprint, ContinuationCache, SnapshotEntry, SnapshotSet};
 pub use evaluator::{CvEvaluator, EvalOutcome, ScoreKind, TrialStatus};
 pub use exec::{

@@ -136,6 +136,28 @@ pub enum RunEvent {
         /// Completed trials recorded in the checkpoint.
         entries: usize,
     },
+    /// The run was cooperatively cancelled: the optimizer stopped at a loop
+    /// boundary, every completed trial was checkpointed, and no
+    /// [`RunEvent::RunFinished`] follows. A resumed run re-evaluates the
+    /// skipped trials and appends its own terminal event.
+    RunCancelled {
+        /// Optimizer label, mirroring [`RunEvent::RunStarted`].
+        method: String,
+        /// Trials evaluated before the cancel (excluding skipped jobs).
+        n_trials: usize,
+        /// Wall-clock seconds from start to the cancelled wind-down.
+        wall_seconds: f64,
+    },
+    /// An HPO service daemon started (emitted into the server's own
+    /// journal, not a run journal).
+    ServerStarted {
+        /// The address the HTTP listener is bound to.
+        addr: String,
+        /// The registry data directory.
+        data_dir: String,
+        /// Concurrent run slots the scheduler admits.
+        slots: usize,
+    },
     /// The run finished; the journal is complete.
     RunFinished {
         /// Optimizer label, mirroring [`RunEvent::RunStarted`].
@@ -165,6 +187,8 @@ impl RunEvent {
             RunEvent::TrialRetried { .. } => "TrialRetried",
             RunEvent::Promotion { .. } => "Promotion",
             RunEvent::CheckpointWritten { .. } => "CheckpointWritten",
+            RunEvent::RunCancelled { .. } => "RunCancelled",
+            RunEvent::ServerStarted { .. } => "ServerStarted",
             RunEvent::RunFinished { .. } => "RunFinished",
         }
     }
@@ -206,6 +230,7 @@ impl EventRecord {
         let mut event = self.event.clone();
         match &mut event {
             RunEvent::TrialFinished { wall_seconds, .. }
+            | RunEvent::RunCancelled { wall_seconds, .. }
             | RunEvent::RunFinished { wall_seconds, .. } => *wall_seconds = 0.0,
             _ => {}
         }

@@ -44,6 +44,28 @@ impl JournalWriter {
         })
     }
 
+    /// Opens an existing journal for appending (creating it when absent).
+    ///
+    /// `existing_lines` is the number of complete records already present
+    /// (from [`read_journal`]), so [`JournalWriter::lines`] keeps counting
+    /// from the true total. Used by a resumed service run to continue one
+    /// journal across server restarts instead of truncating its history.
+    ///
+    /// # Errors
+    /// IO failures opening the file.
+    pub fn open_append(
+        path: impl AsRef<Path>,
+        existing_lines: u64,
+    ) -> Result<JournalWriter, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().append(true).create(true).open(&path)?;
+        Ok(JournalWriter {
+            path,
+            out: BufWriter::new(file),
+            lines: existing_lines,
+        })
+    }
+
     /// Appends one record as a JSON line and flushes it to the OS.
     ///
     /// # Errors

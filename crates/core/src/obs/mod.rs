@@ -42,10 +42,12 @@ pub use metrics::{
 pub use progress::ProgressReporter;
 pub use timer::ScopedTimer;
 
+use crate::cancel::CancelToken;
 use crate::evaluator::{EvalOutcome, TrialStatus};
 use crate::exec::{run_trial, FailurePolicy, TrialEvaluator, TrialJob};
 use crate::persist::PersistError;
 use std::cell::RefCell;
+use std::fs::OpenOptions;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -239,6 +241,7 @@ impl Recorder {
 #[derive(Debug, Default)]
 pub struct RecorderBuilder {
     journal_path: Option<PathBuf>,
+    append: bool,
     memory: bool,
     progress: bool,
 }
@@ -253,6 +256,21 @@ impl RecorderBuilder {
     /// Journals events as JSONL to `path` (created/truncated at build).
     pub fn journal_to(mut self, path: impl Into<PathBuf>) -> RecorderBuilder {
         self.journal_path = Some(path.into());
+        self.append = false;
+        self
+    }
+
+    /// Journals events as JSONL to `path`, *appending* to an existing
+    /// journal instead of truncating it.
+    ///
+    /// The existing records are read back at build time to prime the
+    /// sequence and trial-id counters past their historical maxima, so a
+    /// resumed service run continues one gap-free journal across restarts.
+    /// A torn final line (crash artifact) is trimmed before appending so the
+    /// file stays decodable by [`read_journal`].
+    pub fn journal_append(mut self, path: impl Into<PathBuf>) -> RecorderBuilder {
+        self.journal_path = Some(path.into());
+        self.append = true;
         self
     }
 
@@ -272,13 +290,26 @@ impl RecorderBuilder {
     /// Builds the recorder, opening the journal file if configured.
     ///
     /// # Errors
-    /// IO failures creating the journal file.
+    /// IO failures creating (or, in append mode, reading back) the journal
+    /// file.
     pub fn build(self) -> Result<Recorder, PersistError> {
         if self.journal_path.is_none() && !self.memory && !self.progress {
             return Ok(Recorder::disabled());
         }
+        let mut seq_start = 0;
+        let mut trial_start = 0;
         let journal = match self.journal_path {
-            Some(path) => Some(Mutex::new(JournalWriter::create(path)?)),
+            Some(path) => {
+                let writer = if self.append {
+                    let primed = prime_append_counters(&path)?;
+                    seq_start = primed.next_seq;
+                    trial_start = primed.next_trial_id;
+                    JournalWriter::open_append(path, primed.existing_lines)?
+                } else {
+                    JournalWriter::create(path)?
+                };
+                Some(Mutex::new(writer))
+            }
             None => None,
         };
         Ok(Recorder {
@@ -286,11 +317,65 @@ impl RecorderBuilder {
                 journal,
                 memory: self.memory.then(|| Mutex::new(Vec::new())),
                 progress: self.progress.then(ProgressReporter::stderr),
-                seq: AtomicU64::new(0),
-                trial_ids: AtomicU64::new(0),
+                seq: AtomicU64::new(seq_start),
+                trial_ids: AtomicU64::new(trial_start),
             })),
         })
     }
+}
+
+/// Counter starting points recovered from an existing journal for append
+/// mode (all zero for a missing or empty journal).
+struct AppendPriming {
+    existing_lines: u64,
+    next_seq: u64,
+    next_trial_id: u64,
+}
+
+/// Reads back an existing journal, trims a torn final line if the previous
+/// writer crashed mid-append, and computes where the sequence and trial-id
+/// counters must resume so the continued journal stays gap-free.
+fn prime_append_counters(path: &PathBuf) -> Result<AppendPriming, PersistError> {
+    if !path.exists() {
+        return Ok(AppendPriming {
+            existing_lines: 0,
+            next_seq: 0,
+            next_trial_id: 0,
+        });
+    }
+    let replay = journal::read_journal(path)?;
+    if let Some(tail) = &replay.truncated_tail {
+        // Trim the torn tail in place so the next append starts on a fresh
+        // line; the offset is where the (unique, final) partial line begins.
+        let text = std::fs::read_to_string(path)?;
+        let offset = text.rfind(tail.as_str()).unwrap_or(text.len());
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(offset as u64)?;
+        file.sync_all()?;
+    }
+    let next_seq = replay
+        .events
+        .iter()
+        .map(|r| r.seq + 1)
+        .max()
+        .unwrap_or(0);
+    let next_trial_id = replay
+        .events
+        .iter()
+        .filter_map(|r| match &r.event {
+            RunEvent::TrialStarted { trial, .. }
+            | RunEvent::TrialFinished { trial, .. }
+            | RunEvent::TrialFailed { trial, .. }
+            | RunEvent::TrialContinued { trial, .. } => Some(trial + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    Ok(AppendPriming {
+        existing_lines: replay.events.len() as u64,
+        next_seq,
+        next_trial_id,
+    })
 }
 
 /// The instrumentation decorator: wraps any [`TrialEvaluator`] and emits
@@ -349,6 +434,10 @@ impl<E: TrialEvaluator> TrialEvaluator for ObservedEvaluator<'_, E> {
 
     fn failure_policy(&self) -> &FailurePolicy {
         self.inner.failure_policy()
+    }
+
+    fn cancel_token(&self) -> CancelToken {
+        self.inner.cancel_token()
     }
 
     fn recorder(&self) -> Recorder {
@@ -476,6 +565,67 @@ mod tests {
         let replay = read_journal(&path).unwrap();
         assert_eq!(replay.events.len(), 1);
         assert_eq!(replay.events[0].event.kind(), "TrialRetried");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_append_continues_seq_and_trial_ids() {
+        let path = std::env::temp_dir().join("hpo_obs_recorder_append.jsonl");
+        std::fs::remove_file(&path).ok();
+        let rec = Recorder::builder().journal_to(&path).build().unwrap();
+        let trial = rec.next_trial_id();
+        rec.emit(RunEvent::TrialStarted {
+            trial,
+            budget: 10,
+            stream: 1,
+        });
+        rec.flush().unwrap();
+        drop(rec);
+
+        let rec = Recorder::builder().journal_append(&path).build().unwrap();
+        assert_eq!(rec.next_trial_id(), 1, "trial ids resume past history");
+        rec.emit(RunEvent::TrialStarted {
+            trial: 1,
+            budget: 10,
+            stream: 2,
+        });
+        rec.flush().unwrap();
+        let replay = read_journal(&path).unwrap();
+        assert_eq!(
+            replay.events.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1],
+            "sequence numbers stay gap-free across reopen"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_append_trims_a_torn_tail() {
+        let path = std::env::temp_dir().join("hpo_obs_recorder_append_torn.jsonl");
+        std::fs::remove_file(&path).ok();
+        let rec = Recorder::builder().journal_to(&path).build().unwrap();
+        for stream in 0..2 {
+            rec.emit(RunEvent::TrialRetried { stream, attempt: 2 });
+        }
+        rec.flush().unwrap();
+        drop(rec);
+        // Tear the final line mid-record, as a crash mid-append would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 10]).unwrap();
+
+        let rec = Recorder::builder().journal_append(&path).build().unwrap();
+        rec.emit(RunEvent::TrialRetried {
+            stream: 9,
+            attempt: 2,
+        });
+        rec.flush().unwrap();
+        let replay = read_journal(&path).unwrap();
+        assert!(!replay.is_truncated(), "torn tail was trimmed at reopen");
+        assert_eq!(
+            replay.events.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1],
+            "new records continue after the surviving prefix"
+        );
         std::fs::remove_file(&path).ok();
     }
 

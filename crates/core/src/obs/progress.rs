@@ -100,7 +100,13 @@ impl ProgressState {
                 self.retries += 1;
                 false
             }
-            RunEvent::Promotion { .. } | RunEvent::CheckpointWritten { .. } => false,
+            RunEvent::Promotion { .. }
+            | RunEvent::CheckpointWritten { .. }
+            | RunEvent::ServerStarted { .. } => false,
+            RunEvent::RunCancelled { .. } => {
+                self.finished = true;
+                true
+            }
             RunEvent::RunFinished { best_score, .. } => {
                 if best_score.is_some() {
                     self.best = *best_score;

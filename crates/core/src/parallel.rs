@@ -28,8 +28,9 @@
 //!
 //! [`run_trial`]: crate::exec::run_trial
 
+use crate::cancel::CancelToken;
 use crate::evaluator::EvalOutcome;
-use crate::exec::{contained_evaluate, FailurePolicy, TrialEvaluator, TrialJob};
+use crate::exec::{cancelled_outcome, contained_evaluate, FailurePolicy, TrialEvaluator, TrialJob};
 use crate::obs::{self, Recorder};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -79,6 +80,10 @@ impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
         self.inner.failure_policy()
     }
 
+    fn cancel_token(&self) -> CancelToken {
+        self.inner.cancel_token()
+    }
+
     fn recorder(&self) -> Recorder {
         self.inner.recorder()
     }
@@ -102,6 +107,7 @@ impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
         let recorder = self.inner.recorder();
         let base_id = recorder.reserve_trial_ids(n as u64);
         let workers = self.workers.min(n);
+        let cancel = self.inner.cancel_token();
 
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<(Option<obs::TrialEventBuffer>, EvalOutcome)>> =
@@ -112,6 +118,13 @@ impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
                 handles.push(s.spawn(|_| {
                     let mut local = Vec::new();
                     loop {
+                        // Cooperative mid-batch cancellation: stop claiming
+                        // jobs; the unclaimed slots get synthetic Cancelled
+                        // outcomes below (and no events — the trial never
+                        // started).
+                        if cancel.is_cancelled() {
+                            break;
+                        }
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         if idx >= n {
                             break;
@@ -137,16 +150,28 @@ impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
         .expect("pool workers contain all job panics");
 
         // Replay every job's buffered events in submission order; sequence
-        // numbers and timestamps are stamped here, on one thread.
+        // numbers and timestamps are stamped here, on one thread. Slots the
+        // workers never claimed (mid-batch cancellation) become synthetic
+        // Cancelled outcomes with no events.
         let mut outcomes = Vec::with_capacity(n);
-        for slot in slots {
-            let (buf, out) = slot.expect("every submitted job produces a result");
-            if let Some(buf) = buf {
-                for event in buf.events {
-                    recorder.emit(event);
+        for (idx, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some((buf, out)) => {
+                    if let Some(buf) = buf {
+                        for event in buf.events {
+                            recorder.emit(event);
+                        }
+                    }
+                    outcomes.push(out);
+                }
+                None => {
+                    debug_assert!(
+                        cancel.is_cancelled(),
+                        "only cancellation may leave unclaimed slots"
+                    );
+                    outcomes.push(cancelled_outcome(self.inner, &jobs[idx]));
                 }
             }
-            outcomes.push(out);
         }
         outcomes
     }

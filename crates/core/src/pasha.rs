@@ -202,8 +202,13 @@ pub fn pasha<E: TrialEvaluator + ?Sized>(
         current_max: initial_max,
     };
     let mut history = History::new();
+    let cancel = evaluator.cancel_token();
 
     loop {
+        // Cooperative cancellation at the wave boundary (see asha.rs).
+        if cancel.is_cancelled() {
+            break;
+        }
         // Drain everything the promotion rule currently allows under the
         // ladder as committed so far (see asha.rs for the wave contract).
         let mut wave: Vec<Job> = Vec::new();
@@ -267,15 +272,18 @@ pub fn pasha<E: TrialEvaluator + ?Sized>(
         }
     }
 
-    let top_rung = (0..budgets.len())
+    // A run cancelled before any wave committed has no results; fall back
+    // to the first candidate so the epilogue stays panic-free.
+    let best_id = (0..budgets.len())
         .rev()
         .find(|&r| !sched.results[r].is_empty())
-        .expect("at least one evaluation completed");
-    let best_id = sched.results[top_rung]
-        .iter()
-        .max_by(|a, b| compare_scores(*a.1, *b.1).then(a.0.cmp(b.0)))
-        .map(|(&id, _)| id)
-        .expect("top rung non-empty");
+        .and_then(|top_rung| {
+            sched.results[top_rung]
+                .iter()
+                .max_by(|a, b| compare_scores(*a.1, *b.1).then(a.0.cmp(b.0)))
+                .map(|(&id, _)| id)
+        })
+        .unwrap_or(0);
 
     PashaResult {
         best: candidates[best_id].clone(),

@@ -33,6 +33,14 @@ pub enum PersistError {
     /// The file decoded but is not a usable artifact (truncated write from
     /// a pre-atomic version, wrong envelope version, mismatched run).
     Corrupt(String),
+    /// The atomic-replace rename failed; the destination path is named so
+    /// the operator knows which artifact was left in its previous state.
+    Rename {
+        /// The destination the temp file could not be renamed onto.
+        path: std::path::PathBuf,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -41,11 +49,23 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Json(e) => write!(f, "json error: {e}"),
             PersistError::Corrupt(detail) => write!(f, "corrupt persistence file: {detail}"),
+            PersistError::Rename { path, source } => {
+                write!(f, "renaming into {}: {source}", path.display())
+            }
         }
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Json(e) => Some(e),
+            PersistError::Corrupt(_) => None,
+            PersistError::Rename { source, .. } => Some(source),
+        }
+    }
+}
 
 impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
@@ -75,13 +95,18 @@ pub fn write_json_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), Per
     }
     if let Err(e) = std::fs::rename(&tmp, path) {
         std::fs::remove_file(&tmp).ok();
-        return Err(e.into());
+        return Err(PersistError::Rename {
+            path: path.to_path_buf(),
+            source: e,
+        });
     }
+    // Make the rename itself durable: a crash after this call must never
+    // resurrect the old file. Failures here are real durability losses, so
+    // they propagate rather than degrade to a best-effort sync.
     #[cfg(unix)]
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        if let Ok(d) = std::fs::File::open(dir) {
-            d.sync_all().ok();
-        }
+        let d = std::fs::File::open(dir)?;
+        d.sync_all()?;
     }
     Ok(())
 }
@@ -306,6 +331,23 @@ mod tests {
     }
 
     #[test]
+    fn rename_failure_names_the_destination() {
+        // Renaming a file onto an existing directory fails, exercising the
+        // error path without any platform-specific permission tricks.
+        let dest = std::env::temp_dir().join("hpo_core_rename_err_dir");
+        std::fs::create_dir_all(&dest).unwrap();
+        let err = write_json_atomic(&dest, b"{}").unwrap_err();
+        assert!(matches!(err, PersistError::Rename { .. }), "{err:?}");
+        assert!(
+            err.to_string().contains("hpo_core_rename_err_dir"),
+            "error must name the destination: {err}"
+        );
+        let tmp = dest.with_extension(format!("tmp.{}", std::process::id()));
+        assert!(!tmp.exists(), "temp file must be cleaned up on failure");
+        std::fs::remove_dir_all(&dest).ok();
+    }
+
+    #[test]
     fn statuses_survive_serialization() {
         let mut h = History::new();
         for status in [
@@ -371,6 +413,7 @@ mod tests {
             n_failures: 2,
             n_resumed: 0,
             n_continued: 0,
+            cancelled: false,
         };
         let mut buf = Vec::new();
         save_run_result(&r, &mut buf).unwrap();

@@ -49,6 +49,15 @@ pub fn random_search<E: TrialEvaluator + ?Sized>(
     assert!(config.n_samples >= 1, "need at least one sample");
     let candidates = space.sample_distinct(config.n_samples, derive_seed(stream, 0xA11));
     let budget = evaluator.total_budget();
+    // Cooperative cancellation before the (single) batch: return the first
+    // sampled configuration with an empty history; a resumed run re-samples
+    // the same candidates and evaluates them all.
+    if evaluator.cancel_token().is_cancelled() {
+        return RandomSearchResult {
+            best: candidates[0].clone(),
+            history: History::new(),
+        };
+    }
     // Random search is one full-budget "rung" with no promotions.
     evaluator.recorder().emit(RunEvent::RungStarted {
         bracket: 0,

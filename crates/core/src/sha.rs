@@ -71,8 +71,16 @@ pub fn successive_halving<E: TrialEvaluator + ?Sized>(
     let mut survivors: Vec<(usize, Configuration)> = candidates.iter().cloned().enumerate().collect();
     let mut history = History::new();
     let mut rung = 0usize;
+    let cancel = evaluator.cancel_token();
 
     while survivors.len() > 1 {
+        // Cooperative cancellation at the rung boundary: stop halving and
+        // return the best survivor ranked so far. Completed trials are
+        // already journaled/checkpointed; a resumed run replays them and
+        // finishes the remaining rungs.
+        if cancel.is_cancelled() {
+            break;
+        }
         let budget = (total_budget / survivors.len())
             .max(config.min_budget)
             .min(total_budget);
@@ -131,11 +139,10 @@ pub fn successive_halving<E: TrialEvaluator + ?Sized>(
         rung += 1;
     }
 
+    // An uncancelled loop leaves exactly one survivor; a cancelled one
+    // leaves several, ranked best-first by the last promotion.
     ShaResult {
-        best: survivors
-            .pop()
-            .expect("loop leaves exactly one survivor")
-            .1,
+        best: survivors.swap_remove(0).1,
         history,
     }
 }

@@ -1,0 +1,221 @@
+//! Property tests over the persistence envelopes: every `RunCheckpoint`
+//! (including embedded warm-start snapshots) and `RunResult` the system can
+//! produce must survive a JSON round trip exactly, and any torn prefix of a
+//! checkpoint file must be rejected as an error — never a panic, never a
+//! silently different checkpoint.
+//!
+//! Strategies are built from ranges + `prop_map` only; enum variants and
+//! `Option`s are selected by mapped indices rather than `prop_oneof`, which
+//! keeps every strategy a plain composable expression.
+
+use hpo_core::continuation::{SnapshotEntry, SnapshotSet};
+use hpo_core::evaluator::{EvalOutcome, TrialStatus};
+use hpo_core::harness::RunResult;
+use hpo_core::persist::{load_checkpoint, save_checkpoint, CheckpointEntry, RunCheckpoint};
+use hpo_core::space::Configuration;
+use hpo_metrics::FoldScores;
+use hpo_models::mlp::{FitState, SolverState};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Finite scores only: serde_json round-trips every finite f64 exactly
+/// (ryu), while NaN serializes to null — and the system never persists
+/// NaN-scored artifacts (cancelled results are not written).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    -1e6..1e6f64
+}
+
+fn trial_status() -> impl Strategy<Value = TrialStatus> {
+    (0usize..5, 1u32..5).prop_map(|(variant, attempts)| match variant {
+        0 => TrialStatus::Completed,
+        1 => TrialStatus::Diverged,
+        2 => TrialStatus::TimedOut,
+        3 => TrialStatus::Failed { attempts },
+        _ => TrialStatus::Cancelled,
+    })
+}
+
+fn eval_outcome() -> impl Strategy<Value = EvalOutcome> {
+    (
+        (vec(finite_f64(), 0..6), 0.0..100.0f64),
+        (finite_f64(), 0..u64::MAX, 0.0..1e4f64),
+        (trial_status(), 0usize..2, 1usize..10_000),
+    )
+        .prop_map(
+            |(
+                (folds, gamma),
+                (score, cost_units, wall_seconds),
+                (status, resumed_flag, resumed_budget),
+            )| EvalOutcome {
+                fold_scores: FoldScores::new(folds, gamma),
+                score,
+                cost_units,
+                wall_seconds,
+                status,
+                resumed_from: (resumed_flag == 1).then_some(resumed_budget),
+            },
+        )
+}
+
+fn solver_state() -> impl Strategy<Value = SolverState> {
+    (
+        0usize..3,
+        vec(finite_f64(), 0..8),
+        vec(finite_f64(), 0..8),
+        0..u64::MAX,
+    )
+        .prop_map(|(variant, a, b, t)| match variant {
+            0 => SolverState::Lbfgs,
+            1 => SolverState::Sgd { velocity: a },
+            _ => SolverState::Adam { m: a, v: b, t },
+        })
+}
+
+fn fit_state() -> impl Strategy<Value = FitState> {
+    (
+        vec(1usize..64, 2..5),
+        vec(finite_f64(), 0..16),
+        solver_state(),
+        0usize..500,
+    )
+        .prop_map(|(sizes, weights, solver, epochs)| FitState {
+            sizes,
+            weights,
+            solver,
+            epochs,
+        })
+}
+
+fn snapshot_entry() -> impl Strategy<Value = SnapshotEntry> {
+    (
+        (0..u64::MAX, 0..u64::MAX, 1usize..5_000),
+        vec((0usize..2, fit_state()), 1..4),
+    )
+        .prop_map(|((key, fingerprint, budget), folds)| SnapshotEntry {
+            key,
+            set: SnapshotSet {
+                fingerprint,
+                budget,
+                folds: folds
+                    .into_iter()
+                    .map(|(present, fs)| (present == 1).then_some(fs))
+                    .collect(),
+            },
+        })
+}
+
+fn checkpoint() -> impl Strategy<Value = RunCheckpoint> {
+    (
+        (0..u64::MAX, 0usize..4, 0usize..2),
+        vec(
+            ((1usize..5_000, 0..u64::MAX, 0..u64::MAX), eval_outcome()),
+            0..6,
+        ),
+        vec(snapshot_entry(), 0..3),
+    )
+        .prop_map(|((seed, method_idx, pipeline_idx), entries, snapshots)| {
+            let method = ["SHA", "HB", "ASHA", "random"][method_idx];
+            let pipeline = ["vanilla", "enhanced"][pipeline_idx];
+            let mut cp = RunCheckpoint::new(seed, method, pipeline);
+            cp.entries = entries
+                .into_iter()
+                .map(
+                    |((budget, stream, params_fingerprint), outcome)| CheckpointEntry {
+                        budget,
+                        stream,
+                        params_fingerprint,
+                        outcome,
+                    },
+                )
+                .collect();
+            cp.snapshots = snapshots;
+            cp
+        })
+}
+
+fn run_result() -> impl Strategy<Value = RunResult> {
+    (
+        (0usize..4, 0usize..2, vec(0usize..5, 1..9), 0usize..3),
+        (finite_f64(), finite_f64(), 0.0..1e5f64, 0..u64::MAX),
+        (0usize..10_000, 0usize..100, 0usize..100, 0usize..100),
+    )
+        .prop_map(
+            |(
+                (method_idx, pipeline_idx, cfg, kind_idx),
+                (train_score, test_score, search_seconds, search_cost_units),
+                (n_evaluations, n_failures, n_resumed, n_continued),
+            )| RunResult {
+                method: ["SHA", "HB", "ASHA", "random"][method_idx].to_string(),
+                pipeline: ["vanilla", "enhanced"][pipeline_idx].to_string(),
+                best_config: Configuration(cfg.clone()),
+                best_config_desc: format!("cfg{cfg:?}"),
+                score_kind: ["acc", "f1", "r2"][kind_idx].to_string(),
+                train_score,
+                test_score,
+                search_seconds,
+                search_cost_units,
+                n_evaluations,
+                n_failures,
+                n_resumed,
+                n_continued,
+                cancelled: false,
+            },
+        )
+}
+
+/// Canonical serialized form: serialize → deserialize → reserialize must be
+/// a fixed point. Equality on strings sidesteps needing PartialEq on every
+/// embedded type while still proving no field is lost or mutated.
+fn roundtrip_fixed_point<T: serde::Serialize + serde::de::DeserializeOwned>(value: &T) -> bool {
+    let once = serde_json::to_string(value).expect("serializes");
+    let back: T = serde_json::from_str(&once).expect("deserializes");
+    serde_json::to_string(&back).expect("reserializes") == once
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn checkpoints_roundtrip_exactly(cp in checkpoint()) {
+        prop_assert!(roundtrip_fixed_point(&cp));
+    }
+
+    #[test]
+    fn run_results_roundtrip_exactly(result in run_result()) {
+        prop_assert!(roundtrip_fixed_point(&result));
+    }
+
+    #[test]
+    fn checkpoint_files_roundtrip_through_disk(cp in checkpoint()) {
+        let path = std::env::temp_dir().join(format!(
+            "hpo-persist-prop-{}-{}.json",
+            std::process::id(),
+            cp.seed
+        ));
+        save_checkpoint(&cp, &path).expect("saves");
+        let loaded = load_checkpoint(&path).expect("loads");
+        prop_assert_eq!(
+            serde_json::to_string(&loaded).unwrap(),
+            serde_json::to_string(&cp).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Every strict prefix of a checkpoint file — the artifact of a torn
+    /// non-atomic write — must fail to load with an error, never panic and
+    /// never decode into a different checkpoint.
+    #[test]
+    fn torn_checkpoint_prefixes_error_cleanly(cp in checkpoint(), frac in 0.0..1.0f64) {
+        let full = serde_json::to_string_pretty(&cp).unwrap();
+        let cut = ((full.len() as f64) * frac) as usize;
+        prop_assume!(cut < full.len());
+        let path = std::env::temp_dir().join(format!(
+            "hpo-persist-torn-{}-{}.json",
+            std::process::id(),
+            cp.seed
+        ));
+        std::fs::write(&path, &full.as_bytes()[..cut]).unwrap();
+        prop_assert!(load_checkpoint(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,222 @@
+//! Route table of the JSON API.
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness probe, plain `ok` |
+//! | `GET /metrics` | Prometheus text of the global metrics registry |
+//! | `POST /api/v1/runs` | submit a [`RunSpec`]; 201 with the new state |
+//! | `GET /api/v1/runs[?status=queued]` | list runs, optionally filtered |
+//! | `GET /api/v1/runs/{id}` | state + best-trial-so-far from the checkpoint |
+//! | `POST /api/v1/runs/{id}/cancel` | cooperative cancel; checkpoint stays resumable |
+//! | `POST /api/v1/runs/{id}/resume` | requeue a cancelled/failed run |
+//! | `GET /api/v1/runs/{id}/events?from=N` | journal lines from N on (JSONL) |
+//! | `GET /api/v1/runs/{id}/result` | the completed run's `RunResult` |
+//!
+//! Errors are always `{"error": "..."}` with a conventional status: 400
+//! malformed request, 404 unknown run, 405 wrong method, 409 wrong
+//! lifecycle stage, 422 invalid spec, 503 shutting down.
+
+use crate::http::{Request, Response};
+use crate::registry::{BestSoFar, RegistryError, RunState, RunStatus};
+use crate::server::Shared;
+use crate::spec::RunSpec;
+use hpo_core::obs::global_metrics;
+use serde::Serialize;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+
+/// Reads one request off the connection, routes it, writes the response.
+pub(crate) fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let response = match Request::read_from(&stream) {
+        Ok(req) => route(&req, shared),
+        Err(e) => Response::error(400, e),
+    };
+    let _ = response.write_to(&stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// `GET /api/v1/runs/{id}` payload: durable state plus live progress.
+#[derive(Serialize)]
+struct StatusPayload {
+    #[serde(flatten)]
+    state: RunState,
+    /// Best usable trial in the checkpoint, absent before the first one.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    best: Option<BestSoFar>,
+}
+
+fn registry_error(e: RegistryError) -> Response {
+    match e {
+        RegistryError::UnknownRun(_) => Response::error(404, e),
+        RegistryError::Persist(_) => Response::error(500, e),
+    }
+}
+
+/// Dispatches one parsed request. Pure routing: all state lives in
+/// [`Shared`], which is what makes this testable without sockets.
+pub(crate) fn route(req: &Request, shared: &Shared) -> Response {
+    global_metrics().counter("hpo_server_http_requests_total").inc();
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        ("GET", ["metrics"]) => Response::text(200, global_metrics().prometheus_text()),
+        ("POST", ["api", "v1", "runs"]) => submit(req, shared),
+        ("GET", ["api", "v1", "runs"]) => list(req, shared),
+        ("GET", ["api", "v1", "runs", id]) => status(id, shared),
+        ("POST", ["api", "v1", "runs", id, "cancel"]) => cancel(id, shared),
+        ("POST", ["api", "v1", "runs", id, "resume"]) => resume(id, shared),
+        ("GET", ["api", "v1", "runs", id, "events"]) => events(id, req, shared),
+        ("GET", ["api", "v1", "runs", id, "result"]) => result(id, shared),
+        (_, ["healthz" | "metrics"]) | (_, ["api", ..]) => {
+            Response::error(405, format!("{} not supported on {}", req.method, req.path))
+        }
+        _ => Response::error(404, format!("no route for {}", req.path)),
+    }
+}
+
+fn submit(req: &Request, shared: &Shared) -> Response {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Response::error(503, "server is shutting down");
+    }
+    let spec: RunSpec = match serde_json::from_slice(&req.body) {
+        Ok(spec) => spec,
+        Err(e) => return Response::error(400, format!("decoding RunSpec: {e}")),
+    };
+    if let Err(e) = spec.validate() {
+        return Response::error(422, e);
+    }
+    let state = match shared.registry.create_run(&spec) {
+        Ok(state) => state,
+        Err(e) => return registry_error(e),
+    };
+    shared.enqueue(state.id.clone());
+    global_metrics().counter("hpo_server_runs_submitted_total").inc();
+    Response::json(201, &state)
+}
+
+fn list(req: &Request, shared: &Shared) -> Response {
+    let filter = match req.query.get("status") {
+        Some(label) => match RunStatus::parse(label) {
+            Some(s) => Some(s),
+            None => return Response::error(400, format!("unknown status filter `{label}`")),
+        },
+        None => None,
+    };
+    let runs: Vec<RunState> = shared
+        .registry
+        .list()
+        .into_iter()
+        .filter(|s| filter.map_or(true, |f| s.status == f))
+        .collect();
+    Response::json(200, &runs)
+}
+
+fn status(id: &str, shared: &Shared) -> Response {
+    match shared.registry.load_state(id) {
+        Ok(state) => {
+            let best = shared.registry.best_so_far(id);
+            Response::json(200, &StatusPayload { state, best })
+        }
+        Err(e) => registry_error(e),
+    }
+}
+
+fn cancel(id: &str, shared: &Shared) -> Response {
+    // In a slot right now: flip the token; the worker persists `Cancelled`
+    // once the optimizer reaches its next loop boundary and checkpoints.
+    {
+        let running = shared.running.lock().expect("running lock");
+        if let Some(entry) = running.get(id) {
+            entry.user_cancelled.store(true, Ordering::SeqCst);
+            entry.cancel.cancel();
+            return Response::json(
+                202,
+                &serde_json::json!({ "id": id, "cancelling": true }),
+            );
+        }
+    }
+    let mut state = match shared.registry.load_state(id) {
+        Ok(state) => state,
+        Err(e) => return registry_error(e),
+    };
+    // Still queued: pull it out of the queue and settle the state directly.
+    if state.status == RunStatus::Queued && shared.dequeue(id) {
+        state.status = RunStatus::Cancelled;
+        return match shared.registry.save_state(&state) {
+            Ok(()) => {
+                global_metrics().counter("hpo_server_runs_cancelled_total").inc();
+                Response::json(200, &state)
+            }
+            Err(e) => registry_error(e),
+        };
+    }
+    Response::error(
+        409,
+        format!("run {id} is {} and cannot be cancelled", state.status.as_str()),
+    )
+}
+
+fn resume(id: &str, shared: &Shared) -> Response {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Response::error(503, "server is shutting down");
+    }
+    let mut state = match shared.registry.load_state(id) {
+        Ok(state) => state,
+        Err(e) => return registry_error(e),
+    };
+    if !matches!(state.status, RunStatus::Cancelled | RunStatus::Failed) {
+        return Response::error(
+            409,
+            format!("run {id} is {}, not cancelled/failed", state.status.as_str()),
+        );
+    }
+    state.status = RunStatus::Queued;
+    state.error = None;
+    state.resumes += 1;
+    match shared.registry.save_state(&state) {
+        Ok(()) => {
+            shared.enqueue(state.id.clone());
+            global_metrics().counter("hpo_server_runs_resumed_total").inc();
+            Response::json(202, &state)
+        }
+        Err(e) => registry_error(e),
+    }
+}
+
+fn events(id: &str, req: &Request, shared: &Shared) -> Response {
+    let from: usize = match req.query.get("from").map(|v| v.parse()) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => return Response::error(400, "`from` must be a line number"),
+    };
+    let path = match shared.registry.journal_path(id) {
+        Ok(path) => path,
+        Err(e) => return registry_error(e),
+    };
+    // No journal yet is an empty tail, not an error: the run may simply not
+    // have reached a slot.
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let tail: String = text
+        .lines()
+        .skip(from)
+        .flat_map(|l| [l, "\n"])
+        .collect();
+    Response::text(200, tail)
+}
+
+fn result(id: &str, shared: &Shared) -> Response {
+    match shared.registry.load_result(id) {
+        Ok(result) => Response::json(200, &result),
+        Err(RegistryError::Persist(e)) => {
+            // The run exists but has no result yet: lifecycle, not server error.
+            match shared.registry.load_state(id) {
+                Ok(state) => Response::error(
+                    409,
+                    format!("run {id} is {}, no result yet", state.status.as_str()),
+                ),
+                Err(_) => Response::error(500, e),
+            }
+        }
+        Err(e) => registry_error(e),
+    }
+}

@@ -1,0 +1,234 @@
+//! The dependency-free API client the CLI subcommands are built on.
+//!
+//! One connection per call: the client writes a `Connection: close`
+//! request, reads the status line and headers, and takes the rest of the
+//! stream as the body — the exact mirror of [`crate::http`] on the server
+//! side. Server-reported errors (`{"error": ...}`) surface as
+//! [`ClientError::Api`] with the HTTP status attached, so the CLI can
+//! distinguish "no such run" from "connection refused".
+
+use crate::registry::{BestSoFar, RunState};
+use crate::spec::RunSpec;
+use hpo_core::harness::RunResult;
+use serde::Deserialize;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client-side failure: transport, decoding, or a server-reported error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or read/write failure.
+    Io(std::io::Error),
+    /// The response did not parse as HTTP or as the expected JSON.
+    Protocol(String),
+    /// The server answered with an error status and message.
+    Api {
+        /// HTTP status code.
+        status: u16,
+        /// The server's `error` message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Api { status, message } => write!(f, "server ({status}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// `GET /api/v1/runs/{id}` decoded: durable state plus live progress.
+#[derive(Clone, Debug, Deserialize)]
+pub struct StatusView {
+    /// The run's durable state.
+    #[serde(flatten)]
+    pub state: RunState,
+    /// Best usable trial so far, absent before the first checkpoint.
+    #[serde(default)]
+    pub best: Option<BestSoFar>,
+}
+
+/// API client bound to one server address.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// One request/response exchange; returns `(status, body)`.
+    fn exchange(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Vec<u8>), ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let body = body.unwrap_or(&[]);
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        )?;
+        stream.write_all(body)?;
+        stream.flush()?;
+
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        let header_end = raw
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .ok_or_else(|| ClientError::Protocol("response has no header terminator".into()))?;
+        let head = std::str::from_utf8(&raw[..header_end])
+            .map_err(|_| ClientError::Protocol("non-UTF-8 response headers".into()))?;
+        let status: u16 = head
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line in `{head}`")))?;
+        Ok((status, raw[header_end + 4..].to_vec()))
+    }
+
+    /// Exchanges and decodes, mapping error statuses to [`ClientError::Api`].
+    fn json<T: serde::de::DeserializeOwned>(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<T, ClientError> {
+        let (status, body) = self.exchange(method, path, body)?;
+        if !(200..300).contains(&status) {
+            return Err(api_error(status, &body));
+        }
+        serde_json::from_slice(&body).map_err(|e| {
+            ClientError::Protocol(format!("decoding {path} response: {e}"))
+        })
+    }
+
+    /// `GET /healthz`: whether the server answers.
+    pub fn health(&self) -> Result<bool, ClientError> {
+        Ok(self.exchange("GET", "/healthz", None)?.0 == 200)
+    }
+
+    /// `GET /metrics`: Prometheus text.
+    ///
+    /// # Errors
+    /// Transport failures or an error status.
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        let (status, body) = self.exchange("GET", "/metrics", None)?;
+        if status != 200 {
+            return Err(api_error(status, &body));
+        }
+        Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// `POST /api/v1/runs`: submits a spec, returning the new run's state.
+    ///
+    /// # Errors
+    /// Transport failures, or 422 with the validation message.
+    pub fn submit(&self, spec: &RunSpec) -> Result<RunState, ClientError> {
+        let body = serde_json::to_vec(spec)
+            .map_err(|e| ClientError::Protocol(format!("encoding spec: {e}")))?;
+        self.json("POST", "/api/v1/runs", Some(&body))
+    }
+
+    /// `GET /api/v1/runs`, optionally filtered by status label.
+    ///
+    /// # Errors
+    /// Transport failures or an error status.
+    pub fn runs(&self, status: Option<&str>) -> Result<Vec<RunState>, ClientError> {
+        let path = match status {
+            Some(s) => format!("/api/v1/runs?status={s}"),
+            None => "/api/v1/runs".to_string(),
+        };
+        self.json("GET", &path, None)
+    }
+
+    /// `GET /api/v1/runs/{id}`: state plus best-so-far.
+    ///
+    /// # Errors
+    /// Transport failures, 404 for unknown runs.
+    pub fn status(&self, id: &str) -> Result<StatusView, ClientError> {
+        self.json("GET", &format!("/api/v1/runs/{id}"), None)
+    }
+
+    /// `POST /api/v1/runs/{id}/cancel`.
+    ///
+    /// # Errors
+    /// Transport failures, 404 unknown, 409 wrong lifecycle stage.
+    pub fn cancel(&self, id: &str) -> Result<(), ClientError> {
+        let (status, body) = self.exchange("POST", &format!("/api/v1/runs/{id}/cancel"), None)?;
+        if !(200..300).contains(&status) {
+            return Err(api_error(status, &body));
+        }
+        Ok(())
+    }
+
+    /// `POST /api/v1/runs/{id}/resume`: requeues a cancelled/failed run.
+    ///
+    /// # Errors
+    /// Transport failures, 404 unknown, 409 wrong lifecycle stage.
+    pub fn resume(&self, id: &str) -> Result<RunState, ClientError> {
+        self.json("POST", &format!("/api/v1/runs/{id}/resume"), None)
+    }
+
+    /// `GET /api/v1/runs/{id}/events?from=N`: journal lines from `from` on.
+    ///
+    /// # Errors
+    /// Transport failures, 404 for unknown runs.
+    pub fn events(&self, id: &str, from: usize) -> Result<String, ClientError> {
+        let (status, body) =
+            self.exchange("GET", &format!("/api/v1/runs/{id}/events?from={from}"), None)?;
+        if status != 200 {
+            return Err(api_error(status, &body));
+        }
+        Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// `GET /api/v1/runs/{id}/result`: the completed run's result.
+    ///
+    /// # Errors
+    /// Transport failures, 404 unknown, 409 while the run is unfinished.
+    pub fn result(&self, id: &str) -> Result<RunResult, ClientError> {
+        self.json("GET", &format!("/api/v1/runs/{id}/result"), None)
+    }
+}
+
+/// Decodes `{"error": ...}`, falling back to the raw body.
+fn api_error(status: u16, body: &[u8]) -> ClientError {
+    #[derive(Deserialize)]
+    struct Envelope {
+        error: String,
+    }
+    let message = serde_json::from_slice::<Envelope>(body)
+        .map(|e| e.error)
+        .unwrap_or_else(|_| String::from_utf8_lossy(body).into_owned());
+    ClientError::Api { status, message }
+}

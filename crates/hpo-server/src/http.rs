@@ -1,0 +1,289 @@
+//! A minimal, dependency-free HTTP/1.1 layer over `std::net`.
+//!
+//! Just enough protocol for a loopback JSON API: request-line + headers +
+//! `Content-Length` bodies on the way in, fixed-length `Connection: close`
+//! responses on the way out. No chunked encoding, no keep-alive, no TLS —
+//! every exchange is one connection, which keeps both this server and the
+//! [`crate::client`] trivially correct.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Largest request body accepted, generous for any plausible `RunSpec`.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A parsed request: method, path, query parameters and body.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercased HTTP method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/api/v1/runs`.
+    pub path: String,
+    /// Query parameters, last occurrence wins.
+    pub query: HashMap<String, String>,
+    /// Raw request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A request that could not be parsed; the server answers 400.
+#[derive(Debug)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Request {
+    /// Reads one request off the stream.
+    ///
+    /// # Errors
+    /// [`ParseError`] for malformed request lines or headers, bodies beyond
+    /// [`MAX_BODY_BYTES`], or a connection closed mid-request.
+    pub fn read_from(stream: impl Read) -> Result<Request, ParseError> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| ParseError(format!("reading request line: {e}")))?;
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| ParseError("empty request line".into()))?
+            .to_ascii_uppercase();
+        let target = parts
+            .next()
+            .ok_or_else(|| ParseError("request line has no target".into()))?;
+        if !parts
+            .next()
+            .is_some_and(|v| v.starts_with("HTTP/1."))
+        {
+            return Err(ParseError("not an HTTP/1.x request".into()));
+        }
+
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            let n = reader
+                .read_line(&mut header)
+                .map_err(|e| ParseError(format!("reading header: {e}")))?;
+            if n == 0 {
+                return Err(ParseError("connection closed inside headers".into()));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            let Some((name, value)) = header.split_once(':') else {
+                return Err(ParseError(format!("malformed header `{header}`")));
+            };
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad content-length `{}`", value.trim())))?;
+            }
+        }
+        if content_length > MAX_BODY_BYTES {
+            return Err(ParseError(format!(
+                "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            )));
+        }
+        let mut body = vec![0u8; content_length];
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| ParseError(format!("reading {content_length}-byte body: {e}")))?;
+
+        let (path, query_str) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let mut query = HashMap::new();
+        for pair in query_str.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.insert(percent_decode(k), percent_decode(v));
+        }
+        Ok(Request {
+            method,
+            path: percent_decode(path),
+            query,
+            body,
+        })
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space; invalid escapes pass through.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from any serializable value.
+    pub fn json(status: u16, value: &impl serde::Serialize) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: serde_json::to_string_pretty(value)
+                .map(String::into_bytes)
+                .unwrap_or_else(|e| {
+                    format!("{{\"error\":\"serializing response: {e}\"}}").into_bytes()
+                }),
+        }
+    }
+
+    /// A plain-text response (used by `/metrics` and journal tails).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// The standard error shape: `{"error": "..."}`.
+    pub fn error(status: u16, message: impl std::fmt::Display) -> Response {
+        #[derive(serde::Serialize)]
+        struct Err {
+            error: String,
+        }
+        Response::json(
+            status,
+            &Err {
+                error: message.to_string(),
+            },
+        )
+    }
+
+    /// Serializes the response onto the stream with `Connection: close`.
+    ///
+    /// # Errors
+    /// IO failures writing to the stream.
+    pub fn write_to(&self, mut stream: impl Write) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Status",
+        };
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let raw = b"POST /api/v1/runs?status=queued&x=a%20b HTTP/1.1\r\n\
+                    Host: localhost\r\n\
+                    Content-Length: 4\r\n\
+                    \r\nbody";
+        let req = Request::read_from(&raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/api/v1/runs");
+        assert_eq!(req.query.get("status").map(String::as_str), Some("queued"));
+        assert_eq!(req.query.get("x").map(String::as_str), Some("a b"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_bodies() {
+        assert!(Request::read_from(&b"not http at all\r\n\r\n"[..]).is_err());
+        let oversized = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = Request::read_from(oversized.as_bytes()).unwrap_err();
+        assert!(err.0.contains("exceeds"), "{err}");
+        // Declared body never arrives: must error, not hang or truncate.
+        assert!(Request::read_from(&b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"[..]).is_err());
+    }
+
+    #[test]
+    fn response_wire_format_is_parseable() {
+        let mut out = Vec::new();
+        Response::json(200, &serde_json::json!({"ok": true}))
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(
+            text.lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .unwrap()
+                .parse::<usize>()
+                .unwrap(),
+            body.len()
+        );
+    }
+
+    #[test]
+    fn error_shape_is_stable() {
+        let resp = Response::error(422, "bad spec");
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["error"].as_str(), Some("bad spec"));
+        assert_eq!(resp.status, 422);
+    }
+}

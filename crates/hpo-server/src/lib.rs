@@ -1,0 +1,45 @@
+//! HPO-as-a-service: a job-queue server for the bandit optimizers.
+//!
+//! This crate turns [`hpo_core::run_method_with`] into a long-running
+//! service (DESIGN.md §5.9):
+//!
+//! - [`spec`]: the submission contract. A [`spec::RunSpec`] is a small JSON
+//!   document naming dataset, method, pipeline, seed and budget knobs;
+//!   [`spec::RunSpec::prepare`] deterministically expands it into the exact
+//!   inputs `run_method_with` takes, so a run submitted over the API
+//!   produces a result *byte-identical* to invoking the harness directly
+//!   with the same spec (the service integration tests assert this).
+//! - [`registry`]: the persistent run registry. One directory per run under
+//!   `--data-dir`, holding the spec, a versioned state file, the crash-safe
+//!   checkpoint, the append-only event journal and (on completion) the
+//!   result — every file written through the atomic-replace discipline of
+//!   [`hpo_core::persist`]. On startup the registry is rebuilt by scanning
+//!   the directory; undecodable run directories are quarantined, not
+//!   panicked over, and runs that were mid-flight when the previous server
+//!   died are requeued to resume from their checkpoints.
+//! - [`server`]: the scheduler and HTTP front end. Queued runs are admitted
+//!   into a bounded number of concurrent slots; each slot executes the run
+//!   through the full evaluator stack with `resume: true` and a cooperative
+//!   [`hpo_core::CancelToken`], so both user cancellation and server
+//!   shutdown leave a resumable checkpoint behind.
+//! - [`http`] + [`api`]: a dependency-free HTTP/1.1 server over
+//!   `std::net::TcpListener` with a JSON API — submit, list, status with
+//!   best-trial-so-far, journal tail, cancel, resume, result, Prometheus
+//!   metrics.
+//! - [`client`]: the equally dependency-free client the `bhpo` CLI
+//!   subcommands (`submit`, `runs`, `status`, `watch`, `cancel`, `resume`,
+//!   `result`) are built on.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod registry;
+pub mod server;
+pub mod spec;
+
+pub use client::Client;
+pub use registry::{Registry, RunState, RunStatus};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use spec::RunSpec;

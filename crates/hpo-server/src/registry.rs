@@ -1,0 +1,545 @@
+//! The persistent run registry: one directory per run under the data dir.
+//!
+//! Layout (DESIGN.md §5.9):
+//!
+//! ```text
+//! data_dir/
+//!   runs/
+//!     run-000000/
+//!       spec.json        # the RunSpec, archived verbatim at submission
+//!       state.json       # versioned RunState (status, timestamps, resumes)
+//!       checkpoint.json  # hpo_core::persist::RunCheckpoint (crash-safe)
+//!       journal.jsonl    # append-only event journal, gap-free across restarts
+//!       result.json      # RunResult, written once on completion
+//!   quarantine/          # undecodable run directories, moved aside on startup
+//! ```
+//!
+//! Every JSON file goes through [`hpo_core::persist::write_json_atomic`]
+//! (temp file + fsync + rename + directory fsync), so a crash at any moment
+//! leaves either the old version or the new one, never a torn file. The
+//! registry holds no state that is not on disk: [`Registry::open`] rebuilds
+//! everything by scanning, which is also how a restarted server discovers
+//! the runs its predecessor left behind.
+
+use crate::spec::RunSpec;
+use hpo_core::harness::RunResult;
+use hpo_core::persist::{load_checkpoint, write_json_atomic, PersistError, RunCheckpoint};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Envelope version of `state.json`.
+pub const REGISTRY_VERSION: u32 = 1;
+
+/// Milliseconds since the Unix epoch.
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// A registry failure: IO/serialization trouble, or a bad run id.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Persistence failure (atomic write, decode, IO).
+    Persist(PersistError),
+    /// The run id does not exist, or is not a well-formed `run-NNNNNN` id.
+    UnknownRun(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Persist(e) => write!(f, "{e}"),
+            RegistryError::UnknownRun(id) => write!(f, "unknown run `{id}`"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Persist(e) => Some(e),
+            RegistryError::UnknownRun(_) => None,
+        }
+    }
+}
+
+impl From<PersistError> for RegistryError {
+    fn from(e: PersistError) -> Self {
+        RegistryError::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> Self {
+        RegistryError::Persist(PersistError::from(e))
+    }
+}
+
+impl From<serde_json::Error> for RegistryError {
+    fn from(e: serde_json::Error) -> Self {
+        RegistryError::Persist(PersistError::from(e))
+    }
+}
+
+/// Lifecycle of a registered run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum RunStatus {
+    /// Waiting for a scheduler slot.
+    Queued,
+    /// Executing in a slot right now. A run found `Running` on startup was
+    /// interrupted by a server death and is requeued by [`Registry::recover`].
+    Running,
+    /// Finished; `result.json` exists.
+    Completed,
+    /// Cancelled by a client; the checkpoint is resumable.
+    Cancelled,
+    /// The worker slot panicked; `error` explains.
+    Failed,
+}
+
+impl RunStatus {
+    /// The lowercase wire label (matches the serde rename).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Queued => "queued",
+            RunStatus::Running => "running",
+            RunStatus::Completed => "completed",
+            RunStatus::Cancelled => "cancelled",
+            RunStatus::Failed => "failed",
+        }
+    }
+
+    /// Parses a wire label (used by `?status=` filters).
+    pub fn parse(label: &str) -> Option<RunStatus> {
+        Some(match label {
+            "queued" => RunStatus::Queued,
+            "running" => RunStatus::Running,
+            "completed" => RunStatus::Completed,
+            "cancelled" => RunStatus::Cancelled,
+            "failed" => RunStatus::Failed,
+            _ => return None,
+        })
+    }
+
+    /// Whether the run will make no further progress without a resume.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            RunStatus::Completed | RunStatus::Cancelled | RunStatus::Failed
+        )
+    }
+}
+
+/// The durable state of one run (`state.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunState {
+    /// Envelope version ([`REGISTRY_VERSION`]).
+    pub version: u32,
+    /// The run id (`run-NNNNNN`), also its directory name.
+    pub id: String,
+    /// Current lifecycle stage.
+    pub status: RunStatus,
+    /// Submission time, ms since the Unix epoch.
+    pub submitted_ms: u64,
+    /// Last state transition, ms since the Unix epoch.
+    pub updated_ms: u64,
+    /// Failure detail when `status == Failed`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+    /// How many times the run was requeued after an interruption (server
+    /// death or explicit resume of a cancelled run).
+    #[serde(default)]
+    pub resumes: u32,
+}
+
+/// What [`Registry::recover`] did at startup.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Runs found `Running` (the previous server died mid-run) and requeued.
+    pub requeued: Vec<String>,
+    /// Directory names moved into `quarantine/` because their spec or state
+    /// no longer decodes.
+    pub quarantined: Vec<String>,
+}
+
+/// The best usable trial recorded in a run's checkpoint so far.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BestSoFar {
+    /// Halving score of the best trial.
+    pub score: f64,
+    /// Instance budget that trial ran at.
+    pub budget: usize,
+    /// Completed trials in the checkpoint.
+    pub n_trials: usize,
+}
+
+/// Handle over the on-disk registry. Cheap to share behind an `Arc`; the
+/// only in-memory state is the id counter.
+#[derive(Debug)]
+pub struct Registry {
+    root: PathBuf,
+    next_id: Mutex<u64>,
+}
+
+/// Validates a client-supplied run id before it is joined onto a path, so
+/// `GET /api/v1/runs/../..` cannot escape the registry.
+fn parse_run_id(id: &str) -> Option<u64> {
+    let digits = id.strip_prefix("run-")?;
+    if digits.len() != 6 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn format_run_id(n: u64) -> String {
+    format!("run-{n:06}")
+}
+
+impl Registry {
+    /// Opens (creating if needed) the registry under `data_dir` and seeds
+    /// the id counter past every existing run.
+    ///
+    /// # Errors
+    /// IO failures creating or scanning the directories.
+    pub fn open(data_dir: impl AsRef<Path>) -> Result<Registry, RegistryError> {
+        let root = data_dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(root.join("runs"))?;
+        std::fs::create_dir_all(root.join("quarantine"))?;
+        let mut max_seen = None::<u64>;
+        for entry in std::fs::read_dir(root.join("runs"))? {
+            let name = entry?.file_name();
+            if let Some(n) = name.to_str().and_then(parse_run_id) {
+                max_seen = Some(max_seen.map_or(n, |m| m.max(n)));
+            }
+        }
+        Ok(Registry {
+            root,
+            next_id: Mutex::new(max_seen.map_or(0, |m| m + 1)),
+        })
+    }
+
+    /// The registry's data directory.
+    pub fn data_dir(&self) -> &Path {
+        &self.root
+    }
+
+    fn runs_dir(&self) -> PathBuf {
+        self.root.join("runs")
+    }
+
+    /// The directory of `id`, after validating the id's shape.
+    ///
+    /// # Errors
+    /// [`RegistryError::UnknownRun`] for a malformed id or one with no
+    /// directory on disk.
+    pub fn run_dir(&self, id: &str) -> Result<PathBuf, RegistryError> {
+        if parse_run_id(id).is_none() {
+            return Err(RegistryError::UnknownRun(id.to_string()));
+        }
+        let dir = self.runs_dir().join(id);
+        if !dir.is_dir() {
+            return Err(RegistryError::UnknownRun(id.to_string()));
+        }
+        Ok(dir)
+    }
+
+    /// Path of the run's checkpoint file.
+    pub fn checkpoint_path(&self, id: &str) -> Result<PathBuf, RegistryError> {
+        Ok(self.run_dir(id)?.join("checkpoint.json"))
+    }
+
+    /// Path of the run's append-only event journal.
+    pub fn journal_path(&self, id: &str) -> Result<PathBuf, RegistryError> {
+        Ok(self.run_dir(id)?.join("journal.jsonl"))
+    }
+
+    /// Path of the run's result file (exists only after completion).
+    pub fn result_path(&self, id: &str) -> Result<PathBuf, RegistryError> {
+        Ok(self.run_dir(id)?.join("result.json"))
+    }
+
+    /// Registers a new run: allocates the next id, creates its directory,
+    /// archives the spec, and writes a `Queued` state.
+    ///
+    /// # Errors
+    /// IO or serialization failures.
+    pub fn create_run(&self, spec: &RunSpec) -> Result<RunState, RegistryError> {
+        let id = {
+            let mut next = self.next_id.lock().expect("registry id lock");
+            let id = format_run_id(*next);
+            *next += 1;
+            id
+        };
+        let dir = self.runs_dir().join(&id);
+        std::fs::create_dir_all(&dir)?;
+        write_json_atomic(
+            dir.join("spec.json"),
+            serde_json::to_string_pretty(spec)?.as_bytes(),
+        )?;
+        let now = now_ms();
+        let state = RunState {
+            version: REGISTRY_VERSION,
+            id,
+            status: RunStatus::Queued,
+            submitted_ms: now,
+            updated_ms: now,
+            error: None,
+            resumes: 0,
+        };
+        self.save_state(&state)?;
+        Ok(state)
+    }
+
+    /// Reads a run's archived spec.
+    ///
+    /// # Errors
+    /// Unknown id, IO failures, or an undecodable file.
+    pub fn load_spec(&self, id: &str) -> Result<RunSpec, RegistryError> {
+        let text = std::fs::read_to_string(self.run_dir(id)?.join("spec.json"))?;
+        Ok(serde_json::from_str(&text)?)
+    }
+
+    /// Reads a run's durable state.
+    ///
+    /// # Errors
+    /// Unknown id, IO failures, or an undecodable file.
+    pub fn load_state(&self, id: &str) -> Result<RunState, RegistryError> {
+        let text = std::fs::read_to_string(self.run_dir(id)?.join("state.json"))?;
+        Ok(serde_json::from_str(&text)?)
+    }
+
+    /// Persists a state transition atomically, stamping `updated_ms`.
+    ///
+    /// # Errors
+    /// IO or serialization failures.
+    pub fn save_state(&self, state: &RunState) -> Result<(), RegistryError> {
+        let mut state = state.clone();
+        state.updated_ms = now_ms();
+        let dir = self.runs_dir().join(&state.id);
+        write_json_atomic(
+            dir.join("state.json"),
+            serde_json::to_string_pretty(&state)?.as_bytes(),
+        )?;
+        Ok(())
+    }
+
+    /// Persists a completed run's result.
+    ///
+    /// # Errors
+    /// IO or serialization failures.
+    pub fn save_result(&self, id: &str, result: &RunResult) -> Result<(), RegistryError> {
+        write_json_atomic(
+            self.result_path(id)?,
+            serde_json::to_string_pretty(result)?.as_bytes(),
+        )?;
+        Ok(())
+    }
+
+    /// Reads a completed run's result.
+    ///
+    /// # Errors
+    /// Unknown id, a run that has not completed, or an undecodable file.
+    pub fn load_result(&self, id: &str) -> Result<RunResult, RegistryError> {
+        let text = std::fs::read_to_string(self.result_path(id)?)?;
+        Ok(serde_json::from_str(&text)?)
+    }
+
+    /// The best usable trial in the run's checkpoint, or `None` while no
+    /// checkpoint (or no finite-scored trial) exists yet.
+    pub fn best_so_far(&self, id: &str) -> Option<BestSoFar> {
+        let cp = self.load_checkpoint_if_matching(id)?;
+        let n_trials = cp.entries.len();
+        cp.entries
+            .iter()
+            .filter(|e| e.outcome.status.is_ok() && e.outcome.score.is_finite())
+            .max_by(|a, b| {
+                (a.outcome.score, a.budget)
+                    .partial_cmp(&(b.outcome.score, b.budget))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|e| BestSoFar {
+                score: e.outcome.score,
+                budget: e.budget,
+                n_trials,
+            })
+    }
+
+    fn load_checkpoint_if_matching(&self, id: &str) -> Option<RunCheckpoint> {
+        let path = self.checkpoint_path(id).ok()?;
+        if !path.is_file() {
+            return None;
+        }
+        load_checkpoint(path).ok()
+    }
+
+    /// All registered runs, sorted by id (submission order).
+    ///
+    /// Run directories whose state fails to decode are skipped here (they
+    /// are [`Registry::recover`]'s concern, and listing must not fail
+    /// because one directory is damaged).
+    pub fn list(&self) -> Vec<RunState> {
+        let Ok(entries) = std::fs::read_dir(self.runs_dir()) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str().map(str::to_string))
+            .filter(|name| parse_run_id(name).is_some())
+            .collect();
+        ids.sort();
+        ids.iter()
+            .filter_map(|id| self.load_state(id).ok())
+            .collect()
+    }
+
+    /// Startup recovery pass: requeues interrupted runs and quarantines
+    /// undecodable directories.
+    ///
+    /// A run whose state says `Running` can only mean the previous server
+    /// process died mid-run (a clean shutdown transitions its runs first),
+    /// so it is flipped back to `Queued` with `resumes + 1`; the scheduler
+    /// then resumes it from its checkpoint. A directory whose `spec.json`
+    /// or `state.json` no longer decodes — torn by a crash that predates
+    /// the atomic-write discipline, or damaged out-of-band — is moved
+    /// wholesale into `quarantine/` (suffixed with the recovery timestamp so
+    /// repeated quarantines never collide) rather than panicking the server.
+    ///
+    /// # Errors
+    /// IO failures scanning or moving directories.
+    pub fn recover(&self) -> Result<RecoveryReport, RegistryError> {
+        let mut report = RecoveryReport::default();
+        let mut ids: Vec<String> = std::fs::read_dir(self.runs_dir())?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str().map(str::to_string))
+            .filter(|name| parse_run_id(name).is_some())
+            .collect();
+        ids.sort();
+        for id in ids {
+            let decodes = self.load_spec(&id).is_ok();
+            match (decodes, self.load_state(&id)) {
+                (true, Ok(mut state)) => {
+                    if state.status == RunStatus::Running {
+                        state.status = RunStatus::Queued;
+                        state.resumes += 1;
+                        self.save_state(&state)?;
+                        report.requeued.push(id);
+                    }
+                }
+                _ => {
+                    let from = self.runs_dir().join(&id);
+                    let to = self
+                        .root
+                        .join("quarantine")
+                        .join(format!("{id}-{}", now_ms()));
+                    std::fs::rename(&from, &to)?;
+                    report.quarantined.push(id);
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hpo-registry-{tag}-{}-{}",
+            std::process::id(),
+            now_ms()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn create_list_and_reload() {
+        let dir = temp_dir("crud");
+        let reg = Registry::open(&dir).unwrap();
+        let a = reg.create_run(&RunSpec::default()).unwrap();
+        let b = reg.create_run(&RunSpec::default()).unwrap();
+        assert_eq!(a.id, "run-000000");
+        assert_eq!(b.id, "run-000001");
+        assert_eq!(a.status, RunStatus::Queued);
+        assert_eq!(reg.load_spec(&a.id).unwrap(), RunSpec::default());
+
+        // A fresh handle over the same directory sees the same runs and
+        // does not reuse ids.
+        let reg2 = Registry::open(&dir).unwrap();
+        let ids: Vec<String> = reg2.list().into_iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec!["run-000000", "run-000001"]);
+        let c = reg2.create_run(&RunSpec::default()).unwrap();
+        assert_eq!(c.id, "run-000002");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_ids_never_touch_paths() {
+        let dir = temp_dir("ids");
+        let reg = Registry::open(&dir).unwrap();
+        for bad in ["../escape", "run-1", "run-00000a", "run-0000000", ""] {
+            assert!(
+                matches!(reg.run_dir(bad), Err(RegistryError::UnknownRun(_))),
+                "id `{bad}` must be rejected"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_requeues_running_and_quarantines_torn() {
+        let dir = temp_dir("recover");
+        let reg = Registry::open(&dir).unwrap();
+        let mut interrupted = reg.create_run(&RunSpec::default()).unwrap();
+        let untouched = reg.create_run(&RunSpec::default()).unwrap();
+        interrupted.status = RunStatus::Running;
+        reg.save_state(&interrupted).unwrap();
+        // A torn state file, as a crashed pre-atomic writer would leave it.
+        let torn = reg.create_run(&RunSpec::default()).unwrap();
+        std::fs::write(
+            reg.run_dir(&torn.id).unwrap().join("state.json"),
+            "{\"version\":1,\"id\":\"run-0",
+        )
+        .unwrap();
+
+        let report = reg.recover().unwrap();
+        assert_eq!(report.requeued, vec![interrupted.id.clone()]);
+        assert_eq!(report.quarantined, vec![torn.id.clone()]);
+
+        let after = reg.load_state(&interrupted.id).unwrap();
+        assert_eq!(after.status, RunStatus::Queued);
+        assert_eq!(after.resumes, 1);
+        assert_eq!(reg.load_state(&untouched.id).unwrap().resumes, 0);
+        assert!(matches!(
+            reg.load_state(&torn.id),
+            Err(RegistryError::UnknownRun(_))
+        ));
+        assert_eq!(
+            std::fs::read_dir(dir.join("quarantine")).unwrap().count(),
+            1
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn status_labels_roundtrip() {
+        for s in [
+            RunStatus::Queued,
+            RunStatus::Running,
+            RunStatus::Completed,
+            RunStatus::Cancelled,
+            RunStatus::Failed,
+        ] {
+            assert_eq!(RunStatus::parse(s.as_str()), Some(s));
+            let json = serde_json::to_string(&s).unwrap();
+            assert_eq!(json, format!("\"{}\"", s.as_str()));
+        }
+        assert_eq!(RunStatus::parse("nope"), None);
+    }
+}

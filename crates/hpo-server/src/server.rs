@@ -1,0 +1,393 @@
+//! The scheduler and server lifecycle.
+//!
+//! [`serve`] binds a `TcpListener`, recovers the registry (requeueing runs a
+//! dead predecessor left `Running`, quarantining undecodable directories),
+//! and starts two threads: an accept loop handing each connection to
+//! [`crate::api::route`], and a scheduler that admits queued runs into a
+//! bounded number of worker slots. Each slot executes the full evaluator
+//! stack via [`hpo_core::run_method_with`] with `resume: true`, an
+//! append-mode journal recorder, and a per-run [`CancelToken`], so:
+//!
+//! - a *user cancel* flips the token and marks the run `Cancelled` — its
+//!   checkpoint stays resumable and `POST .../resume` requeues it;
+//! - a *server shutdown* flips the token but leaves the on-disk state
+//!   `Running`, which is exactly the signature [`Registry::recover`]
+//!   requeues at the next startup — kill-and-restart resumes mid-flight
+//!   runs without operator action.
+
+use crate::registry::{Registry, RunStatus};
+use crate::spec::RunSpec;
+use hpo_core::harness::{RunOptions, RunResult};
+use hpo_core::obs::{global_metrics, Recorder, RunEvent};
+use hpo_core::CancelToken;
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the scheduler and accept loops poll their queues.
+const POLL_EVERY: Duration = Duration::from_millis(10);
+
+/// Server knobs: where to listen, where the registry lives, how many runs
+/// execute at once.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Registry root; created if missing.
+    pub data_dir: PathBuf,
+    /// Concurrent worker slots.
+    pub slots: usize,
+    /// `RunOptions::checkpoint_every` for every executed run.
+    pub checkpoint_every: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            data_dir: PathBuf::from("hpo-data"),
+            slots: 2,
+            checkpoint_every: 1,
+        }
+    }
+}
+
+/// A run currently occupying a worker slot.
+pub(crate) struct RunningEntry {
+    /// Cooperative stop signal threaded through the whole evaluator stack.
+    pub(crate) cancel: CancelToken,
+    /// Set only by a client cancel; distinguishes "user asked" (state goes
+    /// `Cancelled`) from "server is shutting down" (state stays `Running`
+    /// on disk so the next startup requeues it).
+    pub(crate) user_cancelled: Arc<AtomicBool>,
+}
+
+/// State shared between the API handlers, the scheduler and the workers.
+pub(crate) struct Shared {
+    pub(crate) registry: Registry,
+    pub(crate) config: ServerConfig,
+    pub(crate) queue: Mutex<VecDeque<String>>,
+    pub(crate) running: Mutex<HashMap<String, RunningEntry>>,
+    pub(crate) shutting_down: AtomicBool,
+}
+
+impl Shared {
+    /// Pushes a run onto the scheduler queue and refreshes the depth gauge.
+    pub(crate) fn enqueue(&self, id: String) {
+        let mut q = self.queue.lock().expect("queue lock");
+        q.push_back(id);
+        global_metrics()
+            .gauge("hpo_server_queue_depth")
+            .set(q.len() as f64);
+    }
+
+    /// Removes a queued id, returning whether it was present.
+    pub(crate) fn dequeue(&self, id: &str) -> bool {
+        let mut q = self.queue.lock().expect("queue lock");
+        let before = q.len();
+        q.retain(|qid| qid != id);
+        let removed = q.len() != before;
+        global_metrics()
+            .gauge("hpo_server_queue_depth")
+            .set(q.len() as f64);
+        removed
+    }
+}
+
+/// A handle over a live server: its bound address and a clean shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    recorder: Recorder,
+    accept_thread: Option<JoinHandle<()>>,
+    scheduler_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves `:0` to the chosen port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, cancels in-flight runs *without* marking them
+    /// user-cancelled, joins every thread, and flushes the server journal.
+    ///
+    /// In-flight runs checkpoint and keep their on-disk state `Running`, so
+    /// a subsequent [`serve`] on the same data dir requeues and resumes
+    /// them — this is also how the integration tests simulate a server
+    /// death without killing the test process.
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        {
+            let running = self.shared.running.lock().expect("running lock");
+            for entry in running.values() {
+                entry.cancel.cancel();
+            }
+        }
+        if let Some(t) = self.scheduler_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let _ = self.recorder.flush();
+    }
+}
+
+/// Binds, recovers, and starts serving. Returns once the listener is live.
+///
+/// # Errors
+/// Bind failures, registry IO failures, or a server-journal failure.
+pub fn serve(config: ServerConfig) -> Result<ServerHandle, Box<dyn std::error::Error>> {
+    let registry = Registry::open(&config.data_dir)?;
+    let report = registry.recover()?;
+    let metrics = global_metrics();
+    metrics
+        .counter("hpo_server_runs_resumed_total")
+        .add(report.requeued.len() as u64);
+
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    // The server keeps its own lifecycle journal beside the runs; append
+    // mode preserves the history across restarts.
+    let recorder = Recorder::builder()
+        .journal_append(config.data_dir.join("server.jsonl"))
+        .build()?;
+    recorder.emit(RunEvent::ServerStarted {
+        addr: addr.to_string(),
+        data_dir: config.data_dir.display().to_string(),
+        slots: config.slots,
+    });
+
+    let shared = Arc::new(Shared {
+        registry,
+        config: config.clone(),
+        queue: Mutex::new(VecDeque::new()),
+        running: Mutex::new(HashMap::new()),
+        shutting_down: AtomicBool::new(false),
+    });
+    metrics.gauge("hpo_server_slots").set(config.slots as f64);
+
+    // Seed the queue with every non-terminal run on disk, in id order:
+    // freshly-requeued interrupted runs and runs that never got a slot.
+    for state in shared.registry.list() {
+        if state.status == RunStatus::Queued {
+            shared.enqueue(state.id);
+        }
+    }
+
+    let accept_thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(listener, shared))
+    };
+    let scheduler_thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || scheduler_loop(shared))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        recorder,
+        accept_thread: Some(accept_thread),
+        scheduler_thread: Some(scheduler_thread),
+    })
+}
+
+/// Accepts connections until shutdown, one handler thread per connection.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                handlers.push(std::thread::spawn(move || {
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    crate::api::handle_connection(stream, &shared);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(POLL_EVERY);
+            }
+            Err(_) => std::thread::sleep(POLL_EVERY),
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Admits queued runs into free slots until shutdown, then joins workers.
+fn scheduler_loop(shared: Arc<Shared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let free = {
+            let running = shared.running.lock().expect("running lock");
+            shared.config.slots.saturating_sub(running.len())
+        };
+        for _ in 0..free {
+            let Some(id) = shared.queue.lock().expect("queue lock").pop_front() else {
+                break;
+            };
+            global_metrics()
+                .gauge("hpo_server_queue_depth")
+                .set(shared.queue.lock().expect("queue lock").len() as f64);
+            let cancel = CancelToken::new();
+            let user_cancelled = Arc::new(AtomicBool::new(false));
+            {
+                let mut running = shared.running.lock().expect("running lock");
+                running.insert(
+                    id.clone(),
+                    RunningEntry {
+                        cancel: cancel.clone(),
+                        user_cancelled: Arc::clone(&user_cancelled),
+                    },
+                );
+                global_metrics()
+                    .gauge("hpo_server_active_runs")
+                    .set(running.len() as f64);
+            }
+            let shared_w = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || {
+                execute_run(&shared_w, &id, cancel, &user_cancelled);
+                let mut running = shared_w.running.lock().expect("running lock");
+                running.remove(&id);
+                global_metrics()
+                    .gauge("hpo_server_active_runs")
+                    .set(running.len() as f64);
+            }));
+        }
+        workers.retain(|w| !w.is_finished());
+        std::thread::sleep(POLL_EVERY);
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Marks a run failed, best-effort.
+fn mark_failed(shared: &Shared, id: &str, error: String) {
+    if let Ok(mut state) = shared.registry.load_state(id) {
+        state.status = RunStatus::Failed;
+        state.error = Some(error);
+        let _ = shared.registry.save_state(&state);
+    }
+    global_metrics().counter("hpo_server_runs_failed_total").inc();
+}
+
+/// Executes one run in the current thread: the worker-slot body.
+fn execute_run(shared: &Shared, id: &str, cancel: CancelToken, user_cancelled: &AtomicBool) {
+    let registry = &shared.registry;
+    let (spec, mut state) = match (registry.load_spec(id), registry.load_state(id)) {
+        (Ok(spec), Ok(state)) => (spec, state),
+        (Err(e), _) | (_, Err(e)) => {
+            mark_failed(shared, id, format!("loading run: {e}"));
+            return;
+        }
+    };
+    state.status = RunStatus::Running;
+    state.error = None;
+    if let Err(e) = registry.save_state(&state) {
+        mark_failed(shared, id, format!("persisting Running state: {e}"));
+        return;
+    }
+
+    let outcome = run_from_spec(shared, id, &spec, cancel);
+    match outcome {
+        Ok(result) if result.cancelled => {
+            if user_cancelled.load(Ordering::SeqCst) {
+                state.status = RunStatus::Cancelled;
+                if registry.save_state(&state).is_ok() {
+                    global_metrics()
+                        .counter("hpo_server_runs_cancelled_total")
+                        .inc();
+                }
+            }
+            // Shutdown interrupt: leave the on-disk state `Running`; the
+            // next startup's recover() requeues it for resumption.
+        }
+        Ok(result) => {
+            if let Err(e) = registry.save_result(id, &result) {
+                mark_failed(shared, id, format!("persisting result: {e}"));
+                return;
+            }
+            state.status = RunStatus::Completed;
+            if registry.save_state(&state).is_ok() {
+                global_metrics()
+                    .counter("hpo_server_runs_completed_total")
+                    .inc();
+            }
+        }
+        Err(message) => mark_failed(shared, id, message),
+    }
+}
+
+/// Prepares and runs the spec with the full evaluator stack. Returns a
+/// human-readable error string for both spec failures and worker panics.
+fn run_from_spec(
+    shared: &Shared,
+    id: &str,
+    spec: &RunSpec,
+    cancel: CancelToken,
+) -> Result<RunResult, String> {
+    let prepared = spec.prepare().map_err(|e| format!("preparing spec: {e}"))?;
+    let registry = &shared.registry;
+    let checkpoint = registry
+        .checkpoint_path(id)
+        .map_err(|e| format!("resolving checkpoint path: {e}"))?;
+    let journal = registry
+        .journal_path(id)
+        .map_err(|e| format!("resolving journal path: {e}"))?;
+    // Append mode keeps one gap-free journal across every resume of the
+    // run, trimming any torn tail a crash left behind.
+    let recorder = Recorder::builder()
+        .journal_append(journal)
+        .build()
+        .map_err(|e| format!("opening journal: {e}"))?;
+    let opts = RunOptions {
+        checkpoint: Some(checkpoint),
+        checkpoint_every: shared.config.checkpoint_every,
+        resume: true,
+        recorder: recorder.clone(),
+        workers: spec.workers,
+        warm_start: spec.warm_start,
+        cancel,
+        ..RunOptions::default()
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        hpo_core::run_method_with(
+            &prepared.train,
+            &prepared.test,
+            &prepared.space,
+            prepared.pipeline,
+            &prepared.base,
+            &prepared.method,
+            spec.seed,
+            &opts,
+        )
+    }));
+    let _ = recorder.flush();
+    result.map_err(|panic| {
+        let detail = panic
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| panic.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string panic payload>");
+        format!("worker panicked: {detail}")
+    })
+}

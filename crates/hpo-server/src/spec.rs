@@ -1,0 +1,324 @@
+//! The submission contract: what a client sends to start a run.
+//!
+//! A [`RunSpec`] is deliberately a *description*, not a bag of live
+//! objects: everything in it is a string or number, so it serializes to a
+//! small JSON document that is archived verbatim in the run's registry
+//! directory. [`RunSpec::prepare`] expands the description into the exact
+//! `run_method_with` inputs — deterministically, from the spec alone — which
+//! is what makes "same spec ⇒ same result" hold whether the run went
+//! through the service or was invoked directly (the service tests compare
+//! the two byte-for-byte).
+
+use hpo_core::asha::AshaConfig;
+use hpo_core::bohb::BohbConfig;
+use hpo_core::dehb::DehbConfig;
+use hpo_core::harness::Method;
+use hpo_core::hyperband::HyperbandConfig;
+use hpo_core::pasha::PashaConfig;
+use hpo_core::pipeline::Pipeline;
+use hpo_core::random_search::RandomSearchConfig;
+use hpo_core::sha::ShaConfig;
+use hpo_core::space::SearchSpace;
+use hpo_data::dataset::Dataset;
+use hpo_data::synth::catalog::PaperDataset;
+use hpo_models::mlp::MlpParams;
+use serde::{Deserialize, Serialize};
+
+/// A validation or preparation failure, with a client-facing message.
+#[derive(Debug)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn default_method() -> String {
+    "sha".to_string()
+}
+fn default_pipeline() -> String {
+    "enhanced".to_string()
+}
+fn default_space() -> String {
+    "cv18".to_string()
+}
+fn default_scale() -> f64 {
+    1.0
+}
+fn default_max_iter() -> usize {
+    20
+}
+fn default_workers() -> usize {
+    1
+}
+fn default_warm_start() -> bool {
+    true
+}
+
+/// One run submission: dataset, optimizer, pipeline, seed and budget knobs.
+///
+/// Every field has a serde default, so a minimal submission is just
+/// `{"dataset": "synth:australian"}`. The spec is archived in the run's
+/// registry directory exactly as validated, and is the *only* input to
+/// [`RunSpec::prepare`] besides itself — no server state leaks into the
+/// run, which is what keeps service results identical to direct ones.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct RunSpec {
+    /// Dataset spec: `synth:<catalog-name>` (see `bhpo datasets`).
+    pub dataset: String,
+    /// Fraction of the synthetic dataset to load, in `(0, 1]`. Small
+    /// scales make cheap smoke runs.
+    #[serde(default = "default_scale")]
+    pub scale: f64,
+    /// Optimizer: `random|sha|hb|bohb|asha|pasha|dehb`.
+    #[serde(default = "default_method")]
+    pub method: String,
+    /// Evaluation pipeline: `vanilla|enhanced`.
+    #[serde(default = "default_pipeline")]
+    pub pipeline: String,
+    /// Search space: `cv18` (the 18-point grid) or `table3:<1..8>` (the
+    /// paper's Table III space with that many hyperparameters).
+    #[serde(default = "default_space")]
+    pub space: String,
+    /// The run seed; drives grouping, folds, weight init and the method's
+    /// own randomness.
+    #[serde(default)]
+    pub seed: u64,
+    /// Training epochs of every trial's MLP.
+    #[serde(default = "default_max_iter")]
+    pub max_iter: usize,
+    /// Worker threads for trial evaluation (results are identical at every
+    /// value).
+    #[serde(default = "default_workers")]
+    pub workers: usize,
+    /// Warm-start budget continuation (DESIGN.md §5.8).
+    #[serde(default = "default_warm_start")]
+    pub warm_start: bool,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            dataset: "synth:australian".to_string(),
+            scale: default_scale(),
+            method: default_method(),
+            pipeline: default_pipeline(),
+            space: default_space(),
+            seed: 0,
+            max_iter: default_max_iter(),
+            workers: default_workers(),
+            warm_start: default_warm_start(),
+        }
+    }
+}
+
+/// The fully-expanded inputs of one `run_method_with` invocation.
+pub struct PreparedRun {
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out test split.
+    pub test: Dataset,
+    /// The search space.
+    pub space: SearchSpace,
+    /// Base hyperparameters every configuration starts from.
+    pub base: MlpParams,
+    /// The optimizer.
+    pub method: Method,
+    /// The evaluation pipeline.
+    pub pipeline: Pipeline,
+}
+
+impl RunSpec {
+    /// Validates every field, returning a client-facing message for the
+    /// first problem found. Called at submission time so a bad spec is
+    /// rejected with HTTP 422 instead of failing later in a worker slot.
+    ///
+    /// # Errors
+    /// [`SpecError`] describing the offending field.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let Some(name) = self.dataset.strip_prefix("synth:") else {
+            return Err(SpecError(format!(
+                "dataset `{}` is not a synth:<name> spec (see `bhpo datasets`)",
+                self.dataset
+            )));
+        };
+        if PaperDataset::from_name(name).is_none() {
+            return Err(SpecError(format!("unknown catalog dataset `{name}`")));
+        }
+        if !(self.scale > 0.0 && self.scale <= 1.0) {
+            return Err(SpecError(format!(
+                "scale {} out of range (0, 1]",
+                self.scale
+            )));
+        }
+        parse_method(&self.method)?;
+        parse_pipeline(&self.pipeline)?;
+        parse_space(&self.space)?;
+        if self.max_iter == 0 {
+            return Err(SpecError("max_iter must be at least 1".into()));
+        }
+        if self.workers == 0 {
+            return Err(SpecError("workers must be at least 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Expands the spec into concrete `run_method_with` inputs.
+    ///
+    /// Deterministic: the same spec always yields the same datasets, space
+    /// and configs, so a service-executed run and a direct invocation from
+    /// the same spec are the same run.
+    ///
+    /// # Errors
+    /// [`SpecError`] when validation fails (prepare re-validates, so a spec
+    /// read back from disk gets the same scrutiny as a submitted one).
+    pub fn prepare(&self) -> Result<PreparedRun, SpecError> {
+        self.validate()?;
+        let name = self.dataset.strip_prefix("synth:").expect("validated");
+        let ds = PaperDataset::from_name(name).expect("validated");
+        // The catalog's own split is deterministic in (scale, seed); use it
+        // directly rather than rejoining and re-splitting.
+        let tt = ds.load(self.scale, self.seed);
+        let base = MlpParams {
+            max_iter: self.max_iter,
+            ..Default::default()
+        };
+        Ok(PreparedRun {
+            train: tt.train,
+            test: tt.test,
+            space: parse_space(&self.space)?,
+            base,
+            method: parse_method(&self.method)?,
+            pipeline: parse_pipeline(&self.pipeline)?,
+        })
+    }
+}
+
+/// Parses the method label into a default-configured [`Method`].
+fn parse_method(label: &str) -> Result<Method, SpecError> {
+    Ok(match label {
+        "random" => Method::Random(RandomSearchConfig::default()),
+        "sha" => Method::Sha(ShaConfig::default()),
+        "hb" => Method::Hyperband(HyperbandConfig::default()),
+        "bohb" => Method::Bohb(BohbConfig::default()),
+        "asha" => Method::Asha(AshaConfig::default()),
+        "pasha" => Method::Pasha(PashaConfig::default()),
+        "dehb" => Method::Dehb(DehbConfig::default()),
+        other => {
+            return Err(SpecError(format!(
+                "unknown method `{other}` (expected random|sha|hb|bohb|asha|pasha|dehb)"
+            )))
+        }
+    })
+}
+
+fn parse_pipeline(label: &str) -> Result<Pipeline, SpecError> {
+    match label {
+        "vanilla" => Ok(Pipeline::vanilla()),
+        "enhanced" => Ok(Pipeline::enhanced()),
+        other => Err(SpecError(format!(
+            "unknown pipeline `{other}` (expected vanilla|enhanced)"
+        ))),
+    }
+}
+
+fn parse_space(label: &str) -> Result<SearchSpace, SpecError> {
+    if label == "cv18" {
+        return Ok(SearchSpace::mlp_cv18());
+    }
+    if let Some(hps) = label.strip_prefix("table3:") {
+        let hps: usize = hps
+            .parse()
+            .map_err(|_| SpecError(format!("invalid table3 arity `{hps}`")))?;
+        if !(1..=8).contains(&hps) {
+            return Err(SpecError(format!("table3 arity {hps} out of range 1..8")));
+        }
+        return Ok(SearchSpace::mlp_table3(hps));
+    }
+    Err(SpecError(format!(
+        "unknown space `{label}` (expected cv18 or table3:<1..8>)"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_json_fills_defaults() {
+        let spec: RunSpec = serde_json::from_str(r#"{"dataset":"synth:australian"}"#).unwrap();
+        assert_eq!(spec.method, "sha");
+        assert_eq!(spec.pipeline, "enhanced");
+        assert_eq!(spec.space, "cv18");
+        assert_eq!(spec.workers, 1);
+        assert!(spec.warm_start);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let err = serde_json::from_str::<RunSpec>(
+            r#"{"dataset":"synth:australian","turbo":true}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("turbo"), "{err}");
+    }
+
+    #[test]
+    fn validation_names_the_offending_field() {
+        let bad = |f: fn(&mut RunSpec)| {
+            let mut s = RunSpec::default();
+            f(&mut s);
+            s.validate().unwrap_err().to_string()
+        };
+        assert!(bad(|s| s.dataset = "train.csv".into()).contains("synth:"));
+        assert!(bad(|s| s.dataset = "synth:nope".into()).contains("nope"));
+        assert!(bad(|s| s.scale = 0.0).contains("scale"));
+        assert!(bad(|s| s.scale = 1.5).contains("scale"));
+        assert!(bad(|s| s.method = "gradient".into()).contains("gradient"));
+        assert!(bad(|s| s.pipeline = "turbo".into()).contains("turbo"));
+        assert!(bad(|s| s.space = "grid99".into()).contains("grid99"));
+        assert!(bad(|s| s.space = "table3:9".into()).contains("9"));
+        assert!(bad(|s| s.max_iter = 0).contains("max_iter"));
+        assert!(bad(|s| s.workers = 0).contains("workers"));
+    }
+
+    #[test]
+    fn prepare_is_deterministic() {
+        let spec = RunSpec {
+            scale: 0.1,
+            max_iter: 2,
+            ..RunSpec::default()
+        };
+        let a = spec.prepare().unwrap();
+        let b = spec.prepare().unwrap();
+        assert_eq!(a.train.n_instances(), b.train.n_instances());
+        assert_eq!(a.test.n_instances(), b.test.n_instances());
+        assert_eq!(a.train.y(), b.train.y());
+        assert_eq!(a.space.n_configurations(), b.space.n_configurations());
+        assert_eq!(a.method.label(), "SHA");
+        assert_eq!(a.pipeline.label, "enhanced");
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = RunSpec {
+            dataset: "synth:blood".into(),
+            scale: 0.25,
+            method: "asha".into(),
+            pipeline: "vanilla".into(),
+            space: "table3:2".into(),
+            seed: 7,
+            max_iter: 5,
+            workers: 3,
+            warm_start: false,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: RunSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,274 @@
+//! End-to-end service tests over real loopback sockets (ISSUE acceptance):
+//!
+//! 1. N concurrent API-submitted runs produce results byte-identical to
+//!    direct `run_method_with` invocations of the same specs.
+//! 2. A server "killed" mid-run (shutdown leaves states `Running` on disk)
+//!    and restarted on the same data dir resumes interrupted runs to the
+//!    same result, with one gap-free journal across both server lives.
+//! 3. Cancelling a run leaves a resumable checkpoint and a `RunCancelled`
+//!    journal event; resuming completes it to the direct-run result.
+
+use hpo_core::harness::{RunOptions, RunResult};
+use hpo_core::obs::{read_journal, RunEvent};
+use hpo_server::{serve, Client, RunSpec, RunStatus, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Generous ceiling for every wait in these tests; polling exits early.
+const WAIT: Duration = Duration::from_secs(300);
+
+fn temp_data_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hpo-service-{tag}-{}-{:?}",
+        std::process::id(),
+        Instant::now()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(data_dir: &Path, slots: usize) -> (hpo_server::ServerHandle, Client) {
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: data_dir.to_path_buf(),
+        slots,
+        checkpoint_every: 1,
+    })
+    .expect("server starts");
+    let client = Client::new(handle.addr().to_string());
+    (handle, client)
+}
+
+fn wait_until(what: &str, mut ready: impl FnMut() -> bool) {
+    let deadline = Instant::now() + WAIT;
+    while !ready() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_for_status(client: &Client, id: &str, status: RunStatus) {
+    wait_until(&format!("{id} to reach {}", status.as_str()), || {
+        client.status(id).is_ok_and(|v| v.state.status == status)
+    });
+}
+
+/// What "identical" means across invocations: everything except wall-clock
+/// and resume bookkeeping. `search_seconds` is elapsed time; `n_resumed`
+/// counts checkpoint replays, which only a restarted run performs. Every
+/// model-relevant field — selected configuration, scores, cost, trial
+/// counts — must match byte for byte.
+fn normalized(mut r: RunResult) -> String {
+    r.search_seconds = 0.0;
+    r.n_resumed = 0;
+    serde_json::to_string(&r).unwrap()
+}
+
+fn direct_run(spec: &RunSpec) -> RunResult {
+    let p = spec.prepare().expect("spec prepares");
+    hpo_core::run_method_with(
+        &p.train,
+        &p.test,
+        &p.space,
+        p.pipeline,
+        &p.base,
+        &p.method,
+        spec.seed,
+        &RunOptions {
+            workers: spec.workers,
+            warm_start: spec.warm_start,
+            ..RunOptions::default()
+        },
+    )
+}
+
+fn quick_spec(method: &str, seed: u64, workers: usize) -> RunSpec {
+    RunSpec {
+        dataset: "synth:australian".to_string(),
+        scale: 0.05,
+        method: method.to_string(),
+        seed,
+        max_iter: 2,
+        workers,
+        ..RunSpec::default()
+    }
+}
+
+/// A run long enough that the tests can reliably interrupt it after its
+/// first finished trial but well before completion.
+fn slow_spec(seed: u64) -> RunSpec {
+    RunSpec {
+        dataset: "synth:australian".to_string(),
+        scale: 0.3,
+        method: "sha".to_string(),
+        seed,
+        max_iter: 40,
+        workers: 1,
+        ..RunSpec::default()
+    }
+}
+
+fn journal_has_finished_trial(data_dir: &Path, id: &str) -> bool {
+    let path = data_dir.join("runs").join(id).join("journal.jsonl");
+    match read_journal(&path) {
+        Ok(replay) => replay
+            .events
+            .iter()
+            .any(|r| matches!(r.event, RunEvent::TrialFinished { .. })),
+        Err(_) => false,
+    }
+}
+
+#[test]
+fn concurrent_api_runs_match_direct_invocations() {
+    let data_dir = temp_data_dir("concurrent");
+    let (handle, client) = start(&data_dir, 3);
+
+    let specs = [
+        quick_spec("sha", 1, 1),
+        quick_spec("asha", 2, 2),
+        quick_spec("hb", 3, 1),
+    ];
+    let ids: Vec<String> = specs
+        .iter()
+        .map(|s| client.submit(s).expect("submit").id)
+        .collect();
+    for id in &ids {
+        wait_for_status(&client, id, RunStatus::Completed);
+    }
+    for (spec, id) in specs.iter().zip(&ids) {
+        let via_api = client.result(id).expect("result");
+        assert_eq!(
+            normalized(via_api),
+            normalized(direct_run(spec)),
+            "server-executed {id} must match the direct invocation"
+        );
+    }
+
+    // The registry survives the server: a fresh handle lists all three.
+    handle.shutdown();
+    let (handle2, client2) = start(&data_dir, 1);
+    let listed = client2.runs(Some("completed")).expect("list");
+    assert_eq!(listed.len(), 3);
+    handle2.shutdown();
+    std::fs::remove_dir_all(&data_dir).ok();
+}
+
+#[test]
+fn killed_server_resumes_interrupted_run_to_identical_result() {
+    let data_dir = temp_data_dir("restart");
+    let (handle, client) = start(&data_dir, 1);
+    let spec = slow_spec(11);
+    let id = client.submit(&spec).expect("submit").id;
+
+    // Interrupt only after real progress, so the restart genuinely replays
+    // checkpointed trials rather than starting cold.
+    wait_until("first finished trial", || {
+        journal_has_finished_trial(&data_dir, &id)
+    });
+    // shutdown() cancels the worker but deliberately leaves state.json at
+    // `Running` — the on-disk signature of a dead server.
+    handle.shutdown();
+
+    let seq_before = read_journal(data_dir.join("runs").join(&id).join("journal.jsonl"))
+        .expect("journal readable after shutdown")
+        .events
+        .len();
+    assert!(seq_before > 0, "interrupted run journaled trials");
+
+    let (handle2, client2) = start(&data_dir, 1);
+    wait_for_status(&client2, &id, RunStatus::Completed);
+    let view = client2.status(&id).expect("status");
+    assert_eq!(view.state.resumes, 1, "recovery requeued the run once");
+
+    let resumed = client2.result(&id).expect("result");
+    assert!(resumed.n_resumed > 0, "completion replayed checkpointed trials");
+    assert_eq!(
+        normalized(resumed),
+        normalized(direct_run(&spec)),
+        "kill + restart must converge to the uninterrupted result"
+    );
+
+    // One journal, gap-free across both server lives.
+    let replay = read_journal(data_dir.join("runs").join(&id).join("journal.jsonl")).unwrap();
+    assert!(!replay.is_truncated());
+    for (i, rec) in replay.events.iter().enumerate() {
+        assert_eq!(rec.seq, i as u64, "journal seq must have no gaps");
+    }
+    handle2.shutdown();
+    std::fs::remove_dir_all(&data_dir).ok();
+}
+
+#[test]
+fn cancel_leaves_resumable_checkpoint_and_journal_event() {
+    let data_dir = temp_data_dir("cancel");
+    let (handle, client) = start(&data_dir, 1);
+    let spec = slow_spec(23);
+    let id = client.submit(&spec).expect("submit").id;
+
+    wait_until("first finished trial", || {
+        journal_has_finished_trial(&data_dir, &id)
+    });
+    client.cancel(&id).expect("cancel accepted");
+    wait_for_status(&client, &id, RunStatus::Cancelled);
+
+    let run_dir = data_dir.join("runs").join(&id);
+    assert!(
+        run_dir.join("checkpoint.json").is_file(),
+        "cancelled run keeps its checkpoint"
+    );
+    let replay = read_journal(run_dir.join("journal.jsonl")).unwrap();
+    assert!(
+        replay
+            .events
+            .iter()
+            .any(|r| matches!(r.event, RunEvent::RunCancelled { .. })),
+        "cancellation is journaled"
+    );
+    // Cancelled runs expose progress but no result.
+    assert!(client.status(&id).expect("status").best.is_some());
+    assert!(client.result(&id).is_err(), "no result before completion");
+
+    // Resume requeues it; completion matches the never-cancelled run.
+    client.resume(&id).expect("resume accepted");
+    wait_for_status(&client, &id, RunStatus::Completed);
+    let resumed = client.result(&id).expect("result");
+    assert!(resumed.n_resumed > 0, "resume replayed the checkpoint");
+    assert_eq!(
+        normalized(resumed),
+        normalized(direct_run(&spec)),
+        "cancel + resume must converge to the uninterrupted result"
+    );
+    handle.shutdown();
+    std::fs::remove_dir_all(&data_dir).ok();
+}
+
+#[test]
+fn api_rejects_bad_submissions_and_unknown_runs() {
+    let data_dir = temp_data_dir("errors");
+    let (handle, client) = start(&data_dir, 1);
+
+    let bad = RunSpec {
+        dataset: "synth:not-a-dataset".to_string(),
+        ..RunSpec::default()
+    };
+    match client.submit(&bad) {
+        Err(hpo_server::client::ClientError::Api { status, message }) => {
+            assert_eq!(status, 422);
+            assert!(message.contains("not-a-dataset"), "{message}");
+        }
+        other => panic!("expected a 422, got {other:?}"),
+    }
+    match client.status("run-999999") {
+        Err(hpo_server::client::ClientError::Api { status, .. }) => assert_eq!(status, 404),
+        other => panic!("expected a 404, got {other:?}"),
+    }
+    assert!(client.health().expect("health"));
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics.contains("hpo_server_http_requests_total"),
+        "{metrics}"
+    );
+    handle.shutdown();
+    std::fs::remove_dir_all(&data_dir).ok();
+}
