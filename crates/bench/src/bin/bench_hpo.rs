@@ -21,6 +21,12 @@
 //! HTTP API, and reports the service overhead — submit-to-first-trial
 //! latency and end-to-end trials/sec through the API versus the same spec
 //! invoked directly via `run_method_with`.
+//!
+//! With `--fleet`, benchmarks the distributed runner fleet instead:
+//! for each runner count (default 1, 2, 4) it starts a `--fleet`
+//! coordinator plus that many in-process runner threads, submits one
+//! spec, and reports trials/sec versus runner count — asserting at each
+//! width that the fleet result matches the direct invocation.
 
 use hpo_bench::args::ExpArgs;
 use hpo_bench::report::Table;
@@ -166,6 +172,7 @@ fn server_smoke(args: &ExpArgs, out_path: &str) {
         data_dir: data_dir.clone(),
         slots: 1,
         checkpoint_every: 1,
+        ..ServerConfig::default()
     })
     .expect("server starts");
     let client = Client::new(handle.addr().to_string());
@@ -266,6 +273,168 @@ fn server_smoke(args: &ExpArgs, out_path: &str) {
     std::fs::remove_dir_all(&data_dir).ok();
 }
 
+/// `--fleet` mode: trials/sec through the distributed runner fleet at
+/// 1, 2 and 4 runners. Each row spins up a fresh `--fleet` coordinator
+/// plus N in-process runner threads (chaos inert), submits one spec,
+/// waits for completion, and checks the result against the direct
+/// invocation — so the report also re-proves the byte-identity contract
+/// at every fleet width.
+fn fleet_bench(args: &ExpArgs, out_path: &str) {
+    use hpo_core::CancelToken;
+    use hpo_server::{
+        run_runner, serve, ChaosPlan, Client, FleetConfig, RunSpec, RunnerConfig, RunnerExit,
+        ServerConfig,
+    };
+
+    let spec = RunSpec {
+        dataset: "synth:australian".to_string(),
+        scale: args.scale,
+        method: args.get("method").unwrap_or_else(|| "sha".to_string()),
+        seed: args.seed,
+        max_iter: args.get("max-iter").unwrap_or(10),
+        workers: 1,
+        ..RunSpec::default()
+    };
+    let runner_counts: Vec<usize> = args
+        .get::<String>("runners")
+        .unwrap_or_else(|| "1,2,4".to_string())
+        .split(',')
+        .map(|w| w.trim().parse().expect("--runners expects integers"))
+        .collect();
+
+    let prepared = spec.prepare().expect("spec prepares");
+    let direct_start = Instant::now();
+    let direct = run_method_with(
+        &prepared.train,
+        &prepared.test,
+        &prepared.space,
+        prepared.pipeline,
+        &prepared.base,
+        &prepared.method,
+        spec.seed,
+        &RunOptions {
+            workers: spec.workers,
+            warm_start: spec.warm_start,
+            ..RunOptions::default()
+        },
+    );
+    let direct_wall = direct_start.elapsed().as_secs_f64();
+    let normalized = |mut r: hpo_core::harness::RunResult| {
+        r.search_seconds = 0.0;
+        r.n_resumed = 0;
+        serde_json::to_string(&r).expect("result serializes")
+    };
+    let direct_norm = normalized(direct.clone());
+    let direct_tps = direct.n_evaluations as f64 / direct_wall.max(1e-9);
+    println!(
+        "fleet bench: direct {direct_tps:.1} trials/s ({} trials, {:.2}s); \
+         runner counts {runner_counts:?}",
+        direct.n_evaluations, direct_wall,
+    );
+
+    let mut rows = Vec::new();
+    let mut base_tps = f64::NAN;
+    for &n_runners in &runner_counts {
+        let data_dir = std::env::temp_dir().join(format!(
+            "hpo-bench-fleet-{}-{n_runners}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&data_dir).expect("create bench data dir");
+        let handle = serve(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: data_dir.clone(),
+            slots: 1,
+            checkpoint_every: 1,
+            fleet: FleetConfig {
+                enabled: true,
+                ..FleetConfig::default()
+            },
+        })
+        .expect("fleet server starts");
+        let addr = handle.addr().to_string();
+        let client = Client::new(addr.clone());
+
+        let stop = CancelToken::new();
+        let runners: Vec<_> = (0..n_runners)
+            .map(|i| {
+                let config = RunnerConfig {
+                    server: addr.clone(),
+                    name: Some(format!("bench-runner-{i}")),
+                    poll: std::time::Duration::from_millis(20),
+                    heartbeat_every: std::time::Duration::from_millis(500),
+                    chaos: ChaosPlan::default(),
+                };
+                let stop = stop.clone();
+                std::thread::spawn(move || run_runner(&config, &stop).expect("runner loop"))
+            })
+            .collect();
+
+        let submitted = Instant::now();
+        let id = client.submit(&spec).expect("submit").id;
+        let deadline = submitted + std::time::Duration::from_secs(600);
+        loop {
+            assert!(
+                Instant::now() < deadline,
+                "fleet bench timed out at {n_runners} runners"
+            );
+            let view = client.status(&id).expect("status");
+            if view.state.status.is_terminal() {
+                assert_eq!(view.state.status, hpo_server::RunStatus::Completed);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let wall = submitted.elapsed().as_secs_f64();
+        let via_fleet = client.result(&id).expect("result");
+
+        stop.cancel();
+        for r in runners {
+            let report = r.join().expect("runner thread");
+            assert_eq!(report.exit, RunnerExit::Stopped);
+        }
+        handle.shutdown();
+        std::fs::remove_dir_all(&data_dir).ok();
+
+        let results_match = normalized(via_fleet.clone()) == direct_norm;
+        let tps = via_fleet.n_evaluations as f64 / wall.max(1e-9);
+        if base_tps.is_nan() {
+            base_tps = tps;
+        }
+        let speedup = if base_tps > 0.0 { tps / base_tps } else { 0.0 };
+        println!(
+            "fleet bench: {n_runners} runner(s) {tps:.1} trials/s \
+             ({} trials, {wall:.2}s, {speedup:.2}x vs {} runner), results match: {results_match}",
+            via_fleet.n_evaluations, runner_counts[0],
+        );
+        rows.push(serde_json::json!({
+            "runners": n_runners,
+            "wall_seconds": wall,
+            "trials": via_fleet.n_evaluations,
+            "trials_per_sec": tps,
+            "speedup": speedup,
+            "results_match": results_match,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "hpo",
+        "mode": "fleet",
+        "seed": args.seed,
+        "scale": args.scale,
+        "method": spec.method,
+        "max_iter": spec.max_iter,
+        "direct": {
+            "wall_seconds": direct_wall,
+            "trials": direct.n_evaluations,
+            "trials_per_sec": direct_tps,
+        },
+        "fleet": rows,
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    write_json_atomic(out_path, text.as_bytes()).expect("write benchmark report");
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args = ExpArgs::parse();
     let datasets = args.datasets_or(&[PaperDataset::Australian]);
@@ -274,6 +443,10 @@ fn main() {
         .unwrap_or_else(|| "BENCH_hpo.json".to_string());
     if args.get::<String>("server").as_deref() == Some("true") {
         server_smoke(&args, &out_path);
+        return;
+    }
+    if args.get::<String>("fleet").as_deref() == Some("true") {
+        fleet_bench(&args, &out_path);
         return;
     }
     let pipeline = match args

@@ -88,6 +88,10 @@ const USAGE: &str = "usage:
   bhpo groups   --data <file|synth:name> [--v N] [--algo kmeans|meanshift|affinity] [--seed N]
   bhpo datasets
   bhpo serve    --data-dir DIR [--addr 127.0.0.1:7878] [--slots N] [--checkpoint-every N]
+                [--fleet] [--lease-ttl-ms N] [--heartbeat-ttl-ms N] [--lease-chunk N] [--local-grace-ms N]
+  bhpo runner   [--server HOST:PORT] [--name NAME] [--poll-ms N] [--heartbeat-ms N]
+                [--chaos-seed N] [--chaos-kill-after-trials N] [--chaos-silence-heartbeats]
+                [--chaos-drop-prob 0..1] [--chaos-dup-prob 0..1] [--chaos-straggle-ms N]
   bhpo submit   --data synth:name [--server HOST:PORT] [--method ...] [--pipeline ...] [--space cv18|table3:1..8]
                 [--seed N] [--scale 0..1] [--max-iter N] [--workers N] [--warm-start on|off]
   bhpo runs     [--server HOST:PORT] [--status queued|running|completed|cancelled|failed]
@@ -111,6 +115,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "groups" => commands::groups(&flags),
         "datasets" => commands::datasets(),
         "serve" => service::serve(&flags),
+        "runner" => service::runner(&flags),
         "submit" => service::submit(&flags),
         "runs" => service::runs(&flags),
         "status" => service::status(&flags),

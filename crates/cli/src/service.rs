@@ -5,7 +5,7 @@
 
 use crate::cli::{CliError, Flags};
 use hpo_server::client::StatusView;
-use hpo_server::{Client, RunSpec, ServerConfig};
+use hpo_server::{ChaosPlan, Client, FleetConfig, RunSpec, RunnerConfig, ServerConfig};
 use std::time::Duration;
 
 /// Default server address for every client verb.
@@ -31,17 +31,79 @@ pub fn serve(flags: &Flags) -> Result<(), CliError> {
             "--slots must be at least 1 (0 would never execute a run)".into(),
         ));
     }
+    let defaults = FleetConfig::default();
+    let fleet = FleetConfig {
+        enabled: flags.get("fleet").is_some(),
+        lease_ttl: Duration::from_millis(
+            flags.get_or("lease-ttl-ms", defaults.lease_ttl.as_millis() as u64)?,
+        ),
+        heartbeat_ttl: Duration::from_millis(flags.get_or(
+            "heartbeat-ttl-ms",
+            defaults.heartbeat_ttl.as_millis() as u64,
+        )?),
+        chunk: flags.get_or("lease-chunk", defaults.chunk)?,
+        local_grace: Duration::from_millis(
+            flags.get_or("local-grace-ms", defaults.local_grace.as_millis() as u64)?,
+        ),
+    };
     let config = ServerConfig {
         addr: flags.get("addr").unwrap_or(DEFAULT_SERVER).to_string(),
         data_dir: flags.require("data-dir")?.into(),
         slots,
         checkpoint_every: flags.get_or("checkpoint-every", 1usize)?,
+        fleet,
     };
-    let handle = hpo_server::serve(config).map_err(|e| CliError(format!("starting server: {e}")))?;
-    println!("serving on http://{}", handle.addr());
+    let fleet_on = config.fleet.enabled;
+    let handle =
+        hpo_server::serve(config).map_err(|e| CliError(format!("starting server: {e}")))?;
+    println!(
+        "serving on http://{}{}",
+        handle.addr(),
+        if fleet_on { " (fleet enabled)" } else { "" }
+    );
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }
+}
+
+/// `bhpo runner`: join a `--fleet` coordinator and evaluate leased trial
+/// batches until killed. The `--chaos-*` flags arm seeded fault injection
+/// (die mid-batch, go silent, drop/duplicate deliveries, straggle) and
+/// exist for the fleet's integration tests and CI chaos job.
+pub fn runner(flags: &Flags) -> Result<(), CliError> {
+    let defaults = RunnerConfig::default();
+    let chaos = ChaosPlan {
+        seed: flags.get_or("chaos-seed", 0u64)?,
+        kill_after_trials: match flags.get("chaos-kill-after-trials") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|_| {
+                CliError(format!("invalid value `{v}` for --chaos-kill-after-trials"))
+            })?),
+        },
+        silence_heartbeats: flags.get("chaos-silence-heartbeats").is_some(),
+        drop_result_prob: flags.get_or("chaos-drop-prob", 0.0f64)?,
+        dup_result_prob: flags.get_or("chaos-dup-prob", 0.0f64)?,
+        straggle_ms: flags.get_or("chaos-straggle-ms", 0u64)?,
+    };
+    let config = RunnerConfig {
+        server: flags.get("server").unwrap_or(DEFAULT_SERVER).to_string(),
+        name: flags.get("name").map(str::to_string),
+        poll: Duration::from_millis(flags.get_or("poll-ms", defaults.poll.as_millis() as u64)?),
+        heartbeat_every: Duration::from_millis(
+            flags.get_or("heartbeat-ms", defaults.heartbeat_every.as_millis() as u64)?,
+        ),
+        chaos,
+    };
+    if config.chaos.is_armed() {
+        eprintln!("runner: chaos plan armed: {:?}", config.chaos);
+    }
+    let stop = hpo_core::CancelToken::new();
+    let report = hpo_server::run_runner(&config, &stop).map_err(api_err)?;
+    println!(
+        "runner {} exited ({:?}): {} trials over {} leases",
+        report.runner, report.exit, report.trials, report.leases
+    );
+    Ok(())
 }
 
 /// Builds a [`RunSpec`] from submit flags (same names as `bhpo optimize`
@@ -121,7 +183,9 @@ fn print_status(view: &StatusView) {
 
 /// `bhpo status`: one run's state and best-trial-so-far.
 pub fn status(flags: &Flags) -> Result<(), CliError> {
-    let view = client(flags).status(flags.require("id")?).map_err(api_err)?;
+    let view = client(flags)
+        .status(flags.require("id")?)
+        .map_err(api_err)?;
     print_status(&view);
     Ok(())
 }
@@ -156,14 +220,18 @@ pub fn cancel(flags: &Flags) -> Result<(), CliError> {
 
 /// `bhpo resume`: requeue a cancelled or failed run.
 pub fn resume(flags: &Flags) -> Result<(), CliError> {
-    let state = client(flags).resume(flags.require("id")?).map_err(api_err)?;
+    let state = client(flags)
+        .resume(flags.require("id")?)
+        .map_err(api_err)?;
     println!("{} requeued (resumes: {})", state.id, state.resumes);
     Ok(())
 }
 
 /// `bhpo result`: fetch a completed run's result; `--json FILE` saves it.
 pub fn result(flags: &Flags) -> Result<(), CliError> {
-    let row = client(flags).result(flags.require("id")?).map_err(api_err)?;
+    let row = client(flags)
+        .result(flags.require("id")?)
+        .map_err(api_err)?;
     println!(
         "method={} pipeline={} {}: train {:.4} test {:.4}",
         row.method, row.pipeline, row.score_kind, row.train_score, row.test_score
@@ -176,8 +244,7 @@ pub fn result(flags: &Flags) -> Result<(), CliError> {
         row.search_cost_units as f64 / 1e9
     );
     if let Some(path) = flags.get("json") {
-        hpo_core::persist::save_run_result_file(&row, path)
-            .map_err(|e| CliError(e.to_string()))?;
+        hpo_core::persist::save_run_result_file(&row, path).map_err(|e| CliError(e.to_string()))?;
         println!("wrote {path}");
     }
     Ok(())

@@ -248,11 +248,12 @@ mod tests {
         let (data, base) = setup();
         // A cost ceiling low enough to truncate evaluations mid-fold: the
         // curve must aggregate whatever folds completed instead of panicking.
-        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), base.clone(), 9)
-            .with_failure_policy(FailurePolicy {
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), base.clone(), 9).with_failure_policy(
+            FailurePolicy {
                 max_cost_units: Some(1),
                 ..Default::default()
-            });
+            },
+        );
         let space = SearchSpace::mlp_cv18();
         let curve = budget_curve(&ev, &space, &space.configuration(0), &[60, 120], 3, 9);
         assert_eq!(curve.len(), 2);

@@ -219,7 +219,10 @@ impl TrialJob {
 /// lose the other jobs to one poisoned trial, so the escape hatch converts
 /// the unwind into the same failed outcome the retry loop would produce on
 /// its final attempt.
-pub fn contained_evaluate<E: TrialEvaluator + ?Sized>(evaluator: &E, job: &TrialJob) -> EvalOutcome {
+pub fn contained_evaluate<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
+    job: &TrialJob,
+) -> EvalOutcome {
     catch_unwind(AssertUnwindSafe(|| evaluator.evaluate_trial(job))).unwrap_or_else(|_| {
         let policy = evaluator.failure_policy();
         let total = evaluator.total_budget().max(1);
@@ -883,7 +886,10 @@ mod tests {
             FaultInjector::new(&ev, plan.clone()).with_policy(FailurePolicy::no_retries());
         let stream = (0..50u64)
             .find(|&s| {
-                no_retry.evaluate_trial(&TrialJob::new(quick_base(), 80, s)).status != TrialStatus::Completed
+                no_retry
+                    .evaluate_trial(&TrialJob::new(quick_base(), 80, s))
+                    .status
+                    != TrialStatus::Completed
             })
             .expect("some stream faults at p=0.5");
         // With enough retries, the jittered streams eventually draw no fault.

@@ -8,12 +8,13 @@
 use crate::asha::{asha, AshaConfig};
 use crate::bohb::{bohb, BohbConfig};
 use crate::cancel::CancelToken;
+use crate::continuation::ContinuationCache;
 use crate::dehb::{dehb, DehbConfig};
 use crate::evaluator::{fit_and_score, CvEvaluator, ScoreKind, TrialStatus};
 use crate::exec::{CheckpointingEvaluator, FailurePolicy, TrialEvaluator};
 use crate::hyperband::{hyperband, HyperbandConfig};
 use crate::obs::{self, ObservedEvaluator, Recorder, RunEvent};
-use crate::parallel::ParallelEvaluator;
+use crate::parallel::{EngineEvaluator, ExternalEngine, ParallelEvaluator};
 use crate::pasha::{pasha, PashaConfig};
 use crate::persist::load_checkpoint;
 use crate::pipeline::Pipeline;
@@ -23,7 +24,6 @@ use crate::space::{Configuration, SearchSpace};
 use crate::trial::History;
 use hpo_data::dataset::Dataset;
 use hpo_models::mlp::MlpParams;
-use crate::continuation::ContinuationCache;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -138,6 +138,14 @@ pub struct RunOptions {
     /// comes back with [`RunResult::cancelled`] set — resumable via
     /// `resume: true` with the same checkpoint.
     pub cancel: CancelToken,
+    /// External batch-execution backend. `None` (the default) fans batches
+    /// across the in-process thread pool ([`ParallelEvaluator`] with
+    /// `workers` threads); `Some` routes them through the given
+    /// [`ExternalEngine`] instead (e.g. `hpo-server`'s runner fleet), which
+    /// occupies the same decorator position and honours the same
+    /// determinism contract — journals and results are byte-identical
+    /// either way, modulo wall-clock readings.
+    pub engine: Option<Arc<dyn ExternalEngine>>,
 }
 
 impl Default for RunOptions {
@@ -151,6 +159,7 @@ impl Default for RunOptions {
             workers: 1,
             warm_start: true,
             cancel: CancelToken::none(),
+            engine: None,
         }
     }
 }
@@ -256,28 +265,92 @@ pub fn run_method_with(
     let score_kind = evaluator.score_kind();
 
     // Composition order (DESIGN.md §5.6/§5.7): observation sits inside the
-    // parallel engine (workers emit into thread-local buffers, replayed in
+    // batch engine (workers emit into thread-local buffers, replayed in
     // submission order), which sits inside checkpointing, so trials replayed
-    // from a resume cache emit no duplicate events and never hit the pool.
+    // from a resume cache emit no duplicate events and never hit the pool —
+    // or the fleet, when an external engine is plugged in.
     let observed = ObservedEvaluator::new(&evaluator, recorder.clone());
-    let engine = ParallelEvaluator::new(&observed, opts.workers);
-    let ckpt = CheckpointingEvaluator::new(
-        &engine,
+    let ctx = SearchContext {
+        train,
+        test,
+        space,
+        base_params,
+        method,
         seed,
-        &method_label,
-        &pipeline_label,
+        opts,
+        method_label: &method_label,
+        pipeline_label: &pipeline_label,
+        score_kind,
+        continuation: continuation.as_ref(),
+        recorder: &recorder,
+    };
+    match &opts.engine {
+        Some(external) => {
+            let engine =
+                EngineEvaluator::new(&observed, Arc::clone(external), continuation.clone());
+            search_and_report(&engine, &ctx)
+        }
+        None => {
+            let engine = ParallelEvaluator::new(&observed, opts.workers);
+            search_and_report(&engine, &ctx)
+        }
+    }
+}
+
+/// Everything [`search_and_report`] needs besides the engine-wrapped
+/// evaluator, bundled so the thread-pool and external-engine branches of
+/// [`run_method_with`] share one code path.
+#[derive(Clone, Copy)]
+struct SearchContext<'a> {
+    train: &'a Dataset,
+    test: &'a Dataset,
+    space: &'a SearchSpace,
+    base_params: &'a MlpParams,
+    method: &'a Method,
+    seed: u64,
+    opts: &'a RunOptions,
+    method_label: &'a str,
+    pipeline_label: &'a str,
+    score_kind: ScoreKind,
+    continuation: Option<&'a Arc<ContinuationCache>>,
+    recorder: &'a Recorder,
+}
+
+/// The engine-generic tail of [`run_method_with`]: wraps the engine in the
+/// checkpoint layer, absorbs a resumable checkpoint, runs the search, emits
+/// the terminal event and refits the winner.
+fn search_and_report<Eng: TrialEvaluator>(engine: &Eng, ctx: &SearchContext<'_>) -> RunResult {
+    let SearchContext {
+        train,
+        test,
+        space,
+        base_params,
+        method,
+        seed,
+        opts,
+        method_label,
+        pipeline_label,
+        score_kind,
+        continuation,
+        recorder,
+    } = *ctx;
+    let ckpt = CheckpointingEvaluator::new(
+        engine,
+        seed,
+        method_label,
+        pipeline_label,
         opts.checkpoint.clone(),
         opts.checkpoint_every,
     )
     .with_recorder(recorder.clone());
-    let ckpt = match &continuation {
+    let ckpt = match continuation {
         Some(cache) => ckpt.with_continuation(Arc::clone(cache)),
         None => ckpt,
     };
     if opts.resume {
         if let Some(path) = opts.checkpoint.as_deref().filter(|p| p.exists()) {
             match load_checkpoint(path) {
-                Ok(prior) if prior.matches(seed, &method_label, &pipeline_label) => {
+                Ok(prior) if prior.matches(seed, method_label, pipeline_label) => {
                     ckpt.absorb(prior);
                 }
                 Ok(_) => crate::obs_warn!(
@@ -292,10 +365,10 @@ pub fn run_method_with(
     }
 
     recorder.emit(RunEvent::RunStarted {
-        method: method_label.clone(),
-        pipeline: pipeline_label.clone(),
+        method: method_label.to_string(),
+        pipeline: pipeline_label.to_string(),
         seed,
-        total_budget: evaluator.total_budget(),
+        total_budget: engine.total_budget(),
     });
     obs::global_metrics().counter("hpo_runs_total").inc();
 
@@ -333,13 +406,13 @@ pub fn run_method_with(
     }
     if cancelled {
         recorder.emit(RunEvent::RunCancelled {
-            method: method_label.clone(),
+            method: method_label.to_string(),
             n_trials: n_evaluations,
             wall_seconds: search_seconds,
         });
     } else {
         recorder.emit(RunEvent::RunFinished {
-            method: method_label.clone(),
+            method: method_label.to_string(),
             n_trials: n_evaluations,
             n_failures,
             best_score,
@@ -363,8 +436,8 @@ pub fn run_method_with(
     };
 
     RunResult {
-        method: method_label,
-        pipeline: pipeline_label,
+        method: method_label.to_string(),
+        pipeline: pipeline_label.to_string(),
         best_config_desc: space.describe(&best),
         best_config: best,
         score_kind: score_kind.name().to_string(),

@@ -50,13 +50,13 @@ pub use cancel::CancelToken;
 pub use continuation::{params_fingerprint, ContinuationCache, SnapshotEntry, SnapshotSet};
 pub use evaluator::{CvEvaluator, EvalOutcome, ScoreKind, TrialStatus};
 pub use exec::{
-    compare_scores, CheckpointingEvaluator, FailurePolicy, FaultInjector, FaultPlan, TrialEvaluator,
-    TrialJob,
+    compare_scores, CheckpointingEvaluator, FailurePolicy, FaultInjector, FaultPlan,
+    TrialEvaluator, TrialJob,
 };
 pub use harness::{run_method, run_method_with, Method, RunOptions, RunResult};
 pub use obs::{
     EventRecord, LogLevel, MetricsSnapshot, ObservedEvaluator, Recorder, RunEvent, ScopedTimer,
 };
-pub use parallel::ParallelEvaluator;
+pub use parallel::{BatchHost, EngineEvaluator, EngineSlot, ExternalEngine, ParallelEvaluator};
 pub use pipeline::Pipeline;
 pub use space::{Configuration, SearchSpace};

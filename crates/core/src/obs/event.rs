@@ -158,6 +158,24 @@ pub enum RunEvent {
         /// Concurrent run slots the scheduler admits.
         slots: usize,
     },
+    /// The registry's startup scan sidelined an undecodable run directory
+    /// into `quarantine/` (emitted into the server's own journal, not a run
+    /// journal — the run's own journal is part of what was quarantined).
+    RunQuarantined {
+        /// Directory name of the quarantined run.
+        run: String,
+    },
+    /// A fleet runner registered with the coordinator (server journal).
+    RunnerRegistered {
+        /// Coordinator-assigned runner id.
+        runner: String,
+    },
+    /// A fleet runner missed enough heartbeats to be declared dead; its
+    /// outstanding leases expire and requeue (server journal).
+    RunnerLost {
+        /// Id of the runner that went silent.
+        runner: String,
+    },
     /// The run finished; the journal is complete.
     RunFinished {
         /// Optimizer label, mirroring [`RunEvent::RunStarted`].
@@ -189,6 +207,9 @@ impl RunEvent {
             RunEvent::CheckpointWritten { .. } => "CheckpointWritten",
             RunEvent::RunCancelled { .. } => "RunCancelled",
             RunEvent::ServerStarted { .. } => "ServerStarted",
+            RunEvent::RunQuarantined { .. } => "RunQuarantined",
+            RunEvent::RunnerRegistered { .. } => "RunnerRegistered",
+            RunEvent::RunnerLost { .. } => "RunnerLost",
             RunEvent::RunFinished { .. } => "RunFinished",
         }
     }

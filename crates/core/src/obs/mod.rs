@@ -95,6 +95,25 @@ pub(crate) fn take_trial_buffer() -> Option<TrialEventBuffer> {
     TRIAL_BUFFER.with(|b| b.borrow_mut().take())
 }
 
+/// Runs `f` with a trial event buffer installed for `trial_id`, returning
+/// its result together with the events the trial emitted, unstamped and in
+/// emission order.
+///
+/// This is the same capture mechanism [`crate::parallel::ParallelEvaluator`]
+/// uses on its pool workers, exposed for out-of-process execution engines:
+/// a remote runner evaluates a trial under `capture_trial_events`, ships the
+/// raw events back with the outcome, and the coordinator replays them in
+/// submission order — which is what keeps a distributed run's journal
+/// byte-identical to a local one. The buffer is installed before and taken
+/// after `f`, so even a caught unwind inside `f` leaves the thread-local
+/// clean.
+pub fn capture_trial_events<T>(trial_id: u64, f: impl FnOnce() -> T) -> (T, Vec<RunEvent>) {
+    install_trial_buffer(trial_id);
+    let out = f();
+    let events = take_trial_buffer().map(|b| b.events).unwrap_or_default();
+    (out, events)
+}
+
 #[derive(Debug)]
 struct RecorderInner {
     journal: Option<Mutex<JournalWriter>>,
@@ -153,7 +172,8 @@ impl Recorder {
         let mut event = Some(event);
         TRIAL_BUFFER.with(|b| {
             if let Some(buf) = b.borrow_mut().as_mut() {
-                buf.events.push(event.take().expect("event not yet consumed"));
+                buf.events
+                    .push(event.take().expect("event not yet consumed"));
             }
         });
         let Some(event) = event else {
@@ -353,12 +373,7 @@ fn prime_append_counters(path: &PathBuf) -> Result<AppendPriming, PersistError> 
         file.set_len(offset as u64)?;
         file.sync_all()?;
     }
-    let next_seq = replay
-        .events
-        .iter()
-        .map(|r| r.seq + 1)
-        .max()
-        .unwrap_or(0);
+    let next_seq = replay.events.iter().map(|r| r.seq + 1).max().unwrap_or(0);
     let next_trial_id = replay
         .events
         .iter()

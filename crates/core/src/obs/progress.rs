@@ -102,7 +102,10 @@ impl ProgressState {
             }
             RunEvent::Promotion { .. }
             | RunEvent::CheckpointWritten { .. }
-            | RunEvent::ServerStarted { .. } => false,
+            | RunEvent::ServerStarted { .. }
+            | RunEvent::RunQuarantined { .. }
+            | RunEvent::RunnerRegistered { .. }
+            | RunEvent::RunnerLost { .. } => false,
             RunEvent::RunCancelled { .. } => {
                 self.finished = true;
                 true

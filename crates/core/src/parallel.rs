@@ -29,10 +29,12 @@
 //! [`run_trial`]: crate::exec::run_trial
 
 use crate::cancel::CancelToken;
+use crate::continuation::{params_fingerprint, ContinuationCache, SnapshotEntry};
 use crate::evaluator::EvalOutcome;
 use crate::exec::{cancelled_outcome, contained_evaluate, FailurePolicy, TrialEvaluator, TrialJob};
-use crate::obs::{self, Recorder};
+use crate::obs::{self, Recorder, RunEvent};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The parallel execution engine: fans [`TrialJob`] batches across a
 /// crossbeam scoped worker pool while staying bit-identical to sequential
@@ -177,6 +179,204 @@ impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
     }
 }
 
+/// One slot's result as produced by an [`ExternalEngine`]: the outcome plus
+/// the raw (unstamped) events the trial emitted wherever it ran.
+///
+/// For remotely executed slots the events arrive over the wire; for locally
+/// evaluated fallback slots they come from
+/// [`crate::obs::capture_trial_events`]. Either way the coordinating
+/// [`EngineEvaluator`] replays them in submission order, which is what keeps
+/// the journal byte-identical to single-process execution.
+#[derive(Clone, Debug)]
+pub struct EngineSlot {
+    /// The trial's outcome.
+    pub outcome: EvalOutcome,
+    /// Events the trial emitted, in emission order, unstamped.
+    pub events: Vec<RunEvent>,
+}
+
+/// Host-side callbacks an [`ExternalEngine`] uses to evaluate jobs locally
+/// (graceful fallback, straggler mitigation) and to move warm-start
+/// snapshots across the process boundary.
+///
+/// Implemented by [`EngineEvaluator`]; object-safe so engines live behind
+/// `Arc<dyn ExternalEngine>` in [`crate::harness::RunOptions`].
+pub trait BatchHost: Sync {
+    /// Evaluates `job` on the calling thread under the reserved `trial_id`,
+    /// capturing its events exactly like a pool worker would.
+    fn evaluate_local(&self, job: &TrialJob, trial_id: u64) -> EngineSlot;
+
+    /// The synthetic outcome for a slot the engine abandoned because the run
+    /// was cancelled mid-batch: a `Cancelled` status and no events, matching
+    /// [`ParallelEvaluator`]'s unclaimed-slot semantics.
+    fn cancelled_slot(&self, job: &TrialJob) -> EngineSlot;
+
+    /// Whether the run's cancel token has been flipped.
+    fn is_cancelled(&self) -> bool;
+
+    /// The warm-start snapshot a remote worker needs to evaluate `job` with
+    /// the same continuation behaviour as a local run: the largest cached
+    /// snapshot of this configuration at or below the job's budget. `None`
+    /// when warm start is off, the job carries no continuation key, or no
+    /// snapshot exists yet (the trial runs cold, exactly as it would here).
+    fn snapshot_for(&self, job: &TrialJob) -> Option<SnapshotEntry>;
+
+    /// Imports a snapshot a remote worker produced, so later rungs of the
+    /// same configuration warm-start from it — locally or on any runner.
+    fn import_snapshot(&self, entry: SnapshotEntry);
+}
+
+/// A pluggable batch-execution backend: something that can take a batch of
+/// [`TrialJob`]s (with trial ids pre-reserved as `base_trial_id + index`)
+/// and produce one [`EngineSlot`] per job, in submission order.
+///
+/// The contract mirrors [`ParallelEvaluator::evaluate_batch`]:
+///
+/// - the returned vector has exactly `jobs.len()` entries, slot `i`
+///   corresponding to `jobs[i]`;
+/// - every slot's events were captured with trial id `base_trial_id + i`;
+/// - on mid-batch cancellation, unexecuted slots are
+///   [`BatchHost::cancelled_slot`]s (no events);
+/// - outcomes are a deterministic function of the job alone (modulo
+///   wall-clock fields), so *where* a slot executed can never change what
+///   the optimizer observes.
+///
+/// `hpo-server` implements this to fan batches across a runner fleet.
+///
+/// `Debug` is a supertrait so engines can ride inside
+/// [`crate::harness::RunOptions`] (which derives `Debug`); a one-line
+/// manual impl naming the engine suffices.
+pub trait ExternalEngine: Send + Sync + std::fmt::Debug {
+    /// Executes the batch, returning one slot per job in submission order.
+    fn evaluate_batch(
+        &self,
+        host: &dyn BatchHost,
+        jobs: &[TrialJob],
+        base_trial_id: u64,
+    ) -> Vec<EngineSlot>;
+}
+
+/// The evaluator decorator that hands batches to an [`ExternalEngine`]
+/// instead of a thread pool. It occupies [`ParallelEvaluator`]'s position in
+/// the decorator stack —
+/// `CheckpointingEvaluator(EngineEvaluator(ObservedEvaluator(CvEvaluator)))`
+/// — so resume hits never reach the engine and each trial's events are
+/// buffered at the observed layer wherever the trial physically runs.
+pub struct EngineEvaluator<'e, E: TrialEvaluator> {
+    inner: &'e E,
+    engine: Arc<dyn ExternalEngine>,
+    continuation: Option<Arc<ContinuationCache>>,
+}
+
+impl<'e, E: TrialEvaluator> EngineEvaluator<'e, E> {
+    /// Wraps `inner`, delegating batches to `engine`. `continuation` is the
+    /// run's warm-start cache (when enabled), which the engine reads and
+    /// writes through the [`BatchHost`] snapshot hooks.
+    pub fn new(
+        inner: &'e E,
+        engine: Arc<dyn ExternalEngine>,
+        continuation: Option<Arc<ContinuationCache>>,
+    ) -> Self {
+        EngineEvaluator {
+            inner,
+            engine,
+            continuation,
+        }
+    }
+}
+
+impl<E: TrialEvaluator> BatchHost for EngineEvaluator<'_, E> {
+    fn evaluate_local(&self, job: &TrialJob, trial_id: u64) -> EngineSlot {
+        let (outcome, events) =
+            obs::capture_trial_events(trial_id, || contained_evaluate(self.inner, job));
+        EngineSlot { outcome, events }
+    }
+
+    fn cancelled_slot(&self, job: &TrialJob) -> EngineSlot {
+        EngineSlot {
+            outcome: cancelled_outcome(self.inner, job),
+            events: Vec::new(),
+        }
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.inner.cancel_token().is_cancelled()
+    }
+
+    fn snapshot_for(&self, job: &TrialJob) -> Option<SnapshotEntry> {
+        let cache = self.continuation.as_ref()?;
+        let key = job.cont?;
+        let set = cache.lookup(key, params_fingerprint(&job.params), job.budget)?;
+        Some(SnapshotEntry {
+            key,
+            set: (*set).clone(),
+        })
+    }
+
+    fn import_snapshot(&self, entry: SnapshotEntry) {
+        if let Some(cache) = &self.continuation {
+            cache.import(vec![entry]);
+        }
+    }
+}
+
+impl<E: TrialEvaluator> TrialEvaluator for EngineEvaluator<'_, E> {
+    fn evaluate_raw(&self, job: &TrialJob) -> EvalOutcome {
+        self.inner.evaluate_raw(job)
+    }
+
+    fn total_budget(&self) -> usize {
+        self.inner.total_budget()
+    }
+
+    fn fold_stream(&self, base: u64, rung: u64, candidate: u64) -> u64 {
+        self.inner.fold_stream(base, rung, candidate)
+    }
+
+    fn failure_policy(&self) -> &FailurePolicy {
+        self.inner.failure_policy()
+    }
+
+    fn cancel_token(&self) -> CancelToken {
+        self.inner.cancel_token()
+    }
+
+    fn recorder(&self) -> Recorder {
+        self.inner.recorder()
+    }
+
+    fn on_trial_retry(&self, stream: u64, attempt: u32) {
+        self.inner.on_trial_retry(stream, attempt);
+    }
+
+    fn evaluate_trial(&self, job: &TrialJob) -> EvalOutcome {
+        self.inner.evaluate_trial(job)
+    }
+
+    /// Reserves the batch's trial ids, hands the jobs to the engine, then
+    /// replays every slot's events in submission order — sequence numbers
+    /// and timestamps are stamped here, on one thread, exactly as the
+    /// thread-pool engine does.
+    fn evaluate_batch(&self, jobs: &[TrialJob]) -> Vec<EvalOutcome> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let recorder = self.inner.recorder();
+        let base_id = recorder.reserve_trial_ids(n as u64);
+        let slots = self.engine.evaluate_batch(self, jobs, base_id);
+        debug_assert_eq!(slots.len(), n, "engines must return one slot per job");
+        let mut outcomes = Vec::with_capacity(n);
+        for slot in slots {
+            for event in slot.events {
+                recorder.emit(event);
+            }
+            outcomes.push(slot.outcome);
+        }
+        outcomes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +454,85 @@ mod tests {
     fn empty_batch_is_a_noop() {
         let data = dataset();
         let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
-        assert!(ParallelEvaluator::new(&ev, 4).evaluate_batch(&[]).is_empty());
+        assert!(ParallelEvaluator::new(&ev, 4)
+            .evaluate_batch(&[])
+            .is_empty());
+    }
+
+    /// The simplest possible external engine: every slot is evaluated
+    /// through the host's local fallback. Standing in for a fleet with zero
+    /// remote runners, it must be indistinguishable from the thread pool.
+    #[derive(Debug)]
+    struct LoopbackEngine;
+
+    impl ExternalEngine for LoopbackEngine {
+        fn evaluate_batch(
+            &self,
+            host: &dyn BatchHost,
+            jobs: &[TrialJob],
+            base_trial_id: u64,
+        ) -> Vec<EngineSlot> {
+            jobs.iter()
+                .enumerate()
+                .map(|(i, job)| {
+                    if host.is_cancelled() {
+                        host.cancelled_slot(job)
+                    } else {
+                        host.evaluate_local(job, base_trial_id + i as u64)
+                    }
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn loopback_engine_matches_parallel_evaluator() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let run_pool = || {
+            let recorder = Recorder::in_memory();
+            let observed = ObservedEvaluator::new(&ev, recorder.clone());
+            let outcomes = ParallelEvaluator::new(&observed, 4).evaluate_batch(&jobs());
+            (outcomes, recorder.events())
+        };
+        let run_engine = || {
+            let recorder = Recorder::in_memory();
+            let observed = ObservedEvaluator::new(&ev, recorder.clone());
+            let engine = EngineEvaluator::new(&observed, Arc::new(LoopbackEngine), None);
+            let outcomes = engine.evaluate_batch(&jobs());
+            (outcomes, recorder.events())
+        };
+        let (pool_out, pool_events) = run_pool();
+        let (eng_out, eng_events) = run_engine();
+        assert_eq!(pool_out.len(), eng_out.len());
+        for (a, b) in pool_out.iter().zip(&eng_out) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.status, b.status);
+        }
+        let normal = |evs: Vec<crate::obs::EventRecord>| {
+            serde_json::to_string(&evs.iter().map(|r| r.without_timings()).collect::<Vec<_>>())
+                .unwrap()
+        };
+        assert_eq!(
+            normal(pool_events),
+            normal(eng_events),
+            "engine journal must be byte-identical to the pool's"
+        );
+    }
+
+    #[test]
+    fn cancelled_engine_slots_have_no_events() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1)
+            .with_cancel_token(CancelToken::new());
+        ev.cancel_token().cancel();
+        let recorder = Recorder::in_memory();
+        let observed = ObservedEvaluator::new(&ev, recorder.clone());
+        let engine = EngineEvaluator::new(&observed, Arc::new(LoopbackEngine), None);
+        let outcomes = engine.evaluate_batch(&jobs());
+        assert!(outcomes
+            .iter()
+            .all(|o| o.status == crate::evaluator::TrialStatus::Cancelled));
+        assert!(recorder.events().is_empty(), "cancelled slots emit nothing");
     }
 }

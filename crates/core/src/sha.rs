@@ -68,7 +68,8 @@ pub fn successive_halving<E: TrialEvaluator + ?Sized>(
     // continuation key of a configuration is stable across rungs — that key
     // is how a rung-i+1 evaluation finds the rung-i fold snapshots to warm
     // start from, no matter how re-indexing shuffles the survivor vector.
-    let mut survivors: Vec<(usize, Configuration)> = candidates.iter().cloned().enumerate().collect();
+    let mut survivors: Vec<(usize, Configuration)> =
+        candidates.iter().cloned().enumerate().collect();
     let mut history = History::new();
     let mut rung = 0usize;
     let cancel = evaluator.cancel_token();

@@ -104,9 +104,7 @@ fn run_one(
     let journal: Vec<String> = recorder
         .events()
         .iter()
-        .map(|record| {
-            serde_json::to_string(&record.without_timings()).expect("event serializes")
-        })
+        .map(|record| serde_json::to_string(&record.without_timings()).expect("event serializes"))
         .collect();
     let mut cp = load_checkpoint(checkpoint).expect("checkpoint written");
     for entry in &mut cp.entries {
@@ -119,10 +117,8 @@ fn run_one(
 fn assert_parallel_matches_sequential(label: &str, method: Method) {
     let workers = test_workers();
     let warm = test_warm_start();
-    let path = std::env::temp_dir().join(format!(
-        "bhpo_parallel_{label}_{}.json",
-        std::process::id()
-    ));
+    let path =
+        std::env::temp_dir().join(format!("bhpo_parallel_{label}_{}.json", std::process::id()));
     std::fs::remove_file(&path).ok();
 
     // Sequential first, then parallel, against the same checkpoint path so
@@ -263,7 +259,9 @@ fn warm_start_saves_cost_and_stays_deterministic() {
         cold_row.search_cost_units
     );
     assert!(
-        warm_seq_journal.iter().any(|l| l.contains("TrialContinued")),
+        warm_seq_journal
+            .iter()
+            .any(|l| l.contains("TrialContinued")),
         "journal records no TrialContinued events"
     );
     // The warm checkpoint persists the snapshots a resumed run would need.

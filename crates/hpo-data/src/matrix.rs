@@ -193,8 +193,7 @@ impl Matrix {
                 let kw = KB.min(self.cols - kb);
                 for kk in 0..kw {
                     let row_at = (kb + kk) * n + jb;
-                    panel[kk * jw..kk * jw + jw]
-                        .copy_from_slice(&other.data[row_at..row_at + jw]);
+                    panel[kk * jw..kk * jw + jw].copy_from_slice(&other.data[row_at..row_at + jw]);
                 }
                 for i in 0..self.rows {
                     let a_blk = &self.data[i * self.cols + kb..i * self.cols + kb + kw];
@@ -352,9 +351,7 @@ impl Matrix {
                     other.row(j + 3),
                 );
                 let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-                for ((((&a, &y0), &y1), &y2), &y3) in
-                    a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3)
-                {
+                for ((((&a, &y0), &y1), &y2), &y3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
                     s0 += a * y0;
                     s1 += a * y1;
                     s2 += a * y2;
@@ -652,7 +649,9 @@ mod tests {
         let mut state = seed | 1;
         let mut data = Vec::with_capacity(rows * cols);
         for _ in 0..rows * cols {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Map the top bits to roughly [-1, 1).
             data.push(((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0);
         }

@@ -67,10 +67,7 @@ impl MlpClassifier {
         Some(FitState {
             sizes: net.sizes().to_vec(),
             weights: net.params_flat(),
-            solver: self
-                .solver_state
-                .clone()
-                .unwrap_or(SolverState::Lbfgs),
+            solver: self.solver_state.clone().unwrap_or(SolverState::Lbfgs),
             epochs: self.epochs_done,
         })
     }

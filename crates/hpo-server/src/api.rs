@@ -11,12 +11,20 @@
 //! | `POST /api/v1/runs/{id}/resume` | requeue a cancelled/failed run |
 //! | `GET /api/v1/runs/{id}/events?from=N` | journal lines from N on (JSONL) |
 //! | `GET /api/v1/runs/{id}/result` | the completed run's `RunResult` |
+//! | `POST /api/v1/fleet/runners` | register a runner; `{"runner": id}` |
+//! | `POST /api/v1/fleet/runners/{id}/heartbeat` | liveness refresh; `{"known": bool}` |
+//! | `POST /api/v1/fleet/lease` | lease trial jobs; a `LeasePayload` or `null` |
+//! | `POST /api/v1/fleet/results` | deliver outcomes; a `DeliveryReceipt` |
+//! | `GET /api/v1/fleet/runners` | list registered runners |
 //!
 //! Errors are always `{"error": "..."}` with a conventional status: 400
 //! malformed request, 404 unknown run, 405 wrong method, 409 wrong
-//! lifecycle stage, 422 invalid spec, 503 shutting down.
+//! lifecycle stage (or a fleet verb on a server without `--fleet`), 422
+//! invalid spec, 503 shutting down.
 
-use crate::http::{Request, Response};
+use crate::client::{HeartbeatResponse, LeaseRequest, RegisterRequest, RegisterResponse};
+use crate::fleet::ResultDelivery;
+use crate::http::{DeadlineStream, Request, Response};
 use crate::registry::{BestSoFar, RegistryError, RunState, RunStatus};
 use crate::server::Shared;
 use crate::spec::RunSpec;
@@ -24,10 +32,17 @@ use hpo_core::obs::global_metrics;
 use serde::Serialize;
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// Whole-request read budget per connection (slowloris guard).
+const CONNECTION_READ_BUDGET: Duration = Duration::from_secs(30);
 
 /// Reads one request off the connection, routes it, writes the response.
+/// The read side runs under a whole-exchange deadline so a trickling
+/// client cannot pin the handling thread.
 pub(crate) fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let response = match Request::read_from(&stream) {
+    let mut guarded = DeadlineStream::new(&stream, CONNECTION_READ_BUDGET);
+    let response = match Request::read_from(&mut guarded) {
         Ok(req) => route(&req, shared),
         Err(e) => Response::error(400, e),
     };
@@ -55,7 +70,9 @@ fn registry_error(e: RegistryError) -> Response {
 /// Dispatches one parsed request. Pure routing: all state lives in
 /// [`Shared`], which is what makes this testable without sockets.
 pub(crate) fn route(req: &Request, shared: &Shared) -> Response {
-    global_metrics().counter("hpo_server_http_requests_total").inc();
+    global_metrics()
+        .counter("hpo_server_http_requests_total")
+        .inc();
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Response::text(200, "ok\n"),
@@ -67,6 +84,11 @@ pub(crate) fn route(req: &Request, shared: &Shared) -> Response {
         ("POST", ["api", "v1", "runs", id, "resume"]) => resume(id, shared),
         ("GET", ["api", "v1", "runs", id, "events"]) => events(id, req, shared),
         ("GET", ["api", "v1", "runs", id, "result"]) => result(id, shared),
+        ("POST", ["api", "v1", "fleet", "runners"]) => fleet_register(req, shared),
+        ("POST", ["api", "v1", "fleet", "runners", id, "heartbeat"]) => fleet_heartbeat(id, shared),
+        ("POST", ["api", "v1", "fleet", "lease"]) => fleet_lease(req, shared),
+        ("POST", ["api", "v1", "fleet", "results"]) => fleet_results(req, shared),
+        ("GET", ["api", "v1", "fleet", "runners"]) => fleet_list(shared),
         (_, ["healthz" | "metrics"]) | (_, ["api", ..]) => {
             Response::error(405, format!("{} not supported on {}", req.method, req.path))
         }
@@ -90,7 +112,9 @@ fn submit(req: &Request, shared: &Shared) -> Response {
         Err(e) => return registry_error(e),
     };
     shared.enqueue(state.id.clone());
-    global_metrics().counter("hpo_server_runs_submitted_total").inc();
+    global_metrics()
+        .counter("hpo_server_runs_submitted_total")
+        .inc();
     Response::json(201, &state)
 }
 
@@ -129,10 +153,7 @@ fn cancel(id: &str, shared: &Shared) -> Response {
         if let Some(entry) = running.get(id) {
             entry.user_cancelled.store(true, Ordering::SeqCst);
             entry.cancel.cancel();
-            return Response::json(
-                202,
-                &serde_json::json!({ "id": id, "cancelling": true }),
-            );
+            return Response::json(202, &serde_json::json!({ "id": id, "cancelling": true }));
         }
     }
     let mut state = match shared.registry.load_state(id) {
@@ -144,7 +165,9 @@ fn cancel(id: &str, shared: &Shared) -> Response {
         state.status = RunStatus::Cancelled;
         return match shared.registry.save_state(&state) {
             Ok(()) => {
-                global_metrics().counter("hpo_server_runs_cancelled_total").inc();
+                global_metrics()
+                    .counter("hpo_server_runs_cancelled_total")
+                    .inc();
                 Response::json(200, &state)
             }
             Err(e) => registry_error(e),
@@ -152,7 +175,10 @@ fn cancel(id: &str, shared: &Shared) -> Response {
     }
     Response::error(
         409,
-        format!("run {id} is {} and cannot be cancelled", state.status.as_str()),
+        format!(
+            "run {id} is {} and cannot be cancelled",
+            state.status.as_str()
+        ),
     )
 }
 
@@ -167,7 +193,10 @@ fn resume(id: &str, shared: &Shared) -> Response {
     if !matches!(state.status, RunStatus::Cancelled | RunStatus::Failed) {
         return Response::error(
             409,
-            format!("run {id} is {}, not cancelled/failed", state.status.as_str()),
+            format!(
+                "run {id} is {}, not cancelled/failed",
+                state.status.as_str()
+            ),
         );
     }
     state.status = RunStatus::Queued;
@@ -176,7 +205,9 @@ fn resume(id: &str, shared: &Shared) -> Response {
     match shared.registry.save_state(&state) {
         Ok(()) => {
             shared.enqueue(state.id.clone());
-            global_metrics().counter("hpo_server_runs_resumed_total").inc();
+            global_metrics()
+                .counter("hpo_server_runs_resumed_total")
+                .inc();
             Response::json(202, &state)
         }
         Err(e) => registry_error(e),
@@ -196,12 +227,80 @@ fn events(id: &str, req: &Request, shared: &Shared) -> Response {
     // No journal yet is an empty tail, not an error: the run may simply not
     // have reached a slot.
     let text = std::fs::read_to_string(path).unwrap_or_default();
-    let tail: String = text
-        .lines()
-        .skip(from)
-        .flat_map(|l| [l, "\n"])
-        .collect();
+    let tail: String = text.lines().skip(from).flat_map(|l| [l, "\n"]).collect();
     Response::text(200, tail)
+}
+
+/// 409 unless the server was started with `--fleet`: without the fleet
+/// engine, runners would register and lease nothing forever.
+fn fleet_guard(shared: &Shared) -> Option<Response> {
+    if shared.fleet.enabled() {
+        None
+    } else {
+        Some(Response::error(
+            409,
+            "this server runs without --fleet; runner endpoints are disabled",
+        ))
+    }
+}
+
+fn fleet_register(req: &Request, shared: &Shared) -> Response {
+    if let Some(resp) = fleet_guard(shared) {
+        return resp;
+    }
+    // An empty body is a nameless registration, not a protocol error.
+    let request: RegisterRequest = if req.body.is_empty() {
+        RegisterRequest { name: None }
+    } else {
+        match serde_json::from_slice(&req.body) {
+            Ok(r) => r,
+            Err(e) => return Response::error(400, format!("decoding registration: {e}")),
+        }
+    };
+    let runner = shared.fleet.register(request.name.as_deref());
+    Response::json(201, &RegisterResponse { runner })
+}
+
+fn fleet_heartbeat(id: &str, shared: &Shared) -> Response {
+    if let Some(resp) = fleet_guard(shared) {
+        return resp;
+    }
+    Response::json(
+        200,
+        &HeartbeatResponse {
+            known: shared.fleet.heartbeat(id),
+        },
+    )
+}
+
+fn fleet_lease(req: &Request, shared: &Shared) -> Response {
+    if let Some(resp) = fleet_guard(shared) {
+        return resp;
+    }
+    let request: LeaseRequest = match serde_json::from_slice(&req.body) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, format!("decoding lease request: {e}")),
+    };
+    // `null` body when nothing is pending — the runner sleeps and re-polls.
+    Response::json(200, &shared.fleet.lease(&request.runner))
+}
+
+fn fleet_results(req: &Request, shared: &Shared) -> Response {
+    if let Some(resp) = fleet_guard(shared) {
+        return resp;
+    }
+    let delivery: ResultDelivery = match serde_json::from_slice(&req.body) {
+        Ok(d) => d,
+        Err(e) => return Response::error(400, format!("decoding results: {e}")),
+    };
+    Response::json(200, &shared.fleet.deliver(delivery))
+}
+
+fn fleet_list(shared: &Shared) -> Response {
+    if let Some(resp) = fleet_guard(shared) {
+        return resp;
+    }
+    Response::json(200, &shared.fleet.runners())
 }
 
 fn result(id: &str, shared: &Shared) -> Response {

@@ -6,19 +6,34 @@
 //! side. Server-reported errors (`{"error": ...}`) surface as
 //! [`ClientError::Api`] with the HTTP status attached, so the CLI can
 //! distinguish "no such run" from "connection refused".
+//!
+//! Transient transport failures are retried with jittered exponential
+//! backoff ([`RetryPolicy`]): connect-phase errors are always safe to
+//! retry (no request reached the server), while mid-exchange read/write
+//! errors are retried only for requests the server treats idempotently —
+//! every `GET`, and the fleet verbs (registration is name-idempotent,
+//! heartbeats are refreshes, leases re-grant, and result delivery is
+//! deduplicated by slot). `submit`/`cancel`/`resume` are *not* re-sent
+//! once any bytes may have reached the server.
 
+use crate::fleet::{splitmix64, DeliveryReceipt, LeasePayload, ResultDelivery, RunnerView};
 use crate::registry::{BestSoFar, RunState};
 use crate::spec::RunSpec;
 use hpo_core::harness::RunResult;
-use serde::Deserialize;
+use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Process-wide jitter state for backoff (seeded arbitrarily; jitter only
+/// needs to decorrelate clients, not reproduce).
+static JITTER: AtomicU64 = AtomicU64::new(0x5ee3_1e55_c0ff_ee00);
 
 /// A client-side failure: transport, decoding, or a server-reported error.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Connection or read/write failure.
+    /// Connection or read/write failure (after retries, if applicable).
     Io(std::io::Error),
     /// The response did not parse as HTTP or as the expected JSON.
     Protocol(String),
@@ -56,6 +71,71 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Bounded retry with jittered exponential backoff for transient
+/// transport errors.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (1 ⇒ no retries).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (useful in tests asserting first-error
+    /// behaviour).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The sleep before retry number `attempt` (1-based): exponential in
+    /// `attempt`, capped, and jittered into `[d/2, 3d/2)` so a fleet of
+    /// runners hammered by the same outage doesn't retry in lockstep.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << (attempt - 1).min(16));
+        let d = exp.min(self.cap);
+        let mut state = JITTER.fetch_add(1, Ordering::Relaxed);
+        let frac = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+        d.mul_f64(0.5 + frac)
+    }
+}
+
+/// Per-request socket deadlines.
+#[derive(Clone, Debug)]
+pub struct ClientTimeouts {
+    /// TCP connect deadline.
+    pub connect: Duration,
+    /// Read deadline applied to the response.
+    pub read: Duration,
+    /// Write deadline applied to the request.
+    pub write: Duration,
+}
+
+impl Default for ClientTimeouts {
+    fn default() -> Self {
+        ClientTimeouts {
+            connect: Duration::from_secs(5),
+            read: Duration::from_secs(30),
+            write: Duration::from_secs(10),
+        }
+    }
+}
+
 /// `GET /api/v1/runs/{id}` decoded: durable state plus live progress.
 #[derive(Clone, Debug, Deserialize)]
 pub struct StatusView {
@@ -67,28 +147,93 @@ pub struct StatusView {
     pub best: Option<BestSoFar>,
 }
 
+/// Body of `POST /api/v1/fleet/runners`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RegisterRequest {
+    /// Requested runner name; the server honours it when unused.
+    #[serde(default)]
+    pub name: Option<String>,
+}
+
+/// Response of `POST /api/v1/fleet/runners`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RegisterResponse {
+    /// The assigned runner id.
+    pub runner: String,
+}
+
+/// Response of `POST /api/v1/fleet/runners/{id}/heartbeat`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HeartbeatResponse {
+    /// `false` means the server no longer knows the runner (pruned as
+    /// lost) and it should re-register.
+    pub known: bool,
+}
+
+/// Body of `POST /api/v1/fleet/lease`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LeaseRequest {
+    /// The requesting runner's id.
+    pub runner: String,
+}
+
 /// API client bound to one server address.
 #[derive(Clone, Debug)]
 pub struct Client {
     addr: String,
+    retry: RetryPolicy,
+    timeouts: ClientTimeouts,
 }
 
 impl Client {
-    /// A client for `addr` (`host:port`).
+    /// A client for `addr` (`host:port`) with default retry and timeouts.
     pub fn new(addr: impl Into<String>) -> Client {
-        Client { addr: addr.into() }
+        Client {
+            addr: addr.into(),
+            retry: RetryPolicy::default(),
+            timeouts: ClientTimeouts::default(),
+        }
     }
 
-    /// One request/response exchange; returns `(status, body)`.
-    fn exchange(
+    /// Replaces the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Client {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the socket deadlines.
+    pub fn with_timeouts(mut self, timeouts: ClientTimeouts) -> Client {
+        self.timeouts = timeouts;
+        self
+    }
+
+    /// Connects with the configured deadline, trying each resolved address.
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let mut last = std::io::Error::new(
+            std::io::ErrorKind::AddrNotAvailable,
+            format!("`{}` resolved to no addresses", self.addr),
+        );
+        for addr in self.addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, self.timeouts.connect) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.timeouts.read))?;
+                    stream.set_write_timeout(Some(self.timeouts.write))?;
+                    return Ok(stream);
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Writes the request and reads the full response on one stream.
+    fn talk(
         &self,
+        mut stream: TcpStream,
         method: &str,
         path: &str,
-        body: Option<&[u8]>,
+        body: &[u8],
     ) -> Result<(u16, Vec<u8>), ClientError> {
-        let mut stream = TcpStream::connect(&self.addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        let body = body.unwrap_or(&[]);
         write!(
             stream,
             "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
@@ -116,25 +261,58 @@ impl Client {
         Ok((status, raw[header_end + 4..].to_vec()))
     }
 
+    /// One request/response exchange with retries; returns `(status, body)`.
+    ///
+    /// Connect-phase failures retry unconditionally (nothing reached the
+    /// server). Mid-exchange I/O failures retry only when `idempotent`.
+    fn exchange(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        idempotent: bool,
+    ) -> Result<(u16, Vec<u8>), ClientError> {
+        let body = body.unwrap_or(&[]);
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..self.retry.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.retry.backoff(attempt));
+            }
+            let stream = match self.connect() {
+                Ok(s) => s,
+                Err(e) => {
+                    last = Some(e.into());
+                    continue;
+                }
+            };
+            match self.talk(stream, method, path, body) {
+                Ok(out) => return Ok(out),
+                Err(e @ ClientError::Io(_)) if idempotent => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
     /// Exchanges and decodes, mapping error statuses to [`ClientError::Api`].
     fn json<T: serde::de::DeserializeOwned>(
         &self,
         method: &str,
         path: &str,
         body: Option<&[u8]>,
+        idempotent: bool,
     ) -> Result<T, ClientError> {
-        let (status, body) = self.exchange(method, path, body)?;
+        let (status, body) = self.exchange(method, path, body, idempotent)?;
         if !(200..300).contains(&status) {
             return Err(api_error(status, &body));
         }
-        serde_json::from_slice(&body).map_err(|e| {
-            ClientError::Protocol(format!("decoding {path} response: {e}"))
-        })
+        serde_json::from_slice(&body)
+            .map_err(|e| ClientError::Protocol(format!("decoding {path} response: {e}")))
     }
 
     /// `GET /healthz`: whether the server answers.
     pub fn health(&self) -> Result<bool, ClientError> {
-        Ok(self.exchange("GET", "/healthz", None)?.0 == 200)
+        Ok(self.exchange("GET", "/healthz", None, true)?.0 == 200)
     }
 
     /// `GET /metrics`: Prometheus text.
@@ -142,7 +320,7 @@ impl Client {
     /// # Errors
     /// Transport failures or an error status.
     pub fn metrics(&self) -> Result<String, ClientError> {
-        let (status, body) = self.exchange("GET", "/metrics", None)?;
+        let (status, body) = self.exchange("GET", "/metrics", None, true)?;
         if status != 200 {
             return Err(api_error(status, &body));
         }
@@ -151,12 +329,15 @@ impl Client {
 
     /// `POST /api/v1/runs`: submits a spec, returning the new run's state.
     ///
+    /// Not idempotent — a mid-exchange failure is *not* re-sent, lest the
+    /// server end up with two runs.
+    ///
     /// # Errors
     /// Transport failures, or 422 with the validation message.
     pub fn submit(&self, spec: &RunSpec) -> Result<RunState, ClientError> {
         let body = serde_json::to_vec(spec)
             .map_err(|e| ClientError::Protocol(format!("encoding spec: {e}")))?;
-        self.json("POST", "/api/v1/runs", Some(&body))
+        self.json("POST", "/api/v1/runs", Some(&body), false)
     }
 
     /// `GET /api/v1/runs`, optionally filtered by status label.
@@ -168,7 +349,7 @@ impl Client {
             Some(s) => format!("/api/v1/runs?status={s}"),
             None => "/api/v1/runs".to_string(),
         };
-        self.json("GET", &path, None)
+        self.json("GET", &path, None, true)
     }
 
     /// `GET /api/v1/runs/{id}`: state plus best-so-far.
@@ -176,7 +357,7 @@ impl Client {
     /// # Errors
     /// Transport failures, 404 for unknown runs.
     pub fn status(&self, id: &str) -> Result<StatusView, ClientError> {
-        self.json("GET", &format!("/api/v1/runs/{id}"), None)
+        self.json("GET", &format!("/api/v1/runs/{id}"), None, true)
     }
 
     /// `POST /api/v1/runs/{id}/cancel`.
@@ -184,7 +365,8 @@ impl Client {
     /// # Errors
     /// Transport failures, 404 unknown, 409 wrong lifecycle stage.
     pub fn cancel(&self, id: &str) -> Result<(), ClientError> {
-        let (status, body) = self.exchange("POST", &format!("/api/v1/runs/{id}/cancel"), None)?;
+        let (status, body) =
+            self.exchange("POST", &format!("/api/v1/runs/{id}/cancel"), None, false)?;
         if !(200..300).contains(&status) {
             return Err(api_error(status, &body));
         }
@@ -196,7 +378,7 @@ impl Client {
     /// # Errors
     /// Transport failures, 404 unknown, 409 wrong lifecycle stage.
     pub fn resume(&self, id: &str) -> Result<RunState, ClientError> {
-        self.json("POST", &format!("/api/v1/runs/{id}/resume"), None)
+        self.json("POST", &format!("/api/v1/runs/{id}/resume"), None, false)
     }
 
     /// `GET /api/v1/runs/{id}/events?from=N`: journal lines from `from` on.
@@ -204,8 +386,12 @@ impl Client {
     /// # Errors
     /// Transport failures, 404 for unknown runs.
     pub fn events(&self, id: &str, from: usize) -> Result<String, ClientError> {
-        let (status, body) =
-            self.exchange("GET", &format!("/api/v1/runs/{id}/events?from={from}"), None)?;
+        let (status, body) = self.exchange(
+            "GET",
+            &format!("/api/v1/runs/{id}/events?from={from}"),
+            None,
+            true,
+        )?;
         if status != 200 {
             return Err(api_error(status, &body));
         }
@@ -217,7 +403,72 @@ impl Client {
     /// # Errors
     /// Transport failures, 404 unknown, 409 while the run is unfinished.
     pub fn result(&self, id: &str) -> Result<RunResult, ClientError> {
-        self.json("GET", &format!("/api/v1/runs/{id}/result"), None)
+        self.json("GET", &format!("/api/v1/runs/{id}/result"), None, true)
+    }
+
+    /// `POST /api/v1/fleet/runners`: registers a runner, returning its id.
+    /// Safe to retry — a duplicate registration just mints a fresh id and
+    /// the old one ages out as lost.
+    ///
+    /// # Errors
+    /// Transport failures, or 409 when the server runs without `--fleet`.
+    pub fn register_runner(&self, name: Option<&str>) -> Result<String, ClientError> {
+        let body = serde_json::to_vec(&RegisterRequest {
+            name: name.map(str::to_string),
+        })
+        .map_err(|e| ClientError::Protocol(format!("encoding register: {e}")))?;
+        let resp: RegisterResponse =
+            self.json("POST", "/api/v1/fleet/runners", Some(&body), true)?;
+        Ok(resp.runner)
+    }
+
+    /// `POST /api/v1/fleet/runners/{id}/heartbeat`. Returns whether the
+    /// server still knows the runner; `false` means re-register.
+    ///
+    /// # Errors
+    /// Transport failures, or 409 when the server runs without `--fleet`.
+    pub fn heartbeat(&self, runner: &str) -> Result<bool, ClientError> {
+        let resp: HeartbeatResponse = self.json(
+            "POST",
+            &format!("/api/v1/fleet/runners/{runner}/heartbeat"),
+            None,
+            true,
+        )?;
+        Ok(resp.known)
+    }
+
+    /// `POST /api/v1/fleet/lease`: requests work. `None` ⇒ nothing pending.
+    /// Idempotent in effect: an orphaned lease (response lost) simply
+    /// expires and requeues.
+    ///
+    /// # Errors
+    /// Transport failures, or 409 when the server runs without `--fleet`.
+    pub fn lease(&self, runner: &str) -> Result<Option<LeasePayload>, ClientError> {
+        let body = serde_json::to_vec(&LeaseRequest {
+            runner: runner.to_string(),
+        })
+        .map_err(|e| ClientError::Protocol(format!("encoding lease: {e}")))?;
+        self.json("POST", "/api/v1/fleet/lease", Some(&body), true)
+    }
+
+    /// `POST /api/v1/fleet/results`: delivers evaluated trials. At-least-
+    /// once by design — the server deduplicates by slot, so retrying a
+    /// possibly-delivered batch is safe.
+    ///
+    /// # Errors
+    /// Transport failures, or 409 when the server runs without `--fleet`.
+    pub fn deliver(&self, delivery: &ResultDelivery) -> Result<DeliveryReceipt, ClientError> {
+        let body = serde_json::to_vec(delivery)
+            .map_err(|e| ClientError::Protocol(format!("encoding results: {e}")))?;
+        self.json("POST", "/api/v1/fleet/results", Some(&body), true)
+    }
+
+    /// `GET /api/v1/fleet/runners`: the registered runners.
+    ///
+    /// # Errors
+    /// Transport failures, or 409 when the server runs without `--fleet`.
+    pub fn fleet_runners(&self) -> Result<Vec<RunnerView>, ClientError> {
+        self.json("GET", "/api/v1/fleet/runners", None, true)
     }
 }
 
@@ -231,4 +482,40 @@ fn api_error(status: u16, body: &[u8]) -> ClientError {
         .map(|e| e.error)
         .unwrap_or_else(|_| String::from_utf8_lossy(body).into_owned());
     ClientError::Api { status, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_is_capped_and_jittered() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(400),
+        };
+        for attempt in 1..5 {
+            let uncapped = Duration::from_millis(100 * (1 << (attempt - 1)));
+            let nominal = uncapped.min(policy.cap);
+            let d = policy.backoff(attempt);
+            assert!(d >= nominal.mul_f64(0.5), "attempt {attempt}: {d:?}");
+            assert!(d < nominal.mul_f64(1.5), "attempt {attempt}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn connect_errors_are_retried_then_surfaced() {
+        // A port from the TEST-NET range that nothing listens on, with a
+        // no-sleep policy so the test is fast.
+        let client = Client::new("127.0.0.1:1").with_retry(RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(1),
+        });
+        match client.health() {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
 }

@@ -1,0 +1,921 @@
+//! The fault-tolerant runner fleet: leases, heartbeats, and requeue.
+//!
+//! This module turns the single-process scheduler into a
+//! coordinator/runner fleet while preserving the service's core guarantee:
+//! *the journal, checkpoint and result of a run are byte-identical no
+//! matter where its trials execute* (modulo wall-clock readings). The
+//! moving parts:
+//!
+//! - [`Fleet`] is the coordinator-side broker. Each trial batch the
+//!   optimizer submits becomes a [`Batch`] of slots; runners lease up to
+//!   `chunk` pending slots at a time, and every lease carries a
+//!   monotonic-clock deadline ([`std::time::Instant`], immune to wall-clock
+//!   steps). A lease that outlives its deadline — runner killed, network
+//!   gone, process wedged — is expired and its slots *requeued*, so another
+//!   runner (or the coordinator itself) re-evaluates them. Because every
+//!   job travels with its RNG stream and warm-start snapshot, a
+//!   re-evaluation produces the same outcome bytes the dead runner would
+//!   have delivered.
+//! - **At-least-once delivery, first-write-wins dedup.** Runners may retry
+//!   deliveries, die after delivering, or deliver after their lease was
+//!   reassigned. The broker accepts the *first* result for each slot and
+//!   rejects the rest as duplicates — safe precisely because outcomes are
+//!   deterministic functions of the job, so "first" is also "only possible
+//!   value" (modulo wall-seconds, which the determinism normal form
+//!   already excludes).
+//! - **Graceful local fallback.** [`FleetEngine`] — the
+//!   [`ExternalEngine`] plugged into [`hpo_core::run_method_with`] — polls
+//!   the batch; when no live runner exists, or remote progress stalls past
+//!   `local_grace` (straggler guard), the coordinator claims pending slots
+//!   and evaluates them in-process through [`BatchHost::evaluate_local`],
+//!   the exact buffered code path a pool worker uses. A fleet of zero
+//!   runners therefore degrades to a correct (sequential) local run.
+//! - **Events stay deterministic.** Remote trials are evaluated under
+//!   [`hpo_core::obs::capture_trial_events`] on the runner and their raw
+//!   events ship back with the outcome; the coordinator replays every
+//!   slot's events in submission order (see
+//!   [`hpo_core::EngineEvaluator`]), so sequence numbers and trial ids
+//!   never depend on which runner ran what, or when.
+//!
+//! Fleet lifecycle events (`RunnerRegistered`, `RunnerLost`) go to the
+//! *server* journal, never a run journal — run journals must stay
+//! byte-identical to single-process runs.
+
+use crate::spec::RunSpec;
+use hpo_core::obs::{global_metrics, Recorder, RunEvent};
+use hpo_core::{BatchHost, EngineSlot, EvalOutcome, ExternalEngine, SnapshotEntry, TrialJob};
+use hpo_models::mlp::MlpParams;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often [`FleetEngine`] polls a batch for completion.
+const ENGINE_POLL: Duration = Duration::from_millis(20);
+
+/// Fleet knobs, part of [`crate::ServerConfig`].
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Whether runs execute through the fleet engine at all. Off by
+    /// default: a plain `bhpo serve` keeps the in-process thread pool
+    /// (`RunSpec::workers`); `--fleet` opts runs into the
+    /// coordinator/runner path, which falls back to sequential local
+    /// evaluation whenever no runner is alive.
+    pub enabled: bool,
+    /// How long a granted lease may go undelivered before its slots are
+    /// requeued. Measured on the monotonic clock.
+    pub lease_ttl: Duration,
+    /// How long a runner may go silent (no heartbeat, lease or delivery)
+    /// before it is declared lost and its leases expire early.
+    pub heartbeat_ttl: Duration,
+    /// Maximum jobs per lease.
+    pub chunk: usize,
+    /// How long a batch may sit without any delivered result before the
+    /// coordinator starts claiming pending slots locally (straggler and
+    /// idle-fleet guard). With zero live runners the coordinator claims
+    /// immediately, without waiting out the grace.
+    pub local_grace: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            enabled: false,
+            lease_ttl: Duration::from_secs(15),
+            heartbeat_ttl: Duration::from_secs(10),
+            chunk: 4,
+            local_grace: Duration::from_secs(3),
+        }
+    }
+}
+
+/// One job as shipped to a runner: the trial's inputs plus everything
+/// needed to evaluate it *identically* to a local run — the pre-assigned
+/// trial id, the RNG stream, and the warm-start snapshot (if any) of this
+/// configuration's previous rung.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireJob {
+    /// Slot index within the batch (0-based submission order).
+    pub slot: usize,
+    /// Coordinator-reserved trial id; the runner captures events under it.
+    pub trial: u64,
+    /// Hyperparameters of the candidate configuration.
+    pub params: MlpParams,
+    /// Training-instance budget for this rung.
+    pub budget: usize,
+    /// Pre-assigned fold-sampling stream.
+    pub stream: u64,
+    /// Warm-start continuation key, when the run has warm start on.
+    pub cont: Option<u64>,
+    /// The snapshot to resume fold models from, so a remote evaluation
+    /// warm-starts exactly like a local one would. `None` ⇒ evaluate cold
+    /// (which is also what a local run would do).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub snapshot: Option<SnapshotEntry>,
+}
+
+impl WireJob {
+    /// The [`TrialJob`] this wire job describes.
+    pub fn to_trial_job(&self) -> TrialJob {
+        TrialJob {
+            params: self.params.clone(),
+            budget: self.budget,
+            stream: self.stream,
+            cont: self.cont,
+        }
+    }
+}
+
+/// A granted lease: which run/batch the jobs belong to and the spec to
+/// evaluate them under. `ttl_ms` is informational — the authoritative
+/// deadline lives on the coordinator's monotonic clock.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LeasePayload {
+    /// Lease id (echoed back with deliveries, for observability).
+    pub lease: u64,
+    /// Batch the slots belong to.
+    pub batch: u64,
+    /// Run id the batch belongs to.
+    pub run: String,
+    /// The run's spec; runners prepare it once per run and reuse it.
+    pub spec: RunSpec,
+    /// Lease time-to-live in milliseconds (informational).
+    pub ttl_ms: u64,
+    /// The leased jobs.
+    pub jobs: Vec<WireJob>,
+}
+
+/// One evaluated trial travelling back from a runner.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireResult {
+    /// Batch the slot belongs to.
+    pub batch: u64,
+    /// Lease the slot was evaluated under.
+    pub lease: u64,
+    /// Slot index within the batch.
+    pub slot: usize,
+    /// Trial id the events were captured under (must match the wire job).
+    pub trial: u64,
+    /// Id of the delivering runner.
+    pub runner: String,
+    /// The trial's outcome.
+    pub outcome: EvalOutcome,
+    /// The trial's raw events, unstamped, in emission order.
+    pub events: Vec<RunEvent>,
+    /// The snapshot this evaluation produced (when warm start is on), so
+    /// later rungs can continue from it anywhere.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub snapshot: Option<SnapshotEntry>,
+}
+
+/// A batch of results delivered in one request (at-least-once: runners may
+/// retry the whole delivery).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResultDelivery {
+    /// The results.
+    pub results: Vec<WireResult>,
+}
+
+/// What the broker did with a delivery.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DeliveryReceipt {
+    /// Results recorded (first delivery for their slot).
+    pub accepted: usize,
+    /// Results rejected because their slot already had a result — the
+    /// at-least-once duplicates.
+    pub duplicates: usize,
+    /// Results for unknown or closed batches (delivered after the run
+    /// finished or was cancelled) — dropped.
+    pub stale: usize,
+}
+
+/// A registered runner, as reported by `GET /api/v1/fleet/runners`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunnerView {
+    /// Coordinator-assigned runner id.
+    pub runner: String,
+    /// Milliseconds since the runner was last heard from.
+    pub idle_ms: u64,
+}
+
+/// What happened to a slot.
+#[derive(Debug)]
+enum SlotState {
+    /// Waiting to be leased (initial state, and again after lease expiry).
+    Pending,
+    /// Leased to a runner until `deadline` (monotonic clock). The lease id
+    /// itself travels only on the wire: deliveries are keyed by slot, not
+    /// lease, because any delivered outcome is *the* outcome (determinism)
+    /// and rejecting an expired lease's work would only waste it.
+    Leased { runner: String, deadline: Instant },
+    /// Claimed by the coordinator for in-process evaluation.
+    LocalRunning,
+    /// A result was recorded; later deliveries are duplicates.
+    Done {
+        outcome: EvalOutcome,
+        events: Vec<RunEvent>,
+        snapshot: Option<SnapshotEntry>,
+    },
+}
+
+/// One slot: the job plus its lease/result state.
+#[derive(Debug)]
+struct SlotEntry {
+    job: WireJob,
+    state: SlotState,
+}
+
+/// One submitted trial batch.
+#[derive(Debug)]
+struct Batch {
+    run: String,
+    spec: RunSpec,
+    slots: Vec<SlotEntry>,
+    /// Last time a result landed (or the batch opened): drives the
+    /// stalled-batch local fallback.
+    last_progress: Instant,
+}
+
+#[derive(Debug)]
+struct RunnerInfo {
+    last_seen: Instant,
+}
+
+#[derive(Debug, Default)]
+struct FleetState {
+    runners: HashMap<String, RunnerInfo>,
+    /// Ordered so leases drain the oldest batch first, deterministically.
+    batches: BTreeMap<u64, Batch>,
+}
+
+/// What [`FleetEngine`] should do next with a batch.
+enum BatchPoll {
+    /// Every slot has a result.
+    Complete,
+    /// Remote work is in flight; poll again shortly.
+    Waiting,
+    /// The given slot was claimed for local evaluation; evaluate it
+    /// in-process and report back via [`Fleet::complete_local`].
+    Local(usize),
+}
+
+/// The coordinator-side fleet broker. One per server, shared between the
+/// API handlers (register/heartbeat/lease/deliver) and the worker slots
+/// (open/poll/close batches).
+pub struct Fleet {
+    config: FleetConfig,
+    /// Server-journal recorder for fleet lifecycle events.
+    recorder: Recorder,
+    state: Mutex<FleetState>,
+    next_batch: AtomicU64,
+    next_lease: AtomicU64,
+    next_runner: AtomicU64,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// A broker with the given knobs, journaling lifecycle events through
+    /// `recorder` (the server journal).
+    pub fn new(config: FleetConfig, recorder: Recorder) -> Fleet {
+        Fleet {
+            config,
+            recorder,
+            state: Mutex::new(FleetState::default()),
+            next_batch: AtomicU64::new(1),
+            next_lease: AtomicU64::new(1),
+            next_runner: AtomicU64::new(1),
+        }
+    }
+
+    /// Whether runs execute through the fleet engine.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Registers a runner, returning its id. A requested name is honoured
+    /// if it is non-empty and unused; otherwise an id is minted.
+    pub fn register(&self, name: Option<&str>) -> String {
+        let mut state = self.state.lock().expect("fleet lock");
+        let id = match name.map(str::trim).filter(|n| !n.is_empty()) {
+            Some(n) if !state.runners.contains_key(n) => n.to_string(),
+            _ => format!(
+                "runner-{:04}",
+                self.next_runner.fetch_add(1, Ordering::Relaxed)
+            ),
+        };
+        state.runners.insert(
+            id.clone(),
+            RunnerInfo {
+                last_seen: Instant::now(),
+            },
+        );
+        global_metrics()
+            .gauge("hpo_fleet_runners")
+            .set(state.runners.len() as f64);
+        self.recorder
+            .emit(RunEvent::RunnerRegistered { runner: id.clone() });
+        id
+    }
+
+    /// Refreshes a runner's liveness. Returns `false` for unknown runners
+    /// (pruned as lost, or never registered) — the runner should
+    /// re-register.
+    pub fn heartbeat(&self, runner: &str) -> bool {
+        let mut state = self.state.lock().expect("fleet lock");
+        match state.runners.get_mut(runner) {
+            Some(info) => {
+                info.last_seen = Instant::now();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The registered runners with their idle times.
+    pub fn runners(&self) -> Vec<RunnerView> {
+        let state = self.state.lock().expect("fleet lock");
+        let mut views: Vec<RunnerView> = state
+            .runners
+            .iter()
+            .map(|(id, info)| RunnerView {
+                runner: id.clone(),
+                idle_ms: info.last_seen.elapsed().as_millis() as u64,
+            })
+            .collect();
+        views.sort_by(|a, b| a.runner.cmp(&b.runner));
+        views
+    }
+
+    /// Prunes dead runners and expires overdue leases. Called from every
+    /// broker entry point and periodically by the scheduler, so stale state
+    /// never outlives the next interaction.
+    pub fn prune(&self) {
+        let mut state = self.state.lock().expect("fleet lock");
+        self.prune_locked(&mut state);
+    }
+
+    /// Declares runners silent past `heartbeat_ttl` lost (requeueing their
+    /// leases early) and requeues slots whose lease deadline passed.
+    fn prune_locked(&self, state: &mut FleetState) {
+        let now = Instant::now();
+        let lost: Vec<String> = state
+            .runners
+            .iter()
+            .filter(|(_, info)| now.duration_since(info.last_seen) > self.config.heartbeat_ttl)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in &lost {
+            state.runners.remove(id);
+            global_metrics()
+                .counter("hpo_fleet_runners_lost_total")
+                .inc();
+            self.recorder
+                .emit(RunEvent::RunnerLost { runner: id.clone() });
+        }
+        if !lost.is_empty() {
+            global_metrics()
+                .gauge("hpo_fleet_runners")
+                .set(state.runners.len() as f64);
+        }
+        let mut expired = 0u64;
+        for batch in state.batches.values_mut() {
+            for entry in &mut batch.slots {
+                let requeue = match &entry.state {
+                    SlotState::Leased {
+                        runner, deadline, ..
+                    } => *deadline <= now || lost.iter().any(|l| l == runner),
+                    _ => false,
+                };
+                if requeue {
+                    entry.state = SlotState::Pending;
+                    expired += 1;
+                }
+            }
+        }
+        if expired > 0 {
+            global_metrics()
+                .counter("hpo_fleet_leases_expired_total")
+                .add(expired);
+        }
+    }
+
+    /// Grants a lease of up to `chunk` pending slots from the oldest batch
+    /// that has any, or `None` when there is nothing to do. A lease request
+    /// is also an implicit heartbeat (and an implicit registration for a
+    /// runner the broker forgot).
+    pub fn lease(&self, runner: &str) -> Option<LeasePayload> {
+        let mut state = self.state.lock().expect("fleet lock");
+        state
+            .runners
+            .entry(runner.to_string())
+            .or_insert_with(|| RunnerInfo {
+                last_seen: Instant::now(),
+            })
+            .last_seen = Instant::now();
+        self.prune_locked(&mut state);
+
+        let (batch_id, batch) = state.batches.iter_mut().find(|(_, b)| {
+            b.slots
+                .iter()
+                .any(|s| matches!(s.state, SlotState::Pending))
+        })?;
+        let lease = self.next_lease.fetch_add(1, Ordering::Relaxed);
+        let deadline = Instant::now() + self.config.lease_ttl;
+        let mut jobs = Vec::new();
+        for entry in &mut batch.slots {
+            if jobs.len() >= self.config.chunk.max(1) {
+                break;
+            }
+            if matches!(entry.state, SlotState::Pending) {
+                entry.state = SlotState::Leased {
+                    runner: runner.to_string(),
+                    deadline,
+                };
+                jobs.push(entry.job.clone());
+            }
+        }
+        debug_assert!(!jobs.is_empty());
+        global_metrics()
+            .counter("hpo_fleet_leases_granted_total")
+            .inc();
+        Some(LeasePayload {
+            lease,
+            batch: *batch_id,
+            run: batch.run.clone(),
+            spec: batch.spec.clone(),
+            ttl_ms: self.config.lease_ttl.as_millis() as u64,
+            jobs,
+        })
+    }
+
+    /// Records delivered results, first write per slot wins. Duplicates
+    /// (slot already done) and stale results (batch unknown/closed, or a
+    /// trial-id mismatch) are counted and dropped — neither can corrupt
+    /// the submission-order commit, because slots only move `* → Done`
+    /// once.
+    pub fn deliver(&self, delivery: ResultDelivery) -> DeliveryReceipt {
+        let mut receipt = DeliveryReceipt::default();
+        let mut state = self.state.lock().expect("fleet lock");
+        let now = Instant::now();
+        for result in delivery.results {
+            if let Some(info) = state.runners.get_mut(&result.runner) {
+                info.last_seen = now;
+            }
+            let Some(batch) = state.batches.get_mut(&result.batch) else {
+                receipt.stale += 1;
+                continue;
+            };
+            let Some(entry) = batch.slots.get_mut(result.slot) else {
+                receipt.stale += 1;
+                continue;
+            };
+            if entry.job.trial != result.trial {
+                receipt.stale += 1;
+                continue;
+            }
+            if matches!(entry.state, SlotState::Done { .. }) {
+                receipt.duplicates += 1;
+                continue;
+            }
+            entry.state = SlotState::Done {
+                outcome: result.outcome,
+                events: result.events,
+                snapshot: result.snapshot,
+            };
+            batch.last_progress = now;
+            receipt.accepted += 1;
+        }
+        let metrics = global_metrics();
+        metrics
+            .counter("hpo_fleet_results_total")
+            .add(receipt.accepted as u64);
+        metrics
+            .counter("hpo_fleet_duplicates_rejected_total")
+            .add(receipt.duplicates as u64);
+        metrics
+            .counter("hpo_fleet_stale_results_total")
+            .add(receipt.stale as u64);
+        receipt
+    }
+
+    /// Opens a batch for the given run, returning its id.
+    fn open_batch(&self, run: &str, spec: &RunSpec, jobs: Vec<WireJob>) -> u64 {
+        let id = self.next_batch.fetch_add(1, Ordering::Relaxed);
+        let slots = jobs
+            .into_iter()
+            .map(|job| SlotEntry {
+                job,
+                state: SlotState::Pending,
+            })
+            .collect();
+        let mut state = self.state.lock().expect("fleet lock");
+        state.batches.insert(
+            id,
+            Batch {
+                run: run.to_string(),
+                spec: spec.clone(),
+                slots,
+                last_progress: Instant::now(),
+            },
+        );
+        id
+    }
+
+    /// One scheduling decision for the batch (see [`BatchPoll`]).
+    fn poll_batch(&self, id: u64) -> BatchPoll {
+        let mut state = self.state.lock().expect("fleet lock");
+        self.prune_locked(&mut state);
+        let no_remote = state.runners.is_empty();
+        let Some(batch) = state.batches.get_mut(&id) else {
+            // Closed under us (cannot happen for the owning engine); treat
+            // as complete so callers never spin.
+            return BatchPoll::Complete;
+        };
+        if batch
+            .slots
+            .iter()
+            .all(|s| matches!(s.state, SlotState::Done { .. }))
+        {
+            return BatchPoll::Complete;
+        }
+        let stalled = batch.last_progress.elapsed() >= self.config.local_grace;
+        if no_remote || stalled {
+            if let Some(idx) = batch
+                .slots
+                .iter()
+                .position(|s| matches!(s.state, SlotState::Pending))
+            {
+                batch.slots[idx].state = SlotState::LocalRunning;
+                return BatchPoll::Local(idx);
+            }
+        }
+        BatchPoll::Waiting
+    }
+
+    /// Records a locally evaluated slot. If a remote result landed first
+    /// (the local claim raced a straggler's delivery), the local result is
+    /// discarded — first write wins, and both are byte-identical anyway.
+    fn complete_local(&self, id: u64, slot: usize, result: EngineSlot) {
+        let mut state = self.state.lock().expect("fleet lock");
+        let Some(batch) = state.batches.get_mut(&id) else {
+            return;
+        };
+        let Some(entry) = batch.slots.get_mut(slot) else {
+            return;
+        };
+        if matches!(entry.state, SlotState::Done { .. }) {
+            return;
+        }
+        entry.state = SlotState::Done {
+            outcome: result.outcome,
+            events: result.events,
+            snapshot: None,
+        };
+        batch.last_progress = Instant::now();
+        global_metrics()
+            .counter("hpo_fleet_local_trials_total")
+            .inc();
+    }
+
+    /// Removes the batch, returning each slot's result in submission order
+    /// (`None` for slots abandoned by a cancel). Late deliveries for a
+    /// closed batch are counted stale and dropped.
+    fn close_batch(
+        &self,
+        id: u64,
+    ) -> Vec<Option<(EvalOutcome, Vec<RunEvent>, Option<SnapshotEntry>)>> {
+        let mut state = self.state.lock().expect("fleet lock");
+        let Some(batch) = state.batches.remove(&id) else {
+            return Vec::new();
+        };
+        batch
+            .slots
+            .into_iter()
+            .map(|entry| match entry.state {
+                SlotState::Done {
+                    outcome,
+                    events,
+                    snapshot,
+                } => Some((outcome, events, snapshot)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The per-run [`ExternalEngine`] the server's worker slot plugs into
+/// [`hpo_core::run_method_with`]: submits each trial batch to the broker,
+/// co-evaluates locally when the fleet is empty or stalled, and hands the
+/// results back in submission order.
+pub struct FleetEngine {
+    fleet: Arc<Fleet>,
+    run: String,
+    spec: RunSpec,
+}
+
+impl std::fmt::Debug for FleetEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetEngine")
+            .field("run", &self.run)
+            .finish()
+    }
+}
+
+impl FleetEngine {
+    /// An engine executing `run` (described by `spec`) through `fleet`.
+    pub fn new(fleet: Arc<Fleet>, run: impl Into<String>, spec: RunSpec) -> FleetEngine {
+        FleetEngine {
+            fleet,
+            run: run.into(),
+            spec,
+        }
+    }
+}
+
+impl ExternalEngine for FleetEngine {
+    fn evaluate_batch(
+        &self,
+        host: &dyn BatchHost,
+        jobs: &[TrialJob],
+        base_trial_id: u64,
+    ) -> Vec<EngineSlot> {
+        let wire: Vec<WireJob> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| WireJob {
+                slot: i,
+                trial: base_trial_id + i as u64,
+                params: job.params.clone(),
+                budget: job.budget,
+                stream: job.stream,
+                cont: job.cont,
+                snapshot: host.snapshot_for(job),
+            })
+            .collect();
+        let batch = self.fleet.open_batch(&self.run, &self.spec, wire);
+        loop {
+            if host.is_cancelled() {
+                break;
+            }
+            match self.fleet.poll_batch(batch) {
+                BatchPoll::Complete => break,
+                BatchPoll::Local(idx) => {
+                    let slot = host.evaluate_local(&jobs[idx], base_trial_id + idx as u64);
+                    self.fleet.complete_local(batch, idx, slot);
+                }
+                BatchPoll::Waiting => std::thread::sleep(ENGINE_POLL),
+            }
+        }
+        // Closing the batch makes any late delivery stale; done slots keep
+        // their results even on cancel (matching the thread pool, where
+        // claimed jobs run to completion).
+        self.fleet
+            .close_batch(batch)
+            .into_iter()
+            .enumerate()
+            .map(|(idx, done)| match done {
+                Some((outcome, events, snapshot)) => {
+                    if let Some(entry) = snapshot {
+                        host.import_snapshot(entry);
+                    }
+                    EngineSlot { outcome, events }
+                }
+                None => host.cancelled_slot(&jobs[idx]),
+            })
+            .collect()
+    }
+}
+
+/// SplitMix64: the dependency-free seeded generator the fleet's jittered
+/// backoff and chaos plans draw from (hpo-server deliberately has no `rand`
+/// dependency).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpo_core::TrialStatus;
+
+    fn quick_fleet(config: FleetConfig) -> Fleet {
+        Fleet::new(config, Recorder::in_memory())
+    }
+
+    fn wire_jobs(n: usize) -> Vec<WireJob> {
+        (0..n)
+            .map(|i| WireJob {
+                slot: i,
+                trial: 100 + i as u64,
+                params: MlpParams::default(),
+                budget: 50,
+                stream: 1000 + i as u64,
+                cont: None,
+                snapshot: None,
+            })
+            .collect()
+    }
+
+    fn done_result(batch: u64, lease: u64, slot: usize, trial: u64) -> WireResult {
+        WireResult {
+            batch,
+            lease,
+            slot,
+            trial,
+            runner: "r1".into(),
+            outcome: EvalOutcome {
+                score: 0.5,
+                ..quick_outcome()
+            },
+            events: Vec::new(),
+            snapshot: None,
+        }
+    }
+
+    fn quick_outcome() -> EvalOutcome {
+        EvalOutcome::failed(1, -1.0, 10.0, 0.0)
+    }
+
+    #[test]
+    fn register_heartbeat_and_prune() {
+        let fleet = quick_fleet(FleetConfig {
+            heartbeat_ttl: Duration::from_millis(30),
+            ..FleetConfig::default()
+        });
+        let id = fleet.register(Some("alpha"));
+        assert_eq!(id, "alpha");
+        assert!(fleet.heartbeat(&id));
+        assert_eq!(fleet.runners().len(), 1);
+        std::thread::sleep(Duration::from_millis(60));
+        fleet.prune();
+        assert!(fleet.runners().is_empty(), "silent runner is pruned");
+        assert!(!fleet.heartbeat(&id), "lost runner must re-register");
+        // A duplicate name request mints a fresh id instead of colliding.
+        fleet.register(Some("beta"));
+        let other = fleet.register(Some("beta"));
+        assert!(other.starts_with("runner-"), "{other}");
+    }
+
+    #[test]
+    fn lease_chunks_and_expiry_requeues() {
+        let fleet = quick_fleet(FleetConfig {
+            chunk: 2,
+            lease_ttl: Duration::from_millis(40),
+            heartbeat_ttl: Duration::from_secs(60),
+            ..FleetConfig::default()
+        });
+        fleet.register(Some("r1"));
+        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(3));
+        let lease = fleet.lease("r1").expect("pending slots");
+        assert_eq!(lease.batch, batch);
+        assert_eq!(lease.jobs.len(), 2, "chunked to 2");
+        assert_eq!(lease.jobs[0].slot, 0);
+        let second = fleet.lease("r1").expect("one slot left");
+        assert_eq!(second.jobs.len(), 1);
+        assert!(fleet.lease("r1").is_none(), "nothing pending now");
+        // Let both leases expire: all three slots requeue and re-lease.
+        std::thread::sleep(Duration::from_millis(80));
+        let release = fleet.lease("r1").expect("expired slots requeued");
+        assert_eq!(release.jobs.len(), 2);
+        assert!(
+            release.lease > second.lease,
+            "a requeue grants a fresh lease id"
+        );
+    }
+
+    #[test]
+    fn first_write_wins_and_duplicates_are_rejected() {
+        let fleet = quick_fleet(FleetConfig {
+            heartbeat_ttl: Duration::from_secs(60),
+            ..FleetConfig::default()
+        });
+        fleet.register(Some("r1"));
+        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(2));
+        let lease = fleet.lease("r1").unwrap();
+        let receipt = fleet.deliver(ResultDelivery {
+            results: vec![
+                done_result(batch, lease.lease, 0, 100),
+                done_result(batch, lease.lease, 1, 101),
+            ],
+        });
+        assert_eq!(receipt.accepted, 2);
+        // Redelivery (at-least-once retry): all duplicates, no state change.
+        let receipt = fleet.deliver(ResultDelivery {
+            results: vec![
+                done_result(batch, lease.lease, 0, 100),
+                done_result(batch, lease.lease, 1, 101),
+            ],
+        });
+        assert_eq!(receipt.duplicates, 2);
+        assert_eq!(receipt.accepted, 0);
+        // Wrong trial id and unknown batch are stale, not accepted.
+        let receipt = fleet.deliver(ResultDelivery {
+            results: vec![
+                done_result(batch, lease.lease, 0, 999),
+                done_result(batch + 7, 1, 0, 100),
+            ],
+        });
+        assert_eq!(receipt.stale, 2);
+        let slots = fleet.close_batch(batch);
+        assert!(slots.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn empty_fleet_falls_back_to_local_immediately() {
+        let fleet = quick_fleet(FleetConfig {
+            local_grace: Duration::from_secs(3600),
+            ..FleetConfig::default()
+        });
+        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(1));
+        match fleet.poll_batch(batch) {
+            BatchPoll::Local(0) => {}
+            _ => panic!("zero runners must claim locally without waiting out the grace"),
+        }
+        fleet.complete_local(
+            batch,
+            0,
+            EngineSlot {
+                outcome: quick_outcome(),
+                events: Vec::new(),
+            },
+        );
+        assert!(matches!(fleet.poll_batch(batch), BatchPoll::Complete));
+    }
+
+    #[test]
+    fn stalled_batch_is_co_evaluated_locally() {
+        let fleet = quick_fleet(FleetConfig {
+            chunk: 1,
+            local_grace: Duration::from_millis(30),
+            heartbeat_ttl: Duration::from_secs(60),
+            lease_ttl: Duration::from_secs(60),
+            ..FleetConfig::default()
+        });
+        fleet.register(Some("r1"));
+        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(2));
+        let _lease = fleet.lease("r1").unwrap();
+        // Slot 0 leased but undelivered; slot 1 pending. After the grace the
+        // coordinator claims the pending slot even with a live runner.
+        std::thread::sleep(Duration::from_millis(60));
+        match fleet.poll_batch(batch) {
+            BatchPoll::Local(1) => {}
+            _ => panic!("stalled batch must co-evaluate the pending slot"),
+        }
+    }
+
+    #[test]
+    fn late_local_result_defers_to_remote_first_write() {
+        let fleet = quick_fleet(FleetConfig::default());
+        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(1));
+        let BatchPoll::Local(0) = fleet.poll_batch(batch) else {
+            panic!("expected local claim");
+        };
+        // A straggler's remote delivery lands while the local eval runs.
+        fleet.register(Some("r1"));
+        let remote = done_result(batch, 9, 0, 100);
+        let receipt = fleet.deliver(ResultDelivery {
+            results: vec![remote],
+        });
+        assert_eq!(receipt.accepted, 1, "LocalRunning slot accepts first write");
+        fleet.complete_local(
+            batch,
+            0,
+            EngineSlot {
+                outcome: quick_outcome(),
+                events: Vec::new(),
+            },
+        );
+        let slots = fleet.close_batch(batch);
+        let (outcome, _, _) = slots[0].as_ref().unwrap();
+        assert_eq!(outcome.score, 0.5, "remote (first) result kept");
+        assert_ne!(outcome.status, TrialStatus::Completed);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let xs: Vec<u64> = (0..8).map(|_| splitmix64(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<_> = xs.iter().collect();
+        assert_eq!(distinct.len(), xs.len());
+    }
+}

@@ -8,9 +8,96 @@
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Largest request body accepted, generous for any plausible `RunSpec`.
 pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Largest request head (request line + all headers) accepted. A client
+/// trickling an endless header section is cut off here rather than
+/// growing buffers forever.
+pub const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// Most headers accepted in one request.
+pub const MAX_HEADERS: usize = 64;
+
+/// A [`Read`] adapter over a [`TcpStream`] that enforces a whole-exchange
+/// deadline on the monotonic clock: every `read` re-arms the socket's read
+/// timeout to the *remaining* budget, so a slowloris client that dribbles
+/// one byte per timeout window still cannot hold a connection (and its
+/// server thread) past the deadline.
+#[derive(Debug)]
+pub struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+}
+
+impl<'a> DeadlineStream<'a> {
+    /// Wraps `stream`, allowing reads for `budget` from now.
+    pub fn new(stream: &'a TcpStream, budget: Duration) -> DeadlineStream<'a> {
+        DeadlineStream {
+            stream,
+            deadline: Instant::now() + budget,
+        }
+    }
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "connection exceeded its read deadline",
+            ));
+        }
+        self.stream.set_read_timeout(Some(remaining))?;
+        let mut reader = self.stream;
+        reader.read(buf)
+    }
+}
+
+/// Reads one `\n`-terminated line, refusing to buffer more than `cap`
+/// bytes ([`BufRead::read_line`] would grow without bound on a hostile
+/// newline-free stream). `None` at clean EOF before any byte.
+fn read_line_capped(reader: &mut impl BufRead, cap: usize) -> std::io::Result<Option<String>> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            break;
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                line.extend_from_slice(&buf[..=pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let n = buf.len();
+                line.extend_from_slice(buf);
+                reader.consume(n);
+            }
+        }
+        if line.len() > cap {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("header line exceeds {cap} bytes"),
+            ));
+        }
+    }
+    if line.len() > cap {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("header line exceeds {cap} bytes"),
+        ));
+    }
+    Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+}
 
 /// A parsed request: method, path, query parameters and body.
 #[derive(Clone, Debug)]
@@ -41,14 +128,15 @@ impl Request {
     /// Reads one request off the stream.
     ///
     /// # Errors
-    /// [`ParseError`] for malformed request lines or headers, bodies beyond
+    /// [`ParseError`] for malformed request lines or headers, request heads
+    /// beyond [`MAX_HEAD_BYTES`] or [`MAX_HEADERS`], bodies beyond
     /// [`MAX_BODY_BYTES`], or a connection closed mid-request.
     pub fn read_from(stream: impl Read) -> Result<Request, ParseError> {
         let mut reader = BufReader::new(stream);
-        let mut line = String::new();
-        reader
-            .read_line(&mut line)
-            .map_err(|e| ParseError(format!("reading request line: {e}")))?;
+        let line = read_line_capped(&mut reader, MAX_HEAD_BYTES)
+            .map_err(|e| ParseError(format!("reading request line: {e}")))?
+            .unwrap_or_default();
+        let mut head_bytes = line.len();
         let mut parts = line.split_whitespace();
         let method = parts
             .next()
@@ -57,25 +145,31 @@ impl Request {
         let target = parts
             .next()
             .ok_or_else(|| ParseError("request line has no target".into()))?;
-        if !parts
-            .next()
-            .is_some_and(|v| v.starts_with("HTTP/1."))
-        {
+        if !parts.next().is_some_and(|v| v.starts_with("HTTP/1.")) {
             return Err(ParseError("not an HTTP/1.x request".into()));
         }
 
         let mut content_length = 0usize;
+        let mut n_headers = 0usize;
         loop {
-            let mut header = String::new();
-            let n = reader
-                .read_line(&mut header)
-                .map_err(|e| ParseError(format!("reading header: {e}")))?;
-            if n == 0 {
-                return Err(ParseError("connection closed inside headers".into()));
+            let header = read_line_capped(&mut reader, MAX_HEAD_BYTES)
+                .map_err(|e| ParseError(format!("reading header: {e}")))?
+                .ok_or_else(|| ParseError("connection closed inside headers".into()))?;
+            head_bytes += header.len();
+            if head_bytes > MAX_HEAD_BYTES {
+                return Err(ParseError(format!(
+                    "request head exceeds the {MAX_HEAD_BYTES}-byte limit"
+                )));
             }
             let header = header.trim_end();
             if header.is_empty() {
                 break;
+            }
+            n_headers += 1;
+            if n_headers > MAX_HEADERS {
+                return Err(ParseError(format!(
+                    "request has more than {MAX_HEADERS} headers"
+                )));
             }
             let Some((name, value)) = header.split_once(':') else {
                 return Err(ParseError(format!("malformed header `{header}`")));
@@ -255,7 +349,9 @@ mod tests {
         let err = Request::read_from(oversized.as_bytes()).unwrap_err();
         assert!(err.0.contains("exceeds"), "{err}");
         // Declared body never arrives: must error, not hang or truncate.
-        assert!(Request::read_from(&b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"[..]).is_err());
+        assert!(
+            Request::read_from(&b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"[..]).is_err()
+        );
     }
 
     #[test]
@@ -277,6 +373,60 @@ mod tests {
                 .unwrap(),
             body.len()
         );
+    }
+
+    #[test]
+    fn rejects_oversized_and_oversupplied_heads() {
+        // One header line larger than the whole head budget.
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES + 1)
+        );
+        let err = Request::read_from(huge.as_bytes()).unwrap_err();
+        assert!(err.0.contains("exceeds"), "{err}");
+        // More headers than allowed, each individually small.
+        let mut many = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            many.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        let err = Request::read_from(many.as_bytes()).unwrap_err();
+        assert!(err.0.contains("headers"), "{err}");
+    }
+
+    #[test]
+    fn deadline_stream_cuts_off_a_silent_client() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Connect but never send a byte: the classic slowloris opener.
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut guarded = DeadlineStream::new(&server_side, Duration::from_millis(50));
+        let started = Instant::now();
+        let err = Request::read_from(&mut guarded).unwrap_err();
+        assert!(err.0.contains("request line"), "{err}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline must fire promptly, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn deadline_stream_passes_through_a_prompt_request() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut guarded = DeadlineStream::new(&server_side, Duration::from_secs(5));
+        let req = Request::read_from(&mut guarded).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
     }
 
     #[test]

@@ -28,18 +28,35 @@
 //!   metrics.
 //! - [`client`]: the equally dependency-free client the `bhpo` CLI
 //!   subcommands (`submit`, `runs`, `status`, `watch`, `cancel`, `resume`,
-//!   `result`) are built on.
+//!   `result`) are built on, hardened with bounded jittered-backoff
+//!   retries and per-request connect/read/write deadlines.
+//! - [`fleet`] + [`runner`]: the fault-tolerant distributed execution
+//!   layer (DESIGN.md §5.10). With `--fleet`, trial batches are leased to
+//!   external `bhpo runner` processes with monotonic deadlines,
+//!   heartbeat-tracked liveness, expired-lease requeue and
+//!   first-write-wins result dedup; with zero live runners the
+//!   coordinator evaluates locally. Journals, checkpoints and results are
+//!   byte-identical however many runners serve the run — including runs
+//!   whose runners were killed mid-batch, which the seeded [`runner`]
+//!   chaos plans exercise end to end.
 
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod client;
+pub mod fleet;
 pub mod http;
 pub mod registry;
+pub mod runner;
 pub mod server;
 pub mod spec;
 
-pub use client::Client;
+pub use client::{Client, ClientError, ClientTimeouts, RetryPolicy};
+pub use fleet::{
+    DeliveryReceipt, Fleet, FleetConfig, FleetEngine, LeasePayload, ResultDelivery, RunnerView,
+    WireJob, WireResult,
+};
 pub use registry::{Registry, RunState, RunStatus};
+pub use runner::{run_runner, ChaosPlan, RunnerConfig, RunnerExit, RunnerReport};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use spec::RunSpec;

@@ -1,0 +1,356 @@
+//! The runner-side worker loop behind `bhpo runner`.
+//!
+//! A runner is deliberately stateless: it registers with the coordinator,
+//! then loops — heartbeat, lease a chunk of trial jobs, evaluate each one
+//! through the *same* deterministic path a coordinator pool worker uses
+//! ([`hpo_core::exec::contained_evaluate`] under
+//! [`hpo_core::obs::capture_trial_events`], fed by the wire job's
+//! pre-assigned trial id, RNG stream and warm-start snapshot), and
+//! deliver the outcomes back. Everything that makes the fleet correct
+//! lives on the coordinator (leases, dedup, requeue, submission-order
+//! commit); a runner that dies mid-batch simply stops delivering and its
+//! lease expires.
+//!
+//! [`ChaosPlan`] bakes the failure modes the integration suite needs into
+//! the runner itself — seeded, so every chaos run is reproducible: dying
+//! after N trials (kill-mid-batch), going silent (heartbeat loss ⇒
+//! runner declared lost), dropping deliveries (lease expiry ⇒ requeue),
+//! duplicating deliveries (at-least-once ⇒ dedup), and straggling
+//! (coordinator co-evaluation). A default plan does none of these.
+
+use crate::client::{Client, ClientError};
+use crate::fleet::{splitmix64, LeasePayload, ResultDelivery, WireResult};
+use crate::spec::PreparedRun;
+use hpo_core::exec::contained_evaluate;
+use hpo_core::obs::capture_trial_events;
+use hpo_core::CancelToken;
+use hpo_core::{
+    params_fingerprint, ContinuationCache, CvEvaluator, FailurePolicy, ObservedEvaluator, Recorder,
+    SnapshotEntry,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Seeded fault injection for chaos testing the fleet. All fields off by
+/// default; the CLI exposes them as `--chaos-*` flags.
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    /// Seed for the drop/duplicate draws.
+    pub seed: u64,
+    /// Die (return [`RunnerExit::ChaosKilled`]) once N trials have been
+    /// evaluated: preferentially mid-batch — after leasing, before the
+    /// next evaluation — so the coordinator holds an orphaned lease,
+    /// exactly like a crash; or while idle once past the threshold, so a
+    /// rigged runner never outlives its plan. `Some(0)` dies on the first
+    /// *leased* job, the deterministic way to orphan a lease.
+    pub kill_after_trials: Option<u64>,
+    /// Stop heartbeating (the runner keeps working; the coordinator
+    /// eventually declares it lost and requeues its leases).
+    pub silence_heartbeats: bool,
+    /// Probability a finished lease's delivery is dropped entirely.
+    pub drop_result_prob: f64,
+    /// Probability a delivery is sent twice (at-least-once duplicate).
+    pub dup_result_prob: f64,
+    /// Sleep this long before delivering each lease's results (straggler).
+    pub straggle_ms: u64,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        ChaosPlan {
+            seed: 0,
+            kill_after_trials: None,
+            silence_heartbeats: false,
+            drop_result_prob: 0.0,
+            dup_result_prob: 0.0,
+            straggle_ms: 0,
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// Whether any fault is armed.
+    pub fn is_armed(&self) -> bool {
+        self.kill_after_trials.is_some()
+            || self.silence_heartbeats
+            || self.drop_result_prob > 0.0
+            || self.dup_result_prob > 0.0
+            || self.straggle_ms > 0
+    }
+}
+
+/// Runner knobs.
+#[derive(Clone, Debug)]
+pub struct RunnerConfig {
+    /// Coordinator address (`host:port`).
+    pub server: String,
+    /// Requested runner name (honoured when unused).
+    pub name: Option<String>,
+    /// Idle poll interval between empty leases.
+    pub poll: Duration,
+    /// Heartbeat interval; keep well under the coordinator's
+    /// heartbeat TTL.
+    pub heartbeat_every: Duration,
+    /// Fault injection, inert by default.
+    pub chaos: ChaosPlan,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            server: "127.0.0.1:7878".to_string(),
+            name: None,
+            poll: Duration::from_millis(200),
+            heartbeat_every: Duration::from_secs(2),
+            chaos: ChaosPlan::default(),
+        }
+    }
+}
+
+/// Why the worker loop returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunnerExit {
+    /// The stop token was cancelled (SIGINT / test shutdown).
+    Stopped,
+    /// The chaos plan's kill fired.
+    ChaosKilled,
+}
+
+/// What a runner did before exiting.
+#[derive(Clone, Debug)]
+pub struct RunnerReport {
+    /// The coordinator-assigned runner id.
+    pub runner: String,
+    /// Why the loop ended.
+    pub exit: RunnerExit,
+    /// Trials evaluated (delivered or not).
+    pub trials: u64,
+    /// Leases obtained.
+    pub leases: u64,
+}
+
+/// Per-run state a runner caches across leases: the prepared datasets and
+/// the warm-start snapshot cache. Keyed by run id, so a runner serving
+/// multiple runs keeps their continuations apart.
+struct RunContext {
+    prepared: PreparedRun,
+    seed: u64,
+    warm_start: bool,
+    cache: Arc<ContinuationCache>,
+}
+
+/// Runs the worker loop until `stop` is cancelled or the chaos plan kills
+/// it. Registers, then repeatedly heartbeats, leases, evaluates, and
+/// delivers.
+///
+/// # Errors
+/// Transport errors that outlive the client's retry budget, a coordinator
+/// without `--fleet`, or an unpreparable spec (which would be a
+/// coordinator-side validation bug, since specs are validated at submit).
+pub fn run_runner(config: &RunnerConfig, stop: &CancelToken) -> Result<RunnerReport, ClientError> {
+    let client = Client::new(config.server.clone());
+    let mut runner = client.register_runner(config.name.as_deref())?;
+    let mut runs: HashMap<String, RunContext> = HashMap::new();
+    let mut chaos_state = config.chaos.seed ^ 0x9E3779B97F4A7C15;
+    let mut last_heartbeat = Instant::now();
+    let mut trials = 0u64;
+    let mut leases = 0u64;
+
+    loop {
+        if stop.is_cancelled() {
+            return Ok(RunnerReport {
+                runner,
+                exit: RunnerExit::Stopped,
+                trials,
+                leases,
+            });
+        }
+        if !config.chaos.silence_heartbeats && last_heartbeat.elapsed() >= config.heartbeat_every {
+            if !client.heartbeat(&runner)? {
+                // Declared lost (e.g. after a long GC-like stall): rejoin.
+                runner = client.register_runner(config.name.as_deref())?;
+            }
+            last_heartbeat = Instant::now();
+        }
+
+        let Some(lease) = client.lease(&runner)? else {
+            // An armed kill also fires while idle once the threshold is
+            // crossed, so a rigged runner can never outlive its plan just
+            // because work dried up. (`kill_after_trials: 0` deliberately
+            // only dies *after* leasing — the deterministic way to orphan
+            // a lease in tests.)
+            if let Some(kill_at) = config.chaos.kill_after_trials {
+                if kill_at > 0 && trials >= kill_at {
+                    return Ok(RunnerReport {
+                        runner,
+                        exit: RunnerExit::ChaosKilled,
+                        trials,
+                        leases,
+                    });
+                }
+            }
+            std::thread::sleep(config.poll);
+            continue;
+        };
+        leases += 1;
+        if let Some(exit) = evaluate_lease(
+            &client,
+            &config.chaos,
+            &runner,
+            &lease,
+            &mut runs,
+            &mut chaos_state,
+            &mut trials,
+        )? {
+            return Ok(RunnerReport {
+                runner,
+                exit,
+                trials,
+                leases,
+            });
+        }
+    }
+}
+
+/// Evaluates one lease's jobs and delivers the results (subject to chaos).
+/// Returns `Some(exit)` when the chaos kill fires mid-batch.
+fn evaluate_lease(
+    client: &Client,
+    chaos: &ChaosPlan,
+    runner: &str,
+    lease: &LeasePayload,
+    runs: &mut HashMap<String, RunContext>,
+    chaos_state: &mut u64,
+    trials: &mut u64,
+) -> Result<Option<RunnerExit>, ClientError> {
+    if !runs.contains_key(&lease.run) {
+        let prepared = lease
+            .spec
+            .prepare()
+            .map_err(|e| ClientError::Protocol(format!("preparing spec for {}: {e}", lease.run)))?;
+        runs.insert(
+            lease.run.clone(),
+            RunContext {
+                prepared,
+                seed: lease.spec.seed,
+                warm_start: lease.spec.warm_start,
+                cache: Arc::new(ContinuationCache::new()),
+            },
+        );
+    }
+    let ctx = runs.get(&lease.run).expect("inserted above");
+
+    // The exact evaluator stack a coordinator pool worker sees: CvEvaluator
+    // (default failure policy, as run_from_spec configures) wrapped in
+    // ObservedEvaluator. The recorder is a throwaway — captured events
+    // travel to the coordinator raw and are replayed into the *run's*
+    // journal there, in submission order.
+    let mut evaluator = CvEvaluator::new(
+        &ctx.prepared.train,
+        ctx.prepared.pipeline.clone(),
+        ctx.prepared.base.clone(),
+        ctx.seed,
+    )
+    .with_failure_policy(FailurePolicy::default());
+    if ctx.warm_start {
+        evaluator = evaluator.with_continuation(Arc::clone(&ctx.cache));
+    }
+    let observed = ObservedEvaluator::new(&evaluator, Recorder::in_memory());
+
+    let mut results = Vec::with_capacity(lease.jobs.len());
+    for job in &lease.jobs {
+        if let Some(kill_at) = chaos.kill_after_trials {
+            if *trials >= kill_at {
+                // Die mid-batch: leased slots stay undelivered and any
+                // results accumulated for this lease are lost with us.
+                return Ok(Some(RunnerExit::ChaosKilled));
+            }
+        }
+        if ctx.warm_start {
+            if let Some(snapshot) = &job.snapshot {
+                ctx.cache.import(vec![snapshot.clone()]);
+            }
+        }
+        let tjob = job.to_trial_job();
+        let (outcome, events) =
+            capture_trial_events(job.trial, || contained_evaluate(&observed, &tjob));
+        *trials += 1;
+        let snapshot = match (ctx.warm_start, job.cont) {
+            (true, Some(key)) => ctx
+                .cache
+                .lookup(key, params_fingerprint(&job.params), job.budget)
+                .map(|set| SnapshotEntry {
+                    key,
+                    set: (*set).clone(),
+                }),
+            _ => None,
+        };
+        results.push(WireResult {
+            batch: lease.batch,
+            lease: lease.lease,
+            slot: job.slot,
+            trial: job.trial,
+            runner: runner.to_string(),
+            outcome,
+            events,
+            snapshot,
+        });
+    }
+
+    if chaos.straggle_ms > 0 {
+        std::thread::sleep(Duration::from_millis(chaos.straggle_ms));
+    }
+    if chance(chaos_state, chaos.drop_result_prob) {
+        // Chaos: lose the whole delivery. The lease expires and the
+        // coordinator requeues the slots for someone else.
+        return Ok(None);
+    }
+    client.deliver(&ResultDelivery {
+        results: results.clone(),
+    })?;
+    if chance(chaos_state, chaos.dup_result_prob) {
+        // Chaos: at-least-once retry of an already-accepted delivery.
+        client.deliver(&ResultDelivery { results })?;
+    }
+    Ok(None)
+}
+
+/// One seeded Bernoulli draw.
+fn chance(state: &mut u64, prob: f64) -> bool {
+    if prob <= 0.0 {
+        return false;
+    }
+    if prob >= 1.0 {
+        return true;
+    }
+    let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    u < prob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chance_is_seeded_and_respects_bounds() {
+        let mut a = 7u64;
+        let mut b = 7u64;
+        let xs: Vec<bool> = (0..32).map(|_| chance(&mut a, 0.5)).collect();
+        let ys: Vec<bool> = (0..32).map(|_| chance(&mut b, 0.5)).collect();
+        assert_eq!(xs, ys, "same seed, same draws");
+        let mut s = 1u64;
+        assert!((0..64).all(|_| !chance(&mut s, 0.0)));
+        assert!((0..64).all(|_| chance(&mut s, 1.0)));
+    }
+
+    #[test]
+    fn default_chaos_is_inert() {
+        assert!(!ChaosPlan::default().is_armed());
+        assert!(ChaosPlan {
+            kill_after_trials: Some(3),
+            ..ChaosPlan::default()
+        }
+        .is_armed());
+    }
+}

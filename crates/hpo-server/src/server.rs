@@ -15,6 +15,7 @@
 //!   requeues at the next startup — kill-and-restart resumes mid-flight
 //!   runs without operator action.
 
+use crate::fleet::{Fleet, FleetConfig, FleetEngine};
 use crate::registry::{Registry, RunStatus};
 use crate::spec::RunSpec;
 use hpo_core::harness::{RunOptions, RunResult};
@@ -44,6 +45,9 @@ pub struct ServerConfig {
     pub slots: usize,
     /// `RunOptions::checkpoint_every` for every executed run.
     pub checkpoint_every: usize,
+    /// Runner-fleet knobs; `fleet.enabled` routes run execution through
+    /// the lease broker instead of the in-process thread pool.
+    pub fleet: FleetConfig,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +57,7 @@ impl Default for ServerConfig {
             data_dir: PathBuf::from("hpo-data"),
             slots: 2,
             checkpoint_every: 1,
+            fleet: FleetConfig::default(),
         }
     }
 }
@@ -74,6 +79,7 @@ pub(crate) struct Shared {
     pub(crate) queue: Mutex<VecDeque<String>>,
     pub(crate) running: Mutex<HashMap<String, RunningEntry>>,
     pub(crate) shutting_down: AtomicBool,
+    pub(crate) fleet: Arc<Fleet>,
 }
 
 impl Shared {
@@ -145,18 +151,14 @@ impl ServerHandle {
 /// Bind failures, registry IO failures, or a server-journal failure.
 pub fn serve(config: ServerConfig) -> Result<ServerHandle, Box<dyn std::error::Error>> {
     let registry = Registry::open(&config.data_dir)?;
-    let report = registry.recover()?;
-    let metrics = global_metrics();
-    metrics
-        .counter("hpo_server_runs_resumed_total")
-        .add(report.requeued.len() as u64);
 
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
     // The server keeps its own lifecycle journal beside the runs; append
-    // mode preserves the history across restarts.
+    // mode preserves the history across restarts. Built before recovery so
+    // the startup scan's findings are journaled too.
     let recorder = Recorder::builder()
         .journal_append(config.data_dir.join("server.jsonl"))
         .build()?;
@@ -166,12 +168,28 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, Box<dyn std::error::E
         slots: config.slots,
     });
 
+    let report = registry.recover()?;
+    let metrics = global_metrics();
+    metrics
+        .counter("hpo_server_runs_resumed_total")
+        .add(report.requeued.len() as u64);
+    // Sidelined run directories are an operator-facing incident, not just a
+    // log line: journal each one and keep a counter for alerting.
+    metrics
+        .counter("hpo_server_quarantined_total")
+        .add(report.quarantined.len() as u64);
+    for run in &report.quarantined {
+        recorder.emit(RunEvent::RunQuarantined { run: run.clone() });
+    }
+
+    let fleet = Arc::new(Fleet::new(config.fleet.clone(), recorder.clone()));
     let shared = Arc::new(Shared {
         registry,
         config: config.clone(),
         queue: Mutex::new(VecDeque::new()),
         running: Mutex::new(HashMap::new()),
         shutting_down: AtomicBool::new(false),
+        fleet,
     });
     metrics.gauge("hpo_server_slots").set(config.slots as f64);
 
@@ -210,7 +228,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 let shared = Arc::clone(&shared);
                 handlers.push(std::thread::spawn(move || {
                     let _ = stream.set_nonblocking(false);
-                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    // Reads run under the api layer's whole-exchange
+                    // deadline; the write timeout keeps a client that stops
+                    // draining the response from pinning this thread.
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
                     crate::api::handle_connection(stream, &shared);
                 }));
             }
@@ -235,6 +256,11 @@ fn scheduler_loop(shared: Arc<Shared>) {
     loop {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
+        }
+        if shared.fleet.enabled() {
+            // Expire overdue leases and silent runners even while every
+            // batch poller is between polls.
+            shared.fleet.prune();
         }
         let free = {
             let running = shared.running.lock().expect("running lock");
@@ -287,7 +313,9 @@ fn mark_failed(shared: &Shared, id: &str, error: String) {
         state.error = Some(error);
         let _ = shared.registry.save_state(&state);
     }
-    global_metrics().counter("hpo_server_runs_failed_total").inc();
+    global_metrics()
+        .counter("hpo_server_runs_failed_total")
+        .inc();
 }
 
 /// Executes one run in the current thread: the worker-slot body.
@@ -359,6 +387,17 @@ fn run_from_spec(
         .journal_append(journal)
         .build()
         .map_err(|e| format!("opening journal: {e}"))?;
+    // With the fleet on, trial batches go through the lease broker (and
+    // fall back to in-process evaluation when no runner is alive); off, the
+    // plain thread pool runs them. Either way the journal and checkpoint
+    // come out byte-identical — that is the fleet's core invariant.
+    let engine = shared.fleet.enabled().then(|| {
+        Arc::new(FleetEngine::new(
+            Arc::clone(&shared.fleet),
+            id,
+            spec.clone(),
+        )) as Arc<dyn hpo_core::ExternalEngine>
+    });
     let opts = RunOptions {
         checkpoint: Some(checkpoint),
         checkpoint_every: shared.config.checkpoint_every,
@@ -367,6 +406,7 @@ fn run_from_spec(
         workers: spec.workers,
         warm_start: spec.warm_start,
         cancel,
+        engine,
         ..RunOptions::default()
     };
     let result = catch_unwind(AssertUnwindSafe(|| {

@@ -261,10 +261,8 @@ mod tests {
 
     #[test]
     fn unknown_fields_are_rejected() {
-        let err = serde_json::from_str::<RunSpec>(
-            r#"{"dataset":"synth:australian","turbo":true}"#,
-        )
-        .unwrap_err();
+        let err = serde_json::from_str::<RunSpec>(r#"{"dataset":"synth:australian","turbo":true}"#)
+            .unwrap_err();
         assert!(err.to_string().contains("turbo"), "{err}");
     }
 

@@ -33,6 +33,7 @@ fn start(data_dir: &Path, slots: usize) -> (hpo_server::ServerHandle, Client) {
         data_dir: data_dir.to_path_buf(),
         slots,
         checkpoint_every: 1,
+        ..ServerConfig::default()
     })
     .expect("server starts");
     let client = Client::new(handle.addr().to_string());
@@ -182,7 +183,10 @@ fn killed_server_resumes_interrupted_run_to_identical_result() {
     assert_eq!(view.state.resumes, 1, "recovery requeued the run once");
 
     let resumed = client2.result(&id).expect("result");
-    assert!(resumed.n_resumed > 0, "completion replayed checkpointed trials");
+    assert!(
+        resumed.n_resumed > 0,
+        "completion replayed checkpointed trials"
+    );
     assert_eq!(
         normalized(resumed),
         normalized(direct_run(&spec)),
