@@ -157,6 +157,39 @@ fn matmul_microbench(seed: u64) -> serde_json::Value {
     })
 }
 
+/// p50/p90/p99 summaries of the latency histograms the global metrics
+/// registry accumulated over the benchmark: trial wall time always, lease
+/// round-trips when a fleet ran in-process (the runner threads share this
+/// process's registry). Also prints one line per histogram.
+fn latency_percentiles() -> serde_json::Value {
+    let snap = obs::global_metrics().snapshot();
+    let mut out = serde_json::Map::new();
+    for name in ["hpo_trial_seconds", "hpo_fleet_lease_rtt_seconds"] {
+        let Some(h) = snap.histograms.get(name) else {
+            continue;
+        };
+        if let (Some(p50), Some(p90), Some(p99)) = (h.p50, h.p90, h.p99) {
+            println!(
+                "latency {name}: p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms ({} observations)",
+                p50 * 1e3,
+                p90 * 1e3,
+                p99 * 1e3,
+                h.count,
+            );
+            out.insert(
+                name.to_string(),
+                serde_json::json!({
+                    "count": h.count,
+                    "p50_seconds": p50,
+                    "p90_seconds": p90,
+                    "p99_seconds": p99,
+                }),
+            );
+        }
+    }
+    serde_json::Value::Object(out)
+}
+
 /// `--server` smoke mode: measures what the HTTP/registry layer costs on
 /// top of a direct invocation. One spec is submitted through a loopback
 /// `hpo-server`; the same spec is then run directly; the report records
@@ -266,6 +299,7 @@ fn server_smoke(args: &ExpArgs, out_path: &str) {
             "trials": direct.n_evaluations,
             "results_match": results_match,
         },
+        "latency_percentiles": latency_percentiles(),
     });
     let text = serde_json::to_string_pretty(&report).expect("report serializes");
     write_json_atomic(out_path, text.as_bytes()).expect("write benchmark report");
@@ -349,6 +383,7 @@ fn fleet_bench(args: &ExpArgs, out_path: &str) {
                 enabled: true,
                 ..FleetConfig::default()
             },
+            ..ServerConfig::default()
         })
         .expect("fleet server starts");
         let addr = handle.addr().to_string();
@@ -429,6 +464,7 @@ fn fleet_bench(args: &ExpArgs, out_path: &str) {
             "trials_per_sec": direct_tps,
         },
         "fleet": rows,
+        "latency_percentiles": latency_percentiles(),
     });
     let text = serde_json::to_string_pretty(&report).expect("report serializes");
     write_json_atomic(out_path, text.as_bytes()).expect("write benchmark report");
@@ -679,6 +715,8 @@ fn main() {
         }
     }
 
+    println!();
+    let latency = latency_percentiles();
     let metrics = obs::global_metrics().snapshot();
     let report = serde_json::json!({
         "bench": "hpo",
@@ -693,6 +731,7 @@ fn main() {
         "matmul_256": matmul,
         "rows": rows,
         "scaling": scaling,
+        "latency_percentiles": latency,
         "metrics": metrics,
     });
     let text = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -83,12 +83,14 @@ const USAGE: &str = "usage:
                 [--pipeline vanilla|enhanced] [--hps 1..8] [--max-iter N] [--seed N] [--json <out.json>]
                 [--trial-timeout SECS] [--max-retries N] [--checkpoint FILE] [--checkpoint-every N] [--resume]
                 [--workers N] [--warm-start on|off]
-                [--events-out FILE.jsonl] [--metrics-out FILE.json] [--log-level error|warn|info|debug] [--progress]
+                [--events-out FILE.jsonl] [--metrics-out FILE.json] [--trace-out FILE.jsonl]
+                [--log-level error|warn|info|debug] [--progress]
   bhpo cv       --data <file|synth:name> [--ratio 0..1] [--pipeline vanilla|enhanced|random] [--seed N]
   bhpo groups   --data <file|synth:name> [--v N] [--algo kmeans|meanshift|affinity] [--seed N]
   bhpo datasets
   bhpo serve    --data-dir DIR [--addr 127.0.0.1:7878] [--slots N] [--checkpoint-every N]
                 [--fleet] [--lease-ttl-ms N] [--heartbeat-ttl-ms N] [--lease-chunk N] [--local-grace-ms N]
+                [--trace-dir DIR] [--progress]
   bhpo runner   [--server HOST:PORT] [--name NAME] [--poll-ms N] [--heartbeat-ms N]
                 [--chaos-seed N] [--chaos-kill-after-trials N] [--chaos-silence-heartbeats]
                 [--chaos-drop-prob 0..1] [--chaos-dup-prob 0..1] [--chaos-straggle-ms N]
@@ -97,6 +99,7 @@ const USAGE: &str = "usage:
   bhpo runs     [--server HOST:PORT] [--status queued|running|completed|cancelled|failed]
   bhpo status   --id run-NNNNNN [--server HOST:PORT]
   bhpo watch    --id run-NNNNNN [--server HOST:PORT]
+  bhpo top      [--server HOST:PORT] [--interval-ms N] [--once]
   bhpo cancel   --id run-NNNNNN [--server HOST:PORT]
   bhpo resume   --id run-NNNNNN [--server HOST:PORT]
   bhpo result   --id run-NNNNNN [--server HOST:PORT] [--json out.json]
@@ -120,6 +123,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "runs" => service::runs(&flags),
         "status" => service::status(&flags),
         "watch" => service::watch(&flags),
+        "top" => service::top(&flags),
         "cancel" => service::cancel(&flags),
         "resume" => service::resume(&flags),
         "result" => service::result(&flags),

@@ -226,12 +226,20 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
     if let Some(path) = flags.get("events-out") {
         obs_info!("wrote {path}");
     }
+    if let Some(path) = flags.get("trace-out") {
+        obs_info!(
+            "wrote {path} and {}",
+            hpo_core::obs::chrome_trace_path(std::path::Path::new(path)).display()
+        );
+    }
     Ok(())
 }
 
 /// Builds the run recorder from the observability flags: `--events-out`
-/// journals to JSONL, `--progress` paints a live line on stderr. With
-/// neither, the recorder is disabled and costs nothing.
+/// journals to JSONL, `--progress` paints a live line on stderr,
+/// `--trace-out` collects hierarchical spans and writes them as JSONL
+/// plus a Chrome-trace sibling on flush. With none of them, the recorder
+/// is disabled and costs nothing.
 fn build_recorder(flags: &Flags) -> Result<Recorder, CliError> {
     let mut builder = Recorder::builder();
     if let Some(path) = flags.get("events-out") {
@@ -239,6 +247,9 @@ fn build_recorder(flags: &Flags) -> Result<Recorder, CliError> {
     }
     if flags.get("progress").is_some() {
         builder = builder.with_progress();
+    }
+    if let Some(path) = flags.get("trace-out") {
+        builder = builder.trace_to(path);
     }
     builder
         .build()

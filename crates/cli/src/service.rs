@@ -1,11 +1,13 @@
 //! The service-facing `bhpo` subcommands: `serve` plus the API client
-//! verbs (`submit`, `runs`, `status`, `watch`, `cancel`, `resume`,
+//! verbs (`submit`, `runs`, `status`, `watch`, `top`, `cancel`, `resume`,
 //! `result`). Client verbs talk to `--server` (default `127.0.0.1:7878`)
 //! over the dependency-free [`hpo_server::Client`].
 
 use crate::cli::{CliError, Flags};
-use hpo_server::client::StatusView;
-use hpo_server::{ChaosPlan, Client, FleetConfig, RunSpec, RunnerConfig, ServerConfig};
+use hpo_server::client::{FollowOutcome, StatusView};
+use hpo_server::{
+    ChaosPlan, Client, ClientError, FleetConfig, RunSpec, RunStatus, RunnerConfig, ServerConfig,
+};
 use std::time::Duration;
 
 /// Default server address for every client verb.
@@ -52,6 +54,8 @@ pub fn serve(flags: &Flags) -> Result<(), CliError> {
         slots,
         checkpoint_every: flags.get_or("checkpoint-every", 1usize)?,
         fleet,
+        trace_dir: flags.get("trace-dir").map(Into::into),
+        progress: flags.get("progress").is_some(),
     };
     let fleet_on = config.fleet.enabled;
     let handle =
@@ -191,10 +195,31 @@ pub fn status(flags: &Flags) -> Result<(), CliError> {
 }
 
 /// `bhpo watch`: stream a run's journal until it reaches a terminal state.
+///
+/// Prefers the server's chunked `follow=1` stream, where lines arrive the
+/// moment they commit with no poll sleep; a server that predates streaming
+/// (it ignores or rejects the `follow` parameter) drops the command back
+/// to the original 500 ms polling loop. The line count accumulated by the
+/// streaming callback carries over, so no lines repeat across the
+/// fallback.
 pub fn watch(flags: &Flags) -> Result<(), CliError> {
     let id = flags.require("id")?;
     let api = client(flags);
     let mut from = 0usize;
+    let streamed = api.follow_events(id, from, |line| {
+        println!("{line}");
+        from += 1;
+    });
+    match streamed {
+        Ok(FollowOutcome::Streamed) => {
+            let view = api.status(id).map_err(api_err)?;
+            print_status(&view);
+            return Ok(());
+        }
+        // Pre-streaming server, or a stream that broke mid-run: resume
+        // from the counted offset by polling.
+        Ok(FollowOutcome::NotSupported) | Err(_) => {}
+    }
     loop {
         let tail = api.events(id, from).map_err(api_err)?;
         for line in tail.lines() {
@@ -208,6 +233,119 @@ pub fn watch(flags: &Flags) -> Result<(), CliError> {
         }
         std::thread::sleep(Duration::from_millis(500));
     }
+}
+
+/// `bhpo top`: a live dashboard over `/metrics`, the fleet runner list,
+/// and per-run status. Redraws in place every `--interval-ms` (default
+/// 2000); `--once` prints a single frame and exits, which is what scripts
+/// and CI use.
+pub fn top(flags: &Flags) -> Result<(), CliError> {
+    let api = client(flags);
+    let server = flags.get("server").unwrap_or(DEFAULT_SERVER).to_string();
+    let once = flags.get("once").is_some();
+    let interval = Duration::from_millis(flags.get_or("interval-ms", 2000u64)?);
+    loop {
+        let frame = top_frame(&api, &server)?;
+        if once {
+            print!("{frame}");
+            return Ok(());
+        }
+        // Clear + cursor home so the frame repaints in place.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(interval);
+    }
+}
+
+/// The value of the first unlabelled Prometheus sample named `name`.
+fn prom_value(text: &str, name: &str) -> Option<f64> {
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() == Some(name) {
+            return parts.next()?.parse().ok();
+        }
+    }
+    None
+}
+
+/// One rendered `bhpo top` frame.
+fn top_frame(api: &Client, server: &str) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+    let metrics = api.metrics().map_err(api_err)?;
+    let count =
+        |name: &str| prom_value(&metrics, name).map_or_else(|| "-".to_string(), |v| format!("{v}"));
+    let mut out = String::new();
+    let _ = writeln!(out, "bhpo top — {server}");
+    let _ = writeln!(
+        out,
+        "server   requests={} submitted={} completed={} failed={} cancelled={}",
+        count("hpo_server_http_requests_total"),
+        count("hpo_server_runs_submitted_total"),
+        count("hpo_server_runs_completed_total"),
+        count("hpo_server_runs_failed_total"),
+        count("hpo_server_runs_cancelled_total"),
+    );
+    let _ = writeln!(
+        out,
+        "fleet    runners={} leases_outstanding={} leases_granted={} leases_expired={}",
+        count("hpo_fleet_runners"),
+        count("hpo_fleet_leases_outstanding"),
+        count("hpo_fleet_leases_granted_total"),
+        count("hpo_fleet_leases_expired_total"),
+    );
+    match api.fleet_runners() {
+        Ok(runners) => {
+            for r in &runners {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} last seen {:>6.1}s ago",
+                    r.runner,
+                    r.idle_ms as f64 / 1000.0
+                );
+            }
+        }
+        Err(ClientError::Api { status: 409, .. }) => {
+            let _ = writeln!(out, "  (fleet disabled on this server)");
+        }
+        Err(e) => return Err(api_err(e)),
+    }
+    let runs = api.runs(None).map_err(api_err)?;
+    let queued = runs.iter().filter(|r| r.status == RunStatus::Queued).count();
+    let active: Vec<_> = runs
+        .iter()
+        .filter(|r| r.status == RunStatus::Running)
+        .collect();
+    let _ = writeln!(
+        out,
+        "runs     total={} running={} queued={}",
+        runs.len(),
+        active.len(),
+        queued
+    );
+    for r in active {
+        match api.status(&r.id) {
+            Ok(view) => match view.best {
+                Some(b) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<12} best {:.4} @ budget {} ({} trials)",
+                        r.id, b.score, b.budget, b.n_trials
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  {:<12} (no completed trial yet)", r.id);
+                }
+            },
+            Err(_) => {
+                let _ = writeln!(out, "  {:<12} (status unavailable)", r.id);
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// `bhpo cancel`: cooperative cancel; the run's checkpoint stays resumable.

@@ -513,6 +513,9 @@ impl<'a> CvEvaluator<'a> {
         mut fit_predict: impl FnMut(usize, &Dataset, &Dataset) -> (Vec<f64>, u64),
     ) -> EvalOutcome {
         let start = Instant::now();
+        // Each evaluation owns the span stash: folds from a previous attempt
+        // (retry loop) or a previous bare-evaluator call must not leak in.
+        let _ = obs::take_span_stash();
         let k = self.pipeline.fold_strategy.n_folds();
         let budget = budget.clamp(k.max(2), self.total_budget.max(k));
         let key = (budget, stream);
@@ -573,7 +576,13 @@ impl<'a> CvEvaluator<'a> {
             }
             let train_sub = self.train.select(&train_idx);
             let val_sub = self.train.select(val_idx);
+            let fold_started = Instant::now();
             let (preds, cost) = fit_predict(v, &train_sub, &val_sub);
+            obs::record_span(
+                obs::SpanPhase::Fold,
+                fold_started.elapsed().as_micros() as u64,
+                Some(format!("fold={v}")),
+            );
             cost_units += cost;
             let k_classes = self.train.task().n_classes().unwrap_or(0);
             let score = if preds.is_empty() {

@@ -131,9 +131,10 @@ impl Histogram {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 
-    /// Point-in-time copy of the histogram state.
+    /// Point-in-time copy of the histogram state, with interpolated
+    /// p50/p90/p99 estimates filled in.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
+        let mut snap = HistogramSnapshot {
             bounds: self.bounds.clone(),
             counts: self
                 .buckets
@@ -142,7 +143,14 @@ impl Histogram {
                 .collect(),
             count: self.count(),
             sum: self.sum(),
-        }
+            p50: None,
+            p90: None,
+            p99: None,
+        };
+        snap.p50 = snap.quantile(0.5);
+        snap.p90 = snap.quantile(0.9);
+        snap.p99 = snap.quantile(0.99);
+        snap
     }
 }
 
@@ -158,6 +166,47 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of observed values.
     pub sum: f64,
+    /// Interpolated median, absent when the histogram is empty.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub p50: Option<f64>,
+    /// Interpolated 90th percentile, absent when the histogram is empty.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub p90: Option<f64>,
+    /// Interpolated 99th percentile, absent when the histogram is empty.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub p99: Option<f64>,
+}
+
+impl HistogramSnapshot {
+    /// Interpolated quantile estimate from the bucket counts — the classic
+    /// `histogram_quantile` scheme: find the bucket where the cumulative
+    /// count reaches `q·count`, then interpolate linearly between that
+    /// bucket's edges (the first finite bucket's lower edge is taken as 0).
+    /// Observations in the overflow bucket have no upper edge to
+    /// interpolate into, so the last finite bound is returned for them.
+    ///
+    /// `None` when the histogram is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cumulative;
+            cumulative += c;
+            if c == 0 || (cumulative as f64) < rank {
+                continue;
+            }
+            let Some(&upper) = self.bounds.get(i) else {
+                return self.bounds.last().copied();
+            };
+            let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+            let within = (rank - prev as f64) / c as f64;
+            return Some(lower + (upper - lower) * within);
+        }
+        self.bounds.last().copied()
+    }
 }
 
 /// Point-in-time copy of a whole registry, as written by `--metrics-out`.
@@ -283,6 +332,12 @@ impl MetricsRegistry {
             }
             let _ = writeln!(out, "{name}_sum {}", h.sum);
             let _ = writeln!(out, "{name}_count {}", h.count);
+            // Interpolated estimates as a comment: scrapers compute their
+            // own `histogram_quantile`, humans reading the endpoint get
+            // the answer directly.
+            if let (Some(p50), Some(p90), Some(p99)) = (h.p50, h.p90, h.p99) {
+                let _ = writeln!(out, "# {name} quantiles: p50={p50} p90={p90} p99={p99}");
+            }
         }
         out
     }
@@ -370,6 +425,48 @@ mod tests {
         assert!(text.contains("hpo_lat_bucket{le=\"2\"} 2"), "{text}");
         assert!(text.contains("hpo_lat_bucket{le=\"+Inf\"} 3"), "{text}");
         assert!(text.contains("hpo_lat_count 3"), "{text}");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for _ in 0..50 {
+            h.observe(0.5);
+        }
+        for _ in 0..50 {
+            h.observe(1.5);
+        }
+        let snap = h.snapshot();
+        // The median lands exactly on the edge between the two buckets.
+        assert!((snap.quantile(0.5).unwrap() - 1.0).abs() < 1e-9, "{snap:?}");
+        // p75 is halfway through the (1, 2] bucket.
+        assert!((snap.quantile(0.75).unwrap() - 1.5).abs() < 1e-9);
+        assert_eq!(snap.p50, snap.quantile(0.5));
+        assert_eq!(snap.p90, snap.quantile(0.9));
+        // Empty histograms expose no quantiles.
+        let empty = Histogram::new(&[1.0]).snapshot();
+        assert_eq!(empty.p50, None);
+        assert_eq!(empty.quantile(0.5), None);
+        // Out-of-range q is rejected rather than extrapolated.
+        assert_eq!(snap.quantile(1.5), None);
+    }
+
+    #[test]
+    fn overflow_quantile_clamps_to_last_finite_bound() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        for _ in 0..10 {
+            h.observe(100.0);
+        }
+        assert_eq!(h.snapshot().quantile(0.9), Some(2.0));
+    }
+
+    #[test]
+    fn prometheus_text_includes_quantile_comment() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("hpo_q_lat", &[1.0, 2.0]);
+        h.observe(0.5);
+        let text = reg.prometheus_text();
+        assert!(text.contains("# hpo_q_lat quantiles: p50="), "{text}");
     }
 
     #[test]

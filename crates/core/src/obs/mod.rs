@@ -31,6 +31,7 @@ pub mod journal;
 pub mod metrics;
 pub mod progress;
 pub mod timer;
+pub mod trace;
 
 pub use event::{EventRecord, RunEvent};
 pub use facade::{log_level, set_log_level, LogLevel};
@@ -41,6 +42,10 @@ pub use metrics::{
 };
 pub use progress::ProgressReporter;
 pub use timer::ScopedTimer;
+pub use trace::{
+    assign_span_id, normalized_lines, trace_seed_from, write_chrome_trace, write_trace_jsonl,
+    SpanEvent, SpanPhase, SpanRecord, TraceCollector, TraceContext,
+};
 
 use crate::cancel::CancelToken;
 use crate::evaluator::{EvalOutcome, TrialStatus};
@@ -73,6 +78,8 @@ pub(crate) struct TrialEventBuffer {
     pub(crate) trial_id: u64,
     /// Raw events in the order the trial emitted them.
     pub(crate) events: Vec<RunEvent>,
+    /// Leaf trace spans the trial emitted, replayed after its events.
+    pub(crate) spans: Vec<SpanEvent>,
 }
 
 thread_local! {
@@ -86,6 +93,7 @@ pub(crate) fn install_trial_buffer(trial_id: u64) {
         *b.borrow_mut() = Some(TrialEventBuffer {
             trial_id,
             events: Vec::new(),
+            spans: Vec::new(),
         });
     });
 }
@@ -107,11 +115,48 @@ pub(crate) fn take_trial_buffer() -> Option<TrialEventBuffer> {
 /// byte-identical to a local one. The buffer is installed before and taken
 /// after `f`, so even a caught unwind inside `f` leaves the thread-local
 /// clean.
-pub fn capture_trial_events<T>(trial_id: u64, f: impl FnOnce() -> T) -> (T, Vec<RunEvent>) {
+pub fn capture_trial_events<T>(
+    trial_id: u64,
+    f: impl FnOnce() -> T,
+) -> (T, Vec<RunEvent>, Vec<SpanEvent>) {
     install_trial_buffer(trial_id);
     let out = f();
-    let events = take_trial_buffer().map(|b| b.events).unwrap_or_default();
-    (out, events)
+    let (events, spans) = take_trial_buffer()
+        .map(|b| (b.events, b.spans))
+        .unwrap_or_default();
+    (out, events, spans)
+}
+
+/// One leaf span measured deep inside an evaluator, before the trial id is
+/// known (see [`record_span`]).
+#[derive(Clone, Debug)]
+pub(crate) struct StashedSpan {
+    pub(crate) phase: SpanPhase,
+    pub(crate) dur_us: u64,
+    pub(crate) detail: Option<String>,
+}
+
+thread_local! {
+    static SPAN_STASH: RefCell<Vec<StashedSpan>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Records a leaf span from code that does not know its trial id (the fold
+/// loop inside [`crate::evaluator::CvEvaluator`]). The span waits in a
+/// thread-local stash until the [`ObservedEvaluator`] wrapping the trial
+/// drains it, fills in the trial id, and emits it through the recorder.
+pub fn record_span(phase: SpanPhase, dur_us: u64, detail: Option<String>) {
+    SPAN_STASH.with(|s| {
+        s.borrow_mut().push(StashedSpan {
+            phase,
+            dur_us,
+            detail,
+        })
+    });
+}
+
+/// Drains (and clears) the current thread's span stash.
+pub(crate) fn take_span_stash() -> Vec<StashedSpan> {
+    SPAN_STASH.with(|s| std::mem::take(&mut *s.borrow_mut()))
 }
 
 #[derive(Debug)]
@@ -119,6 +164,8 @@ struct RecorderInner {
     journal: Option<Mutex<JournalWriter>>,
     memory: Option<Mutex<Vec<EventRecord>>>,
     progress: Option<ProgressReporter>,
+    trace: Option<Mutex<TraceCollector>>,
+    trace_path: Option<PathBuf>,
     seq: AtomicU64,
     trial_ids: AtomicU64,
 }
@@ -199,6 +246,62 @@ impl Recorder {
         if let Some(progress) = &inner.progress {
             progress.on_event(&record);
         }
+        if let Some(trace) = &inner.trace {
+            if let Ok(mut tc) = trace.lock() {
+                tc.on_event(&record.event);
+            }
+        }
+    }
+
+    /// Commits one leaf trace span. On a pool worker with an installed
+    /// buffer the span is deferred (replayed in submission order, after the
+    /// trial's events); otherwise it goes straight to the trace collector.
+    /// A no-op without tracing.
+    pub fn emit_span(&self, span: SpanEvent) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut span = Some(span);
+        TRIAL_BUFFER.with(|b| {
+            if let Some(buf) = b.borrow_mut().as_mut() {
+                buf.spans.push(span.take().expect("span not yet consumed"));
+            }
+        });
+        let Some(span) = span else {
+            return;
+        };
+        if let Some(trace) = &inner.trace {
+            if let Ok(mut tc) = trace.lock() {
+                tc.on_span(span);
+            }
+        }
+    }
+
+    /// Whether a trace collector is attached.
+    pub fn is_tracing(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.trace.is_some())
+    }
+
+    /// The cross-process trace context, once the run span exists (i.e.
+    /// after `RunStarted` committed). `None` without tracing.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        let trace = self.inner.as_ref()?.trace.as_ref()?;
+        trace.lock().ok()?.context()
+    }
+
+    /// The finished span tree so far (empty without tracing).
+    pub fn trace_records(&self) -> Vec<SpanRecord> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.trace.as_ref())
+            .and_then(|t| t.lock().ok().map(|tc| tc.finished()))
+            .unwrap_or_default()
+    }
+
+    /// The determinism normal form of the span tree (see
+    /// [`trace::normalized_lines`]).
+    pub fn trace_normalized(&self) -> Vec<String> {
+        normalized_lines(&self.trace_records())
     }
 
     /// Allocates the next trial id (monotonic within the run; 0 when
@@ -236,14 +339,27 @@ impl Recorder {
             .unwrap_or_default()
     }
 
-    /// Fsyncs the journal (no-op without one).
+    /// Fsyncs the journal (no-op without one) and, when a trace export path
+    /// is configured, (re)writes the JSONL trace plus its Chrome trace-event
+    /// sibling (`<path minus .jsonl>.chrome.json`).
     ///
     /// # Errors
-    /// IO failures syncing the journal file.
+    /// IO failures syncing the journal file or writing the trace exports.
     pub fn flush(&self) -> Result<(), PersistError> {
         if let Some(journal) = self.inner.as_ref().and_then(|i| i.journal.as_ref()) {
             if let Ok(mut j) = journal.lock() {
                 j.sync()?;
+            }
+        }
+        if let Some(inner) = &self.inner {
+            if let (Some(path), true) = (&inner.trace_path, inner.trace.is_some()) {
+                let records = self.trace_records();
+                let mut jsonl = Vec::new();
+                write_trace_jsonl(&records, &mut jsonl)?;
+                crate::persist::write_json_atomic(path, &jsonl)?;
+                let mut chrome = Vec::new();
+                write_chrome_trace(&records, &mut chrome)?;
+                crate::persist::write_json_atomic(chrome_trace_path(path), &chrome)?;
             }
         }
         Ok(())
@@ -257,6 +373,15 @@ impl Recorder {
     }
 }
 
+/// The Chrome trace-event sibling of a JSONL trace path:
+/// `run.trace.jsonl` → `run.trace.chrome.json` (a `.chrome.json` suffix is
+/// appended when the path has no `.jsonl` extension).
+pub fn chrome_trace_path(path: &std::path::Path) -> PathBuf {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("trace");
+    let stem = name.strip_suffix(".jsonl").unwrap_or(name);
+    path.with_file_name(format!("{stem}.chrome.json"))
+}
+
 /// Configures the sinks of a [`Recorder`].
 #[derive(Debug, Default)]
 pub struct RecorderBuilder {
@@ -264,6 +389,8 @@ pub struct RecorderBuilder {
     append: bool,
     memory: bool,
     progress: bool,
+    trace: bool,
+    trace_path: Option<PathBuf>,
 }
 
 impl RecorderBuilder {
@@ -307,13 +434,28 @@ impl RecorderBuilder {
         self
     }
 
+    /// Collects the run's span tree in memory (retrievable via
+    /// [`Recorder::trace_records`]; no export files).
+    pub fn trace(mut self) -> RecorderBuilder {
+        self.trace = true;
+        self
+    }
+
+    /// Collects the span tree *and* exports it on [`Recorder::flush`]: JSONL
+    /// at `path`, Chrome trace-event format at the `.chrome.json` sibling.
+    pub fn trace_to(mut self, path: impl Into<PathBuf>) -> RecorderBuilder {
+        self.trace = true;
+        self.trace_path = Some(path.into());
+        self
+    }
+
     /// Builds the recorder, opening the journal file if configured.
     ///
     /// # Errors
     /// IO failures creating (or, in append mode, reading back) the journal
     /// file.
     pub fn build(self) -> Result<Recorder, PersistError> {
-        if self.journal_path.is_none() && !self.memory && !self.progress {
+        if self.journal_path.is_none() && !self.memory && !self.progress && !self.trace {
             return Ok(Recorder::disabled());
         }
         let mut seq_start = 0;
@@ -337,6 +479,8 @@ impl RecorderBuilder {
                 journal,
                 memory: self.memory.then(|| Mutex::new(Vec::new())),
                 progress: self.progress.then(ProgressReporter::stderr),
+                trace: self.trace.then(|| Mutex::new(TraceCollector::new())),
+                trace_path: self.trace_path,
                 seq: AtomicU64::new(seq_start),
                 trial_ids: AtomicU64::new(trial_start),
             })),
@@ -474,11 +618,30 @@ impl<E: TrialEvaluator> TrialEvaluator for ObservedEvaluator<'_, E> {
             budget,
             stream,
         });
+        // Stale spans from a bare evaluator used outside this wrapper must
+        // not leak into this trial.
+        let _ = take_span_stash();
         let start = Instant::now();
         // Run the retry loop at *this* layer (not `inner.evaluate_trial`),
         // so `on_trial_retry` fires here and retries are not double-looped.
         let out = run_trial(self, job);
         let wall_seconds = start.elapsed().as_secs_f64();
+        // Fold spans first (stashed by the evaluator's fold loop, final
+        // attempt only), then the evaluate span covering the retry loop.
+        for stashed in take_span_stash() {
+            self.recorder.emit_span(SpanEvent::new(
+                trial,
+                stashed.phase,
+                stashed.dur_us,
+                stashed.detail,
+            ));
+        }
+        self.recorder.emit_span(SpanEvent::new(
+            trial,
+            trace::SpanPhase::Evaluate,
+            (wall_seconds * 1e6) as u64,
+            None,
+        ));
 
         self.trials_total.inc();
         self.trial_seconds.observe(wall_seconds);

@@ -140,12 +140,39 @@ impl ProgressState {
         } else {
             "-".to_string()
         };
-        format!(
+        let mut line = format!(
             "[{}] bracket {} rung {} | trials {} (failed {}, retried {}, resumed {}) | best {} | {:.1}/s | eta {}",
             self.method, self.bracket, self.rung, self.trials, self.failures, self.retries,
             self.resumed, best, rate, eta
-        )
+        );
+        if let Some(fleet) = fleet_segment() {
+            line.push_str(&fleet);
+        }
+        line
     }
+}
+
+/// Live fleet state for the progress line, read from the global metrics
+/// registry. `None` on non-fleet runs: the fleet gauges exist only once a
+/// coordinator has registered a runner or granted a lease, and reading
+/// the snapshot (rather than `gauge()`) avoids registering them here.
+fn fleet_segment() -> Option<String> {
+    let snap = super::metrics::global().snapshot();
+    let runners = *snap.gauges.get("hpo_fleet_runners")?;
+    let outstanding = snap
+        .gauges
+        .get("hpo_fleet_leases_outstanding")
+        .copied()
+        .unwrap_or(0.0);
+    let expired = snap
+        .counters
+        .get("hpo_fleet_leases_expired_total")
+        .copied()
+        .unwrap_or(0);
+    Some(format!(
+        " | fleet {} runners, {} leased, {} requeued",
+        runners as u64, outstanding as u64, expired
+    ))
 }
 
 /// Repaints a one-line run summary as events arrive.
@@ -274,6 +301,17 @@ mod tests {
         assert!(text.contains("rung 1"), "{text}");
         assert!(text.contains("best 0.8300"), "{text}");
         assert!(text.ends_with('\n'), "final paint terminates the line");
+    }
+
+    #[test]
+    fn fleet_segment_reflects_global_gauges() {
+        crate::obs::metrics::global().gauge("hpo_fleet_runners").set(3.0);
+        crate::obs::metrics::global()
+            .gauge("hpo_fleet_leases_outstanding")
+            .set(2.0);
+        let s = fleet_segment().expect("segment present once gauges exist");
+        assert!(s.contains("3 runners"), "{s}");
+        assert!(s.contains("2 leased"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,818 @@
+//! Deterministic hierarchical tracing: one span tree per run.
+//!
+//! The trace layer answers the question the journal cannot: *where did the
+//! time go* — between queueing, leasing, wire transfer, evaluation and each
+//! fold fit. It is built on two ideas:
+//!
+//! 1. **The tree is derived, not instrumented.** The [`TraceCollector`]
+//!    folds the already-deterministic committed event stream (`RunStarted`
+//!    → `BracketStarted` → `RungStarted` → trial events) into structural
+//!    spans, so optimizers needed no changes and the journal schema is
+//!    untouched. Only *leaf* phases (folds, evaluate, batch, transport) are
+//!    emitted explicitly, as [`SpanEvent`]s that ride the same
+//!    submission-order commit path as journal events.
+//! 2. **IDs are derived, not allocated.** [`assign_span_id`] hashes
+//!    `(trace seed, scope, phase, occurrence)` with a splitmix-style mixer,
+//!    where the trace seed comes from the run seed and the scope is the
+//!    trial id (or bracket/rung index). Any process that knows the
+//!    [`TraceContext`] computes the same id for the same span — which is
+//!    how a fleet runner's spans land under the coordinator's trial spans
+//!    without a coordination round-trip, and why the *normalized* span tree
+//!    is byte-identical across worker counts and across local vs fleet
+//!    execution (chaos requeues included: only the winning delivery's spans
+//!    commit).
+//!
+//! Wall-clock placement is commit-anchored: a committed span occupies
+//! `[now − dur, now]` on the collector's clock, and [`TraceCollector::finished`]
+//! expands every parent's envelope to cover its children, so the exported
+//! tree always nests. Timings are therefore approximate in *position* but
+//! exact in *duration* — durations are the signal. Determinism comparisons
+//! use [`normalized_lines`], which drops transport spans and zeroes times.
+//!
+//! Two export formats: JSONL (one [`SpanRecord`] per line, `jq`-friendly)
+//! and the Chrome trace-event format (`*.chrome.json`), loadable in
+//! Perfetto or `chrome://tracing`.
+
+use super::event::RunEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write;
+use std::time::Instant;
+
+/// The phase taxonomy of a span. Structural phases (`Run`…`Trial`) are
+/// derived from the event stream; leaf phases are emitted as [`SpanEvent`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum SpanPhase {
+    /// The whole run (root span).
+    Run,
+    /// One Hyperband bracket.
+    Bracket,
+    /// One synchronous rung.
+    Rung,
+    /// One `evaluate_batch` call (pool fan-out or fleet batch).
+    Batch,
+    /// One trial's slot lifetime, queue to commit.
+    Trial,
+    /// The actual evaluation (retry loop) of a trial, wherever it ran.
+    Evaluate,
+    /// One cross-validation fold fit+predict inside an evaluation.
+    Fold,
+    /// Fleet: the slot sat in the broker queue awaiting a lease.
+    QueueWait,
+    /// Fleet: the slot was leased to a runner (or the local fallback).
+    LeaseHeld,
+    /// Fleet: delivery latency — result ready on the runner to accepted.
+    WireTransfer,
+}
+
+impl SpanPhase {
+    /// The kebab-case name (matches the serde rendering).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanPhase::Run => "run",
+            SpanPhase::Bracket => "bracket",
+            SpanPhase::Rung => "rung",
+            SpanPhase::Batch => "batch",
+            SpanPhase::Trial => "trial",
+            SpanPhase::Evaluate => "evaluate",
+            SpanPhase::Fold => "fold",
+            SpanPhase::QueueWait => "queue-wait",
+            SpanPhase::LeaseHeld => "lease-held",
+            SpanPhase::WireTransfer => "wire-transfer",
+        }
+    }
+
+    /// Whether the phase describes fleet transport rather than computation.
+    /// Transport spans exist only where transport happened, so the
+    /// determinism normal form ([`normalized_lines`]) drops them.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            SpanPhase::QueueWait | SpanPhase::LeaseHeld | SpanPhase::WireTransfer
+        )
+    }
+
+    /// Stable numeric code hashed into span ids (part of the trace format).
+    pub fn code(&self) -> u64 {
+        match self {
+            SpanPhase::Run => 1,
+            SpanPhase::Bracket => 2,
+            SpanPhase::Rung => 3,
+            SpanPhase::Batch => 4,
+            SpanPhase::Trial => 5,
+            SpanPhase::Evaluate => 6,
+            SpanPhase::Fold => 7,
+            SpanPhase::QueueWait => 8,
+            SpanPhase::LeaseHeld => 9,
+            SpanPhase::WireTransfer => 10,
+        }
+    }
+}
+
+/// The cross-process trace identity: everything a remote runner needs to
+/// compute span ids that re-parent under the coordinator's tree. Travels in
+/// fleet lease payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// The run's derived trace seed (see [`trace_seed_from`]).
+    pub trace_seed: u64,
+    /// The root (run) span id.
+    pub run_span: u64,
+}
+
+/// One leaf span as emitted (and, for fleet trials, shipped over the wire):
+/// a duration plus enough identity to place it in the tree at commit time.
+///
+/// `id`/`parent` are 0 when unassigned — the collector derives them at
+/// commit. A remote runner that knows the [`TraceContext`] pre-assigns them
+/// (same hash, same ids) so its spans re-parent under the coordinator's
+/// trial span.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// The trial the span belongs to (the batch base id for `Batch` spans).
+    pub trial: u64,
+    /// The phase.
+    pub phase: SpanPhase,
+    /// Measured duration in microseconds.
+    pub dur_us: u64,
+    /// Pre-assigned span id; 0 = collector assigns.
+    #[serde(default)]
+    pub id: u64,
+    /// Pre-assigned parent span id; 0 = collector assigns.
+    #[serde(default)]
+    pub parent: u64,
+    /// Free-form annotation (`"fold=3"`, `"base=12 n=4"`, `"local"`, a
+    /// runner id, ...).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub detail: Option<String>,
+}
+
+impl SpanEvent {
+    /// An unassigned leaf span (`id`/`parent` left to the collector).
+    pub fn new(trial: u64, phase: SpanPhase, dur_us: u64, detail: Option<String>) -> SpanEvent {
+        SpanEvent {
+            trial,
+            phase,
+            dur_us,
+            id: 0,
+            parent: 0,
+            detail,
+        }
+    }
+}
+
+/// One exported span: a node of the finished trace tree (one JSONL line).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Deterministic span id (nonzero).
+    pub id: u64,
+    /// Parent span id; 0 only for the root.
+    pub parent: u64,
+    /// The phase.
+    pub phase: SpanPhase,
+    /// Human-readable label (`"rung 0.2"`, `"trial 17"`, ...).
+    pub name: String,
+    /// The trial the span belongs to, when trial-scoped.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trial: Option<u64>,
+    /// Start, microseconds since the collector's epoch (run start).
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Free-form annotation.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub detail: Option<String>,
+}
+
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a run's trace seed from its run seed. A constant tweak keeps the
+/// trace id stream decorrelated from every other consumer of the run seed.
+pub fn trace_seed_from(run_seed: u64) -> u64 {
+    mix64(run_seed ^ 0x7472_6163_6572_6f6f) // "traceroo"
+}
+
+/// The deterministic span id for `(scope, phase, occurrence)` under a trace
+/// seed. `scope` is `trial + 1` for trial-scoped spans (`batch base + 1` for
+/// batches), 0 for the run, `bracket + 1` for brackets and
+/// `(bracket+1) << 32 | (rung+1)` for rungs; `occurrence` counts emissions
+/// of the same `(scope, phase)` pair in commit order. Never returns 0.
+pub fn assign_span_id(trace_seed: u64, scope: u64, phase: SpanPhase, occurrence: u64) -> u64 {
+    let id = mix64(trace_seed ^ mix64(scope ^ mix64(phase.code() ^ mix64(occurrence))));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// One open-or-closed span inside the collector.
+#[derive(Clone, Debug)]
+struct Span {
+    id: u64,
+    parent: u64,
+    phase: SpanPhase,
+    name: String,
+    trial: Option<u64>,
+    start_us: u64,
+    end_us: Option<u64>,
+    detail: Option<String>,
+}
+
+/// Folds the committed event/span stream into the run's span tree.
+///
+/// Lives behind the recorder's commit lock, so it observes events in the
+/// same submission order the journal does — which is exactly what makes the
+/// normalized tree deterministic.
+#[derive(Debug)]
+pub struct TraceCollector {
+    trace_seed: u64,
+    epoch: Instant,
+    spans: Vec<Span>,
+    run: Option<usize>,
+    bracket: Option<usize>,
+    rung: Option<usize>,
+    trials: HashMap<u64, usize>,
+    occurrences: HashMap<(u64, u64), u64>,
+    /// Batch spans awaiting trial re-parenting: (span index, base, n).
+    batches: Vec<(usize, u64, u64)>,
+}
+
+impl TraceCollector {
+    /// An empty collector; the trace seed is derived from the first
+    /// `RunStarted` event it sees.
+    pub fn new() -> TraceCollector {
+        TraceCollector {
+            trace_seed: 0,
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            run: None,
+            bracket: None,
+            rung: None,
+            trials: HashMap::new(),
+            occurrences: HashMap::new(),
+            batches: Vec::new(),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn next_occurrence(&mut self, scope: u64, phase: SpanPhase) -> u64 {
+        let slot = self.occurrences.entry((scope, phase.code())).or_insert(0);
+        let occ = *slot;
+        *slot += 1;
+        occ
+    }
+
+    fn open(
+        &mut self,
+        scope: u64,
+        phase: SpanPhase,
+        parent: u64,
+        name: String,
+        trial: Option<u64>,
+        detail: Option<String>,
+    ) -> usize {
+        let occ = self.next_occurrence(scope, phase);
+        let id = assign_span_id(self.trace_seed, scope, phase, occ);
+        let start_us = self.now_us();
+        self.spans.push(Span {
+            id,
+            parent,
+            phase,
+            name,
+            trial,
+            start_us,
+            end_us: None,
+            detail,
+        });
+        self.spans.len() - 1
+    }
+
+    fn close(&mut self, idx: Option<usize>) {
+        let now = self.now_us();
+        if let Some(span) = idx.and_then(|i| self.spans.get_mut(i)) {
+            if span.end_us.is_none() {
+                span.end_us = Some(now.max(span.start_us));
+            }
+        }
+    }
+
+    fn current_structural(&self) -> u64 {
+        self.rung
+            .or(self.bracket)
+            .or(self.run)
+            .and_then(|i| self.spans.get(i))
+            .map(|s| s.id)
+            .unwrap_or(0)
+    }
+
+    /// The cross-process context, once the run span exists.
+    pub fn context(&self) -> Option<TraceContext> {
+        let run = self.run.and_then(|i| self.spans.get(i))?;
+        Some(TraceContext {
+            trace_seed: self.trace_seed,
+            run_span: run.id,
+        })
+    }
+
+    /// Folds one committed journal event into the structural tree.
+    pub fn on_event(&mut self, event: &RunEvent) {
+        match event {
+            RunEvent::RunStarted { method, seed, .. } => {
+                self.trace_seed = trace_seed_from(*seed);
+                let idx = self.open(0, SpanPhase::Run, 0, format!("run {method}"), None, None);
+                self.run = Some(idx);
+            }
+            RunEvent::BracketStarted { bracket, .. } => {
+                let open_rung = self.rung.take();
+                self.close(open_rung);
+                let open_bracket = self.bracket.take();
+                self.close(open_bracket);
+                let parent = self.current_structural();
+                let idx = self.open(
+                    *bracket as u64 + 1,
+                    SpanPhase::Bracket,
+                    parent,
+                    format!("bracket {bracket}"),
+                    None,
+                    None,
+                );
+                self.bracket = Some(idx);
+            }
+            RunEvent::RungStarted { bracket, rung, .. } => {
+                let open_rung = self.rung.take();
+                self.close(open_rung);
+                let parent = self.current_structural();
+                let scope = ((*bracket as u64 + 1) << 32) | (*rung as u64 + 1);
+                let idx = self.open(
+                    scope,
+                    SpanPhase::Rung,
+                    parent,
+                    format!("rung {bracket}.{rung}"),
+                    None,
+                    None,
+                );
+                self.rung = Some(idx);
+            }
+            RunEvent::TrialStarted { trial, .. } => {
+                let parent = self.current_structural();
+                let idx = self.open(
+                    trial + 1,
+                    SpanPhase::Trial,
+                    parent,
+                    format!("trial {trial}"),
+                    Some(*trial),
+                    None,
+                );
+                self.trials.insert(*trial, idx);
+            }
+            RunEvent::TrialFinished {
+                trial,
+                wall_seconds,
+                ..
+            } => {
+                let now = self.now_us();
+                if let Some(span) = self.trials.get(trial).and_then(|&i| self.spans.get_mut(i)) {
+                    // Commit-anchored placement: the wall reading is exact,
+                    // the position is the commit instant.
+                    let dur = (*wall_seconds * 1e6) as u64;
+                    span.start_us = now.saturating_sub(dur);
+                    span.end_us = Some(now);
+                }
+            }
+            RunEvent::TrialFailed { trial, .. } => {
+                let idx = self.trials.get(trial).copied();
+                self.close(idx);
+            }
+            RunEvent::RunCancelled { .. } | RunEvent::RunFinished { .. } => {
+                let rung = self.rung.take();
+                self.close(rung);
+                let bracket = self.bracket.take();
+                self.close(bracket);
+                self.close(self.run);
+            }
+            _ => {}
+        }
+    }
+
+    /// Commits one leaf span. Pre-assigned ids (nonzero, from a fleet
+    /// runner) are trusted; everything else is derived here, in commit
+    /// order.
+    pub fn on_span(&mut self, span: SpanEvent) {
+        let now = self.now_us();
+        let scope = span.trial + 1;
+        let id = if span.id != 0 {
+            span.id
+        } else {
+            let occ = self.next_occurrence(scope, span.phase);
+            assign_span_id(self.trace_seed, scope, span.phase, occ)
+        };
+        let parent = if span.parent != 0 {
+            span.parent
+        } else if span.phase == SpanPhase::Batch {
+            self.current_structural()
+        } else {
+            self.trials
+                .get(&span.trial)
+                .and_then(|&i| self.spans.get(i))
+                .map(|s| s.id)
+                .unwrap_or_else(|| self.current_structural())
+        };
+        let name = match (&span.phase, &span.detail) {
+            (SpanPhase::Fold, Some(d)) => format!("fold {d}"),
+            (SpanPhase::Batch, _) => format!("batch @{}", span.trial),
+            (p, _) => p.name().to_string(),
+        };
+        let start_us = now.saturating_sub(span.dur_us);
+        self.spans.push(Span {
+            id,
+            parent,
+            phase: span.phase,
+            name,
+            trial: Some(span.trial),
+            start_us,
+            end_us: Some(now),
+            detail: span.detail,
+        });
+        if span.phase == SpanPhase::Batch {
+            if let Some((base, n)) = parse_batch_detail(self.spans.last().and_then(|s| s.detail.as_deref())) {
+                self.batches.push((self.spans.len() - 1, base, n));
+            }
+        }
+    }
+
+    /// The finished tree: open spans closed at "now", trial spans
+    /// re-parented under their covering batch span, and every parent's
+    /// envelope expanded to contain its children (bottom-up, to a fixpoint)
+    /// so the exported tree always nests. Non-destructive — the collector
+    /// keeps accumulating afterwards.
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        let now = self.now_us();
+        let mut spans = self.spans.clone();
+        for span in &mut spans {
+            if span.end_us.is_none() {
+                span.end_us = Some(now.max(span.start_us));
+            }
+        }
+        // Trials nest under the batch that executed them.
+        for &(batch_idx, base, n) in &self.batches {
+            let batch_id = spans[batch_idx].id;
+            for trial in base..base.saturating_add(n) {
+                if let Some(span) = self.trials.get(&trial).and_then(|&i| spans.get_mut(i)) {
+                    span.parent = batch_id;
+                }
+            }
+        }
+        // Envelope expansion: parents grow to cover children; the span
+        // forest is at most ~6 deep, so the fixpoint converges quickly.
+        let index: HashMap<u64, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        for _ in 0..12 {
+            let mut changed = false;
+            for child_idx in 0..spans.len() {
+                let (parent_id, c_start, c_end) = {
+                    let c = &spans[child_idx];
+                    (c.parent, c.start_us, c.end_us.unwrap_or(c.start_us))
+                };
+                if parent_id == 0 {
+                    continue;
+                }
+                let Some(&p_idx) = index.get(&parent_id) else {
+                    continue;
+                };
+                if p_idx == child_idx {
+                    continue;
+                }
+                let p = &mut spans[p_idx];
+                let p_end = p.end_us.unwrap_or(p.start_us);
+                if c_start < p.start_us {
+                    p.start_us = c_start;
+                    changed = true;
+                }
+                if c_end > p_end {
+                    p.end_us = Some(c_end);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        spans
+            .into_iter()
+            .map(|s| SpanRecord {
+                id: s.id,
+                parent: s.parent,
+                phase: s.phase,
+                name: s.name,
+                trial: s.trial,
+                start_us: s.start_us,
+                dur_us: s.end_us.unwrap_or(s.start_us).saturating_sub(s.start_us),
+                detail: s.detail,
+            })
+            .collect()
+    }
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        TraceCollector::new()
+    }
+}
+
+fn parse_batch_detail(detail: Option<&str>) -> Option<(u64, u64)> {
+    let detail = detail?;
+    let mut base = None;
+    let mut n = None;
+    for part in detail.split_whitespace() {
+        if let Some(v) = part.strip_prefix("base=") {
+            base = v.parse().ok();
+        } else if let Some(v) = part.strip_prefix("n=") {
+            n = v.parse().ok();
+        }
+    }
+    Some((base?, n?))
+}
+
+/// The determinism normal form: transport spans dropped, times zeroed, one
+/// canonical JSON line per surviving span in commit order. Two runs of the
+/// same spec produce identical normal forms at any worker count and under
+/// any fleet topology (chaos included).
+pub fn normalized_lines(records: &[SpanRecord]) -> Vec<String> {
+    records
+        .iter()
+        .filter(|r| !r.phase.is_transport())
+        .map(|r| {
+            serde_json::json!({
+                "id": r.id,
+                "parent": r.parent,
+                "phase": r.phase.name(),
+                "trial": r.trial,
+                "detail": r.detail,
+            })
+            .to_string()
+        })
+        .collect()
+}
+
+/// Writes the JSONL export: one [`SpanRecord`] per line.
+///
+/// # Errors
+/// IO or serialization failures.
+pub fn write_trace_jsonl(records: &[SpanRecord], w: &mut impl Write) -> std::io::Result<()> {
+    for record in records {
+        let line = serde_json::to_string(record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Writes the Chrome trace-event export (`"X"` complete events, µs units),
+/// loadable in Perfetto / `chrome://tracing`. Trial-scoped spans land on
+/// `tid = trial + 1`; structural spans on `tid = 0`.
+///
+/// # Errors
+/// IO failures.
+pub fn write_chrome_trace(records: &[SpanRecord], w: &mut impl Write) -> std::io::Result<()> {
+    let events: Vec<serde_json::Value> = records
+        .iter()
+        .map(|r| {
+            let mut args: serde_json::Map<String, serde_json::Value> = serde_json::Map::new();
+            args.insert(
+                "id".to_string(),
+                serde_json::Value::String(format!("{:016x}", r.id)),
+            );
+            args.insert(
+                "parent".to_string(),
+                serde_json::Value::String(format!("{:016x}", r.parent)),
+            );
+            if let Some(d) = &r.detail {
+                args.insert("detail".to_string(), serde_json::Value::String(d.clone()));
+            }
+            serde_json::json!({
+                "name": r.name,
+                "cat": r.phase.name(),
+                "ph": "X",
+                "ts": r.start_us,
+                "dur": r.dur_us.max(1),
+                "pid": 1,
+                "tid": r.trial.map(|t| t + 1).unwrap_or(0),
+                "args": args,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    });
+    w.write_all(doc.to_string().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn started(trial: u64) -> RunEvent {
+        RunEvent::TrialStarted {
+            trial,
+            budget: 10,
+            stream: trial,
+        }
+    }
+
+    fn finished(trial: u64) -> RunEvent {
+        RunEvent::TrialFinished {
+            trial,
+            budget: 10,
+            stream: trial,
+            score: 0.5,
+            wall_seconds: 0.001,
+            cost_units: 1,
+        }
+    }
+
+    fn run_started(seed: u64) -> RunEvent {
+        RunEvent::RunStarted {
+            method: "SHA".into(),
+            pipeline: "vanilla".into(),
+            seed,
+            total_budget: 100,
+        }
+    }
+
+    #[test]
+    fn ids_are_deterministic_and_nonzero() {
+        let a = assign_span_id(7, 3, SpanPhase::Trial, 0);
+        let b = assign_span_id(7, 3, SpanPhase::Trial, 0);
+        assert_eq!(a, b);
+        assert_ne!(a, 0);
+        assert_ne!(a, assign_span_id(7, 3, SpanPhase::Trial, 1));
+        assert_ne!(a, assign_span_id(7, 3, SpanPhase::Evaluate, 0));
+        assert_ne!(a, assign_span_id(8, 3, SpanPhase::Trial, 0));
+    }
+
+    #[test]
+    fn collector_builds_structural_tree_from_events() {
+        let mut tc = TraceCollector::new();
+        tc.on_event(&run_started(42));
+        tc.on_event(&RunEvent::RungStarted {
+            bracket: 0,
+            rung: 0,
+            n_candidates: 2,
+            budget: 10,
+        });
+        tc.on_event(&started(0));
+        tc.on_span(SpanEvent::new(0, SpanPhase::Evaluate, 500, None));
+        tc.on_event(&finished(0));
+        tc.on_event(&RunEvent::RunFinished {
+            method: "SHA".into(),
+            n_trials: 1,
+            n_failures: 0,
+            best_score: Some(0.5),
+            wall_seconds: 0.01,
+        });
+        let records = tc.finished();
+        assert_eq!(records.len(), 4, "run, rung, trial, evaluate");
+        let run = &records[0];
+        let rung = &records[1];
+        let trial = &records[2];
+        let eval = &records[3];
+        assert_eq!(run.phase, SpanPhase::Run);
+        assert_eq!(run.parent, 0);
+        assert_eq!(rung.parent, run.id);
+        assert_eq!(trial.parent, rung.id);
+        assert_eq!(eval.parent, trial.id);
+        assert_eq!(trial.trial, Some(0));
+    }
+
+    #[test]
+    fn preassigned_ids_are_trusted_and_match_derived_ones() {
+        let seed = trace_seed_from(9);
+        let derived = assign_span_id(seed, 1, SpanPhase::Evaluate, 0);
+        let mut tc = TraceCollector::new();
+        tc.on_event(&run_started(9));
+        tc.on_event(&started(0));
+        // A runner that knows the context pre-assigns the same id the
+        // collector would derive.
+        let trial_span = assign_span_id(seed, 1, SpanPhase::Trial, 0);
+        tc.on_span(SpanEvent {
+            trial: 0,
+            phase: SpanPhase::Evaluate,
+            dur_us: 100,
+            id: derived,
+            parent: trial_span,
+            detail: None,
+        });
+        let records = tc.finished();
+        let eval = records.iter().find(|r| r.phase == SpanPhase::Evaluate).unwrap();
+        assert_eq!(eval.id, derived);
+        assert_eq!(eval.parent, records[1].id, "trial span id matches the hash");
+    }
+
+    #[test]
+    fn batches_reparent_covered_trials() {
+        let mut tc = TraceCollector::new();
+        tc.on_event(&run_started(1));
+        tc.on_event(&started(0));
+        tc.on_event(&finished(0));
+        tc.on_event(&started(1));
+        tc.on_event(&finished(1));
+        tc.on_span(SpanEvent::new(
+            0,
+            SpanPhase::Batch,
+            1000,
+            Some("base=0 n=2".into()),
+        ));
+        let records = tc.finished();
+        let batch = records.iter().find(|r| r.phase == SpanPhase::Batch).unwrap();
+        for r in records.iter().filter(|r| r.phase == SpanPhase::Trial) {
+            assert_eq!(r.parent, batch.id, "trials nest under their batch");
+        }
+    }
+
+    #[test]
+    fn envelopes_nest_after_finish() {
+        let mut tc = TraceCollector::new();
+        tc.on_event(&run_started(3));
+        tc.on_event(&started(0));
+        // A long fold committed late: the trial envelope must grow.
+        tc.on_span(SpanEvent::new(0, SpanPhase::Fold, 10_000_000, Some("fold=0".into())));
+        tc.on_event(&finished(0));
+        let records = tc.finished();
+        let by_id: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+        for r in &records {
+            if r.parent == 0 {
+                continue;
+            }
+            let p = by_id.get(&r.parent).expect("no orphan parents");
+            assert!(p.start_us <= r.start_us, "{}: child starts inside parent", r.name);
+            assert!(
+                p.start_us + p.dur_us >= r.start_us + r.dur_us,
+                "{}: child ends inside parent",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn normal_form_drops_transport_and_times() {
+        let mut tc = TraceCollector::new();
+        tc.on_event(&run_started(5));
+        tc.on_event(&started(0));
+        tc.on_span(SpanEvent::new(0, SpanPhase::QueueWait, 50, None));
+        tc.on_span(SpanEvent::new(0, SpanPhase::Evaluate, 100, None));
+        tc.on_event(&finished(0));
+        let lines = normalized_lines(&tc.finished());
+        assert_eq!(lines.len(), 3, "run, trial, evaluate — no transport");
+        assert!(lines.iter().all(|l| !l.contains("queue-wait")), "{lines:?}");
+        assert!(lines.iter().all(|l| !l.contains("start_us")), "{lines:?}");
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let mut tc = TraceCollector::new();
+        tc.on_event(&run_started(11));
+        tc.on_event(&started(0));
+        tc.on_span(SpanEvent::new(0, SpanPhase::Evaluate, 100, None));
+        tc.on_event(&finished(0));
+        let records = tc.finished();
+        let mut jsonl = Vec::new();
+        write_trace_jsonl(&records, &mut jsonl).unwrap();
+        let text = String::from_utf8(jsonl).unwrap();
+        for line in text.lines() {
+            let back: SpanRecord = serde_json::from_str(line).unwrap();
+            assert_ne!(back.id, 0);
+        }
+        let mut chrome = Vec::new();
+        write_chrome_trace(&records, &mut chrome).unwrap();
+        let doc: serde_json::Value = serde_json::from_slice(&chrome).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), records.len());
+        assert!(events.iter().all(|e| e["ph"].as_str() == Some("X")));
+        assert_eq!(doc["displayTimeUnit"].as_str(), Some("ms"));
+    }
+
+    #[test]
+    fn kebab_case_phase_names_roundtrip() {
+        for phase in [
+            SpanPhase::Run,
+            SpanPhase::QueueWait,
+            SpanPhase::LeaseHeld,
+            SpanPhase::WireTransfer,
+        ] {
+            let json = serde_json::to_string(&phase).unwrap();
+            assert_eq!(json, format!("\"{}\"", phase.name()));
+            let back: SpanPhase = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, phase);
+        }
+    }
+}

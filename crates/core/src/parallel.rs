@@ -32,9 +32,10 @@ use crate::cancel::CancelToken;
 use crate::continuation::{params_fingerprint, ContinuationCache, SnapshotEntry};
 use crate::evaluator::EvalOutcome;
 use crate::exec::{cancelled_outcome, contained_evaluate, FailurePolicy, TrialEvaluator, TrialJob};
-use crate::obs::{self, Recorder, RunEvent};
+use crate::obs::{self, Recorder, RunEvent, SpanEvent, SpanPhase, TraceContext};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The parallel execution engine: fans [`TrialJob`] batches across a
 /// crossbeam scoped worker pool while staying bit-identical to sequential
@@ -110,6 +111,7 @@ impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
         let base_id = recorder.reserve_trial_ids(n as u64);
         let workers = self.workers.min(n);
         let cancel = self.inner.cancel_token();
+        let batch_started = Instant::now();
 
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<(Option<obs::TrialEventBuffer>, EvalOutcome)>> =
@@ -163,6 +165,9 @@ impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
                         for event in buf.events {
                             recorder.emit(event);
                         }
+                        for span in buf.spans {
+                            recorder.emit_span(span);
+                        }
                     }
                     outcomes.push(out);
                 }
@@ -175,8 +180,24 @@ impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
                 }
             }
         }
+        emit_batch_span(&recorder, base_id, n, batch_started);
         outcomes
     }
+}
+
+/// Commits the batch span covering trials `base..base+n` — identical (in
+/// the normalized tree) for the thread pool and any external engine, which
+/// is what keeps `--workers N` and fleet traces byte-comparable.
+fn emit_batch_span(recorder: &Recorder, base: u64, n: usize, started: Instant) {
+    if !recorder.is_tracing() {
+        return;
+    }
+    recorder.emit_span(SpanEvent::new(
+        base,
+        SpanPhase::Batch,
+        started.elapsed().as_micros() as u64,
+        Some(format!("base={base} n={n}")),
+    ));
 }
 
 /// One slot's result as produced by an [`ExternalEngine`]: the outcome plus
@@ -193,6 +214,9 @@ pub struct EngineSlot {
     pub outcome: EvalOutcome,
     /// Events the trial emitted, in emission order, unstamped.
     pub events: Vec<RunEvent>,
+    /// Leaf trace spans the trial emitted (plus any transport-phase spans
+    /// the engine synthesized), replayed after the slot's events.
+    pub spans: Vec<SpanEvent>,
 }
 
 /// Host-side callbacks an [`ExternalEngine`] uses to evaluate jobs locally
@@ -224,6 +248,14 @@ pub trait BatchHost: Sync {
     /// Imports a snapshot a remote worker produced, so later rungs of the
     /// same configuration warm-start from it — locally or on any runner.
     fn import_snapshot(&self, entry: SnapshotEntry);
+
+    /// The run's trace context, when tracing is enabled: engines ship it
+    /// over the wire so remote workers pre-assign span ids under the same
+    /// deterministic scheme the coordinator uses. `None` (the default) when
+    /// the run is not being traced.
+    fn trace_context(&self) -> Option<TraceContext> {
+        None
+    }
 }
 
 /// A pluggable batch-execution backend: something that can take a batch of
@@ -287,15 +319,20 @@ impl<'e, E: TrialEvaluator> EngineEvaluator<'e, E> {
 
 impl<E: TrialEvaluator> BatchHost for EngineEvaluator<'_, E> {
     fn evaluate_local(&self, job: &TrialJob, trial_id: u64) -> EngineSlot {
-        let (outcome, events) =
+        let (outcome, events, spans) =
             obs::capture_trial_events(trial_id, || contained_evaluate(self.inner, job));
-        EngineSlot { outcome, events }
+        EngineSlot {
+            outcome,
+            events,
+            spans,
+        }
     }
 
     fn cancelled_slot(&self, job: &TrialJob) -> EngineSlot {
         EngineSlot {
             outcome: cancelled_outcome(self.inner, job),
             events: Vec::new(),
+            spans: Vec::new(),
         }
     }
 
@@ -317,6 +354,10 @@ impl<E: TrialEvaluator> BatchHost for EngineEvaluator<'_, E> {
         if let Some(cache) = &self.continuation {
             cache.import(vec![entry]);
         }
+    }
+
+    fn trace_context(&self) -> Option<TraceContext> {
+        self.inner.recorder().trace_context()
     }
 }
 
@@ -364,6 +405,7 @@ impl<E: TrialEvaluator> TrialEvaluator for EngineEvaluator<'_, E> {
         }
         let recorder = self.inner.recorder();
         let base_id = recorder.reserve_trial_ids(n as u64);
+        let batch_started = Instant::now();
         let slots = self.engine.evaluate_batch(self, jobs, base_id);
         debug_assert_eq!(slots.len(), n, "engines must return one slot per job");
         let mut outcomes = Vec::with_capacity(n);
@@ -371,8 +413,12 @@ impl<E: TrialEvaluator> TrialEvaluator for EngineEvaluator<'_, E> {
             for event in slot.events {
                 recorder.emit(event);
             }
+            for span in slot.spans {
+                recorder.emit_span(span);
+            }
             outcomes.push(slot.outcome);
         }
+        emit_batch_span(&recorder, base_id, n, batch_started);
         outcomes
     }
 }

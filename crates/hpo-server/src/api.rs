@@ -10,6 +10,7 @@
 //! | `POST /api/v1/runs/{id}/cancel` | cooperative cancel; checkpoint stays resumable |
 //! | `POST /api/v1/runs/{id}/resume` | requeue a cancelled/failed run |
 //! | `GET /api/v1/runs/{id}/events?from=N` | journal lines from N on (JSONL) |
+//! | `GET /api/v1/runs/{id}/events?follow=1` | chunked stream of journal lines as they commit |
 //! | `GET /api/v1/runs/{id}/result` | the completed run's `RunResult` |
 //! | `POST /api/v1/fleet/runners` | register a runner; `{"runner": id}` |
 //! | `POST /api/v1/fleet/runners/{id}/heartbeat` | liveness refresh; `{"known": bool}` |
@@ -24,7 +25,7 @@
 
 use crate::client::{HeartbeatResponse, LeaseRequest, RegisterRequest, RegisterResponse};
 use crate::fleet::ResultDelivery;
-use crate::http::{DeadlineStream, Request, Response};
+use crate::http::{finish_chunked, write_chunk, write_chunked_head, DeadlineStream, Request, Response};
 use crate::registry::{BestSoFar, RegistryError, RunState, RunStatus};
 use crate::server::Shared;
 use crate::spec::RunSpec;
@@ -32,22 +33,133 @@ use hpo_core::obs::global_metrics;
 use serde::Serialize;
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Whole-request read budget per connection (slowloris guard).
 const CONNECTION_READ_BUDGET: Duration = Duration::from_secs(30);
 
+/// How often the streaming events handler re-reads the journal.
+const FOLLOW_POLL: Duration = Duration::from_millis(50);
+
+/// Idle interval after which the streaming handler sends a keepalive
+/// chunk so dead peers are detected and proxies keep the socket open.
+const FOLLOW_KEEPALIVE: Duration = Duration::from_secs(10);
+
 /// Reads one request off the connection, routes it, writes the response.
 /// The read side runs under a whole-exchange deadline so a trickling
 /// client cannot pin the handling thread.
+///
+/// `GET /api/v1/runs/{id}/events?follow=1` is special-cased before the
+/// route table: it takes over the socket and streams journal lines via
+/// chunked transfer until the run reaches a terminal state.
 pub(crate) fn handle_connection(stream: TcpStream, shared: &Shared) {
     let mut guarded = DeadlineStream::new(&stream, CONNECTION_READ_BUDGET);
     let response = match Request::read_from(&mut guarded) {
-        Ok(req) => route(&req, shared),
+        Ok(req) => {
+            if let Some(id) = follow_target(&req) {
+                stream_events(&stream, &id, &req, shared);
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            route(&req, shared)
+        }
         Err(e) => Response::error(400, e),
     };
     let _ = response.write_to(&stream);
     let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// The run id when the request is a streaming events request:
+/// `GET /api/v1/runs/{id}/events` with a truthy `follow` query param.
+fn follow_target(req: &Request) -> Option<String> {
+    if req.method != "GET" {
+        return None;
+    }
+    match req.query.get("follow").map(String::as_str) {
+        Some("0") | Some("false") | None => return None,
+        Some(_) => {}
+    }
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["api", "v1", "runs", id, "events"] => Some((*id).to_string()),
+        _ => None,
+    }
+}
+
+/// Streams journal lines over chunked transfer as they commit.
+///
+/// The journal file is re-read every [`FOLLOW_POLL`]; any lines past the
+/// high-water mark go out as one chunk. The stream finishes (terminating
+/// chunk, then close) once the run is terminal — after a final drain so
+/// lines committed just before the status flip are not lost — or when the
+/// server shuts down or the peer goes away.
+fn stream_events(stream: &TcpStream, id: &str, req: &Request, shared: &Shared) {
+    let mut sent: usize = match req.query.get("from").map(|v| v.parse()) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            let _ = Response::error(400, "`from` must be a line number").write_to(stream);
+            return;
+        }
+    };
+    let path = match shared.registry.journal_path(id) {
+        Ok(path) => path,
+        Err(e) => {
+            let _ = registry_error(e).write_to(stream);
+            return;
+        }
+    };
+    if write_chunked_head(stream, 200, "application/jsonl").is_err() {
+        return;
+    }
+    let mut last_write = Instant::now();
+    loop {
+        // A missing journal is an empty tail: the run may not have reached
+        // a slot yet.
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        let fresh: Vec<&str> = text.lines().skip(sent).collect();
+        if !fresh.is_empty() {
+            let payload: String = fresh.iter().flat_map(|l| [*l, "\n"]).collect();
+            sent += fresh.len();
+            if write_chunk(stream, payload.as_bytes()).is_err() {
+                return;
+            }
+            last_write = Instant::now();
+        }
+        // Terminal check comes *after* the read so the next iteration's
+        // drain below cannot race with the status flip.
+        let terminal = shared
+            .registry
+            .load_state(id)
+            .map(|s| s.status.is_terminal())
+            .unwrap_or(true);
+        if terminal {
+            // Final drain: lines committed between the read above and the
+            // terminal status write.
+            let text = std::fs::read_to_string(&path).unwrap_or_default();
+            let fresh: Vec<&str> = text.lines().skip(sent).collect();
+            if !fresh.is_empty() {
+                let payload: String = fresh.iter().flat_map(|l| [*l, "\n"]).collect();
+                if write_chunk(stream, payload.as_bytes()).is_err() {
+                    return;
+                }
+            }
+            break;
+        }
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        if last_write.elapsed() >= FOLLOW_KEEPALIVE {
+            // A blank line: ignored by line-oriented consumers, but proves
+            // the connection is alive in both directions.
+            if write_chunk(stream, b"\n").is_err() {
+                return;
+            }
+            last_write = Instant::now();
+        }
+        std::thread::sleep(FOLLOW_POLL);
+    }
+    let _ = finish_chunked(stream);
 }
 
 /// `GET /api/v1/runs/{id}` payload: durable state plus live progress.

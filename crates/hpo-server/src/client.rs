@@ -147,6 +147,19 @@ pub struct StatusView {
     pub best: Option<BestSoFar>,
 }
 
+/// How a [`Client::follow_events`] call ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FollowOutcome {
+    /// The server streamed journal lines until the run reached a terminal
+    /// state (or the server shut down).
+    Streamed,
+    /// The server predates streaming — it either rejected the `follow`
+    /// parameter or ignored it and buffered the whole tail. Any buffered
+    /// lines were already delivered; the caller should fall back to
+    /// polling.
+    NotSupported,
+}
+
 /// Body of `POST /api/v1/fleet/runners`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RegisterRequest {
@@ -396,6 +409,139 @@ impl Client {
             return Err(api_error(status, &body));
         }
         Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// `GET /api/v1/runs/{id}/events?follow=1`: streams journal lines as
+    /// they commit, invoking `on_line` per line (keepalive blanks are
+    /// filtered out), starting at line `from`.
+    ///
+    /// Returns [`FollowOutcome::Streamed`] once the server finishes the
+    /// stream (terminal run state or shutdown). A server that predates
+    /// streaming answers with an ordinary buffered response instead of a
+    /// chunked one; those lines are still delivered — so the caller's line
+    /// count stays accurate — and the call returns
+    /// [`FollowOutcome::NotSupported`] so the caller can fall back to
+    /// polling [`Client::events`].
+    ///
+    /// No retries: a broken stream is surfaced immediately so the caller
+    /// can resume (streaming or polling) from its own line count.
+    ///
+    /// # Errors
+    /// Transport failures, or a server error status other than the 400/404
+    /// a strict pre-streaming server might give the query parameter.
+    pub fn follow_events(
+        &self,
+        id: &str,
+        from: usize,
+        mut on_line: impl FnMut(&str),
+    ) -> Result<FollowOutcome, ClientError> {
+        let mut stream = self.connect()?;
+        // The server sends a keepalive chunk every ~10 s while idle; a read
+        // stalled several times that long means the server is gone.
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        write!(
+            stream,
+            "GET /api/v1/runs/{id}/events?from={from}&follow=1 HTTP/1.1\r\nHost: {}\r\n\
+             Connection: close\r\n\r\n",
+            self.addr
+        )?;
+        stream.flush()?;
+
+        // Read up to the header terminator, keeping whatever body bytes
+        // arrived in the same reads.
+        let mut buf: Vec<u8> = Vec::new();
+        let header_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ClientError::Protocol(
+                    "connection closed before response headers".into(),
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let mut pending = buf.split_off(header_end + 4);
+        let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+        let status: u16 = head
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line in `{head}`")))?;
+        let chunked = head.lines().skip(1).any(|l| {
+            let lower = l.to_ascii_lowercase();
+            lower.starts_with("transfer-encoding:") && lower.contains("chunked")
+        });
+        if status == 400 || status == 404 {
+            // A strict pre-streaming server rejecting the parameter (or an
+            // unknown run — polling will surface that with a clean error).
+            return Ok(FollowOutcome::NotSupported);
+        }
+        if !(200..300).contains(&status) {
+            stream.read_to_end(&mut pending)?;
+            return Err(api_error(status, &pending));
+        }
+        if !chunked {
+            // Pre-streaming server: it ignored `follow` and buffered the
+            // whole tail as a regular response. Deliver it, then hand the
+            // caller back to polling.
+            stream.read_to_end(&mut pending)?;
+            for line in String::from_utf8_lossy(&pending).lines() {
+                if !line.is_empty() {
+                    on_line(line);
+                }
+            }
+            return Ok(FollowOutcome::NotSupported);
+        }
+
+        // Chunked: decode incrementally, emitting each completed line the
+        // moment it lands.
+        let mut decoded: Vec<u8> = Vec::new();
+        let mut flush = |decoded: &mut Vec<u8>, on_line: &mut dyn FnMut(&str)| {
+            while let Some(nl) = decoded.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = decoded.drain(..=nl).collect();
+                let line = String::from_utf8_lossy(&raw[..raw.len() - 1]);
+                let line = line.trim_end_matches('\r');
+                if !line.is_empty() {
+                    on_line(line);
+                }
+            }
+        };
+        loop {
+            // Decode every complete chunk frame currently buffered.
+            loop {
+                let Some(line_end) = pending.windows(2).position(|w| w == b"\r\n") else {
+                    break;
+                };
+                let size_line = std::str::from_utf8(&pending[..line_end])
+                    .map_err(|_| ClientError::Protocol("non-UTF-8 chunk size".into()))?;
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .map_err(|_| ClientError::Protocol(format!("bad chunk size `{size_line}`")))?;
+                if size == 0 {
+                    flush(&mut decoded, &mut on_line);
+                    return Ok(FollowOutcome::Streamed);
+                }
+                let frame_len = line_end + 2 + size + 2;
+                if pending.len() < frame_len {
+                    break;
+                }
+                decoded.extend_from_slice(&pending[line_end + 2..line_end + 2 + size]);
+                pending.drain(..frame_len);
+                flush(&mut decoded, &mut on_line);
+            }
+            let mut chunk = [0u8; 4096];
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                // Closed without a terminating chunk (server died mid-
+                // stream); deliver what decoded cleanly.
+                flush(&mut decoded, &mut on_line);
+                return Ok(FollowOutcome::Streamed);
+            }
+            pending.extend_from_slice(&chunk[..n]);
+        }
     }
 
     /// `GET /api/v1/runs/{id}/result`: the completed run's result.

@@ -42,7 +42,7 @@
 //! byte-identical to single-process runs.
 
 use crate::spec::RunSpec;
-use hpo_core::obs::{global_metrics, Recorder, RunEvent};
+use hpo_core::obs::{global_metrics, Recorder, RunEvent, SpanEvent, SpanPhase, TraceContext};
 use hpo_core::{BatchHost, EngineSlot, EvalOutcome, ExternalEngine, SnapshotEntry, TrialJob};
 use hpo_models::mlp::MlpParams;
 use serde::{Deserialize, Serialize};
@@ -142,6 +142,11 @@ pub struct LeasePayload {
     pub spec: RunSpec,
     /// Lease time-to-live in milliseconds (informational).
     pub ttl_ms: u64,
+    /// The run's trace context, when the run is being traced: the runner
+    /// pre-assigns span ids under it so its spans re-parent into the
+    /// coordinator's tree. `None` (also for old coordinators) ⇒ no tracing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<TraceContext>,
     /// The leased jobs.
     pub jobs: Vec<WireJob>,
 }
@@ -163,6 +168,16 @@ pub struct WireResult {
     pub outcome: EvalOutcome,
     /// The trial's raw events, unstamped, in emission order.
     pub events: Vec<RunEvent>,
+    /// The trial's leaf trace spans (fold fits, evaluate), with ids
+    /// pre-assigned when the lease carried a [`TraceContext`]. Empty when
+    /// the run is not traced (and for old runners).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub spans: Vec<SpanEvent>,
+    /// Microseconds the runner spent from accepting the lease to having
+    /// this result ready — lets the coordinator split lease-held time into
+    /// compute vs wire transfer. 0 for old runners.
+    #[serde(default)]
+    pub busy_us: u64,
     /// The snapshot this evaluation produced (when warm start is on), so
     /// later rungs can continue from it anywhere.
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -215,6 +230,7 @@ enum SlotState {
     Done {
         outcome: EvalOutcome,
         events: Vec<RunEvent>,
+        spans: Vec<SpanEvent>,
         snapshot: Option<SnapshotEntry>,
     },
 }
@@ -224,6 +240,15 @@ enum SlotState {
 struct SlotEntry {
     job: WireJob,
     state: SlotState,
+    /// Transport-phase spans (queue-wait, lease-held, wire-transfer)
+    /// recorded at state transitions — only when the batch is traced.
+    /// Requeues append additional queue-wait/lease-held entries, so the
+    /// trace shows every hop a chaos-hit slot took.
+    transport: Vec<SpanEvent>,
+    /// When the slot last became `Pending` (queue-wait start).
+    pending_since: Instant,
+    /// When the slot was last leased or locally claimed (lease-held start).
+    leased_at: Option<Instant>,
 }
 
 /// One submitted trial batch.
@@ -235,6 +260,9 @@ struct Batch {
     /// Last time a result landed (or the batch opened): drives the
     /// stalled-batch local fallback.
     last_progress: Instant,
+    /// The run's trace context; `Some` ⇔ transport spans are recorded and
+    /// leases ship the context to runners.
+    trace: Option<TraceContext>,
 }
 
 #[derive(Debug)]
@@ -392,15 +420,32 @@ impl Fleet {
         }
         let mut expired = 0u64;
         for batch in state.batches.values_mut() {
+            let traced = batch.trace.is_some();
             for entry in &mut batch.slots {
-                let requeue = match &entry.state {
+                let expired_runner = match &entry.state {
                     SlotState::Leased {
                         runner, deadline, ..
-                    } => *deadline <= now || lost.iter().any(|l| l == runner),
-                    _ => false,
+                    } if *deadline <= now || lost.iter().any(|l| l == runner) => {
+                        Some(runner.clone())
+                    }
+                    _ => None,
                 };
-                if requeue {
+                if let Some(runner) = expired_runner {
+                    if traced {
+                        let held = entry
+                            .leased_at
+                            .map(|at| now.duration_since(at).as_micros() as u64)
+                            .unwrap_or(0);
+                        entry.transport.push(SpanEvent::new(
+                            entry.job.trial,
+                            SpanPhase::LeaseHeld,
+                            held,
+                            Some(format!("{runner} expired")),
+                        ));
+                    }
                     entry.state = SlotState::Pending;
+                    entry.pending_since = now;
+                    entry.leased_at = None;
                     expired += 1;
                 }
             }
@@ -410,6 +455,7 @@ impl Fleet {
                 .counter("hpo_fleet_leases_expired_total")
                 .add(expired);
         }
+        set_outstanding_leases(state);
     }
 
     /// Grants a lease of up to `chunk` pending slots from the oldest batch
@@ -433,17 +479,28 @@ impl Fleet {
                 .any(|s| matches!(s.state, SlotState::Pending))
         })?;
         let lease = self.next_lease.fetch_add(1, Ordering::Relaxed);
-        let deadline = Instant::now() + self.config.lease_ttl;
+        let now = Instant::now();
+        let deadline = now + self.config.lease_ttl;
+        let traced = batch.trace.is_some();
         let mut jobs = Vec::new();
         for entry in &mut batch.slots {
             if jobs.len() >= self.config.chunk.max(1) {
                 break;
             }
             if matches!(entry.state, SlotState::Pending) {
+                if traced {
+                    entry.transport.push(SpanEvent::new(
+                        entry.job.trial,
+                        SpanPhase::QueueWait,
+                        now.duration_since(entry.pending_since).as_micros() as u64,
+                        None,
+                    ));
+                }
                 entry.state = SlotState::Leased {
                     runner: runner.to_string(),
                     deadline,
                 };
+                entry.leased_at = Some(now);
                 jobs.push(entry.job.clone());
             }
         }
@@ -451,14 +508,17 @@ impl Fleet {
         global_metrics()
             .counter("hpo_fleet_leases_granted_total")
             .inc();
-        Some(LeasePayload {
+        let payload = LeasePayload {
             lease,
             batch: *batch_id,
             run: batch.run.clone(),
             spec: batch.spec.clone(),
             ttl_ms: self.config.lease_ttl.as_millis() as u64,
+            trace: batch.trace,
             jobs,
-        })
+        };
+        set_outstanding_leases(&state);
+        Some(payload)
     }
 
     /// Records delivered results, first write per slot wins. Duplicates
@@ -490,14 +550,38 @@ impl Fleet {
                 receipt.duplicates += 1;
                 continue;
             }
+            if batch.trace.is_some() {
+                // Lease-held covers grant → delivery; the tail past the
+                // runner's reported busy time is wire transfer (delivery
+                // latency, retries, straggling). Clamped so a stale or
+                // missing lease timestamp degrades to zero-length spans.
+                let held = entry
+                    .leased_at
+                    .map(|at| now.duration_since(at).as_micros() as u64)
+                    .unwrap_or(0);
+                entry.transport.push(SpanEvent::new(
+                    result.trial,
+                    SpanPhase::LeaseHeld,
+                    held,
+                    Some(result.runner.clone()),
+                ));
+                entry.transport.push(SpanEvent::new(
+                    result.trial,
+                    SpanPhase::WireTransfer,
+                    held.saturating_sub(result.busy_us),
+                    None,
+                ));
+            }
             entry.state = SlotState::Done {
                 outcome: result.outcome,
                 events: result.events,
+                spans: result.spans,
                 snapshot: result.snapshot,
             };
             batch.last_progress = now;
             receipt.accepted += 1;
         }
+        set_outstanding_leases(&state);
         let metrics = global_metrics();
         metrics
             .counter("hpo_fleet_results_total")
@@ -511,14 +595,26 @@ impl Fleet {
         receipt
     }
 
-    /// Opens a batch for the given run, returning its id.
-    fn open_batch(&self, run: &str, spec: &RunSpec, jobs: Vec<WireJob>) -> u64 {
+    /// Opens a batch for the given run, returning its id. `trace` is the
+    /// run's trace context when the run is traced: it switches on transport
+    /// span recording and travels to runners inside leases.
+    fn open_batch(
+        &self,
+        run: &str,
+        spec: &RunSpec,
+        jobs: Vec<WireJob>,
+        trace: Option<TraceContext>,
+    ) -> u64 {
         let id = self.next_batch.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
         let slots = jobs
             .into_iter()
             .map(|job| SlotEntry {
                 job,
                 state: SlotState::Pending,
+                transport: Vec::new(),
+                pending_since: now,
+                leased_at: None,
             })
             .collect();
         let mut state = self.state.lock().expect("fleet lock");
@@ -528,7 +624,8 @@ impl Fleet {
                 run: run.to_string(),
                 spec: spec.clone(),
                 slots,
-                last_progress: Instant::now(),
+                last_progress: now,
+                trace,
             },
         );
         id
@@ -558,7 +655,19 @@ impl Fleet {
                 .iter()
                 .position(|s| matches!(s.state, SlotState::Pending))
             {
-                batch.slots[idx].state = SlotState::LocalRunning;
+                let traced = batch.trace.is_some();
+                let entry = &mut batch.slots[idx];
+                if traced {
+                    let now = Instant::now();
+                    entry.transport.push(SpanEvent::new(
+                        entry.job.trial,
+                        SpanPhase::QueueWait,
+                        now.duration_since(entry.pending_since).as_micros() as u64,
+                        None,
+                    ));
+                    entry.leased_at = Some(now);
+                }
+                entry.state = SlotState::LocalRunning;
                 return BatchPoll::Local(idx);
             }
         }
@@ -579,9 +688,31 @@ impl Fleet {
         if matches!(entry.state, SlotState::Done { .. }) {
             return;
         }
+        if batch.trace.is_some() {
+            // The coordinator held the "lease" itself; there was no wire,
+            // so the transfer span is zero-length — present (every trial
+            // has all transport phases) but visibly free.
+            let held = entry
+                .leased_at
+                .map(|at| at.elapsed().as_micros() as u64)
+                .unwrap_or(0);
+            entry.transport.push(SpanEvent::new(
+                entry.job.trial,
+                SpanPhase::LeaseHeld,
+                held,
+                Some("local".to_string()),
+            ));
+            entry.transport.push(SpanEvent::new(
+                entry.job.trial,
+                SpanPhase::WireTransfer,
+                0,
+                None,
+            ));
+        }
         entry.state = SlotState::Done {
             outcome: result.outcome,
             events: result.events,
+            spans: result.spans,
             snapshot: None,
         };
         batch.last_progress = Instant::now();
@@ -593,27 +724,53 @@ impl Fleet {
     /// Removes the batch, returning each slot's result in submission order
     /// (`None` for slots abandoned by a cancel). Late deliveries for a
     /// closed batch are counted stale and dropped.
+    ///
+    /// A done slot's spans are its transport history (queue-wait,
+    /// lease-held, wire-transfer — every hop, chaos requeues included)
+    /// followed by the spans the winning evaluation produced.
+    #[allow(clippy::type_complexity)]
     fn close_batch(
         &self,
         id: u64,
-    ) -> Vec<Option<(EvalOutcome, Vec<RunEvent>, Option<SnapshotEntry>)>> {
+    ) -> Vec<Option<(EvalOutcome, Vec<RunEvent>, Vec<SpanEvent>, Option<SnapshotEntry>)>> {
         let mut state = self.state.lock().expect("fleet lock");
         let Some(batch) = state.batches.remove(&id) else {
             return Vec::new();
         };
-        batch
+        let results = batch
             .slots
             .into_iter()
             .map(|entry| match entry.state {
                 SlotState::Done {
                     outcome,
                     events,
+                    spans,
                     snapshot,
-                } => Some((outcome, events, snapshot)),
+                } => {
+                    let mut all = entry.transport;
+                    all.extend(spans);
+                    Some((outcome, events, all, snapshot))
+                }
                 _ => None,
             })
-            .collect()
+            .collect();
+        set_outstanding_leases(&state);
+        results
     }
+}
+
+/// Publishes the `hpo_fleet_leases_outstanding` gauge: slots currently
+/// leased to a runner across all open batches.
+fn set_outstanding_leases(state: &FleetState) {
+    let outstanding = state
+        .batches
+        .values()
+        .flat_map(|b| &b.slots)
+        .filter(|s| matches!(s.state, SlotState::Leased { .. }))
+        .count();
+    global_metrics()
+        .gauge("hpo_fleet_leases_outstanding")
+        .set(outstanding as f64);
 }
 
 /// The per-run [`ExternalEngine`] the server's worker slot plugs into
@@ -665,7 +822,9 @@ impl ExternalEngine for FleetEngine {
                 snapshot: host.snapshot_for(job),
             })
             .collect();
-        let batch = self.fleet.open_batch(&self.run, &self.spec, wire);
+        let batch = self
+            .fleet
+            .open_batch(&self.run, &self.spec, wire, host.trace_context());
         loop {
             if host.is_cancelled() {
                 break;
@@ -687,11 +846,15 @@ impl ExternalEngine for FleetEngine {
             .into_iter()
             .enumerate()
             .map(|(idx, done)| match done {
-                Some((outcome, events, snapshot)) => {
+                Some((outcome, events, spans, snapshot)) => {
                     if let Some(entry) = snapshot {
                         host.import_snapshot(entry);
                     }
-                    EngineSlot { outcome, events }
+                    EngineSlot {
+                        outcome,
+                        events,
+                        spans,
+                    }
                 }
                 None => host.cancelled_slot(&jobs[idx]),
             })
@@ -745,6 +908,8 @@ mod tests {
                 ..quick_outcome()
             },
             events: Vec::new(),
+            spans: Vec::new(),
+            busy_us: 0,
             snapshot: None,
         }
     }
@@ -782,7 +947,7 @@ mod tests {
             ..FleetConfig::default()
         });
         fleet.register(Some("r1"));
-        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(3));
+        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(3), None);
         let lease = fleet.lease("r1").expect("pending slots");
         assert_eq!(lease.batch, batch);
         assert_eq!(lease.jobs.len(), 2, "chunked to 2");
@@ -807,7 +972,7 @@ mod tests {
             ..FleetConfig::default()
         });
         fleet.register(Some("r1"));
-        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(2));
+        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(2), None);
         let lease = fleet.lease("r1").unwrap();
         let receipt = fleet.deliver(ResultDelivery {
             results: vec![
@@ -843,7 +1008,7 @@ mod tests {
             local_grace: Duration::from_secs(3600),
             ..FleetConfig::default()
         });
-        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(1));
+        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(1), None);
         match fleet.poll_batch(batch) {
             BatchPoll::Local(0) => {}
             _ => panic!("zero runners must claim locally without waiting out the grace"),
@@ -854,6 +1019,7 @@ mod tests {
             EngineSlot {
                 outcome: quick_outcome(),
                 events: Vec::new(),
+                spans: Vec::new(),
             },
         );
         assert!(matches!(fleet.poll_batch(batch), BatchPoll::Complete));
@@ -869,7 +1035,7 @@ mod tests {
             ..FleetConfig::default()
         });
         fleet.register(Some("r1"));
-        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(2));
+        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(2), None);
         let _lease = fleet.lease("r1").unwrap();
         // Slot 0 leased but undelivered; slot 1 pending. After the grace the
         // coordinator claims the pending slot even with a live runner.
@@ -883,7 +1049,7 @@ mod tests {
     #[test]
     fn late_local_result_defers_to_remote_first_write() {
         let fleet = quick_fleet(FleetConfig::default());
-        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(1));
+        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(1), None);
         let BatchPoll::Local(0) = fleet.poll_batch(batch) else {
             panic!("expected local claim");
         };
@@ -900,12 +1066,75 @@ mod tests {
             EngineSlot {
                 outcome: quick_outcome(),
                 events: Vec::new(),
+                spans: Vec::new(),
             },
         );
         let slots = fleet.close_batch(batch);
-        let (outcome, _, _) = slots[0].as_ref().unwrap();
+        let (outcome, _, _, _) = slots[0].as_ref().unwrap();
         assert_eq!(outcome.score, 0.5, "remote (first) result kept");
         assert_ne!(outcome.status, TrialStatus::Completed);
+    }
+
+    #[test]
+    fn traced_batches_record_transport_phases_per_hop() {
+        let fleet = quick_fleet(FleetConfig {
+            lease_ttl: Duration::from_millis(40),
+            heartbeat_ttl: Duration::from_secs(60),
+            chunk: 1,
+            ..FleetConfig::default()
+        });
+        fleet.register(Some("r1"));
+        let ctx = TraceContext {
+            trace_seed: 7,
+            run_span: 11,
+        };
+        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(1), Some(ctx));
+        let lease = fleet.lease("r1").expect("pending slot");
+        assert_eq!(lease.trace, Some(ctx), "leases carry the trace context");
+        // First lease expires (chaos-killed runner) → requeue → re-lease →
+        // delivery. The slot's trace shows both hops.
+        std::thread::sleep(Duration::from_millis(80));
+        fleet.prune();
+        let release = fleet.lease("r1").expect("requeued slot");
+        assert!(release.lease > lease.lease);
+        let mut result = done_result(batch, release.lease, 0, 100);
+        result.busy_us = 1;
+        fleet.deliver(ResultDelivery {
+            results: vec![result],
+        });
+        let slots = fleet.close_batch(batch);
+        let (_, _, spans, _) = slots[0].as_ref().unwrap();
+        let phases: Vec<SpanPhase> = spans.iter().map(|s| s.phase).collect();
+        assert_eq!(
+            phases,
+            vec![
+                SpanPhase::QueueWait,
+                SpanPhase::LeaseHeld, // expired hop
+                SpanPhase::QueueWait,
+                SpanPhase::LeaseHeld, // winning hop
+                SpanPhase::WireTransfer,
+            ]
+        );
+        assert_eq!(spans[1].detail.as_deref(), Some("r1 expired"));
+        assert_eq!(spans[3].detail.as_deref(), Some("r1"));
+    }
+
+    #[test]
+    fn untraced_batches_record_no_transport_spans() {
+        let fleet = quick_fleet(FleetConfig {
+            heartbeat_ttl: Duration::from_secs(60),
+            ..FleetConfig::default()
+        });
+        fleet.register(Some("r1"));
+        let batch = fleet.open_batch("run-1", &RunSpec::default(), wire_jobs(1), None);
+        let lease = fleet.lease("r1").expect("pending slot");
+        assert_eq!(lease.trace, None);
+        fleet.deliver(ResultDelivery {
+            results: vec![done_result(batch, lease.lease, 0, 100)],
+        });
+        let slots = fleet.close_batch(batch);
+        let (_, _, spans, _) = slots[0].as_ref().unwrap();
+        assert!(spans.is_empty(), "tracing off ⇒ zero span overhead");
     }
 
     #[test]

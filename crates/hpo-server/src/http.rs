@@ -2,7 +2,9 @@
 //!
 //! Just enough protocol for a loopback JSON API: request-line + headers +
 //! `Content-Length` bodies on the way in, fixed-length `Connection: close`
-//! responses on the way out. No chunked encoding, no keep-alive, no TLS —
+//! responses on the way out — plus `Transfer-Encoding: chunked` on the
+//! *write* side only, for the journal-streaming endpoint
+//! (`GET /api/v1/runs/{id}/events?follow=1`). No keep-alive, no TLS —
 //! every exchange is one connection, which keeps both this server and the
 //! [`crate::client`] trivially correct.
 
@@ -321,6 +323,53 @@ impl Response {
     }
 }
 
+/// Writes the head of a chunked streaming response (`Transfer-Encoding:
+/// chunked`, `Connection: close`). Follow with any number of
+/// [`write_chunk`]s and one [`finish_chunked`].
+///
+/// # Errors
+/// IO failures writing to the stream.
+pub fn write_chunked_head(
+    mut stream: impl Write,
+    status: u16,
+    content_type: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        _ => "Status",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Writes one chunk (`{len:x}\r\n{data}\r\n`) and flushes, so the bytes
+/// reach the client now — the whole point of streaming. Empty data is
+/// skipped (a zero-length chunk would terminate the stream).
+///
+/// # Errors
+/// IO failures writing to the stream.
+pub fn write_chunk(mut stream: impl Write, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Writes the terminating zero-length chunk.
+///
+/// # Errors
+/// IO failures writing to the stream.
+pub fn finish_chunked(mut stream: impl Write) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +476,22 @@ mod tests {
         let req = Request::read_from(&mut guarded).unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn chunked_framing_is_wellformed() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, 200, "text/plain; charset=utf-8").unwrap();
+        write_chunk(&mut out, b"hello\n").unwrap();
+        write_chunk(&mut out, b"").unwrap(); // skipped: not a terminator
+        write_chunk(&mut out, b"world\n").unwrap();
+        finish_chunked(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(!text.contains("Content-Length"));
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(body, "6\r\nhello\n\r\n6\r\nworld\n\r\n0\r\n\r\n");
     }
 
     #[test]

@@ -22,7 +22,9 @@ use crate::client::{Client, ClientError};
 use crate::fleet::{splitmix64, LeasePayload, ResultDelivery, WireResult};
 use crate::spec::PreparedRun;
 use hpo_core::exec::contained_evaluate;
-use hpo_core::obs::capture_trial_events;
+use hpo_core::obs::{
+    assign_span_id, capture_trial_events, global_metrics, SpanPhase, LATENCY_BUCKETS,
+};
 use hpo_core::CancelToken;
 use hpo_core::{
     params_fingerprint, ContinuationCache, CvEvaluator, FailurePolicy, ObservedEvaluator, Recorder,
@@ -174,7 +176,12 @@ pub fn run_runner(config: &RunnerConfig, stop: &CancelToken) -> Result<RunnerRep
             last_heartbeat = Instant::now();
         }
 
-        let Some(lease) = client.lease(&runner)? else {
+        let lease_started = Instant::now();
+        let leased = client.lease(&runner)?;
+        global_metrics()
+            .histogram("hpo_fleet_lease_rtt_seconds", LATENCY_BUCKETS)
+            .observe(lease_started.elapsed().as_secs_f64());
+        let Some(lease) = leased else {
             // An armed kill also fires while idle once the threshold is
             // crossed, so a rigged runner can never outlive its plan just
             // because work dried up. (`kill_after_trials: 0` deliberately
@@ -258,6 +265,7 @@ fn evaluate_lease(
     }
     let observed = ObservedEvaluator::new(&evaluator, Recorder::in_memory());
 
+    let lease_received = Instant::now();
     let mut results = Vec::with_capacity(lease.jobs.len());
     for job in &lease.jobs {
         if let Some(kill_at) = chaos.kill_after_trials {
@@ -273,9 +281,28 @@ fn evaluate_lease(
             }
         }
         let tjob = job.to_trial_job();
-        let (outcome, events) =
+        let (outcome, events, mut spans) =
             capture_trial_events(job.trial, || contained_evaluate(&observed, &tjob));
         *trials += 1;
+        match &lease.trace {
+            Some(trace) => {
+                // Pre-assign span ids under the coordinator's trace
+                // context: same hash, same occurrence counting (per
+                // trial+phase, emission order) the coordinator would use
+                // for a local evaluation, so the spans re-parent under the
+                // run's trial span no matter which runner delivers first.
+                let scope = job.trial + 1;
+                let parent = assign_span_id(trace.trace_seed, scope, SpanPhase::Trial, 0);
+                let mut occurrences: HashMap<u64, u64> = HashMap::new();
+                for span in &mut spans {
+                    let occ = occurrences.entry(span.phase.code()).or_insert(0);
+                    span.id = assign_span_id(trace.trace_seed, scope, span.phase, *occ);
+                    span.parent = parent;
+                    *occ += 1;
+                }
+            }
+            None => spans.clear(),
+        }
         let snapshot = match (ctx.warm_start, job.cont) {
             (true, Some(key)) => ctx
                 .cache
@@ -294,6 +321,8 @@ fn evaluate_lease(
             runner: runner.to_string(),
             outcome,
             events,
+            spans,
+            busy_us: lease_received.elapsed().as_micros() as u64,
             snapshot,
         });
     }

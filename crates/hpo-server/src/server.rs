@@ -48,6 +48,14 @@ pub struct ServerConfig {
     /// Runner-fleet knobs; `fleet.enabled` routes run execution through
     /// the lease broker instead of the in-process thread pool.
     pub fleet: FleetConfig,
+    /// When set, every executed run is traced and its span tree exported
+    /// here as `<run-id>.trace.jsonl` plus the `.chrome.json` sibling
+    /// (Perfetto-loadable). Fleet runs get cross-process traces: leases
+    /// carry the trace context, runners return pre-assigned spans.
+    pub trace_dir: Option<PathBuf>,
+    /// Paint a live progress line (with fleet gauges, under `--fleet`) to
+    /// the server's stderr for every executed run.
+    pub progress: bool,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +66,8 @@ impl Default for ServerConfig {
             slots: 2,
             checkpoint_every: 1,
             fleet: FleetConfig::default(),
+            trace_dir: None,
+            progress: false,
         }
     }
 }
@@ -383,8 +393,15 @@ fn run_from_spec(
         .map_err(|e| format!("resolving journal path: {e}"))?;
     // Append mode keeps one gap-free journal across every resume of the
     // run, trimming any torn tail a crash left behind.
-    let recorder = Recorder::builder()
-        .journal_append(journal)
+    let mut builder = Recorder::builder().journal_append(journal);
+    if let Some(dir) = &shared.config.trace_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating trace dir: {e}"))?;
+        builder = builder.trace_to(dir.join(format!("{id}.trace.jsonl")));
+    }
+    if shared.config.progress {
+        builder = builder.with_progress();
+    }
+    let recorder = builder
         .build()
         .map_err(|e| format!("opening journal: {e}"))?;
     // With the fleet on, trial batches go through the lease broker (and

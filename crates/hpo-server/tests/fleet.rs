@@ -16,7 +16,7 @@
 //! service tests use (`search_seconds`/`n_resumed` zeroed).
 
 use hpo_core::harness::{RunOptions, RunResult};
-use hpo_core::obs::read_journal;
+use hpo_core::obs::{normalized_lines, read_journal, SpanPhase, SpanRecord};
 use hpo_core::CancelToken;
 use hpo_server::{
     run_runner, serve, ChaosPlan, Client, FleetConfig, RunSpec, RunStatus, RunnerConfig,
@@ -47,6 +47,7 @@ fn start_fleet(data_dir: &Path, fleet: FleetConfig) -> (ServerHandle, Client) {
         slots: 1,
         checkpoint_every: 1,
         fleet,
+        ..ServerConfig::default()
     })
     .expect("fleet server starts");
     let client = Client::new(handle.addr().to_string());
@@ -405,6 +406,138 @@ fn duplicate_deliveries_are_rejected_without_corrupting_the_commit() {
         "duplicates must be counted as rejected: {metrics}"
     );
     handle.shutdown();
+    std::fs::remove_dir_all(&data_dir).ok();
+}
+
+/// Parses the per-run trace the server wrote under `trace_dir`.
+fn read_trace(trace_dir: &Path, id: &str) -> Vec<SpanRecord> {
+    let path = trace_dir.join(format!("{id}.trace.jsonl"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("trace {} readable: {e}", path.display()))
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("span record decodes"))
+        .collect()
+}
+
+/// ISSUE acceptance: a 2-runner fleet run where one runner is chaos-killed
+/// mid-batch still produces a single coherent trace whose determinism
+/// normal form (transport phases dropped, timings zeroed) is identical to
+/// a fault-free single-process run of the same spec — and the fleet trace
+/// additionally carries queue-wait / lease-held / wire-transfer spans plus
+/// an evaluate span for every trial, with a loadable Chrome export next to
+/// the JSONL.
+#[test]
+fn chaos_fleet_trace_normalizes_to_the_fault_free_single_process_trace() {
+    let spec = spec("sha", 61, 0.1, 8);
+
+    // Fault-free single-process reference, traced.
+    let ref_dir = temp_data_dir("trace-ref");
+    let ref_traces = ref_dir.join("traces");
+    let ref_handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: ref_dir.clone(),
+        slots: 1,
+        checkpoint_every: 1,
+        trace_dir: Some(ref_traces.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("reference server starts");
+    let ref_client = Client::new(ref_handle.addr().to_string());
+    let ref_id = ref_client.submit(&spec).expect("submit reference").id;
+    wait_for_status(&ref_client, &ref_id, RunStatus::Completed);
+    ref_handle.shutdown();
+    let reference = read_trace(&ref_traces, &ref_id);
+    assert!(!reference.is_empty(), "reference run must produce spans");
+
+    // The fleet run: its first runner dies after two trials (orphaning a
+    // lease mid-batch), a replacement joins and finishes the rest. A long
+    // local grace keeps the coordinator from evaluating anything itself,
+    // so every trial crosses the wire.
+    let data_dir = temp_data_dir("trace-fleet");
+    let traces = data_dir.join("traces");
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: data_dir.clone(),
+        slots: 1,
+        checkpoint_every: 1,
+        fleet: FleetConfig {
+            local_grace: Duration::from_secs(3600),
+            ..test_fleet_config()
+        },
+        trace_dir: Some(traces.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("fleet server starts");
+    let client = Client::new(handle.addr().to_string());
+    let addr = handle.addr().to_string();
+
+    let stop = CancelToken::new();
+    let doomed = spawn_runner(
+        addr.clone(),
+        "trace-doomed",
+        ChaosPlan {
+            kill_after_trials: Some(2),
+            ..ChaosPlan::default()
+        },
+        stop.clone(),
+    );
+    let id = client.submit(&spec).expect("submit fleet").id;
+    assert_eq!(
+        doomed.join().expect("doomed runner"),
+        RunnerExit::ChaosKilled,
+        "the rigged runner must actually die mid-run"
+    );
+    let steady = spawn_runner(addr.clone(), "trace-steady", ChaosPlan::default(), stop.clone());
+    wait_for_status(&client, &id, RunStatus::Completed);
+    stop.cancel();
+    assert_eq!(steady.join().expect("steady runner"), RunnerExit::Stopped);
+    handle.shutdown();
+    let fleet_trace = read_trace(&traces, &id);
+
+    // One coherent trace, identical to the fault-free one in normal form.
+    assert_eq!(
+        normalized_lines(&fleet_trace),
+        normalized_lines(&reference),
+        "normalized fleet span tree must match the fault-free single-process run"
+    );
+
+    // Every trial must carry the full transport story plus its evaluation.
+    let trials: std::collections::BTreeSet<u64> = fleet_trace
+        .iter()
+        .filter(|r| r.phase == SpanPhase::Trial)
+        .filter_map(|r| r.trial)
+        .collect();
+    assert!(!trials.is_empty(), "the fleet trace must contain trial spans");
+    for phase in [
+        SpanPhase::QueueWait,
+        SpanPhase::LeaseHeld,
+        SpanPhase::WireTransfer,
+        SpanPhase::Evaluate,
+    ] {
+        let covered: std::collections::BTreeSet<u64> = fleet_trace
+            .iter()
+            .filter(|r| r.phase == phase)
+            .filter_map(|r| r.trial)
+            .collect();
+        assert!(
+            covered.is_superset(&trials),
+            "every trial needs a {phase:?} span; missing for {:?}",
+            trials.difference(&covered).collect::<Vec<_>>()
+        );
+    }
+
+    // The Perfetto-loadable sibling exists and holds one event per span.
+    let chrome_path =
+        hpo_core::obs::chrome_trace_path(&traces.join(format!("{id}.trace.jsonl")));
+    let chrome: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&chrome_path).expect("chrome trace written"))
+            .expect("chrome trace decodes");
+    let events = chrome["traceEvents"]
+        .as_array()
+        .expect("chrome trace has a traceEvents array");
+    assert_eq!(events.len(), fleet_trace.len(), "one event per span");
+
+    std::fs::remove_dir_all(&ref_dir).ok();
     std::fs::remove_dir_all(&data_dir).ok();
 }
 

@@ -248,6 +248,100 @@ fn cancel_leaves_resumable_checkpoint_and_journal_event() {
 }
 
 #[test]
+fn follow_streams_journal_lines_live_and_closes_at_terminal_state() {
+    use hpo_server::client::FollowOutcome;
+    let data_dir = temp_data_dir("follow");
+    let (handle, client) = start(&data_dir, 1);
+    let spec = slow_spec(31);
+    let id = client.submit(&spec).expect("submit").id;
+
+    // One blocking follow call: no poll sleep anywhere on the client side.
+    // The first delivered line checks the run is still in flight, proving
+    // the lines arrive as they commit rather than after the fact.
+    let mut lines: Vec<String> = Vec::new();
+    let mut live_at_first_line = false;
+    let mut first = true;
+    let outcome = client
+        .follow_events(&id, 0, |line| {
+            if first {
+                first = false;
+                live_at_first_line = client
+                    .status(&id)
+                    .is_ok_and(|v| !v.state.status.is_terminal());
+            }
+            lines.push(line.to_string());
+        })
+        .expect("follow");
+    assert_eq!(outcome, FollowOutcome::Streamed);
+    assert!(
+        live_at_first_line,
+        "first journal line must arrive while the run is still running"
+    );
+    // The server closed the stream because the run reached a terminal
+    // state — and by then every journal line had been delivered.
+    let view = client.status(&id).expect("status");
+    assert_eq!(view.state.status, RunStatus::Completed);
+    let full = client.events(&id, 0).expect("events");
+    assert_eq!(
+        lines,
+        full.lines().map(String::from).collect::<Vec<_>>(),
+        "streamed lines must equal the polled journal"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("TrialFinished")),
+        "stream carried trial events"
+    );
+
+    // Following a terminal run drains the tail (honouring `from`) and
+    // closes immediately.
+    let mut tail: Vec<String> = Vec::new();
+    let outcome = client
+        .follow_events(&id, 2, |line| tail.push(line.to_string()))
+        .expect("follow terminal");
+    assert_eq!(outcome, FollowOutcome::Streamed);
+    assert_eq!(tail, lines[2..].to_vec(), "`from` offsets the stream");
+    handle.shutdown();
+    std::fs::remove_dir_all(&data_dir).ok();
+}
+
+#[test]
+fn follow_falls_back_when_the_server_predates_streaming() {
+    use hpo_server::client::FollowOutcome;
+    use std::io::{Read, Write};
+    // A pre-streaming server ignores the unknown `follow` query parameter
+    // and answers with an ordinary buffered response. Emulate one with a
+    // raw socket so the fallback detection is tested against exactly that
+    // wire shape.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        let mut buf = [0u8; 2048];
+        let _ = s.read(&mut buf);
+        let body = "{\"seq\":0}\n{\"seq\":1}\n";
+        write!(
+            s,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/jsonl\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+    });
+    let client = Client::new(addr.to_string());
+    let mut lines: Vec<String> = Vec::new();
+    let outcome = client
+        .follow_events("run-000000", 0, |l| lines.push(l.to_string()))
+        .expect("follow");
+    assert_eq!(outcome, FollowOutcome::NotSupported);
+    assert_eq!(
+        lines,
+        vec!["{\"seq\":0}".to_string(), "{\"seq\":1}".to_string()],
+        "the buffered tail is still delivered so the caller's offset stays accurate"
+    );
+    server.join().unwrap();
+}
+
+#[test]
 fn api_rejects_bad_submissions_and_unknown_runs() {
     let data_dir = temp_data_dir("errors");
     let (handle, client) = start(&data_dir, 1);
