@@ -6,10 +6,13 @@
 //! — wall-clock seconds, trial count, trials/sec, deterministic cost — plus
 //! per-method parallel-scaling summaries, a warm-vs-cold continuation
 //! comparison (`--warm-start both`, the default, re-runs each method cold and
-//! reports cost-units and wall-clock saved by warm starting), a 256×256
-//! matmul micro-benchmark (cache-blocked kernel vs the naive reference), the
-//! machine's core counts, and a snapshot of the global metrics registry
-//! accumulated over the run.
+//! reports cost-units and wall-clock saved by warm starting), kernel
+//! micro-benchmarks — a matmul size sweep (64/256/512/1024, GFLOP/s, kernel
+//! vs naive), activation/loss slice kernels vs their scalar references, and
+//! a single-trial `fold_workers` 1-vs-4 comparison with a bit-identity
+//! assertion — the machine's core counts, and a snapshot of the global
+//! metrics registry accumulated over the run. Build with `--features simd`
+//! to measure the AVX2 kernels (`simd_compiled` in the report says which).
 //!
 //! ```text
 //! cargo run --release -p hpo-bench --bin bench_hpo -- \
@@ -126,33 +129,185 @@ fn time_best_of(iters: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-/// Single-thread 256×256 matmul: cache-blocked kernel vs naive reference.
-fn matmul_microbench(seed: u64) -> serde_json::Value {
-    const N: usize = 256;
-    let a = bench_matrix(N, N, seed);
-    let b = bench_matrix(N, N, seed ^ 0xB);
-    // Warm up + correctness guard: the kernels must agree bit-for-bit.
+/// Single-thread matmul size sweep: the production kernel (cache-blocked,
+/// plus the AVX2 path when the `simd` feature is compiled in) versus the
+/// naive triple loop, with GFLOP/s (2n³ flops per product). The kernels are
+/// asserted bit-identical at every size before timing — the §5.12 policy,
+/// enforced where the numbers are produced.
+fn matmul_sweep(seed: u64) -> serde_json::Value {
+    let mut sizes = Vec::new();
+    for &n in &[64usize, 256, 512, 1024] {
+        let a = bench_matrix(n, n, seed ^ n as u64);
+        let b = bench_matrix(n, n, seed ^ 0xB ^ n as u64);
+        assert_eq!(
+            a.matmul(&b).as_slice(),
+            a.matmul_naive(&b).as_slice(),
+            "kernel and naive matmul disagree at {n}x{n}"
+        );
+        let iters = if n >= 512 { 3 } else { 5 };
+        let kernel = time_best_of(iters, || {
+            std::hint::black_box(std::hint::black_box(&a).matmul(std::hint::black_box(&b)));
+        });
+        let naive = time_best_of(iters, || {
+            std::hint::black_box(std::hint::black_box(&a).matmul_naive(std::hint::black_box(&b)));
+        });
+        let flops = 2.0 * (n as f64).powi(3);
+        let kernel_gflops = flops / kernel.max(1e-12) / 1e9;
+        let naive_gflops = flops / naive.max(1e-12) / 1e9;
+        let speedup = if kernel > 0.0 { naive / kernel } else { 0.0 };
+        println!(
+            "matmul {n:>4}x{n:<4} kernel {:>8.2} ms ({kernel_gflops:>6.2} GFLOP/s)  \
+             naive {:>8.2} ms ({naive_gflops:>6.2} GFLOP/s)  speedup {speedup:.2}x",
+            kernel * 1e3,
+            naive * 1e3,
+        );
+        sizes.push(serde_json::json!({
+            "size": n,
+            "kernel_seconds": kernel,
+            "kernel_gflops": kernel_gflops,
+            "naive_seconds": naive,
+            "naive_gflops": naive_gflops,
+            "speedup": speedup,
+        }));
+    }
+    serde_json::json!({
+        "simd_compiled": cfg!(feature = "simd"),
+        "sizes": sizes,
+    })
+}
+
+/// Activation and loss kernel micro-benchmarks: the slice kernels the
+/// training loop actually calls versus their scalar/sequential references,
+/// on hot-loop-sized buffers. Both sides pay the same buffer copy, so the
+/// ratio isolates the kernel body.
+fn kernel_microbench(seed: u64) -> serde_json::Value {
+    use hpo_models::activation::Activation;
+    use hpo_models::loss::OutputLoss;
+    const N: usize = 1 << 16;
+    let xs = bench_matrix(1, N, seed ^ 0xAC).as_slice().to_vec();
+    let mut activations = Vec::new();
+    for act in [Activation::Logistic, Activation::Tanh, Activation::Relu] {
+        let mut buf = vec![0.0; N];
+        let kernel = time_best_of(20, || {
+            buf.copy_from_slice(&xs);
+            act.apply_slice(&mut buf);
+            std::hint::black_box(&buf);
+        });
+        let scalar = time_best_of(20, || {
+            buf.copy_from_slice(&xs);
+            for v in &mut buf {
+                *v = act.apply(*v);
+            }
+            std::hint::black_box(&buf);
+        });
+        let speedup = if kernel > 0.0 { scalar / kernel } else { 0.0 };
+        println!(
+            "activation {act:?}: kernel {:>7.1} us, scalar {:>7.1} us, speedup {speedup:.2}x",
+            kernel * 1e6,
+            scalar * 1e6
+        );
+        activations.push(serde_json::json!({
+            "activation": format!("{act:?}"),
+            "n": N,
+            "kernel_seconds": kernel,
+            "scalar_seconds": scalar,
+            "speedup": speedup,
+        }));
+    }
+    let (rows, cols) = (512, 32);
+    let p_data: Vec<f64> = bench_matrix(rows, cols, seed ^ 0xCE)
+        .as_slice()
+        .iter()
+        .map(|v| v.abs().max(1e-9))
+        .collect();
+    let t_data: Vec<f64> = (0..rows * cols)
+        .map(|i| if i % cols == 0 { 1.0 } else { 0.0 })
+        .collect();
+    let p = Matrix::from_vec(rows, cols, p_data).expect("shape matches");
+    let t = Matrix::from_vec(rows, cols, t_data).expect("shape matches");
+    let mut losses = Vec::new();
+    for kind in [OutputLoss::SoftmaxCrossEntropy, OutputLoss::SquaredError] {
+        let kernel = time_best_of(20, || {
+            std::hint::black_box(kind.loss(std::hint::black_box(&p), std::hint::black_box(&t)));
+        });
+        let reference = time_best_of(20, || {
+            std::hint::black_box(
+                kind.loss_reference(std::hint::black_box(&p), std::hint::black_box(&t)),
+            );
+        });
+        let speedup = if kernel > 0.0 {
+            reference / kernel
+        } else {
+            0.0
+        };
+        println!(
+            "loss {kind:?}: kernel {:>7.1} us, reference {:>7.1} us, speedup {speedup:.2}x",
+            kernel * 1e6,
+            reference * 1e6
+        );
+        losses.push(serde_json::json!({
+            "loss": format!("{kind:?}"),
+            "rows": rows,
+            "cols": cols,
+            "kernel_seconds": kernel,
+            "reference_seconds": reference,
+            "speedup": speedup,
+        }));
+    }
+    serde_json::json!({
+        "simd_compiled": cfg!(feature = "simd"),
+        "activations": activations,
+        "losses": losses,
+    })
+}
+
+/// Single-trial fold parallelism: one CV evaluation at `fold_workers` 1
+/// versus 4 on a standalone evaluator (which grants the cap outright, no
+/// pool needed). Outcomes are asserted bit-identical — the fold-order
+/// commit contract — and the wall-clock speedup is what a shallow queue
+/// gains from `--fold-workers`.
+fn fold_workers_microbench(args: &ExpArgs) -> serde_json::Value {
+    use hpo_core::CvEvaluator;
+    let tt = PaperDataset::Australian.load(args.scale.max(0.5), args.seed);
+    let params = MlpParams {
+        hidden_layer_sizes: vec![32],
+        max_iter: args.get("max-iter").unwrap_or(10).max(10),
+        ..Default::default()
+    };
+    let budget = tt.train.n_instances();
+    let mut run = |fold_workers: usize| {
+        let ev = CvEvaluator::new(&tt.train, Pipeline::enhanced(), params.clone(), args.seed)
+            .with_fold_workers(fold_workers);
+        let mut out = None;
+        let secs = time_best_of(3, || {
+            out = Some(ev.evaluate(&params, budget, 0));
+        });
+        (secs, out.expect("at least one run"))
+    };
+    let (seq_seconds, seq_out) = run(1);
+    let (par_seconds, par_out) = run(4);
     assert_eq!(
-        a.matmul(&b).as_slice(),
-        a.matmul_naive(&b).as_slice(),
-        "blocked and naive matmul disagree"
+        seq_out.fold_scores.folds, par_out.fold_scores.folds,
+        "fold-parallel trial diverged from sequential"
     );
-    let blocked = time_best_of(5, || {
-        std::hint::black_box(std::hint::black_box(&a).matmul(std::hint::black_box(&b)));
-    });
-    let naive = time_best_of(5, || {
-        std::hint::black_box(std::hint::black_box(&a).matmul_naive(std::hint::black_box(&b)));
-    });
-    let speedup = if blocked > 0.0 { naive / blocked } else { 0.0 };
+    assert_eq!(seq_out.score.to_bits(), par_out.score.to_bits());
+    assert_eq!(seq_out.cost_units, par_out.cost_units);
+    let speedup = if par_seconds > 0.0 {
+        seq_seconds / par_seconds
+    } else {
+        0.0
+    };
     println!(
-        "matmul 256x256: blocked {:.2} ms, naive {:.2} ms, speedup {speedup:.2}x",
-        blocked * 1e3,
-        naive * 1e3
+        "single-trial folds: fold-workers 1 {:.1} ms, fold-workers 4 {:.1} ms, \
+         speedup {speedup:.2}x (outcomes bit-identical)",
+        seq_seconds * 1e3,
+        par_seconds * 1e3
     );
     serde_json::json!({
-        "size": N,
-        "blocked_seconds": blocked,
-        "naive_seconds": naive,
+        "budget": budget,
+        "fold_workers": 4,
+        "sequential_seconds": seq_seconds,
+        "parallel_seconds": par_seconds,
         "speedup": speedup,
     })
 }
@@ -527,7 +682,11 @@ fn main() {
         worker_counts,
     );
 
-    let matmul = matmul_microbench(args.seed);
+    let matmul = matmul_sweep(args.seed);
+    println!();
+    let kernels = kernel_microbench(args.seed);
+    println!();
+    let fold_trial = fold_workers_microbench(&args);
     println!();
 
     let mut rows = Vec::new();
@@ -728,7 +887,9 @@ fn main() {
         "warm_vs_cold": warm_vs_cold,
         "physical_cores": physical,
         "logical_cores": logical,
-        "matmul_256": matmul,
+        "matmul": matmul,
+        "kernels": kernels,
+        "single_trial_folds": fold_trial,
         "rows": rows,
         "scaling": scaling,
         "latency_percentiles": latency,

@@ -82,7 +82,7 @@ const USAGE: &str = "usage:
   bhpo optimize --data <file|synth:name> [--test <file>] [--method random|sha|hb|bohb|asha|pasha|dehb]
                 [--pipeline vanilla|enhanced] [--hps 1..8] [--max-iter N] [--seed N] [--json <out.json>]
                 [--trial-timeout SECS] [--max-retries N] [--checkpoint FILE] [--checkpoint-every N] [--resume]
-                [--workers N] [--warm-start on|off]
+                [--workers N] [--fold-workers N] [--warm-start on|off]
                 [--events-out FILE.jsonl] [--metrics-out FILE.json] [--trace-out FILE.jsonl]
                 [--log-level error|warn|info|debug] [--progress]
   bhpo cv       --data <file|synth:name> [--ratio 0..1] [--pipeline vanilla|enhanced|random] [--seed N]
@@ -95,7 +95,7 @@ const USAGE: &str = "usage:
                 [--chaos-seed N] [--chaos-kill-after-trials N] [--chaos-silence-heartbeats]
                 [--chaos-drop-prob 0..1] [--chaos-dup-prob 0..1] [--chaos-straggle-ms N]
   bhpo submit   --data synth:name [--server HOST:PORT] [--method ...] [--pipeline ...] [--space cv18|table3:1..8]
-                [--seed N] [--scale 0..1] [--max-iter N] [--workers N] [--warm-start on|off]
+                [--seed N] [--scale 0..1] [--max-iter N] [--workers N] [--fold-workers N] [--warm-start on|off]
   bhpo runs     [--server HOST:PORT] [--status queued|running|completed|cancelled|failed]
   bhpo status   --id run-NNNNNN [--server HOST:PORT]
   bhpo watch    --id run-NNNNNN [--server HOST:PORT]

@@ -147,6 +147,12 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
             "--workers must be at least 1 (0 would leave no thread to evaluate trials)".into(),
         ));
     }
+    let fold_workers: usize = flags.get_or("fold-workers", 1usize)?;
+    if fold_workers == 0 {
+        return Err(CliError(
+            "--fold-workers must be at least 1 (the trial's own thread counts)".into(),
+        ));
+    }
     let checkpoint_every: usize = flags.get_or("checkpoint-every", 1usize).map_err(|_| {
         CliError(format!(
             "invalid value `{}` for --checkpoint-every (expected a trial count, e.g. \
@@ -165,6 +171,7 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
         resume: flags.get("resume").is_some(),
         recorder,
         workers,
+        fold_workers,
         warm_start: match flags.get("warm-start").unwrap_or("on") {
             "on" | "true" => true,
             "off" | "false" => false,

@@ -130,6 +130,7 @@ fn spec_from_flags(flags: &Flags) -> Result<RunSpec, CliError> {
     spec.scale = flags.get_or("scale", spec.scale)?;
     spec.max_iter = flags.get_or("max-iter", spec.max_iter)?;
     spec.workers = flags.get_or("workers", spec.workers)?;
+    spec.fold_workers = flags.get_or("fold-workers", spec.fold_workers)?;
     spec.warm_start = match flags.get("warm-start").unwrap_or("on") {
         "on" | "true" => true,
         "off" | "false" => false,
@@ -314,7 +315,10 @@ fn top_frame(api: &Client, server: &str) -> Result<String, CliError> {
         Err(e) => return Err(api_err(e)),
     }
     let runs = api.runs(None).map_err(api_err)?;
-    let queued = runs.iter().filter(|r| r.status == RunStatus::Queued).count();
+    let queued = runs
+        .iter()
+        .filter(|r| r.status == RunStatus::Queued)
+        .count();
     let active: Vec<_> = runs
         .iter()
         .filter(|r| r.status == RunStatus::Running)

@@ -9,7 +9,8 @@
 use crate::cancel::CancelToken;
 use crate::continuation::{params_fingerprint, ContinuationCache, SnapshotSet};
 use crate::exec::{FailurePolicy, TrialJob};
-use crate::obs::{self, ScopedTimer, LATENCY_BUCKETS};
+use crate::obs::{self, Counter, Histogram, ScopedTimer, LATENCY_BUCKETS};
+use crate::parallel::{current_fold_budget, FoldBudget};
 use crate::pipeline::Pipeline;
 use hpo_data::dataset::{Dataset, Task};
 use hpo_data::rng::{derive_seed, rng_from_seed};
@@ -23,6 +24,7 @@ use hpo_sampling::kfold::train_indices_for;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -213,6 +215,14 @@ pub struct CvEvaluator<'a> {
     /// re-visited at the same budget — are built once and shared. Shared
     /// across evaluation threads; entries are immutable once inserted.
     fold_cache: Mutex<HashMap<(usize, u64), Arc<Vec<Vec<usize>>>>>,
+    /// Cap on threads (including the trial's own) one MLP trial may spread
+    /// its CV folds across. 1 (the default) keeps evaluation sequential.
+    /// Under a [`crate::parallel::ParallelEvaluator`] the cap is further
+    /// limited by the batch's idle-worker [`FoldBudget`], so the pool's
+    /// total thread count never exceeds its configured size. Fold results
+    /// are committed in fold order either way, so every setting produces
+    /// bit-identical outcomes, journals and checkpoints.
+    fold_workers: usize,
 }
 
 impl<'a> CvEvaluator<'a> {
@@ -254,7 +264,20 @@ impl<'a> CvEvaluator<'a> {
             cancel: CancelToken::none(),
             continuation: None,
             fold_cache: Mutex::new(HashMap::new()),
+            fold_workers: 1,
         }
+    }
+
+    /// Sets the per-trial fold-parallelism cap (builder style; clamped to
+    /// ≥ 1). See the `fold_workers` field docs for the determinism contract.
+    pub fn with_fold_workers(mut self, fold_workers: usize) -> Self {
+        self.fold_workers = fold_workers.max(1);
+        self
+    }
+
+    /// The per-trial fold-parallelism cap.
+    pub fn fold_workers(&self) -> usize {
+        self.fold_workers
     }
 
     /// Replaces the failure policy (builder style).
@@ -360,6 +383,11 @@ impl<'a> CvEvaluator<'a> {
     /// resumes from the configuration's largest snapshot at or below this
     /// budget (training only the incremental epoch share of the budget
     /// step), and the fitted fold models are snapshotted for the next rung.
+    ///
+    /// When the fold-parallelism cap and the installed [`FoldBudget`] allow
+    /// it, the CV folds are fanned across scoped threads; results are
+    /// committed in fold order, so the sequential and parallel paths are
+    /// bit-identical (see `fold_workers`).
     fn evaluate_mlp(
         &self,
         params: &MlpParams,
@@ -373,8 +401,7 @@ impl<'a> CvEvaluator<'a> {
         let epochs_total = obs::global_metrics().counter("hpo_model_epochs_total");
         // Clamp exactly as `evaluate_fn` does, so snapshot budgets line up
         // with the budgets the folds are actually built at.
-        let k = self.pipeline.fold_strategy.n_folds();
-        let clamped = budget.clamp(k.max(2), self.total_budget.max(k));
+        let clamped = self.clamp_budget(budget);
         let fingerprint = warm.as_ref().map(|_| params_fingerprint(params));
         let prior = match (&warm, fingerprint) {
             (Some((cache, key)), Some(fp)) => cache.lookup(*key, fp, clamped),
@@ -391,81 +418,55 @@ impl<'a> CvEvaluator<'a> {
         let mut resumed = false;
         let mut diverged_folds = 0usize;
         let mut failed_folds = 0usize;
-        let mut out = self.evaluate_fn(budget, stream, |fold, train_sub, val_sub| {
-            let mut fold_params = params.clone();
-            fold_params.seed = derive_seed(self.seed, stream ^ (fold as u64) << 32);
-            let snap = prior
-                .as_ref()
-                .and_then(|p| p.folds.get(fold))
-                .and_then(Option::as_ref);
-            if capture && snapshots.len() <= fold {
-                snapshots.resize(fold + 1, None);
-            }
-            match self.train.task() {
-                Task::Regression => {
-                    let mut model = MlpRegressor::new(fold_params);
-                    let fit = {
-                        let _timer = ScopedTimer::start(std::sync::Arc::clone(&fit_seconds));
-                        match (snap, epoch_cap) {
-                            (Some(state), Some(cap)) => {
-                                resumed = true;
-                                model.warm_fit(train_sub, state, cap)
-                            }
-                            _ => model.fit(train_sub),
-                        }
-                    };
-                    match fit {
-                        Ok(report) if report.diverged => {
-                            epochs_total.add(report.epochs as u64);
-                            diverged_folds += 1;
-                            (Vec::new(), report.cost_units)
-                        }
-                        Ok(report) => {
-                            epochs_total.add(report.epochs as u64);
-                            if capture {
-                                snapshots[fold] = model.fit_state();
-                            }
-                            (model.predict(val_sub.x()), report.cost_units)
-                        }
-                        Err(_) => {
-                            failed_folds += 1;
-                            (Vec::new(), 0)
-                        }
+        let claim = self.claim_fold_threads();
+        let mut out = if claim.granted > 0 {
+            let folded = self.evaluate_mlp_parallel(
+                params,
+                budget,
+                stream,
+                prior.as_deref(),
+                epoch_cap,
+                capture,
+                claim.granted,
+                &fit_seconds,
+                &epochs_total,
+            );
+            snapshots = folded.snapshots;
+            resumed = folded.resumed;
+            diverged_folds = folded.diverged_folds;
+            failed_folds = folded.failed_folds;
+            folded.outcome
+        } else {
+            self.evaluate_fn(budget, stream, |fold, train_sub, val_sub| {
+                let snap = prior
+                    .as_ref()
+                    .and_then(|p| p.folds.get(fold))
+                    .and_then(Option::as_ref);
+                let fit = self.fit_fold(
+                    params,
+                    stream,
+                    fold,
+                    snap,
+                    epoch_cap,
+                    capture,
+                    train_sub,
+                    val_sub,
+                    &fit_seconds,
+                    &epochs_total,
+                );
+                resumed |= fit.resumed;
+                diverged_folds += fit.diverged as usize;
+                failed_folds += fit.failed as usize;
+                if capture {
+                    if snapshots.len() <= fold {
+                        snapshots.resize(fold + 1, None);
                     }
+                    snapshots[fold] = fit.snapshot;
                 }
-                _ => {
-                    let mut model = MlpClassifier::new(fold_params);
-                    let fit = {
-                        let _timer = ScopedTimer::start(std::sync::Arc::clone(&fit_seconds));
-                        match (snap, epoch_cap) {
-                            (Some(state), Some(cap)) => {
-                                resumed = true;
-                                model.warm_fit(train_sub, state, cap)
-                            }
-                            _ => model.fit(train_sub),
-                        }
-                    };
-                    match fit {
-                        Ok(report) if report.diverged => {
-                            epochs_total.add(report.epochs as u64);
-                            diverged_folds += 1;
-                            (Vec::new(), report.cost_units)
-                        }
-                        Ok(report) => {
-                            epochs_total.add(report.epochs as u64);
-                            if capture {
-                                snapshots[fold] = model.fit_state();
-                            }
-                            (model.predict(val_sub.x()), report.cost_units)
-                        }
-                        Err(_) => {
-                            failed_folds += 1;
-                            (Vec::new(), 0)
-                        }
-                    }
-                }
-            }
-        });
+                (fit.preds, fit.cost)
+            })
+        };
+        drop(claim);
         // A majority of diverged *or unfittable* folds means the
         // configuration is unstable at this budget, not merely unlucky: flag
         // the whole trial so the failure policy can impute and demote it.
@@ -516,11 +517,58 @@ impl<'a> CvEvaluator<'a> {
         // Each evaluation owns the span stash: folds from a previous attempt
         // (retry loop) or a previous bare-evaluator call must not leak in.
         let _ = obs::take_span_stash();
+        let budget = self.clamp_budget(budget);
+        let folds = self.build_folds(budget, stream);
+
+        let mut scores = Vec::with_capacity(folds.len());
+        let mut cost_units = 0u64;
+        let mut status = TrialStatus::Completed;
+        for v in 0..folds.len() {
+            // Mid-evaluation deadlines: stop between folds once the policy's
+            // wall-clock or cost budget is spent. The partial fold scores are
+            // kept for diagnostics; the failure policy imputes the score.
+            if self.deadline_exceeded(&start, cost_units) {
+                status = TrialStatus::TimedOut;
+                break;
+            }
+            let train_idx = train_indices_for(&folds, v);
+            let val_idx = &folds[v];
+            if train_idx.len() < 2 || val_idx.is_empty() {
+                scores.push(self.score_kind.failed_fold_score());
+                continue;
+            }
+            let train_sub = self.train.select(&train_idx);
+            let val_sub = self.train.select(val_idx);
+            let fold_started = Instant::now();
+            let (preds, cost) = fit_predict(v, &train_sub, &val_sub);
+            obs::record_span(
+                obs::SpanPhase::Fold,
+                fold_started.elapsed().as_micros() as u64,
+                Some(format!("fold={v}")),
+            );
+            cost_units += cost;
+            scores.push(self.fold_score(&preds, &val_sub));
+        }
+        self.finish_outcome(scores, cost_units, status, budget, &start)
+    }
+
+    /// Clamps a requested budget into the evaluable range: at least the
+    /// fold count (and 2), at most the dataset size.
+    fn clamp_budget(&self, budget: usize) -> usize {
         let k = self.pipeline.fold_strategy.n_folds();
-        let budget = budget.clamp(k.max(2), self.total_budget.max(k));
+        budget.clamp(k.max(2), self.total_budget.max(k))
+    }
+
+    /// The fold construction for (clamped `budget`, `stream`), served from
+    /// the per-evaluator cache when possible. On overflow the cache is
+    /// cleared wholesale — rebuilds are cheap, bookkeeping an LRU is not —
+    /// and the clear is counted in `hpo_fold_cache_evictions_total`, so a
+    /// run churning through more than [`FOLD_CACHE_CAP`] constructions shows
+    /// up in metrics instead of silently rebuilding every fold set.
+    fn build_folds(&self, budget: usize, stream: u64) -> Arc<Vec<Vec<usize>>> {
         let key = (budget, stream);
         let cached = self.fold_cache.lock().get(&key).cloned();
-        let folds: Arc<Vec<Vec<usize>>> = match cached {
+        match cached {
             Some(folds) => folds,
             None => {
                 // Build outside the lock: a concurrent miss on the same key
@@ -542,71 +590,62 @@ impl<'a> CvEvaluator<'a> {
                 };
                 let mut cache = self.fold_cache.lock();
                 if cache.len() >= FOLD_CACHE_CAP {
+                    obs::global_metrics()
+                        .counter("hpo_fold_cache_evictions_total")
+                        .inc();
                     cache.clear();
                 }
                 cache.insert(key, Arc::clone(&built));
                 built
             }
-        };
-
-        let mut scores = Vec::with_capacity(folds.len());
-        let mut cost_units = 0u64;
-        let mut status = TrialStatus::Completed;
-        for v in 0..folds.len() {
-            // Mid-evaluation deadlines: stop between folds once the policy's
-            // wall-clock or cost budget is spent. The partial fold scores are
-            // kept for diagnostics; the failure policy imputes the score.
-            if self
-                .policy
-                .trial_timeout_secs
-                .is_some_and(|limit| start.elapsed().as_secs_f64() > limit)
-                || self
-                    .policy
-                    .max_cost_units
-                    .is_some_and(|max| cost_units > max)
-            {
-                status = TrialStatus::TimedOut;
-                break;
-            }
-            let train_idx = train_indices_for(&folds, v);
-            let val_idx = &folds[v];
-            if train_idx.len() < 2 || val_idx.is_empty() {
-                scores.push(self.score_kind.failed_fold_score());
-                continue;
-            }
-            let train_sub = self.train.select(&train_idx);
-            let val_sub = self.train.select(val_idx);
-            let fold_started = Instant::now();
-            let (preds, cost) = fit_predict(v, &train_sub, &val_sub);
-            obs::record_span(
-                obs::SpanPhase::Fold,
-                fold_started.elapsed().as_micros() as u64,
-                Some(format!("fold={v}")),
-            );
-            cost_units += cost;
-            let k_classes = self.train.task().n_classes().unwrap_or(0);
-            let score = if preds.is_empty() {
-                // A failed or diverged fit scores the metric's floor, never
-                // 0.0 blindly: under R² that would outrank real fits with
-                // negative scores (see ScoreKind::failed_fold_score).
-                self.score_kind.failed_fold_score()
-            } else {
-                self.score_kind.compute(val_sub.y(), &preds, k_classes)
-            };
-            // Classification scores are bounded in [0,1]; R² is unbounded
-            // below, and an unbounded fold score would hand diverging
-            // configurations an arbitrarily large variance bonus under
-            // Eq. 3. Clamp regression fold scores to [-1, 1] for metric
-            // purposes — a config at R² = −5 is no more interesting than one
-            // at −1 (DESIGN.md §4.5).
-            let score = if self.score_kind == ScoreKind::R2 {
-                score.clamp(-1.0, 1.0)
-            } else {
-                score
-            };
-            scores.push(score);
         }
+    }
 
+    /// Whether the policy's wall-clock or cost deadline is spent.
+    fn deadline_exceeded(&self, start: &Instant, cost_units: u64) -> bool {
+        self.policy
+            .trial_timeout_secs
+            .is_some_and(|limit| start.elapsed().as_secs_f64() > limit)
+            || self
+                .policy
+                .max_cost_units
+                .is_some_and(|max| cost_units > max)
+    }
+
+    /// Scores one fold's predictions against its validation subset.
+    fn fold_score(&self, preds: &[f64], val_sub: &Dataset) -> f64 {
+        let k_classes = self.train.task().n_classes().unwrap_or(0);
+        let score = if preds.is_empty() {
+            // A failed or diverged fit scores the metric's floor, never
+            // 0.0 blindly: under R² that would outrank real fits with
+            // negative scores (see ScoreKind::failed_fold_score).
+            self.score_kind.failed_fold_score()
+        } else {
+            self.score_kind.compute(val_sub.y(), preds, k_classes)
+        };
+        // Classification scores are bounded in [0,1]; R² is unbounded
+        // below, and an unbounded fold score would hand diverging
+        // configurations an arbitrarily large variance bonus under
+        // Eq. 3. Clamp regression fold scores to [-1, 1] for metric
+        // purposes — a config at R² = −5 is no more interesting than one
+        // at −1 (DESIGN.md §4.5).
+        if self.score_kind == ScoreKind::R2 {
+            score.clamp(-1.0, 1.0)
+        } else {
+            score
+        }
+    }
+
+    /// Assembles the [`EvalOutcome`] both fold paths end with: γ, the
+    /// pipeline-metric reduction over the fold scores, and the wall clock.
+    fn finish_outcome(
+        &self,
+        scores: Vec<f64>,
+        cost_units: u64,
+        status: TrialStatus,
+        budget: usize,
+        start: &Instant,
+    ) -> EvalOutcome {
         let gamma_pct = 100.0 * budget as f64 / self.total_budget.max(1) as f64;
         let fold_scores = FoldScores::new(scores, gamma_pct);
         let score = fold_scores.score(&self.pipeline.metric);
@@ -619,6 +658,334 @@ impl<'a> CvEvaluator<'a> {
             resumed_from: None,
         }
     }
+
+    /// Claims extra threads for this trial's folds: bounded by the
+    /// `fold_workers` cap and the fold count, and — when running under a
+    /// [`crate::parallel::ParallelEvaluator`] — by the batch's idle-worker
+    /// [`FoldBudget`], so pool capacity is borrowed, never exceeded. A
+    /// standalone evaluator (no budget installed) gets the cap outright.
+    fn claim_fold_threads(&self) -> FoldClaim {
+        let k = self.pipeline.fold_strategy.n_folds();
+        let want = self.fold_workers.saturating_sub(1).min(k.saturating_sub(1));
+        if want == 0 {
+            return FoldClaim {
+                budget: None,
+                granted: 0,
+            };
+        }
+        match current_fold_budget() {
+            Some(budget) => {
+                let granted = budget.claim(want);
+                FoldClaim {
+                    budget: Some(budget),
+                    granted,
+                }
+            }
+            None => FoldClaim {
+                budget: None,
+                granted: want,
+            },
+        }
+    }
+
+    /// Fits one fold's model (cold, or warm from `snap` with `epoch_cap`
+    /// incremental epochs) and predicts its validation subset. Independent
+    /// of commit order — safe to call from fold worker threads; its only
+    /// side effects are the global fit metrics, which are thread-safe.
+    #[allow(clippy::too_many_arguments)]
+    fn fit_fold(
+        &self,
+        params: &MlpParams,
+        stream: u64,
+        fold: usize,
+        snap: Option<&FitState>,
+        epoch_cap: Option<usize>,
+        capture: bool,
+        train_sub: &Dataset,
+        val_sub: &Dataset,
+        fit_seconds: &Arc<Histogram>,
+        epochs_total: &Arc<Counter>,
+    ) -> FoldFit {
+        let mut fold_params = params.clone();
+        fold_params.seed = derive_seed(self.seed, stream ^ (fold as u64) << 32);
+        let resumed = snap.is_some() && epoch_cap.is_some();
+        // The regression and classification arms are textually identical;
+        // the macro instantiates the body once per concrete model type.
+        macro_rules! fit_with {
+            ($model:expr) => {{
+                let mut model = $model;
+                let fit = {
+                    let _timer = ScopedTimer::start(Arc::clone(fit_seconds));
+                    match (snap, epoch_cap) {
+                        (Some(state), Some(cap)) => model.warm_fit(train_sub, state, cap),
+                        _ => model.fit(train_sub),
+                    }
+                };
+                match fit {
+                    Ok(report) if report.diverged => {
+                        epochs_total.add(report.epochs as u64);
+                        FoldFit {
+                            preds: Vec::new(),
+                            cost: report.cost_units,
+                            snapshot: None,
+                            resumed,
+                            diverged: true,
+                            failed: false,
+                        }
+                    }
+                    Ok(report) => {
+                        epochs_total.add(report.epochs as u64);
+                        FoldFit {
+                            preds: model.predict(val_sub.x()),
+                            cost: report.cost_units,
+                            snapshot: if capture { model.fit_state() } else { None },
+                            resumed,
+                            diverged: false,
+                            failed: false,
+                        }
+                    }
+                    Err(_) => FoldFit {
+                        preds: Vec::new(),
+                        cost: 0,
+                        snapshot: None,
+                        resumed,
+                        diverged: false,
+                        failed: true,
+                    },
+                }
+            }};
+        }
+        match self.train.task() {
+            Task::Regression => fit_with!(MlpRegressor::new(fold_params)),
+            _ => fit_with!(MlpClassifier::new(fold_params)),
+        }
+    }
+
+    /// Computes one fold end to end on whichever thread claims it: the
+    /// degenerate-geometry check, subset selection, fit and scoring, all
+    /// deterministic functions of the fold index.
+    #[allow(clippy::too_many_arguments)]
+    fn run_fold(
+        &self,
+        v: usize,
+        folds: &Vec<Vec<usize>>,
+        params: &MlpParams,
+        stream: u64,
+        prior: Option<&SnapshotSet>,
+        epoch_cap: Option<usize>,
+        capture: bool,
+        fit_seconds: &Arc<Histogram>,
+        epochs_total: &Arc<Counter>,
+    ) -> FoldSlot {
+        let train_idx = train_indices_for(folds, v);
+        let val_idx = &folds[v];
+        if train_idx.len() < 2 || val_idx.is_empty() {
+            return FoldSlot::Degenerate;
+        }
+        let train_sub = self.train.select(&train_idx);
+        let val_sub = self.train.select(val_idx);
+        let snap = prior.and_then(|p| p.folds.get(v)).and_then(Option::as_ref);
+        let fold_started = Instant::now();
+        let fit = self.fit_fold(
+            params,
+            stream,
+            v,
+            snap,
+            epoch_cap,
+            capture,
+            &train_sub,
+            &val_sub,
+            fit_seconds,
+            epochs_total,
+        );
+        let dur_us = fold_started.elapsed().as_micros() as u64;
+        FoldSlot::Fit {
+            score: self.fold_score(&fit.preds, &val_sub),
+            cost: fit.cost,
+            snapshot: fit.snapshot,
+            resumed: fit.resumed,
+            diverged: fit.diverged,
+            failed: fit.failed,
+            dur_us,
+        }
+    }
+
+    /// The fold-parallel twin of the sequential loop in
+    /// [`CvEvaluator::evaluate_fn`]: `extra + 1` threads (the trial's own
+    /// plus `extra` claimed from the pool) race through the folds, then the
+    /// trial thread commits the results **in fold order** — scores, costs,
+    /// deadline checks, snapshots and Fold spans land exactly as the
+    /// sequential loop produces them, which keeps journals, checkpoints and
+    /// warm-start snapshots byte-identical at any thread count.
+    ///
+    /// The one intentional divergence: deadlines are enforced at commit
+    /// time, so folds computed past a wall-clock deadline are discarded
+    /// rather than never started (the cost deadline stays exactly
+    /// deterministic; the wall-clock one is timing-dependent in both paths).
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_mlp_parallel(
+        &self,
+        params: &MlpParams,
+        budget: usize,
+        stream: u64,
+        prior: Option<&SnapshotSet>,
+        epoch_cap: Option<usize>,
+        capture: bool,
+        extra: usize,
+        fit_seconds: &Arc<Histogram>,
+        epochs_total: &Arc<Counter>,
+    ) -> ParallelFoldResult {
+        let start = Instant::now();
+        // Each evaluation owns the span stash, exactly as `evaluate_fn`.
+        let _ = obs::take_span_stash();
+        let budget = self.clamp_budget(budget);
+        let folds = self.build_folds(budget, stream);
+        let n = folds.len();
+
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<FoldSlot>> = (0..n).map(|_| None).collect();
+        crossbeam::thread::scope(|s| {
+            let work = || {
+                let mut local: Vec<(usize, FoldSlot)> = Vec::new();
+                loop {
+                    let v = cursor.fetch_add(1, Ordering::Relaxed);
+                    if v >= n {
+                        break;
+                    }
+                    let slot = self.run_fold(
+                        v,
+                        &folds,
+                        params,
+                        stream,
+                        prior,
+                        epoch_cap,
+                        capture,
+                        fit_seconds,
+                        epochs_total,
+                    );
+                    local.push((v, slot));
+                }
+                local
+            };
+            let handles: Vec<_> = (0..extra).map(|_| s.spawn(|_| work())).collect();
+            // The trial thread is a fold worker too, so `extra == 1` means
+            // two folds in flight, not a handoff to one helper.
+            for (v, slot) in work() {
+                slots[v] = Some(slot);
+            }
+            for handle in handles {
+                for (v, slot) in handle.join().expect("fold workers propagate panics") {
+                    slots[v] = Some(slot);
+                }
+            }
+        })
+        .expect("fold workers propagate panics");
+
+        // In-order commit: bookkeeping identical to the sequential loop.
+        let mut scores = Vec::with_capacity(n);
+        let mut cost_units = 0u64;
+        let mut status = TrialStatus::Completed;
+        let mut snapshots: Vec<Option<FitState>> = Vec::new();
+        let mut resumed = false;
+        let mut diverged_folds = 0usize;
+        let mut failed_folds = 0usize;
+        for (v, slot) in slots.into_iter().enumerate() {
+            if self.deadline_exceeded(&start, cost_units) {
+                status = TrialStatus::TimedOut;
+                break;
+            }
+            match slot.expect("every fold below the cursor was computed") {
+                FoldSlot::Degenerate => scores.push(self.score_kind.failed_fold_score()),
+                FoldSlot::Fit {
+                    score,
+                    cost,
+                    snapshot,
+                    resumed: fold_resumed,
+                    diverged,
+                    failed,
+                    dur_us,
+                } => {
+                    obs::record_span(obs::SpanPhase::Fold, dur_us, Some(format!("fold={v}")));
+                    cost_units += cost;
+                    scores.push(score);
+                    resumed |= fold_resumed;
+                    diverged_folds += diverged as usize;
+                    failed_folds += failed as usize;
+                    if capture {
+                        if snapshots.len() <= v {
+                            snapshots.resize(v + 1, None);
+                        }
+                        snapshots[v] = snapshot;
+                    }
+                }
+            }
+        }
+        ParallelFoldResult {
+            outcome: self.finish_outcome(scores, cost_units, status, budget, &start),
+            snapshots,
+            resumed,
+            diverged_folds,
+            failed_folds,
+        }
+    }
+}
+
+/// A claim on fold-parallel thread slots, released on drop so a panicking
+/// trial cannot leak pool capacity for the rest of its batch.
+struct FoldClaim {
+    /// The batch's budget the slots came from; `None` for a standalone
+    /// evaluator, whose cap is local and needs no return.
+    budget: Option<Arc<FoldBudget>>,
+    /// Extra threads this trial may spawn for its folds.
+    granted: usize,
+}
+
+impl Drop for FoldClaim {
+    fn drop(&mut self) {
+        if let Some(budget) = &self.budget {
+            budget.release(self.granted);
+        }
+    }
+}
+
+/// What fitting one fold produced, independent of commit order.
+struct FoldFit {
+    preds: Vec<f64>,
+    cost: u64,
+    snapshot: Option<FitState>,
+    resumed: bool,
+    diverged: bool,
+    failed: bool,
+}
+
+/// One fold's computed result awaiting its in-order commit.
+enum FoldSlot {
+    /// Degenerate fold geometry (train < 2 or empty validation): scored the
+    /// metric floor without fitting, exactly as the sequential loop does —
+    /// no model, no cost, no Fold span.
+    Degenerate,
+    /// A fitted fold.
+    Fit {
+        score: f64,
+        cost: u64,
+        snapshot: Option<FitState>,
+        resumed: bool,
+        diverged: bool,
+        failed: bool,
+        /// Worker-measured fit+predict duration, committed as the Fold
+        /// span's duration on the trial thread.
+        dur_us: u64,
+    },
+}
+
+/// Everything the fold-parallel path hands back to
+/// [`CvEvaluator::evaluate_mlp`]'s shared tail.
+struct ParallelFoldResult {
+    outcome: EvalOutcome,
+    snapshots: Vec<Option<FitState>>,
+    resumed: bool,
+    diverged_folds: usize,
+    failed_folds: usize,
 }
 
 /// Fits `params` on the full training set and scores train and test — the
@@ -745,6 +1112,106 @@ mod tests {
         assert_eq!(a.fold_scores.folds, b.fold_scores.folds);
         let c = ev.evaluate(&quick_params(), 120, 8);
         assert_ne!(a.fold_scores.folds, c.fold_scores.folds);
+    }
+
+    /// The fold-parallel contract at the evaluator level: a standalone
+    /// evaluator (no pool, so the cap applies outright) must produce
+    /// bit-identical outcomes at every `fold_workers` value, including the
+    /// Fold spans it stashes for the journal (same count, same order, same
+    /// `fold=v` details — only durations may differ).
+    #[test]
+    fn fold_parallel_evaluation_is_bit_identical() {
+        let data = dataset(4);
+        let seq = CvEvaluator::new(&data, Pipeline::enhanced(), quick_params(), 4);
+        for fold_workers in [2, 4, 16] {
+            let par = CvEvaluator::new(&data, Pipeline::enhanced(), quick_params(), 4)
+                .with_fold_workers(fold_workers);
+            for stream in [0u64, 7, 99] {
+                let a = seq.evaluate(&quick_params(), 150, stream);
+                let spans_a = obs::take_span_stash();
+                let b = par.evaluate(&quick_params(), 150, stream);
+                let spans_b = obs::take_span_stash();
+                let bits = |o: &EvalOutcome| {
+                    (
+                        o.fold_scores
+                            .folds
+                            .iter()
+                            .map(|s| s.to_bits())
+                            .collect::<Vec<_>>(),
+                        o.score.to_bits(),
+                        o.cost_units,
+                        o.status.clone(),
+                    )
+                };
+                assert_eq!(
+                    bits(&a),
+                    bits(&b),
+                    "outcome diverged at fold_workers={fold_workers} stream={stream}"
+                );
+                assert_eq!(spans_a.len(), spans_b.len(), "span count diverged");
+                for (x, y) in spans_a.iter().zip(&spans_b) {
+                    assert_eq!(x.phase, y.phase);
+                    assert_eq!(x.detail, y.detail, "span order diverged");
+                }
+            }
+        }
+    }
+
+    /// Warm-start snapshots must be unaffected by fold parallelism: the
+    /// rung ladder run with `fold_workers > 1` deposits the same snapshots
+    /// (hence the same resumed outcomes) as the sequential evaluator.
+    #[test]
+    fn fold_parallel_warm_start_matches_sequential() {
+        let data = dataset(9);
+        let run = |fold_workers: usize| {
+            let cache = Arc::new(ContinuationCache::new());
+            let ev = CvEvaluator::new(&data, Pipeline::enhanced(), quick_params(), 9)
+                .with_continuation(Arc::clone(&cache))
+                .with_fold_workers(fold_workers);
+            let low = ev.evaluate_job(&TrialJob {
+                params: quick_params(),
+                budget: 100,
+                stream: 3,
+                cont: Some(42),
+            });
+            let high = ev.evaluate_job(&TrialJob {
+                params: quick_params(),
+                budget: 200,
+                stream: 3,
+                cont: Some(42),
+            });
+            (low, high)
+        };
+        let (seq_low, seq_high) = run(1);
+        let (par_low, par_high) = run(4);
+        assert_eq!(seq_low.fold_scores.folds, par_low.fold_scores.folds);
+        assert_eq!(seq_high.fold_scores.folds, par_high.fold_scores.folds);
+        assert_eq!(seq_high.resumed_from, par_high.resumed_from);
+        assert_eq!(
+            seq_high.resumed_from,
+            Some(100),
+            "second rung did not warm-start"
+        );
+        assert_eq!(seq_high.cost_units, par_high.cost_units);
+    }
+
+    /// The fold-cache clear on overflow is no longer silent: churning
+    /// through more than `FOLD_CACHE_CAP` distinct fold constructions bumps
+    /// `hpo_fold_cache_evictions_total`.
+    #[test]
+    fn fold_cache_eviction_bumps_counter() {
+        let data = dataset(11);
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_params(), 11);
+        let counter = obs::global_metrics().counter("hpo_fold_cache_evictions_total");
+        let before = counter.get();
+        // Trivial fit_predict: only fold construction matters here.
+        for stream in 0..(FOLD_CACHE_CAP as u64 + 2) {
+            ev.evaluate_fn(64, stream, |_, _, val| (vec![0.0; val.n_instances()], 1));
+        }
+        assert!(
+            counter.get() > before,
+            "cache overflow did not count an eviction"
+        );
     }
 
     #[test]

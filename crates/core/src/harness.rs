@@ -125,6 +125,13 @@ pub struct RunOptions {
     /// are bit-identical for every value; 1 (the default) evaluates batches
     /// inline on the calling thread.
     pub workers: usize,
+    /// Per-trial fold parallelism cap: how many threads one trial may use
+    /// for its CV folds, counting its own. Under the pool, a trial only
+    /// borrows workers left idle by a shallow batch, so total threads never
+    /// exceed `workers`; fold results are committed in fold order, keeping
+    /// results, journals and checkpoints bit-identical for every value. 1
+    /// (the default) runs folds sequentially.
+    pub fold_workers: usize,
     /// Warm-start budget continuation: rung-`i+1` evaluations resume fold
     /// models from the rung-`i` snapshots of the same configuration
     /// (DESIGN.md §5.8). On by default; turn off (`--warm-start off`) for
@@ -157,6 +164,7 @@ impl Default for RunOptions {
             resume: false,
             recorder: Recorder::disabled(),
             workers: 1,
+            fold_workers: 1,
             warm_start: true,
             cancel: CancelToken::none(),
             engine: None,
@@ -258,7 +266,8 @@ pub fn run_method_with(
     let continuation = opts.warm_start.then(|| Arc::new(ContinuationCache::new()));
     let mut evaluator = CvEvaluator::new(train, pipeline, base_params.clone(), seed)
         .with_failure_policy(opts.failure_policy.clone())
-        .with_cancel_token(opts.cancel.clone());
+        .with_cancel_token(opts.cancel.clone())
+        .with_fold_workers(opts.fold_workers);
     if let Some(cache) = &continuation {
         evaluator = evaluator.with_continuation(Arc::clone(cache));
     }

@@ -305,7 +305,9 @@ mod tests {
 
     #[test]
     fn fleet_segment_reflects_global_gauges() {
-        crate::obs::metrics::global().gauge("hpo_fleet_runners").set(3.0);
+        crate::obs::metrics::global()
+            .gauge("hpo_fleet_runners")
+            .set(3.0);
         crate::obs::metrics::global()
             .gauge("hpo_fleet_leases_outstanding")
             .set(2.0);

@@ -444,7 +444,9 @@ impl TraceCollector {
             detail: span.detail,
         });
         if span.phase == SpanPhase::Batch {
-            if let Some((base, n)) = parse_batch_detail(self.spans.last().and_then(|s| s.detail.as_deref())) {
+            if let Some((base, n)) =
+                parse_batch_detail(self.spans.last().and_then(|s| s.detail.as_deref()))
+            {
                 self.batches.push((self.spans.len() - 1, base, n));
             }
         }
@@ -713,7 +715,10 @@ mod tests {
             detail: None,
         });
         let records = tc.finished();
-        let eval = records.iter().find(|r| r.phase == SpanPhase::Evaluate).unwrap();
+        let eval = records
+            .iter()
+            .find(|r| r.phase == SpanPhase::Evaluate)
+            .unwrap();
         assert_eq!(eval.id, derived);
         assert_eq!(eval.parent, records[1].id, "trial span id matches the hash");
     }
@@ -733,7 +738,10 @@ mod tests {
             Some("base=0 n=2".into()),
         ));
         let records = tc.finished();
-        let batch = records.iter().find(|r| r.phase == SpanPhase::Batch).unwrap();
+        let batch = records
+            .iter()
+            .find(|r| r.phase == SpanPhase::Batch)
+            .unwrap();
         for r in records.iter().filter(|r| r.phase == SpanPhase::Trial) {
             assert_eq!(r.parent, batch.id, "trials nest under their batch");
         }
@@ -745,7 +753,12 @@ mod tests {
         tc.on_event(&run_started(3));
         tc.on_event(&started(0));
         // A long fold committed late: the trial envelope must grow.
-        tc.on_span(SpanEvent::new(0, SpanPhase::Fold, 10_000_000, Some("fold=0".into())));
+        tc.on_span(SpanEvent::new(
+            0,
+            SpanPhase::Fold,
+            10_000_000,
+            Some("fold=0".into()),
+        ));
         tc.on_event(&finished(0));
         let records = tc.finished();
         let by_id: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
@@ -754,7 +767,11 @@ mod tests {
                 continue;
             }
             let p = by_id.get(&r.parent).expect("no orphan parents");
-            assert!(p.start_us <= r.start_us, "{}: child starts inside parent", r.name);
+            assert!(
+                p.start_us <= r.start_us,
+                "{}: child starts inside parent",
+                r.name
+            );
             assert!(
                 p.start_us + p.dur_us >= r.start_us + r.dur_us,
                 "{}: child ends inside parent",

@@ -33,9 +33,96 @@ use crate::continuation::{params_fingerprint, ContinuationCache, SnapshotEntry};
 use crate::evaluator::EvalOutcome;
 use crate::exec::{cancelled_outcome, contained_evaluate, FailurePolicy, TrialEvaluator, TrialJob};
 use crate::obs::{self, Recorder, RunEvent, SpanEvent, SpanPhase, TraceContext};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Spare worker capacity a batch can lend to in-flight trials for
+/// **fold-level parallelism**.
+///
+/// The pool's unit of work is a whole trial, so a batch shallower than the
+/// pool (the final rungs of a halving run, or a single submitted trial)
+/// leaves workers idle. Instead of having those workers steal folds
+/// directly — which would entangle them with another trial's event buffer —
+/// the batch tracks its idle capacity here: initially `pool size − spawned
+/// workers`, plus one donation each time a worker drains the job queue and
+/// exits. A trial entering [`crate::evaluator::CvEvaluator`] claims up to
+/// `fold_workers − 1` slots and fans its CV folds across that many extra
+/// scoped threads, so total thread count never exceeds the configured pool
+/// size.
+///
+/// Claims never block and the commit order of fold results is fixed (fold
+/// index order), so any claim outcome — including racing trials splitting
+/// the spare capacity unevenly — yields bit-identical journals, checkpoints
+/// and outcomes.
+#[derive(Debug)]
+pub struct FoldBudget {
+    spare: AtomicUsize,
+}
+
+impl FoldBudget {
+    /// A budget starting with `spare` idle slots.
+    pub fn new(spare: usize) -> Arc<FoldBudget> {
+        Arc::new(FoldBudget {
+            spare: AtomicUsize::new(spare),
+        })
+    }
+
+    /// Claims up to `want` slots, returning how many were granted (possibly
+    /// zero). Never blocks.
+    pub fn claim(&self, want: usize) -> usize {
+        if want == 0 {
+            return 0;
+        }
+        let mut cur = self.spare.load(Ordering::Relaxed);
+        loop {
+            let grant = cur.min(want);
+            if grant == 0 {
+                return 0;
+            }
+            match self.spare.compare_exchange_weak(
+                cur,
+                cur - grant,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return grant,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Returns `n` slots to the pool (claimed slots after use, or a worker
+    /// donating its own slot as it exits the claim loop).
+    pub fn release(&self, n: usize) {
+        if n > 0 {
+            self.spare.fetch_add(n, Ordering::AcqRel);
+        }
+    }
+
+    /// Currently spare slots (racy; for tests and diagnostics).
+    pub fn spare(&self) -> usize {
+        self.spare.load(Ordering::Relaxed)
+    }
+}
+
+thread_local! {
+    static FOLD_BUDGET: RefCell<Option<Arc<FoldBudget>>> = const { RefCell::new(None) };
+}
+
+/// Installs (or clears) the fold budget on the current thread. The parallel
+/// engine installs the batch's budget on each pool worker so the evaluator
+/// underneath can discover idle capacity without plumbing it through the
+/// [`TrialEvaluator`] trait.
+pub fn install_fold_budget(budget: Option<Arc<FoldBudget>>) {
+    FOLD_BUDGET.with(|b| *b.borrow_mut() = budget);
+}
+
+/// The fold budget installed on the current thread, if any.
+pub fn current_fold_budget() -> Option<Arc<FoldBudget>> {
+    FOLD_BUDGET.with(|b| b.borrow().clone())
+}
 
 /// The parallel execution engine: fans [`TrialJob`] batches across a
 /// crossbeam scoped worker pool while staying bit-identical to sequential
@@ -113,6 +200,10 @@ impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
         let cancel = self.inner.cancel_token();
         let batch_started = Instant::now();
 
+        // Idle capacity the evaluator may borrow for fold-level parallelism:
+        // pool slots never spawned (batch shallower than the pool) plus, as
+        // the queue drains, the slots of workers that have exited.
+        let fold_budget = FoldBudget::new(self.workers - workers);
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<(Option<obs::TrialEventBuffer>, EvalOutcome)>> =
             (0..n).map(|_| None).collect();
@@ -120,6 +211,7 @@ impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
             let mut handles = Vec::with_capacity(workers);
             for _ in 0..workers {
                 handles.push(s.spawn(|_| {
+                    install_fold_budget(Some(Arc::clone(&fold_budget)));
                     let mut local = Vec::new();
                     loop {
                         // Cooperative mid-batch cancellation: stop claiming
@@ -141,6 +233,11 @@ impl<E: TrialEvaluator> TrialEvaluator for ParallelEvaluator<'_, E> {
                         let buf = obs::take_trial_buffer();
                         local.push((idx, buf, out));
                     }
+                    // This worker's slot idles for the rest of the batch —
+                    // donate it so in-flight trials can widen their fold
+                    // pools.
+                    install_fold_budget(None);
+                    fold_budget.release(1);
                     local
                 }));
             }
@@ -470,6 +567,61 @@ mod tests {
             assert_eq!(a.fold_scores.folds, b.fold_scores.folds);
             assert_eq!(a.status, b.status);
         }
+    }
+
+    #[test]
+    fn fold_budget_claims_never_exceed_spare() {
+        let budget = FoldBudget::new(3);
+        assert_eq!(budget.spare(), 3);
+        assert_eq!(budget.claim(2), 2);
+        assert_eq!(budget.spare(), 1);
+        // Wanting more than remains grants what's left, never blocks.
+        assert_eq!(budget.claim(5), 1);
+        assert_eq!(budget.claim(1), 0);
+        budget.release(2);
+        assert_eq!(budget.claim(9), 2);
+        budget.release(0); // no-op
+        assert_eq!(budget.spare(), 0);
+    }
+
+    /// A shallow batch under a deep pool: idle workers are lent to the
+    /// in-flight trials' folds, and the outcomes and journal must stay
+    /// byte-identical to the fully sequential run — the whole point of the
+    /// ordered fold commit.
+    #[test]
+    fn fold_borrowing_batch_is_identical_to_sequential() {
+        let data = dataset();
+        let collect = |workers: usize, fold_workers: usize| {
+            let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1)
+                .with_fold_workers(fold_workers);
+            let recorder = Recorder::in_memory();
+            let observed = ObservedEvaluator::new(&ev, recorder.clone());
+            // Two jobs, four workers: two workers exit the claim loop
+            // immediately and donate their slots to the running trials.
+            let shallow: Vec<TrialJob> = (0..2u64)
+                .map(|i| TrialJob::new(quick_base(), 100, 1000 + i))
+                .collect();
+            let outcomes = ParallelEvaluator::new(&observed, workers).evaluate_batch(&shallow);
+            let journal = recorder
+                .events()
+                .iter()
+                .map(|r| serde_json::to_string(&r.without_timings()).unwrap())
+                .collect::<Vec<_>>();
+            (outcomes, journal)
+        };
+        let (seq_out, seq_journal) = collect(1, 1);
+        let (par_out, par_journal) = collect(4, 4);
+        assert_eq!(seq_out.len(), par_out.len());
+        for (a, b) in seq_out.iter().zip(&par_out) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.fold_scores.folds, b.fold_scores.folds);
+            assert_eq!(a.cost_units, b.cost_units);
+            assert_eq!(a.status, b.status);
+        }
+        assert_eq!(
+            seq_journal, par_journal,
+            "fold borrowing changed the journal"
+        );
     }
 
     #[test]

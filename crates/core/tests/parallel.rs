@@ -81,11 +81,23 @@ fn run_one(
     warm_start: bool,
     checkpoint: &PathBuf,
 ) -> (RunResult, Vec<String>, RunCheckpoint) {
+    run_one_folded(method, workers, 1, warm_start, checkpoint)
+}
+
+/// [`run_one`] with an explicit per-trial fold-parallelism cap.
+fn run_one_folded(
+    method: &Method,
+    workers: usize,
+    fold_workers: usize,
+    warm_start: bool,
+    checkpoint: &PathBuf,
+) -> (RunResult, Vec<String>, RunCheckpoint) {
     let (train, test, base) = shared();
     let space = SearchSpace::mlp_cv18();
     let recorder = Recorder::in_memory();
     let opts = RunOptions {
         workers,
+        fold_workers,
         warm_start,
         recorder: recorder.clone(),
         checkpoint: Some(checkpoint.clone()),
@@ -209,6 +221,63 @@ fn pasha_is_identical_in_parallel() {
             n_configs: 8,
             ..Default::default()
         }),
+    );
+}
+
+/// Fold-level parallelism end to end: `--fold-workers N` lends idle pool
+/// capacity to in-flight trials' CV folds, and the run — best config, test
+/// score, journal, checkpoint — must be byte-identical to the fully
+/// sequential one, because fold results commit in fold order no matter
+/// which thread computed them. A two-sample random search under a deep
+/// pool maximizes the spare capacity actually borrowed.
+#[test]
+fn fold_parallel_run_is_identical_to_sequential() {
+    let workers = test_workers();
+    let warm = test_warm_start();
+    let method = Method::Random(RandomSearchConfig { n_samples: 2 });
+    let path = std::env::temp_dir().join(format!("bhpo_foldpar_{}.json", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    let (seq_row, seq_journal, seq_cp) = run_one_folded(&method, 1, 1, warm, &path);
+    std::fs::remove_file(&path).ok();
+    let (par_row, par_journal, par_cp) = run_one_folded(&method, workers, workers, warm, &path);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(seq_row.best_config, par_row.best_config);
+    assert_eq!(seq_row.test_score.to_bits(), par_row.test_score.to_bits());
+    assert_eq!(seq_row.search_cost_units, par_row.search_cost_units);
+    assert_eq!(seq_journal, par_journal, "fold-parallel journal diverged");
+    assert_eq!(
+        serde_json::to_string(&seq_cp).unwrap(),
+        serde_json::to_string(&par_cp).unwrap(),
+        "fold-parallel checkpoint diverged"
+    );
+}
+
+/// The same contract through a rung-laddered optimizer with warm starts:
+/// snapshots deposited by fold-parallel trials must reproduce the
+/// sequential run's continuations exactly.
+#[test]
+fn fold_parallel_sha_with_warm_start_is_identical() {
+    let workers = test_workers();
+    let method = Method::Sha(ShaConfig::default());
+    let path = std::env::temp_dir().join(format!("bhpo_foldsha_{}.json", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    let (seq_row, seq_journal, seq_cp) = run_one_folded(&method, 1, 1, true, &path);
+    std::fs::remove_file(&path).ok();
+    let (par_row, par_journal, par_cp) = run_one_folded(&method, workers, workers, true, &path);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(seq_row.best_config, par_row.best_config);
+    assert_eq!(seq_row.test_score.to_bits(), par_row.test_score.to_bits());
+    assert_eq!(seq_row.n_continued, par_row.n_continued);
+    assert_eq!(
+        seq_journal, par_journal,
+        "warm fold-parallel journal diverged"
+    );
+    assert_eq!(
+        serde_json::to_string(&seq_cp).unwrap(),
+        serde_json::to_string(&par_cp).unwrap(),
+        "warm fold-parallel checkpoint diverged"
     );
 }
 

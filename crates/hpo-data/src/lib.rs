@@ -15,6 +15,9 @@
 //!   place of the synthetic catalog.
 //! * [`labels`] — class bookkeeping: counting, rare-class merging and
 //!   regression-label binning (paper §III-A).
+//! * [`simd`] — explicit 4-lane `f64` kernels (axpy, packed dot panels,
+//!   fixed-lane reductions) behind a runtime-dispatched `simd` feature; the
+//!   numerics contract is documented in `DESIGN.md` §5.12.
 
 #![warn(missing_docs)]
 
@@ -25,6 +28,7 @@ pub mod labels;
 pub mod matrix;
 pub mod rng;
 pub mod scale;
+pub mod simd;
 pub mod split;
 pub mod stats;
 pub mod synth;

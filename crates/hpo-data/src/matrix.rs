@@ -3,11 +3,14 @@
 //! The whole workspace (datasets, MLP activations, gradients, k-means
 //! centroids) is built on this one type. It is deliberately minimal: a flat
 //! `Vec<f64>` plus shape, with the handful of BLAS-1/2/3-style kernels the
-//! models need. Hot loops are written over contiguous row slices so the
-//! compiler can vectorize them (see the Rust Performance Book's guidance on
-//! bounds-check elision via slice iteration).
+//! models need. Hot loops delegate to the explicit 4-lane kernels in
+//! [`crate::simd`]; the naive reference implementations are kept as
+//! correctness oracles and scalar benchmark baselines. The numerics contract
+//! (which kernels are 0-ULP against their references and which are
+//! ULP-bounded) is documented in `DESIGN.md` §5.12.
 
 use crate::error::DataError;
+use crate::simd;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -176,9 +179,18 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         // Small products (the common MLP-layer case) are dominated by the
-        // panel allocation; the naive loop is bit-identical, so use it.
+        // panel allocation; run the same i-k-j order as the naive reference
+        // with the vectorized inner axpy — bit-identical, no panel.
         if self.rows * self.cols * other.cols <= 16_384 {
-            return self.matmul_naive(other);
+            let mut out = Matrix::zeros(self.rows, other.cols);
+            for i in 0..self.rows {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (k, &a_ik) in a_row.iter().enumerate() {
+                    simd::axpy(out_row, a_ik, other.row(k));
+                }
+            }
+            return out;
         }
         const KB: usize = 64; // k-panel height (rows of `other` per block)
         const JB: usize = 128; // j-panel width (columns of `other` per block)
@@ -199,10 +211,7 @@ impl Matrix {
                     let a_blk = &self.data[i * self.cols + kb..i * self.cols + kb + kw];
                     let out_row = &mut out.data[i * n + jb..i * n + jb + jw];
                     for (kk, &a_ik) in a_blk.iter().enumerate() {
-                        let p_row = &panel[kk * jw..kk * jw + jw];
-                        for (o, &b) in out_row.iter_mut().zip(p_row) {
-                            *o += a_ik * b;
-                        }
+                        simd::axpy(out_row, a_ik, &panel[kk * jw..kk * jw + jw]);
                     }
                 }
                 kb += kw;
@@ -270,18 +279,9 @@ impl Matrix {
                 other.row(r + 3),
             );
             for i in 0..self.cols {
-                let (x0, x1, x2, x3) = (a0[i], a1[i], a2[i], a3[i]);
+                let x = [a0[i], a1[i], a2[i], a3[i]];
                 let out_row = &mut out.data[i * n..(i + 1) * n];
-                for ((((o, &y0), &y1), &y2), &y3) in
-                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-                {
-                    let mut acc = *o;
-                    acc += x0 * y0;
-                    acc += x1 * y1;
-                    acc += x2 * y2;
-                    acc += x3 * y3;
-                    *o = acc;
-                }
+                simd::quad_axpy(out_row, x, b0, b1, b2, b3);
             }
             r += 4;
         }
@@ -290,9 +290,7 @@ impl Matrix {
             let b_row = other.row(r);
             for (i, &a) in a_row.iter().enumerate() {
                 let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                simd::axpy(out_row, a, b_row);
             }
             r += 1;
         }
@@ -323,11 +321,12 @@ impl Matrix {
 
     /// Matrix product `self * other^T` without materializing the transpose.
     ///
-    /// Register-tiled over four rows of `other`: one pass over `self`'s row
-    /// feeds four independent dot-product accumulators, so the row is read
-    /// once per four outputs instead of once per output. Each accumulator
-    /// sums its `k` terms sequentially, exactly like the naive dot loop, so
-    /// results are bit-identical.
+    /// Four rows of `other` at a time are packed into a k-major panel
+    /// (`packed[4k + l]` = element `k` of row `j + l`), amortized across all
+    /// rows of `self`; [`simd::dot4_packed`] then produces four outputs per
+    /// pass over `self`'s row from contiguous loads. Each output's lane
+    /// accumulates its `k` terms sequentially in ascending order, exactly
+    /// like the naive dot loop, so results are bit-identical.
     ///
     /// # Panics
     /// Panics if `self.cols != other.cols`.
@@ -338,40 +337,41 @@ impl Matrix {
             self.cols, other.cols
         );
         let n = other.rows;
+        let k = self.cols;
         let mut out = Matrix::zeros(self.rows, n);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            let mut j = 0;
-            while j + 4 <= n {
-                let (b0, b1, b2, b3) = (
-                    other.row(j),
-                    other.row(j + 1),
-                    other.row(j + 2),
-                    other.row(j + 3),
-                );
-                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-                for ((((&a, &y0), &y1), &y2), &y3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
-                    s0 += a * y0;
-                    s1 += a * y1;
-                    s2 += a * y2;
-                    s3 += a * y3;
-                }
-                out_row[j] = s0;
-                out_row[j + 1] = s1;
-                out_row[j + 2] = s2;
-                out_row[j + 3] = s3;
-                j += 4;
+        let mut packed = vec![0.0; 4 * k];
+        let mut j = 0;
+        while j + 4 <= n {
+            let (b0, b1, b2, b3) = (
+                other.row(j),
+                other.row(j + 1),
+                other.row(j + 2),
+                other.row(j + 3),
+            );
+            for i in 0..k {
+                packed[4 * i] = b0[i];
+                packed[4 * i + 1] = b1[i];
+                packed[4 * i + 2] = b2[i];
+                packed[4 * i + 3] = b3[i];
             }
-            while j < n {
-                let b_row = other.row(j);
+            for i in 0..self.rows {
+                let quad = simd::dot4_packed(self.row(i), &packed);
+                out.data[i * n + j..i * n + j + 4].copy_from_slice(&quad);
+            }
+            j += 4;
+        }
+        while j < n {
+            let b_row = other.row(j);
+            for i in 0..self.rows {
+                // Sequential scalar dot: keeps the remainder columns 0-ULP
+                // against the naive reference (`simd::dot` would reassociate).
                 let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
+                for (&a, &b) in self.row(i).iter().zip(b_row) {
                     acc += a * b;
                 }
-                out_row[j] = acc;
-                j += 1;
+                out.data[i * n + j] = acc;
             }
+            j += 1;
         }
         out
     }
@@ -430,9 +430,7 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        simd::axpy(&mut self.data, alpha, &other.data);
     }
 
     /// Element-wise (Hadamard) product in place.
@@ -441,16 +439,12 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn hadamard_inplace(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a *= b;
-        }
+        simd::mul_assign(&mut self.data, &other.data);
     }
 
     /// Multiplies every element by `alpha`.
     pub fn scale_inplace(&mut self, alpha: f64) {
-        for v in &mut self.data {
-            *v *= alpha;
-        }
+        simd::scale(&mut self.data, alpha);
     }
 
     /// Adds `row` (a 1 x cols vector) to every row of the matrix.
@@ -460,19 +454,18 @@ impl Matrix {
     pub fn add_row_vector(&mut self, row: &[f64]) {
         assert_eq!(row.len(), self.cols, "row vector length mismatch");
         for r in 0..self.rows {
-            for (v, &b) in self.row_mut(r).iter_mut().zip(row) {
-                *v += b;
-            }
+            simd::add_assign(self.row_mut(r), row);
         }
     }
 
     /// Sums each column into a vector of length `cols`.
+    ///
+    /// Each column accumulates its rows in ascending order (vectorized across
+    /// columns), so results match the scalar row-by-row loop bit for bit.
     pub fn col_sums(&self) -> Vec<f64> {
         let mut sums = vec![0.0; self.cols];
         for row in self.iter_rows() {
-            for (s, &v) in sums.iter_mut().zip(row) {
-                *s += v;
-            }
+            simd::add_assign(&mut sums, row);
         }
         sums
     }
@@ -488,31 +481,31 @@ impl Matrix {
     }
 
     /// Sum of squared elements (squared Frobenius norm).
+    ///
+    /// Uses [`simd::sum_sq`]'s fixed 4-lane accumulator split: ULP-bounded —
+    /// not bit-equal — against a sequential sum, but independent of the
+    /// `simd` feature flag (DESIGN.md §5.12).
     pub fn frob_sq(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum()
+        simd::sum_sq(&self.data)
     }
 
     /// Squared Euclidean distance between two equal-length slices.
     ///
     /// Exposed here because k-means and the fold samplers both need it on raw
-    /// rows.
+    /// rows. Fixed 4-lane reduction: see [`Matrix::frob_sq`] on numerics.
     #[inline]
     pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        a.iter()
-            .zip(b)
-            .map(|(&x, &y)| {
-                let d = x - y;
-                d * d
-            })
-            .sum()
+        simd::dist_sq(a, b)
     }
 
     /// Dot product of two equal-length slices.
+    ///
+    /// Fixed 4-lane reduction: see [`Matrix::frob_sq`] on numerics.
     #[inline]
     pub fn dot(a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+        simd::dot(a, b)
     }
 
     /// Builds a new matrix containing the given columns, in order.
@@ -664,6 +657,14 @@ mod tests {
         // enough (37*70*131 elements of work) to take the blocked path.
         let a = lcg_matrix(37, 70, 7);
         let b = lcg_matrix(70, 131, 11);
+        assert_eq!(a.matmul(&b), a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn small_matmul_is_bit_identical_to_naive() {
+        // Below the blocked-path cutoff: exercises the vectorized i-k-j loop.
+        let a = lcg_matrix(9, 14, 3);
+        let b = lcg_matrix(14, 11, 5);
         assert_eq!(a.matmul(&b), a.matmul_naive(&b));
     }
 

@@ -1,0 +1,461 @@
+//! Explicit 4-lane `f64` SIMD kernels for the training hot path.
+//!
+//! Everything here is built on [`F64x4`], a `[f64; 4]` wrapper whose
+//! lane-wise operations compile to vector instructions. The same kernel
+//! bodies are compiled twice by [`simd_kernel!`]:
+//!
+//! * a **portable** build at the crate's baseline target features (SSE2 on
+//!   x86_64), always present;
+//! * with the `simd` cargo feature, an additional copy compiled under
+//!   `#[target_feature(enable = "avx2")]` and selected at runtime via
+//!   `is_x86_feature_detected!`, which lets LLVM widen the explicit 4-lane
+//!   structure to 256-bit `vmulpd`/`vaddpd`.
+//!
+//! **Numerics policy** (DESIGN.md §5.12): both builds execute the *same*
+//! per-element IEEE-754 operations in the *same* order — fused
+//! multiply-add is never emitted (Rust does not contract `a * b + c`, and
+//! the `fma` target feature is never enabled) — so results are
+//! bit-identical with the `simd` feature on or off, on every machine.
+//! Element-wise kernels ([`axpy`], [`scale`], [`mul_assign`],
+//! [`add_assign`], [`quad_axpy`], [`dot4_packed`]) additionally preserve
+//! the accumulation order of the scalar reference loops, so they are 0-ULP
+//! against them. The reductions ([`dot`], [`dist_sq`], [`sum_sq`]) use a
+//! *fixed* 4-lane accumulator split regardless of feature flags; they are
+//! ULP-bounded — not bit-equal — against a sequential sum (see
+//! [`ulp_distance`] and the property tests in `tests/matrix_props.rs`).
+
+/// Lane count of [`F64x4`] (and the split factor of the reductions).
+pub const LANES: usize = 4;
+
+/// Four `f64` lanes operated on element-wise.
+///
+/// Plain `[f64; 4]` arithmetic like this is the vectorization-friendly
+/// shape LLVM reliably lowers to SIMD registers; the wrapper exists so hot
+/// loops state their lane structure explicitly instead of hoping the
+/// auto-vectorizer finds it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(transparent)]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// All four lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> F64x4 {
+        F64x4([v; 4])
+    }
+
+    /// Loads the first four elements of `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` has fewer than four elements.
+    #[inline(always)]
+    pub fn load(s: &[f64]) -> F64x4 {
+        F64x4([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Stores the lanes into the first four elements of `d`.
+    ///
+    /// # Panics
+    /// Panics if `d` has fewer than four elements.
+    #[inline(always)]
+    pub fn store(self, d: &mut [f64]) {
+        d[..4].copy_from_slice(&self.0);
+    }
+
+    /// Lane-wise addition.
+    #[inline(always)]
+    pub fn add(self, rhs: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+        ])
+    }
+
+    /// Lane-wise subtraction.
+    #[inline(always)]
+    pub fn sub(self, rhs: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] - rhs.0[0],
+            self.0[1] - rhs.0[1],
+            self.0[2] - rhs.0[2],
+            self.0[3] - rhs.0[3],
+        ])
+    }
+
+    /// Lane-wise multiplication.
+    #[inline(always)]
+    pub fn mul(self, rhs: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] * rhs.0[0],
+            self.0[1] * rhs.0[1],
+            self.0[2] * rhs.0[2],
+            self.0[3] * rhs.0[3],
+        ])
+    }
+
+    /// Lane-wise division (IEEE-exact, like the scalar `/`).
+    #[inline(always)]
+    pub fn div(self, rhs: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] / rhs.0[0],
+            self.0[1] / rhs.0[1],
+            self.0[2] / rhs.0[2],
+            self.0[3] / rhs.0[3],
+        ])
+    }
+
+    /// Lane-wise square root (IEEE-exact, like the scalar `sqrt`).
+    #[inline(always)]
+    pub fn sqrt(self) -> F64x4 {
+        F64x4([
+            self.0[0].sqrt(),
+            self.0[1].sqrt(),
+            self.0[2].sqrt(),
+            self.0[3].sqrt(),
+        ])
+    }
+
+    /// Horizontal sum in the *fixed* pairwise order `(l0 + l1) + (l2 + l3)`.
+    ///
+    /// The order is part of the numerics contract: every reduction kernel
+    /// collapses its lanes this way, in both the portable and the
+    /// feature-gated build, so results never depend on compile flags.
+    #[inline(always)]
+    pub fn hsum_ordered(self) -> f64 {
+        (self.0[0] + self.0[1]) + (self.0[2] + self.0[3])
+    }
+}
+
+/// Defines a slice kernel compiled both at baseline target features and —
+/// with the `simd` cargo feature, on x86_64 — under
+/// `#[target_feature(enable = "avx2")]` with runtime dispatch.
+///
+/// The two copies share one body, so they perform identical IEEE-754
+/// operations and produce bit-identical results; the feature only changes
+/// which instructions carry them out. Usable from dependent crates that
+/// declare their own `simd` feature (the `cfg` resolves against the
+/// *expanding* crate's features).
+#[macro_export]
+macro_rules! simd_kernel {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident : $ty:ty),* $(,)?) $(-> $ret:ty)? $body:block) => {
+        $(#[$meta])*
+        #[inline]
+        $vis fn $name($($arg: $ty),*) $(-> $ret)? {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            {
+                #[target_feature(enable = "avx2")]
+                unsafe fn avx2($($arg: $ty),*) $(-> $ret)? $body
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: AVX2 support was verified by the runtime
+                    // detection on the line above.
+                    return unsafe { avx2($($arg),*) };
+                }
+            }
+            #[inline(always)]
+            fn portable($($arg: $ty),*) $(-> $ret)? $body
+            portable($($arg),*)
+        }
+    };
+}
+
+simd_kernel! {
+    /// `dst[i] += alpha * src[i]`, order-preserving per element (0-ULP
+    /// against the scalar loop).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) on length mismatch; the shorter length wins
+    /// in release builds.
+    pub fn axpy(dst: &mut [f64], alpha: f64, src: &[f64]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let a = F64x4::splat(alpha);
+        let mut dc = dst.chunks_exact_mut(LANES);
+        let mut sc = src.chunks_exact(LANES);
+        for (d4, s4) in (&mut dc).zip(&mut sc) {
+            F64x4::load(d4).add(a.mul(F64x4::load(s4))).store(d4);
+        }
+        for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+            *d += alpha * s;
+        }
+    }
+}
+
+simd_kernel! {
+    /// `dst[i] += src[i]`, order-preserving per element.
+    pub fn add_assign(dst: &mut [f64], src: &[f64]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let mut dc = dst.chunks_exact_mut(LANES);
+        let mut sc = src.chunks_exact(LANES);
+        for (d4, s4) in (&mut dc).zip(&mut sc) {
+            F64x4::load(d4).add(F64x4::load(s4)).store(d4);
+        }
+        for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+            *d += s;
+        }
+    }
+}
+
+simd_kernel! {
+    /// `dst[i] *= src[i]` (Hadamard), order-preserving per element.
+    pub fn mul_assign(dst: &mut [f64], src: &[f64]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let mut dc = dst.chunks_exact_mut(LANES);
+        let mut sc = src.chunks_exact(LANES);
+        for (d4, s4) in (&mut dc).zip(&mut sc) {
+            F64x4::load(d4).mul(F64x4::load(s4)).store(d4);
+        }
+        for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+            *d *= s;
+        }
+    }
+}
+
+simd_kernel! {
+    /// `dst[i] *= alpha`, order-preserving per element.
+    pub fn scale(dst: &mut [f64], alpha: f64) {
+        let a = F64x4::splat(alpha);
+        let mut dc = dst.chunks_exact_mut(LANES);
+        for d4 in &mut dc {
+            F64x4::load(d4).mul(a).store(d4);
+        }
+        for d in dc.into_remainder() {
+            *d *= alpha;
+        }
+    }
+}
+
+simd_kernel! {
+    /// `dst[i] = (((dst[i] + x[0]*s0[i]) + x[1]*s1[i]) + x[2]*s2[i]) + x[3]*s3[i]`.
+    ///
+    /// Four ordered rank-1 updates in one pass — the inner kernel of
+    /// `t_matmul`'s register tile. The per-element addition order matches
+    /// four successive scalar axpys, so the caller stays 0-ULP against its
+    /// naive reference.
+    pub fn quad_axpy(dst: &mut [f64], x: [f64; 4], s0: &[f64], s1: &[f64], s2: &[f64], s3: &[f64]) {
+        debug_assert!(s0.len() >= dst.len() && s1.len() >= dst.len());
+        debug_assert!(s2.len() >= dst.len() && s3.len() >= dst.len());
+        let (x0, x1, x2, x3) = (
+            F64x4::splat(x[0]),
+            F64x4::splat(x[1]),
+            F64x4::splat(x[2]),
+            F64x4::splat(x[3]),
+        );
+        let mut dc = dst.chunks_exact_mut(LANES);
+        let mut i = 0;
+        for d4 in &mut dc {
+            let mut acc = F64x4::load(d4);
+            acc = acc.add(x0.mul(F64x4::load(&s0[i..])));
+            acc = acc.add(x1.mul(F64x4::load(&s1[i..])));
+            acc = acc.add(x2.mul(F64x4::load(&s2[i..])));
+            acc = acc.add(x3.mul(F64x4::load(&s3[i..])));
+            acc.store(d4);
+            i += LANES;
+        }
+        for (j, d) in dc.into_remainder().iter_mut().enumerate() {
+            let k = i + j;
+            let mut acc = *d;
+            acc += x[0] * s0[k];
+            acc += x[1] * s1[k];
+            acc += x[2] * s2[k];
+            acc += x[3] * s3[k];
+            *d = acc;
+        }
+    }
+}
+
+simd_kernel! {
+    /// Four simultaneous dot products of `a` against a k-major packed panel
+    /// (`packed[4*k + l]` is element `k` of operand `l`).
+    ///
+    /// Lane `l` accumulates its terms one at a time in ascending `k`,
+    /// exactly like a scalar dot loop, so each output is 0-ULP against the
+    /// naive dot of the corresponding operand — this is `matmul_t`'s inner
+    /// kernel.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) unless `packed.len() == 4 * a.len()`.
+    pub fn dot4_packed(a: &[f64], packed: &[f64]) -> [f64; 4] {
+        debug_assert_eq!(packed.len(), 4 * a.len());
+        let mut acc = F64x4::splat(0.0);
+        for (k, &ak) in a.iter().enumerate() {
+            acc = acc.add(F64x4::splat(ak).mul(F64x4::load(&packed[4 * k..])));
+        }
+        acc.0
+    }
+}
+
+simd_kernel! {
+    /// Dot product with a fixed 4-lane accumulator split.
+    ///
+    /// Lane `l` sums terms `l, l+4, l+8, ...`; lanes collapse via
+    /// [`F64x4::hsum_ordered`] and the tail is added sequentially. The
+    /// split is unconditional (identical with `simd` on or off) but
+    /// reassociates the sum, so this is ULP-bounded — not bit-equal —
+    /// against a sequential reduction.
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = F64x4::splat(0.0);
+        let mut ac = a.chunks_exact(LANES);
+        let mut bc = b.chunks_exact(LANES);
+        for (a4, b4) in (&mut ac).zip(&mut bc) {
+            acc = acc.add(F64x4::load(a4).mul(F64x4::load(b4)));
+        }
+        let mut total = acc.hsum_ordered();
+        for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+            total += x * y;
+        }
+        total
+    }
+}
+
+simd_kernel! {
+    /// Squared Euclidean distance `Σ (a[i] − b[i])²` with the same fixed
+    /// 4-lane split as [`dot`] (ULP-bounded against a sequential sum; the
+    /// terms are non-negative, so the bound is tight — no cancellation).
+    pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = F64x4::splat(0.0);
+        let mut ac = a.chunks_exact(LANES);
+        let mut bc = b.chunks_exact(LANES);
+        for (a4, b4) in (&mut ac).zip(&mut bc) {
+            let d = F64x4::load(a4).sub(F64x4::load(b4));
+            acc = acc.add(d.mul(d));
+        }
+        let mut total = acc.hsum_ordered();
+        for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+            let d = x - y;
+            total += d * d;
+        }
+        total
+    }
+}
+
+simd_kernel! {
+    /// Sum of squares `Σ a[i]²` with the same fixed 4-lane split as
+    /// [`dot`] (ULP-bounded against a sequential sum).
+    pub fn sum_sq(a: &[f64]) -> f64 {
+        let mut acc = F64x4::splat(0.0);
+        let mut ac = a.chunks_exact(LANES);
+        for a4 in &mut ac {
+            let v = F64x4::load(a4);
+            acc = acc.add(v.mul(v));
+        }
+        let mut total = acc.hsum_ordered();
+        for &x in ac.remainder() {
+            total += x * x;
+        }
+        total
+    }
+}
+
+/// Distance between two floats in units in the last place: how many
+/// representable `f64` values lie between them (0 for bit-equal values,
+/// with `-0.0 == 0.0`). Non-finite inputs return `u64::MAX` unless equal.
+///
+/// This is the shared assertion helper behind the kernel numerics policy:
+/// order-preserving kernels assert `ulp_distance == 0` against their naive
+/// references, lane-split reductions assert the documented bound.
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return u64::MAX;
+    }
+    // Map to a monotone integer line: non-negative floats keep their bit
+    // pattern, negative floats mirror below it.
+    fn ordered(x: f64) -> i128 {
+        let b = x.to_bits() as i64;
+        (if b < 0 { i64::MIN.wrapping_sub(b) } else { b }) as i128
+    }
+    u64::try_from((ordered(a) - ordered(b)).unsigned_abs()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(
+            ulp_distance(-1.0, f64::from_bits(1.0f64.to_bits() + 1) * -1.0),
+            1
+        );
+        // Adjacent across the sign boundary: -min_subnormal .. +min_subnormal.
+        assert_eq!(ulp_distance(f64::from_bits(1), -f64::from_bits(1)), 2);
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance(f64::INFINITY, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn axpy_matches_scalar_exactly() {
+        let src: Vec<f64> = (0..13).map(|i| (i as f64) * 0.37 - 2.0).collect();
+        let mut dst: Vec<f64> = (0..13).map(|i| (i as f64) * -0.11 + 1.0).collect();
+        let mut expect = dst.clone();
+        for (d, &s) in expect.iter_mut().zip(&src) {
+            *d += 1.7 * s;
+        }
+        axpy(&mut dst, 1.7, &src);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn quad_axpy_matches_four_ordered_axpys() {
+        let n = 11;
+        let rows: Vec<Vec<f64>> = (0..4)
+            .map(|r| (0..n).map(|i| ((r * n + i) as f64).sin()).collect())
+            .collect();
+        let x = [0.3, -1.1, 2.0, 0.7];
+        let mut dst: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut expect = dst.clone();
+        for (i, e) in expect.iter_mut().enumerate() {
+            let mut acc = *e;
+            acc += x[0] * rows[0][i];
+            acc += x[1] * rows[1][i];
+            acc += x[2] * rows[2][i];
+            acc += x[3] * rows[3][i];
+            *e = acc;
+        }
+        quad_axpy(&mut dst, x, &rows[0], &rows[1], &rows[2], &rows[3]);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn dot4_packed_matches_naive_dots() {
+        let k = 9;
+        let a: Vec<f64> = (0..k).map(|i| (i as f64) * 0.31 - 1.0).collect();
+        let rows: Vec<Vec<f64>> = (0..4)
+            .map(|r| (0..k).map(|i| ((r + 2) as f64) / (i + 1) as f64).collect())
+            .collect();
+        let mut packed = vec![0.0; 4 * k];
+        for i in 0..k {
+            for (l, row) in rows.iter().enumerate() {
+                packed[4 * i + l] = row[i];
+            }
+        }
+        let got = dot4_packed(&a, &packed);
+        for l in 0..4 {
+            let mut want = 0.0;
+            for i in 0..k {
+                want += a[i] * rows[l][i];
+            }
+            assert_eq!(got[l].to_bits(), want.to_bits(), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn reductions_are_close_to_sequential() {
+        let a: Vec<f64> = (0..103).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..103).map(|i| ((i as f64) * 0.3).cos()).collect();
+        let seq_dot: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        let seq_sq: f64 = a.iter().map(|&x| x * x).sum();
+        assert!((dot(&a, &b) - seq_dot).abs() <= 1e-12 * (1.0 + seq_dot.abs()) * a.len() as f64);
+        assert!(ulp_distance(sum_sq(&a), seq_sq) <= a.len() as u64);
+        let seq_dist: f64 = a.iter().zip(&b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+        assert!(ulp_distance(dist_sq(&a, &b), seq_dist) <= a.len() as u64);
+    }
+}

@@ -1,6 +1,10 @@
-//! Property tests for the matrix kernels.
+//! Property tests for the matrix kernels, pinning the numerics policy of
+//! DESIGN.md §5.12: order-preserving kernels assert **0 ULP** against their
+//! naive references via [`ulp_distance`]; the fixed-lane reductions assert
+//! their documented reassociation bounds.
 
 use hpo_data::matrix::Matrix;
+use hpo_data::simd::ulp_distance;
 use proptest::prelude::*;
 
 /// Strategy: a matrix of the given shape with values in [-10, 10].
@@ -15,6 +19,17 @@ fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
             .iter()
             .zip(b.as_slice())
             .all(|(&x, &y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+/// Largest per-element ULP distance between two equal-shaped matrices.
+fn max_ulp(a: &Matrix, b: &Matrix) -> u64 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| ulp_distance(x, y))
+        .max()
+        .unwrap_or(0)
 }
 
 proptest! {
@@ -91,7 +106,7 @@ proptest! {
         ))
     ) {
         let (a, b) = ab;
-        prop_assert_eq!(a.matmul(&b), a.matmul_naive(&b));
+        prop_assert_eq!(max_ulp(&a.matmul(&b), &a.matmul_naive(&b)), 0);
     }
 
     /// The register-tiled `t_matmul` applies its four outer-product updates
@@ -106,11 +121,12 @@ proptest! {
         ))
     ) {
         let (a, b) = ab;
-        prop_assert_eq!(a.t_matmul(&b), a.t_matmul_naive(&b));
+        prop_assert_eq!(max_ulp(&a.t_matmul(&b), &a.t_matmul_naive(&b)), 0);
     }
 
-    /// The register-tiled `matmul_t` keeps one sequential accumulator per
-    /// output element, so it is bit-identical to the reference.
+    /// The packed-panel `matmul_t` keeps one sequential accumulator per
+    /// output element (lane `l` of `dot4_packed` walks `k` in ascending
+    /// order), so it is bit-identical to the reference.
     #[test]
     fn tiled_matmul_t_matches_naive_exactly(
         ab in (1usize..24, 1usize..32, 1usize..40).prop_flat_map(|(m, k, n)| (
@@ -121,17 +137,40 @@ proptest! {
         ))
     ) {
         let (a, b) = ab;
-        prop_assert_eq!(a.matmul_t(&b), a.matmul_t_naive(&b));
+        prop_assert_eq!(max_ulp(&a.matmul_t(&b), &a.matmul_t_naive(&b)), 0);
     }
 
-    /// dist_sq is symmetric, non-negative, and zero on identical rows.
+    /// dist_sq is symmetric (bit-exactly: `(x−y)²` and `(y−x)²` are equal and
+    /// land in the same lanes), non-negative, and zero on identical rows.
     #[test]
     fn dist_sq_metric_properties(m in matrix(2, 5)) {
         let (a, b) = (m.row(0), m.row(1));
         let d_ab = Matrix::dist_sq(a, b);
         let d_ba = Matrix::dist_sq(b, a);
-        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert_eq!(ulp_distance(d_ab, d_ba), 0);
         prop_assert!(d_ab >= 0.0);
         prop_assert_eq!(Matrix::dist_sq(a, a), 0.0);
+    }
+
+    /// The fixed 4-lane reductions reassociate their sums, so they are *not*
+    /// bit-equal to a sequential fold — but the error must stay within the
+    /// documented bounds: for the non-negative sums (`frob_sq`, `dist_sq`)
+    /// an n-ULP bound, and for `dot` (whose terms can cancel) an absolute
+    /// bound of `n·ε·Σ|aᵢbᵢ|` (DESIGN.md §5.12).
+    #[test]
+    fn reductions_within_documented_bounds(m in matrix(2, 131)) {
+        let (a, b) = (m.row(0), m.row(1));
+        let n = a.len() as f64;
+
+        let row = Matrix::from_vec(1, a.len(), a.to_vec()).expect("shape matches");
+        let seq_sq: f64 = a.iter().map(|&x| x * x).sum();
+        prop_assert!(ulp_distance(row.frob_sq(), seq_sq) <= a.len() as u64);
+
+        let seq_dist: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+        prop_assert!(ulp_distance(Matrix::dist_sq(a, b), seq_dist) <= a.len() as u64);
+
+        let seq_dot: f64 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+        let magnitude: f64 = a.iter().zip(b).map(|(&x, &y)| (x * y).abs()).sum();
+        prop_assert!((Matrix::dot(a, b) - seq_dot).abs() <= n * f64::EPSILON * magnitude);
     }
 }

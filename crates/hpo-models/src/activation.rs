@@ -1,6 +1,67 @@
 //! Hidden-layer activation functions (paper Table III: logistic/tanh/relu).
+//!
+//! Besides the per-value [`Activation::apply`]/[`Activation::derivative_from_output`],
+//! this module provides the slice kernels the MLP hot loops actually call:
+//! [`Activation::apply_slice`] and [`Activation::derivative_mul_slice`]. Both
+//! are elementwise and order-preserving, so they are bit-identical to the
+//! scalar loops with the `simd` feature on or off (DESIGN.md §5.12).
 
+use hpo_data::simd::{F64x4, LANES};
+use hpo_data::simd_kernel;
 use serde::{Deserialize, Serialize};
+
+simd_kernel! {
+    /// `x = max(x, 0)` over a slice (relu forward).
+    fn relu_slice(xs: &mut [f64]) {
+        for v in xs {
+            *v = v.max(0.0);
+        }
+    }
+}
+
+simd_kernel! {
+    /// `d *= a * (1 - a)` elementwise (logistic backprop).
+    fn logistic_derivative_mul(deltas: &mut [f64], outputs: &[f64]) {
+        let one = F64x4::splat(1.0);
+        let mut dc = deltas.chunks_exact_mut(LANES);
+        let mut ac = outputs.chunks_exact(LANES);
+        for (d4, a4) in (&mut dc).zip(&mut ac) {
+            let a = F64x4::load(a4);
+            F64x4::load(d4).mul(a.mul(one.sub(a))).store(d4);
+        }
+        for (d, &a) in dc.into_remainder().iter_mut().zip(ac.remainder()) {
+            *d *= a * (1.0 - a);
+        }
+    }
+}
+
+simd_kernel! {
+    /// `d *= 1 - a²` elementwise (tanh backprop).
+    fn tanh_derivative_mul(deltas: &mut [f64], outputs: &[f64]) {
+        let one = F64x4::splat(1.0);
+        let mut dc = deltas.chunks_exact_mut(LANES);
+        let mut ac = outputs.chunks_exact(LANES);
+        for (d4, a4) in (&mut dc).zip(&mut ac) {
+            let a = F64x4::load(a4);
+            F64x4::load(d4).mul(one.sub(a.mul(a))).store(d4);
+        }
+        for (d, &a) in dc.into_remainder().iter_mut().zip(ac.remainder()) {
+            *d *= 1.0 - a * a;
+        }
+    }
+}
+
+simd_kernel! {
+    /// `d *= (a > 0) as f64` elementwise (relu backprop).
+    ///
+    /// Kept as a multiply by 1.0/0.0 — not a select — so non-finite deltas
+    /// propagate exactly like the scalar derivative loop.
+    fn relu_derivative_mul(deltas: &mut [f64], outputs: &[f64]) {
+        for (d, &a) in deltas.iter_mut().zip(outputs) {
+            *d *= if a > 0.0 { 1.0 } else { 0.0 };
+        }
+    }
+}
 
 /// Hidden-layer activation function.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -46,6 +107,50 @@ impl Activation {
                 }
             }
             Activation::Identity => 1.0,
+        }
+    }
+
+    /// Applies the activation to every element of `xs` in place.
+    ///
+    /// Bit-identical to calling [`Activation::apply`] per element: relu (and
+    /// identity) vectorize, logistic/tanh stay scalar because their libm
+    /// calls dominate anyway.
+    pub fn apply_slice(&self, xs: &mut [f64]) {
+        match self {
+            Activation::Logistic => {
+                for v in xs {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+            }
+            Activation::Tanh => {
+                for v in xs {
+                    *v = v.tanh();
+                }
+            }
+            Activation::Relu => relu_slice(xs),
+            Activation::Identity => {}
+        }
+    }
+
+    /// Fused backprop inner loop:
+    /// `deltas[i] *= derivative_from_output(outputs[i])`.
+    ///
+    /// Elementwise and order-preserving — bit-identical to the scalar loop
+    /// over [`Activation::derivative_from_output`] with `simd` on or off.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn derivative_mul_slice(&self, deltas: &mut [f64], outputs: &[f64]) {
+        assert_eq!(
+            deltas.len(),
+            outputs.len(),
+            "derivative_mul_slice length mismatch"
+        );
+        match self {
+            Activation::Logistic => logistic_derivative_mul(deltas, outputs),
+            Activation::Tanh => tanh_derivative_mul(deltas, outputs),
+            Activation::Relu => relu_derivative_mul(deltas, outputs),
+            Activation::Identity => {}
         }
     }
 
@@ -103,6 +208,34 @@ mod tests {
                     (fd - an).abs() < 1e-5,
                     "{act:?} derivative mismatch at {x}: fd={fd} an={an}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_kernels_match_scalar_bit_for_bit() {
+        // 13 elements: exercises both the 4-lane chunks and the tail, with a
+        // sign mix so relu takes both branches.
+        let xs: Vec<f64> = (0..13).map(|i| (i as f64 - 6.0) * 0.7).collect();
+        let ds: Vec<f64> = (0..13).map(|i| (i as f64) * 0.3 - 1.9).collect();
+        for act in [
+            Activation::Logistic,
+            Activation::Tanh,
+            Activation::Relu,
+            Activation::Identity,
+        ] {
+            let mut got = xs.clone();
+            act.apply_slice(&mut got);
+            for (g, &x) in got.iter().zip(&xs) {
+                assert_eq!(g.to_bits(), act.apply(x).to_bits(), "{act:?} apply");
+            }
+            // `got` now holds activated values, the right input for the
+            // derivative kernel.
+            let mut d = ds.clone();
+            act.derivative_mul_slice(&mut d, &got);
+            for ((dv, &d0), &a) in d.iter().zip(&ds).zip(&got) {
+                let want = d0 * act.derivative_from_output(a);
+                assert_eq!(dv.to_bits(), want.to_bits(), "{act:?} derivative");
             }
         }
     }

@@ -3,8 +3,40 @@
 //!
 //! Both pairs share the convenient property that the output-layer error term
 //! is simply `prediction − target`, which `mlp::Network::backward` relies on.
+//!
+//! The loss sums use the fixed 4-lane accumulator split from
+//! [`hpo_data::simd`] *unconditionally* (with `simd` on or off), so training
+//! trajectories never depend on the feature flag; they are ULP-bounded — not
+//! bit-equal — against the sequential [`OutputLoss::loss_reference`]
+//! (DESIGN.md §5.12).
 
 use hpo_data::matrix::Matrix;
+use hpo_data::simd::{self, F64x4, LANES};
+use hpo_data::simd_kernel;
+
+simd_kernel! {
+    /// `Σ t·ln(max(p, 1e-12))` over flat slices, restricted to `t > 0`, with
+    /// the fixed 4-lane accumulator split (`ln` stays scalar; only the
+    /// accumulation is laned).
+    fn cross_entropy_sum(p: &[f64], t: &[f64]) -> f64 {
+        let mut acc = [0.0f64; 4];
+        let mut pc = p.chunks_exact(LANES);
+        let mut tc = t.chunks_exact(LANES);
+        for (p4, t4) in (&mut pc).zip(&mut tc) {
+            for l in 0..LANES {
+                if t4[l] > 0.0 {
+                    acc[l] += t4[l] * p4[l].max(1e-12).ln();
+                }
+            }
+        }
+        for (l, (&pv, &tv)) in pc.remainder().iter().zip(tc.remainder()).enumerate() {
+            if tv > 0.0 {
+                acc[l] += tv * pv.max(1e-12).ln();
+            }
+        }
+        F64x4(acc).hsum_ordered()
+    }
+}
 
 /// The output transform + loss pair of a network.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,8 +63,23 @@ impl OutputLoss {
     /// Mean loss of transformed predictions `p` against targets `t`.
     ///
     /// For cross-entropy, `t` is one-hot; for squared error the factor is
-    /// `1/2` per element so the gradient is exactly `p − t`.
+    /// `1/2` per element so the gradient is exactly `p − t`. Accumulates with
+    /// the fixed 4-lane split — ULP-bounded against
+    /// [`OutputLoss::loss_reference`].
     pub fn loss(&self, p: &Matrix, t: &Matrix) -> f64 {
+        assert_eq!(p.shape(), t.shape(), "prediction/target shape mismatch");
+        let n = p.rows().max(1) as f64;
+        match self {
+            OutputLoss::SoftmaxCrossEntropy => -cross_entropy_sum(p.as_slice(), t.as_slice()) / n,
+            OutputLoss::SquaredError => 0.5 * simd::dist_sq(p.as_slice(), t.as_slice()) / n,
+        }
+    }
+
+    /// Sequential scalar reference for [`OutputLoss::loss`].
+    ///
+    /// Kept as the correctness oracle for the ULP-bounded property tests and
+    /// as the scalar baseline in `bench_hpo`'s loss micro-bench.
+    pub fn loss_reference(&self, p: &Matrix, t: &Matrix) -> f64 {
         assert_eq!(p.shape(), t.shape(), "prediction/target shape mismatch");
         let n = p.rows().max(1) as f64;
         match self {
@@ -142,6 +189,32 @@ mod tests {
         let t = Matrix::from_rows(&[&[1.0], &[1.0]]);
         // (0.5*1 + 0.5*9) / 2 = 2.5
         assert!((OutputLoss::SquaredError.loss(&p, &t) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laned_loss_is_ulp_close_to_reference() {
+        // Deterministic "probabilities" and one-hot-ish targets over an odd
+        // width so both the 4-lane body and the tail contribute.
+        let rows = 23;
+        let cols = 7;
+        let mut p = Matrix::zeros(rows, cols);
+        let mut t = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                p[(r, c)] = ((r * cols + c) as f64 * 0.37).sin().abs().max(1e-6);
+                t[(r, c)] = if (r + c) % cols == 0 { 1.0 } else { 0.0 };
+            }
+        }
+        for kind in [OutputLoss::SoftmaxCrossEntropy, OutputLoss::SquaredError] {
+            let fast = kind.loss(&p, &t);
+            let reference = kind.loss_reference(&p, &t);
+            // Non-negative terms: the reassociated sum is well-conditioned,
+            // so n ULPs is a generous bound (DESIGN.md §5.12).
+            assert!(
+                hpo_data::simd::ulp_distance(fast, reference) <= (rows * cols) as u64,
+                "{kind:?}: {fast} vs {reference}"
+            );
+        }
     }
 
     #[test]

@@ -79,7 +79,7 @@ impl Network {
             let mut z = activations[l].matmul(&self.weights[l]);
             z.add_row_vector(&self.biases[l]);
             if l < n_layers - 1 {
-                z.map_inplace(|v| self.activation.apply(v));
+                self.activation.apply_slice(z.as_mut_slice());
             } else {
                 self.output.transform(&mut z);
             }
@@ -119,13 +119,11 @@ impl Network {
             grad_b.push(gb);
             if l > 0 {
                 let mut prev_delta = delta.matmul_t(&self.weights[l]);
-                // Multiply by activation derivative at the hidden layer l.
-                for r in 0..prev_delta.rows() {
-                    let act_row = activations[l].row(r);
-                    for (d, &a) in prev_delta.row_mut(r).iter_mut().zip(act_row) {
-                        *d *= self.activation.derivative_from_output(a);
-                    }
-                }
+                // Multiply by the activation derivative at hidden layer l;
+                // the matrices share a shape, so the fused kernel runs over
+                // the flat buffers in one pass.
+                self.activation
+                    .derivative_mul_slice(prev_delta.as_mut_slice(), activations[l].as_slice());
                 delta = prev_delta;
             }
         }

@@ -3,6 +3,95 @@
 //! The network flattens its weights into one `Vec<f64>`; these optimizers
 //! are agnostic to the network structure. SGD and Adam consume per-batch
 //! gradients; L-BFGS drives full-batch optimization through a closure.
+//!
+//! The SGD/Adam update loops are element-wise 4-lane kernels (bit-identical
+//! to the scalar loops with `simd` on or off); the L-BFGS dots use the shared
+//! fixed-lane reduction from [`hpo_data::simd`] (DESIGN.md §5.12).
+
+use hpo_data::simd::{F64x4, LANES};
+use hpo_data::simd_kernel;
+
+simd_kernel! {
+    /// `v = m·v − lr·g; θ += v` elementwise — same per-element expression
+    /// tree as the scalar momentum loop, so results are bit-identical.
+    fn sgd_step_kernel(params: &mut [f64], grad: &[f64], velocity: &mut [f64], momentum: f64, lr: f64) {
+        let mo = F64x4::splat(momentum);
+        let lr4 = F64x4::splat(lr);
+        let mut pc = params.chunks_exact_mut(LANES);
+        let mut gc = grad.chunks_exact(LANES);
+        let mut vc = velocity.chunks_exact_mut(LANES);
+        for ((p4, g4), v4) in (&mut pc).zip(&mut gc).zip(&mut vc) {
+            let nv = mo.mul(F64x4::load(v4)).sub(lr4.mul(F64x4::load(g4)));
+            nv.store(v4);
+            F64x4::load(p4).add(nv).store(p4);
+        }
+        for ((p, &g), v) in pc
+            .into_remainder()
+            .iter_mut()
+            .zip(gc.remainder())
+            .zip(vc.into_remainder())
+        {
+            *v = momentum * *v - lr * g;
+            *p += *v;
+        }
+    }
+}
+
+simd_kernel! {
+    /// One bias-corrected Adam update, elementwise — divisions and square
+    /// roots are IEEE-exact per lane, so this is bit-identical to the scalar
+    /// loop.
+    #[allow(clippy::too_many_arguments)]
+    fn adam_step_kernel(
+        params: &mut [f64],
+        grad: &[f64],
+        m: &mut [f64],
+        v: &mut [f64],
+        beta1: f64,
+        beta2: f64,
+        eps: f64,
+        bc1: f64,
+        bc2: f64,
+        lr: f64,
+    ) {
+        let b1 = F64x4::splat(beta1);
+        let b2 = F64x4::splat(beta2);
+        let omb1 = F64x4::splat(1.0 - beta1);
+        let omb2 = F64x4::splat(1.0 - beta2);
+        let eps4 = F64x4::splat(eps);
+        let bc14 = F64x4::splat(bc1);
+        let bc24 = F64x4::splat(bc2);
+        let lr4 = F64x4::splat(lr);
+        let mut pc = params.chunks_exact_mut(LANES);
+        let mut gc = grad.chunks_exact(LANES);
+        let mut mc = m.chunks_exact_mut(LANES);
+        let mut vc = v.chunks_exact_mut(LANES);
+        for (((p4, g4), m4), v4) in (&mut pc).zip(&mut gc).zip(&mut mc).zip(&mut vc) {
+            let g = F64x4::load(g4);
+            let nm = b1.mul(F64x4::load(m4)).add(omb1.mul(g));
+            let nv = b2.mul(F64x4::load(v4)).add(omb2.mul(g).mul(g));
+            nm.store(m4);
+            nv.store(v4);
+            let m_hat = nm.div(bc14);
+            let v_hat = nv.div(bc24);
+            let upd = lr4.mul(m_hat).div(v_hat.sqrt().add(eps4));
+            F64x4::load(p4).sub(upd).store(p4);
+        }
+        for (((p, &g), mi), vi) in pc
+            .into_remainder()
+            .iter_mut()
+            .zip(gc.remainder())
+            .zip(mc.into_remainder())
+            .zip(vc.into_remainder())
+        {
+            *mi = beta1 * *mi + (1.0 - beta1) * g;
+            *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+            let m_hat = *mi / bc1;
+            let v_hat = *vi / bc2;
+            *p -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+}
 
 /// Stochastic gradient descent with classical momentum.
 #[derive(Clone, Debug)]
@@ -37,10 +126,7 @@ impl Sgd {
     pub fn step(&mut self, params: &mut [f64], grad: &[f64], lr: f64) {
         debug_assert_eq!(params.len(), grad.len());
         debug_assert_eq!(params.len(), self.velocity.len());
-        for ((p, &g), v) in params.iter_mut().zip(grad).zip(&mut self.velocity) {
-            *v = self.momentum * *v - lr * g;
-            *p += *v;
-        }
+        sgd_step_kernel(params, grad, &mut self.velocity, self.momentum, lr);
     }
 }
 
@@ -94,18 +180,18 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (((p, &g), m), v) in params
-            .iter_mut()
-            .zip(grad)
-            .zip(&mut self.m)
-            .zip(&mut self.v)
-        {
-            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
-            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
-            let m_hat = *m / bc1;
-            let v_hat = *v / bc2;
-            *p -= lr * m_hat / (v_hat.sqrt() + self.eps);
-        }
+        adam_step_kernel(
+            params,
+            grad,
+            &mut self.m,
+            &mut self.v,
+            self.beta1,
+            self.beta2,
+            self.eps,
+            bc1,
+            bc2,
+            lr,
+        );
     }
 }
 
@@ -281,32 +367,16 @@ pub fn lbfgs(
     }
 }
 
-/// Dot product with four independent accumulators.
+/// Dot product on the L-BFGS two-loop hot path, where vectors are the full
+/// parameter count of the model.
 ///
-/// The naive `.sum()` forms one serial addition chain, so every add waits on
-/// the previous one; four lanes break the dependency and let the FMA units
-/// pipeline. This sits on the L-BFGS two-loop hot path, where vectors are the
-/// full parameter count of the model.
+/// Delegates to [`hpo_data::simd::dot`], whose fixed 4-lane accumulator
+/// split is exactly the four-independent-accumulator scheme this function
+/// used to hand-roll — same lane assignment, same `(s0+s1)+(s2+s3)`
+/// collapse, same sequential tail — so values are unchanged.
 #[inline]
 fn dot(a: &[f64], b: &[f64]) -> f64 {
-    let mut chunks = a.chunks_exact(4).zip(b.chunks_exact(4));
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-    for (xa, xb) in &mut chunks {
-        s0 += xa[0] * xb[0];
-        s1 += xa[1] * xb[1];
-        s2 += xa[2] * xb[2];
-        s3 += xa[3] * xb[3];
-    }
-    let mut tail = (s0 + s1) + (s2 + s3);
-    for (&x, &y) in a
-        .chunks_exact(4)
-        .remainder()
-        .iter()
-        .zip(b.chunks_exact(4).remainder())
-    {
-        tail += x * y;
-    }
-    tail
+    hpo_data::simd::dot(a, b)
 }
 
 #[cfg(test)]

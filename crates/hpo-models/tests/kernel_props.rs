@@ -1,0 +1,200 @@
+//! Property tests pinning the kernel numerics policy (DESIGN.md §5.12) for
+//! this crate's hot-loop kernels: activation slice kernels and optimizer
+//! steps must be **bit-identical** (0 ULP) to their scalar reference loops;
+//! the laned loss sums must stay within the **documented ULP bound** of the
+//! sequential references.
+//!
+//! Inputs come from a seeded LCG (no `rand` dependency) sweeping lengths
+//! around the 4-lane boundary so both the lane body and the scalar tail are
+//! exercised.
+
+use hpo_data::simd::ulp_distance;
+use hpo_data::Matrix;
+use hpo_models::activation::Activation;
+use hpo_models::loss::OutputLoss;
+use hpo_models::optimizer::{Adam, Sgd};
+
+/// Deterministic values in roughly [-1, 1).
+fn lcg_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+const ALL_ACTIVATIONS: [Activation; 4] = [
+    Activation::Logistic,
+    Activation::Tanh,
+    Activation::Relu,
+    Activation::Identity,
+];
+
+#[test]
+fn apply_slice_is_zero_ulp_against_scalar() {
+    for act in ALL_ACTIVATIONS {
+        for n in [0, 1, 3, 4, 5, 8, 17, 64, 129] {
+            let xs = lcg_vec(n, 0xA0 + n as u64);
+            let mut got = xs.clone();
+            act.apply_slice(&mut got);
+            for (i, (&g, &x)) in got.iter().zip(&xs).enumerate() {
+                assert_eq!(
+                    ulp_distance(g, act.apply(x)),
+                    0,
+                    "{act:?} apply_slice diverged at {i}/{n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn derivative_mul_slice_is_zero_ulp_against_scalar() {
+    for act in ALL_ACTIVATIONS {
+        for n in [0, 1, 3, 4, 5, 8, 17, 64, 129] {
+            // Use activated values as the derivative input, like backprop.
+            let mut outputs = lcg_vec(n, 0xB0 + n as u64);
+            act.apply_slice(&mut outputs);
+            let deltas = lcg_vec(n, 0xC0 + n as u64);
+            let mut got = deltas.clone();
+            act.derivative_mul_slice(&mut got, &outputs);
+            for i in 0..n {
+                let want = deltas[i] * act.derivative_from_output(outputs[i]);
+                assert_eq!(
+                    ulp_distance(got[i], want),
+                    0,
+                    "{act:?} derivative_mul_slice diverged at {i}/{n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn relu_backprop_kernel_propagates_nan_like_scalar() {
+    // The relu derivative is a multiply by 1.0/0.0, not a select: a NaN
+    // delta at an inactive unit must zero out exactly as the scalar loop
+    // does (NaN * 0.0 = NaN in both).
+    let outputs = [1.0, 0.0, 2.0, 0.0, 1.5];
+    let mut deltas = [f64::NAN, f64::NAN, 1.0, 2.0, f64::INFINITY];
+    let mut want = deltas;
+    for (d, &a) in want.iter_mut().zip(&outputs) {
+        *d *= Activation::Relu.derivative_from_output(a);
+    }
+    Activation::Relu.derivative_mul_slice(&mut deltas, &outputs);
+    for (g, w) in deltas.iter().zip(&want) {
+        assert_eq!(g.to_bits(), w.to_bits());
+    }
+}
+
+#[test]
+fn loss_stays_within_documented_ulp_bound_of_reference() {
+    for (rows, cols, seed) in [(1, 1, 1u64), (7, 3, 2), (16, 4, 3), (33, 10, 4), (64, 7, 5)] {
+        let n = rows * cols;
+        // Positive "probabilities" for cross-entropy; reuse as predictions
+        // for squared error.
+        let p_data: Vec<f64> = lcg_vec(n, seed).iter().map(|v| v.abs().max(1e-9)).collect();
+        let t_data: Vec<f64> = (0..n)
+            .map(|i| {
+                if i % cols == (i / cols) % cols {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let p = Matrix::from_vec(rows, cols, p_data).unwrap();
+        let t = Matrix::from_vec(rows, cols, t_data).unwrap();
+        for kind in [OutputLoss::SoftmaxCrossEntropy, OutputLoss::SquaredError] {
+            let fast = kind.loss(&p, &t);
+            let reference = kind.loss_reference(&p, &t);
+            // Uniformly-signed terms: reassociation error is bounded by
+            // n·ε relative, i.e. well under n ULPs (DESIGN.md §5.12).
+            assert!(
+                ulp_distance(fast, reference) <= n as u64,
+                "{kind:?} {rows}x{cols}: {fast} vs {reference} ({} ULPs)",
+                ulp_distance(fast, reference)
+            );
+        }
+    }
+}
+
+#[test]
+fn sgd_step_is_bit_identical_to_scalar_update() {
+    for n in [1, 4, 7, 32, 67] {
+        let grad = lcg_vec(n, 0xD0 + n as u64);
+        let mut params = lcg_vec(n, 0xE0 + n as u64);
+        let mut reference_params = params.clone();
+        let mut reference_velocity = vec![0.0; n];
+        let mut sgd = Sgd::new(n, 0.9);
+        for step in 0..5 {
+            let lr = 0.05 / (step + 1) as f64;
+            sgd.step(&mut params, &grad, lr);
+            for ((p, &g), v) in reference_params
+                .iter_mut()
+                .zip(&grad)
+                .zip(&mut reference_velocity)
+            {
+                *v = 0.9 * *v - lr * g;
+                *p += *v;
+            }
+        }
+        for i in 0..n {
+            assert_eq!(
+                params[i].to_bits(),
+                reference_params[i].to_bits(),
+                "sgd diverged at {i}/{n}"
+            );
+        }
+        for i in 0..n {
+            assert_eq!(sgd.velocity()[i].to_bits(), reference_velocity[i].to_bits());
+        }
+    }
+}
+
+#[test]
+fn adam_step_is_bit_identical_to_scalar_update() {
+    let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
+    for n in [1, 4, 7, 32, 67] {
+        let grad = lcg_vec(n, 0xF0 + n as u64);
+        let mut params = lcg_vec(n, 0x100 + n as u64);
+        let mut reference_params = params.clone();
+        let (mut rm, mut rv) = (vec![0.0; n], vec![0.0; n]);
+        let mut adam = Adam::new(n);
+        for step in 1..=5u64 {
+            let lr = 0.01;
+            adam.step(&mut params, &grad, lr);
+            let bc1 = 1.0 - beta1_pow(beta1, step);
+            let bc2 = 1.0 - beta1_pow(beta2, step);
+            for (((p, &g), m), v) in reference_params
+                .iter_mut()
+                .zip(&grad)
+                .zip(&mut rm)
+                .zip(&mut rv)
+            {
+                *m = beta1 * *m + (1.0 - beta1) * g;
+                *v = beta2 * *v + (1.0 - beta2) * g * g;
+                let m_hat = *m / bc1;
+                let v_hat = *v / bc2;
+                *p -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+        for i in 0..n {
+            assert_eq!(
+                params[i].to_bits(),
+                reference_params[i].to_bits(),
+                "adam diverged at {i}/{n}"
+            );
+        }
+    }
+}
+
+/// `powi`-equivalent used by Adam's bias correction (kept identical to the
+/// implementation: `f64::powi` with an `i32` exponent).
+fn beta1_pow(beta: f64, t: u64) -> f64 {
+    beta.powi(t as i32)
+}

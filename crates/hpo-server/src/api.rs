@@ -25,7 +25,9 @@
 
 use crate::client::{HeartbeatResponse, LeaseRequest, RegisterRequest, RegisterResponse};
 use crate::fleet::ResultDelivery;
-use crate::http::{finish_chunked, write_chunk, write_chunked_head, DeadlineStream, Request, Response};
+use crate::http::{
+    finish_chunked, write_chunk, write_chunked_head, DeadlineStream, Request, Response,
+};
 use crate::registry::{BestSoFar, RegistryError, RunState, RunStatus};
 use crate::server::Shared;
 use crate::spec::RunSpec;

@@ -732,7 +732,14 @@ impl Fleet {
     fn close_batch(
         &self,
         id: u64,
-    ) -> Vec<Option<(EvalOutcome, Vec<RunEvent>, Vec<SpanEvent>, Option<SnapshotEntry>)>> {
+    ) -> Vec<
+        Option<(
+            EvalOutcome,
+            Vec<RunEvent>,
+            Vec<SpanEvent>,
+            Option<SnapshotEntry>,
+        )>,
+    > {
         let mut state = self.state.lock().expect("fleet lock");
         let Some(batch) = state.batches.remove(&id) else {
             return Vec::new();

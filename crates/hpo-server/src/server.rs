@@ -421,6 +421,7 @@ fn run_from_spec(
         resume: true,
         recorder: recorder.clone(),
         workers: spec.workers,
+        fold_workers: spec.fold_workers,
         warm_start: spec.warm_start,
         cancel,
         engine,

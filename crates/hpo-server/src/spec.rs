@@ -95,6 +95,11 @@ pub struct RunSpec {
     /// value).
     #[serde(default = "default_workers")]
     pub workers: usize,
+    /// Per-trial fold-parallelism cap: threads one trial may use for its CV
+    /// folds, borrowed from idle pool workers (results are identical at
+    /// every value; see `RunOptions::fold_workers`).
+    #[serde(default = "default_workers")]
+    pub fold_workers: usize,
     /// Warm-start budget continuation (DESIGN.md §5.8).
     #[serde(default = "default_warm_start")]
     pub warm_start: bool,
@@ -111,6 +116,7 @@ impl Default for RunSpec {
             seed: 0,
             max_iter: default_max_iter(),
             workers: default_workers(),
+            fold_workers: default_workers(),
             warm_start: default_warm_start(),
         }
     }
@@ -163,6 +169,9 @@ impl RunSpec {
         }
         if self.workers == 0 {
             return Err(SpecError("workers must be at least 1".into()));
+        }
+        if self.fold_workers == 0 {
+            return Err(SpecError("fold_workers must be at least 1".into()));
         }
         Ok(())
     }
@@ -283,6 +292,7 @@ mod tests {
         assert!(bad(|s| s.space = "table3:9".into()).contains("9"));
         assert!(bad(|s| s.max_iter = 0).contains("max_iter"));
         assert!(bad(|s| s.workers = 0).contains("workers"));
+        assert!(bad(|s| s.fold_workers = 0).contains("fold_workers"));
     }
 
     #[test]
@@ -313,6 +323,7 @@ mod tests {
             seed: 7,
             max_iter: 5,
             workers: 3,
+            fold_workers: 2,
             warm_start: false,
         };
         let json = serde_json::to_string(&spec).unwrap();

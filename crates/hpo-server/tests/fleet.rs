@@ -487,7 +487,12 @@ fn chaos_fleet_trace_normalizes_to_the_fault_free_single_process_trace() {
         RunnerExit::ChaosKilled,
         "the rigged runner must actually die mid-run"
     );
-    let steady = spawn_runner(addr.clone(), "trace-steady", ChaosPlan::default(), stop.clone());
+    let steady = spawn_runner(
+        addr.clone(),
+        "trace-steady",
+        ChaosPlan::default(),
+        stop.clone(),
+    );
     wait_for_status(&client, &id, RunStatus::Completed);
     stop.cancel();
     assert_eq!(steady.join().expect("steady runner"), RunnerExit::Stopped);
@@ -507,7 +512,10 @@ fn chaos_fleet_trace_normalizes_to_the_fault_free_single_process_trace() {
         .filter(|r| r.phase == SpanPhase::Trial)
         .filter_map(|r| r.trial)
         .collect();
-    assert!(!trials.is_empty(), "the fleet trace must contain trial spans");
+    assert!(
+        !trials.is_empty(),
+        "the fleet trace must contain trial spans"
+    );
     for phase in [
         SpanPhase::QueueWait,
         SpanPhase::LeaseHeld,
@@ -527,8 +535,7 @@ fn chaos_fleet_trace_normalizes_to_the_fault_free_single_process_trace() {
     }
 
     // The Perfetto-loadable sibling exists and holds one event per span.
-    let chrome_path =
-        hpo_core::obs::chrome_trace_path(&traces.join(format!("{id}.trace.jsonl")));
+    let chrome_path = hpo_core::obs::chrome_trace_path(&traces.join(format!("{id}.trace.jsonl")));
     let chrome: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&chrome_path).expect("chrome trace written"))
             .expect("chrome trace decodes");
