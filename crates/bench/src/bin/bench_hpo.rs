@@ -34,10 +34,12 @@
 use hpo_bench::args::ExpArgs;
 use hpo_bench::report::Table;
 use hpo_core::asha::AshaConfig;
+use hpo_core::bandit::{EpsGreedyConfig, ThompsonConfig, UcbConfig};
 use hpo_core::bohb::BohbConfig;
 use hpo_core::dehb::DehbConfig;
 use hpo_core::harness::{run_method_with, Method, RunOptions};
 use hpo_core::hyperband::HyperbandConfig;
+use hpo_core::idhb::IdhbConfig;
 use hpo_core::obs;
 use hpo_core::pasha::PashaConfig;
 use hpo_core::persist::write_json_atomic;
@@ -60,6 +62,10 @@ fn methods() -> Vec<(&'static str, Method)> {
         ("dehb", Method::Dehb(DehbConfig::default())),
         ("asha", Method::Asha(AshaConfig::default())),
         ("pasha", Method::Pasha(PashaConfig::default())),
+        ("ucb", Method::Ucb(UcbConfig::default())),
+        ("thompson", Method::Thompson(ThompsonConfig::default())),
+        ("epsgreedy", Method::EpsGreedy(EpsGreedyConfig::default())),
+        ("idhb", Method::Idhb(IdhbConfig::default())),
     ]
 }
 

@@ -79,7 +79,7 @@ impl Flags {
 }
 
 const USAGE: &str = "usage:
-  bhpo optimize --data <file|synth:name> [--test <file>] [--method random|sha|hb|bohb|asha|pasha|dehb]
+  bhpo optimize --data <file|synth:name> [--test <file>] [--method random|sha|hb|bohb|asha|pasha|dehb|ucb|thompson|epsgreedy|idhb]
                 [--pipeline vanilla|enhanced] [--hps 1..8] [--max-iter N] [--seed N] [--json <out.json>]
                 [--trial-timeout SECS] [--max-retries N] [--checkpoint FILE] [--checkpoint-every N] [--resume]
                 [--workers N] [--fold-workers N] [--warm-start on|off]

@@ -2,12 +2,14 @@
 
 use crate::cli::{CliError, Flags};
 use hpo_core::asha::AshaConfig;
+use hpo_core::bandit::{EpsGreedyConfig, ThompsonConfig, UcbConfig};
 use hpo_core::bohb::BohbConfig;
 use hpo_core::dehb::DehbConfig;
 use hpo_core::evaluator::CvEvaluator;
 use hpo_core::exec::{compare_scores, FailurePolicy};
 use hpo_core::harness::{run_method_with, Method, RunOptions};
 use hpo_core::hyperband::HyperbandConfig;
+use hpo_core::idhb::IdhbConfig;
 use hpo_core::obs::{self, LogLevel, Recorder};
 use hpo_core::obs_info;
 use hpo_core::pasha::PashaConfig;
@@ -103,6 +105,10 @@ fn parse_method(flags: &Flags) -> Result<Method, CliError> {
         "asha" => Method::Asha(AshaConfig::default()),
         "pasha" => Method::Pasha(PashaConfig::default()),
         "dehb" => Method::Dehb(DehbConfig::default()),
+        "ucb" => Method::Ucb(UcbConfig::default()),
+        "thompson" => Method::Thompson(ThompsonConfig::default()),
+        "epsgreedy" => Method::EpsGreedy(EpsGreedyConfig::default()),
+        "idhb" => Method::Idhb(IdhbConfig::default()),
         other => return Err(CliError(format!("unknown method `{other}`"))),
     })
 }

@@ -20,6 +20,7 @@
 use crate::continuation::CONTINUATION_KEY_SALT;
 use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
 use crate::obs::RunEvent;
+use crate::rung;
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_data::rng::derive_seed;
@@ -88,7 +89,7 @@ impl Scheduler {
     fn next_job(&mut self, eta: usize, max_rung: usize, n_configs: usize) -> Option<Job> {
         for rung in (0..max_rung).rev() {
             let done = &self.results[rung];
-            let k = done.len() / eta;
+            let k = rung::async_top_k(done.len(), eta);
             if k == 0 {
                 continue;
             }
@@ -137,11 +138,7 @@ pub fn asha<E: TrialEvaluator + ?Sized>(
     let r_min = config.min_budget.clamp(1, r_max);
     // rung r budget: r_min · η^r, capped at R; max_rung is the first rung
     // whose budget reaches R.
-    let mut budgets = vec![r_min];
-    while *budgets.last().expect("non-empty") < r_max {
-        let next = budgets.last().unwrap().saturating_mul(config.eta);
-        budgets.push(next.min(r_max));
-    }
+    let budgets = rung::ladder(r_min, r_max, config.eta);
     let max_rung = budgets.len() - 1;
 
     let candidates = space.sample_distinct(config.n_configs, derive_seed(stream, 0xA5A));

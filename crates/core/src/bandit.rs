@@ -1,0 +1,547 @@
+//! Classic multi-armed bandits as HPO algorithms: UCB1, Gaussian Thompson
+//! sampling, and ε-greedy.
+//!
+//! Each sampled configuration is an *arm*; a pull evaluates the arm at the
+//! next budget of the shared geometric ladder ([`crate::rung::ladder`]), so
+//! repeated pulls deepen the arm's budget exactly like rung climbs — and,
+//! because an arm's continuation key is stable across pulls, each climb
+//! warm-starts from the fold snapshots the previous pull deposited. This is
+//! the budget-as-instances analogue of the AutoRAG-style bandit runners:
+//! where halving prunes by quota, bandits re-allocate pulls by observed
+//! reward.
+//!
+//! Like ASHA, the loop runs in deterministic *waves*: the policy selects a
+//! batch of distinct arms from the committed statistics, the batch is handed
+//! to the execution engine as one [`TrialJob`] batch, and outcomes are
+//! committed in submission order before the next selection. All randomness
+//! (Thompson posteriors, ε-greedy exploration) derives from
+//! [`derive_seed`] chains keyed by `(wave, slot, arm)` — never from thread
+//! timing — so equal seeds give bit-identical searches, journals and
+//! checkpoints at every worker count.
+
+use crate::continuation::CONTINUATION_KEY_SALT;
+use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
+use crate::obs::RunEvent;
+use crate::rung;
+use crate::space::{Configuration, SearchSpace};
+use crate::trial::{History, Trial};
+use hpo_data::rng::derive_seed;
+use hpo_models::mlp::MlpParams;
+
+/// Settings shared by every bandit policy.
+#[derive(Clone, Debug)]
+pub struct BanditConfig {
+    /// Growth factor of the budget ladder (pull `k` of an arm runs at
+    /// `min_budget · η^k`, capped at the total budget).
+    pub eta: usize,
+    /// Budget of an arm's first pull (instances).
+    pub min_budget: usize,
+    /// Number of arms (configurations sampled without replacement).
+    pub n_configs: usize,
+    /// Arms pulled per wave (one engine batch). Parallelism *within* the
+    /// wave belongs to the engine; the schedule itself is worker-agnostic.
+    pub batch: usize,
+    /// Total pull budget across all arms; the run also stops early once
+    /// every arm has climbed to the top of the ladder.
+    pub total_pulls: usize,
+}
+
+impl Default for BanditConfig {
+    fn default() -> Self {
+        BanditConfig {
+            eta: 2,
+            min_budget: 20,
+            n_configs: 12,
+            batch: 4,
+            total_pulls: 36,
+        }
+    }
+}
+
+/// UCB1 settings (Auer et al., 2002).
+#[derive(Clone, Debug)]
+pub struct UcbConfig {
+    /// Shared bandit settings.
+    pub bandit: BanditConfig,
+    /// Exploration coefficient `c` in `mean + c·sqrt(ln t / n)`.
+    pub exploration: f64,
+}
+
+impl Default for UcbConfig {
+    fn default() -> Self {
+        UcbConfig {
+            bandit: BanditConfig::default(),
+            exploration: std::f64::consts::SQRT_2,
+        }
+    }
+}
+
+/// Gaussian Thompson-sampling settings.
+#[derive(Clone, Debug)]
+pub struct ThompsonConfig {
+    /// Shared bandit settings.
+    pub bandit: BanditConfig,
+    /// Prior mean of an arm's reward.
+    pub prior_mean: f64,
+    /// Prior standard deviation; the posterior narrows as `1/sqrt(n+1)`.
+    pub prior_std: f64,
+}
+
+impl Default for ThompsonConfig {
+    fn default() -> Self {
+        ThompsonConfig {
+            bandit: BanditConfig::default(),
+            prior_mean: 0.5,
+            prior_std: 0.5,
+        }
+    }
+}
+
+/// ε-greedy settings.
+#[derive(Clone, Debug)]
+pub struct EpsGreedyConfig {
+    /// Shared bandit settings.
+    pub bandit: BanditConfig,
+    /// Probability of pulling a uniformly random arm instead of the
+    /// empirical best.
+    pub epsilon: f64,
+}
+
+impl Default for EpsGreedyConfig {
+    fn default() -> Self {
+        EpsGreedyConfig {
+            bandit: BanditConfig::default(),
+            epsilon: 0.1,
+        }
+    }
+}
+
+/// Outcome of a bandit run.
+#[derive(Clone, Debug)]
+pub struct BanditResult {
+    /// Best configuration seen (largest budget reached, then score).
+    pub best: Configuration,
+    /// Every evaluation, in wave submission order.
+    pub history: History,
+}
+
+/// A uniform variate in `[0, 1)` from the top 53 bits of a derived seed.
+fn unit_from(seed: u64) -> f64 {
+    (seed >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// A standard-normal variate via Box–Muller over two derived uniforms.
+fn gaussian_from(seed: u64) -> f64 {
+    let u1 = unit_from(derive_seed(seed, 1)).max(f64::MIN_POSITIVE);
+    let u2 = unit_from(derive_seed(seed, 2));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Per-arm statistics, updated only between waves.
+#[derive(Clone, Debug)]
+struct Arm {
+    /// Committed pulls (finite-score pulls drive `mean`; failed pulls still
+    /// count toward the pull total so a crashing arm cannot monopolize the
+    /// schedule).
+    pulls: usize,
+    /// Next ladder level this arm runs at; `ladder.len()` = exhausted.
+    level: usize,
+    /// Running mean of finite observed scores.
+    mean: f64,
+    /// Number of finite observations behind `mean`.
+    n_scored: usize,
+}
+
+/// The selection rules. Each is a pure function of committed statistics and
+/// derived seeds, evaluated slot by slot within a wave (an arm already
+/// chosen for the wave is ineligible for later slots — its statistics
+/// cannot change until the wave commits).
+enum Policy {
+    Ucb { exploration: f64 },
+    Thompson { prior_mean: f64, prior_std: f64 },
+    EpsGreedy { epsilon: f64 },
+}
+
+impl Policy {
+    /// Picks one arm among `eligible` (indices into `arms`, already filtered
+    /// to non-exhausted arms not yet in the current wave). `t` is the total
+    /// number of committed pulls; `slot_seed` keys this slot's randomness.
+    fn select(&self, arms: &[Arm], eligible: &[usize], t: usize, slot_seed: u64) -> usize {
+        match self {
+            Policy::Ucb { exploration } => {
+                // Unpulled arms first, in index order (the usual UCB
+                // initialization); then the argmax of the confidence bound.
+                if let Some(&a) = eligible.iter().find(|&&a| arms[a].pulls == 0) {
+                    return a;
+                }
+                let ln_t = ((t.max(1)) as f64).ln();
+                *eligible
+                    .iter()
+                    .max_by(|&&a, &&b| {
+                        let ua = arms[a].mean + exploration * (ln_t / arms[a].pulls as f64).sqrt();
+                        let ub = arms[b].mean + exploration * (ln_t / arms[b].pulls as f64).sqrt();
+                        // max_by keeps the *last* maximum; reverse equal
+                        // ties so the lowest index wins deterministically.
+                        compare_scores(ua, ub).then(std::cmp::Ordering::Greater)
+                    })
+                    .expect("eligible is non-empty")
+            }
+            Policy::Thompson { prior_mean, prior_std } => {
+                // Conjugate-style shrinkage posterior: mean pulls toward the
+                // prior, spread narrows as 1/sqrt(n+1). Unpulled arms sample
+                // the prior outright.
+                *eligible
+                    .iter()
+                    .max_by(|&&a, &&b| {
+                        let draw = |arm: usize| {
+                            let st = &arms[arm];
+                            let n = st.n_scored as f64;
+                            let mean = (prior_mean + st.mean * n) / (n + 1.0);
+                            let std = prior_std / (n + 1.0).sqrt();
+                            mean + std * gaussian_from(derive_seed(slot_seed, arm as u64))
+                        };
+                        compare_scores(draw(a), draw(b)).then(std::cmp::Ordering::Greater)
+                    })
+                    .expect("eligible is non-empty")
+            }
+            Policy::EpsGreedy { epsilon } => {
+                if let Some(&a) = eligible.iter().find(|&&a| arms[a].pulls == 0) {
+                    return a;
+                }
+                if unit_from(derive_seed(slot_seed, 3)) < *epsilon {
+                    let pick = (unit_from(derive_seed(slot_seed, 4)) * eligible.len() as f64)
+                        as usize;
+                    return eligible[pick.min(eligible.len() - 1)];
+                }
+                *eligible
+                    .iter()
+                    .max_by(|&&a, &&b| {
+                        compare_scores(arms[a].mean, arms[b].mean)
+                            .then(std::cmp::Ordering::Greater)
+                    })
+                    .expect("eligible is non-empty")
+            }
+        }
+    }
+}
+
+/// The shared wave loop behind all three policies.
+fn run_bandit<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    config: &BanditConfig,
+    policy: Policy,
+    arm_salt: u64,
+    stream: u64,
+) -> BanditResult {
+    assert!(config.eta >= 2, "eta must be at least 2");
+    assert!(config.n_configs >= 1, "need at least one arm");
+    assert!(config.batch >= 1, "need at least one pull per wave");
+
+    let r_max = evaluator.total_budget();
+    let r_min = config.min_budget.clamp(1, r_max);
+    let ladder = rung::ladder(r_min, r_max, config.eta);
+
+    let candidates = space.sample_distinct(config.n_configs, derive_seed(stream, arm_salt));
+    let n_arms = candidates.len();
+
+    let recorder = evaluator.recorder();
+    // Bandits have no rung barriers; like ASHA, the entry level is the only
+    // one with a known start, and ladder climbs are per-arm promotions.
+    recorder.emit(RunEvent::RungStarted {
+        bracket: 0,
+        rung: 0,
+        n_candidates: n_arms,
+        budget: ladder[0],
+    });
+
+    let mut arms: Vec<Arm> = (0..n_arms)
+        .map(|_| Arm {
+            pulls: 0,
+            level: 0,
+            mean: 0.0,
+            n_scored: 0,
+        })
+        .collect();
+    let mut history = History::new();
+    let mut best: Option<(Configuration, usize, f64)> = None;
+    let mut pulls_done = 0usize;
+    let mut wave_idx = 0u64;
+    let cancel = evaluator.cancel_token();
+    let select_root = derive_seed(stream, 0x5E1);
+
+    while pulls_done < config.total_pulls {
+        // Cooperative cancellation at the wave boundary: committed waves are
+        // already journaled/checkpointed, so a resumed run replays them and
+        // selects the identical next wave.
+        if cancel.is_cancelled() {
+            break;
+        }
+        // Select up to `batch` distinct non-exhausted arms from the
+        // committed statistics.
+        let mut wave: Vec<usize> = Vec::new();
+        let slots = config.batch.min(config.total_pulls - pulls_done);
+        for slot in 0..slots {
+            let eligible: Vec<usize> = (0..n_arms)
+                .filter(|&a| arms[a].level < ladder.len() && !wave.contains(&a))
+                .collect();
+            if eligible.is_empty() {
+                break;
+            }
+            let slot_seed = derive_seed(select_root, wave_idx.wrapping_mul(64) + slot as u64);
+            wave.push(policy.select(&arms, &eligible, pulls_done, slot_seed));
+        }
+        if wave.is_empty() {
+            break;
+        }
+        for &a in &wave {
+            if arms[a].level > 0 {
+                // A repeat pull *is* the arm's promotion to the next budget.
+                recorder.emit(RunEvent::Promotion {
+                    bracket: 0,
+                    from_rung: arms[a].level - 1,
+                    to_rung: arms[a].level,
+                    promoted: 1,
+                    pruned: 0,
+                });
+            }
+        }
+        // One engine batch per wave; each arm's continuation key is stable
+        // across pulls, so a level-l pull warm-starts from the snapshots its
+        // level-l−1 pull deposited. A wave never holds the same arm twice,
+        // so keys stay unique per batch.
+        let jobs: Vec<TrialJob> = wave
+            .iter()
+            .map(|&a| {
+                TrialJob::new(
+                    space.to_params(&candidates[a], base_params),
+                    ladder[arms[a].level],
+                    evaluator.fold_stream(stream, arms[a].level as u64, a as u64),
+                )
+                .with_continuation(derive_seed(stream, CONTINUATION_KEY_SALT + a as u64))
+            })
+            .collect();
+        let outcomes = evaluator.evaluate_batch(&jobs);
+        for (&a, outcome) in wave.iter().zip(outcomes) {
+            let level = arms[a].level;
+            let budget = ladder[level];
+            if outcome.score.is_finite() {
+                let st = &mut arms[a];
+                st.n_scored += 1;
+                st.mean += (outcome.score - st.mean) / st.n_scored as f64;
+            }
+            arms[a].pulls += 1;
+            arms[a].level += 1;
+            pulls_done += 1;
+            // NaN-safe "largest budget, then score" winner tracking, as in
+            // Hyperband: a failed pull's imputed score only beats failures.
+            let candidate_wins = best.as_ref().is_none_or(|(_, b, sc)| {
+                budget > *b
+                    || (budget == *b
+                        && compare_scores(outcome.score, *sc) == std::cmp::Ordering::Greater)
+            });
+            if candidate_wins {
+                best = Some((candidates[a].clone(), budget, outcome.score));
+            }
+            history.push(Trial {
+                config: candidates[a].clone(),
+                budget,
+                rung: level,
+                outcome,
+            });
+        }
+        wave_idx += 1;
+    }
+
+    // `best` is Some unless the run was cancelled before any pull committed.
+    BanditResult {
+        best: best
+            .map(|(cand, _, _)| cand)
+            .unwrap_or_else(|| candidates[0].clone()),
+        history,
+    }
+}
+
+/// Runs UCB1 over sampled configuration arms.
+pub fn ucb<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    config: &UcbConfig,
+    stream: u64,
+) -> BanditResult {
+    run_bandit(
+        evaluator,
+        space,
+        base_params,
+        &config.bandit,
+        Policy::Ucb {
+            exploration: config.exploration,
+        },
+        0x0CB1,
+        stream,
+    )
+}
+
+/// Runs Gaussian Thompson sampling over sampled configuration arms.
+pub fn thompson<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    config: &ThompsonConfig,
+    stream: u64,
+) -> BanditResult {
+    run_bandit(
+        evaluator,
+        space,
+        base_params,
+        &config.bandit,
+        Policy::Thompson {
+            prior_mean: config.prior_mean,
+            prior_std: config.prior_std,
+        },
+        0x7505,
+        stream,
+    )
+}
+
+/// Runs ε-greedy over sampled configuration arms.
+pub fn epsgreedy<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    config: &EpsGreedyConfig,
+    stream: u64,
+) -> BanditResult {
+    run_bandit(
+        evaluator,
+        space,
+        base_params,
+        &config.bandit,
+        Policy::EpsGreedy {
+            epsilon: config.epsilon,
+        },
+        0xE95D,
+        stream,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::CvEvaluator;
+    use crate::pipeline::Pipeline;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    fn dataset() -> hpo_data::dataset::Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_instances: 240,
+                n_features: 5,
+                n_informative: 5,
+                label_purity: 0.95,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            1,
+        )
+    }
+
+    fn quick_base() -> MlpParams {
+        MlpParams {
+            hidden_layer_sizes: vec![6],
+            max_iter: 4,
+            ..Default::default()
+        }
+    }
+
+    fn quick_config() -> BanditConfig {
+        BanditConfig {
+            eta: 2,
+            min_budget: 20,
+            n_configs: 6,
+            batch: 3,
+            total_pulls: 12,
+        }
+    }
+
+    #[test]
+    fn ucb_pulls_every_arm_once_first() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let space = SearchSpace::mlp_cv18();
+        let cfg = UcbConfig {
+            bandit: quick_config(),
+            ..Default::default()
+        };
+        let result = ucb(&ev, &space, &quick_base(), &cfg, 0);
+        // The first 6 pulls are the forced initialization, one per arm.
+        let first: Vec<_> = result.history.trials().iter().take(6).collect();
+        let distinct: std::collections::HashSet<_> =
+            first.iter().map(|t| t.config.clone()).collect();
+        assert_eq!(distinct.len(), 6);
+        assert_eq!(result.history.len(), 12);
+        assert!(result.history.trials().iter().all(|t| t.budget >= 20));
+    }
+
+    #[test]
+    fn repeat_pulls_climb_the_ladder() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 2);
+        let space = SearchSpace::mlp_cv18();
+        let cfg = UcbConfig {
+            bandit: quick_config(),
+            ..Default::default()
+        };
+        let result = ucb(&ev, &space, &quick_base(), &cfg, 1);
+        // ladder(20, 240, 2) = [20, 40, 80, 160, 240]
+        for t in result.history.trials() {
+            assert_eq!(t.budget, (20usize << t.rung).min(240));
+        }
+        assert!(result.history.trials().iter().any(|t| t.rung >= 1));
+    }
+
+    #[test]
+    fn thompson_and_epsgreedy_are_deterministic_per_stream() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 3);
+        let space = SearchSpace::mlp_cv18();
+        let tcfg = ThompsonConfig {
+            bandit: quick_config(),
+            ..Default::default()
+        };
+        let a = thompson(&ev, &space, &quick_base(), &tcfg, 7);
+        let b = thompson(&ev, &space, &quick_base(), &tcfg, 7);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history.len(), b.history.len());
+        let ecfg = EpsGreedyConfig {
+            bandit: quick_config(),
+            ..Default::default()
+        };
+        let a = epsgreedy(&ev, &space, &quick_base(), &ecfg, 7);
+        let b = epsgreedy(&ev, &space, &quick_base(), &ecfg, 7);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history.len(), b.history.len());
+    }
+
+    #[test]
+    fn run_stops_when_all_arms_exhaust_the_ladder() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 4);
+        let space = SearchSpace::mlp_cv18();
+        let cfg = EpsGreedyConfig {
+            bandit: BanditConfig {
+                eta: 2,
+                min_budget: 120,
+                n_configs: 2,
+                batch: 2,
+                total_pulls: 100,
+            },
+            epsilon: 0.2,
+        };
+        // ladder(120, 240, 2) = [120, 240]: 2 arms × 2 levels = 4 pulls max.
+        let result = epsgreedy(&ev, &space, &quick_base(), &cfg, 2);
+        assert_eq!(result.history.len(), 4);
+    }
+}

@@ -6,6 +6,7 @@
 //! train/test/time row the paper's Table IV reports.
 
 use crate::asha::{asha, AshaConfig};
+use crate::bandit::{epsgreedy, thompson, ucb, EpsGreedyConfig, ThompsonConfig, UcbConfig};
 use crate::bohb::{bohb, BohbConfig};
 use crate::cancel::CancelToken;
 use crate::continuation::ContinuationCache;
@@ -13,6 +14,7 @@ use crate::dehb::{dehb, DehbConfig};
 use crate::evaluator::{fit_and_score, CvEvaluator, ScoreKind, TrialStatus};
 use crate::exec::{CheckpointingEvaluator, FailurePolicy, TrialEvaluator};
 use crate::hyperband::{hyperband, HyperbandConfig};
+use crate::idhb::{idhb, IdhbConfig};
 use crate::obs::{self, ObservedEvaluator, Recorder, RunEvent};
 use crate::parallel::{EngineEvaluator, ExternalEngine, ParallelEvaluator};
 use crate::pasha::{pasha, PashaConfig};
@@ -46,6 +48,14 @@ pub enum Method {
     Pasha(PashaConfig),
     /// Differential-evolution Hyperband (extension; cited as DEHB).
     Dehb(DehbConfig),
+    /// UCB1 over configuration arms climbing the shared budget ladder.
+    Ucb(UcbConfig),
+    /// Gaussian Thompson sampling over configuration arms.
+    Thompson(ThompsonConfig),
+    /// ε-greedy over configuration arms.
+    EpsGreedy(EpsGreedyConfig),
+    /// Iterative Deepening Hyperband (Brandt et al., 2023).
+    Idhb(IdhbConfig),
 }
 
 impl Method {
@@ -59,6 +69,10 @@ impl Method {
             Method::Asha(_) => "ASHA",
             Method::Pasha(_) => "PASHA",
             Method::Dehb(_) => "DEHB",
+            Method::Ucb(_) => "UCB",
+            Method::Thompson(_) => "Thompson",
+            Method::EpsGreedy(_) => "EpsGreedy",
+            Method::Idhb(_) => "IDHB",
         }
     }
 }
@@ -207,6 +221,22 @@ fn dispatch<E: TrialEvaluator + ?Sized>(
         }
         Method::Dehb(cfg) => {
             let r = dehb(evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Ucb(cfg) => {
+            let r = ucb(evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Thompson(cfg) => {
+            let r = thompson(evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::EpsGreedy(cfg) => {
+            let r = epsgreedy(evaluator, space, base_params, cfg, seed);
+            (r.best, r.history)
+        }
+        Method::Idhb(cfg) => {
+            let r = idhb(evaluator, space, base_params, cfg, seed);
             (r.best, r.history)
         }
     }

@@ -4,12 +4,18 @@
 //! Budgets are instances, as everywhere in this reproduction. `HB` is this
 //! optimizer with [`crate::pipeline::Pipeline::vanilla`], `HB+` with
 //! [`crate::pipeline::Pipeline::enhanced`].
+//!
+//! Bracket geometry and the rung loop live in [`crate::rung`]; this module
+//! only fixes the Hyperband-specific policy: the bracket schedule
+//! `s = s_max .. 0`, candidate sampling per bracket (pluggable via
+//! [`ConfigSampler`] — BOHB and DEHB reuse this skeleton), and
+//! "largest budget, then score" winner tracking across brackets.
 
-use crate::continuation::CONTINUATION_KEY_SALT;
-use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
+use crate::exec::{compare_scores, TrialEvaluator};
 use crate::obs::RunEvent;
+use crate::rung::{bracket_size, run_bracket, s_max, BracketSpec};
 use crate::space::{Configuration, SearchSpace};
-use crate::trial::{History, Trial};
+use crate::trial::History;
 use hpo_data::rng::derive_seed;
 use hpo_models::mlp::MlpParams;
 
@@ -78,124 +84,78 @@ pub fn hyperband_with_sampler<E: TrialEvaluator + ?Sized>(
     assert!(config.eta >= 2, "eta must be at least 2");
     let r_max = evaluator.total_budget();
     let r_min = config.min_budget.clamp(1, r_max);
-    let eta = config.eta as f64;
 
-    // s_max brackets: the most aggressive bracket starts at r_min.
-    let s_max = ((r_max as f64 / r_min as f64).ln() / eta.ln()).floor() as usize;
+    // s_max brackets: the most aggressive bracket starts near r_min.
+    let s_max = s_max(r_max, r_min, config.eta);
     let recorder = evaluator.recorder();
     let cancel = evaluator.cancel_token();
     let mut history = History::new();
     let mut best: Option<(Configuration, usize, f64)> = None;
 
-    'brackets: for s in (0..=s_max).rev() {
-        // Cooperative cancellation at the bracket boundary.
+    for s in (0..=s_max).rev() {
+        // Cooperative cancellation at the bracket boundary (run_bracket
+        // checks again at every rung boundary).
         if cancel.is_cancelled() {
             break;
         }
-        // Bracket s: n configurations at initial budget R·η^{-s}.
-        let n = (((s_max + 1) as f64 / (s + 1) as f64) * eta.powi(s as i32)).ceil() as usize;
-        let r0 = (r_max as f64 * eta.powi(-(s as i32))).round() as usize;
+        // Bracket s: n configurations, budgets round(R·η^{i−s}) from the
+        // bracket top, clamped to [r_min, r_max] — deep brackets enter at
+        // r_min, never at a rounded-to-zero budget.
+        let n = bracket_size(s_max, config.eta, s);
         let bracket_stream = derive_seed(stream, 0xB0 + s as u64);
         // As in SHA, survivors keep their index in the bracket's original
         // sample so each configuration's continuation key is stable across
         // the bracket's rungs (brackets never share keys: the key derives
         // from the bracket stream).
-        let mut survivors: Vec<(usize, Configuration)> = sampler
+        let entrants: Vec<(usize, Configuration)> = sampler
             .sample(space, n.max(1), bracket_stream)
             .into_iter()
             .enumerate()
             .collect();
+        let spec = BracketSpec::geometric(s, entrants.len(), r_max, r_min, config.eta);
         recorder.emit(RunEvent::BracketStarted {
             bracket: s,
-            n_configs: survivors.len(),
-            budget: r0.clamp(r_min, r_max),
+            n_configs: entrants.len(),
+            budget: spec.budgets.first().copied().unwrap_or(r_min),
         });
 
-        for i in 0..=s {
-            if survivors.is_empty() {
-                break;
-            }
-            // Cooperative cancellation at the rung boundary: abandon the
-            // remaining rungs and brackets; completed trials are already
-            // journaled, so a resumed run replays them and continues.
-            if cancel.is_cancelled() {
-                break 'brackets;
-            }
-            let budget = ((r0 as f64) * eta.powi(i as i32)).round() as usize;
-            let budget = budget.clamp(r_min, r_max);
-            recorder.emit(RunEvent::RungStarted {
-                bracket: s,
-                rung: i,
-                n_candidates: survivors.len(),
-                budget,
-            });
-            // Fold streams per the pipeline (see sha.rs). The rung is one
-            // batch: the engine may run trials on any worker, but outcomes
-            // return in submission order, so the sampler observations and
-            // best-so-far tracking below are identical for every worker
-            // count.
-            let jobs: Vec<TrialJob> = survivors
-                .iter()
-                .enumerate()
-                .map(|(c, (orig, cand))| {
-                    TrialJob::new(
-                        space.to_params(cand, base_params),
-                        budget,
-                        evaluator.fold_stream(bracket_stream, i as u64, c as u64),
-                    )
-                    .with_continuation(derive_seed(
-                        bracket_stream,
-                        CONTINUATION_KEY_SALT + *orig as u64,
-                    ))
-                })
-                .collect();
-            let outcomes = evaluator.evaluate_batch(&jobs);
-            let mut scored: Vec<(usize, f64)> = Vec::with_capacity(survivors.len());
-            for ((c, (_, cand)), outcome) in survivors.iter().enumerate().zip(outcomes) {
+        // The rung loop observes outcomes in submission order (identical at
+        // every worker count), so sampler feedback and winner tracking stay
+        // deterministic.
+        let outcome = run_bracket(
+            evaluator,
+            space,
+            base_params,
+            &spec,
+            entrants,
+            bracket_stream,
+            s * 100, // bracket-qualified rung ids in the history
+            false,
+            &mut history,
+            &mut |cand, budget, out| {
                 // Only feed real observations to model-based samplers; an
                 // imputed score would teach TPE that the region is merely
                 // bad rather than broken, which is fine — but a NaN would
                 // poison its density estimate.
-                if outcome.status.is_ok() {
-                    sampler.observe(cand, budget, outcome.fold_scores.mean());
+                if out.status.is_ok() {
+                    sampler.observe(cand, budget, out.fold_scores.mean());
                 } else {
-                    sampler.observe(cand, budget, outcome.score);
+                    sampler.observe(cand, budget, out.score);
                 }
-                scored.push((c, outcome.score));
                 // NaN-safe "largest budget, then score" tracking: a failed
                 // trial's imputed score can win only against other failures.
                 let candidate_wins = best.as_ref().is_none_or(|(_, b, sc)| {
                     budget > *b
                         || (budget == *b
-                            && compare_scores(outcome.score, *sc) == std::cmp::Ordering::Greater)
+                            && compare_scores(out.score, *sc) == std::cmp::Ordering::Greater)
                 });
                 if candidate_wins {
-                    best = Some((cand.clone(), budget, outcome.score));
+                    best = Some((cand.clone(), budget, out.score));
                 }
-                history.push(Trial {
-                    config: cand.clone(),
-                    budget,
-                    rung: s * 100 + i, // bracket-qualified rung id
-                    outcome,
-                });
-            }
-            if i == s {
-                break;
-            }
-            let keep = (survivors.len() / config.eta).max(1);
-            scored.sort_by(|a, b| compare_scores(b.1, a.1));
-            recorder.emit(RunEvent::Promotion {
-                bracket: s,
-                from_rung: i,
-                to_rung: i + 1,
-                promoted: keep,
-                pruned: survivors.len().saturating_sub(keep),
-            });
-            survivors = scored
-                .into_iter()
-                .take(keep)
-                .map(|(c, _)| survivors[c].clone())
-                .collect();
+            },
+        );
+        if outcome.cancelled {
+            break;
         }
     }
 
@@ -311,5 +271,39 @@ mod tests {
         let b = hyperband(&ev, &space, &quick_base(), &HyperbandConfig::default(), 7);
         assert_eq!(a.best, b.best);
         assert_eq!(a.history.len(), b.history.len());
+    }
+
+    #[test]
+    fn rung_budgets_stay_clamped_to_r_min() {
+        // r_max = 27, η = 3, r_min = 1: the legacy round(R·η^{-s}) form
+        // scheduled zero-budget rungs for s >= 4. Every rung budget must
+        // now sit in [r_min, r_max].
+        let data = dataset(27);
+        let base = MlpParams {
+            hidden_layer_sizes: vec![4],
+            max_iter: 2,
+            ..Default::default()
+        };
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), base.clone(), 9);
+        let space = SearchSpace::mlp_cv18();
+        let cfg = HyperbandConfig {
+            eta: 3,
+            min_budget: 1,
+        };
+        let result = hyperband(&ev, &space, &base, &cfg, 3);
+        assert!(
+            result.history.trials().iter().all(|t| t.budget >= 1),
+            "zero-budget rung scheduled"
+        );
+        assert!(result.history.trials().iter().all(|t| t.budget <= 27));
+        // s_max = 3: the deepest bracket exists and starts at a clamped,
+        // non-zero budget.
+        let brackets: std::collections::HashSet<usize> = result
+            .history
+            .trials()
+            .iter()
+            .map(|t| t.rung / 100)
+            .collect();
+        assert!(brackets.contains(&3), "deep bracket missing: {brackets:?}");
     }
 }

@@ -1,0 +1,305 @@
+//! Iterative Deepening Hyperband (Brandt et al., 2023).
+//!
+//! Hyperband must be told its maximum budget up front; IDHB instead runs a
+//! sequence of successive-halving brackets that *deepen incrementally* — the
+//! first iteration is a cheap, shallow bracket over a few configurations,
+//! and each subsequent iteration widens the entry rung by η and opens one
+//! more rung of the shared budget ladder. Because iteration `d+1`'s
+//! candidate prefix contains iteration `d`'s (the pool is sampled once, at
+//! the final iteration's width), every `(configuration, rung)` evaluation
+//! from earlier iterations is *reused* rather than re-run: the marginal
+//! cost of deepening is only the newly-widened rim plus the newly-opened
+//! top rung. This gives Hyperband-like allocation with anytime behavior —
+//! stop after any iteration and the result is a complete (shallower)
+//! bracket.
+//!
+//! Bracket geometry (keep counts from the bracket top, the budget ladder)
+//! comes from [`crate::rung`]; reuse is a score cache keyed by
+//! `(pool index, rung)`. Each rung evaluates only its cache misses as one
+//! [`TrialJob`] batch, and ranking merges cached and fresh scores, so the
+//! schedule — and therefore journals and checkpoints — is identical at
+//! every worker count.
+
+use crate::continuation::CONTINUATION_KEY_SALT;
+use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
+use crate::obs::RunEvent;
+use crate::rung::{keep_count, ladder};
+use crate::space::{Configuration, SearchSpace};
+use crate::trial::{History, Trial};
+use hpo_data::rng::derive_seed;
+use hpo_models::mlp::MlpParams;
+use std::collections::HashMap;
+
+/// IDHB settings.
+#[derive(Clone, Debug)]
+pub struct IdhbConfig {
+    /// Reduction factor η (widening and keep factor alike).
+    pub eta: usize,
+    /// Budget of the ladder's entry rung (instances).
+    pub min_budget: usize,
+    /// Configurations in the first (shallowest) iteration; iteration `d`
+    /// enters `n_base · η^d`.
+    pub n_base: usize,
+    /// Upper bound on iterations; the ladder height caps it too (an
+    /// iteration deeper than the ladder adds no new rung).
+    pub max_iterations: usize,
+}
+
+impl Default for IdhbConfig {
+    fn default() -> Self {
+        IdhbConfig {
+            eta: 3,
+            min_budget: 20,
+            n_base: 4,
+            max_iterations: 8,
+        }
+    }
+}
+
+/// Outcome of an IDHB run.
+#[derive(Clone, Debug)]
+pub struct IdhbResult {
+    /// Best configuration seen (largest budget reached, then score).
+    pub best: Configuration,
+    /// Every evaluation actually performed (cache hits are not re-recorded).
+    pub history: History,
+}
+
+/// Runs Iterative Deepening Hyperband.
+///
+/// # Panics
+/// Panics when `eta < 2` or `n_base == 0`.
+pub fn idhb<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    config: &IdhbConfig,
+    stream: u64,
+) -> IdhbResult {
+    assert!(config.eta >= 2, "eta must be at least 2");
+    assert!(config.n_base >= 1, "need at least one base configuration");
+
+    let r_max = evaluator.total_budget();
+    let r_min = config.min_budget.clamp(1, r_max);
+    let budgets = ladder(r_min, r_max, config.eta);
+    let n_iters = budgets.len().min(config.max_iterations.max(1));
+
+    // One pool, sampled at the final iteration's width; iteration d uses the
+    // prefix of n_base·η^d. Prefix nesting is what makes earlier evaluations
+    // reusable — and the pool index doubles as the stable continuation key,
+    // so a rung-i+1 evaluation warm-starts from the rung-i fold snapshots no
+    // matter which iteration deposited them.
+    let pool_cap = (config.n_base as u64)
+        .saturating_mul((config.eta as u64).saturating_pow((n_iters - 1) as u32))
+        .min(usize::MAX as u64) as usize;
+    let pool = space.sample_distinct(pool_cap, derive_seed(stream, 0x1DB));
+
+    let recorder = evaluator.recorder();
+    let cancel = evaluator.cancel_token();
+    let mut history = History::new();
+    let mut best: Option<(Configuration, usize, f64)> = None;
+    // Scores of committed evaluations, keyed by (pool index, rung).
+    let mut cache: HashMap<(usize, usize), f64> = HashMap::new();
+
+    'iterations: for d in 0..n_iters {
+        if cancel.is_cancelled() {
+            break;
+        }
+        let depth = d.min(budgets.len() - 1);
+        let n_d = ((config.n_base as u64)
+            .saturating_mul((config.eta as u64).saturating_pow(d as u32))
+            .min(pool.len() as u64)) as usize;
+        recorder.emit(RunEvent::BracketStarted {
+            bracket: d,
+            n_configs: n_d,
+            budget: budgets[0],
+        });
+        let mut survivors: Vec<usize> = (0..n_d).collect();
+
+        for i in 0..=depth {
+            if survivors.is_empty() {
+                break;
+            }
+            // Cooperative cancellation at the rung boundary: committed rungs
+            // are already journaled/checkpointed; a resumed run replays them
+            // (refilling the cache at no cost) and finishes the rest.
+            if cancel.is_cancelled() {
+                break 'iterations;
+            }
+            let budget = budgets[i];
+            recorder.emit(RunEvent::RungStarted {
+                bracket: d,
+                rung: i,
+                n_candidates: survivors.len(),
+                budget,
+            });
+            // Iterative deepening's reuse: only cache misses run. In
+            // iteration d those are the widened rim (pool indices new at
+            // this width) plus the one newly-opened top rung.
+            let fresh: Vec<usize> = survivors
+                .iter()
+                .copied()
+                .filter(|&idx| !cache.contains_key(&(idx, i)))
+                .collect();
+            let jobs: Vec<TrialJob> = fresh
+                .iter()
+                .map(|&idx| {
+                    TrialJob::new(
+                        space.to_params(&pool[idx], base_params),
+                        budget,
+                        evaluator.fold_stream(stream, i as u64, idx as u64),
+                    )
+                    .with_continuation(derive_seed(stream, CONTINUATION_KEY_SALT + idx as u64))
+                })
+                .collect();
+            let outcomes = if jobs.is_empty() {
+                Vec::new()
+            } else {
+                evaluator.evaluate_batch(&jobs)
+            };
+            for (&idx, outcome) in fresh.iter().zip(outcomes) {
+                cache.insert((idx, i), outcome.score);
+                // NaN-safe "largest budget, then score" winner tracking;
+                // cached reuses were already considered when first run.
+                let candidate_wins = best.as_ref().is_none_or(|(_, b, sc)| {
+                    budget > *b
+                        || (budget == *b
+                            && compare_scores(outcome.score, *sc) == std::cmp::Ordering::Greater)
+                });
+                if candidate_wins {
+                    best = Some((pool[idx].clone(), budget, outcome.score));
+                }
+                history.push(Trial {
+                    config: pool[idx].clone(),
+                    budget,
+                    rung: d * 100 + i, // iteration-qualified rung id
+                    outcome,
+                });
+            }
+            if i == depth {
+                break;
+            }
+            // Keep counts from the top of this iteration's bracket —
+            // floor(n_d/η^{i+1}).max(1) — ranked over the *merged* cached +
+            // fresh scores, so reused configurations compete on equal
+            // footing with newly-widened ones.
+            let keep = keep_count(n_d, config.eta, i).min(survivors.len());
+            let mut scored: Vec<(usize, f64)> = survivors
+                .iter()
+                .map(|&idx| (idx, cache[&(idx, i)]))
+                .collect();
+            scored.sort_by(|a, b| compare_scores(b.1, a.1));
+            recorder.emit(RunEvent::Promotion {
+                bracket: d,
+                from_rung: i,
+                to_rung: i + 1,
+                promoted: keep,
+                pruned: survivors.len().saturating_sub(keep),
+            });
+            survivors = scored.into_iter().take(keep).map(|(idx, _)| idx).collect();
+        }
+    }
+
+    // `best` is Some unless the run was cancelled before any trial finished.
+    IdhbResult {
+        best: best
+            .map(|(cand, _, _)| cand)
+            .unwrap_or_else(|| pool.first().cloned().unwrap_or_else(|| space.configuration(0))),
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::CvEvaluator;
+    use crate::pipeline::Pipeline;
+    use hpo_data::synth::{make_classification, ClassificationSpec};
+
+    fn dataset() -> hpo_data::dataset::Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_instances: 240,
+                n_features: 5,
+                n_informative: 5,
+                label_purity: 0.95,
+                blob_spread: 0.3,
+                ..Default::default()
+            },
+            1,
+        )
+    }
+
+    fn quick_base() -> MlpParams {
+        MlpParams {
+            hidden_layer_sizes: vec![6],
+            max_iter: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn iterations_deepen_and_reuse() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 1);
+        let space = SearchSpace::mlp_cv18();
+        let cfg = IdhbConfig {
+            eta: 2,
+            min_budget: 30,
+            n_base: 3,
+            max_iterations: 3,
+        };
+        // ladder(30, 240, 2) = [30, 60, 120, 240]; iterations enter 3/6/12
+        // configs at depths 0/1/2.
+        let result = idhb(&ev, &space, &quick_base(), &cfg, 0);
+        let rung_count = |d: usize, i: usize| {
+            result
+                .history
+                .trials()
+                .iter()
+                .filter(|t| t.rung == d * 100 + i)
+                .count()
+        };
+        // Iteration 0: 3 fresh at rung 0.
+        assert_eq!(rung_count(0, 0), 3);
+        // Iteration 1 enters 6 but reuses the 3 cached: only 3 fresh.
+        assert_eq!(rung_count(1, 0), 3);
+        // Iteration 2 enters 12, reuses 6.
+        assert_eq!(rung_count(2, 0), 6);
+        // Each deeper iteration opens exactly one new top rung.
+        assert!(rung_count(1, 1) >= 1);
+        assert!(rung_count(2, 2) >= 1);
+    }
+
+    #[test]
+    fn deterministic_per_stream() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 2);
+        let space = SearchSpace::mlp_cv18();
+        let cfg = IdhbConfig::default();
+        let a = idhb(&ev, &space, &quick_base(), &cfg, 5);
+        let b = idhb(&ev, &space, &quick_base(), &cfg, 5);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history.len(), b.history.len());
+    }
+
+    #[test]
+    fn budgets_follow_the_shared_ladder() {
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::enhanced(), quick_base(), 3);
+        let space = SearchSpace::mlp_cv18();
+        let cfg = IdhbConfig {
+            eta: 3,
+            min_budget: 20,
+            n_base: 3,
+            max_iterations: 4,
+        };
+        let result = idhb(&ev, &space, &quick_base(), &cfg, 1);
+        // ladder(20, 240, 3) = [20, 60, 180, 240]
+        for t in result.history.trials() {
+            let i = t.rung % 100;
+            assert_eq!(t.budget, [20, 60, 180, 240][i]);
+        }
+        assert!(result.history.trials().iter().any(|t| t.budget == 240));
+    }
+}

@@ -13,10 +13,13 @@
 //! 3. The bandit optimizers, each generic over the pipeline:
 //!    [`sha`] (Successive Halving), [`hyperband`], [`bohb`] (TPE-guided
 //!    Hyperband), [`asha`] (asynchronous SHA, deterministic waves),
-//!    [`pasha`] (progressive ASHA) and [`dehb`]
-//!    (differential-evolution Hyperband), plus [`random_search`]. `SHA+`,
-//!    `HB+`, `BOHB+` in the paper are these optimizers run with the enhanced
-//!    pipeline.
+//!    [`pasha`] (progressive ASHA), [`dehb`]
+//!    (differential-evolution Hyperband), [`idhb`] (Iterative Deepening
+//!    Hyperband) and the classic [`bandit`] family (UCB1, Thompson
+//!    sampling, ε-greedy over budget ladders), plus [`random_search`].
+//!    `SHA+`, `HB+`, `BOHB+` in the paper are these optimizers run with the
+//!    enhanced pipeline. The shared bracket geometry — rung budgets, keep
+//!    counts, promotion order — lives in [`rung`].
 //!
 //! [`harness`] runs a method end to end (search → refit on the full training
 //! set → test-set score) and is what the experiment binaries and examples
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod asha;
+pub mod bandit;
 pub mod bohb;
 pub mod cancel;
 pub mod continuation;
@@ -36,16 +40,19 @@ pub mod evaluator;
 pub mod exec;
 pub mod harness;
 pub mod hyperband;
+pub mod idhb;
 pub mod obs;
 pub mod parallel;
 pub mod pasha;
 pub mod persist;
 pub mod pipeline;
 pub mod random_search;
+pub mod rung;
 pub mod sha;
 pub mod space;
 pub mod trial;
 
+pub use bandit::{BanditConfig, BanditResult, EpsGreedyConfig, ThompsonConfig, UcbConfig};
 pub use cancel::CancelToken;
 pub use continuation::{params_fingerprint, ContinuationCache, SnapshotEntry, SnapshotSet};
 pub use evaluator::{CvEvaluator, EvalOutcome, ScoreKind, TrialStatus};
@@ -54,9 +61,11 @@ pub use exec::{
     TrialEvaluator, TrialJob,
 };
 pub use harness::{run_method, run_method_with, Method, RunOptions, RunResult};
+pub use idhb::{IdhbConfig, IdhbResult};
 pub use obs::{
     EventRecord, LogLevel, MetricsSnapshot, ObservedEvaluator, Recorder, RunEvent, ScopedTimer,
 };
 pub use parallel::{BatchHost, EngineEvaluator, EngineSlot, ExternalEngine, ParallelEvaluator};
 pub use pipeline::Pipeline;
+pub use rung::{BracketOutcome, BracketSpec};
 pub use space::{Configuration, SearchSpace};

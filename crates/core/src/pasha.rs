@@ -20,6 +20,7 @@
 use crate::continuation::CONTINUATION_KEY_SALT;
 use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
 use crate::obs::RunEvent;
+use crate::rung;
 use crate::space::{Configuration, SearchSpace};
 use crate::trial::{History, Trial};
 use hpo_data::rng::derive_seed;
@@ -93,7 +94,7 @@ impl Scheduler {
         // Promote within the currently-open ladder only.
         for rung in (0..self.current_max).rev() {
             let done = &self.completed[rung];
-            let k = done.len() / eta;
+            let k = rung::async_top_k(done.len(), eta);
             if k == 0 {
                 continue;
             }
@@ -169,11 +170,7 @@ pub fn pasha<E: TrialEvaluator + ?Sized>(
 
     let r_max = evaluator.total_budget();
     let r_min = config.min_budget.clamp(1, r_max);
-    let mut budgets = vec![r_min];
-    while *budgets.last().expect("non-empty") < r_max {
-        let next = budgets.last().unwrap().saturating_mul(config.eta);
-        budgets.push(next.min(r_max));
-    }
+    let budgets = rung::ladder(r_min, r_max, config.eta);
     let absolute_max = budgets.len() - 1;
 
     let candidates = space.sample_distinct(config.n_configs, derive_seed(stream, 0x9A5A));

@@ -1,0 +1,422 @@
+//! The shared rung-scheduling core behind every halving-family optimizer.
+//!
+//! SHA, Hyperband (and through its skeleton BOHB and DEHB), ASHA, PASHA,
+//! the bandit family and IDHB all allocate budget along geometric *rungs*.
+//! Each used to carry its own copy of the bracket math, and the copies
+//! disagreed in two subtle ways:
+//!
+//! 1. **Zero-budget rungs.** Hyperband derived a bracket's first budget as
+//!    `round(r_max · η⁻ˢ)` and then multiplied back up, so a deep bracket
+//!    with `r_max / ηˢ < 0.5` rounded its entry budget to 0 — and the
+//!    compounding round-of-round meant the top rung didn't always land on
+//!    `r_max` (e.g. `r_max = 1000, η = 3, s = 4` topped out at 972).
+//! 2. **Inconsistent keep counts.** SHA kept `ceil(n/η)` of the *previous*
+//!    rung while Hyperband kept `floor(n/η)`; the literature specifies
+//!    `floor(n₀/ηⁱ)` computed from the *top of the bracket*. For floor
+//!    division the chained and from-the-top forms coincide (the composition
+//!    lemma `floor(floor(n/a)/a) = floor(n/a²)`, asserted in
+//!    `tests/rung_props.rs`), but SHA's ceiling chain diverges: with
+//!    `n₀ = 10, η = 2` it ran rungs of 10, 5, 3, 2 where the specification
+//!    says 10, 5, 2.
+//!
+//! This module owns the corrected policy in one place:
+//!
+//! * rung budgets are always computed **from the bracket top** —
+//!   `round(r_max · η^{i−s})` — and clamped to `[r_min, r_max]`, so no rung
+//!   can be scheduled below `r_min` (in particular never at 0) and the final
+//!   rung is exactly `r_max`;
+//! * keep counts are always `floor(n₀/η^{i+1}).max(1)` from the bracket's
+//!   original size, never re-derived from a truncated survivor list.
+//!
+//! [`BracketSpec`] materializes a bracket's full geometry up front (every
+//! optimizer's schedule is static given its entry size), and [`run_bracket`]
+//! is the synchronous executor SHA and the Hyperband family share: one
+//! [`TrialJob`] batch per rung, outcomes committed in submission order,
+//! survivors re-ranked with NaN-safe comparisons, journal events
+//! (`RungStarted` / `Promotion`) emitted with the same shapes the
+//! hand-rolled loops used — old checkpoints and normalized traces still
+//! decode. The asynchronous optimizers (ASHA, PASHA, the bandits) share
+//! [`ladder`] and [`async_top_k`] instead of the bracket executor.
+
+use crate::continuation::CONTINUATION_KEY_SALT;
+use crate::evaluator::EvalOutcome;
+use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
+use crate::obs::RunEvent;
+use crate::space::{Configuration, SearchSpace};
+use crate::trial::{History, Trial};
+use hpo_data::rng::derive_seed;
+use hpo_models::mlp::MlpParams;
+
+/// The deepest bracket index for a budget range: `floor(log_η(r_max/r_min))`,
+/// computed with exact integer arithmetic (the legacy float-log version could
+/// mis-floor near powers of η).
+///
+/// # Panics
+/// Panics when `eta < 2` or `r_min` is zero or exceeds `r_max`.
+pub fn s_max(r_max: usize, r_min: usize, eta: usize) -> usize {
+    assert!(eta >= 2, "eta must be at least 2");
+    assert!(
+        (1..=r_max).contains(&r_min),
+        "need 1 <= r_min ({r_min}) <= r_max ({r_max})"
+    );
+    let mut s = 0usize;
+    let mut budget = r_min;
+    while budget.saturating_mul(eta) <= r_max {
+        budget *= eta;
+        s += 1;
+    }
+    s
+}
+
+/// Hyperband's bracket entry size `n_s = ceil((s_max+1)/(s+1) · ηˢ)`,
+/// computed with exact integer arithmetic.
+pub fn bracket_size(s_max: usize, eta: usize, s: usize) -> usize {
+    let pow = (eta as u64).saturating_pow(s as u32);
+    ((s_max as u64 + 1).saturating_mul(pow)).div_ceil(s as u64 + 1) as usize
+}
+
+/// The corrected rung-budget policy: rung `i` of a bracket `s` rungs deep
+/// gets `round(r_max · η^{i−s})`, clamped to `[r_min, r_max]`.
+///
+/// Computed from the bracket top, so rounding never compounds: the final
+/// rung (`i = s`) is exactly `r_max`, and a deep bracket whose unrounded
+/// entry budget falls below 0.5 clamps to `r_min` instead of scheduling a
+/// zero-budget rung (the legacy `round(r_max · η⁻ˢ)`-then-multiply form did
+/// both).
+///
+/// # Panics
+/// Panics when `i > s` or the budget range is degenerate.
+pub fn rung_budget(r_max: usize, r_min: usize, eta: usize, s: usize, i: usize) -> usize {
+    assert!(i <= s, "rung {i} outside bracket of depth {s}");
+    assert!(
+        (1..=r_max).contains(&r_min),
+        "need 1 <= r_min ({r_min}) <= r_max ({r_max})"
+    );
+    let scale = (eta as f64).powi((s - i) as i32);
+    let raw = (r_max as f64 / scale).round() as usize;
+    raw.clamp(r_min, r_max)
+}
+
+/// Candidates entering rung `i` of a bracket that started with `n0`:
+/// `floor(n0/ηⁱ).max(1)`, always from the bracket top.
+pub fn rung_size(n0: usize, eta: usize, i: usize) -> usize {
+    let pow = (eta as u64).saturating_pow(i as u32);
+    ((n0 as u64 / pow) as usize).max(1)
+}
+
+/// Survivors kept after rung `i`: `floor(n0/η^{i+1}).max(1)` from the
+/// bracket top — never `len/η` of the already-truncated previous rung.
+pub fn keep_count(n0: usize, eta: usize, i: usize) -> usize {
+    rung_size(n0, eta, i + 1)
+}
+
+/// The asynchronous promotion quota shared by ASHA, PASHA and the bandit
+/// overlay: with `n_done` results committed at a rung, the top
+/// `floor(n_done/η)` are promotable. (The async rule is self-correcting —
+/// the quota is re-derived from the monotonically growing result set, so the
+/// truncation bug of the synchronous chains cannot arise here.)
+pub fn async_top_k(n_done: usize, eta: usize) -> usize {
+    n_done / eta
+}
+
+/// The geometric budget ladder used by the asynchronous optimizers: budgets
+/// `r_min · ηᵏ` capped at `r_max`, ending at exactly `r_max`.
+///
+/// # Panics
+/// Panics when `eta < 2` or the budget range is degenerate.
+pub fn ladder(r_min: usize, r_max: usize, eta: usize) -> Vec<usize> {
+    assert!(eta >= 2, "eta must be at least 2");
+    assert!(
+        (1..=r_max).contains(&r_min),
+        "need 1 <= r_min ({r_min}) <= r_max ({r_max})"
+    );
+    let mut budgets = vec![r_min];
+    while *budgets.last().expect("non-empty") < r_max {
+        let next = budgets.last().unwrap().saturating_mul(eta);
+        budgets.push(next.min(r_max));
+    }
+    budgets
+}
+
+/// The full, statically-known geometry of one synchronous bracket: per-rung
+/// candidate counts and per-configuration budgets under the corrected
+/// rounding policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BracketSpec {
+    /// Bracket id (Hyperband's `s`; 0 for single-bracket SHA).
+    pub bracket: usize,
+    /// Reduction factor η.
+    pub eta: usize,
+    /// Candidates entering each rung; `sizes[0]` is the entry draw.
+    pub sizes: Vec<usize>,
+    /// Per-configuration budget at each rung.
+    pub budgets: Vec<usize>,
+}
+
+impl BracketSpec {
+    /// Hyperband bracket `s`: `s+1` rungs with budgets
+    /// `round(r_max · η^{i−s}).clamp(r_min, r_max)` and sizes
+    /// `floor(n0/ηⁱ).max(1)`. An empty `n0` yields an empty bracket.
+    pub fn geometric(s: usize, n0: usize, r_max: usize, r_min: usize, eta: usize) -> BracketSpec {
+        assert!(eta >= 2, "eta must be at least 2");
+        if n0 == 0 {
+            return BracketSpec {
+                bracket: s,
+                eta,
+                sizes: Vec::new(),
+                budgets: Vec::new(),
+            };
+        }
+        let sizes = (0..=s).map(|i| rung_size(n0, eta, i)).collect();
+        let budgets = (0..=s).map(|i| rung_budget(r_max, r_min, eta, s, i)).collect();
+        BracketSpec {
+            bracket: s,
+            eta,
+            sizes,
+            budgets,
+        }
+    }
+
+    /// SHA's instances-as-budget rule: rung `i` evaluates
+    /// `floor(n0/ηⁱ).max(1)` survivors at budget
+    /// `clamp(total_budget / nᵢ, min_budget, total_budget)`, and rungs
+    /// continue until a single survivor remains (a one-candidate bracket has
+    /// no rungs at all).
+    pub fn instances(
+        n0: usize,
+        total_budget: usize,
+        min_budget: usize,
+        eta: usize,
+    ) -> BracketSpec {
+        assert!(eta >= 2, "eta must be at least 2");
+        let mut sizes = Vec::new();
+        let mut budgets = Vec::new();
+        let mut i = 0usize;
+        while n0 > 0 && rung_size(n0, eta, i) > 1 {
+            let n_i = rung_size(n0, eta, i);
+            sizes.push(n_i);
+            budgets.push((total_budget / n_i).max(min_budget).min(total_budget));
+            i += 1;
+        }
+        BracketSpec {
+            bracket: 0,
+            eta,
+            sizes,
+            budgets,
+        }
+    }
+
+    /// Number of rungs in the bracket.
+    pub fn n_rungs(&self) -> usize {
+        self.budgets.len()
+    }
+
+    /// Survivors kept after rung `i` — `floor(n0/η^{i+1}).max(1)` from the
+    /// bracket top. Equals `sizes[i+1]` for interior rungs.
+    pub fn keep_after(&self, i: usize) -> usize {
+        keep_count(self.sizes.first().copied().unwrap_or(1), self.eta, i)
+    }
+
+    /// Total evaluation cost of the bracket (Σ sizeᵢ · budgetᵢ), for the
+    /// Hyperband budget-bound property tests.
+    pub fn total_cost(&self) -> u64 {
+        self.sizes
+            .iter()
+            .zip(&self.budgets)
+            .map(|(&n, &b)| n as u64 * b as u64)
+            .sum()
+    }
+}
+
+/// What [`run_bracket`] hands back: the surviving configurations (ranked
+/// best-first by the last committed promotion) and whether the bracket was
+/// cut short by cooperative cancellation.
+#[derive(Clone, Debug)]
+pub struct BracketOutcome {
+    /// Survivors carrying their index in the bracket's original candidate
+    /// list (the index keys warm-start continuation, so it must stay stable
+    /// across rungs).
+    pub survivors: Vec<(usize, Configuration)>,
+    /// Whether the cancel token fired at a rung boundary.
+    pub cancelled: bool,
+}
+
+/// Runs one synchronous bracket through the execution engine.
+///
+/// Each rung is a single [`TrialJob`] batch — the engine may fan trials
+/// across any number of workers, but outcomes return in submission order, so
+/// ranking, sampler observations (via `on_outcome`) and the emitted journal
+/// are identical at every worker count. Fold streams derive from
+/// `(stream, rung, position)` and each configuration's warm-start
+/// continuation key from `(stream, original index)`, exactly as the
+/// hand-rolled SHA/Hyperband loops derived them.
+///
+/// `history_rung_base` offsets rung ids in the recorded [`History`]
+/// (Hyperband uses `s·100` for bracket-qualified ids; SHA uses 0).
+/// `promote_after_final` preserves SHA's legacy journal shape, which emits a
+/// final `Promotion` down to one survivor; Hyperband stops after the last
+/// rung's trials.
+///
+/// Cancellation is checked at each rung boundary: a cancelled bracket
+/// returns the survivors of the last committed promotion, ranked
+/// best-first, with `cancelled = true`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_bracket<E: TrialEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &SearchSpace,
+    base_params: &MlpParams,
+    spec: &BracketSpec,
+    candidates: Vec<(usize, Configuration)>,
+    stream: u64,
+    history_rung_base: usize,
+    promote_after_final: bool,
+    history: &mut History,
+    on_outcome: &mut dyn FnMut(&Configuration, usize, &EvalOutcome),
+) -> BracketOutcome {
+    let recorder = evaluator.recorder();
+    let cancel = evaluator.cancel_token();
+    let mut survivors = candidates;
+    let n_rungs = spec.n_rungs();
+
+    for i in 0..n_rungs {
+        if survivors.is_empty() {
+            break;
+        }
+        // Cooperative cancellation at the rung boundary: completed rungs are
+        // already journaled/checkpointed; a resumed run replays them and
+        // finishes the remaining rungs.
+        if cancel.is_cancelled() {
+            return BracketOutcome {
+                survivors,
+                cancelled: true,
+            };
+        }
+        let budget = spec.budgets[i];
+        recorder.emit(RunEvent::RungStarted {
+            bracket: spec.bracket,
+            rung: i,
+            n_candidates: survivors.len(),
+            budget,
+        });
+        // Fold streams per the pipeline: per-configuration draws (paper
+        // Algorithm 1) or one shared draw per rung — see
+        // Pipeline::per_config_folds. The rung is one batch: trials are
+        // independent, outcomes come back in submission order.
+        let jobs: Vec<TrialJob> = survivors
+            .iter()
+            .enumerate()
+            .map(|(pos, (orig, cand))| {
+                TrialJob::new(
+                    space.to_params(cand, base_params),
+                    budget,
+                    evaluator.fold_stream(stream, i as u64, pos as u64),
+                )
+                .with_continuation(derive_seed(stream, CONTINUATION_KEY_SALT + *orig as u64))
+            })
+            .collect();
+        let outcomes = evaluator.evaluate_batch(&jobs);
+        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(survivors.len());
+        for ((pos, (_, cand)), outcome) in survivors.iter().enumerate().zip(outcomes) {
+            on_outcome(cand, budget, &outcome);
+            scored.push((pos, outcome.score));
+            history.push(Trial {
+                config: cand.clone(),
+                budget,
+                rung: history_rung_base + i,
+                outcome,
+            });
+        }
+        let last = i + 1 == n_rungs;
+        if last && !promote_after_final {
+            break;
+        }
+        let keep = spec.keep_after(i).min(survivors.len());
+        // NaN-safe, total-order ranking: failed/imputed scores sink. The
+        // sort is stable, so ties keep candidate order — deterministic at
+        // every worker count.
+        scored.sort_by(|a, b| compare_scores(b.1, a.1));
+        recorder.emit(RunEvent::Promotion {
+            bracket: spec.bracket,
+            from_rung: i,
+            to_rung: i + 1,
+            promoted: keep,
+            pruned: survivors.len().saturating_sub(keep),
+        });
+        survivors = scored
+            .into_iter()
+            .take(keep)
+            .map(|(pos, _)| survivors[pos].clone())
+            .collect();
+    }
+
+    BracketOutcome {
+        survivors,
+        cancelled: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_max_is_exact_at_eta_powers() {
+        assert_eq!(s_max(27, 1, 3), 3);
+        assert_eq!(s_max(26, 1, 3), 2);
+        assert_eq!(s_max(270, 20, 3), 2);
+        assert_eq!(s_max(2, 1, 3), 0);
+        assert_eq!(s_max(20, 20, 2), 0);
+    }
+
+    #[test]
+    fn rung_budgets_come_from_the_bracket_top() {
+        // No compounding: r_max=1000, eta=3, s=4 must end exactly at 1000
+        // (the legacy round-then-multiply form topped out at 972).
+        let spec = BracketSpec::geometric(4, 81, 1000, 1, 3);
+        assert_eq!(spec.budgets, vec![12, 37, 111, 333, 1000]);
+    }
+
+    #[test]
+    fn deep_brackets_clamp_to_r_min_instead_of_zero() {
+        // r_max/eta^s < 0.5: the legacy form scheduled budget 0 here.
+        for s in 0..=6 {
+            for i in 0..=s {
+                assert!(rung_budget(27, 1, 3, s, i) >= 1, "s={s} i={i}");
+            }
+        }
+        assert_eq!(rung_budget(27, 1, 3, 4, 0), 1);
+    }
+
+    #[test]
+    fn degenerate_r_max_below_eta_stays_in_range() {
+        assert_eq!(s_max(2, 1, 3), 0);
+        let spec = BracketSpec::geometric(0, 3, 2, 1, 3);
+        assert_eq!(spec.budgets, vec![2]);
+        assert_eq!(rung_budget(2, 1, 3, 1, 0), 1);
+    }
+
+    #[test]
+    fn keeps_come_from_the_bracket_top() {
+        // n0=10, eta=2: floor-from-top gives 10, 5, 2 — SHA's legacy
+        // ceiling chain ran 10, 5, 3, 2.
+        let spec = BracketSpec::instances(10, 240, 20, 2);
+        assert_eq!(spec.sizes, vec![10, 5, 2]);
+        assert_eq!(spec.keep_after(2), 1);
+    }
+
+    #[test]
+    fn instances_spec_matches_the_classic_powers_of_two() {
+        let spec = BracketSpec::instances(8, 240, 20, 2);
+        assert_eq!(spec.sizes, vec![8, 4, 2]);
+        assert_eq!(spec.budgets, vec![30, 60, 120]);
+        let spec = BracketSpec::instances(1, 240, 20, 2);
+        assert_eq!(spec.n_rungs(), 0);
+    }
+
+    #[test]
+    fn ladder_caps_at_r_max() {
+        assert_eq!(ladder(20, 240, 2), vec![20, 40, 80, 160, 240]);
+        assert_eq!(ladder(20, 144, 3), vec![20, 60, 144]);
+        assert_eq!(ladder(5, 5, 2), vec![5]);
+    }
+}

@@ -5,13 +5,15 @@
 //! `b_t = B / |T_t|` and keeps the top `1/η`. With η = 2 and the paper's
 //! pipelines this is exactly Algorithm 1: `SHA` with [`Pipeline::vanilla`],
 //! `SHA+` with [`Pipeline::enhanced`].
+//!
+//! The bracket math and the rung loop live in [`crate::rung`]; this module
+//! only fixes the SHA-specific policy (instances-as-budget rung sizing via
+//! [`BracketSpec::instances`], a final promotion down to one survivor).
 
-use crate::continuation::CONTINUATION_KEY_SALT;
-use crate::exec::{compare_scores, TrialEvaluator, TrialJob};
-use crate::obs::RunEvent;
+use crate::rung::{run_bracket, BracketSpec};
 use crate::space::{Configuration, SearchSpace};
-use crate::trial::{History, Trial};
-use hpo_data::rng::derive_seed;
+use crate::trial::History;
+use crate::exec::TrialEvaluator;
 use hpo_models::mlp::MlpParams;
 
 #[allow(unused_imports)] // rustdoc link
@@ -62,86 +64,34 @@ pub fn successive_halving<E: TrialEvaluator + ?Sized>(
     assert!(!candidates.is_empty(), "SHA needs at least one candidate");
     assert!(config.eta >= 2, "eta must be at least 2");
 
-    let total_budget = evaluator.total_budget();
-    let recorder = evaluator.recorder();
+    let spec = BracketSpec::instances(
+        candidates.len(),
+        evaluator.total_budget(),
+        config.min_budget,
+        config.eta,
+    );
     // Survivors carry their index in the *original* candidate list so the
     // continuation key of a configuration is stable across rungs — that key
     // is how a rung-i+1 evaluation finds the rung-i fold snapshots to warm
     // start from, no matter how re-indexing shuffles the survivor vector.
-    let mut survivors: Vec<(usize, Configuration)> =
-        candidates.iter().cloned().enumerate().collect();
+    let entrants: Vec<(usize, Configuration)> = candidates.iter().cloned().enumerate().collect();
     let mut history = History::new();
-    let mut rung = 0usize;
-    let cancel = evaluator.cancel_token();
-
-    while survivors.len() > 1 {
-        // Cooperative cancellation at the rung boundary: stop halving and
-        // return the best survivor ranked so far. Completed trials are
-        // already journaled/checkpointed; a resumed run replays them and
-        // finishes the remaining rungs.
-        if cancel.is_cancelled() {
-            break;
-        }
-        let budget = (total_budget / survivors.len())
-            .max(config.min_budget)
-            .min(total_budget);
-        recorder.emit(RunEvent::RungStarted {
-            bracket: 0,
-            rung,
-            n_candidates: survivors.len(),
-            budget,
-        });
-        // Fold streams per the pipeline: per-configuration draws (paper
-        // Algorithm 1) or one shared draw per rung (scikit-learn semantics,
-        // the Proposition 1 ablation) — see Pipeline::per_config_folds.
-        // The rung is one batch: trials are independent, so the execution
-        // engine may run them on any worker; outcomes come back in
-        // submission order, which is all the ranking below ever sees.
-        let jobs: Vec<TrialJob> = survivors
-            .iter()
-            .enumerate()
-            .map(|(i, (orig, cand))| {
-                TrialJob::new(
-                    space.to_params(cand, base_params),
-                    budget,
-                    evaluator.fold_stream(stream, rung as u64, i as u64),
-                )
-                .with_continuation(derive_seed(stream, CONTINUATION_KEY_SALT + *orig as u64))
-            })
-            .collect();
-        let outcomes = evaluator.evaluate_batch(&jobs);
-        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(survivors.len());
-        for ((i, (_, cand)), outcome) in survivors.iter().enumerate().zip(outcomes) {
-            scored.push((i, outcome.score));
-            history.push(Trial {
-                config: cand.clone(),
-                budget,
-                rung,
-                outcome,
-            });
-        }
-        // Keep the top ceil(|T|/eta); always make progress.
-        let keep = survivors
-            .len()
-            .div_ceil(config.eta)
-            .min(survivors.len() - 1)
-            .max(1);
-        // NaN-safe, total-order ranking: failed/imputed scores sink.
-        scored.sort_by(|a, b| compare_scores(b.1, a.1));
-        let keep_idx: Vec<usize> = scored.iter().take(keep).map(|&(i, _)| i).collect();
-        recorder.emit(RunEvent::Promotion {
-            bracket: 0,
-            from_rung: rung,
-            to_rung: rung + 1,
-            promoted: keep,
-            pruned: survivors.len() - keep,
-        });
-        survivors = keep_idx.into_iter().map(|i| survivors[i].clone()).collect();
-        rung += 1;
-    }
-
-    // An uncancelled loop leaves exactly one survivor; a cancelled one
-    // leaves several, ranked best-first by the last promotion.
+    // The final promotion takes the bracket down to exactly one survivor;
+    // a cancelled bracket leaves several, ranked best-first by the last
+    // committed promotion.
+    let outcome = run_bracket(
+        evaluator,
+        space,
+        base_params,
+        &spec,
+        entrants,
+        stream,
+        0,
+        true,
+        &mut history,
+        &mut |_, _, _| {},
+    );
+    let mut survivors = outcome.survivors;
     ShaResult {
         best: survivors.swap_remove(0).1,
         history,
@@ -263,6 +213,29 @@ mod tests {
         assert_eq!(result.history.rung(0).count(), 16);
         assert_eq!(result.history.rung(1).count(), 4);
         assert_eq!(result.history.rung(2).count(), 0);
+    }
+
+    #[test]
+    fn keeps_follow_the_top_of_bracket_rule() {
+        // n0 = 10, η = 2: floor-from-top runs rungs of 10, 5, 2 — the
+        // legacy ceiling chain over-kept a fourth rung of 3.
+        let data = dataset();
+        let ev = CvEvaluator::new(&data, Pipeline::vanilla(), quick_base(), 7);
+        let space = SearchSpace::mlp_cv18();
+        let candidates: Vec<Configuration> = (0..10).map(|i| space.configuration(i)).collect();
+        let result = successive_halving(
+            &ev,
+            &space,
+            &candidates,
+            &quick_base(),
+            &ShaConfig::default(),
+            0,
+        );
+        assert_eq!(result.history.rung(0).count(), 10);
+        assert_eq!(result.history.rung(1).count(), 5);
+        assert_eq!(result.history.rung(2).count(), 2);
+        assert_eq!(result.history.rung(3).count(), 0);
+        assert_eq!(result.history.len(), 17);
     }
 
     #[test]

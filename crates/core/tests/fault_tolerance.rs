@@ -9,12 +9,14 @@
 //! killed-and-resumed run must converge to the uninterrupted selection.
 
 use hpo_core::asha::{asha, AshaConfig};
+use hpo_core::bandit::{epsgreedy, thompson, ucb, BanditConfig, EpsGreedyConfig, ThompsonConfig, UcbConfig};
 use hpo_core::bohb::{bohb, BohbConfig};
 use hpo_core::dehb::{dehb, DehbConfig};
 use hpo_core::evaluator::{CvEvaluator, EvalOutcome, TrialStatus};
 use hpo_core::exec::{FailurePolicy, FaultInjector, FaultPlan, TrialEvaluator, TrialJob};
 use hpo_core::harness::{run_method_with, Method, RunOptions};
 use hpo_core::hyperband::{hyperband, HyperbandConfig};
+use hpo_core::idhb::{idhb, IdhbConfig};
 use hpo_core::pasha::{pasha, PashaConfig};
 use hpo_core::persist::{load_checkpoint, save_checkpoint};
 use hpo_core::pipeline::Pipeline;
@@ -71,7 +73,7 @@ fn chaos_policy() -> FailurePolicy {
     }
 }
 
-/// Runs all seven optimizers through `evaluator`, returning labelled
+/// Runs all eleven optimizers through `evaluator`, returning labelled
 /// (best, history) pairs.
 fn run_all<E: TrialEvaluator + ?Sized>(
     evaluator: &E,
@@ -110,11 +112,43 @@ fn run_all<E: TrialEvaluator + ?Sized>(
     };
     let r = pasha(evaluator, space, base, &cfg, stream);
     out.push(("PASHA", r.best, r.history));
+    let bandit = BanditConfig {
+        eta: 2,
+        min_budget: 20,
+        n_configs: 6,
+        batch: 3,
+        total_pulls: 12,
+    };
+    let cfg = UcbConfig {
+        bandit: bandit.clone(),
+        ..Default::default()
+    };
+    let r = ucb(evaluator, space, base, &cfg, stream);
+    out.push(("UCB", r.best, r.history));
+    let cfg = ThompsonConfig {
+        bandit: bandit.clone(),
+        ..Default::default()
+    };
+    let r = thompson(evaluator, space, base, &cfg, stream);
+    out.push(("Thompson", r.best, r.history));
+    let cfg = EpsGreedyConfig {
+        bandit,
+        ..Default::default()
+    };
+    let r = epsgreedy(evaluator, space, base, &cfg, stream);
+    out.push(("EpsGreedy", r.best, r.history));
+    let cfg = IdhbConfig {
+        n_base: 3,
+        max_iterations: 3,
+        ..Default::default()
+    };
+    let r = idhb(evaluator, space, base, &cfg, stream);
+    out.push(("IDHB", r.best, r.history));
     out
 }
 
 #[test]
-fn all_seven_optimizers_survive_twenty_percent_faults() {
+fn all_eleven_optimizers_survive_twenty_percent_faults() {
     let (data, base) = shared();
     let space = SearchSpace::mlp_cv18();
     let ev = CvEvaluator::new(data, Pipeline::vanilla(), base.clone(), 11)

@@ -58,12 +58,17 @@ proptest! {
             stream,
         );
         prop_assert!(candidates.contains(&result.best));
-        // expected evaluations: sum of rung sizes until one survivor
+        // expected evaluations: sum of rung sizes floor(n0/eta^i).max(1),
+        // computed from the top of the bracket, until one survivor
         let mut expected = 0usize;
-        let mut m = n_candidates;
-        while m > 1 {
+        let mut i = 0u32;
+        loop {
+            let m = (n_candidates / eta.pow(i)).max(1);
+            if m <= 1 {
+                break;
+            }
             expected += m;
-            m = m.div_ceil(eta).min(m - 1).max(1);
+            i += 1;
         }
         prop_assert_eq!(result.history.len(), expected);
         // budgets never exceed the dataset and never drop below min_budget

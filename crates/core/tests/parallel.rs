@@ -13,13 +13,15 @@
 //! differ from each other.
 
 use hpo_core::asha::AshaConfig;
+use hpo_core::bandit::{BanditConfig, EpsGreedyConfig, ThompsonConfig, UcbConfig};
 use hpo_core::bohb::BohbConfig;
 use hpo_core::dehb::DehbConfig;
 use hpo_core::harness::{run_method_with, Method, RunOptions, RunResult};
 use hpo_core::hyperband::HyperbandConfig;
+use hpo_core::idhb::IdhbConfig;
 use hpo_core::obs::Recorder;
 use hpo_core::pasha::PashaConfig;
-use hpo_core::persist::{load_checkpoint, RunCheckpoint};
+use hpo_core::persist::{load_checkpoint, save_checkpoint, RunCheckpoint};
 use hpo_core::pipeline::Pipeline;
 use hpo_core::random_search::RandomSearchConfig;
 use hpo_core::sha::ShaConfig;
@@ -219,6 +221,169 @@ fn pasha_is_identical_in_parallel() {
         Method::Pasha(PashaConfig {
             workers: 2,
             n_configs: 8,
+            ..Default::default()
+        }),
+    );
+}
+
+/// The shared small bandit configuration the parallel suite runs the three
+/// classic policies under: 6 arms, waves of 3, 12 pulls total.
+fn small_bandit() -> BanditConfig {
+    BanditConfig {
+        eta: 2,
+        min_budget: 20,
+        n_configs: 6,
+        batch: 3,
+        total_pulls: 12,
+    }
+}
+
+#[test]
+fn ucb_is_identical_in_parallel() {
+    assert_parallel_matches_sequential(
+        "ucb",
+        Method::Ucb(UcbConfig {
+            bandit: small_bandit(),
+            ..Default::default()
+        }),
+    );
+}
+
+#[test]
+fn thompson_is_identical_in_parallel() {
+    assert_parallel_matches_sequential(
+        "thompson",
+        Method::Thompson(ThompsonConfig {
+            bandit: small_bandit(),
+            ..Default::default()
+        }),
+    );
+}
+
+#[test]
+fn epsgreedy_is_identical_in_parallel() {
+    assert_parallel_matches_sequential(
+        "epsgreedy",
+        Method::EpsGreedy(EpsGreedyConfig {
+            bandit: small_bandit(),
+            ..Default::default()
+        }),
+    );
+}
+
+#[test]
+fn idhb_is_identical_in_parallel() {
+    assert_parallel_matches_sequential(
+        "idhb",
+        Method::Idhb(IdhbConfig {
+            n_base: 3,
+            max_iterations: 3,
+            ..Default::default()
+        }),
+    );
+}
+
+/// Cancellation→resume convergence, for one optimizer: an interrupted run
+/// whose checkpoint lost its tail must, when resumed, replay the surviving
+/// trials and converge to the uninterrupted run's exact result.
+fn assert_killed_and_resumed_converges(label: &str, method: Method) {
+    let (train, test, base) = shared();
+    let space = SearchSpace::mlp_cv18();
+    let path =
+        std::env::temp_dir().join(format!("bhpo_resume_{label}_{}.json", std::process::id()));
+    std::fs::remove_file(&path).ok();
+
+    let run = |opts: &RunOptions| {
+        run_method_with(
+            train,
+            test,
+            &space,
+            Pipeline::enhanced(),
+            base,
+            &method,
+            23,
+            opts,
+        )
+    };
+
+    let full = run(&RunOptions {
+        checkpoint: Some(path.clone()),
+        ..Default::default()
+    });
+    assert_eq!(full.n_resumed, 0, "{label}: fresh run must not resume");
+
+    // Simulate a mid-run kill: drop the second half of the journal.
+    let mut cp = load_checkpoint(&path).unwrap();
+    assert!(
+        cp.entries.len() >= 4,
+        "{label}: reference run journaled too little"
+    );
+    let kept = cp.entries.len() / 2;
+    cp.entries.truncate(kept);
+    save_checkpoint(&cp, &path).unwrap();
+
+    let resumed = run(&RunOptions {
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..Default::default()
+    });
+    assert_eq!(
+        resumed.n_resumed, kept,
+        "{label}: all surviving trials must replay"
+    );
+    assert_eq!(resumed.best_config, full.best_config, "{label}: best diverged");
+    assert_eq!(
+        resumed.test_score.to_bits(),
+        full.test_score.to_bits(),
+        "{label}: test score diverged"
+    );
+    assert_eq!(resumed.n_evaluations, full.n_evaluations);
+
+    let final_cp = load_checkpoint(&path).unwrap();
+    assert_eq!(final_cp.entries.len(), full.n_evaluations);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn killed_and_resumed_ucb_converges() {
+    assert_killed_and_resumed_converges(
+        "ucb",
+        Method::Ucb(UcbConfig {
+            bandit: small_bandit(),
+            ..Default::default()
+        }),
+    );
+}
+
+#[test]
+fn killed_and_resumed_thompson_converges() {
+    assert_killed_and_resumed_converges(
+        "thompson",
+        Method::Thompson(ThompsonConfig {
+            bandit: small_bandit(),
+            ..Default::default()
+        }),
+    );
+}
+
+#[test]
+fn killed_and_resumed_epsgreedy_converges() {
+    assert_killed_and_resumed_converges(
+        "epsgreedy",
+        Method::EpsGreedy(EpsGreedyConfig {
+            bandit: small_bandit(),
+            ..Default::default()
+        }),
+    );
+}
+
+#[test]
+fn killed_and_resumed_idhb_converges() {
+    assert_killed_and_resumed_converges(
+        "idhb",
+        Method::Idhb(IdhbConfig {
+            n_base: 3,
+            max_iterations: 3,
             ..Default::default()
         }),
     );

@@ -1,0 +1,244 @@
+//! Property and regression tests for the shared rung-scheduling core
+//! ([`hpo_core::rung`]): the single rounding policy every halving-family
+//! optimizer now goes through, plus the two rounding bugs it fixed.
+
+use hpo_core::rung::{
+    bracket_size, keep_count, ladder, rung_budget, rung_size, s_max, BracketSpec,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every rung budget of a geometric bracket sits in `[r_min, r_max]`,
+    /// the sequence is non-decreasing (clamping can flatten the low end of
+    /// deep brackets, so *strict* growth is impossible to promise), and the
+    /// final rung lands exactly on `r_max` — the legacy round-then-multiply
+    /// form broke both ends.
+    #[test]
+    fn geometric_budgets_are_clamped_monotone_and_top_out_at_r_max(
+        r_max in 1usize..2000,
+        r_min_frac in 1usize..100,
+        eta in 2usize..6,
+        n0 in 1usize..200,
+    ) {
+        let r_min = (r_max * r_min_frac / 100).max(1);
+        let deepest = s_max(r_max, r_min, eta);
+        for s in 0..=deepest {
+            let spec = BracketSpec::geometric(s, n0, r_max, r_min, eta);
+            prop_assert_eq!(spec.budgets.len(), s + 1);
+            for window in spec.budgets.windows(2) {
+                prop_assert!(window[0] <= window[1], "budgets must not shrink");
+            }
+            for &b in &spec.budgets {
+                prop_assert!((r_min..=r_max).contains(&b), "budget {b} outside [{r_min}, {r_max}]");
+            }
+            prop_assert_eq!(*spec.budgets.last().unwrap(), r_max);
+        }
+    }
+
+    /// Rung sizes are non-increasing, at least 1, and each keep count equals
+    /// the next rung's size — the from-the-top invariant that makes
+    /// truncation-compounding impossible.
+    #[test]
+    fn sizes_non_increasing_and_keeps_match_next_rung(
+        s in 0usize..8,
+        n0 in 1usize..500,
+        eta in 2usize..6,
+    ) {
+        let spec = BracketSpec::geometric(s, n0, 1000, 1, eta);
+        prop_assert_eq!(spec.sizes.len(), s + 1);
+        for window in spec.sizes.windows(2) {
+            prop_assert!(window[0] >= window[1], "sizes must not grow");
+        }
+        for &n in &spec.sizes {
+            prop_assert!(n >= 1);
+        }
+        for i in 0..s {
+            prop_assert_eq!(spec.keep_after(i), spec.sizes[i + 1]);
+        }
+        prop_assert_eq!(spec.sizes[0], n0);
+    }
+
+    /// The composition lemma behind the keep-count fix: chained floor
+    /// division `(((n/η)/η)/…)` equals from-the-top `n/η^i`, and the
+    /// `.max(1)` clamp preserves the identity (once either chain reaches 1
+    /// both stay at 1). This is why Hyperband's legacy `len/η` chain was
+    /// accidentally correct while SHA's `div_ceil` chain was not.
+    #[test]
+    fn floor_chain_composes(n0 in 1usize..10_000, eta in 2usize..8, depth in 1usize..12) {
+        let mut chained = n0;
+        for i in 0..depth {
+            chained = (chained / eta).max(1);
+            prop_assert_eq!(chained, keep_count(n0, eta, i));
+        }
+    }
+
+    /// Total cost of each Hyperband bracket stays within the budget bound of
+    /// Li et al. (2017): a bracket runs `s+1` rungs, each costing at most
+    /// `n_s·r_0 + extra` where rounding adds at most one unit per rung per
+    /// config. Conservatively: cost ≤ (s+1) · (n0+1) · (r_max + 1).
+    #[test]
+    fn bracket_cost_is_bounded(
+        r_max in 10usize..2000,
+        eta in 2usize..5,
+    ) {
+        let r_min = (r_max / 50).max(1);
+        let deepest = s_max(r_max, r_min, eta);
+        for s in 0..=deepest {
+            let n0 = bracket_size(deepest, eta, s);
+            let spec = BracketSpec::geometric(s, n0, r_max, r_min, eta);
+            // Each rung i costs sizes[i]·budgets[i] ≤ (n0/η^i + 1)·(r_max/η^{s-i} + r_min + 1);
+            // summing the geometric series keeps the whole bracket within a
+            // small constant of Hyperband's B = (s_max+1)·r_max target.
+            let bound: u64 = (0..=s)
+                .map(|i| {
+                    let n_i = rung_size(n0, eta, i) as u64;
+                    let b_i = rung_budget(r_max, r_min, eta, s, i) as u64;
+                    n_i * b_i
+                })
+                .sum();
+            prop_assert_eq!(spec.total_cost(), bound);
+            let li_bound = (s as u64 + 1) * (n0 as u64 + 1) * (r_max as u64 + 1);
+            prop_assert!(spec.total_cost() <= li_bound,
+                "bracket cost {} exceeds bound {li_bound}", spec.total_cost());
+        }
+    }
+
+    /// The instances-as-budget spec (SHA) keeps every budget within
+    /// `[min(min_budget, total), total]` and its sizes follow the same
+    /// from-the-top rule as the geometric spec.
+    #[test]
+    fn instances_spec_invariants(
+        n0 in 1usize..200,
+        total in 20usize..2000,
+        min_budget in 1usize..100,
+        eta in 2usize..5,
+    ) {
+        let spec = BracketSpec::instances(n0, total, min_budget, eta);
+        for (i, (&n, &b)) in spec.sizes.iter().zip(&spec.budgets).enumerate() {
+            prop_assert_eq!(n, rung_size(n0, eta, i));
+            prop_assert!(n > 1, "a one-survivor rung must not be scheduled");
+            prop_assert!(b <= total);
+            prop_assert!(b >= min_budget.min(total));
+        }
+        for window in spec.sizes.windows(2) {
+            prop_assert!(window[0] > window[1], "instance rungs strictly shrink");
+        }
+    }
+
+    /// The async ladder starts at r_min, ends exactly at r_max, grows by η
+    /// until the cap, and never leaves `[r_min, r_max]`.
+    #[test]
+    fn ladder_invariants(r_max in 1usize..5000, r_min_raw in 1usize..5000, eta in 2usize..6) {
+        let r_min = r_min_raw.min(r_max);
+        let rungs = ladder(r_min, r_max, eta);
+        prop_assert_eq!(rungs[0], r_min);
+        prop_assert_eq!(*rungs.last().unwrap(), r_max);
+        for window in rungs.windows(2) {
+            prop_assert!(window[0] < window[1]);
+            prop_assert!(window[1] <= window[0] * eta);
+        }
+    }
+}
+
+/// Regression (bugfix 1): `r_max = 27, η = 3, r_min = 1`. The legacy
+/// `round(r_max·η^{-s})`-then-multiply form scheduled budget 0 at the entry
+/// rungs of brackets `s ≥ 4`; the corrected from-the-top policy clamps to
+/// `r_min`.
+#[test]
+fn deep_bracket_budgets_clamp_to_r_min() {
+    for s in 0..=6 {
+        for i in 0..=s {
+            let b = rung_budget(27, 1, 3, s, i);
+            assert!(b >= 1, "zero budget at s={s}, i={i}");
+            assert!(b <= 27, "budget {b} above r_max at s={s}, i={i}");
+        }
+        // the final rung is always exactly r_max
+        assert_eq!(rung_budget(27, 1, 3, s, s), 27);
+    }
+    // the specific legacy failure: s = 4 ⇒ round(27/81) = 0
+    assert_eq!(rung_budget(27, 1, 3, 4, 0), 1);
+    // and the compounding failure: round-then-multiply from a rounded r0
+    // lands off r_max (972 for r_max=1000, η=3, s=4); from-the-top does not.
+    assert_eq!(rung_budget(1000, 1, 3, 4, 4), 1000);
+}
+
+/// Regression (bugfix 1, degenerate case): `r_max < η`. One bracket, one
+/// rung, budget pinned inside the (tiny) valid range.
+#[test]
+fn degenerate_r_max_below_eta() {
+    assert_eq!(s_max(2, 1, 3), 0);
+    let spec = BracketSpec::geometric(0, 5, 2, 1, 3);
+    assert_eq!(spec.budgets, vec![2]);
+    assert_eq!(spec.sizes, vec![5]);
+    assert_eq!(ladder(1, 2, 3), vec![1, 2]);
+}
+
+/// Regression (bugfix 2), table-driven: the legacy SHA keep chain
+/// `m.div_ceil(η).min(m−1).max(1)` versus the corrected from-the-top
+/// `floor(n0/η^i).max(1)`. The table documents exactly where they diverge
+/// (the ceiling chain over-keeps, inserting extra rungs) and where they
+/// happen to agree (powers of η).
+#[test]
+fn old_vs_new_sha_rung_series() {
+    fn legacy_series(n0: usize, eta: usize) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        let mut m = n0;
+        while m > 1 {
+            sizes.push(m);
+            m = m.div_ceil(eta).min(m - 1).max(1);
+        }
+        sizes
+    }
+    fn corrected_series(n0: usize, eta: usize) -> Vec<usize> {
+        BracketSpec::instances(n0, 1_000_000, 1, eta).sizes
+    }
+
+    // (n0, eta, legacy, corrected)
+    let table: &[(usize, usize, &[usize], &[usize])] = &[
+        // powers of η: both rules agree
+        (8, 2, &[8, 4, 2], &[8, 4, 2]),
+        (16, 4, &[16, 4], &[16, 4]),
+        (27, 3, &[27, 9, 3], &[27, 9, 3]),
+        // divergence: ceil keeps 3 of 5 alive one rung longer
+        (10, 2, &[10, 5, 3, 2], &[10, 5, 2]),
+        // divergence compounds: two extra rungs, 37 vs 33 evaluations
+        (18, 2, &[18, 9, 5, 3, 2], &[18, 9, 4, 2]),
+        // divergence at η=3: ceil(7/3)=3 > floor(7/3)=2
+        (7, 3, &[7, 3], &[7, 2]),
+        // small cases: both collapse immediately
+        (2, 2, &[2], &[2]),
+        (3, 3, &[3], &[3]),
+    ];
+    for &(n0, eta, legacy, corrected) in table {
+        assert_eq!(
+            legacy_series(n0, eta),
+            legacy,
+            "legacy series changed for n0={n0}, eta={eta}"
+        );
+        assert_eq!(
+            corrected_series(n0, eta),
+            corrected,
+            "corrected series changed for n0={n0}, eta={eta}"
+        );
+        // the corrected schedule never costs more evaluations than legacy
+        assert!(
+            corrected.iter().sum::<usize>() <= legacy.iter().sum::<usize>(),
+            "from-the-top keeps must not over-keep: n0={n0}, eta={eta}"
+        );
+    }
+}
+
+/// The exact-integer `s_max` agrees with the mathematical definition
+/// `floor(log_η(r_max/r_min))` on exact powers, where the legacy float-log
+/// form could mis-floor.
+#[test]
+fn s_max_handles_exact_powers() {
+    assert_eq!(s_max(243, 1, 3), 5);
+    assert_eq!(s_max(242, 1, 3), 4);
+    assert_eq!(s_max(244, 1, 3), 5);
+    assert_eq!(s_max(1024, 1, 2), 10);
+    assert_eq!(s_max(270, 20, 3), 2);
+    assert_eq!(s_max(20, 20, 3), 0);
+}

@@ -10,10 +10,12 @@
 //! the two byte-for-byte).
 
 use hpo_core::asha::AshaConfig;
+use hpo_core::bandit::{EpsGreedyConfig, ThompsonConfig, UcbConfig};
 use hpo_core::bohb::BohbConfig;
 use hpo_core::dehb::DehbConfig;
 use hpo_core::harness::Method;
 use hpo_core::hyperband::HyperbandConfig;
+use hpo_core::idhb::IdhbConfig;
 use hpo_core::pasha::PashaConfig;
 use hpo_core::pipeline::Pipeline;
 use hpo_core::random_search::RandomSearchConfig;
@@ -74,7 +76,7 @@ pub struct RunSpec {
     /// scales make cheap smoke runs.
     #[serde(default = "default_scale")]
     pub scale: f64,
-    /// Optimizer: `random|sha|hb|bohb|asha|pasha|dehb`.
+    /// Optimizer: `random|sha|hb|bohb|asha|pasha|dehb|ucb|thompson|epsgreedy|idhb`.
     #[serde(default = "default_method")]
     pub method: String,
     /// Evaluation pipeline: `vanilla|enhanced`.
@@ -217,9 +219,13 @@ fn parse_method(label: &str) -> Result<Method, SpecError> {
         "asha" => Method::Asha(AshaConfig::default()),
         "pasha" => Method::Pasha(PashaConfig::default()),
         "dehb" => Method::Dehb(DehbConfig::default()),
+        "ucb" => Method::Ucb(UcbConfig::default()),
+        "thompson" => Method::Thompson(ThompsonConfig::default()),
+        "epsgreedy" => Method::EpsGreedy(EpsGreedyConfig::default()),
+        "idhb" => Method::Idhb(IdhbConfig::default()),
         other => {
             return Err(SpecError(format!(
-                "unknown method `{other}` (expected random|sha|hb|bohb|asha|pasha|dehb)"
+                "unknown method `{other}` (expected random|sha|hb|bohb|asha|pasha|dehb|ucb|thompson|epsgreedy|idhb)"
             )))
         }
     })
