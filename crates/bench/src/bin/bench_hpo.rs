@@ -351,6 +351,112 @@ fn latency_percentiles() -> serde_json::Value {
     serde_json::Value::Object(out)
 }
 
+/// `--plugin` mode: measures what the subprocess evaluator boundary costs
+/// per trial. A trivial `/bin/sh` evaluator (reads the JSON request, prints
+/// a constant score) is driven through `PluginEvaluator` for `--plugin-trials`
+/// evaluations; the p50/p99 of spawn + JSON round-trip wall time is reported
+/// next to the same percentiles for an in-process MLP trial, so the report
+/// shows exactly how much a fork/exec per trial buys you relative to staying
+/// in-process.
+fn plugin_bench(args: &ExpArgs, out_path: &str) {
+    use hpo_core::plugin::{PluginEvaluator, PluginSettings};
+    use hpo_core::spec::SpaceSpec;
+    use hpo_core::CvEvaluator;
+    use hpo_core::TrialEvaluator;
+
+    let trials: usize = args.get("plugin-trials").unwrap_or(64);
+    let spec = SpaceSpec::parse("lr float 0.001..0.1 log\nmomentum float 0.0..0.9\n")
+        .expect("bench space parses");
+    let space = spec.search_space();
+    let settings = PluginSettings {
+        command: vec![
+            "/bin/sh".to_string(),
+            "-c".to_string(),
+            // Consume stdin (the JSON request) and answer with a constant
+            // score: the evaluation itself is free, so the measured wall
+            // time is pure spawn + pipe + JSON round-trip overhead.
+            "cat >/dev/null; echo 0.5".to_string(),
+        ],
+        total_budget: 100,
+        folds: 1,
+        per_config_folds: true,
+    };
+    let evaluator = PluginEvaluator::new(settings);
+
+    let mut plugin_secs = Vec::with_capacity(trials);
+    for i in 0..trials {
+        let config = space.configuration(i % space.n_configurations());
+        let job = hpo_core::TrialJob::new(MlpParams::default(), 100, i as u64)
+            .with_values(space.trial_values(&config));
+        let t = Instant::now();
+        let out = evaluator.evaluate_raw(&job);
+        plugin_secs.push(t.elapsed().as_secs_f64());
+        assert_eq!(out.score, 0.5, "stub evaluator answers 0.5");
+    }
+
+    let tt = PaperDataset::Australian.load(args.scale, args.seed);
+    let params = MlpParams {
+        max_iter: args.get("max-iter").unwrap_or(10),
+        ..Default::default()
+    };
+    let budget = tt.train.n_instances();
+    let mlp = CvEvaluator::new(&tt.train, Pipeline::enhanced(), params.clone(), args.seed);
+    let mlp_trials = trials.min(16);
+    let mut mlp_secs = Vec::with_capacity(mlp_trials);
+    for _ in 0..mlp_trials {
+        let t = Instant::now();
+        std::hint::black_box(mlp.evaluate(&params, budget, 0));
+        mlp_secs.push(t.elapsed().as_secs_f64());
+    }
+
+    let pct = |samples: &mut Vec<f64>, q: f64| {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
+        samples[idx.min(samples.len() - 1)]
+    };
+    let plugin_p50 = pct(&mut plugin_secs, 0.50);
+    let plugin_p99 = pct(&mut plugin_secs, 0.99);
+    let mlp_p50 = pct(&mut mlp_secs, 0.50);
+    let mlp_p99 = pct(&mut mlp_secs, 0.99);
+    println!(
+        "plugin trial (spawn + JSON round-trip): p50 {:.2} ms, p99 {:.2} ms over {trials} trials",
+        plugin_p50 * 1e3,
+        plugin_p99 * 1e3,
+    );
+    println!(
+        "in-process MLP trial:                   p50 {:.2} ms, p99 {:.2} ms over {mlp_trials} trials",
+        mlp_p50 * 1e3,
+        mlp_p99 * 1e3,
+    );
+    println!(
+        "subprocess overhead is {:.1}% of an MLP trial at p50",
+        100.0 * plugin_p50 / mlp_p50.max(1e-12),
+    );
+
+    let report = serde_json::json!({
+        "bench": "hpo",
+        "mode": "plugin",
+        "seed": args.seed,
+        "scale": args.scale,
+        "plugin": {
+            "trials": trials,
+            "spawn_roundtrip_p50_seconds": plugin_p50,
+            "spawn_roundtrip_p99_seconds": plugin_p99,
+        },
+        "mlp": {
+            "trials": mlp_trials,
+            "budget": budget,
+            "trial_p50_seconds": mlp_p50,
+            "trial_p99_seconds": mlp_p99,
+        },
+        "overhead_ratio_p50": plugin_p50 / mlp_p50.max(1e-12),
+        "latency_percentiles": latency_percentiles(),
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    write_json_atomic(out_path, text.as_bytes()).expect("write benchmark report");
+    println!("wrote {out_path}");
+}
+
 /// `--server` smoke mode: measures what the HTTP/registry layer costs on
 /// top of a direct invocation. One spec is submitted through a loopback
 /// `hpo-server`; the same spec is then run directly; the report records
@@ -406,7 +512,9 @@ fn server_smoke(args: &ExpArgs, out_path: &str) {
     let via_api = client.result(&id).expect("result");
     handle.shutdown();
 
-    let prepared = spec.prepare().expect("spec prepares");
+    let hpo_server::PreparedRun::Mlp(prepared) = spec.prepare().expect("spec prepares") else {
+        panic!("server smoke benches MLP specs only");
+    };
     let direct_start = Instant::now();
     let direct = run_method_with(
         &prepared.train,
@@ -497,7 +605,9 @@ fn fleet_bench(args: &ExpArgs, out_path: &str) {
         .map(|w| w.trim().parse().expect("--runners expects integers"))
         .collect();
 
-    let prepared = spec.prepare().expect("spec prepares");
+    let hpo_server::PreparedRun::Mlp(prepared) = spec.prepare().expect("spec prepares") else {
+        panic!("fleet bench runs MLP specs only");
+    };
     let direct_start = Instant::now();
     let direct = run_method_with(
         &prepared.train,
@@ -638,6 +748,10 @@ fn main() {
     let out_path: String = args
         .get("out")
         .unwrap_or_else(|| "BENCH_hpo.json".to_string());
+    if args.get::<String>("plugin").as_deref() == Some("true") {
+        plugin_bench(&args, &out_path);
+        return;
+    }
     if args.get::<String>("server").as_deref() == Some("true") {
         server_smoke(&args, &out_path);
         return;

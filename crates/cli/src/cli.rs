@@ -85,6 +85,8 @@ const USAGE: &str = "usage:
                 [--workers N] [--fold-workers N] [--warm-start on|off]
                 [--events-out FILE.jsonl] [--metrics-out FILE.json] [--trace-out FILE.jsonl]
                 [--log-level error|warn|info|debug] [--progress]
+                [--space-file FILE --evaluator-cmd 'PROG ARGS...' [--plugin-budget N] [--plugin-folds N]]
+                (with --space-file/--evaluator-cmd the search tunes an external program; --data is unused)
   bhpo cv       --data <file|synth:name> [--ratio 0..1] [--pipeline vanilla|enhanced|random] [--seed N]
   bhpo groups   --data <file|synth:name> [--v N] [--algo kmeans|meanshift|affinity] [--seed N]
   bhpo datasets
@@ -96,6 +98,7 @@ const USAGE: &str = "usage:
                 [--chaos-drop-prob 0..1] [--chaos-dup-prob 0..1] [--chaos-straggle-ms N]
   bhpo submit   --data synth:name [--server HOST:PORT] [--method ...] [--pipeline ...] [--space cv18|table3:1..8]
                 [--seed N] [--scale 0..1] [--max-iter N] [--workers N] [--fold-workers N] [--warm-start on|off]
+                [--space-file FILE --evaluator-cmd 'PROG ARGS...' [--plugin-budget N] [--plugin-folds N]]
   bhpo runs     [--server HOST:PORT] [--status queued|running|completed|cancelled|failed]
   bhpo status   --id run-NNNNNN [--server HOST:PORT]
   bhpo watch    --id run-NNNNNN [--server HOST:PORT]

@@ -7,7 +7,9 @@ use hpo_core::bohb::BohbConfig;
 use hpo_core::dehb::DehbConfig;
 use hpo_core::evaluator::CvEvaluator;
 use hpo_core::exec::{compare_scores, FailurePolicy};
-use hpo_core::harness::{run_method_with, Method, RunOptions};
+use hpo_core::harness::{run_method_with, run_plugin_with, Method, RunOptions, RunResult};
+use hpo_core::plugin::PluginSettings;
+use hpo_core::spec::SpaceSpec;
 use hpo_core::hyperband::HyperbandConfig;
 use hpo_core::idhb::IdhbConfig;
 use hpo_core::obs::{self, LogLevel, Recorder};
@@ -113,31 +115,56 @@ fn parse_method(flags: &Flags) -> Result<Method, CliError> {
     })
 }
 
-/// `bhpo optimize`: full search → refit → report.
+/// Reads `--space-file` / `--evaluator-cmd` into a generic space plus
+/// plugin settings. `Ok(None)` when neither flag is present (built-in MLP
+/// tuning); an error when only one of the pair is given, the spec file
+/// does not parse, or a plugin knob is zero. The evaluator command is
+/// whitespace-split: argv[0] plus fixed arguments, no shell.
+fn plugin_setup(
+    flags: &Flags,
+    pipeline: &Pipeline,
+) -> Result<Option<(SearchSpace, PluginSettings)>, CliError> {
+    match (flags.get("space-file"), flags.get("evaluator-cmd")) {
+        (None, None) => Ok(None),
+        (Some(_), None) => Err(CliError(
+            "--space-file requires --evaluator-cmd (the program evaluating each config)".into(),
+        )),
+        (None, Some(_)) => Err(CliError(
+            "--evaluator-cmd requires --space-file (the search space it is tuned over)".into(),
+        )),
+        (Some(path), Some(cmd)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("reading --space-file {path}: {e}")))?;
+            let spec = SpaceSpec::parse(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let command: Vec<String> = cmd.split_whitespace().map(str::to_string).collect();
+            if command.is_empty() {
+                return Err(CliError("--evaluator-cmd must name a program".into()));
+            }
+            let settings = PluginSettings {
+                command,
+                total_budget: flags.get_or("plugin-budget", 100usize)?,
+                folds: flags.get_or("plugin-folds", 1usize)?,
+                per_config_folds: pipeline.per_config_folds,
+            };
+            if settings.total_budget == 0 {
+                return Err(CliError("--plugin-budget must be at least 1".into()));
+            }
+            if settings.folds == 0 {
+                return Err(CliError("--plugin-folds must be at least 1".into()));
+            }
+            Ok(Some((spec.search_space(), settings)))
+        }
+    }
+}
+
+/// `bhpo optimize`: full search → refit → report. With `--space-file` and
+/// `--evaluator-cmd` the search runs over a declarative space and every
+/// trial is a subprocess of the named program (`--data` is not used).
 pub fn optimize(flags: &Flags) -> Result<(), CliError> {
     let seed: u64 = flags.get_or("seed", 42)?;
-    let data = load_data(flags.require("data")?, seed)?;
-    let (train, test) = match flags.get("test") {
-        Some(test_spec) => (data, load_data(test_spec, seed)?),
-        None => {
-            let mut rng = rng_from_seed(seed);
-            let tt = if data.task().is_classification() {
-                stratified_train_test_split(&data, 0.2, &mut rng)?
-            } else {
-                train_test_split(&data, 0.2, &mut rng)?
-            };
-            (tt.train, tt.test)
-        }
-    };
-
-    let hps: usize = flags.get_or("hps", 4)?;
-    let space = SearchSpace::mlp_table3(hps);
-    let base = MlpParams {
-        max_iter: flags.get_or("max-iter", 20)?,
-        ..Default::default()
-    };
     let method = parse_method(flags)?;
     let pipeline = parse_pipeline(flags)?;
+    let plugin = plugin_setup(flags, &pipeline)?;
 
     if let Some(level) = flags.get("log-level") {
         let level = LogLevel::parse(level)
@@ -190,6 +217,35 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
         ..RunOptions::default()
     };
 
+    if let Some((space, settings)) = plugin {
+        obs_info!(
+            "optimizing {} configurations via external evaluator `{}`...",
+            space.n_configurations(),
+            settings.command[0],
+        );
+        let row = run_plugin_with(&space, &settings, &method, seed, &opts);
+        return report_run(&row, flags);
+    }
+
+    let data = load_data(flags.require("data")?, seed)?;
+    let (train, test) = match flags.get("test") {
+        Some(test_spec) => (data, load_data(test_spec, seed)?),
+        None => {
+            let mut rng = rng_from_seed(seed);
+            let tt = if data.task().is_classification() {
+                stratified_train_test_split(&data, 0.2, &mut rng)?
+            } else {
+                train_test_split(&data, 0.2, &mut rng)?
+            };
+            (tt.train, tt.test)
+        }
+    };
+    let hps: usize = flags.get_or("hps", 4)?;
+    let space = SearchSpace::mlp_table3(hps);
+    let base = MlpParams {
+        max_iter: flags.get_or("max-iter", 20)?,
+        ..Default::default()
+    };
     obs_info!(
         "optimizing {} configurations on {} train / {} test instances ({} features, {})...",
         space.n_configurations(),
@@ -203,6 +259,13 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
         },
     );
     let row = run_method_with(&train, &test, &space, pipeline, &base, &method, seed, &opts);
+    report_run(&row, flags)
+}
+
+/// Prints a finished run (scores, best config, robustness counters) and
+/// honors the `--json` / `--metrics-out` / `--events-out` / `--trace-out`
+/// output flags. Shared by the MLP and plugin paths of `optimize`.
+fn report_run(row: &RunResult, flags: &Flags) -> Result<(), CliError> {
     println!(
         "method={} pipeline={} {}: train {:.4} test {:.4}",
         row.method, row.pipeline, row.score_kind, row.train_score, row.test_score
@@ -227,7 +290,7 @@ pub fn optimize(flags: &Flags) -> Result<(), CliError> {
         );
     }
     if let Some(path) = flags.get("json") {
-        save_run_result_file(&row, path).map_err(|e| CliError(e.to_string()))?;
+        save_run_result_file(row, path).map_err(|e| CliError(e.to_string()))?;
         obs_info!("wrote {path}");
     }
     if let Some(path) = flags.get("metrics-out") {
@@ -424,6 +487,53 @@ mod tests {
         assert!(parse_method(&flags("--method gradient")).is_err());
         assert!(parse_pipeline(&flags("--pipeline vanilla")).is_ok());
         assert!(parse_pipeline(&flags("--pipeline turbo")).is_err());
+    }
+
+    #[test]
+    fn plugin_flags_must_travel_together() {
+        let p = Pipeline::enhanced();
+        assert!(plugin_setup(&flags("--space-file x.space"), &p).is_err());
+        assert!(plugin_setup(&flags("--evaluator-cmd ./eval.sh"), &p).is_err());
+        assert!(plugin_setup(&flags("--seed 1"), &p).unwrap().is_none());
+    }
+
+    #[test]
+    fn plugin_setup_parses_space_file_and_splits_command() {
+        let path = std::env::temp_dir().join("bhpo_cli_space.txt");
+        std::fs::write(&path, "lr float 0.001..0.1 log\nsolver cat sgd adam\n").unwrap();
+        let f = Flags::parse(&[
+            "--space-file".to_string(),
+            path.display().to_string(),
+            "--evaluator-cmd".to_string(),
+            "./eval.sh --fast".to_string(),
+            "--plugin-budget".to_string(),
+            "64".to_string(),
+        ])
+        .unwrap();
+        let (space, settings) = plugin_setup(&f, &Pipeline::enhanced()).unwrap().unwrap();
+        assert_eq!(space.n_configurations(), 32);
+        assert_eq!(settings.command, vec!["./eval.sh", "--fast"]);
+        assert_eq!(settings.total_budget, 64);
+        assert_eq!(settings.folds, 1);
+        assert!(settings.per_config_folds);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn plugin_setup_surfaces_spec_errors_with_the_path() {
+        let path = std::env::temp_dir().join("bhpo_cli_bad_space.txt");
+        std::fs::write(&path, "lr float 5..1\n").unwrap();
+        let f = Flags::parse(&[
+            "--space-file".to_string(),
+            path.display().to_string(),
+            "--evaluator-cmd".to_string(),
+            "./eval.sh".to_string(),
+        ])
+        .unwrap();
+        let err = plugin_setup(&f, &Pipeline::enhanced()).unwrap_err();
+        assert!(err.to_string().contains("bhpo_cli_bad_space"), "{err}");
+        assert!(err.to_string().contains("line 1"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

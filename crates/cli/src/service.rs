@@ -111,12 +111,41 @@ pub fn runner(flags: &Flags) -> Result<(), CliError> {
 }
 
 /// Builds a [`RunSpec`] from submit flags (same names as `bhpo optimize`
-/// where they overlap).
+/// where they overlap). `--space-file` is read here and inlined into the
+/// spec, so the server (and any runner it leases trials to) never needs
+/// the file: archived runs stay self-contained.
 fn spec_from_flags(flags: &Flags) -> Result<RunSpec, CliError> {
-    let mut spec = RunSpec {
-        dataset: flags.require("data")?.to_string(),
-        ..RunSpec::default()
-    };
+    let plugin = flags.get("space-file").is_some() || flags.get("evaluator-cmd").is_some();
+    let mut spec = RunSpec::default();
+    match flags.get("data") {
+        Some(d) => spec.dataset = d.to_string(),
+        // Plugin runs evaluate an external program; no dataset involved.
+        None if plugin => {}
+        None => return Err(CliError("missing required flag --data".into())),
+    }
+    match (flags.get("space-file"), flags.get("evaluator-cmd")) {
+        (None, None) => {}
+        (Some(_), None) => {
+            return Err(CliError(
+                "--space-file requires --evaluator-cmd (the program evaluating each config)"
+                    .into(),
+            ))
+        }
+        (None, Some(_)) => {
+            return Err(CliError(
+                "--evaluator-cmd requires --space-file (the search space it is tuned over)"
+                    .into(),
+            ))
+        }
+        (Some(path), Some(cmd)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("reading --space-file {path}: {e}")))?;
+            spec.space_spec = Some(text);
+            spec.evaluator_cmd = Some(cmd.split_whitespace().map(str::to_string).collect());
+            spec.plugin_budget = flags.get_or("plugin-budget", spec.plugin_budget)?;
+            spec.plugin_folds = flags.get_or("plugin-folds", spec.plugin_folds)?;
+        }
+    }
     if let Some(v) = flags.get("method") {
         spec.method = v.to_string();
     }
@@ -417,6 +446,37 @@ mod tests {
         assert!(spec_from_flags(&flags("--data synth:nope")).is_err());
         assert!(spec_from_flags(&flags("--data synth:australian --workers 0")).is_err());
         assert!(spec_from_flags(&flags("--data synth:australian --warm-start maybe")).is_err());
+    }
+
+    #[test]
+    fn submit_plugin_flags_inline_the_space_file() {
+        let path = std::env::temp_dir().join("bhpo_submit_space.txt");
+        std::fs::write(&path, "lr float 0.001..0.1 log\n").unwrap();
+        let f = Flags::parse(&[
+            "--space-file".to_string(),
+            path.display().to_string(),
+            "--evaluator-cmd".to_string(),
+            "./eval.sh --fast".to_string(),
+            "--plugin-budget".to_string(),
+            "64".to_string(),
+            "--method".to_string(),
+            "hb".to_string(),
+        ])
+        .unwrap();
+        let spec = spec_from_flags(&f).unwrap();
+        assert_eq!(
+            spec.evaluator_cmd,
+            Some(vec!["./eval.sh".to_string(), "--fast".to_string()])
+        );
+        assert!(spec.space_spec.as_deref().unwrap().contains("lr float"));
+        assert_eq!(spec.plugin_budget, 64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn submit_plugin_flags_must_travel_together() {
+        assert!(spec_from_flags(&flags("--evaluator-cmd ./eval.sh")).is_err());
+        assert!(spec_from_flags(&flags("--space-file nope.txt")).is_err());
     }
 
     #[test]

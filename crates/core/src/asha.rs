@@ -213,6 +213,7 @@ pub fn asha<E: TrialEvaluator + ?Sized>(
                     stream,
                     CONTINUATION_KEY_SALT + job.config_id as u64,
                 ))
+                .with_values(space.trial_values(&candidates[job.config_id]))
             })
             .collect();
         let outcomes = evaluator.evaluate_batch(&jobs);

@@ -320,6 +320,7 @@ fn run_bandit<E: TrialEvaluator + ?Sized>(
                     evaluator.fold_stream(stream, arms[a].level as u64, a as u64),
                 )
                 .with_continuation(derive_seed(stream, CONTINUATION_KEY_SALT + a as u64))
+                .with_values(space.trial_values(&candidates[a]))
             })
             .collect();
         let outcomes = evaluator.evaluate_batch(&jobs);

@@ -1168,18 +1168,9 @@ mod tests {
             let ev = CvEvaluator::new(&data, Pipeline::enhanced(), quick_params(), 9)
                 .with_continuation(Arc::clone(&cache))
                 .with_fold_workers(fold_workers);
-            let low = ev.evaluate_job(&TrialJob {
-                params: quick_params(),
-                budget: 100,
-                stream: 3,
-                cont: Some(42),
-            });
-            let high = ev.evaluate_job(&TrialJob {
-                params: quick_params(),
-                budget: 200,
-                stream: 3,
-                cont: Some(42),
-            });
+            let low = ev.evaluate_job(&TrialJob::new(quick_params(), 100, 3).with_continuation(42));
+            let high =
+                ev.evaluate_job(&TrialJob::new(quick_params(), 200, 3).with_continuation(42));
             (low, high)
         };
         let (seq_low, seq_high) = run(1);

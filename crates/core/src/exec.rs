@@ -191,6 +191,11 @@ pub struct TrialJob {
     /// from the snapshots of its previous (smaller-budget) evaluation.
     /// `None` evaluates cold.
     pub cont: Option<u64>,
+    /// Rendered spec-space config for external evaluators
+    /// ([`crate::plugin::PluginEvaluator`] feeds it to the subprocess as
+    /// `"config"`). `None` for built-in MLP spaces, which keeps legacy
+    /// checkpoint keys and journals byte-identical.
+    pub values: Option<Arc<crate::spec::ConfigMap>>,
 }
 
 impl TrialJob {
@@ -201,12 +206,21 @@ impl TrialJob {
             budget,
             stream,
             cont: None,
+            values: None,
         }
     }
 
     /// Attaches a continuation key (builder style).
     pub fn with_continuation(mut self, key: u64) -> Self {
         self.cont = Some(key);
+        self
+    }
+
+    /// Attaches a rendered spec-space config (builder style; `None` is a
+    /// no-op, so call sites can pass [`crate::space::SearchSpace::trial_values`]
+    /// unconditionally).
+    pub fn with_values(mut self, values: Option<Arc<crate::spec::ConfigMap>>) -> Self {
+        self.values = values;
         self
     }
 }
@@ -273,6 +287,13 @@ pub fn run_trial<E: TrialEvaluator + ?Sized>(evaluator: &E, job: &TrialJob) -> E
         let caught = catch_unwind(AssertUnwindSafe(|| evaluator.evaluate_raw(&attempt_job)));
         match caught {
             Ok(mut out) => {
+                // A cancel observed mid-attempt (an external evaluator
+                // killing its child) is a synthetic skip, not a result:
+                // pass it through untouched so it is never checkpointed or
+                // relabelled `Completed`.
+                if out.status == TrialStatus::Cancelled {
+                    return out;
+                }
                 let timed_out = out.status == TrialStatus::TimedOut
                     || policy
                         .trial_timeout_secs
@@ -454,10 +475,19 @@ impl<E: TrialEvaluator> TrialEvaluator for FaultInjector<'_, E> {
 /// and a fingerprint of the hyperparameters. The stream already encodes
 /// (rung, candidate) for per-config pipelines; the fingerprint keeps shared-
 /// fold pipelines (where many candidates share a stream) unambiguous.
-fn trial_key(params: &MlpParams, budget: usize, stream: u64) -> (usize, u64, u64) {
+///
+/// Spec-space jobs carry their identity in `values`, not `params` (every
+/// generic configuration shares the base [`MlpParams`]), so the rendered
+/// config's fingerprint is folded in. Built-in jobs have `values = None`
+/// and keep the exact legacy key, so pre-existing checkpoints stay valid.
+fn trial_key(job: &TrialJob) -> (usize, u64, u64) {
     // The fingerprint is shared with the continuation cache, so a checkpoint
     // entry and its snapshots agree on what "the same configuration" means.
-    (budget, stream, params_fingerprint(params))
+    let mut fp = params_fingerprint(&job.params);
+    if let Some(values) = &job.values {
+        fp ^= crate::spec::values_fingerprint(values);
+    }
+    (job.budget, job.stream, fp)
 }
 
 struct CheckpointState {
@@ -627,7 +657,7 @@ impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
     }
 
     fn evaluate_trial(&self, job: &TrialJob) -> EvalOutcome {
-        let key = trial_key(&job.params, job.budget, job.stream);
+        let key = trial_key(job);
         if let Some(hit) = {
             let mut st = self.state.lock();
             let hit = st.cache.get(&key).cloned();
@@ -680,7 +710,7 @@ impl<E: TrialEvaluator> TrialEvaluator for CheckpointingEvaluator<'_, E> {
     fn evaluate_batch(&self, jobs: &[TrialJob]) -> Vec<EvalOutcome> {
         let keys: Vec<_> = jobs
             .iter()
-            .map(|j| trial_key(&j.params, j.budget, j.stream))
+            .map(trial_key)
             .collect();
         let mut slots: Vec<Option<EvalOutcome>> = {
             let mut st = self.state.lock();

@@ -20,6 +20,7 @@ use crate::parallel::{EngineEvaluator, ExternalEngine, ParallelEvaluator};
 use crate::pasha::{pasha, PashaConfig};
 use crate::persist::load_checkpoint;
 use crate::pipeline::Pipeline;
+use crate::plugin::{PluginEvaluator, PluginSettings};
 use crate::random_search::{random_search, RandomSearchConfig};
 use crate::sha::{sha_on_grid, ShaConfig};
 use crate::space::{Configuration, SearchSpace};
@@ -310,8 +311,11 @@ pub fn run_method_with(
     // or the fleet, when an external engine is plugged in.
     let observed = ObservedEvaluator::new(&evaluator, recorder.clone());
     let ctx = SearchContext {
-        train,
-        test,
+        refit: Refit::Mlp {
+            train,
+            test,
+            score_kind,
+        },
         space,
         base_params,
         method,
@@ -319,7 +323,6 @@ pub fn run_method_with(
         opts,
         method_label: &method_label,
         pipeline_label: &pipeline_label,
-        score_kind,
         continuation: continuation.as_ref(),
         recorder: &recorder,
     };
@@ -336,13 +339,96 @@ pub fn run_method_with(
     }
 }
 
+/// Runs the chosen optimizer against an *external* evaluator command over a
+/// declarative spec space (DESIGN.md §5.14): the plugin-path counterpart of
+/// [`run_method_with`].
+///
+/// The same contract applies — equal seeds produce byte-identical journals
+/// and checkpoints at every `workers` setting (provided the evaluator
+/// command is itself deterministic in its `seed` input), runs are
+/// checkpointable, resumable and cancellable, and every optimizer works
+/// unchanged because spec spaces discretize to the same finite
+/// configuration grid the built-in space uses. Warm-start continuation is
+/// forced off: a subprocess has no fold snapshots to resume.
+///
+/// The reported `pipeline` label is `"plugin"`, and the final "refit" is
+/// one full-budget evaluation of the selected configuration.
+pub fn run_plugin_with(
+    space: &SearchSpace,
+    settings: &PluginSettings,
+    method: &Method,
+    seed: u64,
+    opts: &RunOptions,
+) -> RunResult {
+    let method_label = method.label().to_string();
+    let pipeline_label = "plugin".to_string();
+    let recorder = opts.recorder.clone();
+    // Placeholder MLP params: generic dimensions never touch them, and the
+    // plugin path never fits a model.
+    let base_params = MlpParams::default();
+    let evaluator = PluginEvaluator::new(settings.clone())
+        .with_failure_policy(opts.failure_policy.clone())
+        .with_cancel_token(opts.cancel.clone())
+        .with_recorder(recorder.clone());
+    let observed = ObservedEvaluator::new(&evaluator, recorder.clone());
+    let ctx = SearchContext {
+        refit: Refit::Plugin {
+            evaluator: &evaluator,
+        },
+        space,
+        base_params: &base_params,
+        method,
+        seed,
+        opts,
+        method_label: &method_label,
+        pipeline_label: &pipeline_label,
+        continuation: None,
+        recorder: &recorder,
+    };
+    match &opts.engine {
+        Some(external) => {
+            let engine = EngineEvaluator::new(&observed, Arc::clone(external), None);
+            search_and_report(&engine, &ctx)
+        }
+        None => {
+            let engine = ParallelEvaluator::new(&observed, opts.workers);
+            search_and_report(&engine, &ctx)
+        }
+    }
+}
+
+/// How the selected configuration is scored after the search: the built-in
+/// path refits an MLP on the full training set and scores it on the held-out
+/// test set (paper Fig. 1's last step); the plugin path re-invokes the
+/// external evaluator once at full budget.
+#[derive(Clone, Copy)]
+enum Refit<'a> {
+    /// Built-in MLP refit-and-test.
+    Mlp {
+        train: &'a Dataset,
+        test: &'a Dataset,
+        score_kind: ScoreKind,
+    },
+    /// One full-budget external evaluation of the winner.
+    Plugin { evaluator: &'a PluginEvaluator },
+}
+
+impl Refit<'_> {
+    /// The label reported as [`RunResult::score_kind`].
+    fn score_label(&self) -> &'static str {
+        match self {
+            Refit::Mlp { score_kind, .. } => score_kind.name(),
+            Refit::Plugin { .. } => "score",
+        }
+    }
+}
+
 /// Everything [`search_and_report`] needs besides the engine-wrapped
 /// evaluator, bundled so the thread-pool and external-engine branches of
 /// [`run_method_with`] share one code path.
 #[derive(Clone, Copy)]
 struct SearchContext<'a> {
-    train: &'a Dataset,
-    test: &'a Dataset,
+    refit: Refit<'a>,
     space: &'a SearchSpace,
     base_params: &'a MlpParams,
     method: &'a Method,
@@ -350,7 +436,6 @@ struct SearchContext<'a> {
     opts: &'a RunOptions,
     method_label: &'a str,
     pipeline_label: &'a str,
-    score_kind: ScoreKind,
     continuation: Option<&'a Arc<ContinuationCache>>,
     recorder: &'a Recorder,
 }
@@ -360,8 +445,7 @@ struct SearchContext<'a> {
 /// the terminal event and refits the winner.
 fn search_and_report<Eng: TrialEvaluator>(engine: &Eng, ctx: &SearchContext<'_>) -> RunResult {
     let SearchContext {
-        train,
-        test,
+        refit,
         space,
         base_params,
         method,
@@ -369,7 +453,6 @@ fn search_and_report<Eng: TrialEvaluator>(engine: &Eng, ctx: &SearchContext<'_>)
         opts,
         method_label,
         pipeline_label,
-        score_kind,
         continuation,
         recorder,
     } = *ctx;
@@ -462,16 +545,32 @@ fn search_and_report<Eng: TrialEvaluator>(engine: &Eng, ctx: &SearchContext<'_>)
         crate::obs_warn!("event journal sync failed: {e}");
     }
 
-    // Final refit on the complete training set (paper Fig. 1's last step).
-    // A cancelled run skips it: its selection is provisional, and the run
-    // will be resumed rather than reported.
+    // Final scoring of the winner. A cancelled run skips it: its selection
+    // is provisional, and the run will be resumed rather than reported.
     let (train_score, test_score) = if cancelled {
         (f64::NAN, f64::NAN)
     } else {
-        let mut final_params = space.to_params(&best, base_params);
-        final_params.seed = seed;
-        let fit = fit_and_score(train, test, &final_params, score_kind);
-        (fit.train_score, fit.test_score)
+        match refit {
+            // Refit on the complete training set, score on the held-out
+            // test set (paper Fig. 1's last step).
+            Refit::Mlp {
+                train,
+                test,
+                score_kind,
+            } => {
+                let mut final_params = space.to_params(&best, base_params);
+                final_params.seed = seed;
+                let fit = fit_and_score(train, test, &final_params, score_kind);
+                (fit.train_score, fit.test_score)
+            }
+            // One deterministic full-budget re-evaluation through the
+            // external command; there is no train/test distinction, so both
+            // columns carry the same score.
+            Refit::Plugin { evaluator } => {
+                let s = evaluator.final_score(space, &best, seed);
+                (s, s)
+            }
+        }
     };
 
     RunResult {
@@ -479,7 +578,7 @@ fn search_and_report<Eng: TrialEvaluator>(engine: &Eng, ctx: &SearchContext<'_>)
         pipeline: pipeline_label.to_string(),
         best_config_desc: space.describe(&best),
         best_config: best,
-        score_kind: score_kind.name().to_string(),
+        score_kind: refit.score_label().to_string(),
         train_score,
         test_score,
         search_seconds,

@@ -150,6 +150,7 @@ pub fn idhb<E: TrialEvaluator + ?Sized>(
                         evaluator.fold_stream(stream, i as u64, idx as u64),
                     )
                     .with_continuation(derive_seed(stream, CONTINUATION_KEY_SALT + idx as u64))
+                    .with_values(space.trial_values(&pool[idx]))
                 })
                 .collect();
             let outcomes = if jobs.is_empty() {

@@ -46,10 +46,12 @@ pub mod parallel;
 pub mod pasha;
 pub mod persist;
 pub mod pipeline;
+pub mod plugin;
 pub mod random_search;
 pub mod rung;
 pub mod sha;
 pub mod space;
+pub mod spec;
 pub mod trial;
 
 pub use bandit::{BanditConfig, BanditResult, EpsGreedyConfig, ThompsonConfig, UcbConfig};
@@ -60,7 +62,8 @@ pub use exec::{
     compare_scores, CheckpointingEvaluator, FailurePolicy, FaultInjector, FaultPlan,
     TrialEvaluator, TrialJob,
 };
-pub use harness::{run_method, run_method_with, Method, RunOptions, RunResult};
+pub use harness::{run_method, run_method_with, run_plugin_with, Method, RunOptions, RunResult};
+pub use plugin::{PluginEvaluator, PluginSettings};
 pub use idhb::{IdhbConfig, IdhbResult};
 pub use obs::{
     EventRecord, LogLevel, MetricsSnapshot, ObservedEvaluator, Recorder, RunEvent, ScopedTimer,
@@ -68,4 +71,5 @@ pub use obs::{
 pub use parallel::{BatchHost, EngineEvaluator, EngineSlot, ExternalEngine, ParallelEvaluator};
 pub use pipeline::Pipeline;
 pub use rung::{BracketOutcome, BracketSpec};
-pub use space::{Configuration, SearchSpace};
+pub use space::{Configuration, GenericDim, SearchSpace};
+pub use spec::{ConfigMap, ParamValue, SpaceSpec, SpecError};

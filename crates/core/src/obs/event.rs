@@ -108,6 +108,26 @@ pub enum RunEvent {
         /// Fold-sampling stream of the evaluation.
         stream: u64,
     },
+    /// An external (plugin) evaluation attempt failed — the child exited
+    /// non-zero, broke the stdout protocol, reported a structured error, or
+    /// blew its deadline — and its stderr tail was captured for debugging.
+    /// Emitted per failing attempt (retries may produce several), inside
+    /// the trial's buffered event window, so `bhpo watch` interleaves it
+    /// with the owning trial at every worker count.
+    TrialStderr {
+        /// Fold-sampling stream of the failing attempt (pre-jitter base).
+        stream: u64,
+        /// Instance budget of the evaluation.
+        budget: usize,
+        /// Fold index of the failing subprocess invocation.
+        fold: usize,
+        /// How the child terminated: `exit:N`, `signal`, `timeout`,
+        /// `spawn:<err>` or `protocol`.
+        exit: String,
+        /// Truncated tail of the child's stderr (capped at
+        /// [`crate::spec::STDERR_CAP`] bytes).
+        stderr: String,
+    },
     /// A failed attempt is being retried with a jittered fold stream.
     TrialRetried {
         /// Fold-sampling stream of the trial being retried (attempt 1's
@@ -202,6 +222,7 @@ impl RunEvent {
             RunEvent::TrialFinished { .. } => "TrialFinished",
             RunEvent::TrialFailed { .. } => "TrialFailed",
             RunEvent::TrialContinued { .. } => "TrialContinued",
+            RunEvent::TrialStderr { .. } => "TrialStderr",
             RunEvent::TrialRetried { .. } => "TrialRetried",
             RunEvent::Promotion { .. } => "Promotion",
             RunEvent::CheckpointWritten { .. } => "CheckpointWritten",

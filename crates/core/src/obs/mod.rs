@@ -546,7 +546,7 @@ fn prime_append_counters(path: &PathBuf) -> Result<AppendPriming, PersistError> 
 /// a resume cache emit no duplicate events, and *outside*
 /// [`crate::exec::FaultInjector`], so injected faults are observed exactly
 /// like organic ones.
-pub struct ObservedEvaluator<'e, E: TrialEvaluator> {
+pub struct ObservedEvaluator<'e, E: TrialEvaluator + ?Sized> {
     inner: &'e E,
     recorder: Recorder,
     trials_total: Arc<Counter>,
@@ -558,7 +558,7 @@ pub struct ObservedEvaluator<'e, E: TrialEvaluator> {
     continuation_misses: Arc<Counter>,
 }
 
-impl<'e, E: TrialEvaluator> ObservedEvaluator<'e, E> {
+impl<'e, E: TrialEvaluator + ?Sized> ObservedEvaluator<'e, E> {
     /// Wraps `inner`, emitting events through `recorder` and recording
     /// metrics into the global registry. Metric handles are resolved once
     /// here, keeping the per-trial hot path lock-free.
@@ -578,7 +578,7 @@ impl<'e, E: TrialEvaluator> ObservedEvaluator<'e, E> {
     }
 }
 
-impl<E: TrialEvaluator> TrialEvaluator for ObservedEvaluator<'_, E> {
+impl<E: TrialEvaluator + ?Sized> TrialEvaluator for ObservedEvaluator<'_, E> {
     fn evaluate_raw(&self, job: &TrialJob) -> EvalOutcome {
         self.inner.evaluate_raw(job)
     }

@@ -100,7 +100,8 @@ impl ProgressState {
                 self.retries += 1;
                 false
             }
-            RunEvent::Promotion { .. }
+            RunEvent::TrialStderr { .. }
+            | RunEvent::Promotion { .. }
             | RunEvent::CheckpointWritten { .. }
             | RunEvent::ServerStarted { .. }
             | RunEvent::RunQuarantined { .. }

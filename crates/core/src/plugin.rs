@@ -1,0 +1,572 @@
+//! External-evaluator plugins: tune *any* program over a spec space.
+//!
+//! [`PluginEvaluator`] implements [`TrialEvaluator`] by spawning a user
+//! command per evaluation and speaking a tiny JSON protocol over
+//! stdin/stdout (DESIGN.md §5.14):
+//!
+//! - **stdin** (one JSON object, then EOF):
+//!   `{"config": {"lr": 0.01, "solver": "sgd"}, "budget": 50, "seed": 123, "fold": 0}`
+//! - **stdout** (last non-empty line wins): either a bare float score
+//!   (`0.93`), or a JSON object `{"score": 0.93, "cost": 128}` /
+//!   `{"error": "diverged"}`.
+//!
+//! The full fault-tolerance contract of PR 1 applies to the child process:
+//! the failure policy's wall-clock deadline kills a hanging child and marks
+//! the trial [`TrialStatus::TimedOut`] (never retried); a crash, a protocol
+//! violation or a structured `error` is retried with a jittered stream and
+//! imputed after the last attempt; cooperative cancellation kills the child
+//! and returns a [`TrialStatus::Cancelled`] skip that is never
+//! checkpointed. Every failing attempt journals a
+//! [`RunEvent::TrialStderr`] with the child's captured stderr tail (capped
+//! at [`crate::spec::STDERR_CAP`] bytes) and bumps the
+//! `hpo_plugin_failures_total` metric, so plugin failures are debuggable
+//! from `bhpo watch`.
+//!
+//! Determinism: the subprocess seed for fold `f` is
+//! `derive_seed(job.stream, f)` — the stream travels with the job, so a
+//! trial computes the same seeds on any worker thread, any fleet runner,
+//! and any `--workers` count. A deterministic evaluator command therefore
+//! yields byte-identical journals at workers 1 vs N, exactly like the
+//! in-process MLP path.
+
+use crate::cancel::CancelToken;
+use crate::evaluator::{EvalOutcome, TrialStatus};
+use crate::exec::{FailurePolicy, TrialEvaluator, TrialJob};
+use crate::obs::{self, Recorder, RunEvent};
+use crate::space::{Configuration, SearchSpace};
+use crate::spec::{ConfigMap, STDERR_CAP};
+use hpo_data::rng::derive_seed;
+use hpo_metrics::FoldScores;
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Salt mixed into the run seed to derive the final full-budget
+/// re-evaluation stream of the selected configuration (the plugin
+/// counterpart of the MLP path's final refit).
+pub const FINAL_EVAL_SALT: u64 = 0xF1A1_0000;
+
+/// How an external evaluator is invoked.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PluginSettings {
+    /// The command and its arguments (`argv[0]` is the program). Split on
+    /// whitespace by the CLI; use a wrapper script for complex quoting.
+    pub command: Vec<String>,
+    /// Total budget `B` the optimizers schedule against. Budgets are opaque
+    /// units to the engine; the evaluator decides what one unit means
+    /// (epochs, samples, simulation steps).
+    pub total_budget: usize,
+    /// Subprocess invocations per trial (the protocol's `fold` field runs
+    /// `0..folds`); fold scores are averaged like CV folds.
+    pub folds: usize,
+    /// Fold-stream semantics, mirroring
+    /// [`crate::evaluator::CvEvaluator::fold_stream`]: per-configuration
+    /// draws (enhanced pipeline) or one shared draw per rung.
+    pub per_config_folds: bool,
+}
+
+impl Default for PluginSettings {
+    fn default() -> Self {
+        PluginSettings {
+            command: Vec::new(),
+            total_budget: 100,
+            folds: 1,
+            per_config_folds: true,
+        }
+    }
+}
+
+/// The JSON object written to the child's stdin.
+#[derive(Serialize)]
+struct PluginInput<'a> {
+    config: &'a ConfigMap,
+    budget: usize,
+    seed: u64,
+    fold: usize,
+}
+
+/// One child invocation's outcome.
+enum ChildResult {
+    /// A finite or non-finite score (non-finite flows into the retry path).
+    Score { score: f64, cost: Option<u64> },
+    /// The child failed: non-zero exit, spawn error, protocol violation, or
+    /// structured `{"error": ...}`.
+    Fail { exit: String, stderr: String },
+    /// The deadline fired and the child was killed.
+    TimedOut { stderr: String },
+    /// The run's cancel token fired and the child was killed.
+    Cancelled,
+}
+
+/// A [`TrialEvaluator`] that evaluates trials by spawning an external
+/// command per fold (see module docs).
+pub struct PluginEvaluator {
+    settings: PluginSettings,
+    policy: FailurePolicy,
+    cancel: CancelToken,
+    recorder: Recorder,
+}
+
+impl PluginEvaluator {
+    /// Builds an evaluator for `settings`.
+    ///
+    /// # Panics
+    /// Panics when the command is empty or `folds`/`total_budget` is zero.
+    pub fn new(settings: PluginSettings) -> Self {
+        assert!(!settings.command.is_empty(), "plugin command is empty");
+        assert!(settings.folds > 0, "plugin folds must be >= 1");
+        assert!(settings.total_budget > 0, "plugin total budget must be >= 1");
+        PluginEvaluator {
+            settings,
+            policy: FailurePolicy::default(),
+            cancel: CancelToken::none(),
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Sets the failure policy (builder style).
+    pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the cancellation token (builder style).
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Sets the recorder [`RunEvent::TrialStderr`] diagnostics are emitted
+    /// through (builder style).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The settings this evaluator runs with.
+    pub fn settings(&self) -> &PluginSettings {
+        &self.settings
+    }
+
+    fn gamma_pct(&self, budget: usize) -> f64 {
+        let total = self.settings.total_budget.max(1);
+        100.0 * budget.min(total) as f64 / total as f64
+    }
+
+    /// Journals one failing attempt's stderr and bumps the failure counter.
+    fn report_failure(&self, job: &TrialJob, fold: usize, exit: &str, stderr: &str) {
+        obs::global_metrics()
+            .counter("hpo_plugin_failures_total")
+            .inc();
+        self.recorder.emit(RunEvent::TrialStderr {
+            stream: job.stream,
+            budget: job.budget,
+            fold,
+            exit: exit.to_string(),
+            stderr: truncate_tail(stderr, STDERR_CAP),
+        });
+    }
+
+    /// Runs the child once for `(values, budget, seed, fold)` under an
+    /// optional absolute deadline, killing it on cancel or deadline.
+    fn run_child(
+        &self,
+        values: &ConfigMap,
+        budget: usize,
+        seed: u64,
+        fold: usize,
+        deadline: Option<Instant>,
+    ) -> ChildResult {
+        let argv = &self.settings.command;
+        let mut child = match Command::new(&argv[0])
+            .args(&argv[1..])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+        {
+            Ok(c) => c,
+            Err(e) => {
+                return ChildResult::Fail {
+                    exit: format!("spawn:{e}"),
+                    stderr: String::new(),
+                }
+            }
+        };
+        let input = PluginInput {
+            config: values,
+            budget,
+            seed,
+            fold,
+        };
+        // The input is tiny (well under the pipe buffer), so a synchronous
+        // write cannot deadlock against an unread stdout; dropping the
+        // handle sends EOF.
+        if let Some(mut stdin) = child.stdin.take() {
+            let payload = serde_json::to_string(&input).expect("config serializes");
+            let _ = stdin.write_all(payload.as_bytes());
+            let _ = stdin.write_all(b"\n");
+        }
+        // Drain stdout/stderr on reader threads so a chatty child can never
+        // fill a pipe and wedge against our wait loop.
+        let mut stdout_pipe = child.stdout.take().expect("piped stdout");
+        let mut stderr_pipe = child.stderr.take().expect("piped stderr");
+        let out_reader = std::thread::spawn(move || {
+            let mut buf = String::new();
+            let _ = stdout_pipe.read_to_string(&mut buf);
+            buf
+        });
+        let err_reader = std::thread::spawn(move || {
+            let mut buf = String::new();
+            let _ = stderr_pipe.read_to_string(&mut buf);
+            buf
+        });
+        let collect = |out: std::thread::JoinHandle<String>,
+                       err: std::thread::JoinHandle<String>| {
+            (
+                out.join().unwrap_or_default(),
+                err.join().unwrap_or_default(),
+            )
+        };
+
+        let status = loop {
+            match child.try_wait() {
+                Ok(Some(status)) => break status,
+                Ok(None) => {
+                    if self.cancel.is_cancelled() {
+                        kill_and_reap(&mut child);
+                        let _ = collect(out_reader, err_reader);
+                        return ChildResult::Cancelled;
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        kill_and_reap(&mut child);
+                        let (_, stderr) = collect(out_reader, err_reader);
+                        return ChildResult::TimedOut { stderr };
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    kill_and_reap(&mut child);
+                    let (_, stderr) = collect(out_reader, err_reader);
+                    return ChildResult::Fail {
+                        exit: format!("wait:{e}"),
+                        stderr,
+                    };
+                }
+            }
+        };
+        let (stdout, stderr) = collect(out_reader, err_reader);
+        if !status.success() {
+            let exit = match status.code() {
+                Some(code) => format!("exit:{code}"),
+                None => "signal".to_string(),
+            };
+            return ChildResult::Fail { exit, stderr };
+        }
+        match parse_score(&stdout) {
+            Some(Ok((score, cost))) => ChildResult::Score { score, cost },
+            Some(Err(error)) => ChildResult::Fail {
+                exit: "error".to_string(),
+                stderr: if stderr.trim().is_empty() {
+                    error
+                } else {
+                    format!("{error}\n{stderr}")
+                },
+            },
+            None => ChildResult::Fail {
+                exit: "protocol".to_string(),
+                stderr: format!(
+                    "no score on stdout (last line: `{}`)\n{stderr}",
+                    last_line(&stdout)
+                ),
+            },
+        }
+    }
+
+    /// Re-evaluates the selected configuration at full budget: the plugin
+    /// counterpart of the MLP path's final refit-and-test step. The stream
+    /// derives from `(seed, FINAL_EVAL_SALT)`, so it is deterministic and
+    /// disjoint from every search stream.
+    pub fn final_score(&self, space: &SearchSpace, best: &Configuration, seed: u64) -> f64 {
+        let values = space
+            .trial_values(best)
+            .unwrap_or_else(|| std::sync::Arc::new(space.config_map(best)));
+        let job = TrialJob::new(
+            hpo_models::mlp::MlpParams::default(),
+            self.settings.total_budget,
+            derive_seed(seed, FINAL_EVAL_SALT),
+        )
+        .with_values(Some(values));
+        crate::exec::run_trial(self, &job).score
+    }
+}
+
+/// Kills the child and reaps it so no zombie outlives the trial.
+fn kill_and_reap(child: &mut Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// Last non-empty line of `s` (trimmed), or `""`.
+fn last_line(s: &str) -> &str {
+    s.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .next_back()
+        .unwrap_or("")
+}
+
+/// Parses the protocol's stdout: `Some(Ok((score, cost)))` on a score,
+/// `Some(Err(msg))` on a structured `{"error": ...}`, `None` on a protocol
+/// violation.
+fn parse_score(stdout: &str) -> Option<Result<(f64, Option<u64>), String>> {
+    let line = last_line(stdout);
+    if line.is_empty() {
+        return None;
+    }
+    if let Ok(score) = line.parse::<f64>() {
+        return Some(Ok((score, None)));
+    }
+    let value: serde_json::Value = serde_json::from_str(line).ok()?;
+    let obj = value.as_object()?;
+    if let Some(err) = obj.get("error") {
+        let msg = err
+            .as_str()
+            .map(str::to_string)
+            .unwrap_or_else(|| err.to_string());
+        return Some(Err(msg));
+    }
+    let score = obj.get("score")?.as_f64()?;
+    let cost = obj.get("cost").and_then(|c| c.as_u64());
+    Some(Ok((score, cost)))
+}
+
+/// Keeps the trailing `cap` bytes of `s` (failures usually end with the
+/// interesting part), marking the cut.
+fn truncate_tail(s: &str, cap: usize) -> String {
+    let s = s.trim_end();
+    if s.len() <= cap {
+        return s.to_string();
+    }
+    let mut start = s.len() - cap;
+    while !s.is_char_boundary(start) {
+        start += 1;
+    }
+    format!("…[truncated]{}", &s[start..])
+}
+
+impl TrialEvaluator for PluginEvaluator {
+    fn evaluate_raw(&self, job: &TrialJob) -> EvalOutcome {
+        let start = Instant::now();
+        let gamma = self.gamma_pct(job.budget);
+        let Some(values) = &job.values else {
+            // A job without a rendered config cannot be evaluated
+            // externally; fail it permanently through the imputation path.
+            self.report_failure(job, 0, "protocol", "job carries no config map");
+            return EvalOutcome {
+                fold_scores: FoldScores::new(Vec::new(), gamma),
+                score: f64::NAN,
+                cost_units: 0,
+                wall_seconds: start.elapsed().as_secs_f64(),
+                status: TrialStatus::Diverged,
+                resumed_from: None,
+            };
+        };
+        let deadline = self
+            .policy
+            .trial_timeout_secs
+            .map(|secs| start + Duration::from_secs_f64(secs));
+        let mut fold_scores = Vec::with_capacity(self.settings.folds);
+        let mut cost_units = 0u64;
+        for fold in 0..self.settings.folds {
+            if self.cancel.is_cancelled() {
+                return EvalOutcome::cancelled(self.policy.imputed_score, gamma);
+            }
+            let seed = derive_seed(job.stream, fold as u64);
+            match self.run_child(values, job.budget, seed, fold, deadline) {
+                ChildResult::Score { score, cost } => {
+                    fold_scores.push(score);
+                    cost_units += cost.unwrap_or(job.budget as u64);
+                }
+                ChildResult::Cancelled => {
+                    return EvalOutcome::cancelled(self.policy.imputed_score, gamma);
+                }
+                ChildResult::TimedOut { stderr } => {
+                    self.report_failure(job, fold, "timeout", &stderr);
+                    return EvalOutcome {
+                        fold_scores: FoldScores::new(Vec::new(), gamma),
+                        score: self.policy.imputed_score,
+                        cost_units,
+                        wall_seconds: start.elapsed().as_secs_f64(),
+                        status: TrialStatus::TimedOut,
+                        resumed_from: None,
+                    };
+                }
+                ChildResult::Fail { exit, stderr } => {
+                    self.report_failure(job, fold, &exit, &stderr);
+                    return EvalOutcome {
+                        fold_scores: FoldScores::new(Vec::new(), gamma),
+                        score: f64::NAN,
+                        cost_units,
+                        wall_seconds: start.elapsed().as_secs_f64(),
+                        status: TrialStatus::Diverged,
+                        resumed_from: None,
+                    };
+                }
+            }
+        }
+        let score = fold_scores.iter().sum::<f64>() / fold_scores.len().max(1) as f64;
+        EvalOutcome {
+            fold_scores: FoldScores::new(fold_scores, gamma),
+            score,
+            cost_units,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            status: TrialStatus::Completed,
+            resumed_from: None,
+        }
+    }
+
+    fn total_budget(&self) -> usize {
+        self.settings.total_budget
+    }
+
+    fn fold_stream(&self, base: u64, rung: u64, candidate: u64) -> u64 {
+        let cand = if self.settings.per_config_folds {
+            candidate & 0xFFFF_FFFF
+        } else {
+            0
+        };
+        derive_seed(base, (rung << 32) | cand)
+    }
+
+    fn failure_policy(&self) -> &FailurePolicy {
+        &self.policy
+    }
+
+    fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    fn recorder(&self) -> Recorder {
+        self.recorder.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ParamValue;
+
+    fn sh(script: &str) -> PluginSettings {
+        PluginSettings {
+            command: vec!["/bin/sh".into(), "-c".into(), script.into()],
+            total_budget: 100,
+            folds: 1,
+            per_config_folds: true,
+        }
+    }
+
+    fn job_with_config() -> TrialJob {
+        let mut map = ConfigMap::new();
+        map.insert("x".into(), ParamValue::Int(3));
+        TrialJob::new(hpo_models::mlp::MlpParams::default(), 50, 7)
+            .with_values(Some(std::sync::Arc::new(map)))
+    }
+
+    #[test]
+    fn bare_float_stdout_scores() {
+        let ev = PluginEvaluator::new(sh("cat >/dev/null; echo 0.75"));
+        let out = ev.evaluate_raw(&job_with_config());
+        assert_eq!(out.status, TrialStatus::Completed);
+        assert!((out.score - 0.75).abs() < 1e-12);
+        assert_eq!(out.cost_units, 50);
+    }
+
+    #[test]
+    fn json_stdout_carries_cost() {
+        let ev = PluginEvaluator::new(sh(
+            r#"cat >/dev/null; echo '{"score": 0.5, "cost": 9}'"#,
+        ));
+        let out = ev.evaluate_raw(&job_with_config());
+        assert_eq!(out.status, TrialStatus::Completed);
+        assert_eq!(out.cost_units, 9);
+    }
+
+    #[test]
+    fn structured_error_diverges() {
+        let ev = PluginEvaluator::new(sh(
+            r#"cat >/dev/null; echo '{"error": "bad config"}'"#,
+        ));
+        let out = ev.evaluate_raw(&job_with_config());
+        assert_eq!(out.status, TrialStatus::Diverged);
+    }
+
+    #[test]
+    fn nonzero_exit_diverges_and_run_trial_imputes() {
+        let ev = PluginEvaluator::new(sh("cat >/dev/null; echo boom >&2; exit 3"))
+            .with_failure_policy(FailurePolicy::no_retries());
+        let out = crate::exec::run_trial(&ev, &job_with_config());
+        assert_eq!(out.status, TrialStatus::Diverged);
+        assert_eq!(out.score, crate::exec::IMPUTED_SCORE);
+    }
+
+    #[test]
+    fn hanging_child_is_killed_on_deadline() {
+        let ev = PluginEvaluator::new(sh("sleep 30")).with_failure_policy(FailurePolicy {
+            trial_timeout_secs: Some(0.2),
+            ..FailurePolicy::default()
+        });
+        let t0 = Instant::now();
+        let out = crate::exec::run_trial(&ev, &job_with_config());
+        assert_eq!(out.status, TrialStatus::TimedOut);
+        assert!(t0.elapsed() < Duration::from_secs(5), "child not killed");
+    }
+
+    #[test]
+    fn cancel_kills_the_child_and_skips() {
+        let cancel = CancelToken::new();
+        let ev = PluginEvaluator::new(sh("sleep 30")).with_cancel_token(cancel.clone());
+        let job = job_with_config();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| ev.evaluate_trial(&job));
+            std::thread::sleep(Duration::from_millis(100));
+            cancel.cancel();
+            let out = h.join().unwrap();
+            assert_eq!(out.status, TrialStatus::Cancelled);
+        });
+        assert!(t0.elapsed() < Duration::from_secs(5), "child not killed");
+    }
+
+    #[test]
+    fn garbage_stdout_is_a_protocol_failure() {
+        let ev = PluginEvaluator::new(sh("cat >/dev/null; echo not-a-score"))
+            .with_failure_policy(FailurePolicy::no_retries());
+        let out = crate::exec::run_trial(&ev, &job_with_config());
+        assert_eq!(out.status, TrialStatus::Diverged);
+    }
+
+    #[test]
+    fn seeds_derive_from_stream_per_fold() {
+        // The child echoes its seed back as the score; folds must see
+        // derive_seed(stream, fold) regardless of where the job runs.
+        let settings = PluginSettings {
+            folds: 2,
+            ..sh(r#"read line; echo "$line" | sed 's/.*"seed":\([0-9]*\).*/\1/'"#)
+        };
+        let ev = PluginEvaluator::new(settings);
+        let out = ev.evaluate_raw(&job_with_config());
+        assert_eq!(out.fold_scores.folds.len(), 2);
+        assert_eq!(out.fold_scores.folds[0], derive_seed(7, 0) as f64);
+        assert_eq!(out.fold_scores.folds[1], derive_seed(7, 1) as f64);
+    }
+
+    #[test]
+    fn truncate_keeps_the_tail() {
+        let long = "a".repeat(5000) + "END";
+        let t = truncate_tail(&long, 100);
+        assert!(t.ends_with("END"));
+        assert!(t.starts_with("…[truncated]"));
+    }
+}

@@ -78,6 +78,7 @@ pub fn random_search<E: TrialEvaluator + ?Sized>(
                 budget,
                 evaluator.fold_stream(stream, 0, i as u64),
             )
+            .with_values(space.trial_values(cand))
         })
         .collect();
     let outcomes = evaluator.evaluate_batch(&jobs);

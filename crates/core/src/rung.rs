@@ -312,6 +312,7 @@ pub fn run_bracket<E: TrialEvaluator + ?Sized>(
                     evaluator.fold_stream(stream, i as u64, pos as u64),
                 )
                 .with_continuation(derive_seed(stream, CONTINUATION_KEY_SALT + *orig as u64))
+                .with_values(space.trial_values(cand))
             })
             .collect();
         let outcomes = evaluator.evaluate_batch(&jobs);

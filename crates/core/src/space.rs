@@ -5,6 +5,7 @@
 //! comparison uses the first four (6·3·3·3 = 162 configurations), the Fig. 4
 //! sweep adds one at a time in table order.
 
+use crate::spec::{ConfigMap, ParamValue};
 use hpo_data::rng::rng_from_seed;
 use hpo_models::activation::Activation;
 use hpo_models::mlp::{MlpParams, Solver};
@@ -12,6 +13,27 @@ use hpo_models::schedule::LearningRate;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
+
+/// A spec-declared dimension: a named finite candidate list with an
+/// optional activation gate, resolved from a [`crate::spec::SpaceSpec`].
+///
+/// Generic dimensions carry no [`MlpParams`] semantics — `apply` is a no-op
+/// — because their chosen values are rendered into a [`ConfigMap`] and fed
+/// to an external evaluator instead (see [`SearchSpace::config_map`]).
+#[derive(Clone, Debug)]
+pub struct GenericDim {
+    /// Parameter name as declared in the spec.
+    pub name: String,
+    /// The discretized candidate values.
+    pub values: Vec<ParamValue>,
+    /// Conditional activation, resolved to `(gating dimension index,
+    /// activating candidate index)`. The dimension keeps its index slot in
+    /// every [`Configuration`] either way (determinism needs fixed arity);
+    /// when the gate does not match, the value is omitted from the rendered
+    /// config.
+    pub gate: Option<(usize, usize)>,
+}
 
 /// One hyperparameter dimension: a name and its candidate values, plus how a
 /// chosen value is applied to [`MlpParams`].
@@ -33,6 +55,8 @@ pub enum Dimension {
     Momentum(Vec<f64>),
     /// `early_stopping`.
     EarlyStopping(Vec<bool>),
+    /// A spec-declared generic parameter (external evaluators).
+    Generic(GenericDim),
 }
 
 impl Dimension {
@@ -47,11 +71,13 @@ impl Dimension {
             Dimension::Schedule(v) => v.len(),
             Dimension::Momentum(v) => v.len(),
             Dimension::EarlyStopping(v) => v.len(),
+            Dimension::Generic(d) => d.values.len(),
         }
     }
 
-    /// The scikit-learn parameter name.
-    pub fn name(&self) -> &'static str {
+    /// The scikit-learn parameter name (or the spec-declared name for
+    /// generic dimensions).
+    pub fn name(&self) -> &str {
         match self {
             Dimension::HiddenLayers(_) => "hidden_layer_sizes",
             Dimension::Activation(_) => "activation",
@@ -61,10 +87,13 @@ impl Dimension {
             Dimension::Schedule(_) => "learning_rate",
             Dimension::Momentum(_) => "momentum",
             Dimension::EarlyStopping(_) => "early_stopping",
+            Dimension::Generic(d) => &d.name,
         }
     }
 
-    /// Applies candidate `idx` of this dimension to `params`.
+    /// Applies candidate `idx` of this dimension to `params`. Generic
+    /// dimensions are a no-op: their values live in the rendered
+    /// [`ConfigMap`], not in [`MlpParams`].
     ///
     /// # Panics
     /// Panics when `idx` is out of range.
@@ -78,6 +107,9 @@ impl Dimension {
             Dimension::Schedule(v) => params.learning_rate = v[idx],
             Dimension::Momentum(v) => params.momentum = v[idx],
             Dimension::EarlyStopping(v) => params.early_stopping = v[idx],
+            Dimension::Generic(d) => {
+                assert!(idx < d.values.len(), "candidate index out of range");
+            }
         }
     }
 
@@ -89,9 +121,28 @@ impl Dimension {
             Dimension::Solver(v) => v[idx].name().to_string(),
             Dimension::LearningRateInit(v) => v[idx].to_string(),
             Dimension::BatchSize(v) => v[idx].to_string(),
-            Dimension::Schedule(v) => v[idx].name().to_string(),
             Dimension::Momentum(v) => v[idx].to_string(),
+            Dimension::Schedule(v) => v[idx].name().to_string(),
             Dimension::EarlyStopping(v) => v[idx].to_string(),
+            Dimension::Generic(d) => d.values[idx].render(),
+        }
+    }
+
+    /// Candidate `idx` as a typed [`ParamValue`] — the form rendered into a
+    /// trial's config map.
+    pub fn value_param(&self, idx: usize) -> ParamValue {
+        match self {
+            Dimension::LearningRateInit(v) => ParamValue::Float(v[idx]),
+            Dimension::Momentum(v) => ParamValue::Float(v[idx]),
+            Dimension::BatchSize(v) => ParamValue::Int(v[idx] as i64),
+            Dimension::EarlyStopping(v) => ParamValue::Bool(v[idx]),
+            Dimension::Generic(d) => d.values[idx].clone(),
+            // Whitespace-free so built-in values survive the line grammar's
+            // whitespace tokenization (SearchSpace::to_spec round-trips).
+            Dimension::HiddenLayers(v) => {
+                ParamValue::Str(format!("{:?}", v[idx]).replace(' ', ""))
+            }
+            other => ParamValue::Str(other.value_string(idx)),
         }
     }
 }
@@ -286,12 +337,100 @@ impl SearchSpace {
 
     /// Human-readable rendering of a configuration.
     pub fn describe(&self, config: &Configuration) -> String {
+        let active = self.active_dims(config);
         self.dims
             .iter()
             .zip(&config.0)
-            .map(|(d, &i)| format!("{}={}", d.name(), d.value_string(i)))
+            .enumerate()
+            .filter(|(i, _)| active[*i])
+            .map(|(_, (d, &i))| format!("{}={}", d.name(), d.value_string(i)))
             .collect::<Vec<_>>()
             .join(" ")
+    }
+
+    /// Whether any dimension is spec-declared (generic). Pure built-in
+    /// spaces skip config-map rendering entirely, so legacy MLP runs stay
+    /// byte-identical to earlier releases.
+    pub fn has_generic(&self) -> bool {
+        self.dims
+            .iter()
+            .any(|d| matches!(d, Dimension::Generic(_)))
+    }
+
+    /// Per-dimension activation flags for a configuration: built-in
+    /// dimensions are always active; a gated generic dimension is active iff
+    /// its gate dimension is active and took the gating value. Gates always
+    /// point at earlier dimensions (spec validation), so one forward pass
+    /// resolves chains.
+    fn active_dims(&self, config: &Configuration) -> Vec<bool> {
+        let mut active = vec![true; self.dims.len()];
+        for (i, d) in self.dims.iter().enumerate() {
+            if let Dimension::Generic(g) = d {
+                if let Some((gate_dim, gate_val)) = g.gate {
+                    active[i] = active[gate_dim] && config.0[gate_dim] == gate_val;
+                }
+            }
+        }
+        active
+    }
+
+    /// Renders a configuration into the name → value map an external
+    /// evaluator receives as `"config"`. Inactive conditional parameters
+    /// are omitted.
+    ///
+    /// # Panics
+    /// Panics when the configuration's arity doesn't match.
+    pub fn config_map(&self, config: &Configuration) -> ConfigMap {
+        assert_eq!(
+            config.0.len(),
+            self.dims.len(),
+            "configuration arity mismatch"
+        );
+        let active = self.active_dims(config);
+        let mut map = ConfigMap::new();
+        for (i, (d, &idx)) in self.dims.iter().zip(&config.0).enumerate() {
+            if active[i] {
+                map.insert(d.name().to_string(), d.value_param(idx));
+            }
+        }
+        map
+    }
+
+    /// The config map a [`crate::exec::TrialJob`] should carry: `None` for
+    /// pure built-in spaces (zero overhead, unchanged checkpoint keys),
+    /// the rendered map otherwise.
+    pub fn trial_values(&self, config: &Configuration) -> Option<Arc<ConfigMap>> {
+        self.has_generic()
+            .then(|| Arc::new(self.config_map(config)))
+    }
+
+    /// Expresses this space in the declarative spec format: every dimension
+    /// becomes a categorical over its rendered candidates, gates become
+    /// `when` conditions. This is what makes `core::space` a thin built-in
+    /// instance of `core::spec` — the built-in grids round-trip through the
+    /// same grammar external spaces are written in.
+    pub fn to_spec(&self) -> crate::spec::SpaceSpec {
+        use crate::spec::{Condition, ParamDomain, ParamSpec, SpaceSpec};
+        let params = self
+            .dims
+            .iter()
+            .map(|d| {
+                let values = (0..d.cardinality()).map(|i| d.value_param(i)).collect();
+                let when = match d {
+                    Dimension::Generic(g) => g.gate.map(|(gd, gv)| Condition {
+                        param: self.dims[gd].name().to_string(),
+                        equals: self.dims[gd].value_param(gv),
+                    }),
+                    _ => None,
+                };
+                ParamSpec {
+                    name: d.name().to_string(),
+                    domain: ParamDomain::Categorical(values),
+                    when,
+                }
+            })
+            .collect();
+        SpaceSpec { params }
     }
 }
 

@@ -1,0 +1,962 @@
+//! Declarative search-space specifications for generic tunables.
+//!
+//! The paper's experiments tune one hardcoded MLP space
+//! ([`crate::space::SearchSpace::mlp_table3`]); a production HPO service must
+//! tune *arbitrary* programs over typed, conditional spaces. This module is
+//! the declarative format that makes that possible: a dependency-free,
+//! line-oriented grammar (with a JSON twin for API submission) describing
+//! categorical, integer, float and boolean hyperparameters — ranges with
+//! linear or log scale and optional grid steps, plus conditional activation
+//! (`momentum` is only meaningful `when solver=sgd`).
+//!
+//! Every spec resolves to a **finite grid**: ranges are discretized into
+//! candidate lists (explicit `steps=N`, or a default resolution), so a spec
+//! space is a finite product space exactly like the built-in MLP grid. That
+//! is what lets every optimizer in the repo — SHA through IDHB — drive a
+//! spec space unchanged: they index it with the same
+//! [`crate::space::Configuration`] vectors and sample it through the same
+//! `derive_seed` chains, so journals stay deterministic at every worker
+//! count. The built-in spaces are themselves expressible in this format
+//! (see [`crate::space::SearchSpace::to_spec`]); `core::space` is the thin
+//! built-in instance.
+//!
+//! ## Line grammar
+//!
+//! ```text
+//! # one parameter per line; '#' starts a comment
+//! lr       float 1e-3..0.1   log steps=8
+//! units    int   16..256     log steps=5
+//! depth    int   1..4
+//! solver   cat   sgd adam lbfgs
+//! momentum float 0.5..0.99   steps=8 when solver=sgd
+//! early    bool
+//! ```
+//!
+//! Parse errors carry a precise `line:col` span ([`SpecError`]); JSON specs
+//! reuse `serde_json`'s own line/column reporting and reject unknown fields.
+
+use crate::space::{Dimension, GenericDim, SearchSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default number of grid points a range without `steps=N` discretizes to.
+pub const DEFAULT_STEPS: usize = 16;
+
+/// Integer ranges whose span is at most this enumerate every value instead
+/// of sampling [`DEFAULT_STEPS`] grid points.
+pub const INT_ENUMERATE_LIMIT: i64 = 64;
+
+/// Truncation cap applied to plugin stderr captured into the journal.
+pub const STDERR_CAP: usize = 4096;
+
+/// One concrete hyperparameter value, as rendered into a plugin's config
+/// map. Serializes untagged, so JSON configs read naturally
+/// (`{"lr": 0.01, "solver": "sgd", "early": true, "units": 64}`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ParamValue {
+    /// A boolean flag.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A string (categorical choice).
+    Str(String),
+}
+
+impl ParamValue {
+    /// Canonical text rendering — the form the line grammar writes and the
+    /// form condition values are matched against.
+    pub fn render(&self) -> String {
+        match self {
+            ParamValue::Bool(b) => b.to_string(),
+            ParamValue::Int(i) => i.to_string(),
+            ParamValue::Float(f) => format_float(*f),
+            ParamValue::Str(s) => s.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl PartialEq for ParamValue {
+    /// Values compare by canonical rendering, so `Int(3)` from a JSON spec
+    /// and the `3` a line spec parsed match a condition either way.
+    fn eq(&self, other: &Self) -> bool {
+        self.render() == other.render()
+    }
+}
+
+/// Renders a float so it round-trips through the line grammar (Rust's `{}`
+/// on `f64` is shortest-round-trip), keeping an explicit `.0` so the value
+/// re-parses as a float, not an int.
+fn format_float(f: f64) -> String {
+    let s = format!("{f}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// A parameter's rendered assignment map: what one trial feeds the plugin
+/// subprocess as `"config"`. `BTreeMap` keeps key order deterministic, so
+/// serialized configs are byte-stable across runs and worker counts.
+pub type ConfigMap = BTreeMap<String, ParamValue>;
+
+/// Stable fingerprint of a rendered config map, mixed into checkpoint trial
+/// keys so two spec configurations sharing a fold stream (shared-fold
+/// pipelines) never collide in the resume cache.
+pub fn values_fingerprint(values: &ConfigMap) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for (k, v) in values {
+        k.hash(&mut h);
+        v.render().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Linear or logarithmic discretization of a range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Scale {
+    /// Evenly spaced grid points.
+    Linear,
+    /// Geometrically spaced grid points (requires `min > 0`).
+    Log,
+}
+
+/// The typed domain of one parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParamDomain {
+    /// An explicit finite list of choices.
+    Categorical(Vec<ParamValue>),
+    /// An integer range, inclusive on both ends.
+    Int {
+        /// Lower bound (inclusive).
+        min: i64,
+        /// Upper bound (inclusive).
+        max: i64,
+        /// Grid spacing.
+        scale: Scale,
+        /// Grid points to discretize to (`None` = enumerate small spans,
+        /// else [`DEFAULT_STEPS`]).
+        steps: Option<usize>,
+    },
+    /// A float range, inclusive on both ends.
+    Float {
+        /// Lower bound (inclusive).
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+        /// Grid spacing.
+        scale: Scale,
+        /// Grid points to discretize to (`None` = [`DEFAULT_STEPS`]).
+        steps: Option<usize>,
+    },
+    /// `false` / `true`.
+    Bool,
+}
+
+impl ParamDomain {
+    /// The finite candidate list this domain discretizes to (deterministic;
+    /// endpoints are always exact).
+    pub fn candidates(&self) -> Vec<ParamValue> {
+        match self {
+            ParamDomain::Categorical(vs) => vs.clone(),
+            ParamDomain::Bool => vec![ParamValue::Bool(false), ParamValue::Bool(true)],
+            ParamDomain::Int {
+                min,
+                max,
+                scale,
+                steps,
+            } => {
+                let span = max - min + 1;
+                let n = match steps {
+                    Some(s) => (*s).min(span as usize),
+                    None if span <= INT_ENUMERATE_LIMIT => span as usize,
+                    None => DEFAULT_STEPS,
+                };
+                if n <= 1 {
+                    return vec![ParamValue::Int(*min)];
+                }
+                if n as i64 >= span && *scale == Scale::Linear {
+                    return (*min..=*max).map(ParamValue::Int).collect();
+                }
+                let pts = grid_points(*min as f64, *max as f64, n, *scale);
+                let mut out: Vec<i64> = pts.into_iter().map(|p| p.round() as i64).collect();
+                out.dedup();
+                out.into_iter().map(ParamValue::Int).collect()
+            }
+            ParamDomain::Float {
+                min,
+                max,
+                scale,
+                steps,
+            } => {
+                let n = steps.unwrap_or(DEFAULT_STEPS);
+                if n <= 1 || min == max {
+                    return vec![ParamValue::Float(*min)];
+                }
+                grid_points(*min, *max, n, *scale)
+                    .into_iter()
+                    .map(ParamValue::Float)
+                    .collect()
+            }
+        }
+    }
+
+    /// Grammar keyword of the domain ("cat", "int", "float", "bool").
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            ParamDomain::Categorical(_) => "cat",
+            ParamDomain::Int { .. } => "int",
+            ParamDomain::Float { .. } => "float",
+            ParamDomain::Bool => "bool",
+        }
+    }
+}
+
+/// `n` grid points over `[min, max]` with exact endpoints.
+fn grid_points(min: f64, max: f64, n: usize, scale: Scale) -> Vec<f64> {
+    debug_assert!(n >= 2);
+    let mut out = Vec::with_capacity(n);
+    out.push(min);
+    for i in 1..n - 1 {
+        let t = i as f64 / (n - 1) as f64;
+        let v = match scale {
+            Scale::Linear => min + t * (max - min),
+            Scale::Log => (min.ln() + t * (max.ln() - min.ln())).exp(),
+        };
+        // Interior points are clamped so float error can never leak a
+        // candidate outside the declared range.
+        out.push(v.clamp(min.min(max), max.max(min)));
+    }
+    out.push(max);
+    out
+}
+
+/// Conditional activation: the owning parameter is only rendered into a
+/// trial's config when `param` (an earlier categorical/bool parameter) took
+/// the value `equals`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Condition {
+    /// Name of the gating parameter (must be declared earlier in the spec).
+    pub param: String,
+    /// The gating value that activates the owner.
+    pub equals: ParamValue,
+}
+
+/// One declared parameter: name, typed domain, optional activation
+/// condition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamSpec {
+    /// Parameter name (`[A-Za-z0-9_.-]+`).
+    pub name: String,
+    /// The typed domain.
+    pub domain: ParamDomain,
+    /// Optional conditional activation.
+    pub when: Option<Condition>,
+}
+
+/// A parsed, validated search-space specification.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SpaceSpec {
+    /// The declared parameters, in declaration order.
+    pub params: Vec<ParamSpec>,
+}
+
+/// A spec parse/validation error with a precise source span.
+///
+/// `line`/`col` are 1-based; line 0 marks whole-document errors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecError {
+    /// 1-based source line of the offending token (0 = whole document).
+    pub line: usize,
+    /// 1-based source column of the offending token.
+    pub col: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl SpecError {
+    fn at(line: usize, col: usize, msg: impl Into<String>) -> SpecError {
+        SpecError {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "spec error: {}", self.msg)
+        } else {
+            write!(
+                f,
+                "spec error at line {}, col {}: {}",
+                self.line, self.col, self.msg
+            )
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One whitespace token and its 1-based starting column.
+fn tokenize(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        out.push((start + 1, &line[start..i]));
+    }
+    out
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+}
+
+impl SpaceSpec {
+    /// Parses a spec from text, auto-detecting the JSON form (first
+    /// non-blank byte `{`) vs the line grammar, then validates it.
+    ///
+    /// # Errors
+    /// [`SpecError`] with a 1-based `line:col` span.
+    pub fn parse(text: &str) -> Result<SpaceSpec, SpecError> {
+        let spec = if text.trim_start().starts_with('{') {
+            Self::parse_json(text)?
+        } else {
+            Self::parse_lines(text)?
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parses the line grammar (see module docs).
+    fn parse_lines(text: &str) -> Result<SpaceSpec, SpecError> {
+        let mut params = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lno = idx + 1;
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            };
+            let toks = tokenize(line);
+            if toks.is_empty() {
+                continue;
+            }
+            params.push(parse_param_line(lno, &toks)?);
+        }
+        Ok(SpaceSpec { params })
+    }
+
+    /// Parses the JSON form: `{"params": [{"name": ..., "type": ...}, ...]}`.
+    /// Unknown fields are rejected (the same `deny_unknown_fields` contract
+    /// as the server's `RunSpec`), and serde's line/column are preserved in
+    /// the error span.
+    fn parse_json(text: &str) -> Result<SpaceSpec, SpecError> {
+        let raw: JsonSpec = serde_json::from_str(text)
+            .map_err(|e| SpecError::at(e.line(), e.column().max(1), e.to_string()))?;
+        let params = raw
+            .params
+            .into_iter()
+            .map(JsonParam::into_param)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SpaceSpec { params })
+    }
+
+    /// Structural validation: names, ranges, scales, steps, conditions.
+    /// Line-grammar specs report the declaring line; JSON specs report
+    /// line 0 (serde already spanned syntax errors).
+    fn validate(&self) -> Result<(), SpecError> {
+        let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+        for (i, p) in self.params.iter().enumerate() {
+            let lno = p_line(i);
+            if !valid_name(&p.name) {
+                return Err(SpecError::at(
+                    lno,
+                    1,
+                    format!("invalid parameter name `{}`", p.name),
+                ));
+            }
+            if seen.insert(p.name.as_str(), i).is_some() {
+                return Err(SpecError::at(
+                    lno,
+                    1,
+                    format!("duplicate parameter `{}`", p.name),
+                ));
+            }
+            match &p.domain {
+                ParamDomain::Categorical(vs) if vs.is_empty() => {
+                    return Err(SpecError::at(
+                        lno,
+                        1,
+                        format!("categorical `{}` needs at least one value", p.name),
+                    ));
+                }
+                ParamDomain::Int {
+                    min, max, scale, steps,
+                } => {
+                    if min > max {
+                        return Err(SpecError::at(
+                            lno,
+                            1,
+                            format!("range min {min} > max {max} for `{}`", p.name),
+                        ));
+                    }
+                    if *scale == Scale::Log && *min <= 0 {
+                        return Err(SpecError::at(
+                            lno,
+                            1,
+                            format!("log scale requires min > 0 for `{}`", p.name),
+                        ));
+                    }
+                    if steps == &Some(0) {
+                        return Err(SpecError::at(
+                            lno,
+                            1,
+                            format!("steps must be at least 1 for `{}`", p.name),
+                        ));
+                    }
+                }
+                ParamDomain::Float {
+                    min, max, scale, steps,
+                } => {
+                    if !min.is_finite() || !max.is_finite() {
+                        return Err(SpecError::at(
+                            lno,
+                            1,
+                            format!("range bounds must be finite for `{}`", p.name),
+                        ));
+                    }
+                    if min > max {
+                        return Err(SpecError::at(
+                            lno,
+                            1,
+                            format!("range min {min} > max {max} for `{}`", p.name),
+                        ));
+                    }
+                    if *scale == Scale::Log && *min <= 0.0 {
+                        return Err(SpecError::at(
+                            lno,
+                            1,
+                            format!("log scale requires min > 0 for `{}`", p.name),
+                        ));
+                    }
+                    if steps == &Some(0) {
+                        return Err(SpecError::at(
+                            lno,
+                            1,
+                            format!("steps must be at least 1 for `{}`", p.name),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+            if let Some(cond) = &p.when {
+                let Some(&gate_idx) = seen.get(cond.param.as_str()) else {
+                    return Err(SpecError::at(
+                        lno,
+                        1,
+                        format!(
+                            "condition on `{}` references `{}`, which must be declared earlier",
+                            p.name, cond.param
+                        ),
+                    ));
+                };
+                if gate_idx == i {
+                    return Err(SpecError::at(
+                        lno,
+                        1,
+                        format!("condition on `{}` references itself", p.name),
+                    ));
+                }
+                let gate = &self.params[gate_idx];
+                if !matches!(
+                    gate.domain,
+                    ParamDomain::Categorical(_) | ParamDomain::Bool
+                ) {
+                    return Err(SpecError::at(
+                        lno,
+                        1,
+                        format!(
+                            "condition target `{}` must be categorical or bool",
+                            cond.param
+                        ),
+                    ));
+                }
+                if !gate.domain.candidates().iter().any(|v| v == &cond.equals) {
+                    return Err(SpecError::at(
+                        lno,
+                        1,
+                        format!(
+                            "condition value `{}` is not a candidate of `{}`",
+                            cond.equals, cond.param
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical line-grammar rendering; `parse(to_text())` reproduces the
+    /// same resolved space (round-trip tested in `spec_props.rs`).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for p in &self.params {
+            out.push_str(&p.name);
+            out.push(' ');
+            out.push_str(p.domain.keyword());
+            match &p.domain {
+                ParamDomain::Categorical(vs) => {
+                    for v in vs {
+                        out.push(' ');
+                        out.push_str(&v.render());
+                    }
+                }
+                ParamDomain::Int {
+                    min, max, scale, steps,
+                } => {
+                    out.push_str(&format!(" {min}..{max}"));
+                    if *scale == Scale::Log {
+                        out.push_str(" log");
+                    }
+                    if let Some(s) = steps {
+                        out.push_str(&format!(" steps={s}"));
+                    }
+                }
+                ParamDomain::Float {
+                    min, max, scale, steps,
+                } => {
+                    out.push_str(&format!(" {}..{}", format_float(*min), format_float(*max)));
+                    if *scale == Scale::Log {
+                        out.push_str(" log");
+                    }
+                    if let Some(s) = steps {
+                        out.push_str(&format!(" steps={s}"));
+                    }
+                }
+                ParamDomain::Bool => {}
+            }
+            if let Some(cond) = &p.when {
+                out.push_str(&format!(" when {}={}", cond.param, cond.equals));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Resolves the spec into a finite [`SearchSpace`] of generic
+    /// dimensions, with conditions bound to (dimension, candidate) indices.
+    ///
+    /// Validation guarantees resolution cannot fail.
+    pub fn search_space(&self) -> SearchSpace {
+        let mut dims: Vec<Dimension> = Vec::with_capacity(self.params.len());
+        for p in &self.params {
+            let values = p.domain.candidates();
+            let gate = p.when.as_ref().map(|cond| {
+                let gate_idx = self
+                    .params
+                    .iter()
+                    .position(|q| q.name == cond.param)
+                    .expect("validated condition target");
+                let value_idx = self.params[gate_idx]
+                    .domain
+                    .candidates()
+                    .iter()
+                    .position(|v| v == &cond.equals)
+                    .expect("validated condition value");
+                (gate_idx, value_idx)
+            });
+            dims.push(Dimension::Generic(GenericDim {
+                name: p.name.clone(),
+                values,
+                gate,
+            }));
+        }
+        SearchSpace::new(dims)
+    }
+}
+
+/// 1-based line number attributed to parameter `i` when re-validating a
+/// spec that did not come from the line grammar (declaration order is the
+/// best span available).
+fn p_line(i: usize) -> usize {
+    i + 1
+}
+
+/// Parses one line-grammar parameter from its tokens.
+fn parse_param_line(lno: usize, toks: &[(usize, &str)]) -> Result<ParamSpec, SpecError> {
+    let (ncol, name) = toks[0];
+    if !valid_name(name) {
+        return Err(SpecError::at(
+            lno,
+            ncol,
+            format!("invalid parameter name `{name}`"),
+        ));
+    }
+    let Some(&(kcol, kind)) = toks.get(1) else {
+        return Err(SpecError::at(
+            lno,
+            ncol + name.len(),
+            format!("parameter `{name}` is missing a type (cat|int|float|bool)"),
+        ));
+    };
+    // Split trailing `when NAME=VALUE` off the domain tokens first.
+    let mut domain_toks = &toks[2..];
+    let mut when = None;
+    if let Some(pos) = domain_toks.iter().position(|&(_, t)| t == "when") {
+        let cond_toks = &domain_toks[pos..];
+        let (wcol, _) = cond_toks[0];
+        let Some(&(ccol, cond)) = cond_toks.get(1) else {
+            return Err(SpecError::at(lno, wcol, "`when` needs a `param=value`"));
+        };
+        if cond_toks.len() > 2 {
+            return Err(SpecError::at(
+                lno,
+                cond_toks[2].0,
+                "unexpected tokens after `when param=value`",
+            ));
+        }
+        let Some((gate, value)) = cond.split_once('=') else {
+            return Err(SpecError::at(
+                lno,
+                ccol,
+                format!("malformed condition `{cond}` (expected `param=value`)"),
+            ));
+        };
+        when = Some(Condition {
+            param: gate.to_string(),
+            equals: parse_value(value),
+        });
+        domain_toks = &domain_toks[..pos];
+    }
+    let domain = match kind {
+        "cat" => {
+            let values: Vec<ParamValue> =
+                domain_toks.iter().map(|&(_, t)| parse_value(t)).collect();
+            if values.is_empty() {
+                return Err(SpecError::at(
+                    lno,
+                    kcol,
+                    format!("categorical `{name}` needs at least one value"),
+                ));
+            }
+            ParamDomain::Categorical(values)
+        }
+        "bool" => {
+            if let Some(&(c, t)) = domain_toks.first() {
+                return Err(SpecError::at(lno, c, format!("unexpected token `{t}` after bool")));
+            }
+            ParamDomain::Bool
+        }
+        "int" | "float" => {
+            let Some(&(rcol, range)) = domain_toks.first() else {
+                return Err(SpecError::at(
+                    lno,
+                    kcol,
+                    format!("`{name}` needs a range `min..max`"),
+                ));
+            };
+            let Some((lo, hi)) = range.split_once("..") else {
+                return Err(SpecError::at(
+                    lno,
+                    rcol,
+                    format!("malformed range `{range}` (expected `min..max`)"),
+                ));
+            };
+            let mut scale = Scale::Linear;
+            let mut steps = None;
+            for &(c, t) in &domain_toks[1..] {
+                if t == "log" {
+                    scale = Scale::Log;
+                } else if t == "linear" {
+                    scale = Scale::Linear;
+                } else if let Some(n) = t.strip_prefix("steps=") {
+                    steps = Some(n.parse::<usize>().map_err(|_| {
+                        SpecError::at(lno, c, format!("invalid steps `{n}`"))
+                    })?);
+                } else {
+                    return Err(SpecError::at(lno, c, format!("unexpected token `{t}`")));
+                }
+            }
+            if kind == "int" {
+                let min = lo.parse::<i64>().map_err(|_| {
+                    SpecError::at(lno, rcol, format!("invalid int bound `{lo}`"))
+                })?;
+                let max = hi.parse::<i64>().map_err(|_| {
+                    SpecError::at(lno, rcol, format!("invalid int bound `{hi}`"))
+                })?;
+                ParamDomain::Int {
+                    min,
+                    max,
+                    scale,
+                    steps,
+                }
+            } else {
+                let min = lo.parse::<f64>().map_err(|_| {
+                    SpecError::at(lno, rcol, format!("invalid float bound `{lo}`"))
+                })?;
+                let max = hi.parse::<f64>().map_err(|_| {
+                    SpecError::at(lno, rcol, format!("invalid float bound `{hi}`"))
+                })?;
+                ParamDomain::Float {
+                    min,
+                    max,
+                    scale,
+                    steps,
+                }
+            }
+        }
+        other => {
+            return Err(SpecError::at(
+                lno,
+                kcol,
+                format!("unknown parameter type `{other}` (expected cat|int|float|bool)"),
+            ));
+        }
+    };
+    Ok(ParamSpec {
+        name: name.to_string(),
+        domain,
+        when,
+    })
+}
+
+/// Types a bare token: bool literal, int, float, else string.
+fn parse_value(tok: &str) -> ParamValue {
+    match tok {
+        "true" => ParamValue::Bool(true),
+        "false" => ParamValue::Bool(false),
+        _ => {
+            if let Ok(i) = tok.parse::<i64>() {
+                ParamValue::Int(i)
+            } else if let Ok(f) = tok.parse::<f64>() {
+                ParamValue::Float(f)
+            } else {
+                ParamValue::Str(tok.to_string())
+            }
+        }
+    }
+}
+
+/// The JSON wire form of a spec (`deny_unknown_fields`, like `RunSpec`).
+#[derive(Deserialize)]
+#[serde(deny_unknown_fields)]
+struct JsonSpec {
+    params: Vec<JsonParam>,
+}
+
+/// One parameter in the JSON form.
+#[derive(Deserialize)]
+#[serde(deny_unknown_fields)]
+struct JsonParam {
+    name: String,
+    #[serde(rename = "type")]
+    kind: String,
+    #[serde(default)]
+    values: Option<Vec<ParamValue>>,
+    #[serde(default)]
+    min: Option<f64>,
+    #[serde(default)]
+    max: Option<f64>,
+    #[serde(default)]
+    scale: Option<Scale>,
+    #[serde(default)]
+    steps: Option<usize>,
+    #[serde(default)]
+    when: Option<JsonWhen>,
+}
+
+/// A condition in the JSON form.
+#[derive(Deserialize)]
+#[serde(deny_unknown_fields)]
+struct JsonWhen {
+    param: String,
+    equals: ParamValue,
+}
+
+impl JsonParam {
+    fn into_param(self) -> Result<ParamSpec, SpecError> {
+        let err = |msg: String| SpecError::at(0, 1, msg);
+        let scale = self.scale.unwrap_or(Scale::Linear);
+        let domain = match self.kind.as_str() {
+            "cat" => ParamDomain::Categorical(
+                self.values
+                    .ok_or_else(|| err(format!("categorical `{}` needs `values`", self.name)))?,
+            ),
+            "bool" => ParamDomain::Bool,
+            "int" => {
+                let min = self
+                    .min
+                    .ok_or_else(|| err(format!("`{}` needs `min`", self.name)))?;
+                let max = self
+                    .max
+                    .ok_or_else(|| err(format!("`{}` needs `max`", self.name)))?;
+                ParamDomain::Int {
+                    min: min as i64,
+                    max: max as i64,
+                    scale,
+                    steps: self.steps,
+                }
+            }
+            "float" => {
+                let min = self
+                    .min
+                    .ok_or_else(|| err(format!("`{}` needs `min`", self.name)))?;
+                let max = self
+                    .max
+                    .ok_or_else(|| err(format!("`{}` needs `max`", self.name)))?;
+                ParamDomain::Float {
+                    min,
+                    max,
+                    scale,
+                    steps: self.steps,
+                }
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown parameter type `{other}` for `{}` (expected cat|int|float|bool)",
+                    self.name
+                )));
+            }
+        };
+        Ok(ParamSpec {
+            name: self.name,
+            domain,
+            when: self.when.map(|w| Condition {
+                param: w.param,
+                equals: w.equals,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = "
+# a worked example
+lr       float 1e-3..0.1 log steps=8
+units    int   16..256 log steps=5
+depth    int   1..4
+solver   cat   sgd adam lbfgs
+momentum float 0.5..0.99 steps=8 when solver=sgd
+early    bool
+";
+
+    #[test]
+    fn parses_the_worked_example() {
+        let spec = SpaceSpec::parse(EXAMPLE).unwrap();
+        assert_eq!(spec.params.len(), 6);
+        assert_eq!(spec.params[0].name, "lr");
+        assert_eq!(
+            spec.params[4].when,
+            Some(Condition {
+                param: "solver".into(),
+                equals: ParamValue::Str("sgd".into())
+            })
+        );
+        let space = spec.search_space();
+        assert_eq!(space.n_configurations(), 8 * 5 * 4 * 3 * 8 * 2);
+    }
+
+    #[test]
+    fn float_log_grid_hits_exact_endpoints() {
+        let d = ParamDomain::Float {
+            min: 1e-3,
+            max: 0.1,
+            scale: Scale::Log,
+            steps: Some(8),
+        };
+        let c = d.candidates();
+        assert_eq!(c.len(), 8);
+        assert_eq!(c[0], ParamValue::Float(1e-3));
+        assert_eq!(c[7], ParamValue::Float(0.1));
+    }
+
+    #[test]
+    fn small_int_spans_enumerate() {
+        let d = ParamDomain::Int {
+            min: 1,
+            max: 4,
+            scale: Scale::Linear,
+            steps: None,
+        };
+        assert_eq!(
+            d.candidates(),
+            vec![
+                ParamValue::Int(1),
+                ParamValue::Int(2),
+                ParamValue::Int(3),
+                ParamValue::Int(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn json_form_parses_and_rejects_unknown_fields() {
+        let good = r#"{"params": [
+            {"name": "lr", "type": "float", "min": 0.001, "max": 0.1, "scale": "log", "steps": 4},
+            {"name": "solver", "type": "cat", "values": ["sgd", "adam"]},
+            {"name": "momentum", "type": "float", "min": 0.5, "max": 0.9,
+             "when": {"param": "solver", "equals": "sgd"}}
+        ]}"#;
+        let spec = SpaceSpec::parse(good).unwrap();
+        assert_eq!(spec.params.len(), 3);
+        let bad = r#"{"params": [{"name": "lr", "type": "float", "min": 0.1, "max": 1.0, "stepz": 4}]}"#;
+        let e = SpaceSpec::parse(bad).unwrap_err();
+        assert!(e.msg.contains("stepz"), "{e}");
+        assert!(e.line >= 1, "json errors carry serde spans: {e:?}");
+    }
+
+    #[test]
+    fn error_spans_point_at_the_offending_token() {
+        let e = SpaceSpec::parse("lr floaty 0..1").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 4));
+        assert!(e.msg.contains("floaty"));
+        let e = SpaceSpec::parse("a int 1..4\nb int 4..1").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn canonical_text_roundtrips() {
+        let spec = SpaceSpec::parse(EXAMPLE).unwrap();
+        let back = SpaceSpec::parse(&spec.to_text()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn values_fingerprint_discriminates() {
+        let mut a = ConfigMap::new();
+        a.insert("lr".into(), ParamValue::Float(0.1));
+        let mut b = a.clone();
+        b.insert("solver".into(), ParamValue::Str("sgd".into()));
+        assert_ne!(values_fingerprint(&a), values_fingerprint(&b));
+        assert_eq!(values_fingerprint(&a), values_fingerprint(&a.clone()));
+    }
+}

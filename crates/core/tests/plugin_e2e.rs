@@ -1,0 +1,261 @@
+//! End-to-end tests for the subprocess evaluator plugin
+//! ([`hpo_core::plugin`]) driving real `/bin/sh` children through the full
+//! optimizer stack: journal byte-identity between `--workers 1` and
+//! `--workers 4`, kill-and-resume through the checkpoint store, and
+//! misbehaving evaluators (crashing, garbage stdout) surfacing as imputed
+//! failures plus `TrialStderr` journal events — never as a wedged or
+//! corrupted run.
+
+#![cfg(unix)]
+
+use hpo_core::asha::AshaConfig;
+use hpo_core::harness::{run_plugin_with, Method, RunOptions, RunResult};
+use hpo_core::hyperband::HyperbandConfig;
+use hpo_core::obs::{EventRecord, Recorder, RunEvent};
+use hpo_core::persist::{load_checkpoint, save_checkpoint};
+use hpo_core::plugin::PluginSettings;
+use hpo_core::sha::ShaConfig;
+use hpo_core::space::SearchSpace;
+use hpo_core::spec::SpaceSpec;
+
+/// A `/bin/sh -c` evaluator command.
+fn sh(script: &str) -> Vec<String> {
+    vec!["/bin/sh".to_string(), "-c".to_string(), script.to_string()]
+}
+
+/// Deterministic toy evaluator: the score is a pure function of the request
+/// bytes (config, budget, seed, fold), so every run — at any worker count,
+/// resumed or not — sees identical scores.
+const TOY: &str = r#"sum=$(cat | cksum | cut -d' ' -f1); echo "0.$((sum % 10000))""#;
+
+/// A small conditional space: 4 learning rates x 2 solvers x 3 momenta
+/// (momentum active only under sgd) = 24 grid points.
+fn space() -> SearchSpace {
+    SpaceSpec::parse(
+        "lr float 0.001..0.1 log steps=4\n\
+         solver cat sgd adam\n\
+         momentum float 0.5..0.9 steps=3 when solver=sgd\n",
+    )
+    .expect("test space parses")
+    .search_space()
+}
+
+fn settings(script: &str) -> PluginSettings {
+    PluginSettings {
+        command: sh(script),
+        total_budget: 27,
+        folds: 2,
+        per_config_folds: true,
+    }
+}
+
+fn memory_recorder() -> Recorder {
+    Recorder::builder()
+        .record_in_memory()
+        .build()
+        .expect("in-memory recorder never fails to build")
+}
+
+fn run(
+    script: &str,
+    method: &Method,
+    seed: u64,
+    opts_base: RunOptions,
+) -> (Vec<EventRecord>, RunResult) {
+    let recorder = memory_recorder();
+    let opts = RunOptions {
+        recorder: recorder.clone(),
+        ..opts_base
+    };
+    let row = run_plugin_with(&space(), &settings(script), method, seed, &opts);
+    (recorder.events(), row)
+}
+
+/// Journal normal form: serialized records with timestamps and wall-clock
+/// readings zeroed — the only fields allowed to differ across worker counts.
+fn normal_form(events: &[EventRecord]) -> Vec<String> {
+    events
+        .iter()
+        .map(|e| serde_json::to_string(&e.without_timings()).expect("event serializes"))
+        .collect()
+}
+
+#[test]
+fn plugin_journals_are_byte_identical_at_any_worker_count() {
+    let methods: Vec<(&str, Method)> = vec![
+        ("sha", Method::Sha(ShaConfig::default())),
+        ("hb", Method::Hyperband(HyperbandConfig::default())),
+        ("asha", Method::Asha(AshaConfig::default())),
+    ];
+    for (name, method) in &methods {
+        let (e1, r1) = run(TOY, method, 11, RunOptions::default());
+        let (e4, r4) = run(
+            TOY,
+            method,
+            11,
+            RunOptions {
+                workers: 4,
+                ..RunOptions::default()
+            },
+        );
+        assert!(r1.n_evaluations > 0, "{name}: no trials ran");
+        assert_eq!(r1.best_config, r4.best_config, "{name}: winners differ");
+        assert_eq!(
+            r1.test_score.to_bits(),
+            r4.test_score.to_bits(),
+            "{name}: final scores differ"
+        );
+        assert_eq!(
+            normal_form(&e1),
+            normal_form(&e4),
+            "{name}: journals must be byte-identical at workers 1 vs 4"
+        );
+    }
+}
+
+#[test]
+fn killed_and_resumed_plugin_run_matches_the_uninterrupted_run() {
+    let path = std::env::temp_dir().join(format!(
+        "bhpo_plugin_resume_{}.json",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    let method = Method::Sha(ShaConfig::default());
+
+    // Uninterrupted reference run, journaling every trial to the checkpoint.
+    let (_, full) = run(
+        TOY,
+        &method,
+        16,
+        RunOptions {
+            checkpoint: Some(path.clone()),
+            ..RunOptions::default()
+        },
+    );
+    assert_eq!(full.n_resumed, 0);
+
+    // Simulate a mid-run kill: keep only the first half of the journal.
+    let mut cp = load_checkpoint(&path).unwrap();
+    assert!(cp.entries.len() >= 4, "reference run journaled too little");
+    let kept = cp.entries.len() / 2;
+    cp.entries.truncate(kept);
+    save_checkpoint(&cp, &path).unwrap();
+
+    let (_, resumed) = run(
+        TOY,
+        &method,
+        16,
+        RunOptions {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..RunOptions::default()
+        },
+    );
+    assert_eq!(resumed.n_resumed, kept, "all surviving trials must replay");
+    assert_eq!(resumed.best_config, full.best_config);
+    assert_eq!(resumed.test_score.to_bits(), full.test_score.to_bits());
+    assert_eq!(resumed.n_evaluations, full.n_evaluations);
+
+    let final_cp = load_checkpoint(&path).unwrap();
+    assert_eq!(final_cp.entries.len(), full.n_evaluations);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Crashes deterministically for every adam config (the request bytes
+/// contain the rendered solver), succeeds otherwise. Retries see the same
+/// crash, so adam trials exhaust retries and impute.
+const CRASH_ON_ADAM: &str =
+    r#"in=$(cat); case "$in" in *adam*) echo "adam exploded" >&2; exit 3;; esac; echo 0.75"#;
+
+#[test]
+fn crashing_evaluator_imputes_failures_and_stays_deterministic() {
+    let method = Method::Sha(ShaConfig::default());
+    let (e1, r1) = run(CRASH_ON_ADAM, &method, 7, RunOptions::default());
+    let (e4, r4) = run(
+        CRASH_ON_ADAM,
+        &method,
+        7,
+        RunOptions {
+            workers: 4,
+            ..RunOptions::default()
+        },
+    );
+
+    assert!(r1.n_failures > 0, "adam trials must fail");
+    assert!(
+        r1.n_failures < r1.n_evaluations,
+        "sgd trials must still succeed"
+    );
+    // The winner can only be an sgd config: every adam trial imputed.
+    let desc = &r1.best_config_desc;
+    assert!(desc.contains("sgd"), "winner must avoid the crasher: {desc}");
+
+    // Failures don't break the determinism contract.
+    assert_eq!(r1.best_config, r4.best_config);
+    assert_eq!(normal_form(&e1), normal_form(&e4));
+
+    // Stderr of the crashing child lands in the journal, attributed to the
+    // failing attempt, truncated and exit-tagged.
+    let stderrs: Vec<&RunEvent> = e1
+        .iter()
+        .map(|e| &e.event)
+        .filter(|e| matches!(e, RunEvent::TrialStderr { .. }))
+        .collect();
+    assert!(!stderrs.is_empty(), "crashes must journal TrialStderr");
+    for ev in &stderrs {
+        let RunEvent::TrialStderr { exit, stderr, .. } = ev else {
+            unreachable!()
+        };
+        assert_eq!(exit, "exit:3");
+        assert!(stderr.contains("adam exploded"), "{stderr:?}");
+    }
+}
+
+#[test]
+fn garbage_stdout_fails_every_trial_without_wedging_the_run() {
+    let method = Method::Sha(ShaConfig::default());
+    let (events, row) = run("cat >/dev/null; echo banana", &method, 5, RunOptions::default());
+    assert_eq!(
+        row.n_failures, row.n_evaluations,
+        "every trial must fail on protocol garbage"
+    );
+    let protocol_failures = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                &e.event,
+                RunEvent::TrialStderr { exit, .. } if exit == "protocol"
+            )
+        })
+        .count();
+    assert!(protocol_failures > 0, "protocol failures must be journaled");
+    // The final full-budget re-eval also fails, so the reported score is
+    // exactly the imputed sentinel — never NaN or a stale partial score.
+    assert_eq!(row.test_score, hpo_core::exec::IMPUTED_SCORE);
+}
+
+#[test]
+fn plugin_failures_bump_the_global_failure_counter() {
+    let before = counter_value("hpo_plugin_failures_total");
+    let (_, row) = run(
+        "cat >/dev/null; exit 9",
+        &Method::Sha(ShaConfig::default()),
+        3,
+        RunOptions::default(),
+    );
+    assert!(row.n_failures > 0);
+    let after = counter_value("hpo_plugin_failures_total");
+    assert!(
+        after > before,
+        "hpo_plugin_failures_total must grow ({before} -> {after})"
+    );
+}
+
+fn counter_value(name: &str) -> u64 {
+    hpo_core::obs::global_metrics()
+        .snapshot()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}

@@ -1,0 +1,294 @@
+//! Property and table tests for the declarative search-space format
+//! ([`hpo_core::spec`]): canonical-text round-trips per parameter type,
+//! discretization bounds (log grids can never leak a candidate outside the
+//! declared range), conditional activation in rendered config maps, and a
+//! table of invalid specs pinned to their error spans.
+
+use hpo_core::spec::{
+    Condition, ParamDomain, ParamSpec, ParamValue, Scale, SpaceSpec, DEFAULT_STEPS,
+    INT_ENUMERATE_LIMIT,
+};
+use proptest::prelude::*;
+
+/// A spec with one parameter of the given domain (plus a gate when the
+/// domain is conditional on one).
+fn one_param(name: &str, domain: ParamDomain) -> SpaceSpec {
+    SpaceSpec {
+        params: vec![ParamSpec {
+            name: name.to_string(),
+            domain,
+            when: None,
+        }],
+    }
+}
+
+/// `parse(to_text(spec))` must reproduce the spec — and therefore the same
+/// resolved candidate grid.
+fn assert_roundtrips(spec: &SpaceSpec) {
+    let text = spec.to_text();
+    let back = SpaceSpec::parse(&text).unwrap_or_else(|e| panic!("{e} in:\n{text}"));
+    assert_eq!(spec, &back, "canonical text must re-parse identically");
+    assert_eq!(
+        spec.search_space().n_configurations(),
+        back.search_space().n_configurations(),
+    );
+}
+
+fn float_of(v: &ParamValue) -> f64 {
+    match v {
+        ParamValue::Float(f) => *f,
+        other => panic!("expected float candidate, got {other:?}"),
+    }
+}
+
+fn int_of(v: &ParamValue) -> i64 {
+    match v {
+        ParamValue::Int(i) => *i,
+        other => panic!("expected int candidate, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Float ranges round-trip through the line grammar for both scales and
+    /// any step count, and every candidate lies inside the declared range
+    /// with exact endpoints — the log-grid clamp contract.
+    #[test]
+    fn float_ranges_roundtrip_and_stay_in_bounds(
+        min_exp in -6i32..2,
+        span_factor in 2u32..1000,
+        steps in 2usize..24,
+        log in 0u8..2,
+    ) {
+        let min = 10f64.powi(min_exp);
+        let max = min * span_factor as f64;
+        let scale = if log == 1 { Scale::Log } else { Scale::Linear };
+        let domain = ParamDomain::Float { min, max, scale, steps: Some(steps) };
+        assert_roundtrips(&one_param("lr", domain.clone()));
+
+        let cands = domain.candidates();
+        prop_assert_eq!(cands.len(), steps);
+        prop_assert_eq!(float_of(&cands[0]), min, "low endpoint must be exact");
+        prop_assert_eq!(float_of(&cands[steps - 1]), max, "high endpoint must be exact");
+        let mut prev = f64::NEG_INFINITY;
+        for c in &cands {
+            let v = float_of(c);
+            prop_assert!(v >= min && v <= max, "candidate {v} outside [{min}, {max}]");
+            prop_assert!(v >= prev, "candidates must be non-decreasing");
+            prev = v;
+        }
+    }
+
+    /// Int ranges round-trip; small spans enumerate every value, large
+    /// spans discretize to the requested grid, and all candidates stay in
+    /// bounds, deduplicated and increasing.
+    #[test]
+    fn int_ranges_roundtrip_and_stay_in_bounds(
+        min in -100i64..1000,
+        span in 0i64..5000,
+        steps_opt in 0usize..24,
+        log in 0u8..2,
+    ) {
+        let max = min + span;
+        let scale = if log == 1 && min > 0 { Scale::Log } else { Scale::Linear };
+        let steps = (steps_opt >= 2).then_some(steps_opt);
+        let domain = ParamDomain::Int { min, max, scale, steps };
+        assert_roundtrips(&one_param("units", domain.clone()));
+
+        let cands = domain.candidates();
+        prop_assert!(!cands.is_empty());
+        if steps.is_none() && span < INT_ENUMERATE_LIMIT && scale == Scale::Linear {
+            prop_assert_eq!(cands.len() as i64, span + 1, "small spans enumerate");
+        }
+        prop_assert!(cands.len() <= steps.unwrap_or((span + 1).max(1) as usize).max(DEFAULT_STEPS));
+        let mut prev = i64::MIN;
+        for c in &cands {
+            let v = int_of(c);
+            prop_assert!((min..=max).contains(&v), "candidate {v} outside [{min}, {max}]");
+            prop_assert!(v > prev, "candidates must be strictly increasing after dedup");
+            prev = v;
+        }
+    }
+
+    /// Categorical and bool parameters round-trip: token-safe value lists
+    /// of any size, in declaration order.
+    #[test]
+    fn cat_and_bool_roundtrip(n_values in 1usize..9, offset in 0usize..100) {
+        let values: Vec<ParamValue> = (0..n_values)
+            .map(|i| ParamValue::Str(format!("choice_{}", i + offset)))
+            .collect();
+        let spec = SpaceSpec {
+            params: vec![
+                ParamSpec {
+                    name: "solver".into(),
+                    domain: ParamDomain::Categorical(values.clone()),
+                    when: None,
+                },
+                ParamSpec {
+                    name: "early".into(),
+                    domain: ParamDomain::Bool,
+                    when: None,
+                },
+            ],
+        };
+        assert_roundtrips(&spec);
+        let space = spec.search_space();
+        prop_assert_eq!(space.n_configurations(), n_values * 2);
+    }
+
+    /// Conditional activation: the gated parameter appears in a rendered
+    /// config map exactly when the gate holds its activating value, and the
+    /// `when` clause survives the text round-trip.
+    #[test]
+    fn conditional_params_render_only_when_active(
+        gate_idx in 0usize..3,
+        steps in 2usize..9,
+    ) {
+        let choices = ["sgd", "adam", "lbfgs"];
+        let spec = SpaceSpec {
+            params: vec![
+                ParamSpec {
+                    name: "solver".into(),
+                    domain: ParamDomain::Categorical(
+                        choices.iter().map(|c| ParamValue::Str((*c).into())).collect(),
+                    ),
+                    when: None,
+                },
+                ParamSpec {
+                    name: "momentum".into(),
+                    domain: ParamDomain::Float {
+                        min: 0.5,
+                        max: 0.99,
+                        scale: Scale::Linear,
+                        steps: Some(steps),
+                    },
+                    when: Some(Condition {
+                        param: "solver".into(),
+                        equals: ParamValue::Str(choices[gate_idx].into()),
+                    }),
+                },
+            ],
+        };
+        assert_roundtrips(&spec);
+        let space = spec.search_space();
+        for i in 0..space.n_configurations() {
+            let config = space.configuration(i);
+            let map = space.config_map(&config);
+            let gate_active = map.get("solver")
+                == Some(&ParamValue::Str(choices[gate_idx].into()));
+            prop_assert_eq!(
+                map.contains_key("momentum"),
+                gate_active,
+                "momentum must render iff solver={}", choices[gate_idx]
+            );
+        }
+    }
+}
+
+/// Invalid specs, pinned to the error span and a message fragment. One
+/// table so every grammar failure mode stays covered as the parser evolves.
+#[test]
+fn invalid_specs_report_precise_spans() {
+    let cases: &[(&str, usize, &str)] = &[
+        ("lr floaty 0..1", 1, "unknown parameter type"),
+        ("lr float 5..1", 1, "min 5 > max 1"),
+        ("a int 1..4\nb int 4..1", 2, "min 4 > max 1"),
+        ("lr float 0..1 log", 1, "log scale requires min > 0"),
+        ("units int -4..64 log", 1, "log scale requires min > 0"),
+        ("lr float 0.1..1 steps=0", 1, "steps must be at least 1"),
+        ("lr float 0.1..1 steps=abc", 1, "invalid steps"),
+        ("lr float zero..1", 1, "invalid float bound"),
+        ("units int 1.5..4", 1, "invalid int bound"),
+        ("lr float 0.1", 1, "malformed range"),
+        ("lr float", 1, "needs a range"),
+        ("lr", 1, "missing a type"),
+        ("so!ver cat sgd", 1, "invalid parameter name"),
+        ("solver cat", 1, "at least one value"),
+        ("early bool extra", 1, "unexpected token"),
+        ("lr float 0.1..1 turbo", 1, "unexpected token"),
+        ("lr float 0.1..1\nlr float 0.1..1", 2, "duplicate parameter"),
+        ("m float 0.5..0.9 when solver=sgd", 1, "declared earlier"),
+        (
+            "solver cat sgd adam\nm float 0.5..0.9 when solver=rmsprop",
+            2,
+            "not a candidate",
+        ),
+        (
+            "lr float 0.001..0.1\nm float 0.5..0.9 when lr=0.001",
+            2,
+            "must be categorical or bool",
+        ),
+        ("m float 0.5..0.9 when", 1, "needs a `param=value`"),
+        ("m float 0.5..0.9 when solver", 1, "malformed condition"),
+        (
+            "solver cat sgd\nm float 0.5..0.9 when solver=sgd extra",
+            2,
+            "unexpected tokens after",
+        ),
+    ];
+    for (text, line, fragment) in cases {
+        let err = SpaceSpec::parse(text).unwrap_err();
+        assert_eq!(
+            err.line, *line,
+            "wrong line for {text:?}: got {err} (expected line {line})"
+        );
+        assert!(
+            err.msg.contains(fragment),
+            "error for {text:?} should mention {fragment:?}, got: {err}"
+        );
+        assert!(err.col >= 1, "columns are 1-based: {err:?}");
+    }
+}
+
+/// JSON twin: unknown fields are rejected at every level, and structural
+/// errors (missing bounds, unknown types) are reported even though serde
+/// has no span for them.
+#[test]
+fn invalid_json_specs_are_rejected() {
+    let cases: &[(&str, &str)] = &[
+        (r#"{"params": [], "extra": 1}"#, "extra"),
+        (
+            r#"{"params": [{"name": "lr", "type": "float", "min": 0.1, "max": 1.0, "stepz": 3}]}"#,
+            "stepz",
+        ),
+        (
+            r#"{"params": [{"name": "lr", "type": "float", "max": 1.0}]}"#,
+            "needs `min`",
+        ),
+        (
+            r#"{"params": [{"name": "s", "type": "cat"}]}"#,
+            "needs `values`",
+        ),
+        (
+            r#"{"params": [{"name": "lr", "type": "gaussian", "min": 0.0, "max": 1.0}]}"#,
+            "unknown parameter type",
+        ),
+        (
+            r#"{"params": [{"name": "m", "type": "float", "min": 0.5, "max": 0.9,
+                "when": {"param": "solver", "equals": "sgd", "also": 1}}]}"#,
+            "also",
+        ),
+    ];
+    for (text, fragment) in cases {
+        let err = SpaceSpec::parse(text).unwrap_err();
+        assert!(
+            err.msg.contains(fragment),
+            "error for {text:?} should mention {fragment:?}, got: {err}"
+        );
+    }
+}
+
+/// The built-in MLP grid is expressible in the generic format: exporting it
+/// with `to_spec` and re-resolving preserves the grid shape.
+#[test]
+fn builtin_space_exports_to_spec_and_back() {
+    let builtin = hpo_core::space::SearchSpace::mlp_table3(4);
+    let spec = builtin.to_spec();
+    let text = spec.to_text();
+    let back = SpaceSpec::parse(&text).unwrap_or_else(|e| panic!("{e} in:\n{text}"));
+    assert_eq!(
+        back.search_space().n_configurations(),
+        builtin.n_configurations(),
+    );
+}

@@ -43,7 +43,7 @@
 
 use crate::spec::RunSpec;
 use hpo_core::obs::{global_metrics, Recorder, RunEvent, SpanEvent, SpanPhase, TraceContext};
-use hpo_core::{BatchHost, EngineSlot, EvalOutcome, ExternalEngine, SnapshotEntry, TrialJob};
+use hpo_core::{BatchHost, ConfigMap, EngineSlot, EvalOutcome, ExternalEngine, SnapshotEntry, TrialJob};
 use hpo_models::mlp::MlpParams;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -113,6 +113,11 @@ pub struct WireJob {
     /// (which is also what a local run would do).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub snapshot: Option<SnapshotEntry>,
+    /// Rendered spec-space config for plugin runs (the runner feeds it to
+    /// the evaluator subprocess). `None` for built-in MLP runs — and
+    /// skipped on the wire, so legacy runners keep decoding MLP leases.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub values: Option<ConfigMap>,
 }
 
 impl WireJob {
@@ -123,6 +128,7 @@ impl WireJob {
             budget: self.budget,
             stream: self.stream,
             cont: self.cont,
+            values: self.values.clone().map(Arc::new),
         }
     }
 }
@@ -827,6 +833,7 @@ impl ExternalEngine for FleetEngine {
                 stream: job.stream,
                 cont: job.cont,
                 snapshot: host.snapshot_for(job),
+                values: job.values.as_deref().cloned(),
             })
             .collect();
         let batch = self
@@ -899,6 +906,7 @@ mod tests {
                 stream: 1000 + i as u64,
                 cont: None,
                 snapshot: None,
+                values: None,
             })
             .collect()
     }

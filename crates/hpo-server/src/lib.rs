@@ -59,4 +59,4 @@ pub use fleet::{
 pub use registry::{Registry, RunState, RunStatus};
 pub use runner::{run_runner, ChaosPlan, RunnerConfig, RunnerExit, RunnerReport};
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use spec::RunSpec;
+pub use spec::{PreparedMlp, PreparedPlugin, PreparedRun, RunSpec};

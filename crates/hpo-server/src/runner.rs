@@ -21,14 +21,14 @@
 use crate::client::{Client, ClientError};
 use crate::fleet::{splitmix64, LeasePayload, ResultDelivery, WireResult};
 use crate::spec::PreparedRun;
-use hpo_core::exec::contained_evaluate;
+use hpo_core::exec::{contained_evaluate, TrialEvaluator};
 use hpo_core::obs::{
     assign_span_id, capture_trial_events, global_metrics, SpanPhase, LATENCY_BUCKETS,
 };
 use hpo_core::CancelToken;
 use hpo_core::{
-    params_fingerprint, ContinuationCache, CvEvaluator, FailurePolicy, ObservedEvaluator, Recorder,
-    SnapshotEntry,
+    params_fingerprint, ContinuationCache, CvEvaluator, FailurePolicy, ObservedEvaluator,
+    PluginEvaluator, Recorder, SnapshotEntry,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -236,34 +236,50 @@ fn evaluate_lease(
             .spec
             .prepare()
             .map_err(|e| ClientError::Protocol(format!("preparing spec for {}: {e}", lease.run)))?;
+        // Warm start is an MLP-path concept: a plugin trial is a fresh
+        // subprocess with no fold models to resume.
+        let warm_start = lease.spec.warm_start && matches!(prepared, PreparedRun::Mlp(_));
         runs.insert(
             lease.run.clone(),
             RunContext {
                 prepared,
                 seed: lease.spec.seed,
-                warm_start: lease.spec.warm_start,
+                warm_start,
                 cache: Arc::new(ContinuationCache::new()),
             },
         );
     }
     let ctx = runs.get(&lease.run).expect("inserted above");
 
-    // The exact evaluator stack a coordinator pool worker sees: CvEvaluator
-    // (default failure policy, as run_from_spec configures) wrapped in
-    // ObservedEvaluator. The recorder is a throwaway — captured events
-    // travel to the coordinator raw and are replayed into the *run's*
-    // journal there, in submission order.
-    let mut evaluator = CvEvaluator::new(
-        &ctx.prepared.train,
-        ctx.prepared.pipeline.clone(),
-        ctx.prepared.base.clone(),
-        ctx.seed,
-    )
-    .with_failure_policy(FailurePolicy::default());
-    if ctx.warm_start {
-        evaluator = evaluator.with_continuation(Arc::clone(&ctx.cache));
-    }
-    let observed = ObservedEvaluator::new(&evaluator, Recorder::in_memory());
+    // The exact evaluator stack a coordinator pool worker sees — CvEvaluator
+    // for MLP runs, PluginEvaluator (subprocess spawns happen *here*, on the
+    // runner) for plugin runs — with the default failure policy, as
+    // run_from_spec configures, wrapped in ObservedEvaluator. The recorder
+    // is a throwaway — captured events (including any `TrialStderr` a plugin
+    // child produces) travel to the coordinator raw and are replayed into
+    // the *run's* journal there, in submission order.
+    let recorder = Recorder::in_memory();
+    let cv_holder;
+    let plugin_holder;
+    let inner: &dyn TrialEvaluator = match &ctx.prepared {
+        PreparedRun::Mlp(mlp) => {
+            let mut evaluator =
+                CvEvaluator::new(&mlp.train, mlp.pipeline.clone(), mlp.base.clone(), ctx.seed)
+                    .with_failure_policy(FailurePolicy::default());
+            if ctx.warm_start {
+                evaluator = evaluator.with_continuation(Arc::clone(&ctx.cache));
+            }
+            cv_holder = evaluator;
+            &cv_holder
+        }
+        PreparedRun::Plugin(plugin) => {
+            plugin_holder = PluginEvaluator::new(plugin.settings.clone())
+                .with_failure_policy(FailurePolicy::default())
+                .with_recorder(recorder.clone());
+            &plugin_holder
+        }
+    };
+    let observed = ObservedEvaluator::new(inner, recorder);
 
     let lease_received = Instant::now();
     let mut results = Vec::with_capacity(lease.jobs.len());

@@ -427,17 +427,24 @@ fn run_from_spec(
         engine,
         ..RunOptions::default()
     };
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        hpo_core::run_method_with(
-            &prepared.train,
-            &prepared.test,
-            &prepared.space,
-            prepared.pipeline,
-            &prepared.base,
-            &prepared.method,
+    let result = catch_unwind(AssertUnwindSafe(|| match &prepared {
+        crate::spec::PreparedRun::Mlp(mlp) => hpo_core::run_method_with(
+            &mlp.train,
+            &mlp.test,
+            &mlp.space,
+            mlp.pipeline.clone(),
+            &mlp.base,
+            &mlp.method,
             spec.seed,
             &opts,
-        )
+        ),
+        crate::spec::PreparedRun::Plugin(plugin) => hpo_core::run_plugin_with(
+            &plugin.space,
+            &plugin.settings,
+            &plugin.method,
+            spec.seed,
+            &opts,
+        ),
     }));
     let _ = recorder.flush();
     result.map_err(|panic| {

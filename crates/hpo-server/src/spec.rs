@@ -18,9 +18,11 @@ use hpo_core::hyperband::HyperbandConfig;
 use hpo_core::idhb::IdhbConfig;
 use hpo_core::pasha::PashaConfig;
 use hpo_core::pipeline::Pipeline;
+use hpo_core::plugin::PluginSettings;
 use hpo_core::random_search::RandomSearchConfig;
 use hpo_core::sha::ShaConfig;
 use hpo_core::space::SearchSpace;
+use hpo_core::spec::SpaceSpec;
 use hpo_data::dataset::Dataset;
 use hpo_data::synth::catalog::PaperDataset;
 use hpo_models::mlp::MlpParams;
@@ -58,6 +60,12 @@ fn default_workers() -> usize {
 }
 fn default_warm_start() -> bool {
     true
+}
+fn default_plugin_budget() -> usize {
+    100
+}
+fn default_plugin_folds() -> usize {
+    1
 }
 
 /// One run submission: dataset, optimizer, pipeline, seed and budget knobs.
@@ -105,6 +113,26 @@ pub struct RunSpec {
     /// Warm-start budget continuation (DESIGN.md §5.8).
     #[serde(default = "default_warm_start")]
     pub warm_start: bool,
+    /// External evaluator command (argv) for plugin runs (DESIGN.md §5.14).
+    /// When set, `space_spec` must also be set; `dataset`/`scale`/`space`/
+    /// `max_iter` are ignored and trials spawn this command instead of
+    /// fitting the built-in MLP. Skipped on the wire when absent, so legacy
+    /// specs round-trip unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub evaluator_cmd: Option<Vec<String>>,
+    /// Inline declarative search-space spec (line or JSON grammar, see
+    /// `hpo_core::spec`) for plugin runs. Inlined — not a file path — so the
+    /// archived spec is self-contained and replayable on any machine.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub space_spec: Option<String>,
+    /// Total budget `B` the optimizers schedule against in a plugin run
+    /// (opaque units; the evaluator decides what one unit means).
+    #[serde(default = "default_plugin_budget")]
+    pub plugin_budget: usize,
+    /// Evaluator invocations per trial in a plugin run (`fold` runs
+    /// `0..plugin_folds`); fold scores are averaged.
+    #[serde(default = "default_plugin_folds")]
+    pub plugin_folds: usize,
 }
 
 impl Default for RunSpec {
@@ -120,12 +148,26 @@ impl Default for RunSpec {
             workers: default_workers(),
             fold_workers: default_workers(),
             warm_start: default_warm_start(),
+            evaluator_cmd: None,
+            space_spec: None,
+            plugin_budget: default_plugin_budget(),
+            plugin_folds: default_plugin_folds(),
         }
     }
 }
 
-/// The fully-expanded inputs of one `run_method_with` invocation.
-pub struct PreparedRun {
+/// The fully-expanded inputs of one run: either a built-in MLP run
+/// (`run_method_with`) or an external-evaluator plugin run
+/// (`run_plugin_with`).
+pub enum PreparedRun {
+    /// Built-in MLP tuning over a catalog dataset.
+    Mlp(PreparedMlp),
+    /// External evaluator over a declarative spec space.
+    Plugin(PreparedPlugin),
+}
+
+/// The `run_method_with` inputs of a built-in MLP run.
+pub struct PreparedMlp {
     /// Training split.
     pub train: Dataset,
     /// Held-out test split.
@@ -140,6 +182,16 @@ pub struct PreparedRun {
     pub pipeline: Pipeline,
 }
 
+/// The `run_plugin_with` inputs of an external-evaluator run.
+pub struct PreparedPlugin {
+    /// The discretized spec space.
+    pub space: SearchSpace,
+    /// Subprocess evaluator settings.
+    pub settings: PluginSettings,
+    /// The optimizer.
+    pub method: Method,
+}
+
 impl RunSpec {
     /// Validates every field, returning a client-facing message for the
     /// first problem found. Called at submission time so a bad spec is
@@ -148,6 +200,42 @@ impl RunSpec {
     /// # Errors
     /// [`SpecError`] describing the offending field.
     pub fn validate(&self) -> Result<(), SpecError> {
+        // Plugin fields travel together: an evaluator command without a
+        // space (or vice versa) is a half-specified run.
+        match (&self.evaluator_cmd, &self.space_spec) {
+            (Some(_), None) => {
+                return Err(SpecError(
+                    "evaluator_cmd requires space_spec (the search space the command is tuned over)"
+                        .into(),
+                ))
+            }
+            (None, Some(_)) => {
+                return Err(SpecError(
+                    "space_spec requires evaluator_cmd (the command to tune)".into(),
+                ))
+            }
+            (Some(cmd), Some(text)) => {
+                if cmd.is_empty() {
+                    return Err(SpecError("evaluator_cmd must not be empty".into()));
+                }
+                SpaceSpec::parse(text).map_err(|e| SpecError(format!("space_spec: {e}")))?;
+                if self.plugin_budget == 0 {
+                    return Err(SpecError("plugin_budget must be at least 1".into()));
+                }
+                if self.plugin_folds == 0 {
+                    return Err(SpecError("plugin_folds must be at least 1".into()));
+                }
+                parse_method(&self.method)?;
+                parse_pipeline(&self.pipeline)?;
+                if self.workers == 0 {
+                    return Err(SpecError("workers must be at least 1".into()));
+                }
+                // Dataset/scale/space/max_iter are MLP-path knobs; a plugin
+                // run ignores them, so nothing else to check.
+                return Ok(());
+            }
+            (None, None) => {}
+        }
         let Some(name) = self.dataset.strip_prefix("synth:") else {
             return Err(SpecError(format!(
                 "dataset `{}` is not a synth:<name> spec (see `bhpo datasets`)",
@@ -189,6 +277,24 @@ impl RunSpec {
     /// read back from disk gets the same scrutiny as a submitted one).
     pub fn prepare(&self) -> Result<PreparedRun, SpecError> {
         self.validate()?;
+        if let (Some(cmd), Some(text)) = (&self.evaluator_cmd, &self.space_spec) {
+            let space_spec =
+                SpaceSpec::parse(text).map_err(|e| SpecError(format!("space_spec: {e}")))?;
+            // The pipeline knob keeps its meaning on the plugin path: the
+            // enhanced pipeline draws per-configuration fold subsets, the
+            // vanilla one shares a draw per rung (DESIGN.md §5.2).
+            let per_config_folds = parse_pipeline(&self.pipeline)?.per_config_folds;
+            return Ok(PreparedRun::Plugin(PreparedPlugin {
+                space: space_spec.search_space(),
+                settings: PluginSettings {
+                    command: cmd.clone(),
+                    total_budget: self.plugin_budget,
+                    folds: self.plugin_folds,
+                    per_config_folds,
+                },
+                method: parse_method(&self.method)?,
+            }));
+        }
         let name = self.dataset.strip_prefix("synth:").expect("validated");
         let ds = PaperDataset::from_name(name).expect("validated");
         // The catalog's own split is deterministic in (scale, seed); use it
@@ -198,14 +304,14 @@ impl RunSpec {
             max_iter: self.max_iter,
             ..Default::default()
         };
-        Ok(PreparedRun {
+        Ok(PreparedRun::Mlp(PreparedMlp {
             train: tt.train,
             test: tt.test,
             space: parse_space(&self.space)?,
             base,
             method: parse_method(&self.method)?,
             pipeline: parse_pipeline(&self.pipeline)?,
-        })
+        }))
     }
 }
 
@@ -308,8 +414,12 @@ mod tests {
             max_iter: 2,
             ..RunSpec::default()
         };
-        let a = spec.prepare().unwrap();
-        let b = spec.prepare().unwrap();
+        let unwrap_mlp = |p: PreparedRun| match p {
+            PreparedRun::Mlp(m) => m,
+            PreparedRun::Plugin(_) => panic!("expected an MLP run"),
+        };
+        let a = unwrap_mlp(spec.prepare().unwrap());
+        let b = unwrap_mlp(spec.prepare().unwrap());
         assert_eq!(a.train.n_instances(), b.train.n_instances());
         assert_eq!(a.test.n_instances(), b.test.n_instances());
         assert_eq!(a.train.y(), b.train.y());
@@ -331,7 +441,92 @@ mod tests {
             workers: 3,
             fold_workers: 2,
             warm_start: false,
+            ..RunSpec::default()
         };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: RunSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        // Absent plugin fields are skipped on the wire, so legacy specs
+        // archived before the plugin subsystem still parse (and re-archive)
+        // byte-identically.
+        assert!(!json.contains("evaluator_cmd"), "{json}");
+        assert!(!json.contains("space_spec"), "{json}");
+    }
+
+    fn plugin_spec() -> RunSpec {
+        RunSpec {
+            evaluator_cmd: Some(vec!["./eval.sh".into()]),
+            space_spec: Some("lr float 0.001..0.1 log\nsolver cat sgd adam\n".into()),
+            plugin_budget: 64,
+            plugin_folds: 2,
+            method: "hb".into(),
+            ..RunSpec::default()
+        }
+    }
+
+    #[test]
+    fn plugin_spec_prepares_space_and_settings() {
+        let spec = plugin_spec();
+        spec.validate().unwrap();
+        let PreparedRun::Plugin(p) = spec.prepare().unwrap() else {
+            panic!("expected a plugin run");
+        };
+        assert_eq!(p.space.n_configurations(), 16 * 2);
+        assert_eq!(p.settings.command, vec!["./eval.sh".to_string()]);
+        assert_eq!(p.settings.total_budget, 64);
+        assert_eq!(p.settings.folds, 2);
+        assert!(p.settings.per_config_folds, "enhanced default");
+        assert_eq!(p.method.label(), "HB");
+    }
+
+    #[test]
+    fn plugin_fields_travel_together() {
+        let mut half = plugin_spec();
+        half.space_spec = None;
+        assert!(half.validate().unwrap_err().to_string().contains("space_spec"));
+        let mut other = plugin_spec();
+        other.evaluator_cmd = None;
+        assert!(other
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("evaluator_cmd"));
+    }
+
+    #[test]
+    fn plugin_validation_surfaces_spec_errors_and_bad_knobs() {
+        let mut bad = plugin_spec();
+        bad.space_spec = Some("lr float 5..1\n".into());
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("space_spec:"), "{msg}");
+        assert!(msg.contains("line 1"), "{msg}");
+        let mut zero = plugin_spec();
+        zero.plugin_budget = 0;
+        assert!(zero
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("plugin_budget"));
+        let mut folds = plugin_spec();
+        folds.plugin_folds = 0;
+        assert!(folds
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("plugin_folds"));
+        let mut cmd = plugin_spec();
+        cmd.evaluator_cmd = Some(vec![]);
+        assert!(cmd.validate().unwrap_err().to_string().contains("empty"));
+        // A plugin run skips dataset validation entirely: the dataset field
+        // is ignored, not rejected.
+        let mut no_ds = plugin_spec();
+        no_ds.dataset = "not-a-synth-spec".into();
+        no_ds.validate().unwrap();
+    }
+
+    #[test]
+    fn plugin_roundtrips_through_json() {
+        let spec = plugin_spec();
         let json = serde_json::to_string(&spec).unwrap();
         let back: RunSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);

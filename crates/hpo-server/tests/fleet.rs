@@ -125,7 +125,9 @@ fn normalized(mut r: RunResult) -> String {
 }
 
 fn direct_run(spec: &RunSpec) -> RunResult {
-    let p = spec.prepare().expect("spec prepares");
+    let hpo_server::PreparedRun::Mlp(p) = spec.prepare().expect("spec prepares") else {
+        panic!("direct_run handles MLP specs only");
+    };
     hpo_core::run_method_with(
         &p.train,
         &p.test,
